@@ -1,0 +1,27 @@
+//! # gc-apps — GPU graph applications around the coloring building block
+//!
+//! The paper's abstract motivates coloring as "a key building block for
+//! many graph applications" whose "first step … is graph
+//! coloring/partitioning to obtain sets of independent vertices for
+//! subsequent parallel computations". This crate closes that loop on the
+//! same simulated device:
+//!
+//! * [`bfs`] — frontier-based breadth-first search (the Pannotia-style
+//!   companion workload; validates against the host BFS);
+//! * [`sssp`] — Bellman–Ford-style shortest paths with derived edge
+//!   weights, validated against a host Dijkstra;
+//! * [`pagerank`] — power-iteration PageRank on the undirected graph;
+//! * [`mis`] — maximal independent set by random priorities (coloring's
+//!   one-round cousin);
+//! * [`gauss_seidel`] — the payoff: a smoother scheduled *by a coloring*,
+//!   one kernel launch per color class, compared against Jacobi.
+//!
+//! All kernels run on [`gc_gpusim`] and share its determinism: results are
+//! bit-reproducible and every run is validated against a host oracle in the
+//! tests.
+
+pub mod bfs;
+pub mod gauss_seidel;
+pub mod mis;
+pub mod pagerank;
+pub mod sssp;

@@ -1,0 +1,183 @@
+//! Single-source shortest paths (Bellman–Ford style) on the device.
+//!
+//! Edge weights are derived deterministically from the endpoint ids, so the
+//! workload needs no weighted-graph substrate while still exercising the
+//! relax-until-fixpoint pattern whose worklists behave exactly like the
+//! coloring frontiers. Distances are `u32` (saturating); relaxation uses
+//! `atomic_min`, and improved vertices are pushed for the next round.
+
+use gc_gpusim::{DeviceConfig, Gpu, LaneCtx, Launch};
+use gc_graph::{CsrGraph, VertexId};
+use serde::Serialize;
+
+/// Deterministic weight of edge `(u, v)` in `1..=8`, symmetric in its
+/// endpoints.
+#[inline]
+pub fn edge_weight(u: u32, v: u32) -> u32 {
+    let (a, b) = (u.min(v), u.max(v));
+    let mut h = (a as u64) << 32 | b as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    (h % 8) as u32 + 1
+}
+
+/// Result of a device SSSP run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SsspReport {
+    /// Distance from the source (`u32::MAX` = unreachable).
+    pub distances: Vec<u32>,
+    /// Relaxation rounds executed.
+    pub rounds: usize,
+    /// Device cycles.
+    pub cycles: u64,
+}
+
+/// Run SSSP from `source`.
+pub fn sssp(g: &CsrGraph, source: VertexId, device: &DeviceConfig) -> SsspReport {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range ({n} vertices)");
+    let mut gpu = Gpu::new(device.clone());
+    let row_ptr = gpu.alloc_from(g.row_ptr());
+    let col_idx = gpu.alloc_from(g.col_idx());
+    let dist = gpu.alloc_filled(n, u32::MAX);
+    gpu.write_slice(dist, &{
+        let mut init = vec![u32::MAX; n];
+        init[source as usize] = 0;
+        init
+    });
+    // In-frontier dedup flag per vertex, so a vertex improved by several
+    // relaxations in one round is pushed once.
+    let queued = gpu.alloc_filled(n, 0u32);
+    let lists = [gpu.alloc_filled(n, 0u32), gpu.alloc_filled(n, 0u32)];
+    gpu.write_slice(lists[0], &{
+        let mut init = vec![0u32; n];
+        init[0] = source;
+        init
+    });
+    let next_len = gpu.alloc_filled(1, 0u32);
+
+    let mut current = 0usize;
+    let mut frontier_len = 1usize;
+    let mut rounds = 0usize;
+    while frontier_len > 0 {
+        assert!(rounds <= n, "SSSP exceeded |V| rounds — negative cycle impossible here");
+        let list = lists[current];
+        let next = lists[1 - current];
+        let kernel = move |ctx: &mut LaneCtx| {
+            let v = ctx.read(list, ctx.item()) as usize;
+            // Leaving the frontier: clear the dedup flag first so a later
+            // improvement re-queues us.
+            ctx.write(queued, v, 0);
+            let dv = ctx.read(dist, v);
+            let start = ctx.read(row_ptr, v) as usize;
+            let end = ctx.read(row_ptr, v + 1) as usize;
+            ctx.alu(2);
+            for j in start..end {
+                let u = ctx.read(col_idx, j) as usize;
+                let w = edge_weight(v as u32, u as u32);
+                ctx.alu(3);
+                let candidate = dv.saturating_add(w);
+                let old = ctx.atomic_min(dist, u, candidate);
+                if candidate < old {
+                    // Improved: queue once per round.
+                    let was = ctx.atomic_exch(queued, u, 1u32);
+                    if was == 0 {
+                        let slot = ctx.atomic_add_aggregated(next_len, 0, 1u32) as usize;
+                        ctx.write(next, slot, u as u32);
+                    }
+                }
+            }
+        };
+        gpu.launch(&kernel, Launch::threads("sssp-relax", frontier_len).dynamic());
+        frontier_len = gpu.read_slice(next_len)[0] as usize;
+        gpu.fill(next_len, 0);
+        current = 1 - current;
+        rounds += 1;
+    }
+
+    SsspReport {
+        distances: gpu.read_back(dist),
+        rounds,
+        cycles: gpu.stats().total_cycles,
+    }
+}
+
+/// Host Dijkstra oracle over the same derived weights.
+pub fn sssp_host(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0u32, source)));
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            let nd = d.saturating_add(edge_weight(v, u));
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::{grid_2d, regular, rmat, RmatParams};
+
+    fn device() -> DeviceConfig {
+        DeviceConfig::small_test()
+    }
+
+    #[test]
+    fn matches_host_dijkstra() {
+        for g in [
+            grid_2d(10, 10),
+            regular::star(30),
+            rmat(8, 6, RmatParams::graph500(), 4),
+        ] {
+            let dev = sssp(&g, 0, &device());
+            assert_eq!(dev.distances, sssp_host(&g, 0));
+        }
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_bounded() {
+        for (u, v) in [(0u32, 1u32), (5, 9), (100, 3)] {
+            let w = edge_weight(u, v);
+            assert_eq!(w, edge_weight(v, u));
+            assert!((1..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_max() {
+        let g = gc_graph::from_edges(4, &[(0, 1)]).unwrap();
+        let r = sssp(&g, 0, &device());
+        assert_eq!(r.distances[2], u32::MAX);
+        assert_eq!(r.distances[3], u32::MAX);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid_2d(8, 8);
+        let a = sssp(&g, 3, &device());
+        let b = sssp(&g, 3, &device());
+        assert_eq!(a.distances, b.distances);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn needs_more_rounds_than_bfs_levels() {
+        // Weighted relaxations revisit vertices, so rounds >= BFS levels.
+        let g = regular::path(20);
+        let s = sssp(&g, 0, &device());
+        let b = crate::bfs::bfs(&g, 0, &device());
+        assert!(s.rounds >= b.levels);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests: every device application must agree with its host
+//! oracle on arbitrary graphs.
+
+use proptest::prelude::*;
+
+use gc_apps::{bfs, mis, pagerank, sssp};
+use gc_gpusim::DeviceConfig;
+use gc_graph::{from_edges, CsrGraph};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |edges| from_edges(n, &edges).unwrap())
+    })
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::small_test()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_matches_host(g in arb_graph(), source_raw in 0u32..40) {
+        let source = source_raw % g.num_vertices() as u32;
+        let dev = bfs::bfs(&g, source, &device());
+        prop_assert_eq!(dev.distances, gc_graph::traversal::bfs_distances(&g, source));
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra(g in arb_graph(), source_raw in 0u32..40) {
+        let source = source_raw % g.num_vertices() as u32;
+        let dev = sssp::sssp(&g, source, &device());
+        prop_assert_eq!(dev.distances, sssp::sssp_host(&g, source));
+    }
+
+    #[test]
+    fn sssp_never_exceeds_bfs_hops_times_max_weight(g in arb_graph()) {
+        let s = sssp::sssp(&g, 0, &device());
+        let b = gc_graph::traversal::bfs_distances(&g, 0);
+        for v in 0..g.num_vertices() {
+            match (b[v], s.distances[v]) {
+                (u32::MAX, d) => prop_assert_eq!(d, u32::MAX),
+                (hops, d) => {
+                    prop_assert!(d <= hops * 8, "v{v}: dist {d} vs {hops} hops");
+                    prop_assert!(d >= hops, "v{v}: dist {d} under hop count {hops}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_matches_host_and_is_positive(g in arb_graph()) {
+        let dev = pagerank::pagerank(&g, 0.85, 1e-6, 25, &device());
+        prop_assert_eq!(&dev.ranks, &pagerank::pagerank_host(&g, 0.85, 1e-6, 25));
+        for &r in &dev.ranks {
+            prop_assert!(r > 0.0 && r <= 1.0);
+        }
+    }
+
+    #[test]
+    fn mis_is_always_valid(g in arb_graph(), seed in 0u64..50) {
+        let m = mis::maximal_independent_set(&g, seed, &device());
+        prop_assert!(mis::verify_mis(&g, &m.in_set).is_ok());
+    }
+}

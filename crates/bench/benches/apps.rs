@@ -1,0 +1,51 @@
+//! Criterion bench for the F19 companion applications: BFS, SSSP,
+//! PageRank, MIS, and the two smoothers (device-cycle results come from
+//! `repro --exp f19`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_apps::{bfs, gauss_seidel, mis, pagerank, sssp};
+use gc_core::GpuOptions;
+use gc_gpusim::DeviceConfig;
+use gc_graph::{by_name, Scale};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph-applications");
+    group.sample_size(10);
+    let g = by_name("small-world").expect("known dataset").build(Scale::Tiny);
+    let device = DeviceConfig::hd7950();
+
+    group.bench_function("bfs", |b| {
+        b.iter(|| bfs::bfs(std::hint::black_box(&g), 0, &device).cycles)
+    });
+    group.bench_function("sssp", |b| {
+        b.iter(|| sssp::sssp(std::hint::black_box(&g), 0, &device).cycles)
+    });
+    group.bench_function("pagerank", |b| {
+        b.iter(|| pagerank::pagerank(std::hint::black_box(&g), 0.85, 1e-6, 50, &device).cycles)
+    });
+    group.bench_function("mis", |b| {
+        b.iter(|| mis::maximal_independent_set(std::hint::black_box(&g), 7, &device).cycles)
+    });
+
+    let rhs: Vec<f32> = (0..g.num_vertices()).map(|v| ((v % 5) as f32) - 2.0).collect();
+    group.bench_function("jacobi-solver", |b| {
+        b.iter(|| gauss_seidel::jacobi(std::hint::black_box(&g), &rhs, 1e-5, 500, &device).cycles)
+    });
+    group.bench_function("colored-gs-solver", |b| {
+        b.iter(|| {
+            gauss_seidel::colored_gauss_seidel(
+                std::hint::black_box(&g),
+                &rhs,
+                1e-5,
+                500,
+                &device,
+                &GpuOptions::optimized(),
+            )
+            .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

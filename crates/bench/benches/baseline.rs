@@ -1,0 +1,28 @@
+//! Criterion bench for F1: baseline max/min coloring across graph classes.
+//!
+//! Criterion measures the *host wall-clock of the simulation*; the paper's
+//! metric is modeled device cycles, reported by `repro --exp f1`. Wall time
+//! tracks simulated work closely (the simulator executes every lane), so
+//! relative shapes agree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{gpu, GpuOptions};
+use gc_graph::{suite, Scale};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1-baseline-maxmin");
+    group.sample_size(10);
+    for spec in suite() {
+        let g = spec.build(Scale::Tiny);
+        group.bench_function(spec.name, |b| {
+            b.iter(|| {
+                let r = gpu::maxmin::color(std::hint::black_box(&g), &GpuOptions::baseline());
+                std::hint::black_box(r.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

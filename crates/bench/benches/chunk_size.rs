@@ -1,0 +1,22 @@
+//! Criterion bench for F8: work-stealing chunk-size sensitivity
+//! (device-cycle results: `repro --exp f8`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{gpu, GpuOptions, WorkSchedule};
+use gc_graph::{by_name, Scale};
+
+fn bench_chunks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8-chunk-size");
+    group.sample_size(10);
+    let g = by_name("citation-rmat").expect("known dataset").build(Scale::Tiny);
+    for chunk in [16usize, 64, 256, 1024] {
+        let opts = GpuOptions::baseline().with_schedule(WorkSchedule::WorkStealing { chunk });
+        group.bench_function(format!("chunk-{chunk}"), |b| {
+            b.iter(|| gpu::maxmin::color(std::hint::black_box(&g), &opts).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunks);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the host-side baselines (F2's quality contenders):
+//! sequential greedy orderings, DSATUR, and the CPU-parallel algorithms.
+//! These run on real silicon, so wall time *is* the metric here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{cpu, seq, VertexOrdering};
+use gc_graph::{by_name, Scale};
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu-baselines");
+    group.sample_size(10);
+    let g = by_name("uniform-rand").expect("known dataset").build(Scale::Tiny);
+    group.bench_function("seq-ff-natural", |b| {
+        b.iter(|| seq::greedy_first_fit(std::hint::black_box(&g), VertexOrdering::Natural).num_colors)
+    });
+    group.bench_function("seq-ff-smallest-last", |b| {
+        b.iter(|| {
+            seq::greedy_first_fit(std::hint::black_box(&g), VertexOrdering::SmallestLast).num_colors
+        })
+    });
+    group.bench_function("seq-dsatur", |b| {
+        b.iter(|| seq::dsatur(std::hint::black_box(&g)).num_colors)
+    });
+    group.bench_function("cpu-jones-plassmann", |b| {
+        b.iter(|| cpu::jones_plassmann(std::hint::black_box(&g)).num_colors)
+    });
+    group.bench_function("cpu-speculative", |b| {
+        b.iter(|| cpu::speculative_coloring(std::hint::black_box(&g)).num_colors)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

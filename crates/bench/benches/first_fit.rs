@@ -1,0 +1,26 @@
+//! Criterion bench for F11: the two GPU algorithm families head to head
+//! (device-cycle results: `repro --exp f11`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{gpu, GpuOptions};
+use gc_graph::{by_name, Scale};
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f11-algorithm-families");
+    group.sample_size(10);
+    for name in ["uniform-rand", "citation-rmat"] {
+        let g = by_name(name).expect("known dataset").build(Scale::Tiny);
+        group.bench_function(format!("{name}/maxmin"), |b| {
+            b.iter(|| gpu::maxmin::color(std::hint::black_box(&g), &GpuOptions::baseline()).cycles)
+        });
+        group.bench_function(format!("{name}/first-fit"), |b| {
+            b.iter(|| {
+                gpu::first_fit::color(std::hint::black_box(&g), &GpuOptions::baseline()).cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for F7/F9: the hybrid algorithm and the full optimized
+//! stack vs the baseline (device-cycle results: `repro --exp f7,f9`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{gpu, GpuOptions};
+use gc_graph::{by_name, Scale};
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7-hybrid-and-optimized");
+    group.sample_size(10);
+    let g = by_name("citation-rmat").expect("known dataset").build(Scale::Tiny);
+    for (label, opts) in [
+        ("baseline", GpuOptions::baseline()),
+        ("hybrid", GpuOptions::hybrid()),
+        ("optimized", GpuOptions::optimized()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| gpu::maxmin::color(std::hint::black_box(&g), &opts).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

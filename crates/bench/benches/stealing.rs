@@ -1,0 +1,26 @@
+//! Criterion bench for F5/F6: static baseline vs work stealing on the most
+//! skewed graphs (device-cycle results come from `repro --exp f5,f6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_core::{gpu, GpuOptions, WorkSchedule};
+use gc_graph::{by_name, Scale};
+
+fn bench_stealing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6-work-stealing");
+    group.sample_size(10);
+    for name in ["citation-rmat", "ecology-mesh"] {
+        let g = by_name(name).expect("known dataset").build(Scale::Tiny);
+        group.bench_function(format!("{name}/static"), |b| {
+            b.iter(|| gpu::maxmin::color(std::hint::black_box(&g), &GpuOptions::baseline()).cycles)
+        });
+        group.bench_function(format!("{name}/stealing"), |b| {
+            let opts =
+                GpuOptions::baseline().with_schedule(WorkSchedule::WorkStealing { chunk: 256 });
+            b.iter(|| gpu::maxmin::color(std::hint::black_box(&g), &opts).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stealing);
+criterion_main!(benches);

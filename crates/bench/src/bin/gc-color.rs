@@ -1,0 +1,205 @@
+//! `gc-color` — command-line graph coloring on the simulated GPU.
+//!
+//! The downstream-user entry point: load a graph (MatrixMarket, DIMACS
+//! `.col`, or edge list — or a registry dataset), color it with any
+//! algorithm in the suite, verify, and write the assignment.
+//!
+//! ```text
+//! gc-color --dataset citation-rmat --algorithm maxmin --optimized
+//! gc-color --input graph.mtx --algorithm firstfit --out colors.txt
+//! gc-color --input web.col --format dimacs --algorithm jp --device warp32
+//! ```
+
+use std::io::{BufReader, BufWriter, Write};
+
+use gc_core::{color_classes, gpu, seq, verify_coloring, GpuOptions, RunReport, VertexOrdering};
+use gc_gpusim::DeviceConfig;
+use gc_graph::{io, CsrGraph, Scale};
+
+struct Args {
+    input: Option<String>,
+    format: Option<String>,
+    dataset: Option<String>,
+    scale: Scale,
+    algorithm: String,
+    optimized: bool,
+    device: String,
+    seed: u64,
+    out: Option<String>,
+    classes: bool,
+}
+
+const USAGE: &str = "gc-color — graph coloring on a simulated AMD GPU
+
+input (one of):
+  --input PATH         graph file (.mtx / .col / edge list; see --format)
+  --dataset NAME       registry dataset (see `repro --exp t1`)
+
+options:
+  --format FMT         mtx | dimacs | edges | gcsr (default: from extension)
+  --scale S            tiny | small | full for --dataset (default small)
+  --algorithm A        maxmin | jp | firstfit | seq | dsatur (default maxmin)
+  --optimized          enable work stealing + hybrid binning (GPU algorithms)
+  --device D           hd7950 | hd7970 | apu | warp32 (default hd7950)
+  --seed N             priority permutation seed (default 3088)
+  --out PATH           write `vertex color` lines
+  --classes            print color-class sizes
+  --help               this text";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        format: None,
+        dataset: None,
+        scale: Scale::Small,
+        algorithm: "maxmin".into(),
+        optimized: false,
+        device: "hd7950".into(),
+        seed: 0xC10,
+        out: None,
+        classes: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match arg.as_str() {
+            "--input" => args.input = Some(value("--input")?),
+            "--format" => args.format = Some(value("--format")?),
+            "--dataset" => args.dataset = Some(value("--dataset")?),
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--algorithm" => args.algorithm = value("--algorithm")?,
+            "--optimized" => args.optimized = true,
+            "--device" => args.device = value("--device")?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--classes" => args.classes = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if args.input.is_none() == args.dataset.is_none() {
+        return Err("exactly one of --input or --dataset is required".into());
+    }
+    Ok(args)
+}
+
+fn load_graph(args: &Args) -> Result<CsrGraph, String> {
+    if let Some(name) = &args.dataset {
+        let spec = gc_graph::by_name(name)
+            .ok_or_else(|| format!("unknown dataset '{name}' (see `repro --exp t1`)"))?;
+        return Ok(spec.build(args.scale));
+    }
+    let path = args.input.as_ref().expect("validated by parse_args");
+    let format = match args.format.as_deref() {
+        Some(f) => f.to_string(),
+        None => match path.rsplit('.').next() {
+            Some("mtx") => "mtx".into(),
+            Some("col") => "dimacs".into(),
+            Some("gcsr") => "gcsr".into(),
+            _ => "edges".into(),
+        },
+    };
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let graph = match format.as_str() {
+        "mtx" => io::read_matrix_market(reader),
+        "dimacs" => io::read_dimacs_col(reader),
+        "edges" => io::read_edge_list(reader),
+        "gcsr" => io::read_binary(reader),
+        other => return Err(format!("unknown format '{other}' (mtx | dimacs | edges | gcsr)")),
+    };
+    graph.map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn pick_device(name: &str) -> Result<DeviceConfig, String> {
+    Ok(match name {
+        "hd7950" => DeviceConfig::hd7950(),
+        "hd7970" => DeviceConfig::hd7970(),
+        "apu" => DeviceConfig::apu_8cu(),
+        "warp32" => DeviceConfig::warp32(),
+        other => return Err(format!("unknown device '{other}'")),
+    })
+}
+
+fn run(args: &Args, g: &CsrGraph) -> Result<RunReport, String> {
+    let opts = {
+        let base = if args.optimized {
+            GpuOptions::optimized()
+        } else {
+            GpuOptions::baseline()
+        };
+        base.with_device(pick_device(&args.device)?).with_seed(args.seed)
+    };
+    Ok(match args.algorithm.as_str() {
+        "maxmin" => gpu::maxmin::color(g, &opts),
+        "jp" => gpu::jp::color(g, &opts),
+        "firstfit" => gpu::first_fit::color(g, &opts),
+        "seq" => seq::greedy_first_fit(g, VertexOrdering::SmallestLast),
+        "dsatur" => seq::dsatur(g),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (maxmin | jp | firstfit | seq | dsatur)"
+            ))
+        }
+    })
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let g = load_graph(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    let report = run(&args, &g).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    verify_coloring(&g, &report.colors).unwrap_or_else(|e| {
+        eprintln!("internal error: invalid coloring produced: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("{}", report.summary());
+
+    if args.classes {
+        let classes = color_classes(&report.colors);
+        eprintln!("{} color classes:", classes.len());
+        for (i, class) in classes.iter().enumerate() {
+            eprintln!("  class {i}: {} vertices", class.len());
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut w = BufWriter::new(file);
+        writeln!(w, "# {} colors by {}", report.num_colors, report.algorithm).unwrap();
+        for (v, c) in report.colors.iter().enumerate() {
+            writeln!(w, "{v} {c}").unwrap();
+        }
+        w.flush().unwrap();
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Regenerate the paper's evaluation: every table and figure, as plain-text
+//! tables plus an optional JSON dump.
+//!
+//! Usage:
+//!   repro [--exp id[,id...]] [--scale tiny|small|full] [--json PATH] [--list]
+
+use std::io::Write;
+
+use gc_bench::{all, by_id, Experiment, Runner};
+use gc_graph::Scale;
+
+struct Args {
+    experiments: Vec<Experiment>,
+    scale: Scale,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments: Option<Vec<Experiment>> = None;
+    let mut scale = Scale::Small;
+    let mut json = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--list" => {
+                for e in all() {
+                    println!("{:4} {}", e.id, e.what);
+                }
+                std::process::exit(0);
+            }
+            "--exp" => {
+                let ids = argv.next().ok_or("--exp needs an argument")?;
+                let mut picked = Vec::new();
+                for id in ids.split(',') {
+                    picked.push(by_id(id).ok_or_else(|| {
+                        format!("unknown experiment '{id}' (use --list)")
+                    })?);
+                }
+                experiments = Some(picked);
+            }
+            "--scale" => {
+                scale = match argv.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    other => return Err(format!("bad --scale {other:?} (tiny|small|full)")),
+                };
+            }
+            "--json" => {
+                json = Some(argv.next().ok_or("--json needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the IPDPSW'15 graph-coloring evaluation\n\n\
+                     options:\n  --exp id[,id...]   run selected experiments (default: all)\n  \
+                     --scale tiny|small|full   graph sizes (default: small)\n  \
+                     --json PATH        write the tables as JSON\n  --list             list experiment ids"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        experiments: experiments.unwrap_or_else(all),
+        scale,
+        json,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "# Reproduction of Che et al., 'Graph Coloring on the GPU and Some Techniques\n\
+         # to Improve Load Imbalance' (IPDPSW 2015) — simulated AMD Radeon HD 7950\n\
+         # scale: {:?}\n",
+        args.scale
+    );
+
+    let mut runner = Runner::new(args.scale);
+    let mut tables = Vec::new();
+    for exp in &args.experiments {
+        let start = std::time::Instant::now();
+        let table = (exp.run)(&mut runner);
+        println!("{}", table.render());
+        println!("  [regenerated in {:.1?}]\n", start.elapsed());
+        tables.push(table);
+    }
+
+    if let Some(path) = args.json {
+        let payload = serde_json::json!({
+            "paper": "10.1109/IPDPSW.2015.74",
+            "scale": format!("{:?}", args.scale),
+            "tables": tables,
+        });
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}")),
+        );
+        serde_json::to_writer_pretty(&mut f, &payload).expect("serialize tables");
+        f.flush().expect("flush json");
+        println!("wrote {path}");
+    }
+}

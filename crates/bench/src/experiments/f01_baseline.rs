@@ -1,0 +1,58 @@
+//! F1 — baseline GPU coloring runtime across graph structures.
+//!
+//! Paper claim exercised: "studies approaches to implementing graph coloring
+//! on a GPU and characterizes their program behaviors with different graph
+//! structures". Regular meshes run fast and balanced; power-law graphs pay
+//! for divergence and per-CU skew.
+
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f1",
+        "baseline max/min coloring runtime (simulated HD 7950 cycles)",
+        &["graph", "cycles", "model-ms", "cycles/edge", "colors"],
+    );
+    for spec in suite() {
+        let edges = r.graph(&spec).num_edges().max(1);
+        let rep = r.run(&spec, Family::MaxMin, Config::Baseline);
+        t.row(vec![
+            spec.name.to_string(),
+            rep.cycles.to_string(),
+            format!("{:.3}", rep.time_ms),
+            format!("{:.2}", rep.cycles as f64 / edges as f64),
+            rep.num_colors.to_string(),
+        ]);
+    }
+    t.note("cycles/edge normalizes for size: the power-law graphs cost the most per edge");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn power_law_costs_more_per_edge_than_mesh() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let per_edge = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            per_edge("citation-rmat") > per_edge("ecology-mesh"),
+            "rmat {} vs mesh {}",
+            per_edge("citation-rmat"),
+            per_edge("ecology-mesh")
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! F2 — coloring quality: colors used per algorithm.
+//!
+//! GPU independent-set coloring trades quality for parallelism; the
+//! sequential orderings (and DSATUR) anchor how much.
+
+use gc_core::{cpu, seq, VertexOrdering};
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f2",
+        "colors used per algorithm",
+        &[
+            "graph", "ff-nat", "ff-ldf", "ff-sl", "dsatur", "jp", "gm", "gpu-mm", "gpu-ff",
+        ],
+    );
+    for spec in suite() {
+        let gpu_mm = r.run(&spec, Family::MaxMin, Config::Baseline).num_colors;
+        let gpu_ff = r.run(&spec, Family::FirstFit, Config::Baseline).num_colors;
+        let g = r.graph(&spec);
+        let nat = seq::greedy_first_fit(g, VertexOrdering::Natural).num_colors;
+        let ldf = seq::greedy_first_fit(g, VertexOrdering::LargestDegreeFirst).num_colors;
+        let sl = seq::greedy_first_fit(g, VertexOrdering::SmallestLast).num_colors;
+        let ds = seq::dsatur(g).num_colors;
+        let jp = cpu::jones_plassmann(g).num_colors;
+        let gm = cpu::speculative_coloring(g).num_colors;
+        t.row(vec![
+            spec.name.to_string(),
+            nat.to_string(),
+            ldf.to_string(),
+            sl.to_string(),
+            ds.to_string(),
+            jp.to_string(),
+            gm.to_string(),
+            gpu_mm.to_string(),
+            gpu_ff.to_string(),
+        ]);
+    }
+    t.note("gpu max/min burns ~2 colors per round: worst quality, as the paper's family does");
+    t.note("gpu first-fit tracks sequential first-fit quality closely");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn dsatur_is_never_worse_than_gpu_maxmin() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        for row in &t.rows {
+            let ds: usize = row[4].parse().unwrap();
+            let mm: usize = row[7].parse().unwrap();
+            assert!(ds <= mm, "{}: dsatur {ds} vs maxmin {mm}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! F3 — active-vertex decay per iteration (program-behaviour curves).
+//!
+//! Most vertices are colored in the first few rounds; the long tail of
+//! near-empty iterations motivates frontier compaction and makes kernel
+//! launch overhead visible on road-class graphs.
+
+use gc_graph::by_name;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+const GRAPHS: [&str; 3] = ["ecology-mesh", "road-net", "citation-rmat"];
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f3",
+        "uncolored vertices at the start of each max/min iteration (% of V)",
+        &["iteration", GRAPHS[0], GRAPHS[1], GRAPHS[2]],
+    );
+    let curves: Vec<Vec<f64>> = GRAPHS
+        .iter()
+        .map(|name| {
+            let spec = by_name(name).expect("known dataset");
+            let n = r.graph(&spec).num_vertices() as f64;
+            r.run(&spec, Family::MaxMin, Config::Baseline)
+                .active_per_iteration
+                .iter()
+                .map(|&a| 100.0 * a as f64 / n)
+                .collect()
+        })
+        .collect();
+    let rounds = curves.iter().map(|c| c.len()).max().unwrap_or(0);
+    // Dense at the head (where the decay happens), sampled in the tail.
+    let shown: Vec<usize> = (0..rounds)
+        .filter(|&i| i < 10 || (i + 1) % 10 == 0 || i + 1 == rounds)
+        .collect();
+    for i in shown {
+        let cell = |k: usize| -> String {
+            curves[k]
+                .get(i)
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "done".to_string())
+        };
+        t.row(vec![(i + 1).to_string(), cell(0), cell(1), cell(2)]);
+    }
+    t.note("geometric decay: each round colors a large fraction of the survivors");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn first_row_is_all_vertices_and_decays() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        assert_eq!(t.rows[0][1], "100.0");
+        assert_eq!(t.rows[0][2], "100.0");
+        // Row 2 (if present) must be strictly below 100%.
+        if t.rows.len() > 1 && t.rows[1][1] != "done" {
+            assert!(t.rows[1][1].parse::<f64>().unwrap() < 100.0);
+        }
+    }
+}

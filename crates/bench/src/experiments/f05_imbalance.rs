@@ -1,0 +1,57 @@
+//! F5 — per-CU load imbalance factor under each schedule.
+//!
+//! The paper's central diagnosis: static workgroup placement lets a few CUs
+//! (the ones holding hub-heavy workgroups) run long after the rest idle.
+//! The imbalance factor is max/mean per-CU busy time (1.0 = perfect).
+
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f5",
+        "per-CU load imbalance factor (max/mean busy cycles)",
+        &["graph", "static-rr", "dynamic-hw", "stealing"],
+    );
+    for spec in suite() {
+        let rr = r.run(&spec, Family::MaxMin, Config::Baseline).imbalance_factor;
+        let dy = r.run(&spec, Family::MaxMin, Config::DynamicHw).imbalance_factor;
+        let ws = r
+            .run(&spec, Family::MaxMin, Config::stealing_default())
+            .imbalance_factor;
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{rr:.3}"),
+            format!("{dy:.3}"),
+            format!("{ws:.3}"),
+        ]);
+    }
+    t.note("work stealing flattens the busy-time distribution toward 1.0");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{by_name, Scale};
+    use crate::runner::{Config, Family};
+
+    #[test]
+    fn stealing_reduces_imbalance_on_power_law() {
+        let mut r = Runner::new(Scale::Tiny);
+        let spec = by_name("citation-rmat").unwrap();
+        let rr = r.run(&spec, Family::MaxMin, Config::Baseline).imbalance_factor;
+        let ws = r
+            .run(&spec, Family::MaxMin, Config::stealing_default())
+            .imbalance_factor;
+        assert!(ws <= rr + 1e-9, "stealing {ws} vs static {rr}");
+    }
+
+    #[test]
+    fn table_has_all_graphs() {
+        let mut r = Runner::new(Scale::Tiny);
+        assert_eq!(run(&mut r).rows.len(), suite().len());
+    }
+}

@@ -1,0 +1,83 @@
+//! F7 — the headline result: speedup of each optimization (and the full
+//! stack) over the baseline GPU implementation.
+//!
+//! Paper claim: "approximately 25% [improvement] compared to a baseline GPU
+//! implementation on an AMD Radeon HD 7950" from work stealing and the
+//! hybrid algorithm. The shape to reproduce: a ~1.25× geomean for the full
+//! stack, dominated by the irregular (power-law) graphs.
+
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::{geomean, ExpTable};
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f7",
+        "speedup over baseline: stealing / hybrid / full stack (max/min)",
+        &["graph", "stealing", "hybrid", "optimized"],
+    );
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for spec in suite() {
+        let s = [
+            r.speedup_over_baseline(&spec, Family::MaxMin, Config::stealing_default()),
+            r.speedup_over_baseline(&spec, Family::MaxMin, Config::hybrid_default()),
+            r.speedup_over_baseline(&spec, Family::MaxMin, Config::optimized_default()),
+        ];
+        for (c, v) in cols.iter_mut().zip(s) {
+            c.push(v);
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:.3}x", s[0]),
+            format!("{:.3}x", s[1]),
+            format!("{:.3}x", s[2]),
+        ]);
+    }
+    let gm: Vec<f64> = cols.iter().map(|c| geomean(c)).collect();
+    t.row(vec![
+        "geomean".to_string(),
+        format!("{:.3}x", gm[0]),
+        format!("{:.3}x", gm[1]),
+        format!("{:.3}x", gm[2]),
+    ]);
+    t.note(format!(
+        "paper reports ~1.25x for its optimized configuration; this reproduction measures {:.2}x",
+        gm[2]
+    ));
+    t.note("improvement concentrates on the power-law graphs, as the paper's analysis predicts");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn optimized_geomean_beats_one() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let gm_row = t.rows.last().unwrap();
+        let opt: f64 = gm_row[3].trim_end_matches('x').parse().unwrap();
+        assert!(opt > 1.0, "optimized stack should win overall, got {opt}");
+    }
+
+    #[test]
+    fn power_law_gains_exceed_mesh_gains() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let opt = |name: &str| -> f64 {
+            t.rows.iter().find(|row| row[0] == name).unwrap()[3]
+                .trim_end_matches('x')
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            opt("citation-rmat") > opt("ecology-mesh"),
+            "rmat {} vs mesh {}",
+            opt("citation-rmat"),
+            opt("ecology-mesh")
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! F8 — work-stealing chunk-size sensitivity.
+//!
+//! Small chunks balance load best but pay one global-atomic queue pop per
+//! chunk; large chunks amortize the pops but recreate static imbalance.
+//! The sweet spot sits in the middle — the classic U-shaped curve.
+
+use gc_graph::by_name;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+const CHUNKS: [usize; 7] = [16, 32, 64, 128, 256, 1024, 4096];
+const GRAPHS: [&str; 2] = ["citation-rmat", "road-net"];
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f8",
+        "work-stealing chunk-size sweep (speedup over static baseline)",
+        &["chunk", GRAPHS[0], GRAPHS[1]],
+    );
+    for chunk in CHUNKS {
+        let mut row = vec![chunk.to_string()];
+        for name in GRAPHS {
+            let spec = by_name(name).expect("known dataset");
+            let s = r.speedup_over_baseline(&spec, Family::MaxMin, Config::Stealing { chunk });
+            row.push(format!("{s:.3}x"));
+        }
+        t.row(row);
+    }
+    t.note("tiny chunks drown in queue-pop atomics; huge chunks stop balancing");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn sweep_covers_all_chunks() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        assert_eq!(t.rows.len(), CHUNKS.len());
+        for row in &t.rows {
+            let s: f64 = row[1].trim_end_matches('x').parse().unwrap();
+            assert!(s > 0.1 && s < 10.0, "implausible speedup {s}");
+        }
+    }
+}

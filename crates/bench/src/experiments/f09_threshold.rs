@@ -1,0 +1,50 @@
+//! F9 — hybrid degree-threshold sensitivity.
+//!
+//! Too low a threshold sends ordinary vertices to the cooperative kernel
+//! (wasting a whole workgroup on a degree-10 adjacency); too high leaves the
+//! hubs starving their wavefronts.
+
+use gc_graph::by_name;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+const THRESHOLDS: [usize; 6] = [16, 64, 128, 256, 1024, 4096];
+const GRAPHS: [&str; 2] = ["citation-rmat", "coauthor-rmat"];
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f9",
+        "hybrid degree-threshold sweep (speedup over baseline)",
+        &["threshold", GRAPHS[0], GRAPHS[1]],
+    );
+    for threshold in THRESHOLDS {
+        let mut row = vec![threshold.to_string()];
+        for name in GRAPHS {
+            let spec = by_name(name).expect("known dataset");
+            let s = r.speedup_over_baseline(&spec, Family::MaxMin, Config::Hybrid { threshold });
+            row.push(format!("{s:.3}x"));
+        }
+        t.row(row);
+    }
+    t.note("the best threshold is a small multiple of the wavefront size");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn some_threshold_beats_baseline_on_power_law() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let best = t
+            .rows
+            .iter()
+            .map(|row| row[1].trim_end_matches('x').parse::<f64>().unwrap())
+            .fold(f64::MIN, f64::max);
+        assert!(best > 1.0, "no threshold helped: best {best}");
+    }
+}

@@ -1,0 +1,57 @@
+//! F10 — occupancy sensitivity: how many resident wavefronts per CU the
+//! device may keep ("important factors affecting performance").
+//!
+//! Memory latency is hidden by multithreading; capping resident waves
+//! exposes it. This sweep varies the device's occupancy cap directly, so it
+//! bypasses the memoizing runner.
+
+use gc_core::{gpu, GpuOptions};
+use gc_graph::by_name;
+
+use crate::runner::Runner;
+use crate::table::ExpTable;
+
+const WAVE_CAPS: [usize; 6] = [1, 2, 4, 8, 16, 40];
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let spec = by_name("citation-rmat").expect("known dataset");
+    let g = r.graph(&spec).clone();
+    let mut t = ExpTable::new(
+        "f10",
+        "occupancy sweep on citation-rmat (baseline max/min)",
+        &["max-waves/CU", "cycles", "slowdown vs 40"],
+    );
+    let mut cycles = Vec::new();
+    for cap in WAVE_CAPS {
+        let mut opts = GpuOptions::baseline();
+        opts.device.max_waves_per_cu = cap;
+        let rep = gpu::maxmin::color(&g, &opts);
+        cycles.push(rep.cycles);
+        t.row(vec![cap.to_string(), rep.cycles.to_string(), String::new()]);
+    }
+    let full = *cycles.last().expect("nonempty sweep") as f64;
+    for (row, &c) in t.rows.iter_mut().zip(&cycles) {
+        row[2] = format!("{:.2}x", c as f64 / full);
+    }
+    t.note("single-wave occupancy exposes the full memory latency on every access");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn more_occupancy_is_never_slower() {
+        // At Tiny scale the launch may not supply enough waves for the cap
+        // to bind (the sweep is flat); the invariant is monotonicity.
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let cycles: Vec<u64> = t.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[1] <= w[0]),
+            "occupancy sweep not monotone: {cycles:?}"
+        );
+    }
+}

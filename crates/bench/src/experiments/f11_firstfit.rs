@@ -1,0 +1,57 @@
+//! F11 — the GPU algorithm families compared head to head
+//! ("studies approaches to implementing graph coloring on a GPU"):
+//! max/min independent set, Jones–Plassmann, and speculative first-fit.
+
+use gc_core::{gpu, GpuOptions};
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f11",
+        "GPU algorithm families (baseline schedule): cycles and colors",
+        &[
+            "graph", "mm-cycles", "jp-cycles", "ff-cycles", "mm-colors", "jp-colors", "ff-colors",
+        ],
+    );
+    for spec in suite() {
+        let mm = r.run(&spec, Family::MaxMin, Config::Baseline);
+        let (mmc, mmk) = (mm.cycles, mm.num_colors);
+        let ff = r.run(&spec, Family::FirstFit, Config::Baseline);
+        let (ffc, ffk) = (ff.cycles, ff.num_colors);
+        let jp = gpu::jp::color(r.graph(&spec), &GpuOptions::baseline());
+        t.row(vec![
+            spec.name.to_string(),
+            mmc.to_string(),
+            jp.cycles.to_string(),
+            ffc.to_string(),
+            mmk.to_string(),
+            jp.num_colors.to_string(),
+            ffk.to_string(),
+        ]);
+    }
+    t.note("first-fit wins on rounds; JP matches greedy quality at IS-selection cost");
+    t.note("max/min does the least per-vertex work per round but burns 2 colors per round");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn jp_quality_sits_between_maxmin_and_firstfit() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        for row in &t.rows {
+            let mm: usize = row[4].parse().unwrap();
+            let jp: usize = row[5].parse().unwrap();
+            let ff: usize = row[6].parse().unwrap();
+            assert!(jp <= mm, "{}: jp {jp} vs mm {mm}", row[0]);
+            assert!(ff <= mm, "{}: ff {ff} vs mm {mm}", row[0]);
+        }
+    }
+}

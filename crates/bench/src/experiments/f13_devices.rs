@@ -1,0 +1,81 @@
+//! F13 — cross-device sensitivity (extension).
+//!
+//! The paper evaluates one GPU; this sweep re-runs the headline comparison
+//! on four device models to separate the *structural* effect (wavefront
+//! width sets the blast radius of a hub vertex) from raw machine size.
+
+use gc_core::{gpu, GpuOptions};
+use gc_gpusim::DeviceConfig;
+use gc_graph::by_name;
+
+use crate::runner::Runner;
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let g = by_name("citation-rmat").expect("known dataset");
+    let graph = r.graph(&g).clone();
+    let mut t = ExpTable::new(
+        "f13",
+        "devices: baseline vs optimized max/min on citation-rmat",
+        &[
+            "device", "CUs", "wave", "base-cycles", "opt-cycles", "speedup", "base-simd%",
+        ],
+    );
+    for device in [
+        DeviceConfig::hd7950(),
+        DeviceConfig::hd7970(),
+        DeviceConfig::apu_8cu(),
+        DeviceConfig::warp32(),
+    ] {
+        let base = gpu::maxmin::color(&graph, &GpuOptions::baseline().with_device(device.clone()));
+        let opt = gpu::maxmin::color(&graph, &GpuOptions::optimized().with_device(device.clone()));
+        t.row(vec![
+            device.name.clone(),
+            device.num_cus.to_string(),
+            device.wavefront_size.to_string(),
+            base.cycles.to_string(),
+            opt.cycles.to_string(),
+            format!("{:.3}x", base.cycles as f64 / opt.cycles as f64),
+            format!("{:.1}", base.simd_utilization * 100.0),
+        ]);
+    }
+    t.note("narrower wavefronts (warp32) suffer less divergence, so the optimizations buy less");
+    t.note("colorings are identical on every device: only the timing model changes");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn narrower_wavefront_has_higher_baseline_utilization() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let util = |name_frag: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|row| row[0].contains(name_frag))
+                .unwrap()[6]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            util("32-lane") > util("7950"),
+            "warp32 {} vs hd7950 {}",
+            util("32-lane"),
+            util("7950")
+        );
+    }
+
+    #[test]
+    fn optimized_wins_on_every_device() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        for row in &t.rows {
+            let s: f64 = row[5].trim_end_matches('x').parse().unwrap();
+            assert!(s > 1.0, "{}: speedup {s}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! F14 — kernel-launch-overhead sensitivity ("important factors affecting
+//! performance").
+//!
+//! Max/min relaunches two kernels per round; on high-diameter road-class
+//! graphs the rounds are cheap and overhead dominates. Sweeping the launch
+//! cost exposes the crossover against single-round first-fit.
+
+use gc_core::{gpu, GpuOptions};
+use gc_graph::by_name;
+
+use crate::runner::Runner;
+use crate::table::ExpTable;
+
+const LAUNCH_CYCLES: [u64; 5] = [0, 1_500, 6_000, 24_000, 96_000];
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let spec = by_name("road-net").expect("known dataset");
+    let g = r.graph(&spec).clone();
+    let mut t = ExpTable::new(
+        "f14",
+        "kernel-launch overhead sweep on road-net",
+        &["launch-cycles", "mm-cycles", "mm-launch-share", "ff-cycles", "ff/mm"],
+    );
+    for lc in LAUNCH_CYCLES {
+        let mut opts = GpuOptions::baseline();
+        opts.device.kernel_launch_cycles = lc;
+        let mm = gpu::maxmin::color(&g, &opts);
+        let ff = gpu::first_fit::color(&g, &opts);
+        let launch_total = mm.kernel_launches * lc;
+        t.row(vec![
+            lc.to_string(),
+            mm.cycles.to_string(),
+            format!("{:.1}%", 100.0 * launch_total as f64 / mm.cycles as f64),
+            ff.cycles.to_string(),
+            format!("{:.2}", ff.cycles as f64 / mm.cycles as f64),
+        ]);
+    }
+    t.note("default HD 7950 model uses 6000 cycles (~7.5 us at 800 MHz)");
+    t.note("at high launch cost the multi-round algorithm pays per round; first-fit is immune");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn launch_share_grows_with_cost() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let shares: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|row| row[2].trim_end_matches('%').parse().unwrap())
+            .collect();
+        assert!((shares[0] - 0.0).abs() < 1e-9);
+        assert!(shares.windows(2).all(|w| w[1] >= w[0]), "{shares:?}");
+        assert!(*shares.last().unwrap() > 20.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! F15 — where the cycles go: per-kernel time breakdown of the baseline
+//! max/min run ("important factors affecting performance").
+
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f15",
+        "time breakdown of baseline max/min (% of total cycles)",
+        &["graph", "assign%", "commit%", "launch%", "launches"],
+    );
+    let launch_cost = Config::Baseline.options().device.kernel_launch_cycles;
+    for spec in suite() {
+        let rep = r.run(&spec, Family::MaxMin, Config::Baseline);
+        let total = rep.cycles.max(1) as f64;
+        let mut assign = 0u64;
+        let mut commit = 0u64;
+        let mut launches = 0u64;
+        for (name, cycles, count) in &rep.kernel_breakdown {
+            launches += count;
+            // Separate the fixed launch overhead from the kernel's work.
+            let work = cycles - count * launch_cost;
+            if name.contains("assign") {
+                assign += work;
+            } else {
+                commit += work;
+            }
+        }
+        let launch_total = launches * launch_cost;
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}", 100.0 * assign as f64 / total),
+            format!("{:.1}", 100.0 * commit as f64 / total),
+            format!("{:.1}", 100.0 * launch_total as f64 / total),
+            launches.to_string(),
+        ]);
+    }
+    t.note("assign dominates on skewed graphs; launch overhead surfaces on cheap-iteration graphs");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn shares_sum_to_about_one_hundred() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        for row in &t.rows {
+            let sum: f64 = (1..4).map(|i| row[i].parse::<f64>().unwrap()).sum();
+            assert!((95.0..=101.0).contains(&sum), "{}: {sum}", row[0]);
+        }
+    }
+
+    #[test]
+    fn assign_dominates_on_power_law() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let row = t.rows.iter().find(|row| row[0] == "citation-rmat").unwrap();
+        let assign: f64 = row[1].parse().unwrap();
+        assert!(assign > 50.0, "assign share {assign}%");
+    }
+}

@@ -1,0 +1,61 @@
+//! F18 — class-size balance for downstream scheduling (extension).
+//!
+//! The motivating applications run one parallel sweep per color class, so a
+//! coloring's *evenness* matters as much as its color count. This table
+//! measures each algorithm's raw class imbalance (coefficient of variation)
+//! and what the greedy rebalancing pass recovers.
+
+use gc_core::{balance_coloring, class_imbalance, gpu, seq, GpuOptions, VertexOrdering};
+use gc_graph::suite;
+
+use crate::runner::Runner;
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f18",
+        "color-class imbalance (cv of class sizes; lower is better)",
+        &["graph", "seq-ff", "seq-ff+bal", "gpu-ff", "gpu-ff+bal", "moved%"],
+    );
+    for spec in suite() {
+        let g = r.graph(&spec).clone();
+        let mut seq_colors = seq::greedy_colors(&g, VertexOrdering::Natural);
+        let seq_before = class_imbalance(&seq_colors);
+        balance_coloring(&g, &mut seq_colors, 10);
+        let seq_after = class_imbalance(&seq_colors);
+
+        let mut gpu_colors = gpu::first_fit::color(&g, &GpuOptions::baseline()).colors;
+        let gpu_before = class_imbalance(&gpu_colors);
+        let moved = balance_coloring(&g, &mut gpu_colors, 10);
+        let gpu_after = class_imbalance(&gpu_colors);
+        gc_core::verify_coloring(&g, &gpu_colors).expect("balanced coloring stays proper");
+
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{seq_before:.2}"),
+            format!("{seq_after:.2}"),
+            format!("{gpu_before:.2}"),
+            format!("{gpu_after:.2}"),
+            format!("{:.1}", 100.0 * moved as f64 / g.num_vertices() as f64),
+        ]);
+    }
+    t.note("first-fit front-loads low colors; rebalancing moves the slack without adding colors");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn balancing_never_hurts() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        for row in &t.rows {
+            let before: f64 = row[3].parse().unwrap();
+            let after: f64 = row[4].parse().unwrap();
+            assert!(after <= before + 1e-9, "{}: {after} vs {before}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! One module per reconstructed table/figure (numbering per `DESIGN.md`).
+//!
+//! Every experiment is a function `fn(&mut Runner) -> ExpTable`; the `repro`
+//! binary runs any subset and renders the tables plus a JSON dump.
+
+mod f01_baseline;
+mod f02_colors;
+mod f03_active;
+mod f04_simd;
+mod f05_imbalance;
+mod f06_stealing;
+mod f07_headline;
+mod f08_chunk;
+mod f09_threshold;
+mod f10_occupancy;
+mod f11_firstfit;
+mod f12_frontier;
+mod f13_devices;
+mod f14_launch;
+mod f15_breakdown;
+mod f16_relabel;
+mod f17_cache;
+mod f18_balance;
+mod f19_building_block;
+mod t1_datasets;
+mod t2_iterations;
+
+use crate::runner::Runner;
+use crate::table::ExpTable;
+
+/// An experiment: id, short description, and the function regenerating it.
+pub struct Experiment {
+    pub id: &'static str,
+    pub what: &'static str,
+    pub run: fn(&mut Runner) -> ExpTable,
+}
+
+/// All experiments in presentation order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "t1", what: "dataset properties", run: t1_datasets::run },
+        Experiment { id: "t2", what: "iterations and kernel launches per algorithm", run: t2_iterations::run },
+        Experiment { id: "f1", what: "baseline GPU coloring runtime across graph structures", run: f01_baseline::run },
+        Experiment { id: "f2", what: "colors used per algorithm", run: f02_colors::run },
+        Experiment { id: "f3", what: "active-vertex decay per iteration", run: f03_active::run },
+        Experiment { id: "f4", what: "SIMD lane utilization (intra-wavefront imbalance)", run: f04_simd::run },
+        Experiment { id: "f5", what: "per-CU load imbalance factor by schedule", run: f05_imbalance::run },
+        Experiment { id: "f6", what: "work-stealing speedup over baseline", run: f06_stealing::run },
+        Experiment { id: "f7", what: "headline: optimization speedups (~25% target)", run: f07_headline::run },
+        Experiment { id: "f8", what: "work-stealing chunk-size sensitivity", run: f08_chunk::run },
+        Experiment { id: "f9", what: "hybrid degree-threshold sensitivity", run: f09_threshold::run },
+        Experiment { id: "f10", what: "occupancy (resident waves/CU) sensitivity", run: f10_occupancy::run },
+        Experiment { id: "f11", what: "GPU algorithm families: max/min vs JP vs first-fit", run: f11_firstfit::run },
+        Experiment { id: "f12", what: "frontier compaction ablation (naive vs aggregated pushes)", run: f12_frontier::run },
+        Experiment { id: "f13", what: "cross-device sensitivity (extension)", run: f13_devices::run },
+        Experiment { id: "f14", what: "kernel-launch overhead sweep (extension)", run: f14_launch::run },
+        Experiment { id: "f15", what: "per-kernel time breakdown (extension)", run: f15_breakdown::run },
+        Experiment { id: "f16", what: "degree-sorted relabeling vs hybrid (extension)", run: f16_relabel::run },
+        Experiment { id: "f17", what: "explicit-L2 methodology ablation (extension)", run: f17_cache::run },
+        Experiment { id: "f18", what: "color-class balance for downstream scheduling (extension)", run: f18_balance::run },
+        Experiment { id: "f19", what: "coloring as a building block: colored Gauss-Seidel vs Jacobi (extension)", run: f19_building_block::run },
+    ]
+}
+
+/// Look up an experiment by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<Experiment> {
+    let id = id.to_ascii_lowercase();
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let all = super::all();
+        let mut ids: Vec<_> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert!(super::by_id("F7").is_some());
+        assert!(super::by_id("f99").is_none());
+    }
+}

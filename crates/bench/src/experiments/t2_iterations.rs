@@ -1,0 +1,48 @@
+//! T2 — outer iterations and kernel launches per GPU algorithm.
+//!
+//! Characterizes the two algorithm families: max/min needs roughly one
+//! round per two colors; speculative first-fit needs only as many rounds as
+//! conflicts persist. Road-class graphs maximize the launch-overhead share.
+
+use gc_graph::suite;
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "t2",
+        "iterations and kernel launches (baseline schedule)",
+        &["graph", "mm-iters", "mm-launches", "ff-iters", "ff-launches"],
+    );
+    for spec in suite() {
+        let mm = r.run(&spec, Family::MaxMin, Config::Baseline);
+        let (mmi, mml) = (mm.iterations, mm.kernel_launches);
+        let ff = r.run(&spec, Family::FirstFit, Config::Baseline);
+        t.row(vec![
+            spec.name.to_string(),
+            mmi.to_string(),
+            mml.to_string(),
+            ff.iterations.to_string(),
+            ff.kernel_launches.to_string(),
+        ]);
+    }
+    t.note("max/min launches 2 kernels per iteration; first-fit converges in far fewer rounds");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn firstfit_uses_fewer_iterations_overall() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let sum = |col: usize| -> usize {
+            t.rows.iter().map(|row| row[col].parse::<usize>().unwrap()).sum()
+        };
+        assert!(sum(3) < sum(1), "ff iters {} vs mm iters {}", sum(3), sum(1));
+    }
+}

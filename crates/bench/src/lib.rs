@@ -1,0 +1,20 @@
+//! # gc-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the reproduced paper's evaluation
+//! (reconstructed numbering; see `DESIGN.md` for the per-experiment index).
+//!
+//! * `cargo run --release -p gc-bench --bin repro` — run everything at the
+//!   default scale and print the tables.
+//! * `--exp f7` — one experiment; `--scale tiny|small|full` — graph sizes;
+//!   `--json <path>` — machine-readable dump for `EXPERIMENTS.md` diffing.
+//! * `cargo bench` — Criterion wall-clock benchmarks of the same runs
+//!   (host time of the simulation, not the paper's metric; the paper metric
+//!   is model cycles, which `repro` reports).
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use experiments::{all, by_id, Experiment};
+pub use runner::{Config, Family, Runner};
+pub use table::{geomean, ExpTable};

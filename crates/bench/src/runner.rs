@@ -1,0 +1,173 @@
+//! Cached experiment runner: builds each dataset once per scale and
+//! memoizes coloring runs so experiments sharing a configuration (e.g. the
+//! baseline, reused by F1/F4/F5/F6/F7) pay for it once.
+
+use std::collections::HashMap;
+
+use gc_core::{gpu, verify_coloring, GpuOptions, RunReport, WorkSchedule};
+use gc_graph::{CsrGraph, DatasetSpec, Scale};
+
+/// GPU algorithm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    MaxMin,
+    FirstFit,
+}
+
+/// Named GPU configurations used across the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Config {
+    Baseline,
+    DynamicHw,
+    Stealing { chunk: usize },
+    Hybrid { threshold: usize },
+    Frontier,
+    /// Stealing + hybrid: the paper's full optimization stack. (Frontier
+    /// compaction is excluded; F12 shows it does not pay on these kernels.)
+    Optimized { chunk: usize, threshold: usize },
+}
+
+impl Config {
+    /// Materialize the [`GpuOptions`] for this configuration.
+    pub fn options(&self) -> GpuOptions {
+        match *self {
+            Config::Baseline => GpuOptions::baseline(),
+            Config::DynamicHw => GpuOptions::baseline().with_schedule(WorkSchedule::DynamicHw),
+            Config::Stealing { chunk } => {
+                GpuOptions::baseline().with_schedule(WorkSchedule::WorkStealing { chunk })
+            }
+            Config::Hybrid { threshold } => {
+                GpuOptions::baseline().with_hybrid_threshold(Some(threshold))
+            }
+            Config::Frontier => GpuOptions::baseline().with_frontier(true),
+            Config::Optimized { chunk, threshold } => GpuOptions::baseline()
+                .with_schedule(WorkSchedule::WorkStealing { chunk })
+                .with_hybrid_threshold(Some(threshold)),
+        }
+    }
+
+    /// The default chunk/threshold instances used by the headline runs
+    /// (the sweet spots of the F8 and F9 sweeps).
+    pub const DEFAULT_CHUNK: usize = 256;
+    pub const DEFAULT_THRESHOLD: usize = 64;
+
+    pub fn stealing_default() -> Self {
+        Config::Stealing {
+            chunk: Self::DEFAULT_CHUNK,
+        }
+    }
+
+    pub fn hybrid_default() -> Self {
+        Config::Hybrid {
+            threshold: Self::DEFAULT_THRESHOLD,
+        }
+    }
+
+    pub fn optimized_default() -> Self {
+        Config::Optimized {
+            chunk: Self::DEFAULT_CHUNK,
+            threshold: Self::DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// Builds graphs and runs GPU colorings with memoization.
+pub struct Runner {
+    scale: Scale,
+    graphs: HashMap<&'static str, CsrGraph>,
+    runs: HashMap<(&'static str, Family, Config), RunReport>,
+}
+
+impl Runner {
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            graphs: HashMap::new(),
+            runs: HashMap::new(),
+        }
+    }
+
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The dataset's graph, built on first use.
+    pub fn graph(&mut self, spec: &DatasetSpec) -> &CsrGraph {
+        let scale = self.scale;
+        self.graphs.entry(spec.name).or_insert_with(|| spec.build(scale))
+    }
+
+    /// Run (or recall) a GPU coloring; the result is verified before being
+    /// cached, so every number in every table comes from a proper coloring.
+    pub fn run(&mut self, spec: &DatasetSpec, family: Family, config: Config) -> &RunReport {
+        let key = (spec.name, family, config);
+        if !self.runs.contains_key(&key) {
+            let scale = self.scale;
+            let g = self
+                .graphs
+                .entry(spec.name)
+                .or_insert_with(|| spec.build(scale));
+            let opts = config.options();
+            let report = match family {
+                Family::MaxMin => gpu::maxmin::color(g, &opts),
+                Family::FirstFit => gpu::first_fit::color(g, &opts),
+            };
+            verify_coloring(g, &report.colors).unwrap_or_else(|e| {
+                panic!("{} / {family:?} / {config:?} produced an invalid coloring: {e}", spec.name)
+            });
+            self.runs.insert(key, report);
+        }
+        &self.runs[&key]
+    }
+
+    /// Speedup of `config` over the baseline (same family, same graph):
+    /// `baseline_cycles / config_cycles`.
+    pub fn speedup_over_baseline(
+        &mut self,
+        spec: &DatasetSpec,
+        family: Family,
+        config: Config,
+    ) -> f64 {
+        let base = self.run(spec, family, Config::Baseline).cycles as f64;
+        let opt = self.run(spec, family, config).cycles as f64;
+        base / opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::by_name;
+
+    #[test]
+    fn runner_caches_runs() {
+        let mut r = Runner::new(Scale::Tiny);
+        let spec = by_name("ecology-mesh").unwrap();
+        let c1 = r.run(&spec, Family::MaxMin, Config::Baseline).cycles;
+        let c2 = r.run(&spec, Family::MaxMin, Config::Baseline).cycles;
+        assert_eq!(c1, c2);
+        assert_eq!(r.runs.len(), 1);
+    }
+
+    #[test]
+    fn speedup_of_baseline_is_one() {
+        let mut r = Runner::new(Scale::Tiny);
+        let spec = by_name("road-net").unwrap();
+        let s = r.speedup_over_baseline(&spec, Family::MaxMin, Config::Baseline);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configs_materialize_expected_options() {
+        assert!(!Config::optimized_default().options().frontier);
+        assert!(Config::Frontier.options().frontier);
+        assert_eq!(
+            Config::hybrid_default().options().hybrid_threshold,
+            Some(Config::DEFAULT_THRESHOLD)
+        );
+        assert!(matches!(
+            Config::stealing_default().options().schedule,
+            WorkSchedule::WorkStealing { chunk: 256 }
+        ));
+    }
+}

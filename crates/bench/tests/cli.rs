@@ -1,0 +1,139 @@
+//! End-to-end tests of the `gc-color` and `repro` binaries.
+
+use std::process::Command;
+
+fn gc_color() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gc-color"))
+}
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn colors_a_registry_dataset_and_writes_output() {
+    let dir = std::env::temp_dir().join(format!("gc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("colors.txt");
+    let status = gc_color()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "firstfit",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(status.status.success(), "{}", String::from_utf8_lossy(&status.stderr));
+    let text = std::fs::read_to_string(&out).unwrap();
+    // Header + one line per vertex of the tiny road net (32x32 = 1024).
+    assert_eq!(text.lines().count(), 1 + 1024);
+    assert!(text.lines().nth(1).unwrap().starts_with("0 "));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn colors_a_file_input_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("gc-cli-file-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("mesh.mtx");
+    {
+        let g = gc_graph::generators::grid_2d(8, 8);
+        let f = std::fs::File::create(&graph_path).unwrap();
+        gc_graph::io::write_matrix_market(&g, std::io::BufWriter::new(f)).unwrap();
+    }
+    let output = gc_color()
+        .args(["--input", graph_path.to_str().unwrap(), "--algorithm", "dsatur", "--classes"])
+        .output()
+        .expect("run gc-color");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("64 vertices"), "{stderr}");
+    assert!(stderr.contains("2 color classes"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reads_binary_gcsr_input() {
+    let dir = std::env::temp_dir().join(format!("gc-cli-gcsr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mesh.gcsr");
+    {
+        let g = gc_graph::generators::grid_2d(6, 6);
+        let f = std::fs::File::create(&path).unwrap();
+        gc_graph::io::write_binary(&g, std::io::BufWriter::new(f)).unwrap();
+    }
+    let output = gc_color()
+        .args(["--input", path.to_str().unwrap(), "--algorithm", "seq"])
+        .output()
+        .expect("run gc-color");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("36 vertices"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_arguments() {
+    for bad in [
+        vec!["--dataset", "nope", "--scale", "tiny"],
+        vec!["--dataset", "road-net", "--algorithm", "nope", "--scale", "tiny"],
+        vec!["--dataset", "road-net", "--device", "nope", "--scale", "tiny"],
+        vec![], // neither input nor dataset
+    ] {
+        let output = gc_color().args(&bad).output().expect("run gc-color");
+        assert!(!output.status.success(), "args {bad:?} should fail");
+    }
+}
+
+#[test]
+fn repro_lists_and_runs_one_experiment() {
+    let list = repro().arg("--list").output().expect("run repro");
+    assert!(list.status.success());
+    let text = String::from_utf8_lossy(&list.stdout);
+    assert!(text.contains("f7"));
+    assert!(text.contains("t1"));
+
+    let run = repro()
+        .args(["--exp", "t1", "--scale", "tiny"])
+        .output()
+        .expect("run repro");
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    let out = String::from_utf8_lossy(&run.stdout);
+    assert!(out.contains("== T1"));
+    assert!(out.contains("citation-rmat"));
+}
+
+#[test]
+fn repro_writes_json() {
+    let dir = std::env::temp_dir().join(format!("gc-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("tables.json");
+    let run = repro()
+        .args([
+            "--exp",
+            "f1",
+            "--scale",
+            "tiny",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro");
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    let parsed: serde_json::Value =
+        serde_json::from_reader(std::fs::File::open(&json_path).unwrap()).unwrap();
+    assert_eq!(parsed["paper"], "10.1109/IPDPSW.2015.74");
+    assert_eq!(parsed["tables"][0]["id"], "f1");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_rejects_unknown_experiment() {
+    let run = repro().args(["--exp", "f99"]).output().expect("run repro");
+    assert!(!run.status.success());
+    assert!(String::from_utf8_lossy(&run.stderr).contains("unknown experiment"));
+}

@@ -1,0 +1,176 @@
+//! Balanced coloring: equalize color-class sizes after the fact.
+//!
+//! The paper's motivating use of coloring is scheduling — one parallel
+//! sweep per color class. A class with three vertices wastes a whole device
+//! launch, so downstream throughput depends not only on *how many* classes
+//! a coloring has, but on how *even* they are. This pass greedily moves
+//! vertices from over-full classes into the smallest class that stays
+//! proper, preserving the color count.
+
+use gc_graph::CsrGraph;
+
+use crate::verify::UNCOLORED;
+
+/// Rebalance `colors` in place: vertices in over-populated classes move to
+/// the smallest permissible class. Colors must form a proper coloring with
+/// class ids `0..k`; the coloring stays proper and keeps at most `k`
+/// classes. Returns the number of vertices moved.
+///
+/// The pass iterates until no vertex can improve the balance or
+/// `max_rounds` is reached (each move strictly reduces the sum of squared
+/// class sizes, so it terminates regardless).
+pub fn balance_coloring(g: &CsrGraph, colors: &mut [u32], max_rounds: usize) -> usize {
+    assert_eq!(colors.len(), g.num_vertices(), "color array length mismatch");
+    for &c in colors.iter() {
+        assert_ne!(c, UNCOLORED, "coloring must be complete before balancing");
+    }
+    let k = colors.iter().copied().max().map_or(0, |m| m as usize + 1);
+    if k <= 1 {
+        return 0;
+    }
+    let mut class_size = vec![0usize; k];
+    for &c in colors.iter() {
+        class_size[c as usize] += 1;
+    }
+
+    let mut moved = 0usize;
+    let mut forbidden = vec![false; k];
+    for _ in 0..max_rounds {
+        let mut any = false;
+        for v in g.vertices() {
+            let from = colors[v as usize] as usize;
+            forbidden.iter_mut().for_each(|f| *f = false);
+            for &u in g.neighbors(v) {
+                forbidden[colors[u as usize] as usize] = true;
+            }
+            // Smallest permissible class strictly improving balance: moving
+            // from a class of size s to one of size t helps iff t + 1 < s.
+            let mut best: Option<usize> = None;
+            for (c, &size) in class_size.iter().enumerate() {
+                if c != from && !forbidden[c] && size + 1 < class_size[from]
+                    && best.is_none_or(|b| size < class_size[b]) {
+                        best = Some(c);
+                    }
+            }
+            if let Some(to) = best {
+                colors[v as usize] = to as u32;
+                class_size[from] -= 1;
+                class_size[to] += 1;
+                moved += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    moved
+}
+
+/// Coefficient of variation of class sizes (stddev / mean); 0 is perfectly
+/// balanced. The balance metric used by the F18 experiment.
+pub fn class_imbalance(colors: &[u32]) -> f64 {
+    let classes = crate::verify::color_classes(colors);
+    if classes.is_empty() {
+        return 0.0;
+    }
+    let mean = colors.len() as f64 / classes.len() as f64;
+    let var = classes
+        .iter()
+        .map(|c| {
+            let d = c.len() as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / classes.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{greedy_colors, VertexOrdering};
+    use crate::verify::verify_coloring;
+    use gc_graph::generators::{erdos_renyi, grid_2d, regular};
+
+    #[test]
+    fn balancing_preserves_propriety_and_color_count() {
+        let g = erdos_renyi(500, 3000, 5);
+        let mut colors = greedy_colors(&g, VertexOrdering::Natural);
+        let before_k = verify_coloring(&g, &colors).unwrap();
+        let before_cv = class_imbalance(&colors);
+        let moved = balance_coloring(&g, &mut colors, 10);
+        let after_k = verify_coloring(&g, &colors).unwrap();
+        let after_cv = class_imbalance(&colors);
+        assert!(after_k <= before_k);
+        assert!(moved > 0, "greedy colorings are heavily skewed");
+        assert!(
+            after_cv < before_cv,
+            "cv {after_cv:.3} should improve on {before_cv:.3}"
+        );
+    }
+
+    #[test]
+    fn already_balanced_colorings_are_untouched() {
+        // Bipartite grid colored perfectly evenly.
+        let g = grid_2d(8, 8);
+        let mut colors = greedy_colors(&g, VertexOrdering::Natural);
+        assert_eq!(verify_coloring(&g, &colors).unwrap(), 2);
+        let moved = balance_coloring(&g, &mut colors, 5);
+        assert_eq!(moved, 0);
+    }
+
+    #[test]
+    fn single_class_is_a_noop() {
+        let g = gc_graph::from_edges(4, &[]).unwrap();
+        let mut colors = vec![0u32; 4];
+        assert_eq!(balance_coloring(&g, &mut colors, 3), 0);
+    }
+
+    #[test]
+    fn complete_graph_cannot_move_anything() {
+        let g = regular::complete(6);
+        let mut colors = greedy_colors(&g, VertexOrdering::Natural);
+        assert_eq!(balance_coloring(&g, &mut colors, 5), 0);
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    #[test]
+    fn free_vertices_split_evenly() {
+        // One edge forces two classes; the eight isolated vertices start in
+        // class 0 and can split freely.
+        let g = gc_graph::from_edges(10, &[(0, 1)]).unwrap();
+        let mut colors = greedy_colors(&g, VertexOrdering::Natural);
+        let moved = balance_coloring(&g, &mut colors, 10);
+        verify_coloring(&g, &colors).unwrap();
+        assert!(moved > 0);
+        let classes = crate::verify::color_classes(&colors);
+        let sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn star_cannot_balance_past_its_structure() {
+        // Every leaf's only neighbor is the hub, so the hub's class can
+        // never admit a leaf: 1/20 is already optimal for 2 colors.
+        let g = regular::star(21);
+        let mut colors = greedy_colors(&g, VertexOrdering::Natural);
+        assert_eq!(balance_coloring(&g, &mut colors, 10), 0);
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    #[test]
+    fn class_imbalance_metric() {
+        assert!((class_imbalance(&[0, 0, 1, 1]) - 0.0).abs() < 1e-12);
+        assert!(class_imbalance(&[0, 0, 0, 1]) > 0.4);
+        assert_eq!(class_imbalance(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete before balancing")]
+    fn rejects_incomplete_colorings() {
+        let g = regular::path(3);
+        let mut colors = vec![0, UNCOLORED, 0];
+        balance_coloring(&g, &mut colors, 1);
+    }
+}

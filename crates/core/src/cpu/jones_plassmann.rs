@@ -1,0 +1,166 @@
+//! Jones–Plassmann parallel coloring (1993).
+//!
+//! Each vertex gets a unique random priority. In every round the uncolored
+//! vertices whose priority beats all uncolored neighbors form an independent
+//! set; they are colored simultaneously with their smallest available color.
+//! Two phases per round (select, then color) keep the rounds race-free:
+//! within a round the selected set is independent, so concurrent color
+//! choices never touch adjacent vertices.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use gc_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::cpu::{chunk_ranges, default_threads};
+use crate::report::RunReport;
+use crate::verify::{count_colors, UNCOLORED};
+
+/// Jones–Plassmann with the default thread count and seed 0x4A50.
+pub fn jones_plassmann(g: &CsrGraph) -> RunReport {
+    jones_plassmann_with_threads(g, default_threads(), 0x4A50)
+}
+
+/// Jones–Plassmann with explicit thread count and priority seed.
+pub fn jones_plassmann_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> RunReport {
+    let n = g.num_vertices();
+    // Unique priorities: a random permutation of 0..n.
+    let mut priority: Vec<u32> = (0..n as u32).collect();
+    priority.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+    let selected: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let remaining = AtomicUsize::new(n);
+    let ranges = chunk_ranges(n, threads);
+    let mut rounds = 0usize;
+    let mut active_per_round = Vec::new();
+
+    while remaining.load(Ordering::Relaxed) > 0 {
+        rounds += 1;
+        active_per_round.push(remaining.load(Ordering::Relaxed));
+
+        // Phase 1: select the priority-maximal uncolored vertices. Colors
+        // are stable during this phase, so reads are consistent.
+        crossbeam::thread::scope(|s| {
+            for range in &ranges {
+                let (colors, selected, priority) = (&colors, &selected, &priority);
+                let range = range.clone();
+                s.spawn(move |_| {
+                    for v in range {
+                        if colors[v].load(Ordering::Relaxed) != UNCOLORED {
+                            selected[v].store(0, Ordering::Relaxed);
+                            continue;
+                        }
+                        let pv = priority[v];
+                        let is_max = g.neighbors(v as u32).iter().all(|&u| {
+                            colors[u as usize].load(Ordering::Relaxed) != UNCOLORED
+                                || priority[u as usize] < pv
+                        });
+                        selected[v].store(u32::from(is_max), Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("JP selection phase panicked");
+
+        // Phase 2: color the independent set. Selected vertices are never
+        // adjacent, so neighbor colors are stable while we read them.
+        crossbeam::thread::scope(|s| {
+            for range in &ranges {
+                let (colors, selected, remaining) = (&colors, &selected, &remaining);
+                let range = range.clone();
+                s.spawn(move |_| {
+                    let mut forbidden: Vec<u32> = Vec::new();
+                    for v in range {
+                        if selected[v].load(Ordering::Relaxed) == 0 {
+                            continue;
+                        }
+                        forbidden.clear();
+                        for &u in g.neighbors(v as u32) {
+                            let c = colors[u as usize].load(Ordering::Relaxed);
+                            if c != UNCOLORED {
+                                forbidden.push(c);
+                            }
+                        }
+                        forbidden.sort_unstable();
+                        let mut c = 0u32;
+                        for &f in &forbidden {
+                            match f.cmp(&c) {
+                                std::cmp::Ordering::Less => {}
+                                std::cmp::Ordering::Equal => c += 1,
+                                std::cmp::Ordering::Greater => break,
+                            }
+                        }
+                        colors[v].store(c, Ordering::Relaxed);
+                        remaining.fetch_sub(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("JP coloring phase panicked");
+    }
+
+    let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
+    let num_colors = count_colors(&colors);
+    let mut report = RunReport::host("cpu-jones-plassmann", colors, num_colors);
+    report.iterations = rounds;
+    report.active_per_iteration = active_per_round;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring;
+    use gc_graph::generators::{erdos_renyi, grid_2d, regular, rmat, RmatParams};
+
+    #[test]
+    fn proper_on_varied_graphs() {
+        for g in [
+            grid_2d(16, 16),
+            erdos_renyi(500, 2500, 3),
+            rmat(9, 8, RmatParams::graph500(), 4),
+            regular::complete(8),
+        ] {
+            let r = jones_plassmann(&g);
+            verify_coloring(&g, &r.colors).unwrap();
+            assert!(r.num_colors <= g.max_degree() + 1);
+            assert!(r.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let g = erdos_renyi(400, 1600, 7);
+        let a = jones_plassmann_with_threads(&g, 1, 42);
+        let b = jones_plassmann_with_threads(&g, 8, 42);
+        // Same priorities => same independent sets => same coloring.
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn rounds_shrink_the_active_set() {
+        let g = erdos_renyi(1000, 4000, 11);
+        let r = jones_plassmann(&g);
+        let active = &r.active_per_iteration;
+        assert_eq!(active[0], 1000);
+        assert!(active.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = jones_plassmann(&gc_graph::CsrGraph::empty());
+        assert!(r.colors.is_empty());
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn star_takes_two_colors() {
+        let g = regular::star(100);
+        let r = jones_plassmann(&g);
+        assert_eq!(r.num_colors, 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! CPU-parallel coloring baselines.
+//!
+//! The paper contrasts GPU coloring against the classic multicore
+//! algorithms; these implementations (on crossbeam scoped threads) provide
+//! that comparison point and double as an independent correctness oracle
+//! for the GPU kernels.
+
+mod jones_plassmann;
+mod speculative;
+
+pub use jones_plassmann::{jones_plassmann, jones_plassmann_with_threads};
+pub use speculative::{speculative_coloring, speculative_coloring_with_threads};
+
+/// Default worker-thread count: the machine's parallelism, capped to keep
+/// test runs tame.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+/// Split `0..n` into per-thread ranges of near-equal size.
+pub(crate) fn chunk_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1);
+    let base = n / threads;
+    let extra = n % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_evenly() {
+        let ranges = chunk_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        let ranges = chunk_ranges(3, 8);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 3);
+        assert_eq!(ranges.len(), 8);
+    }
+
+    #[test]
+    fn zero_items() {
+        let ranges = chunk_ranges(0, 4);
+        assert!(ranges.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,172 @@
+//! Gebremedhin–Manne speculative coloring (2000).
+//!
+//! Round structure: (A) every active vertex speculatively takes its smallest
+//! available color while neighbors do the same — races allowed; (B) a
+//! conflict-detection sweep uncolors the loser of every conflicting edge
+//! (lower priority); the losers form the next round's active set. The active
+//! set shrinks geometrically in practice.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use gc_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::cpu::{chunk_ranges, default_threads};
+use crate::report::RunReport;
+use crate::verify::{count_colors, UNCOLORED};
+
+/// Speculative coloring with default threads and seed 0x474D.
+pub fn speculative_coloring(g: &CsrGraph) -> RunReport {
+    speculative_coloring_with_threads(g, default_threads(), 0x474D)
+}
+
+/// Speculative coloring with explicit thread count and tie-break seed.
+pub fn speculative_coloring_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> RunReport {
+    let n = g.num_vertices();
+    let mut priority: Vec<u32> = (0..n as u32).collect();
+    priority.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+    let mut worklist: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0usize;
+    let mut active_per_round = Vec::new();
+
+    while !worklist.is_empty() {
+        rounds += 1;
+        active_per_round.push(worklist.len());
+        let ranges = chunk_ranges(worklist.len(), threads);
+
+        // Phase A: speculative assignment.
+        crossbeam::thread::scope(|s| {
+            for range in &ranges {
+                let (colors, worklist) = (&colors, &worklist);
+                let range = range.clone();
+                s.spawn(move |_| {
+                    let mut forbidden: Vec<u32> = Vec::new();
+                    for &v in &worklist[range] {
+                        forbidden.clear();
+                        for &u in g.neighbors(v) {
+                            let c = colors[u as usize].load(Ordering::Relaxed);
+                            if c != UNCOLORED {
+                                forbidden.push(c);
+                            }
+                        }
+                        forbidden.sort_unstable();
+                        let mut c = 0u32;
+                        for &f in &forbidden {
+                            match f.cmp(&c) {
+                                std::cmp::Ordering::Less => {}
+                                std::cmp::Ordering::Equal => c += 1,
+                                std::cmp::Ordering::Greater => break,
+                            }
+                        }
+                        colors[v as usize].store(c, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("speculative assignment phase panicked");
+
+        // Phase B: conflict detection; the lower-priority endpoint loses.
+        let losers: Mutex<Vec<VertexId>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for range in &ranges {
+                let (colors, worklist, priority, losers) = (&colors, &worklist, &priority, &losers);
+                let range = range.clone();
+                s.spawn(move |_| {
+                    let mut local: Vec<VertexId> = Vec::new();
+                    for &v in &worklist[range] {
+                        let cv = colors[v as usize].load(Ordering::Relaxed);
+                        let beaten = g.neighbors(v).iter().any(|&u| {
+                            colors[u as usize].load(Ordering::Relaxed) == cv
+                                && priority[u as usize] > priority[v as usize]
+                        });
+                        if beaten {
+                            local.push(v);
+                        }
+                    }
+                    losers.lock().expect("loser list poisoned").extend(local);
+                });
+            }
+        })
+        .expect("conflict detection phase panicked");
+
+        let mut losers = losers.into_inner().expect("loser list poisoned");
+        // Deterministic next round regardless of thread interleaving.
+        losers.sort_unstable();
+        for &v in &losers {
+            colors[v as usize].store(UNCOLORED, Ordering::Relaxed);
+        }
+        worklist = losers;
+    }
+
+    let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
+    let num_colors = count_colors(&colors);
+    let mut report = RunReport::host("cpu-speculative", colors, num_colors);
+    report.iterations = rounds;
+    report.active_per_iteration = active_per_round;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring;
+    use gc_graph::generators::{erdos_renyi, grid_2d, regular, rmat, RmatParams};
+
+    #[test]
+    fn proper_on_varied_graphs() {
+        for g in [
+            grid_2d(16, 16),
+            erdos_renyi(500, 2500, 5),
+            rmat(9, 8, RmatParams::graph500(), 6),
+            regular::complete(8),
+        ] {
+            let r = speculative_coloring(&g);
+            verify_coloring(&g, &r.colors).unwrap();
+            assert!(r.num_colors <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_needs_one_round() {
+        // With one thread there are no races: phase A is exactly sequential
+        // first-fit, so no conflicts arise.
+        let g = erdos_renyi(300, 1200, 9);
+        let r = speculative_coloring_with_threads(&g, 1, 1);
+        assert_eq!(r.iterations, 1);
+        verify_coloring(&g, &r.colors).unwrap();
+    }
+
+    #[test]
+    fn active_set_shrinks() {
+        let g = erdos_renyi(2000, 10000, 2);
+        let r = speculative_coloring_with_threads(&g, 8, 3);
+        let active = &r.active_per_iteration;
+        assert!(active.windows(2).all(|w| w[1] < w[0]), "{active:?}");
+    }
+
+    #[test]
+    fn quality_close_to_sequential() {
+        let g = erdos_renyi(1000, 8000, 13);
+        let seq = crate::seq::greedy_first_fit(&g, crate::seq::VertexOrdering::Natural);
+        let spec = speculative_coloring(&g);
+        // Speculation costs at most a few extra colors.
+        assert!(
+            spec.num_colors <= seq.num_colors + 5,
+            "spec {} vs seq {}",
+            spec.num_colors,
+            seq.num_colors
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = speculative_coloring(&gc_graph::CsrGraph::empty());
+        assert!(r.colors.is_empty());
+        assert_eq!(r.iterations, 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Speculative first-fit GPU coloring with conflict resolution
+//! (the csrcolor / Gebremedhin–Manne approach, the second algorithm family
+//! the paper characterizes).
+//!
+//! Each round over the active worklist:
+//!
+//! 1. **assign** — every vertex takes the smallest color absent from its
+//!    neighbors *right now* (speculative: neighbors are choosing
+//!    concurrently);
+//! 2. **resolve** — conflicting edges are detected and the lower-priority
+//!    endpoint is uncolored and pushed to the next worklist.
+//!
+//! Compared with max/min independent-set coloring it needs far fewer rounds
+//! (conflicts, not colors, bound the iteration count) but reads neighbor
+//! color words repeatedly while hunting for a free color.
+
+use gc_gpusim::{Buffer, Gpu, LaneCtx, Launch, ScheduleMode};
+use gc_graph::CsrGraph;
+
+use crate::gpu::{finish_report, DeviceGraph, Frontier, GpuOptions};
+use crate::report::RunReport;
+use crate::verify::UNCOLORED;
+
+/// LDS layout of the cooperative assign kernel: a shared forbidden-color
+/// bitset plus a header.
+mod lds {
+    pub const VTX: usize = 0;
+    pub const START: usize = 1;
+    pub const END: usize = 2;
+    pub const OVERFLOW: usize = 3;
+    /// First word of the forbidden bitset.
+    pub const MASK0: usize = 4;
+}
+
+/// Color `g` with speculative first-fit under the given options.
+pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    let mut gpu = Gpu::new(opts.device.clone());
+    let dev = DeviceGraph::upload(&mut gpu, g, opts.seed);
+    let label = format!("gpu-firstfit{}", opts.label_suffix());
+    let n = dev.n;
+
+    // First-fit is intrinsically worklist-driven: the frontier option only
+    // changes whether the *initial* rounds scan all vertices, so we always
+    // compact. Hybrid splits the worklist by degree.
+    let (mut low, mut low_len, mut high) = match opts.hybrid_threshold {
+        None => {
+            let f = Frontier::all_vertices(&mut gpu, n);
+            (f, n, None)
+        }
+        Some(t) => {
+            let row_ptr = gpu.read_slice(dev.row_ptr);
+            let mut lo = Vec::new();
+            let mut hi = Vec::new();
+            for v in 0..n {
+                if (row_ptr[v + 1] - row_ptr[v]) as usize > t {
+                    hi.push(v as u32);
+                } else {
+                    lo.push(v as u32);
+                }
+            }
+            let (lo_len, hi_len) = (lo.len(), hi.len());
+            let lo = lo;
+            let hi = hi;
+            let lf = Frontier::with_initial(&mut gpu, &lo, n);
+            let hf = Frontier::with_initial(&mut gpu, &hi, n);
+            (lf, lo_len, Some((hf, hi_len)))
+        }
+    };
+
+    let mut iterations = 0usize;
+    let mut active_curve = Vec::new();
+    loop {
+        let high_len = high.as_ref().map(|(_, l)| *l).unwrap_or(0);
+        let total_active = low_len + high_len;
+        if total_active == 0 {
+            break;
+        }
+        assert!(
+            iterations < opts.max_iterations,
+            "first-fit exceeded {} rounds",
+            opts.max_iterations
+        );
+        active_curve.push(total_active);
+
+        if low_len > 0 {
+            assign_tpv(&mut gpu, &dev, opts, low.active(), low_len);
+        }
+        if let Some((hf, hlen)) = &high {
+            if *hlen > 0 {
+                assign_wgv(&mut gpu, &dev, opts, hf.active(), *hlen);
+            }
+        }
+
+        // Resolve conflicts; losers go to the next worklist(s).
+        let push = PushTargets {
+            low: (low.next(), low.len),
+            high: high.as_ref().map(|(hf, _)| (hf.next(), hf.len)),
+            threshold: opts.hybrid_threshold,
+            aggregated: opts.aggregated_push,
+        };
+        if low_len > 0 {
+            resolve(&mut gpu, &dev, opts, low.active(), low_len, push);
+        }
+        if let Some((hf, hlen)) = &high {
+            if *hlen > 0 {
+                resolve(&mut gpu, &dev, opts, hf.active(), *hlen, push);
+            }
+        }
+
+        low_len = low.swap(&mut gpu);
+        if let Some((hf, hlen)) = &mut high {
+            *hlen = hf.swap(&mut gpu);
+        }
+        iterations += 1;
+    }
+
+    finish_report(&gpu, &dev, label, iterations, active_curve)
+}
+
+#[derive(Clone, Copy)]
+struct PushTargets {
+    low: (Buffer<u32>, Buffer<u32>),
+    high: Option<(Buffer<u32>, Buffer<u32>)>,
+    threshold: Option<usize>,
+    aggregated: bool,
+}
+
+/// Thread-per-vertex speculative assign: scan neighbors per 64-color window
+/// until a free color is found.
+fn assign_tpv(gpu: &mut Gpu, dev: &DeviceGraph, opts: &GpuOptions, list: Buffer<u32>, items: usize) {
+    let dev = *dev;
+    let kernel = move |ctx: &mut LaneCtx| {
+        let v = ctx.read(list, ctx.item()) as usize;
+        let start = ctx.read(dev.row_ptr, v) as usize;
+        let end = ctx.read(dev.row_ptr, v + 1) as usize;
+        ctx.alu(2);
+        let mut base = 0u32;
+        let chosen = loop {
+            let mut mask = 0u64;
+            for j in start..end {
+                let u = ctx.read(dev.col_idx, j) as usize;
+                let cu = ctx.read(dev.colors, u);
+                ctx.alu(2);
+                if cu != UNCOLORED && cu >= base && cu < base + 64 {
+                    mask |= 1u64 << (cu - base);
+                }
+            }
+            if mask != u64::MAX {
+                break base + mask.trailing_ones();
+            }
+            base += 64;
+        };
+        ctx.write(dev.colors, v, chosen);
+    };
+    let mut launch = Launch::threads("firstfit-assign", items).wg_size(opts.wg_size);
+    launch.mode = opts.schedule.to_mode();
+    gpu.launch(&kernel, launch);
+}
+
+/// Cooperative workgroup-per-vertex assign for the high-degree bin: the
+/// group builds a shared forbidden bitset over colors
+/// `0..32 × ff_mask_words` in one coalesced pass, and the last lane picks
+/// the smallest free color (falling back to a solo window scan if every
+/// tracked color is forbidden).
+fn assign_wgv(gpu: &mut Gpu, dev: &DeviceGraph, opts: &GpuOptions, list: Buffer<u32>, items: usize) {
+    let dev = *dev;
+    let mask_words = opts.ff_mask_words.max(1);
+    let kernel = move |ctx: &mut LaneCtx| {
+        if ctx.local_id() == 0 {
+            let idx = ctx.item();
+            let v = ctx.read(list, idx) as usize;
+            let start = ctx.read(dev.row_ptr, v);
+            let end = ctx.read(dev.row_ptr, v + 1);
+            ctx.lds_write(lds::VTX, v as u32);
+            ctx.lds_write(lds::START, start);
+            ctx.lds_write(lds::END, end);
+            ctx.lds_write(lds::OVERFLOW, 0);
+            // The executor zeroes LDS per item, so the bitset starts clear.
+        }
+        ctx.barrier();
+        let start = ctx.lds_read(lds::START) as usize;
+        let end = ctx.lds_read(lds::END) as usize;
+        let capacity = 32 * mask_words as u32;
+        let stride = ctx.group_size();
+        let mut j = start + ctx.local_id();
+        while j < end {
+            let u = ctx.read(dev.col_idx, j) as usize;
+            let cu = ctx.read(dev.colors, u);
+            ctx.alu(2);
+            if cu != UNCOLORED {
+                if cu < capacity {
+                    ctx.lds_atomic_or(lds::MASK0 + (cu / 32) as usize, 1u32 << (cu % 32));
+                } else {
+                    ctx.lds_atomic_or(lds::OVERFLOW, 1);
+                }
+            }
+            j += stride;
+        }
+        ctx.barrier();
+        if ctx.is_last_in_group() {
+            let v = ctx.lds_read(lds::VTX) as usize;
+            let mut chosen = None;
+            for w in 0..mask_words {
+                let bits = ctx.lds_read(lds::MASK0 + w);
+                ctx.alu(1);
+                if bits != u32::MAX {
+                    chosen = Some(32 * w as u32 + bits.trailing_ones());
+                    break;
+                }
+            }
+            let color = match chosen {
+                Some(c) => c,
+                // Rare fallback: all tracked colors forbidden. One lane
+                // rescans windows above the bitset capacity.
+                None => {
+                    let mut base = capacity;
+                    loop {
+                        let mut mask = 0u64;
+                        for j in start..end {
+                            let u = ctx.read(dev.col_idx, j) as usize;
+                            let cu = ctx.read(dev.colors, u);
+                            ctx.alu(2);
+                            if cu != UNCOLORED && cu >= base && cu < base + 64 {
+                                mask |= 1u64 << (cu - base);
+                            }
+                        }
+                        if mask != u64::MAX {
+                            break base + mask.trailing_ones();
+                        }
+                        base += 64;
+                    }
+                }
+            };
+            ctx.write(dev.colors, v, color);
+        }
+    };
+    // Full-size workgroups keep occupancy (and thus latency hiding)
+    // comparable to the thread-per-vertex kernels.
+    let mut launch = Launch::groups("firstfit-assign-wgv", items)
+        .wg_size(opts.wg_size)
+        .lds_words(lds::MASK0 + mask_words);
+    launch.mode = match opts.schedule.to_mode() {
+        ScheduleMode::WorkStealing { .. } => ScheduleMode::WorkStealing { chunk_items: 2 },
+        other => other,
+    };
+    gpu.launch(&kernel, launch);
+}
+
+/// Conflict detection: the lower-priority endpoint of every same-colored
+/// edge is uncolored and pushed to the next worklist.
+fn resolve(
+    gpu: &mut Gpu,
+    dev: &DeviceGraph,
+    opts: &GpuOptions,
+    list: Buffer<u32>,
+    items: usize,
+    push: PushTargets,
+) {
+    let dev = *dev;
+    let kernel = move |ctx: &mut LaneCtx| {
+        let v = ctx.read(list, ctx.item()) as usize;
+        let cv = ctx.read(dev.colors, v);
+        let my_p = ctx.read(dev.priority, v);
+        let start = ctx.read(dev.row_ptr, v) as usize;
+        let end = ctx.read(dev.row_ptr, v + 1) as usize;
+        ctx.alu(2);
+        let mut beaten = false;
+        for j in start..end {
+            let u = ctx.read(dev.col_idx, j) as usize;
+            let cu = ctx.read(dev.colors, u);
+            ctx.alu(1);
+            if cu == cv {
+                let pu = ctx.read(dev.priority, u);
+                ctx.alu(1);
+                if pu > my_p {
+                    beaten = true;
+                    break;
+                }
+            }
+        }
+        if beaten {
+            ctx.write(dev.colors, v, UNCOLORED);
+            let (next_list, next_len) = match push.threshold {
+                Some(t) => {
+                    ctx.alu(1);
+                    if end - start > t {
+                        push.high.expect("hybrid frontiers exist when threshold set")
+                    } else {
+                        push.low
+                    }
+                }
+                None => push.low,
+            };
+            let slot = if push.aggregated {
+                ctx.atomic_add_aggregated(next_len, 0, 1u32)
+            } else {
+                ctx.atomic_add(next_len, 0, 1u32)
+            } as usize;
+            ctx.write(next_list, slot, v as u32);
+        }
+    };
+    let mut launch = Launch::threads("firstfit-resolve", items).wg_size(opts.wg_size);
+    launch.mode = opts.schedule.to_mode();
+    gpu.launch(&kernel, launch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::WorkSchedule;
+    use crate::verify::verify_coloring;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{erdos_renyi, grid_2d, regular, rmat, RmatParams};
+
+    fn tiny_opts() -> GpuOptions {
+        GpuOptions::baseline().with_device(DeviceConfig::small_test())
+    }
+
+    #[test]
+    fn colors_properly_on_varied_graphs() {
+        for g in [
+            grid_2d(12, 12),
+            regular::complete(9),
+            erdos_renyi(400, 2000, 3),
+            rmat(8, 6, RmatParams::graph500(), 2),
+        ] {
+            let r = color(&g, &tiny_opts());
+            verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("{e}"));
+            assert!(r.num_colors <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn fewer_rounds_than_maxmin() {
+        let g = erdos_renyi(600, 4000, 9);
+        let ff = color(&g, &tiny_opts());
+        let mm = crate::gpu::maxmin::color(&g, &tiny_opts());
+        assert!(
+            ff.iterations < mm.iterations,
+            "ff {} vs maxmin {}",
+            ff.iterations,
+            mm.iterations
+        );
+    }
+
+    #[test]
+    fn hybrid_path_handles_hubs() {
+        let g = regular::star(300);
+        let r = color(&g, &tiny_opts().with_hybrid_threshold(Some(16)));
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.num_colors, 2);
+        assert_eq!(r.algorithm, "gpu-firstfit-hybrid");
+    }
+
+    #[test]
+    fn wgv_fallback_survives_mask_overflow() {
+        // K_40 needs 40 colors; with a single mask word (32 colors) the
+        // cooperative kernel must take the solo-rescan fallback.
+        let g = regular::complete(40);
+        let mut opts = tiny_opts().with_hybrid_threshold(Some(8));
+        opts.ff_mask_words = 1;
+        let r = color(&g, &opts);
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.num_colors, 40);
+    }
+
+    #[test]
+    fn work_stealing_variant_is_correct() {
+        let g = rmat(9, 8, RmatParams::graph500(), 8);
+        let r = color(
+            &g,
+            &tiny_opts().with_schedule(WorkSchedule::WorkStealing { chunk: 32 }),
+        );
+        verify_coloring(&g, &r.colors).unwrap();
+        assert!(r.steal_pops > 0);
+    }
+
+    #[test]
+    fn worklist_shrinks_every_round() {
+        let g = erdos_renyi(800, 6400, 5);
+        let r = color(&g, &tiny_opts());
+        assert!(r.active_per_iteration.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(r.active_per_iteration[0], 800);
+    }
+
+    #[test]
+    fn quality_matches_sequential_ballpark() {
+        let g = erdos_renyi(500, 4000, 7);
+        let seq = crate::seq::greedy_first_fit(&g, crate::seq::VertexOrdering::Natural);
+        let r = color(&g, &tiny_opts());
+        assert!(
+            r.num_colors <= seq.num_colors + 5,
+            "gpu {} vs seq {}",
+            r.num_colors,
+            seq.num_colors
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! Baseline GPU coloring: iterative max/min independent-set selection.
+//!
+//! This is the algorithm of the authors' Pannotia `color` benchmark. Every
+//! vertex holds a unique random priority. Each iteration launches:
+//!
+//! 1. an **assign** kernel — every uncolored vertex scans its uncolored
+//!    neighbors' priorities; a local maximum becomes a candidate for color
+//!    `2i`, a local minimum for `2i + 1` (two independent sets per round);
+//! 2. a **commit** kernel (shared driver) — candidates write their color
+//!    and bump a device counter the host polls for termination.
+//!
+//! The assign kernel is where the paper's load imbalance lives: a lane's
+//! work is proportional to its vertex's degree, so one hub vertex stalls
+//! its entire wavefront. The optimizations in [`GpuOptions`] attack exactly
+//! that kernel: work stealing re-balances chunks across CUs, frontier
+//! compaction stops re-scanning colored vertices, and the hybrid path scans
+//! high-degree vertices with a whole cooperative workgroup.
+
+use gc_gpusim::{Buffer, Gpu, LaneCtx, Launch, ScheduleMode};
+use gc_graph::CsrGraph;
+
+use crate::gpu::driver::{run_iterative, IterState, IterationKernels};
+use crate::gpu::{finish_report, GpuOptions};
+use crate::report::RunReport;
+use crate::verify::UNCOLORED;
+
+/// LDS layout of the cooperative (workgroup-per-vertex) assign kernel.
+mod lds {
+    pub const ACTIVE: usize = 0;
+    pub const VTX: usize = 1;
+    pub const PRIO: usize = 2;
+    pub const START: usize = 3;
+    pub const END: usize = 4;
+    pub const NOT_MAX: usize = 5;
+    pub const NOT_MIN: usize = 6;
+    pub const WORDS: usize = 7;
+}
+
+/// Color `g` with the max/min algorithm under the given options.
+///
+/// Panics if the device fails to make progress (impossible with the unique
+/// priority permutation unless `opts.max_iterations` is exceeded).
+pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    let mut gpu = Gpu::new(opts.device.clone());
+    let st = IterState::new(&mut gpu, g, opts);
+    let (iterations, active) = run_iterative(&mut gpu, &st, opts, &MaxMinKernels);
+    let label = format!("gpu-maxmin{}", opts.label_suffix());
+    finish_report(&gpu, &st.dev, label, iterations, active)
+}
+
+struct MaxMinKernels;
+
+impl IterationKernels for MaxMinKernels {
+    fn assign_tpv(
+        &self,
+        gpu: &mut Gpu,
+        st: &IterState,
+        opts: &GpuOptions,
+        iter: u32,
+        list: Option<Buffer<u32>>,
+        items: usize,
+    ) {
+        let dev = st.dev;
+        let cand = st.cand;
+        let kernel = move |ctx: &mut LaneCtx| {
+            let idx = ctx.item();
+            let v = match list {
+                Some(l) => ctx.read(l, idx) as usize,
+                None => idx,
+            };
+            let c = ctx.read(dev.colors, v);
+            ctx.alu(1);
+            if c != UNCOLORED {
+                return;
+            }
+            let start = ctx.read(dev.row_ptr, v) as usize;
+            let end = ctx.read(dev.row_ptr, v + 1) as usize;
+            let my_p = ctx.read(dev.priority, v);
+            ctx.alu(2);
+            let mut is_max = true;
+            let mut is_min = true;
+            for j in start..end {
+                let u = ctx.read(dev.col_idx, j) as usize;
+                let cu = ctx.read(dev.colors, u);
+                ctx.alu(1);
+                if cu == UNCOLORED {
+                    let pu = ctx.read(dev.priority, u);
+                    ctx.alu(2);
+                    if pu > my_p {
+                        is_max = false;
+                    } else {
+                        is_min = false;
+                    }
+                    if !is_max && !is_min {
+                        break;
+                    }
+                }
+            }
+            let value = if is_max {
+                2 * iter
+            } else if is_min {
+                2 * iter + 1
+            } else {
+                UNCOLORED
+            };
+            ctx.write(cand, v, value);
+        };
+        let mut launch = Launch::threads("maxmin-assign", items).wg_size(opts.wg_size);
+        launch.mode = opts.schedule.to_mode();
+        gpu.launch(&kernel, launch);
+    }
+
+    /// The whole group strides the adjacency list — coalesced, and immune
+    /// to single-lane starvation.
+    fn assign_wgv(
+        &self,
+        gpu: &mut Gpu,
+        st: &IterState,
+        opts: &GpuOptions,
+        iter: u32,
+        list: Buffer<u32>,
+        items: usize,
+    ) {
+        let dev = st.dev;
+        let cand = st.cand;
+        let kernel = move |ctx: &mut LaneCtx| {
+            if ctx.local_id() == 0 {
+                let idx = ctx.item();
+                let v = ctx.read(list, idx) as usize;
+                let c = ctx.read(dev.colors, v);
+                ctx.alu(1);
+                ctx.lds_write(lds::ACTIVE, u32::from(c == UNCOLORED));
+                ctx.lds_write(lds::VTX, v as u32);
+                if c == UNCOLORED {
+                    let prio = ctx.read(dev.priority, v);
+                    let start = ctx.read(dev.row_ptr, v);
+                    let end = ctx.read(dev.row_ptr, v + 1);
+                    ctx.lds_write(lds::PRIO, prio);
+                    ctx.lds_write(lds::START, start);
+                    ctx.lds_write(lds::END, end);
+                    ctx.lds_write(lds::NOT_MAX, 0);
+                    ctx.lds_write(lds::NOT_MIN, 0);
+                }
+            }
+            ctx.barrier();
+            if ctx.lds_read(lds::ACTIVE) == 0 {
+                return;
+            }
+            let my_p = ctx.lds_read(lds::PRIO);
+            let start = ctx.lds_read(lds::START) as usize;
+            let end = ctx.lds_read(lds::END) as usize;
+            let stride = ctx.group_size();
+            let mut j = start + ctx.local_id();
+            while j < end {
+                let u = ctx.read(dev.col_idx, j) as usize;
+                let cu = ctx.read(dev.colors, u);
+                ctx.alu(1);
+                if cu == UNCOLORED {
+                    let pu = ctx.read(dev.priority, u);
+                    ctx.alu(2);
+                    if pu > my_p {
+                        ctx.lds_atomic_or(lds::NOT_MAX, 1);
+                    } else {
+                        ctx.lds_atomic_or(lds::NOT_MIN, 1);
+                    }
+                }
+                j += stride;
+            }
+            ctx.barrier();
+            if ctx.is_last_in_group() {
+                let not_max = ctx.lds_read(lds::NOT_MAX);
+                let not_min = ctx.lds_read(lds::NOT_MIN);
+                let v = ctx.lds_read(lds::VTX) as usize;
+                ctx.alu(2);
+                let value = if not_max == 0 {
+                    2 * iter
+                } else if not_min == 0 {
+                    2 * iter + 1
+                } else {
+                    UNCOLORED
+                };
+                ctx.write(cand, v, value);
+            }
+        };
+        // Full-size workgroups keep occupancy (and thus latency hiding)
+        // comparable to the thread-per-vertex kernels.
+        let mut launch = Launch::groups("maxmin-assign-wgv", items)
+            .wg_size(opts.wg_size)
+            .lds_words(lds::WORDS);
+        launch.mode = match opts.schedule.to_mode() {
+            ScheduleMode::WorkStealing { .. } => ScheduleMode::WorkStealing { chunk_items: 2 },
+            other => other,
+        };
+        gpu.launch(&kernel, launch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{grid_2d, regular, rmat, RmatParams};
+    use gc_graph::Scale;
+
+    fn tiny_opts() -> GpuOptions {
+        GpuOptions::baseline().with_device(DeviceConfig::small_test())
+    }
+
+    #[test]
+    fn baseline_colors_properly() {
+        for g in [
+            grid_2d(12, 12),
+            regular::complete(9),
+            regular::star(40),
+            rmat(8, 6, RmatParams::graph500(), 2),
+        ] {
+            let r = color(&g, &tiny_opts());
+            verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("{e}"));
+            assert!(r.iterations >= 1);
+            assert_eq!(r.active_per_iteration[0], g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn all_option_combinations_agree_on_colors() {
+        let g = rmat(8, 8, RmatParams::graph500(), 5);
+        let baseline = color(&g, &tiny_opts());
+        for opts in [
+            tiny_opts().with_schedule(crate::gpu::WorkSchedule::WorkStealing { chunk: 16 }),
+            tiny_opts().with_schedule(crate::gpu::WorkSchedule::DynamicHw),
+            tiny_opts().with_frontier(true),
+            tiny_opts().with_hybrid_threshold(Some(8)),
+            tiny_opts()
+                .with_frontier(true)
+                .with_hybrid_threshold(Some(8))
+                .with_schedule(crate::gpu::WorkSchedule::WorkStealing { chunk: 16 }),
+        ] {
+            let r = color(&g, &opts);
+            verify_coloring(&g, &r.colors).unwrap();
+            // Same priorities => identical independent sets regardless of
+            // scheduling/compaction/binning.
+            assert_eq!(r.colors, baseline.colors, "{}", r.algorithm);
+            assert_eq!(r.iterations, baseline.iterations);
+        }
+    }
+
+    #[test]
+    fn labels_encode_options() {
+        let g = regular::cycle(8);
+        assert_eq!(color(&g, &tiny_opts()).algorithm, "gpu-maxmin");
+        let r = color(
+            &g,
+            &tiny_opts()
+                .with_frontier(true)
+                .with_schedule(crate::gpu::WorkSchedule::WorkStealing { chunk: 4 }),
+        );
+        assert_eq!(r.algorithm, "gpu-maxmin-steal-frontier");
+        assert!(r.steal_pops > 0);
+    }
+
+    #[test]
+    fn active_curve_is_strictly_decreasing() {
+        let g = grid_2d(16, 16);
+        let r = color(&g, &tiny_opts());
+        assert!(r
+            .active_per_iteration
+            .windows(2)
+            .all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn frontier_is_functionally_identical() {
+        // Compaction must never change the algorithm's result — only its
+        // schedule. (Whether it *pays* is graph-dependent: maxmin's
+        // early-exit scan is nearly free, so the F12 ablation reports wins
+        // and losses per graph class.)
+        let g = gc_graph::by_name("road-net").unwrap().build(Scale::Tiny);
+        let plain = color(&g, &tiny_opts());
+        let compacted = color(&g, &tiny_opts().with_frontier(true));
+        assert_eq!(plain.colors, compacted.colors);
+        assert_eq!(plain.iterations, compacted.iterations);
+        assert_eq!(plain.active_per_iteration, compacted.active_per_iteration);
+        // The compacted variant issues strictly fewer assign lane-slots.
+        assert!(compacted.kernel_launches >= plain.kernel_launches);
+    }
+
+    #[test]
+    fn aggregated_push_is_functionally_identical_and_cheaper() {
+        let g = gc_graph::by_name("citation-rmat").unwrap().build(Scale::Tiny);
+        let naive = color(&g, &tiny_opts().with_frontier(true));
+        let mut opts = tiny_opts().with_frontier(true);
+        opts.aggregated_push = true;
+        let agg = color(&g, &opts);
+        assert_eq!(naive.colors, agg.colors);
+        assert!(
+            agg.cycles < naive.cycles,
+            "aggregated pushes {} should beat naive {}",
+            agg.cycles,
+            naive.cycles
+        );
+    }
+
+    #[test]
+    fn hybrid_helps_on_skewed_graphs() {
+        let g = regular::star(512);
+        let base = color(&g, &tiny_opts());
+        let hybrid = color(&g, &tiny_opts().with_hybrid_threshold(Some(16)));
+        assert_eq!(base.colors, hybrid.colors);
+        assert!(
+            hybrid.cycles < base.cycles,
+            "hybrid {} vs base {}",
+            hybrid.cycles,
+            base.cycles
+        );
+        // The hub is scanned cooperatively: utilization must improve.
+        assert!(hybrid.simd_utilization > base.simd_utilization);
+    }
+
+    #[test]
+    fn star_needs_exactly_two_iterations_worth_of_colors() {
+        // Hub + leaves: maxmin colors hub and all leaves within 1-2 rounds.
+        let g = regular::star(64);
+        let r = color(&g, &tiny_opts());
+        assert!(r.num_colors <= 3, "colors {}", r.num_colors);
+        assert!(r.iterations <= 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! GPU graph-coloring algorithms on the simulated device.
+//!
+//! The module reproduces the paper's algorithm space:
+//!
+//! * [`maxmin`] — the baseline iterative independent-set coloring (the
+//!   max/min heuristic of the authors' Pannotia `color` benchmark): each
+//!   iteration colors the vertices whose random priority is a local max
+//!   (color `2i`) or local min (color `2i + 1`) among uncolored neighbors.
+//! * [`first_fit`] — speculative first-fit with conflict resolution
+//!   (csrcolor style): an alternative approach the paper characterizes.
+//! * [`jp`] — GPU Jones–Plassmann: independent-set selection like max/min
+//!   but with first-fit color choice, preserving greedy quality.
+//! * The load-imbalance optimizations, applied orthogonally through
+//!   [`GpuOptions`]: chunked **work stealing**, **frontier compaction**
+//!   (only touch uncolored vertices), and the **hybrid** algorithm that
+//!   processes high-degree vertices with a cooperative workgroup-per-vertex
+//!   kernel instead of one starved SIMT lane.
+
+pub(crate) mod driver;
+pub mod first_fit;
+pub mod jp;
+pub mod maxmin;
+mod options;
+
+pub use options::{GpuOptions, WorkSchedule};
+
+use gc_gpusim::{Buffer, Gpu};
+use gc_graph::CsrGraph;
+
+/// The CSR arrays resident on the device, plus per-vertex working state
+/// shared by all coloring algorithms.
+#[derive(Clone, Copy)]
+pub struct DeviceGraph {
+    /// Vertex count.
+    pub n: usize,
+    /// CSR row pointers (`n + 1` entries).
+    pub row_ptr: Buffer<u32>,
+    /// CSR adjacency (`2 × edges` entries).
+    pub col_idx: Buffer<u32>,
+    /// Per-vertex color, [`crate::verify::UNCOLORED`] until assigned.
+    pub colors: Buffer<u32>,
+    /// Unique random priorities (a permutation of `0..n`), the symmetry
+    /// breaker for independent-set selection and conflict resolution.
+    pub priority: Buffer<u32>,
+}
+
+impl DeviceGraph {
+    /// Upload `g` and allocate the working buffers. `seed` fixes the
+    /// priority permutation.
+    pub fn upload(gpu: &mut Gpu, g: &CsrGraph, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = g.num_vertices();
+        let mut priority: Vec<u32> = (0..n as u32).collect();
+        priority.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        Self {
+            n,
+            row_ptr: gpu.alloc_from(g.row_ptr()),
+            col_idx: gpu.alloc_from(g.col_idx()),
+            colors: gpu.alloc_filled(n, crate::verify::UNCOLORED),
+            priority: gpu.alloc_from(&priority),
+        }
+    }
+}
+
+/// Double-buffered device worklist used for frontier compaction: the commit
+/// kernel pushes still-uncolored vertices into `next`, then the host swaps.
+pub(crate) struct Frontier {
+    pub list: [Buffer<u32>; 2],
+    pub len: Buffer<u32>,
+    pub current: usize,
+}
+
+impl Frontier {
+    /// Allocate a frontier seeded with all `n` vertices.
+    pub fn all_vertices(gpu: &mut Gpu, n: usize) -> Self {
+        let init: Vec<u32> = (0..n as u32).collect();
+        Self::with_initial(gpu, &init, n)
+    }
+
+    /// Allocate a frontier seeded with `init`, with room for `capacity`
+    /// entries (the worst-case list size across all iterations).
+    pub fn with_initial(gpu: &mut Gpu, init: &[u32], capacity: usize) -> Self {
+        assert!(init.len() <= capacity, "initial frontier exceeds capacity");
+        let mut seeded = init.to_vec();
+        seeded.resize(capacity, 0);
+        Self {
+            list: [gpu.alloc_from(&seeded), gpu.alloc_filled(capacity, 0u32)],
+            len: gpu.alloc_filled(1, 0u32),
+            current: 0,
+        }
+    }
+
+    /// The active list buffer.
+    pub fn active(&self) -> Buffer<u32> {
+        self.list[self.current]
+    }
+
+    /// The buffer the commit kernel fills for the next iteration.
+    pub fn next(&self) -> Buffer<u32> {
+        self.list[1 - self.current]
+    }
+
+    /// Swap after an iteration; returns the new active length read back
+    /// from the device, and resets the device counter.
+    pub fn swap(&mut self, gpu: &mut Gpu) -> usize {
+        let len = gpu.read_slice(self.len)[0] as usize;
+        gpu.fill(self.len, 0);
+        self.current = 1 - self.current;
+        len
+    }
+}
+
+/// Build the final [`crate::RunReport`] from device state and statistics.
+pub(crate) fn finish_report(
+    gpu: &Gpu,
+    dev: &DeviceGraph,
+    algorithm: String,
+    iterations: usize,
+    active_per_iteration: Vec<usize>,
+) -> crate::RunReport {
+    let colors = gpu.read_back(dev.colors);
+    let num_colors = crate::verify::count_colors(&colors);
+    let stats = gpu.stats();
+    let (active, possible, mem_tx, steals, l2_hits, l2_misses) = stats.per_kernel.values().fold(
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64),
+        |(a, p, m, s, h, mi), k| {
+            (
+                a + k.active_lane_ops,
+                p + k.possible_lane_ops,
+                m + k.mem_transactions,
+                s + k.steal_pops,
+                h + k.l2_hits,
+                mi + k.l2_misses,
+            )
+        },
+    );
+    crate::RunReport {
+        algorithm,
+        colors,
+        num_colors,
+        iterations,
+        kernel_launches: stats.kernels_launched,
+        cycles: stats.total_cycles,
+        time_ms: stats.total_ms(gpu.config()),
+        active_per_iteration,
+        simd_utilization: if possible == 0 { 1.0 } else { active as f64 / possible as f64 },
+        imbalance_factor: stats.imbalance_factor(),
+        mem_transactions: mem_tx,
+        steal_pops: steals,
+        kernel_breakdown: stats
+            .per_kernel
+            .iter()
+            .map(|(name, agg)| (name.clone(), agg.wall_cycles, agg.launches))
+            .collect(),
+        l2_hit_rate: (l2_hits + l2_misses > 0)
+            .then(|| l2_hits as f64 / (l2_hits + l2_misses) as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::regular;
+
+    #[test]
+    fn upload_roundtrips_csr() {
+        let g = regular::cycle(6);
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let dev = DeviceGraph::upload(&mut gpu, &g, 1);
+        assert_eq!(dev.n, 6);
+        assert_eq!(gpu.read_back(dev.row_ptr), g.row_ptr());
+        assert_eq!(gpu.read_back(dev.col_idx), g.col_idx());
+        assert!(gpu
+            .read_slice(dev.colors)
+            .iter()
+            .all(|&c| c == crate::verify::UNCOLORED));
+        // Priorities are a permutation of 0..n.
+        let mut p = gpu.read_back(dev.priority);
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn frontier_swaps_and_resets() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let mut f = Frontier::all_vertices(&mut gpu, 4);
+        assert_eq!(gpu.read_back(f.active()), vec![0, 1, 2, 3]);
+        // Simulate a commit that pushed 2 vertices.
+        gpu.write_slice(f.len, &[2]);
+        let before_next = f.next();
+        let len = f.swap(&mut gpu);
+        assert_eq!(len, 2);
+        assert_eq!(gpu.read_slice(f.len)[0], 0, "counter reset");
+        // The old `next` is now active.
+        assert_eq!(f.active().len(), before_next.len());
+        assert_eq!(f.current, 1);
+    }
+}

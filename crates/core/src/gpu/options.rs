@@ -1,0 +1,204 @@
+//! Configuration of the GPU coloring runs: scheduling policy, frontier
+//! compaction, and hybrid degree binning — the paper's optimization axes.
+
+use gc_gpusim::{DeviceConfig, ScheduleMode};
+
+/// Workgroup-to-CU scheduling policy for the coloring kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkSchedule {
+    /// Static round-robin placement — the paper's baseline distribution.
+    StaticRoundRobin,
+    /// Greedy hardware dispatcher (ablation point between static and
+    /// stealing).
+    DynamicHw,
+    /// Persistent-workgroup work stealing with the given chunk size.
+    WorkStealing { chunk: usize },
+}
+
+impl WorkSchedule {
+    pub(crate) fn to_mode(self) -> ScheduleMode {
+        match self {
+            WorkSchedule::StaticRoundRobin => ScheduleMode::StaticRoundRobin,
+            WorkSchedule::DynamicHw => ScheduleMode::DynamicHw,
+            WorkSchedule::WorkStealing { chunk } => ScheduleMode::WorkStealing {
+                chunk_items: chunk,
+            },
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            WorkSchedule::StaticRoundRobin => "",
+            WorkSchedule::DynamicHw => "-dyn",
+            WorkSchedule::WorkStealing { .. } => "-steal",
+        }
+    }
+}
+
+/// Options shared by every GPU coloring algorithm.
+#[derive(Debug, Clone)]
+pub struct GpuOptions {
+    /// Simulated device; defaults to the paper's HD 7950.
+    pub device: DeviceConfig,
+    /// Lanes per workgroup for the thread-per-vertex kernels.
+    pub wg_size: usize,
+    /// Scheduling policy.
+    pub schedule: WorkSchedule,
+    /// Compact the active set into a worklist each iteration instead of
+    /// rescanning all vertices.
+    pub frontier: bool,
+    /// If set, vertices with degree above the threshold are processed by a
+    /// cooperative workgroup-per-vertex kernel (the hybrid algorithm).
+    pub hybrid_threshold: Option<usize>,
+    /// Seed for the priority permutation.
+    pub seed: u64,
+    /// Safety cap on outer iterations.
+    pub max_iterations: usize,
+    /// Words of the shared forbidden-color bitset in the cooperative
+    /// first-fit kernel (covers `32 × ff_mask_words` colors before the
+    /// solo-rescan fallback triggers).
+    pub ff_mask_words: usize,
+    /// Use wavefront-aggregated atomics (ballot + one memory atomic per
+    /// wave) for frontier pushes instead of per-lane atomics. Functionally
+    /// identical; studied by the F12 ablation.
+    pub aggregated_push: bool,
+}
+
+impl Default for GpuOptions {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl GpuOptions {
+    /// The paper's baseline: thread-per-vertex over all vertices, static
+    /// round-robin workgroups, no compaction, no binning.
+    pub fn baseline() -> Self {
+        Self {
+            device: DeviceConfig::hd7950(),
+            wg_size: 256,
+            schedule: WorkSchedule::StaticRoundRobin,
+            frontier: false,
+            hybrid_threshold: None,
+            seed: 0xC01,
+            max_iterations: 100_000,
+            ff_mask_words: 64,
+            aggregated_push: false,
+        }
+    }
+
+    /// Baseline plus chunked work stealing (the paper's first optimization).
+    pub fn work_stealing() -> Self {
+        Self {
+            schedule: WorkSchedule::WorkStealing { chunk: 256 },
+            ..Self::baseline()
+        }
+    }
+
+    /// Baseline plus hybrid degree binning (the paper's second
+    /// optimization). The default threshold (one wavefront) is the sweet
+    /// spot of the F9 sweep: vertices whose adjacency exceeds a wavefront's
+    /// width go to the cooperative kernel.
+    pub fn hybrid() -> Self {
+        Self {
+            hybrid_threshold: Some(64),
+            ..Self::baseline()
+        }
+    }
+
+    /// The paper's two techniques together — work stealing plus the hybrid
+    /// algorithm — the configuration behind the ~25% headline improvement.
+    /// (Frontier compaction is deliberately *not* included: the F12
+    /// ablation shows its indirection and push atomics cost more than the
+    /// early-exit scans it saves on these kernels.)
+    pub fn optimized() -> Self {
+        Self {
+            schedule: WorkSchedule::WorkStealing { chunk: 256 },
+            hybrid_threshold: Some(64),
+            ..Self::baseline()
+        }
+    }
+
+    /// Set the scheduling policy.
+    pub fn with_schedule(mut self, schedule: WorkSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enable/disable frontier compaction.
+    pub fn with_frontier(mut self, frontier: bool) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Set (or clear) the hybrid degree threshold.
+    pub fn with_hybrid_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.hybrid_threshold = threshold;
+        self
+    }
+
+    /// Set the device.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Set the priority seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Algorithm label suffix encoding the active optimizations, e.g.
+    /// `"-steal-frontier-hybrid"`.
+    pub fn label_suffix(&self) -> String {
+        let mut s = String::from(self.schedule.tag());
+        if self.frontier {
+            s.push_str("-frontier");
+        }
+        if self.hybrid_threshold.is_some() {
+            s.push_str("-hybrid");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_encode_the_papers_configurations() {
+        assert_eq!(GpuOptions::baseline().label_suffix(), "");
+        assert_eq!(GpuOptions::work_stealing().label_suffix(), "-steal");
+        assert_eq!(GpuOptions::hybrid().label_suffix(), "-hybrid");
+        assert_eq!(GpuOptions::optimized().label_suffix(), "-steal-hybrid");
+        assert_eq!(GpuOptions::optimized().hybrid_threshold, Some(64));
+    }
+
+    #[test]
+    fn schedule_maps_to_sim_modes() {
+        assert_eq!(
+            WorkSchedule::WorkStealing { chunk: 64 }.to_mode(),
+            ScheduleMode::WorkStealing { chunk_items: 64 }
+        );
+        assert_eq!(
+            WorkSchedule::StaticRoundRobin.to_mode(),
+            ScheduleMode::StaticRoundRobin
+        );
+        assert_eq!(WorkSchedule::DynamicHw.to_mode(), ScheduleMode::DynamicHw);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let o = GpuOptions::baseline()
+            .with_frontier(true)
+            .with_hybrid_threshold(Some(64))
+            .with_seed(7)
+            .with_schedule(WorkSchedule::DynamicHw);
+        assert!(o.frontier);
+        assert_eq!(o.hybrid_threshold, Some(64));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.label_suffix(), "-dyn-frontier-hybrid");
+    }
+}

@@ -1,0 +1,54 @@
+//! # gc-core — graph coloring algorithms
+//!
+//! The primary contribution of the reproduced paper (*"Graph Coloring on the
+//! GPU and Some Techniques to Improve Load Imbalance"*, IPDPSW 2015): GPU
+//! graph-coloring kernels on the simulated AMD HD 7950, the load-imbalance
+//! optimizations the paper proposes (work stealing, frontier compaction, the
+//! hybrid degree-binned algorithm), and the sequential / CPU-parallel
+//! baselines the evaluation compares against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gc_core::{gpu, verify_coloring, GpuOptions};
+//! use gc_graph::generators::grid_2d;
+//!
+//! let g = grid_2d(32, 32);
+//! let baseline = gpu::maxmin::color(&g, &GpuOptions::baseline());
+//! let optimized = gpu::maxmin::color(&g, &GpuOptions::optimized());
+//! verify_coloring(&g, &optimized.colors).unwrap();
+//! assert_eq!(baseline.colors, optimized.colors); // same algorithm, faster
+//! assert!(optimized.cycles <= baseline.cycles);
+//! ```
+//!
+//! ## Algorithm inventory
+//!
+//! | Family | Entry point | Role in the paper |
+//! |---|---|---|
+//! | Sequential first-fit (4 orderings) | [`seq::greedy_first_fit`] | quality reference |
+//! | DSATUR | [`seq::dsatur`] | best-quality reference |
+//! | Jones–Plassmann (CPU) | [`cpu::jones_plassmann`] | multicore baseline |
+//! | Gebremedhin–Manne (CPU) | [`cpu::speculative_coloring`] | multicore baseline |
+//! | Max/min independent set (GPU) | [`gpu::maxmin::color`] | the paper's baseline kernel |
+//! | Speculative first-fit (GPU) | [`gpu::first_fit::color`] | alternative approach studied |
+//!
+//! The GPU optimizations are orthogonal switches on [`GpuOptions`]; the
+//! presets ([`GpuOptions::baseline`], [`GpuOptions::work_stealing`],
+//! [`GpuOptions::hybrid`], [`GpuOptions::optimized`]) reproduce the paper's
+//! configurations.
+
+pub mod balance;
+pub mod cpu;
+pub mod gpu;
+pub mod report;
+pub mod seq;
+pub mod verify;
+
+pub use balance::{balance_coloring, class_imbalance};
+
+pub use gpu::{GpuOptions, WorkSchedule};
+pub use report::RunReport;
+pub use seq::VertexOrdering;
+pub use verify::{
+    color_classes, count_colors, count_conflicts, verify_coloring, VerifyError, UNCOLORED,
+};

@@ -1,0 +1,108 @@
+//! Per-run results and metrics shared by all coloring algorithms.
+
+use serde::Serialize;
+
+/// A completed proper coloring plus execution metrics. Every algorithm in
+/// this crate — sequential, CPU-parallel, GPU — returns one of these so the
+/// harness can tabulate them uniformly.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Algorithm label ("gpu-maxmin-baseline", "seq-ff-ldf", …).
+    pub algorithm: String,
+    /// The color of each vertex (no [`crate::verify::UNCOLORED`] left).
+    pub colors: Vec<u32>,
+    /// Distinct colors used.
+    pub num_colors: usize,
+    /// Outer iterations (1 for sequential algorithms).
+    pub iterations: usize,
+    /// Device kernel launches (0 for CPU algorithms).
+    pub kernel_launches: u64,
+    /// Device cycles (0 for CPU algorithms).
+    pub cycles: u64,
+    /// Modeled device milliseconds (0 for CPU algorithms).
+    pub time_ms: f64,
+    /// Uncolored vertices at the start of each iteration; the paper's
+    /// active-vertex decay curves.
+    pub active_per_iteration: Vec<usize>,
+    /// Aggregate SIMD lane utilization (1.0 for CPU algorithms).
+    pub simd_utilization: f64,
+    /// Aggregate per-CU load imbalance factor (1.0 for CPU algorithms).
+    pub imbalance_factor: f64,
+    /// Global memory transactions (0 for CPU algorithms).
+    pub mem_transactions: u64,
+    /// Work-stealing queue pops (0 unless stealing).
+    pub steal_pops: u64,
+    /// Per-kernel-name totals: `(name, wall_cycles, launches)`, for time
+    /// breakdowns (empty for CPU algorithms).
+    pub kernel_breakdown: Vec<(String, u64, u64)>,
+    /// L2 hit rate in `[0, 1]` when the device ran with the explicit cache
+    /// model; `None` under the flat-latency model (and for CPU algorithms).
+    pub l2_hit_rate: Option<f64>,
+}
+
+impl RunReport {
+    /// Report skeleton for a host-side (CPU) algorithm.
+    pub fn host(algorithm: impl Into<String>, colors: Vec<u32>, num_colors: usize) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            colors,
+            num_colors,
+            iterations: 1,
+            kernel_launches: 0,
+            cycles: 0,
+            time_ms: 0.0,
+            active_per_iteration: Vec::new(),
+            simd_utilization: 1.0,
+            imbalance_factor: 1.0,
+            mem_transactions: 0,
+            steal_pops: 0,
+            kernel_breakdown: Vec::new(),
+            l2_hit_rate: None,
+        }
+    }
+
+    /// One-line human summary used by examples and the harness.
+    pub fn summary(&self) -> String {
+        if self.kernel_launches == 0 {
+            format!(
+                "{}: {} colors, {} iteration(s)",
+                self.algorithm, self.num_colors, self.iterations
+            )
+        } else {
+            format!(
+                "{}: {} colors, {} iters, {} launches, {:.3} ms, simd {:.0}%, imbalance {:.2}",
+                self.algorithm,
+                self.num_colors,
+                self.iterations,
+                self.kernel_launches,
+                self.time_ms,
+                self.simd_utilization * 100.0,
+                self.imbalance_factor
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_report_defaults() {
+        let r = RunReport::host("seq", vec![0, 1], 2);
+        assert_eq!(r.kernel_launches, 0);
+        assert_eq!(r.iterations, 1);
+        assert!((r.simd_utilization - 1.0).abs() < 1e-12);
+        assert!(r.summary().contains("2 colors"));
+    }
+
+    #[test]
+    fn gpu_summary_mentions_device_metrics() {
+        let mut r = RunReport::host("gpu", vec![0], 1);
+        r.kernel_launches = 4;
+        r.time_ms = 1.25;
+        let s = r.summary();
+        assert!(s.contains("launches"));
+        assert!(s.contains("imbalance"));
+    }
+}

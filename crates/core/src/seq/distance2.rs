@@ -1,0 +1,173 @@
+//! Distance-2 greedy coloring.
+//!
+//! A distance-2 coloring gives distinct colors to any two vertices within
+//! two hops — equivalently, a proper coloring of the square graph G². It is
+//! the variant used for Jacobian/Hessian compression (columns sharing a
+//! color may be evaluated together), one of the "many graph applications"
+//! whose first step the paper's abstract motivates.
+
+use gc_graph::{CsrGraph, VertexId};
+
+use crate::report::RunReport;
+use crate::seq::ordering::{order_vertices, VertexOrdering};
+use crate::verify::{count_colors, UNCOLORED};
+
+/// Greedy distance-2 coloring in the given order. Uses at most
+/// `Δ² + 1` colors.
+pub fn distance2_colors(g: &CsrGraph, ordering: VertexOrdering) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut colors = vec![UNCOLORED; n];
+    // Stamped forbidden-color scratch sized for the Δ² worst case.
+    let max_deg = g.max_degree();
+    let mut mark = vec![u32::MAX; max_deg * max_deg + 2];
+    for (stamp, &v) in order_vertices(g, ordering).iter().enumerate() {
+        let stamp = stamp as u32;
+        let forbid = |mark: &mut Vec<u32>, c: u32| {
+            if c != UNCOLORED {
+                let c = c as usize;
+                if c >= mark.len() {
+                    mark.resize(c + 1, u32::MAX);
+                }
+                mark[c] = stamp;
+            }
+        };
+        for &u in g.neighbors(v) {
+            forbid(&mut mark, colors[u as usize]);
+            for &w in g.neighbors(u) {
+                if w != v {
+                    forbid(&mut mark, colors[w as usize]);
+                }
+            }
+        }
+        let mut c = 0u32;
+        while (c as usize) < mark.len() && mark[c as usize] == stamp {
+            c += 1;
+        }
+        colors[v as usize] = c;
+    }
+    colors
+}
+
+/// [`distance2_colors`] wrapped in a [`RunReport`].
+pub fn distance2_greedy(g: &CsrGraph, ordering: VertexOrdering) -> RunReport {
+    let colors = distance2_colors(g, ordering);
+    let num_colors = count_colors(&colors);
+    RunReport::host("seq-distance2", colors, num_colors)
+}
+
+/// Verify a distance-2 coloring; returns the number of colors used.
+pub fn verify_distance2(g: &CsrGraph, colors: &[u32]) -> Result<usize, Distance2Error> {
+    if colors.len() != g.num_vertices() {
+        return Err(Distance2Error::WrongLength);
+    }
+    for v in g.vertices() {
+        if colors[v as usize] == UNCOLORED {
+            return Err(Distance2Error::Uncolored(v));
+        }
+        for &u in g.neighbors(v) {
+            if u > v && colors[u as usize] == colors[v as usize] {
+                return Err(Distance2Error::Conflict(v, u));
+            }
+            for &w in g.neighbors(u) {
+                if w > v && colors[w as usize] == colors[v as usize] {
+                    return Err(Distance2Error::Conflict(v, w));
+                }
+            }
+        }
+    }
+    Ok(count_colors(colors))
+}
+
+/// A distance-2 coloring violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distance2Error {
+    WrongLength,
+    Uncolored(VertexId),
+    /// Two vertices within two hops share a color.
+    Conflict(VertexId, VertexId),
+}
+
+impl std::fmt::Display for Distance2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Distance2Error::WrongLength => write!(f, "color array length mismatch"),
+            Distance2Error::Uncolored(v) => write!(f, "vertex {v} is uncolored"),
+            Distance2Error::Conflict(u, v) => {
+                write!(f, "vertices {u} and {v} within distance 2 share a color")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Distance2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::{grid_2d, regular};
+
+    #[test]
+    fn path_needs_three_colors_at_distance_two() {
+        // In a path, any three consecutive vertices must all differ.
+        let g = regular::path(10);
+        let colors = distance2_colors(&g, VertexOrdering::Natural);
+        assert_eq!(verify_distance2(&g, &colors).unwrap(), 3);
+    }
+
+    #[test]
+    fn star_needs_n_colors() {
+        // All leaves are at distance 2 through the hub.
+        let g = regular::star(12);
+        let colors = distance2_colors(&g, VertexOrdering::Natural);
+        assert_eq!(verify_distance2(&g, &colors).unwrap(), 12);
+    }
+
+    #[test]
+    fn grid_distance2_is_proper_and_bounded() {
+        let g = grid_2d(10, 10);
+        let colors = distance2_colors(&g, VertexOrdering::SmallestLast);
+        let k = verify_distance2(&g, &colors).unwrap();
+        // Interior ball of radius 2 in a 4-grid has 13 vertices; greedy
+        // stays within Δ²+1 = 17.
+        assert!((5..=17).contains(&k), "{k} colors");
+    }
+
+    #[test]
+    fn distance1_coloring_fails_distance2_verification() {
+        let g = regular::path(5);
+        // Proper at distance 1, not at distance 2.
+        let colors = [0, 1, 0, 1, 0];
+        crate::verify::verify_coloring(&g, &colors).unwrap();
+        assert_eq!(
+            verify_distance2(&g, &colors),
+            Err(Distance2Error::Conflict(0, 2))
+        );
+    }
+
+    #[test]
+    fn detects_uncolored_and_length_mismatch() {
+        let g = regular::path(3);
+        assert_eq!(
+            verify_distance2(&g, &[0, 1]),
+            Err(Distance2Error::WrongLength)
+        );
+        assert_eq!(
+            verify_distance2(&g, &[0, UNCOLORED, 1]),
+            Err(Distance2Error::Uncolored(1))
+        );
+    }
+
+    #[test]
+    fn report_label() {
+        let r = distance2_greedy(&regular::cycle(6), VertexOrdering::Natural);
+        assert_eq!(r.algorithm, "seq-distance2");
+        assert!(r.num_colors >= 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = gc_graph::CsrGraph::empty();
+        let colors = distance2_colors(&g, VertexOrdering::Natural);
+        assert_eq!(verify_distance2(&g, &colors).unwrap(), 0);
+    }
+}

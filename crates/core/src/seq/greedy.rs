@@ -1,0 +1,125 @@
+//! Sequential greedy first-fit coloring.
+
+use gc_graph::CsrGraph;
+
+use crate::report::RunReport;
+use crate::seq::ordering::{order_vertices, VertexOrdering};
+use crate::verify::{count_colors, UNCOLORED};
+
+/// Color `g` greedily in the given order; each vertex takes the smallest
+/// color absent from its already-colored neighbors. Uses at most
+/// `max_degree + 1` colors.
+pub fn greedy_colors(g: &CsrGraph, ordering: VertexOrdering) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut colors = vec![UNCOLORED; n];
+    // `mark[c] == stamp` means color c is forbidden for the current vertex.
+    // Stamping avoids clearing the scratch between vertices.
+    let mut mark = vec![u32::MAX; g.max_degree() + 2];
+    for (stamp, &v) in order_vertices(g, ordering).iter().enumerate() {
+        let stamp = stamp as u32;
+        for &u in g.neighbors(v) {
+            let c = colors[u as usize];
+            if c != UNCOLORED && (c as usize) < mark.len() {
+                mark[c as usize] = stamp;
+            }
+        }
+        let mut c = 0u32;
+        while mark[c as usize] == stamp {
+            c += 1;
+        }
+        colors[v as usize] = c;
+    }
+    colors
+}
+
+/// [`greedy_colors`] wrapped in a [`RunReport`].
+pub fn greedy_first_fit(g: &CsrGraph, ordering: VertexOrdering) -> RunReport {
+    let colors = greedy_colors(g, ordering);
+    let num_colors = count_colors(&colors);
+    let name = match ordering {
+        VertexOrdering::Natural => "seq-ff-natural".to_string(),
+        VertexOrdering::LargestDegreeFirst => "seq-ff-ldf".to_string(),
+        VertexOrdering::SmallestLast => "seq-ff-sl".to_string(),
+        VertexOrdering::Random(s) => format!("seq-ff-random{s}"),
+    };
+    RunReport::host(name, colors, num_colors)
+}
+
+/// Greedy's classical guarantee, used as a test oracle: first-fit never
+/// exceeds `max_degree + 1` colors.
+#[cfg(test)]
+pub(crate) fn greedy_bound(g: &CsrGraph) -> usize {
+    g.max_degree() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring;
+    use gc_graph::generators::{grid_2d, regular};
+
+    #[test]
+    fn colors_are_proper_on_every_ordering() {
+        let g = grid_2d(10, 10);
+        for ord in [
+            VertexOrdering::Natural,
+            VertexOrdering::LargestDegreeFirst,
+            VertexOrdering::SmallestLast,
+            VertexOrdering::Random(1),
+        ] {
+            let colors = greedy_colors(&g, ord);
+            let k = verify_coloring(&g, &colors).unwrap();
+            assert!(k <= greedy_bound(&g), "{ord:?} used {k}");
+        }
+    }
+
+    #[test]
+    fn bipartite_grid_natural_order_uses_two() {
+        // Natural order on a grid happens to alternate correctly.
+        let g = grid_2d(8, 8);
+        let colors = greedy_colors(&g, VertexOrdering::Natural);
+        assert_eq!(verify_coloring(&g, &colors).unwrap(), 2);
+    }
+
+    #[test]
+    fn complete_graph_needs_n() {
+        let g = regular::complete(7);
+        let colors = greedy_colors(&g, VertexOrdering::Natural);
+        assert_eq!(verify_coloring(&g, &colors).unwrap(), 7);
+    }
+
+    #[test]
+    fn smallest_last_respects_degeneracy_on_star() {
+        // Star degeneracy is 1: smallest-last must 2-color it.
+        let g = regular::star(50);
+        let colors = greedy_colors(&g, VertexOrdering::SmallestLast);
+        assert_eq!(verify_coloring(&g, &colors).unwrap(), 2);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let g = regular::cycle(7);
+        for ord in [VertexOrdering::Natural, VertexOrdering::SmallestLast] {
+            let colors = greedy_colors(&g, ord);
+            assert_eq!(verify_coloring(&g, &colors).unwrap(), 3, "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn report_names_follow_ordering() {
+        let g = regular::path(4);
+        assert_eq!(greedy_first_fit(&g, VertexOrdering::Natural).algorithm, "seq-ff-natural");
+        assert_eq!(
+            greedy_first_fit(&g, VertexOrdering::Random(3)).algorithm,
+            "seq-ff-random3"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = gc_graph::CsrGraph::empty();
+        let colors = greedy_colors(&g, VertexOrdering::Natural);
+        assert!(colors.is_empty());
+        assert_eq!(verify_coloring(&g, &colors).unwrap(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Sequential coloring baselines.
+//!
+//! These provide (a) the color-quality reference for the GPU algorithms and
+//! (b) the exact semantics the parallel algorithms must reproduce. First-fit
+//! greedy under a vertex ordering is the workhorse; DSATUR is the
+//! high-quality (and slow) reference.
+
+mod distance2;
+mod dsatur;
+mod greedy;
+mod ordering;
+
+pub use distance2::{distance2_colors, distance2_greedy, verify_distance2, Distance2Error};
+pub use dsatur::{dsatur, dsatur_colors};
+pub use greedy::{greedy_colors, greedy_first_fit};
+pub use ordering::{order_vertices, VertexOrdering};

@@ -1,0 +1,177 @@
+//! Vertex orderings for greedy coloring.
+//!
+//! The ordering drives greedy quality: largest-degree-first (Welsh–Powell)
+//! and smallest-last (Matula–Beck) reliably beat natural order; smallest-last
+//! colors any graph with at most `degeneracy + 1` colors.
+
+use gc_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Supported greedy orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VertexOrdering {
+    /// Vertex id order.
+    Natural,
+    /// Welsh–Powell: non-increasing degree.
+    LargestDegreeFirst,
+    /// Matula–Beck smallest-last: repeatedly remove a minimum-degree vertex;
+    /// color in reverse removal order. Uses `degeneracy + 1` colors at most.
+    SmallestLast,
+    /// Uniformly random permutation (seeded).
+    Random(u64),
+}
+
+/// Produce the ordering as a permutation of the vertex ids.
+pub fn order_vertices(g: &CsrGraph, ordering: VertexOrdering) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    match ordering {
+        VertexOrdering::Natural => (0..n as VertexId).collect(),
+        VertexOrdering::LargestDegreeFirst => {
+            let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+            // Stable sort keeps id order among equal degrees (deterministic).
+            order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+            order
+        }
+        VertexOrdering::SmallestLast => smallest_last(g),
+        VertexOrdering::Random(seed) => {
+            let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            order
+        }
+    }
+}
+
+/// Smallest-last via bucketed degrees: O(V + E).
+fn smallest_last(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket queue keyed by current degree.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as VertexId {
+        buckets[degree[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut removal: Vec<VertexId> = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    while removal.len() < n {
+        // Degrees only drop by one per removal, so the cursor needs to back
+        // up at most one bucket per step.
+        while cursor > 0 && !buckets[cursor - 1].is_empty() {
+            cursor -= 1;
+        }
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = loop {
+            let candidate = buckets[cursor].pop();
+            match candidate {
+                Some(v) if !removed[v as usize] && degree[v as usize] == cursor => break v,
+                Some(_) => continue, // stale bucket entry
+                None => {
+                    cursor += 1;
+                    while buckets[cursor].is_empty() {
+                        cursor += 1;
+                    }
+                }
+            }
+        };
+        removed[v as usize] = true;
+        removal.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                let d = &mut degree[u as usize];
+                *d -= 1;
+                buckets[*d].push(u);
+            }
+        }
+    }
+    removal.reverse();
+    removal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::{grid_2d, regular};
+    use gc_graph::from_edges;
+
+    fn is_permutation(order: &[VertexId], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for &v in order {
+            if seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        order.len() == n
+    }
+
+    #[test]
+    fn all_orderings_are_permutations() {
+        let g = grid_2d(8, 8);
+        for ord in [
+            VertexOrdering::Natural,
+            VertexOrdering::LargestDegreeFirst,
+            VertexOrdering::SmallestLast,
+            VertexOrdering::Random(3),
+        ] {
+            let order = order_vertices(&g, ord);
+            assert!(is_permutation(&order, 64), "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn ldf_puts_hub_first() {
+        let g = regular::star(10);
+        let order = order_vertices(&g, VertexOrdering::LargestDegreeFirst);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn smallest_last_puts_core_first() {
+        // Triangle with a pendant chain: the chain is removed first, so it
+        // lands at the *end* of the ordering and the triangle at the front.
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap();
+        let order = order_vertices(&g, VertexOrdering::SmallestLast);
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(4) > pos(0));
+        assert!(pos(4) > pos(1));
+        assert!(pos(3) > pos(2));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let g = grid_2d(5, 5);
+        assert_eq!(
+            order_vertices(&g, VertexOrdering::Random(9)),
+            order_vertices(&g, VertexOrdering::Random(9))
+        );
+        assert_ne!(
+            order_vertices(&g, VertexOrdering::Random(9)),
+            order_vertices(&g, VertexOrdering::Random(10))
+        );
+    }
+
+    #[test]
+    fn smallest_last_handles_regular_graphs() {
+        let order = order_vertices(&regular::cycle(10), VertexOrdering::SmallestLast);
+        assert!(is_permutation(&order, 10));
+    }
+
+    #[test]
+    fn empty_graph_orderings() {
+        let g = gc_graph::CsrGraph::empty();
+        for ord in [
+            VertexOrdering::Natural,
+            VertexOrdering::LargestDegreeFirst,
+            VertexOrdering::SmallestLast,
+            VertexOrdering::Random(0),
+        ] {
+            assert!(order_vertices(&g, ord).is_empty());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Coloring validation: the safety net every algorithm and test runs through.
+
+use gc_graph::{CsrGraph, VertexId};
+
+/// Sentinel for "not yet colored" in working arrays.
+pub const UNCOLORED: u32 = u32::MAX;
+
+/// A proper-coloring violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The color array length does not match the vertex count.
+    WrongLength { expected: usize, actual: usize },
+    /// A vertex is still [`UNCOLORED`].
+    Uncolored(VertexId),
+    /// Two adjacent vertices share a color.
+    Conflict { u: VertexId, v: VertexId, color: u32 },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::WrongLength { expected, actual } => {
+                write!(f, "color array has {actual} entries for {expected} vertices")
+            }
+            VerifyError::Uncolored(v) => write!(f, "vertex {v} is uncolored"),
+            VerifyError::Conflict { u, v, color } => {
+                write!(f, "adjacent vertices {u} and {v} share color {color}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify that `colors` is a proper coloring of `g`; returns the number of
+/// distinct colors used.
+pub fn verify_coloring(g: &CsrGraph, colors: &[u32]) -> Result<usize, VerifyError> {
+    if colors.len() != g.num_vertices() {
+        return Err(VerifyError::WrongLength {
+            expected: g.num_vertices(),
+            actual: colors.len(),
+        });
+    }
+    for v in g.vertices() {
+        if colors[v as usize] == UNCOLORED {
+            return Err(VerifyError::Uncolored(v));
+        }
+    }
+    for u in g.vertices() {
+        let cu = colors[u as usize];
+        for &v in g.neighbors(u) {
+            if u < v && colors[v as usize] == cu {
+                return Err(VerifyError::Conflict { u, v, color: cu });
+            }
+        }
+    }
+    Ok(count_colors(colors))
+}
+
+/// Number of distinct colors in a (complete) coloring.
+pub fn count_colors(colors: &[u32]) -> usize {
+    let mut seen: Vec<u32> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Group vertices by color — the "sets of independent vertices for
+/// subsequent parallel computations" the paper's motivating applications
+/// consume. Classes are ordered by ascending color value; every vertex in a
+/// class is pairwise non-adjacent with the others (given a proper coloring).
+pub fn color_classes(colors: &[u32]) -> Vec<Vec<VertexId>> {
+    let mut by_color: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+    for (v, &c) in colors.iter().enumerate() {
+        by_color.entry(c).or_default().push(v as VertexId);
+    }
+    by_color.into_values().collect()
+}
+
+/// Number of conflicting edges (diagnostic for speculative algorithms'
+/// intermediate states).
+pub fn count_conflicts(g: &CsrGraph, colors: &[u32]) -> usize {
+    g.edges()
+        .filter(|&(u, v)| {
+            let cu = colors[u as usize];
+            cu != UNCOLORED && cu == colors[v as usize]
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::regular;
+
+    #[test]
+    fn accepts_proper_coloring() {
+        let g = regular::cycle(4);
+        assert_eq!(verify_coloring(&g, &[0, 1, 0, 1]), Ok(2));
+    }
+
+    #[test]
+    fn rejects_conflict() {
+        let g = regular::path(3);
+        assert_eq!(
+            verify_coloring(&g, &[0, 0, 1]),
+            Err(VerifyError::Conflict { u: 0, v: 1, color: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_uncolored() {
+        let g = regular::path(2);
+        assert_eq!(
+            verify_coloring(&g, &[0, UNCOLORED]),
+            Err(VerifyError::Uncolored(1))
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = regular::path(3);
+        assert_eq!(
+            verify_coloring(&g, &[0, 1]),
+            Err(VerifyError::WrongLength { expected: 3, actual: 2 })
+        );
+    }
+
+    #[test]
+    fn counts_distinct_colors_not_max() {
+        // Colors need not be contiguous; count distinct values.
+        let g = regular::path(3);
+        assert_eq!(verify_coloring(&g, &[5, 9, 5]), Ok(2));
+        assert_eq!(count_colors(&[7, 7, 7]), 1);
+    }
+
+    #[test]
+    fn conflict_counting() {
+        let g = regular::cycle(4);
+        assert_eq!(count_conflicts(&g, &[0, 0, 0, 0]), 4);
+        assert_eq!(count_conflicts(&g, &[0, 1, 0, 1]), 0);
+        // Uncolored vertices never conflict.
+        assert_eq!(count_conflicts(&g, &[UNCOLORED, UNCOLORED, 0, 1]), 0);
+    }
+
+    #[test]
+    fn color_classes_partition_the_vertices() {
+        let classes = color_classes(&[1, 0, 1, 5, 0]);
+        assert_eq!(classes, vec![vec![1, 4], vec![0, 2], vec![3]]);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 5);
+        assert!(color_classes(&[]).is_empty());
+    }
+
+    #[test]
+    fn classes_of_proper_coloring_are_independent_sets() {
+        let g = regular::cycle(6);
+        let colors = [0, 1, 0, 1, 0, 1];
+        verify_coloring(&g, &colors).unwrap();
+        for class in color_classes(&colors) {
+            for (i, &u) in class.iter().enumerate() {
+                for &v in &class[i + 1..] {
+                    assert!(!g.has_edge(u, v), "({u},{v}) adjacent in one class");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(VerifyError::Uncolored(3).to_string().contains("uncolored"));
+        assert!(VerifyError::Conflict { u: 1, v: 2, color: 0 }
+            .to_string()
+            .contains("share color"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Degenerate inputs through every algorithm: empty graphs, edgeless
+//! graphs, singletons, and graphs of only isolated vertices.
+
+use gc_core::{cpu, gpu, seq, verify_coloring, GpuOptions, VertexOrdering};
+use gc_gpusim::DeviceConfig;
+use gc_graph::{from_edges, CsrGraph};
+
+fn tiny_opts() -> GpuOptions {
+    GpuOptions::baseline().with_device(DeviceConfig::small_test())
+}
+
+fn all_gpu_runs(g: &CsrGraph) -> Vec<gc_core::RunReport> {
+    vec![
+        gpu::maxmin::color(g, &tiny_opts()),
+        gpu::maxmin::color(g, &tiny_opts().with_frontier(true)),
+        gpu::maxmin::color(g, &tiny_opts().with_hybrid_threshold(Some(2))),
+        gpu::jp::color(g, &tiny_opts()),
+        gpu::first_fit::color(g, &tiny_opts()),
+        gpu::first_fit::color(g, &tiny_opts().with_hybrid_threshold(Some(2))),
+    ]
+}
+
+#[test]
+fn empty_graph_everywhere() {
+    let g = CsrGraph::empty();
+    for r in all_gpu_runs(&g) {
+        assert!(r.colors.is_empty(), "{}", r.algorithm);
+        assert_eq!(r.iterations, 0, "{}", r.algorithm);
+        verify_coloring(&g, &r.colors).unwrap();
+    }
+    assert!(seq::greedy_colors(&g, VertexOrdering::Natural).is_empty());
+    assert!(seq::dsatur_colors(&g).is_empty());
+    assert!(cpu::jones_plassmann(&g).colors.is_empty());
+    assert!(cpu::speculative_coloring(&g).colors.is_empty());
+}
+
+#[test]
+fn single_vertex_takes_one_color_in_one_round() {
+    let g = from_edges(1, &[]).unwrap();
+    for r in all_gpu_runs(&g) {
+        assert_eq!(verify_coloring(&g, &r.colors).unwrap(), 1, "{}", r.algorithm);
+        assert_eq!(r.iterations, 1, "{}", r.algorithm);
+    }
+}
+
+#[test]
+fn all_isolated_vertices_take_one_color() {
+    // Every vertex is trivially a local max AND min: one round, and for
+    // first-fit-style algorithms, one color.
+    let g = from_edges(50, &[]).unwrap();
+    for r in all_gpu_runs(&g) {
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.iterations, 1, "{}", r.algorithm);
+        assert!(r.num_colors <= 2, "{}: {} colors", r.algorithm, r.num_colors);
+    }
+    let r = gpu::first_fit::color(&g, &tiny_opts());
+    assert_eq!(r.num_colors, 1);
+}
+
+#[test]
+fn single_edge_works() {
+    let g = from_edges(2, &[(0, 1)]).unwrap();
+    for r in all_gpu_runs(&g) {
+        assert_eq!(verify_coloring(&g, &r.colors).unwrap(), 2, "{}", r.algorithm);
+    }
+}
+
+#[test]
+fn disconnected_components_color_independently() {
+    // Two triangles and a pendant pair.
+    let g = from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)]).unwrap();
+    for r in all_gpu_runs(&g) {
+        let k = verify_coloring(&g, &r.colors).unwrap();
+        assert!(k >= 3, "{}: needs a triangle's 3 colors, got {k}", r.algorithm);
+    }
+}
+
+#[test]
+fn hybrid_with_empty_high_bin_is_fine() {
+    // Threshold above the max degree: everything stays in the low bin.
+    let g = from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+    let r = gpu::maxmin::color(&g, &tiny_opts().with_hybrid_threshold(Some(100)));
+    verify_coloring(&g, &r.colors).unwrap();
+}
+
+#[test]
+fn hybrid_with_everything_in_high_bin_is_fine() {
+    // Threshold 0: every vertex with any edge goes to the cooperative path.
+    let g = from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+    let r = gpu::maxmin::color(&g, &tiny_opts().with_hybrid_threshold(Some(0)));
+    verify_coloring(&g, &r.colors).unwrap();
+    let r = gpu::first_fit::color(&g, &tiny_opts().with_hybrid_threshold(Some(0)));
+    verify_coloring(&g, &r.colors).unwrap();
+}
+
+#[test]
+fn wg_size_larger_than_graph_is_fine() {
+    let g = from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let mut opts = tiny_opts();
+    opts.wg_size = 64; // 3 vertices, 64-lane workgroups
+    let r = gpu::maxmin::color(&g, &opts);
+    verify_coloring(&g, &r.colors).unwrap();
+}
+
+#[test]
+fn stealing_chunk_of_one_item_is_fine() {
+    let g = from_edges(10, &[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]).unwrap();
+    let r = gpu::maxmin::color(
+        &g,
+        &tiny_opts().with_schedule(gc_core::WorkSchedule::WorkStealing { chunk: 1 }),
+    );
+    verify_coloring(&g, &r.colors).unwrap();
+    assert!(r.steal_pops >= 10);
+}
+
+#[test]
+fn distance2_and_balance_compose_with_gpu_colorings() {
+    let g = gc_graph::generators::grid_2d(8, 8);
+    // Distance-2 via the square-graph oracle.
+    let d2 = seq::distance2_colors(&g, VertexOrdering::Natural);
+    seq::verify_distance2(&g, &d2).unwrap();
+    // Balance a GPU coloring.
+    let mut colors = gpu::first_fit::color(&g, &tiny_opts()).colors;
+    gc_core::balance_coloring(&g, &mut colors, 5);
+    verify_coloring(&g, &colors).unwrap();
+}

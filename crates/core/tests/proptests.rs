@@ -1,0 +1,176 @@
+//! Property-based tests of the coloring algorithms: every algorithm, on
+//! arbitrary graphs, must produce a proper coloring — and the GPU
+//! algorithms must be schedule-invariant.
+
+use proptest::prelude::*;
+
+use gc_core::{cpu, gpu, seq, verify_coloring, GpuOptions, VertexOrdering, WorkSchedule};
+use gc_gpusim::DeviceConfig;
+use gc_graph::{from_edges, CsrGraph};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |edges| from_edges(n, &edges).unwrap())
+    })
+}
+
+fn tiny_opts() -> GpuOptions {
+    GpuOptions::baseline().with_device(DeviceConfig::small_test())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_greedy_is_always_proper(g in arb_graph(), seed in 0u64..100) {
+        for ordering in [
+            VertexOrdering::Natural,
+            VertexOrdering::LargestDegreeFirst,
+            VertexOrdering::SmallestLast,
+            VertexOrdering::Random(seed),
+        ] {
+            let r = seq::greedy_first_fit(&g, ordering);
+            let k = verify_coloring(&g, &r.colors).unwrap();
+            prop_assert!(k <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn dsatur_is_proper_and_at_most_greedy_bound(g in arb_graph()) {
+        let r = seq::dsatur(&g);
+        let k = verify_coloring(&g, &r.colors).unwrap();
+        prop_assert!(k <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn jones_plassmann_is_proper(g in arb_graph(), threads in 1usize..5, seed in 0u64..50) {
+        let r = cpu::jones_plassmann_with_threads(&g, threads, seed);
+        let k = verify_coloring(&g, &r.colors).unwrap();
+        prop_assert!(k <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn speculative_is_proper(g in arb_graph(), threads in 1usize..5, seed in 0u64..50) {
+        let r = cpu::speculative_coloring_with_threads(&g, threads, seed);
+        let k = verify_coloring(&g, &r.colors).unwrap();
+        prop_assert!(k <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn gpu_maxmin_is_proper_under_any_options(
+        g in arb_graph(),
+        seed in 0u64..50,
+        frontier in any::<bool>(),
+        hybrid in prop::option::of(1usize..16),
+        chunk in prop::option::of(1usize..64),
+    ) {
+        let mut opts = tiny_opts().with_seed(seed).with_frontier(frontier);
+        opts.hybrid_threshold = hybrid;
+        if let Some(c) = chunk {
+            opts.schedule = WorkSchedule::WorkStealing { chunk: c };
+        }
+        let r = gpu::maxmin::color(&g, &opts);
+        verify_coloring(&g, &r.colors).unwrap();
+        // Max/min colors at most 2 colors per iteration.
+        prop_assert!(r.num_colors <= 2 * r.iterations);
+    }
+
+    #[test]
+    fn gpu_first_fit_is_proper_under_any_options(
+        g in arb_graph(),
+        seed in 0u64..50,
+        hybrid in prop::option::of(1usize..16),
+        mask_words in 1usize..4,
+    ) {
+        let mut opts = tiny_opts().with_seed(seed);
+        opts.hybrid_threshold = hybrid;
+        opts.ff_mask_words = mask_words;
+        let r = gpu::first_fit::color(&g, &opts);
+        let k = verify_coloring(&g, &r.colors).unwrap();
+        prop_assert!(k <= g.max_degree() + 1);
+    }
+
+    /// Scheduling, compaction, and binning change timing, never colors.
+    #[test]
+    fn gpu_options_are_functionally_invisible(g in arb_graph(), seed in 0u64..50) {
+        let reference = gpu::maxmin::color(&g, &tiny_opts().with_seed(seed));
+        for opts in [
+            tiny_opts().with_seed(seed).with_schedule(WorkSchedule::DynamicHw),
+            tiny_opts().with_seed(seed).with_schedule(WorkSchedule::WorkStealing { chunk: 8 }),
+            tiny_opts().with_seed(seed).with_frontier(true),
+            tiny_opts().with_seed(seed).with_hybrid_threshold(Some(4)),
+        ] {
+            let r = gpu::maxmin::color(&g, &opts);
+            prop_assert_eq!(&r.colors, &reference.colors, "{}", r.algorithm);
+        }
+    }
+
+    /// Verification helpers agree with each other.
+    #[test]
+    fn verify_and_conflict_count_agree(g in arb_graph(), seed in 0u64..50) {
+        let r = gpu::first_fit::color(&g, &tiny_opts().with_seed(seed));
+        prop_assert_eq!(gc_core::count_conflicts(&g, &r.colors), 0);
+        prop_assert_eq!(gc_core::count_colors(&r.colors), r.num_colors);
+    }
+
+    /// The active-vertex curve is strictly decreasing and starts at |V|.
+    #[test]
+    fn active_curve_shape(g in arb_graph(), seed in 0u64..50) {
+        let r = gpu::maxmin::color(&g, &tiny_opts().with_seed(seed));
+        prop_assert_eq!(r.active_per_iteration[0], g.num_vertices());
+        prop_assert!(r.active_per_iteration.windows(2).all(|w| w[1] < w[0]));
+        prop_assert_eq!(r.iterations, r.active_per_iteration.len());
+    }
+
+    /// GPU Jones–Plassmann stays within the greedy bound on any graph.
+    #[test]
+    fn gpu_jp_is_proper_within_greedy_bound(
+        g in arb_graph(),
+        seed in 0u64..50,
+        hybrid in prop::option::of(1usize..16),
+    ) {
+        let mut opts = tiny_opts().with_seed(seed);
+        opts.hybrid_threshold = hybrid;
+        let r = gpu::jp::color(&g, &opts);
+        let k = verify_coloring(&g, &r.colors).unwrap();
+        prop_assert!(k <= g.max_degree() + 1);
+    }
+
+    /// Balancing any proper coloring keeps it proper and never adds colors.
+    #[test]
+    fn balancing_preserves_propriety(g in arb_graph(), seed in 0u64..50) {
+        let mut colors = gpu::first_fit::color(&g, &tiny_opts().with_seed(seed)).colors;
+        let before = gc_core::count_colors(&colors);
+        let before_cv = gc_core::class_imbalance(&colors);
+        gc_core::balance_coloring(&g, &mut colors, 5);
+        let after = verify_coloring(&g, &colors).unwrap();
+        prop_assert!(after <= before);
+        prop_assert!(gc_core::class_imbalance(&colors) <= before_cv + 1e-9);
+    }
+
+    /// Distance-2 greedy produces a valid distance-2 coloring (which is in
+    /// particular a proper distance-1 coloring).
+    #[test]
+    fn distance2_is_valid(g in arb_graph(), seed in 0u64..20) {
+        let colors = seq::distance2_colors(&g, VertexOrdering::Random(seed));
+        seq::verify_distance2(&g, &colors).unwrap();
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    /// color_classes partitions the vertex set into independent sets.
+    #[test]
+    fn color_classes_are_independent_sets(g in arb_graph(), seed in 0u64..20) {
+        let colors = gpu::maxmin::color(&g, &tiny_opts().with_seed(seed)).colors;
+        let classes = gc_core::color_classes(&colors);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        for class in classes {
+            for (i, &u) in class.iter().enumerate() {
+                for &v in &class[i + 1..] {
+                    prop_assert!(!g.has_edge(u, v));
+                }
+            }
+        }
+    }
+}

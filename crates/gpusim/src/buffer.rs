@@ -1,0 +1,344 @@
+//! Device buffers and the simulated global memory.
+//!
+//! Buffers are typed, contiguous allocations in a flat virtual address space.
+//! Each buffer gets a 256-byte-aligned base address so coalescing analysis
+//! never merges accesses to different buffers into one transaction.
+//!
+//! [`Buffer<T>`] is a cheap `Copy` handle; the backing storage lives in the
+//! device's internal memory arena. Out-of-bounds or wrongly-typed accesses panic
+//! with a descriptive message — they are kernel programming errors, the
+//! simulator equivalent of a GPU memory fault.
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Scalar element types storable in device buffers.
+///
+/// `BYTES` drives address computation for the coalescing model, so it must be
+/// the in-memory size of the type.
+pub trait DeviceScalar: Copy + Send + Sync + Default + fmt::Debug + PartialEq + 'static {
+    /// Size of one element in bytes.
+    const BYTES: u64;
+    /// Short type name used in fault messages.
+    const NAME: &'static str;
+}
+
+macro_rules! impl_device_scalar {
+    ($($ty:ty => $bytes:expr),* $(,)?) => {
+        $(impl DeviceScalar for $ty {
+            const BYTES: u64 = $bytes;
+            const NAME: &'static str = stringify!($ty);
+        })*
+    };
+}
+
+impl_device_scalar! {
+    u8 => 1,
+    u32 => 4,
+    i32 => 4,
+    u64 => 8,
+    i64 => 8,
+    f32 => 4,
+    f64 => 8,
+}
+
+/// Integer scalars supporting device atomics.
+pub trait AtomicScalar: DeviceScalar + Ord {
+    fn wrapping_add(self, rhs: Self) -> Self;
+    fn bit_or(self, rhs: Self) -> Self;
+    fn bit_and(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_atomic_scalar {
+    ($($ty:ty),* $(,)?) => {
+        $(impl AtomicScalar for $ty {
+            fn wrapping_add(self, rhs: Self) -> Self { <$ty>::wrapping_add(self, rhs) }
+            fn bit_or(self, rhs: Self) -> Self { self | rhs }
+            fn bit_and(self, rhs: Self) -> Self { self & rhs }
+        })*
+    };
+}
+
+impl_atomic_scalar!(u8, u32, i32, u64, i64);
+
+/// Handle to a device buffer of `len` elements of `T`.
+///
+/// Handles are tied to the [`crate::Gpu`] that created them; using a handle
+/// on another device panics (id/type mismatch) or reads unrelated memory.
+pub struct Buffer<T> {
+    pub(crate) id: u32,
+    pub(crate) len: usize,
+    pub(crate) base_addr: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Buffer<T> {}
+
+impl<T: DeviceScalar> Buffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Device virtual byte address of element `idx` (not bounds checked).
+    pub(crate) fn addr_of(&self, idx: usize) -> u64 {
+        self.base_addr + idx as u64 * T::BYTES
+    }
+}
+
+impl<T: DeviceScalar> fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Buffer<{}>(id={}, len={}, base={:#x})",
+            T::NAME,
+            self.id,
+            self.len,
+            self.base_addr
+        )
+    }
+}
+
+struct Slot {
+    data: Box<dyn Any + Send>,
+    elem_name: &'static str,
+}
+
+/// The device's global memory: an arena of typed allocations.
+pub(crate) struct MemoryState {
+    slots: Vec<Slot>,
+    next_base: u64,
+    bytes_allocated: u64,
+}
+
+/// Alignment of buffer base addresses; also guarantees distinct buffers never
+/// share a cache line under any sane cache-line size.
+const BASE_ALIGN: u64 = 256;
+
+impl MemoryState {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            // Leave address 0 unused so a zero address is always a bug.
+            next_base: BASE_ALIGN,
+            bytes_allocated: 0,
+        }
+    }
+
+    pub(crate) fn alloc<T: DeviceScalar>(&mut self, data: Vec<T>) -> Buffer<T> {
+        let len = data.len();
+        let id = u32::try_from(self.slots.len()).expect("too many buffers");
+        let base_addr = self.next_base;
+        let bytes = len as u64 * T::BYTES;
+        self.next_base += bytes.div_ceil(BASE_ALIGN).max(1) * BASE_ALIGN;
+        self.bytes_allocated += bytes;
+        self.slots.push(Slot {
+            data: Box::new(data),
+            elem_name: T::NAME,
+        });
+        Buffer {
+            id,
+            len,
+            base_addr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total bytes across live allocations.
+    pub(crate) fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated
+    }
+
+    /// Number of live buffers.
+    pub(crate) fn num_buffers(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[track_caller]
+    fn slot<T: DeviceScalar>(&self, buf: &Buffer<T>) -> &Vec<T> {
+        let slot = self
+            .slots
+            .get(buf.id as usize)
+            .unwrap_or_else(|| panic!("buffer id {} does not exist on this device", buf.id));
+        slot.data.downcast_ref::<Vec<T>>().unwrap_or_else(|| {
+            panic!(
+                "buffer id {} holds {} elements, accessed as {}",
+                buf.id, slot.elem_name, T::NAME
+            )
+        })
+    }
+
+    #[track_caller]
+    fn slot_mut<T: DeviceScalar>(&mut self, buf: &Buffer<T>) -> &mut Vec<T> {
+        let slot = self
+            .slots
+            .get_mut(buf.id as usize)
+            .unwrap_or_else(|| panic!("buffer id {} does not exist on this device", buf.id));
+        let name = slot.elem_name;
+        slot.data.downcast_mut::<Vec<T>>().unwrap_or_else(|| {
+            panic!(
+                "buffer id {} holds {} elements, accessed as {}",
+                buf.id, name, T::NAME
+            )
+        })
+    }
+
+    /// Full contents as a slice (host-side view).
+    #[track_caller]
+    pub(crate) fn as_slice<T: DeviceScalar>(&self, buf: &Buffer<T>) -> &[T] {
+        self.slot(buf)
+    }
+
+    /// Full contents as a mutable slice (host-side view).
+    #[track_caller]
+    pub(crate) fn as_slice_mut<T: DeviceScalar>(&mut self, buf: &Buffer<T>) -> &mut [T] {
+        self.slot_mut(buf)
+    }
+
+    #[track_caller]
+    pub(crate) fn load<T: DeviceScalar>(&self, buf: &Buffer<T>, idx: usize) -> T {
+        let v = self.slot(buf);
+        *v.get(idx).unwrap_or_else(|| {
+            panic!(
+                "device memory fault: read {}[{}] out of bounds (len {})",
+                T::NAME,
+                idx,
+                buf.len
+            )
+        })
+    }
+
+    #[track_caller]
+    pub(crate) fn store<T: DeviceScalar>(&mut self, buf: &Buffer<T>, idx: usize, value: T) {
+        let len = buf.len;
+        let v = self.slot_mut(buf);
+        let cell = v.get_mut(idx).unwrap_or_else(|| {
+            panic!(
+                "device memory fault: write {}[{}] out of bounds (len {})",
+                T::NAME,
+                idx,
+                len
+            )
+        });
+        *cell = value;
+    }
+
+    /// Read-modify-write returning the previous value. Lanes execute
+    /// sequentially, so plain RMW is an atomic under the simulator's
+    /// execution contract.
+    #[track_caller]
+    pub(crate) fn rmw<T: DeviceScalar>(
+        &mut self,
+        buf: &Buffer<T>,
+        idx: usize,
+        f: impl FnOnce(T) -> T,
+    ) -> T {
+        let len = buf.len;
+        let v = self.slot_mut(buf);
+        let cell = v.get_mut(idx).unwrap_or_else(|| {
+            panic!(
+                "device memory fault: atomic {}[{}] out of bounds (len {})",
+                T::NAME,
+                idx,
+                len
+            )
+        });
+        let old = *cell;
+        *cell = f(old);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut mem = MemoryState::new();
+        let buf = mem.alloc(vec![1u32, 2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(mem.load(&buf, 1), 2);
+        mem.store(&buf, 1, 42);
+        assert_eq!(mem.as_slice(&buf), &[1, 42, 3]);
+        assert_eq!(mem.bytes_allocated(), 12);
+        assert_eq!(mem.num_buffers(), 1);
+    }
+
+    #[test]
+    fn distinct_buffers_never_share_cache_lines() {
+        let mut mem = MemoryState::new();
+        let a = mem.alloc(vec![0u8; 3]);
+        let b = mem.alloc(vec![0u32; 5]);
+        assert!(a.base_addr.is_multiple_of(BASE_ALIGN));
+        assert!(b.base_addr.is_multiple_of(BASE_ALIGN));
+        let a_end = a.addr_of(2);
+        assert!(a_end / 64 < b.base_addr / 64, "no shared 64B line");
+    }
+
+    #[test]
+    fn addresses_scale_with_element_size() {
+        let mut mem = MemoryState::new();
+        let b = mem.alloc(vec![0u64; 4]);
+        assert_eq!(b.addr_of(3) - b.addr_of(0), 24);
+    }
+
+    #[test]
+    fn rmw_returns_old_value() {
+        let mut mem = MemoryState::new();
+        let b = mem.alloc(vec![10u32]);
+        let old = mem.rmw(&b, 0, |v| v + 5);
+        assert_eq!(old, 10);
+        assert_eq!(mem.load(&b, 0), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let mut mem = MemoryState::new();
+        let b = mem.alloc(vec![0u32; 2]);
+        let _ = mem.load(&b, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "accessed as")]
+    fn type_confusion_panics() {
+        let mut mem = MemoryState::new();
+        let b = mem.alloc(vec![0u32; 2]);
+        // Forge a handle with the wrong type but same id.
+        let forged = Buffer::<f32> {
+            id: b.id,
+            len: 2,
+            base_addr: b.base_addr,
+            _marker: PhantomData,
+        };
+        let _ = mem.load(&forged, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let mut mem = MemoryState::new();
+        let b = mem.alloc(Vec::<u32>::new());
+        assert!(b.is_empty());
+        assert_eq!(mem.as_slice(&b), &[] as &[u32]);
+    }
+
+    #[test]
+    fn atomic_scalar_ops() {
+        assert_eq!(5u32.wrapping_add(7), 12);
+        assert_eq!(0b101u32.bit_or(0b010), 0b111);
+        assert_eq!(0b101u32.bit_and(0b011), 0b001);
+        assert_eq!(u32::MAX.wrapping_add(1), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Optional explicit L2 cache model.
+//!
+//! The base timing model folds memory behaviour into one flat *effective*
+//! latency ([`crate::DeviceConfig::mem_latency_cycles`]). Enabling the L2
+//! (set [`crate::DeviceConfig::l2_size_bytes`] > 0) replaces that with an
+//! explicit shared set-associative LRU cache over coalesced transactions:
+//! hits pay `l2_hit_latency_cycles`, misses pay the full
+//! `mem_latency_cycles`. The F17 methodology experiment uses this to check
+//! how the flat approximation holds up per graph class, and to report hit
+//! rates (meshes and roads are cache-friendly, scattered power-law
+//! adjacency is not).
+//!
+//! The cache sees transactions in the simulator's deterministic execution
+//! order, so hit/miss sequences — like everything else — are exactly
+//! reproducible.
+
+/// Shared device L2: set-associative with LRU replacement, tracked at
+/// cache-line granularity.
+pub(crate) struct L2Cache {
+    /// `sets[s]` holds up to `ways` line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl L2Cache {
+    /// Build from a device config; returns `None` when the explicit cache
+    /// is disabled (`l2_size_bytes == 0`).
+    pub fn from_config(cfg: &crate::DeviceConfig) -> Option<Self> {
+        if cfg.l2_size_bytes == 0 {
+            return None;
+        }
+        let lines = cfg.l2_size_bytes / cfg.cacheline_bytes;
+        let ways = cfg.l2_ways.max(1);
+        let num_sets = (lines / ways as u64).max(1).next_power_of_two();
+        Some(Self {
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            ways,
+            set_mask: num_sets - 1,
+        })
+    }
+
+    /// Access one cache line; returns true on hit. Misses fill with LRU
+    /// eviction.
+    pub fn access(&mut self, line: u64) -> bool {
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&tag| tag == line) {
+            // Move to MRU position.
+            let tag = set.remove(pos);
+            set.push(tag);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0); // evict LRU
+            }
+            set.push(line);
+            false
+        }
+    }
+
+    /// Number of lines currently resident (for tests).
+    #[cfg(test)]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    fn tiny_cache(lines: u64, ways: usize) -> L2Cache {
+        let mut cfg = DeviceConfig::small_test();
+        cfg.l2_size_bytes = lines * cfg.cacheline_bytes;
+        cfg.l2_ways = ways;
+        L2Cache::from_config(&cfg).unwrap()
+    }
+
+    #[test]
+    fn disabled_when_size_zero() {
+        let cfg = DeviceConfig::small_test();
+        assert_eq!(cfg.l2_size_bytes, 0);
+        assert!(L2Cache::from_config(&cfg).is_none());
+    }
+
+    #[test]
+    fn hits_after_fill() {
+        let mut c = tiny_cache(8, 2);
+        assert!(!c.access(5));
+        assert!(c.access(5));
+        assert!(c.access(5));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 4 sets × 2 ways. Lines 0, 4, 8 all map to set 0.
+        let mut c = tiny_cache(8, 2);
+        assert!(!c.access(0));
+        assert!(!c.access(4));
+        assert!(!c.access(8)); // evicts 0
+        assert!(!c.access(0)); // miss again, evicts 4
+        assert!(c.access(8)); // still resident
+    }
+
+    #[test]
+    fn access_refreshes_lru_position() {
+        let mut c = tiny_cache(8, 2);
+        c.access(0);
+        c.access(4);
+        c.access(0); // refresh 0: now 4 is LRU
+        c.access(8); // evicts 4
+        assert!(c.access(0));
+        assert!(!c.access(4));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny_cache(8, 2);
+        for line in 0..4 {
+            assert!(!c.access(line));
+        }
+        for line in 0..4 {
+            assert!(c.access(line), "line {line}");
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two_sets() {
+        // 10 lines / 2 ways = 5 sets -> rounds up to 8 sets.
+        let mut cfg = DeviceConfig::small_test();
+        cfg.l2_size_bytes = 10 * cfg.cacheline_bytes;
+        cfg.l2_ways = 2;
+        let c = L2Cache::from_config(&cfg).unwrap();
+        assert_eq!(c.set_mask + 1, 8);
+    }
+}

@@ -1,0 +1,318 @@
+//! Device configuration: machine parameters of the simulated GPU.
+//!
+//! The default preset models the AMD Radeon HD 7950 ("Tahiti", GCN 1.0) used
+//! in the paper: 28 compute units, 64-lane wavefronts executed on 16-wide
+//! SIMD units over four cycles, 800 MHz engine clock, 64-byte cache lines.
+//!
+//! Latency/overhead parameters are *analytical model* constants, not measured
+//! silicon values. They are chosen so the first-order effects the paper
+//! studies (divergence, coalescing, atomic contention, kernel-launch
+//! overhead, workgroup dispatch) have realistic relative magnitudes. The
+//! reproduction targets relative shapes, not absolute cycle counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine parameters of the simulated device.
+///
+/// Construct via [`DeviceConfig::hd7950`] (the paper's GPU) or
+/// [`DeviceConfig::small_test`] (tiny deterministic device for unit tests),
+/// then adjust fields as needed. [`DeviceConfig::validate`] checks internal
+/// consistency and is called on every kernel dispatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name, echoed in metrics output.
+    pub name: String,
+    /// Number of compute units (CUs). HD 7950: 28.
+    pub num_cus: usize,
+    /// Lanes per wavefront. GCN: 64.
+    pub wavefront_size: usize,
+    /// SIMD units per CU; waves on different SIMDs issue concurrently. GCN: 4.
+    pub simds_per_cu: usize,
+    /// Physical SIMD width; a wavefront issues over
+    /// `wavefront_size / simd_width` cycles. GCN: 16.
+    pub simd_width: usize,
+    /// Maximum resident wavefronts per CU (occupancy cap). GCN: 40.
+    pub max_waves_per_cu: usize,
+    /// Engine clock in MHz, used only to convert cycles to milliseconds.
+    pub clock_mhz: u64,
+    /// Memory transaction granularity in bytes (coalescing window).
+    pub cacheline_bytes: u64,
+    /// Round-trip global memory latency in cycles. Exposure is divided by
+    /// the resident-wave occupancy (multithreading hides latency).
+    pub mem_latency_cycles: u64,
+    /// Issue cost of a vector memory instruction.
+    pub mem_issue_cycles: u64,
+    /// Additional cycles per extra coalesced transaction beyond the first.
+    pub mem_tx_cycles: u64,
+    /// Latency of one global atomic operation; same-address atomics within a
+    /// wavefront serialize and pay this repeatedly.
+    pub atomic_latency_cycles: u64,
+    /// LDS (local data share) access latency per conflict-free access.
+    pub lds_latency_cycles: u64,
+    /// Number of LDS banks; lanes hitting the same bank at different words
+    /// serialize.
+    pub lds_banks: usize,
+    /// Cost of a workgroup barrier.
+    pub barrier_cycles: u64,
+    /// Fixed host-side cost of launching a kernel, in device cycles.
+    /// Dominates when an algorithm relaunches tiny kernels many times.
+    pub kernel_launch_cycles: u64,
+    /// Hardware cost of dispatching one workgroup onto a CU.
+    pub wg_dispatch_cycles: u64,
+    /// Cost of one pop from the shared work-stealing chunk queue
+    /// (global atomic fetch-add plus bounds check).
+    pub steal_pop_cycles: u64,
+    /// Persistent workgroups per CU in work-stealing mode. Affects the
+    /// occupancy used for latency hiding.
+    pub persistent_wgs_per_cu: usize,
+    /// Explicit shared L2 capacity in bytes; 0 (the default) disables the
+    /// explicit cache and uses the flat effective `mem_latency_cycles` for
+    /// every transaction. See [`DeviceConfig::with_l2`].
+    pub l2_size_bytes: u64,
+    /// L2 associativity (ways per set); only meaningful when the explicit
+    /// cache is enabled.
+    pub l2_ways: usize,
+    /// Latency of an L2 hit when the explicit cache is enabled; misses pay
+    /// `mem_latency_cycles`.
+    pub l2_hit_latency_cycles: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's GPU: AMD Radeon HD 7950 (Tahiti).
+    pub fn hd7950() -> Self {
+        Self {
+            name: "AMD Radeon HD 7950 (simulated)".to_string(),
+            num_cus: 28,
+            wavefront_size: 64,
+            simds_per_cu: 4,
+            simd_width: 16,
+            max_waves_per_cu: 40,
+            clock_mhz: 800,
+            cacheline_bytes: 64,
+            mem_latency_cycles: 320,
+            mem_issue_cycles: 4,
+            mem_tx_cycles: 4,
+            atomic_latency_cycles: 96,
+            lds_latency_cycles: 2,
+            lds_banks: 32,
+            barrier_cycles: 12,
+            kernel_launch_cycles: 6000,
+            wg_dispatch_cycles: 24,
+            steal_pop_cycles: 160,
+            // Persistent-thread kernels size their grid to fill the
+            // machine: 10 workgroups × 4 waves saturates the 40-wave
+            // occupancy cap, matching how real implementations launch.
+            persistent_wgs_per_cu: 10,
+            l2_size_bytes: 0,
+            l2_ways: 16,
+            l2_hit_latency_cycles: 150,
+        }
+    }
+
+    /// Enable the explicit L2 model with Tahiti-like parameters (768 KiB,
+    /// 16-way, 150-cycle hits, full `mem_latency_cycles` misses). The
+    /// default configuration instead folds average cache behaviour into the
+    /// flat effective latency; the F17 experiment compares the two.
+    pub fn with_l2(mut self) -> Self {
+        self.l2_size_bytes = 768 * 1024;
+        self
+    }
+
+    /// The HD 7950's bigger sibling: AMD Radeon HD 7970 (Tahiti XT,
+    /// 32 CUs at 925 MHz). Used by the cross-device experiment.
+    pub fn hd7970() -> Self {
+        Self {
+            name: "AMD Radeon HD 7970 (simulated)".to_string(),
+            num_cus: 32,
+            clock_mhz: 925,
+            ..Self::hd7950()
+        }
+    }
+
+    /// A small integrated APU-class GPU (8 CUs at 720 MHz, lower occupancy
+    /// headroom) — the low end of the cross-device experiment.
+    pub fn apu_8cu() -> Self {
+        Self {
+            name: "8-CU APU (simulated)".to_string(),
+            num_cus: 8,
+            clock_mhz: 720,
+            max_waves_per_cu: 24,
+            ..Self::hd7950()
+        }
+    }
+
+    /// A 32-lane-warp device in the NVIDIA Kepler mold (single-cycle warp
+    /// issue, more schedulers). Halving the wavefront width halves the
+    /// blast radius of one high-degree vertex — the cross-device experiment
+    /// uses this to isolate the divergence term.
+    pub fn warp32() -> Self {
+        Self {
+            name: "32-lane-warp device (simulated)".to_string(),
+            num_cus: 16,
+            wavefront_size: 32,
+            simds_per_cu: 4,
+            simd_width: 32,
+            max_waves_per_cu: 48,
+            clock_mhz: 1000,
+            ..Self::hd7950()
+        }
+    }
+
+    /// A tiny device (2 CUs, 4-lane wavefronts) whose hand-computable costs
+    /// make unit tests tractable.
+    pub fn small_test() -> Self {
+        Self {
+            name: "test-device".to_string(),
+            num_cus: 2,
+            wavefront_size: 4,
+            simds_per_cu: 2,
+            simd_width: 2,
+            max_waves_per_cu: 8,
+            clock_mhz: 1000,
+            cacheline_bytes: 16,
+            mem_latency_cycles: 100,
+            mem_issue_cycles: 4,
+            mem_tx_cycles: 4,
+            atomic_latency_cycles: 20,
+            lds_latency_cycles: 2,
+            lds_banks: 4,
+            barrier_cycles: 4,
+            kernel_launch_cycles: 100,
+            wg_dispatch_cycles: 8,
+            steal_pop_cycles: 30,
+            persistent_wgs_per_cu: 2,
+            l2_size_bytes: 0,
+            l2_ways: 2,
+            l2_hit_latency_cycles: 20,
+        }
+    }
+
+    /// Cycles a full wavefront needs to flow through one SIMD for a single
+    /// vector instruction (`wavefront_size / simd_width`).
+    pub fn wave_issue_cycles(&self) -> u64 {
+        (self.wavefront_size as u64).div_ceil(self.simd_width as u64)
+    }
+
+    /// Convert device cycles to milliseconds at the configured clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz as f64 * 1e3)
+    }
+
+    /// Check internal consistency; returns a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cus == 0 {
+            return Err("num_cus must be positive".into());
+        }
+        if self.wavefront_size == 0 {
+            return Err("wavefront_size must be positive".into());
+        }
+        if self.simd_width == 0 || self.simds_per_cu == 0 {
+            return Err("SIMD geometry must be positive".into());
+        }
+        if !self.wavefront_size.is_multiple_of(self.simd_width) {
+            return Err(format!(
+                "wavefront_size ({}) must be a multiple of simd_width ({})",
+                self.wavefront_size, self.simd_width
+            ));
+        }
+        if self.max_waves_per_cu == 0 {
+            return Err("max_waves_per_cu must be positive".into());
+        }
+        if self.clock_mhz == 0 {
+            return Err("clock_mhz must be positive".into());
+        }
+        if !self.cacheline_bytes.is_power_of_two() {
+            return Err(format!(
+                "cacheline_bytes ({}) must be a power of two",
+                self.cacheline_bytes
+            ));
+        }
+        if self.lds_banks == 0 {
+            return Err("lds_banks must be positive".into());
+        }
+        if self.persistent_wgs_per_cu == 0 {
+            return Err("persistent_wgs_per_cu must be positive".into());
+        }
+        if self.l2_size_bytes > 0 {
+            if self.l2_ways == 0 {
+                return Err("l2_ways must be positive when the L2 is enabled".into());
+            }
+            if self.l2_size_bytes < self.cacheline_bytes {
+                return Err(format!(
+                    "l2_size_bytes ({}) must hold at least one cache line ({})",
+                    self.l2_size_bytes, self.cacheline_bytes
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::hd7950()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hd7950_matches_tahiti_geometry() {
+        let c = DeviceConfig::hd7950();
+        assert_eq!(c.num_cus, 28);
+        assert_eq!(c.wavefront_size, 64);
+        assert_eq!(c.simds_per_cu, 4);
+        assert_eq!(c.simd_width, 16);
+        assert_eq!(c.wave_issue_cycles(), 4);
+        c.validate().expect("preset must validate");
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [
+            DeviceConfig::small_test(),
+            DeviceConfig::hd7970(),
+            DeviceConfig::apu_8cu(),
+            DeviceConfig::warp32(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn warp32_issues_in_one_cycle() {
+        let c = DeviceConfig::warp32();
+        assert_eq!(c.wave_issue_cycles(), 1);
+        assert_eq!(c.wavefront_size, 32);
+    }
+
+    #[test]
+    fn cycles_to_ms_uses_clock() {
+        let c = DeviceConfig::hd7950();
+        // 800 MHz => 800k cycles per ms.
+        assert!((c.cycles_to_ms(800_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut c = DeviceConfig::hd7950();
+        c.wavefront_size = 60; // not a multiple of simd_width=16
+        assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::hd7950();
+        c.num_cus = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::hd7950();
+        c.cacheline_bytes = 48;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_hd7950() {
+        assert_eq!(DeviceConfig::default(), DeviceConfig::hd7950());
+    }
+}

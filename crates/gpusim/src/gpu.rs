@@ -1,0 +1,197 @@
+//! The device facade: buffer management, kernel launches, statistics.
+
+use crate::buffer::{Buffer, DeviceScalar, MemoryState};
+use crate::cache::L2Cache;
+use crate::config::DeviceConfig;
+use crate::kernel::{Kernel, Launch};
+use crate::metrics::{DeviceStats, KernelStats};
+use crate::scheduler::run_launch;
+
+/// A simulated GPU: global memory plus an execution/timing engine.
+///
+/// ```
+/// use gc_gpusim::{DeviceConfig, Gpu, LaneCtx, Launch};
+///
+/// let mut gpu = Gpu::new(DeviceConfig::hd7950());
+/// let xs = gpu.alloc_from(&[1.0f32, 2.0, 3.0]);
+/// let ys = gpu.alloc_filled(3, 0.0f32);
+/// let stats = gpu.launch(
+///     &|ctx: &mut LaneCtx| {
+///         let i = ctx.item();
+///         let x = ctx.read(xs, i);
+///         ctx.write(ys, i, x * 2.0);
+///     },
+///     Launch::threads("saxpy-ish", 3).wg_size(64),
+/// );
+/// assert_eq!(gpu.read_back(ys), vec![2.0, 4.0, 6.0]);
+/// assert!(stats.wall_cycles > 0);
+/// ```
+pub struct Gpu {
+    cfg: DeviceConfig,
+    mem: MemoryState,
+    stats: DeviceStats,
+    last_kernel: Option<KernelStats>,
+    /// Explicit L2 state; `None` under the flat-latency model. Persists
+    /// across launches (device data stays resident between kernels).
+    l2: Option<L2Cache>,
+}
+
+impl Gpu {
+    /// Create a device. Panics if the configuration is inconsistent.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid device config: {e}"));
+        let l2 = L2Cache::from_config(&cfg);
+        Self {
+            cfg,
+            mem: MemoryState::new(),
+            stats: DeviceStats::default(),
+            last_kernel: None,
+            l2,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocate a buffer initialized from host data.
+    pub fn alloc_from<T: DeviceScalar>(&mut self, data: &[T]) -> Buffer<T> {
+        self.mem.alloc(data.to_vec())
+    }
+
+    /// Allocate a buffer of `len` copies of `value`.
+    pub fn alloc_filled<T: DeviceScalar>(&mut self, len: usize, value: T) -> Buffer<T> {
+        self.mem.alloc(vec![value; len])
+    }
+
+    /// Copy a buffer's contents back to the host.
+    pub fn read_back<T: DeviceScalar>(&self, buf: Buffer<T>) -> Vec<T> {
+        self.mem.as_slice(&buf).to_vec()
+    }
+
+    /// Borrow a buffer's contents (host-side view, no copy).
+    pub fn read_slice<T: DeviceScalar>(&self, buf: Buffer<T>) -> &[T] {
+        self.mem.as_slice(&buf)
+    }
+
+    /// Overwrite a buffer from host data; lengths must match.
+    pub fn write_slice<T: DeviceScalar>(&mut self, buf: Buffer<T>, data: &[T]) {
+        let dst = self.mem.as_slice_mut(&buf);
+        assert_eq!(
+            dst.len(),
+            data.len(),
+            "write_slice length mismatch: buffer {}, host {}",
+            dst.len(),
+            data.len()
+        );
+        dst.copy_from_slice(data);
+    }
+
+    /// Fill a buffer with one value (simulated `memset`).
+    pub fn fill<T: DeviceScalar>(&mut self, buf: Buffer<T>, value: T) {
+        self.mem.as_slice_mut(&buf).fill(value);
+    }
+
+    /// Total bytes currently allocated on the device.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.mem.bytes_allocated()
+    }
+
+    /// Number of live buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.mem.num_buffers()
+    }
+
+    /// Execute a kernel over the launch's items; returns its statistics and
+    /// accumulates them into [`Gpu::stats`].
+    pub fn launch<K: Kernel>(&mut self, kernel: &K, launch: Launch) -> KernelStats {
+        let stats = run_launch(kernel, &launch, &self.cfg, &mut self.mem, &mut self.l2);
+        self.stats.absorb(&stats);
+        self.last_kernel = Some(stats.clone());
+        stats
+    }
+
+    /// Cumulative statistics since construction or the last reset.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Statistics of the most recent launch, if any.
+    pub fn last_kernel(&self) -> Option<&KernelStats> {
+        self.last_kernel.as_ref()
+    }
+
+    /// Clear cumulative statistics (buffers are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+        self.last_kernel = None;
+    }
+
+    /// Cumulative device time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.stats.total_ms(&self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::LaneCtx;
+
+    #[test]
+    fn end_to_end_launch_accumulates_stats() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let buf = gpu.alloc_filled(16, 0u32);
+        let kernel = move |ctx: &mut LaneCtx| {
+            let i = ctx.item();
+            ctx.write(buf, i, i as u32);
+        };
+        let s1 = gpu.launch(&kernel, Launch::threads("iota", 16).wg_size(4));
+        let s2 = gpu.launch(&kernel, Launch::threads("iota", 16).wg_size(4));
+        assert_eq!(s1.wall_cycles, s2.wall_cycles, "determinism");
+        assert_eq!(gpu.stats().kernels_launched, 2);
+        assert_eq!(gpu.stats().total_cycles, s1.wall_cycles * 2);
+        assert_eq!(gpu.stats().per_kernel["iota"].launches, 2);
+        let expect: Vec<u32> = (0..16).collect();
+        assert_eq!(gpu.read_back(buf), expect);
+        assert_eq!(gpu.last_kernel().unwrap().name, "iota");
+        gpu.reset_stats();
+        assert_eq!(gpu.stats().kernels_launched, 0);
+        assert!(gpu.last_kernel().is_none());
+    }
+
+    #[test]
+    fn write_slice_and_fill() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let buf = gpu.alloc_filled(4, 0u32);
+        gpu.write_slice(buf, &[1, 2, 3, 4]);
+        assert_eq!(gpu.read_slice(buf), &[1, 2, 3, 4]);
+        gpu.fill(buf, 9);
+        assert_eq!(gpu.read_back(buf), vec![9; 4]);
+        assert_eq!(gpu.num_buffers(), 1);
+        assert_eq!(gpu.bytes_allocated(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_slice_length_mismatch_panics() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let buf = gpu.alloc_filled(4, 0u32);
+        gpu.write_slice(buf, &[1, 2]);
+    }
+
+    #[test]
+    fn elapsed_ms_tracks_cycles() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let buf = gpu.alloc_filled(4, 0u32);
+        let kernel = move |ctx: &mut LaneCtx| {
+            ctx.write(buf, ctx.item(), 1);
+        };
+        gpu.launch(&kernel, Launch::threads("w", 4).wg_size(4));
+        let expect = gpu.config().cycles_to_ms(gpu.stats().total_cycles);
+        assert!((gpu.elapsed_ms() - expect).abs() < 1e-12);
+        assert!(gpu.elapsed_ms() > 0.0);
+    }
+}

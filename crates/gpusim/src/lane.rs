@@ -1,0 +1,415 @@
+//! The per-lane kernel execution context.
+//!
+//! A kernel body receives a [`LaneCtx`] and performs all device memory
+//! traffic through it. Every call both *executes* the operation against the
+//! simulated memory (functional result) and *records* it in the lane's trace
+//! (timing input).
+//!
+//! # Execution contract
+//!
+//! The simulator executes the lanes of a workgroup **sequentially in
+//! increasing local-id order**, each lane running its kernel body to
+//! completion. Consequences kernel authors rely on:
+//!
+//! * Atomics need no special machinery: a read-modify-write is indivisible.
+//! * [`LaneCtx::barrier`] is a **timing** construct only (it aligns the cost
+//!   model and charges barrier cycles). For cross-lane reductions through
+//!   LDS, accumulate with LDS atomics and let the **last** lane of the
+//!   workgroup ([`LaneCtx::is_last_in_group`]) read the final value — in
+//!   sequential order it observes every prior lane's contribution, and on a
+//!   real GPU the same code is correct with the barrier.
+//! * Cross-workgroup data races resolve in workgroup execution order, which
+//!   is deterministic for a given dispatch; algorithms must be correct under
+//!   *any* interleaving (as on real hardware), and the simulator realizes one
+//!   legal one.
+
+use crate::buffer::{AtomicScalar, Buffer, DeviceScalar};
+use crate::buffer::MemoryState;
+use crate::trace::{LaneTrace, Op};
+
+/// Identity of the executing lane within the dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneIds {
+    /// Index of the item this lane works on under `ThreadPerItem` grids, or
+    /// the workgroup's item under `WorkgroupPerItem` grids.
+    pub item: usize,
+    /// Lane index within the wavefront, `0..wavefront_size`.
+    pub lane: usize,
+    /// Wavefront index within the workgroup.
+    pub wave: usize,
+    /// Lane index within the workgroup, `0..group_size`.
+    pub local: usize,
+    /// Workgroup index within the dispatch.
+    pub group: usize,
+    /// Lanes per workgroup for this dispatch.
+    pub group_size: usize,
+    /// Total items in the dispatch.
+    pub num_items: usize,
+}
+
+/// Kernel-side handle to the device: memory access, LDS, and identity.
+pub struct LaneCtx<'a> {
+    pub(crate) mem: &'a mut MemoryState,
+    pub(crate) lds: &'a mut [u32],
+    pub(crate) trace: &'a mut LaneTrace,
+    pub(crate) ids: LaneIds,
+}
+
+impl<'a> LaneCtx<'a> {
+    /// The item index this invocation is responsible for. Under
+    /// `ThreadPerItem` grids this is the global thread id clamped to the
+    /// item range; under `WorkgroupPerItem` grids every lane of the group
+    /// sees the same item and cooperates via [`Self::local_id`].
+    #[inline]
+    pub fn item(&self) -> usize {
+        self.ids.item
+    }
+
+    /// Lane index within the wavefront.
+    #[inline]
+    pub fn lane_id(&self) -> usize {
+        self.ids.lane
+    }
+
+    /// Wavefront index within the workgroup.
+    #[inline]
+    pub fn wave_id(&self) -> usize {
+        self.ids.wave
+    }
+
+    /// Lane index within the workgroup.
+    #[inline]
+    pub fn local_id(&self) -> usize {
+        self.ids.local
+    }
+
+    /// Workgroup index within the dispatch.
+    #[inline]
+    pub fn group_id(&self) -> usize {
+        self.ids.group
+    }
+
+    /// Lanes per workgroup.
+    #[inline]
+    pub fn group_size(&self) -> usize {
+        self.ids.group_size
+    }
+
+    /// Total number of items in the dispatch.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.ids.num_items
+    }
+
+    /// True for the lane with the highest local id in the workgroup. Under
+    /// the sequential execution contract this lane observes every other
+    /// lane's LDS/global writes, so it is the canonical finalizer for
+    /// workgroup reductions.
+    #[inline]
+    pub fn is_last_in_group(&self) -> bool {
+        self.ids.local + 1 == self.ids.group_size
+    }
+
+    /// Charge `count` vector ALU instructions (compares, index math, bit
+    /// twiddling). Consecutive charges merge into one SIMT step.
+    #[inline]
+    pub fn alu(&mut self, count: u32) {
+        self.trace.push(Op::Alu(count));
+    }
+
+    /// Read `buf[idx]` from global memory.
+    #[inline]
+    #[track_caller]
+    pub fn read<T: DeviceScalar>(&mut self, buf: Buffer<T>, idx: usize) -> T {
+        self.trace.push(Op::GlobalRead {
+            addr: buf.addr_of(idx),
+        });
+        self.mem.load(&buf, idx)
+    }
+
+    /// Write `value` to `buf[idx]` in global memory.
+    #[inline]
+    #[track_caller]
+    pub fn write<T: DeviceScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) {
+        self.trace.push(Op::GlobalWrite {
+            addr: buf.addr_of(idx),
+        });
+        self.mem.store(&buf, idx, value);
+    }
+
+    #[inline]
+    #[track_caller]
+    fn atomic<T: DeviceScalar>(&mut self, buf: Buffer<T>, idx: usize, f: impl FnOnce(T) -> T) -> T {
+        self.trace.push(Op::GlobalAtomic {
+            addr: buf.addr_of(idx),
+        });
+        self.mem.rmw(&buf, idx, f)
+    }
+
+    /// Atomic `buf[idx] += value`, returning the previous value.
+    #[track_caller]
+    pub fn atomic_add<T: AtomicScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) -> T {
+        self.atomic(buf, idx, |old| old.wrapping_add(value))
+    }
+
+    /// Wavefront-aggregated atomic `buf[idx] += value`, returning the
+    /// previous value. Functionally identical to [`Self::atomic_add`];
+    /// in the timing model the wavefront's lanes combine (ballot + lane
+    /// scan) into a single memory atomic, so same-address lanes do not
+    /// serialize — the standard trick for worklist pushes.
+    #[track_caller]
+    pub fn atomic_add_aggregated<T: AtomicScalar>(
+        &mut self,
+        buf: Buffer<T>,
+        idx: usize,
+        value: T,
+    ) -> T {
+        self.trace.push(Op::GlobalAtomicAgg {
+            addr: buf.addr_of(idx),
+        });
+        self.mem.rmw(&buf, idx, |old| old.wrapping_add(value))
+    }
+
+    /// Atomic `buf[idx] = min(buf[idx], value)`, returning the previous value.
+    #[track_caller]
+    pub fn atomic_min<T: AtomicScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) -> T {
+        self.atomic(buf, idx, |old| old.min(value))
+    }
+
+    /// Atomic `buf[idx] = max(buf[idx], value)`, returning the previous value.
+    #[track_caller]
+    pub fn atomic_max<T: AtomicScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) -> T {
+        self.atomic(buf, idx, |old| old.max(value))
+    }
+
+    /// Atomic `buf[idx] |= value`, returning the previous value.
+    #[track_caller]
+    pub fn atomic_or<T: AtomicScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) -> T {
+        self.atomic(buf, idx, |old| old.bit_or(value))
+    }
+
+    /// Atomic `buf[idx] &= value`, returning the previous value.
+    #[track_caller]
+    pub fn atomic_and<T: AtomicScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) -> T {
+        self.atomic(buf, idx, |old| old.bit_and(value))
+    }
+
+    /// Atomic compare-and-swap: if `buf[idx] == expected`, store `new`.
+    /// Returns the previous value (equal to `expected` on success).
+    #[track_caller]
+    pub fn atomic_cas<T: AtomicScalar>(
+        &mut self,
+        buf: Buffer<T>,
+        idx: usize,
+        expected: T,
+        new: T,
+    ) -> T {
+        self.atomic(buf, idx, |old| if old == expected { new } else { old })
+    }
+
+    /// Atomic exchange, returning the previous value.
+    #[track_caller]
+    pub fn atomic_exch<T: AtomicScalar>(&mut self, buf: Buffer<T>, idx: usize, value: T) -> T {
+        self.atomic(buf, idx, |_| value)
+    }
+
+    /// Read LDS word `word` (workgroup-local scratch).
+    #[inline]
+    #[track_caller]
+    pub fn lds_read(&mut self, word: usize) -> u32 {
+        self.trace.push(Op::LdsRead { word: word as u32 });
+        self.lds[word]
+    }
+
+    /// Write LDS word `word`.
+    #[inline]
+    #[track_caller]
+    pub fn lds_write(&mut self, word: usize, value: u32) {
+        self.trace.push(Op::LdsWrite { word: word as u32 });
+        self.lds[word] = value;
+    }
+
+    /// Atomic `lds[word] |= value`, returning the previous value.
+    #[track_caller]
+    pub fn lds_atomic_or(&mut self, word: usize, value: u32) -> u32 {
+        self.trace.push(Op::LdsAtomic { word: word as u32 });
+        let old = self.lds[word];
+        self.lds[word] = old | value;
+        old
+    }
+
+    /// Atomic `lds[word] += value`, returning the previous value.
+    #[track_caller]
+    pub fn lds_atomic_add(&mut self, word: usize, value: u32) -> u32 {
+        self.trace.push(Op::LdsAtomic { word: word as u32 });
+        let old = self.lds[word];
+        self.lds[word] = old.wrapping_add(value);
+        old
+    }
+
+    /// Atomic `lds[word] = min(lds[word], value)`, returning the previous value.
+    #[track_caller]
+    pub fn lds_atomic_min(&mut self, word: usize, value: u32) -> u32 {
+        self.trace.push(Op::LdsAtomic { word: word as u32 });
+        let old = self.lds[word];
+        self.lds[word] = old.min(value);
+        old
+    }
+
+    /// Atomic `lds[word] = max(lds[word], value)`, returning the previous value.
+    #[track_caller]
+    pub fn lds_atomic_max(&mut self, word: usize, value: u32) -> u32 {
+        self.trace.push(Op::LdsAtomic { word: word as u32 });
+        let old = self.lds[word];
+        self.lds[word] = old.max(value);
+        old
+    }
+
+    /// Workgroup barrier. Timing-only under the execution contract (see
+    /// module docs); every lane of the workgroup must execute the same
+    /// number of barriers or the dispatch panics.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.trace.push(Op::Barrier);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OpKind;
+
+    fn ids() -> LaneIds {
+        LaneIds {
+            item: 3,
+            lane: 3,
+            wave: 0,
+            local: 3,
+            group: 1,
+            group_size: 4,
+            num_items: 100,
+        }
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&mut LaneCtx) -> R) -> (R, LaneTrace, Vec<u32>) {
+        let mut mem = MemoryState::new();
+        let buf = mem.alloc(vec![0u32; 8]);
+        let mut lds = vec![0u32; 16];
+        let mut trace = LaneTrace::new();
+        let r = {
+            let mut ctx = LaneCtx {
+                mem: &mut mem,
+                lds: &mut lds,
+                trace: &mut trace,
+                ids: ids(),
+            };
+            // Smoke the buffer through the ctx so `f` can reuse it if wanted.
+            ctx.write(buf, 0, 7);
+            f(&mut ctx)
+        };
+        (r, trace, lds)
+    }
+
+    #[test]
+    fn reads_and_writes_record_trace() {
+        let mut mem = MemoryState::new();
+        let buf = mem.alloc(vec![5u32, 6]);
+        let mut lds = vec![0u32; 1];
+        let mut trace = LaneTrace::new();
+        let mut ctx = LaneCtx {
+            mem: &mut mem,
+            lds: &mut lds,
+            trace: &mut trace,
+            ids: ids(),
+        };
+        assert_eq!(ctx.read(buf, 1), 6);
+        ctx.write(buf, 0, 9);
+        ctx.alu(2);
+        ctx.barrier();
+        // End the ctx borrow so `mem` can be inspected.
+        let LaneCtx { .. } = ctx;
+        let kinds: Vec<OpKind> = trace.ops().iter().map(|o| o.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::GlobalRead,
+                OpKind::GlobalWrite,
+                OpKind::Alu,
+                OpKind::Barrier
+            ]
+        );
+        assert_eq!(mem.load(&buf, 0), 9);
+    }
+
+    #[test]
+    fn atomics_return_old_values() {
+        let mut mem = MemoryState::new();
+        let buf = mem.alloc(vec![10u32; 4]);
+        let mut lds = vec![0u32; 1];
+        let mut trace = LaneTrace::new();
+        let mut ctx = LaneCtx {
+            mem: &mut mem,
+            lds: &mut lds,
+            trace: &mut trace,
+            ids: ids(),
+        };
+        assert_eq!(ctx.atomic_add(buf, 0, 5), 10);
+        assert_eq!(ctx.atomic_min(buf, 1, 3), 10);
+        assert_eq!(ctx.atomic_max(buf, 2, 99), 10);
+        assert_eq!(ctx.atomic_cas(buf, 3, 10, 1), 10);
+        assert_eq!(ctx.atomic_cas(buf, 3, 10, 2), 1); // fails, returns current
+        assert_eq!(ctx.atomic_exch(buf, 0, 0), 15);
+        // End the ctx borrow so `mem` can be inspected.
+        let LaneCtx { .. } = ctx;
+        assert_eq!(mem.as_slice(&buf), &[0, 3, 99, 1]);
+    }
+
+    #[test]
+    fn aggregated_atomic_is_functionally_plain() {
+        let mut mem = MemoryState::new();
+        let buf = mem.alloc(vec![100u32]);
+        let mut lds = vec![0u32; 1];
+        let mut trace = LaneTrace::new();
+        let mut ctx = LaneCtx {
+            mem: &mut mem,
+            lds: &mut lds,
+            trace: &mut trace,
+            ids: ids(),
+        };
+        assert_eq!(ctx.atomic_add_aggregated(buf, 0, 7), 100);
+        // End the ctx borrow so `mem` can be inspected.
+        let LaneCtx { .. } = ctx;
+        assert_eq!(mem.load(&buf, 0), 107);
+        assert_eq!(trace.ops().len(), 1);
+        assert_eq!(trace.ops()[0].kind(), OpKind::GlobalAtomicAgg);
+    }
+
+    #[test]
+    fn lds_atomics_accumulate() {
+        let ((), _trace, lds) = with_ctx(|ctx| {
+            ctx.lds_write(0, 0b001);
+            assert_eq!(ctx.lds_atomic_or(0, 0b100), 0b001);
+            assert_eq!(ctx.lds_atomic_add(1, 2), 0);
+            assert_eq!(ctx.lds_atomic_min(2, 0), 0);
+            ctx.lds_write(3, 5);
+            assert_eq!(ctx.lds_atomic_max(3, 9), 5);
+            assert_eq!(ctx.lds_read(0), 0b101);
+        });
+        assert_eq!(lds[0], 0b101);
+        assert_eq!(lds[1], 2);
+        assert_eq!(lds[3], 9);
+    }
+
+    #[test]
+    fn identity_accessors() {
+        let ((), _, _) = with_ctx(|ctx| {
+            assert_eq!(ctx.item(), 3);
+            assert_eq!(ctx.lane_id(), 3);
+            assert_eq!(ctx.local_id(), 3);
+            assert_eq!(ctx.group_id(), 1);
+            assert_eq!(ctx.group_size(), 4);
+            assert_eq!(ctx.num_items(), 100);
+            assert!(ctx.is_last_in_group());
+        });
+    }
+}

@@ -1,0 +1,260 @@
+//! Kernel- and device-level performance counters.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::config::DeviceConfig;
+
+/// Counters for one kernel dispatch.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelStats {
+    /// Launch name.
+    pub name: String,
+    /// Items processed.
+    pub items: usize,
+    /// Workgroup executions (chunks in work-stealing mode).
+    pub workgroups: u64,
+    /// Wavefront executions.
+    pub waves: u64,
+    /// Wall-clock device cycles including launch overhead.
+    pub wall_cycles: u64,
+    /// Fixed launch overhead included in `wall_cycles`.
+    pub launch_cycles: u64,
+    /// Busy cycles per compute unit (work executed there).
+    pub busy_per_cu: Vec<u64>,
+    /// SIMT steps executed across all waves.
+    pub steps: u64,
+    /// Active lane-operations (numerator of SIMD utilization).
+    pub active_lane_ops: u64,
+    /// `steps × wavefront_size` (denominator of SIMD utilization).
+    pub possible_lane_ops: u64,
+    /// Coalesced global-memory transactions.
+    pub mem_transactions: u64,
+    /// Vector memory instructions issued.
+    pub mem_instructions: u64,
+    /// Global atomic lane-operations.
+    pub global_atomics: u64,
+    /// SIMT steps with branch divergence.
+    pub divergent_steps: u64,
+    /// Queue pops in work-stealing mode.
+    pub steal_pops: u64,
+    /// Resident-wave occupancy used for latency hiding.
+    pub occupancy: u64,
+    /// L2 hits among read/write transactions (explicit-cache mode only).
+    pub l2_hits: u64,
+    /// L2 misses among read/write transactions (explicit-cache mode only).
+    pub l2_misses: u64,
+}
+
+impl KernelStats {
+    /// Fraction of SIMD lanes doing useful work, in `[0, 1]`.
+    pub fn simd_utilization(&self) -> f64 {
+        if self.possible_lane_ops == 0 {
+            1.0
+        } else {
+            self.active_lane_ops as f64 / self.possible_lane_ops as f64
+        }
+    }
+
+    /// Load imbalance across CUs: `max(busy) / mean(busy)`. 1.0 is perfectly
+    /// balanced; the paper's "load imbalance factor".
+    pub fn imbalance_factor(&self) -> f64 {
+        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.busy_per_cu.iter().sum();
+        if sum == 0 {
+            1.0
+        } else {
+            let mean = sum as f64 / self.busy_per_cu.len() as f64;
+            max as f64 / mean
+        }
+    }
+
+    /// Wall-clock time in milliseconds at the device clock.
+    pub fn time_ms(&self, cfg: &DeviceConfig) -> f64 {
+        cfg.cycles_to_ms(self.wall_cycles)
+    }
+
+    /// L2 hit rate in `[0, 1]`, or `None` when the explicit cache saw no
+    /// traffic (disabled, or a launch with no reads/writes).
+    pub fn l2_hit_rate(&self) -> Option<f64> {
+        let total = self.l2_hits + self.l2_misses;
+        (total > 0).then(|| self.l2_hits as f64 / total as f64)
+    }
+}
+
+/// Aggregated counters for all launches sharing a kernel name.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct KernelAggregate {
+    pub launches: u64,
+    pub wall_cycles: u64,
+    /// Fixed launch overhead included in `wall_cycles`.
+    pub launch_cycles: u64,
+    pub workgroups: u64,
+    pub waves: u64,
+    pub mem_transactions: u64,
+    pub global_atomics: u64,
+    pub steal_pops: u64,
+    pub active_lane_ops: u64,
+    pub possible_lane_ops: u64,
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    /// Per-CU busy cycles summed across this kernel's launches.
+    pub busy_per_cu: Vec<u64>,
+}
+
+impl KernelAggregate {
+    fn absorb(&mut self, s: &KernelStats) {
+        self.launches += 1;
+        self.wall_cycles += s.wall_cycles;
+        self.launch_cycles += s.launch_cycles;
+        self.workgroups += s.workgroups;
+        self.waves += s.waves;
+        self.mem_transactions += s.mem_transactions;
+        self.global_atomics += s.global_atomics;
+        self.steal_pops += s.steal_pops;
+        self.active_lane_ops += s.active_lane_ops;
+        self.possible_lane_ops += s.possible_lane_ops;
+        self.l2_hits += s.l2_hits;
+        self.l2_misses += s.l2_misses;
+        if self.busy_per_cu.len() < s.busy_per_cu.len() {
+            self.busy_per_cu.resize(s.busy_per_cu.len(), 0);
+        }
+        for (acc, &b) in self.busy_per_cu.iter_mut().zip(&s.busy_per_cu) {
+            *acc += b;
+        }
+    }
+
+    /// Load imbalance of this kernel across CUs, accumulated over its
+    /// launches (`max / mean` busy cycles).
+    pub fn imbalance_factor(&self) -> f64 {
+        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.busy_per_cu.iter().sum();
+        if sum == 0 {
+            1.0
+        } else {
+            max as f64 / (sum as f64 / self.busy_per_cu.len() as f64)
+        }
+    }
+
+    /// Aggregate SIMD utilization across the launches.
+    pub fn simd_utilization(&self) -> f64 {
+        if self.possible_lane_ops == 0 {
+            1.0
+        } else {
+            self.active_lane_ops as f64 / self.possible_lane_ops as f64
+        }
+    }
+}
+
+/// Cumulative device statistics since construction or the last reset.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DeviceStats {
+    /// Total wall cycles across all launches.
+    pub total_cycles: u64,
+    /// Number of kernel launches.
+    pub kernels_launched: u64,
+    /// Per-kernel-name aggregates.
+    pub per_kernel: BTreeMap<String, KernelAggregate>,
+    /// Per-CU busy cycles summed across launches.
+    pub busy_per_cu: Vec<u64>,
+}
+
+impl DeviceStats {
+    pub(crate) fn absorb(&mut self, s: &KernelStats) {
+        self.total_cycles += s.wall_cycles;
+        self.kernels_launched += 1;
+        self.per_kernel
+            .entry(s.name.clone())
+            .or_default()
+            .absorb(s);
+        if self.busy_per_cu.len() < s.busy_per_cu.len() {
+            self.busy_per_cu.resize(s.busy_per_cu.len(), 0);
+        }
+        for (acc, &b) in self.busy_per_cu.iter_mut().zip(&s.busy_per_cu) {
+            *acc += b;
+        }
+    }
+
+    /// Total time in milliseconds at the device clock.
+    pub fn total_ms(&self, cfg: &DeviceConfig) -> f64 {
+        cfg.cycles_to_ms(self.total_cycles)
+    }
+
+    /// Cumulative imbalance factor across all launches.
+    pub fn imbalance_factor(&self) -> f64 {
+        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.busy_per_cu.iter().sum();
+        if sum == 0 {
+            1.0
+        } else {
+            max as f64 / (sum as f64 / self.busy_per_cu.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(busy: Vec<u64>) -> KernelStats {
+        KernelStats {
+            name: "k".into(),
+            items: 10,
+            workgroups: 2,
+            waves: 4,
+            wall_cycles: 100,
+            launch_cycles: 10,
+            busy_per_cu: busy,
+            steps: 10,
+            active_lane_ops: 30,
+            possible_lane_ops: 40,
+            mem_transactions: 5,
+            mem_instructions: 5,
+            global_atomics: 1,
+            divergent_steps: 0,
+            steal_pops: 0,
+            occupancy: 4,
+            l2_hits: 3,
+            l2_misses: 1,
+        }
+    }
+
+    #[test]
+    fn utilization_and_imbalance() {
+        let s = stats(vec![10, 30]);
+        assert!((s.simd_utilization() - 0.75).abs() < 1e-12);
+        // max 30, mean 20 => 1.5
+        assert!((s.imbalance_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_is_one() {
+        let s = stats(vec![20, 20]);
+        assert!((s.imbalance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_busy_is_one() {
+        let s = stats(vec![]);
+        assert!((s.imbalance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_stats_aggregate_by_name() {
+        let mut d = DeviceStats::default();
+        d.absorb(&stats(vec![10, 30]));
+        d.absorb(&stats(vec![5, 5]));
+        assert_eq!(d.kernels_launched, 2);
+        assert_eq!(d.total_cycles, 200);
+        let agg = &d.per_kernel["k"];
+        assert_eq!(agg.launches, 2);
+        assert_eq!(agg.wall_cycles, 200);
+        assert_eq!(d.busy_per_cu, vec![15, 35]);
+        assert_eq!(agg.busy_per_cu, vec![15, 35]);
+        assert_eq!(agg.launch_cycles, 20);
+        // max 35, mean 25 => 1.4
+        assert!((agg.imbalance_factor() - 1.4).abs() < 1e-12);
+        assert!((agg.simd_utilization() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-lane operation traces.
+//!
+//! While a lane executes a kernel body it appends one [`Op`] per dynamic
+//! "instruction" to its trace. The timing model (the crate-private `wave`
+//! module) later folds
+//! the traces of all lanes of a wavefront in lockstep: operations at the same
+//! trace index across lanes form one SIMT step. Lanes whose trace is shorter
+//! (early loop exit, uncolored-vertex fast path, …) simply sit idle for the
+//! remaining steps — that idle time is exactly the intra-wavefront load
+//! imbalance the paper measures.
+
+/// One dynamic operation recorded by a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `count` back-to-back vector ALU instructions (compares, address math,
+    /// bit ops). Grouped lanes pay `max(count)` so a batch is one SIMT step.
+    Alu(u32),
+    /// Global memory read of one element at byte address `addr`.
+    GlobalRead { addr: u64 },
+    /// Global memory write of one element at byte address `addr`.
+    GlobalWrite { addr: u64 },
+    /// Global read-modify-write at byte address `addr`.
+    GlobalAtomic { addr: u64 },
+    /// Wavefront-aggregated read-modify-write at byte address `addr`: the
+    /// lanes of a step combine (ballot + lane scan) into a single memory
+    /// atomic, so same-address lanes do not serialize.
+    GlobalAtomicAgg { addr: u64 },
+    /// LDS read of word index `word` (within the workgroup's LDS).
+    LdsRead { word: u32 },
+    /// LDS write of word index `word`.
+    LdsWrite { word: u32 },
+    /// LDS read-modify-write of word index `word`.
+    LdsAtomic { word: u32 },
+    /// Workgroup barrier. All lanes of a workgroup must execute the same
+    /// number of barriers; traces are aligned on them.
+    Barrier,
+}
+
+/// Operation class used for divergence grouping: lanes whose op at a given
+/// step belongs to different kinds execute as serialized groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    Alu,
+    GlobalRead,
+    GlobalWrite,
+    GlobalAtomic,
+    GlobalAtomicAgg,
+    LdsRead,
+    LdsWrite,
+    LdsAtomic,
+    Barrier,
+}
+
+impl Op {
+    /// The divergence-grouping class of this operation.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Alu(_) => OpKind::Alu,
+            Op::GlobalRead { .. } => OpKind::GlobalRead,
+            Op::GlobalWrite { .. } => OpKind::GlobalWrite,
+            Op::GlobalAtomic { .. } => OpKind::GlobalAtomic,
+            Op::GlobalAtomicAgg { .. } => OpKind::GlobalAtomicAgg,
+            Op::LdsRead { .. } => OpKind::LdsRead,
+            Op::LdsWrite { .. } => OpKind::LdsWrite,
+            Op::LdsAtomic { .. } => OpKind::LdsAtomic,
+            Op::Barrier => OpKind::Barrier,
+        }
+    }
+
+    /// True if this is a global-memory operation (read, write, or atomic).
+    pub fn is_global_mem(&self) -> bool {
+        matches!(
+            self,
+            Op::GlobalRead { .. }
+                | Op::GlobalWrite { .. }
+                | Op::GlobalAtomic { .. }
+                | Op::GlobalAtomicAgg { .. }
+        )
+    }
+}
+
+/// A lane's recorded trace. Thin wrapper over `Vec<Op>` so the executor can
+/// reuse allocations across workgroups.
+#[derive(Debug, Default, Clone)]
+pub struct LaneTrace {
+    ops: Vec<Op>,
+}
+
+impl LaneTrace {
+    /// Empty trace with no preallocated capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one operation. Consecutive `Alu` ops merge into a batch so a
+    /// run of scalar arithmetic stays a single SIMT step; this keeps traces
+    /// compact and keeps step alignment meaningful (one step per source-level
+    /// `ctx.alu()` region).
+    pub fn push(&mut self, op: Op) {
+        if let (Op::Alu(n), Some(Op::Alu(m))) = (op, self.ops.last_mut()) {
+            *m = m.saturating_add(n);
+            return;
+        }
+        self.ops.push(op);
+    }
+
+    /// All recorded operations, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of barriers in the trace.
+    pub fn barrier_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Barrier)).count()
+    }
+
+    /// Clear contents but keep capacity (workhorse reuse).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Split the trace into barrier-delimited segments. Barrier ops
+    /// themselves are not part of any segment. A trace with `b` barriers
+    /// yields exactly `b + 1` segments (possibly empty).
+    pub fn segments(&self) -> impl Iterator<Item = &[Op]> {
+        self.ops.split(|o| matches!(o, Op::Barrier))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_merge() {
+        let mut t = LaneTrace::new();
+        t.push(Op::Alu(2));
+        t.push(Op::Alu(3));
+        assert_eq!(t.ops(), &[Op::Alu(5)]);
+        t.push(Op::GlobalRead { addr: 64 });
+        t.push(Op::Alu(1));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn alu_merge_saturates() {
+        let mut t = LaneTrace::new();
+        t.push(Op::Alu(u32::MAX));
+        t.push(Op::Alu(10));
+        assert_eq!(t.ops(), &[Op::Alu(u32::MAX)]);
+    }
+
+    #[test]
+    fn segments_split_on_barriers() {
+        let mut t = LaneTrace::new();
+        t.push(Op::Alu(1));
+        t.push(Op::Barrier);
+        t.push(Op::GlobalRead { addr: 0 });
+        t.push(Op::GlobalWrite { addr: 8 });
+        t.push(Op::Barrier);
+        let segs: Vec<&[Op]> = t.segments().collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], &[Op::Alu(1)]);
+        assert_eq!(segs[1].len(), 2);
+        assert!(segs[2].is_empty());
+        assert_eq!(t.barrier_count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_has_one_segment() {
+        let t = LaneTrace::new();
+        assert_eq!(t.segments().count(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn kinds_classify() {
+        assert_eq!(Op::Alu(1).kind(), OpKind::Alu);
+        assert_eq!(Op::GlobalAtomic { addr: 4 }.kind(), OpKind::GlobalAtomic);
+        assert!(Op::GlobalAtomic { addr: 4 }.is_global_mem());
+        assert!(!Op::LdsRead { word: 0 }.is_global_mem());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = LaneTrace::new();
+        for i in 0..100 {
+            t.push(Op::GlobalRead { addr: i * 64 });
+        }
+        let cap = t.ops.capacity();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.ops.capacity(), cap);
+    }
+}

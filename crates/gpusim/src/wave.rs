@@ -1,0 +1,491 @@
+//! Wavefront timing: lockstep folding of lane traces into cycle costs.
+//!
+//! The lanes of a wavefront execute in SIMT lockstep, so the cost of a
+//! wavefront is computed by aligning the lanes' operation traces index by
+//! index: the operations at trace index *i* across all lanes form one SIMT
+//! *step*. The model charges each step as follows:
+//!
+//! * Lanes whose op at a step differs in kind from other lanes **diverge**:
+//!   each kind group issues serially (branch divergence).
+//! * A lane whose trace has already ended is **idle** for the remaining
+//!   steps. Idle lanes are the intra-wavefront load imbalance the paper
+//!   studies: a wavefront is as slow as its busiest lane. SIMD utilization
+//!   is `active lane-ops / (wave_size × steps)`.
+//! * Global memory steps coalesce the group's addresses into cache-line
+//!   transactions. Cost: issue + extra-transaction cycles + exposed latency,
+//!   where latency is divided by the resident-wave occupancy (hardware
+//!   multithreading hides it).
+//! * Atomics to the same address serialize; distinct addresses pipeline.
+//! * LDS steps pay bank-conflict serialization (same-word access broadcasts).
+//!
+//! Barriers never appear here: workgroup folding splits traces into
+//! barrier-delimited segments first (see [`crate::workgroup`]).
+
+use crate::cache::L2Cache;
+use crate::config::DeviceConfig;
+use crate::trace::{Op, OpKind};
+
+/// Cost and counters of one barrier-delimited wavefront segment.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SegmentCost {
+    /// Issue + memory cycles charged to the wavefront.
+    pub cycles: u64,
+    /// Number of SIMT steps.
+    pub steps: u64,
+    /// Sum over steps of lanes that executed an op.
+    pub active_lane_ops: u64,
+    /// `steps × wave_size`: the lane-ops a fully utilized wave would do.
+    pub possible_lane_ops: u64,
+    /// Coalesced global-memory transactions issued.
+    pub mem_transactions: u64,
+    /// Global memory instructions (vector loads/stores/atomics) issued.
+    pub mem_instructions: u64,
+    /// Global atomic lane-operations executed.
+    pub global_atomics: u64,
+    /// Steps where more than one op kind was present (branch divergence).
+    pub divergent_steps: u64,
+    /// L2 hits among read/write transactions (explicit-cache mode only).
+    pub l2_hits: u64,
+    /// L2 misses among read/write transactions (explicit-cache mode only).
+    pub l2_misses: u64,
+}
+
+impl SegmentCost {
+    /// Accumulate another segment into this one.
+    pub fn add(&mut self, other: &SegmentCost) {
+        self.cycles += other.cycles;
+        self.steps += other.steps;
+        self.active_lane_ops += other.active_lane_ops;
+        self.possible_lane_ops += other.possible_lane_ops;
+        self.mem_transactions += other.mem_transactions;
+        self.mem_instructions += other.mem_instructions;
+        self.global_atomics += other.global_atomics;
+        self.divergent_steps += other.divergent_steps;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+    }
+}
+
+const NUM_KINDS: usize = 9;
+
+fn kind_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Alu => 0,
+        OpKind::GlobalRead => 1,
+        OpKind::GlobalWrite => 2,
+        OpKind::GlobalAtomic => 3,
+        OpKind::GlobalAtomicAgg => 4,
+        OpKind::LdsRead => 5,
+        OpKind::LdsWrite => 6,
+        OpKind::LdsAtomic => 7,
+        OpKind::Barrier => 8,
+    }
+}
+
+/// Reusable scratch for the fold, so the hot loop allocates nothing.
+#[derive(Default)]
+pub(crate) struct FoldScratch {
+    /// Per-kind address buckets for the current step.
+    addrs: [Vec<u64>; NUM_KINDS],
+    /// Max ALU batch size seen this step.
+    alu_max: u32,
+}
+
+impl FoldScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        for v in &mut self.addrs {
+            v.clear();
+        }
+        self.alu_max = 0;
+    }
+}
+
+/// Distinct values in a small sorted-in-place vector.
+fn distinct(values: &mut Vec<u64>) -> u64 {
+    values.sort_unstable();
+    values.dedup();
+    values.len() as u64
+}
+
+/// Max multiplicity of any single value (vector must be sorted).
+fn max_multiplicity(values: &mut [u64]) -> u64 {
+    values.sort_unstable();
+    let mut best = 0u64;
+    let mut run = 0u64;
+    let mut prev = None;
+    for &v in values.iter() {
+        if Some(v) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(v);
+        }
+        best = best.max(run);
+    }
+    best
+}
+
+/// Fold one barrier-delimited segment of a wavefront's lanes.
+///
+/// `lanes` holds each lane's op slice for this segment (shorter slices go
+/// idle). `occupancy` is the resident-wave count used for latency hiding and
+/// must be ≥ 1.
+pub(crate) fn fold_wave_segment(
+    lanes: &[&[Op]],
+    wave_size: usize,
+    cfg: &DeviceConfig,
+    occupancy: u64,
+    scratch: &mut FoldScratch,
+    l2: &mut Option<L2Cache>,
+) -> SegmentCost {
+    debug_assert!(occupancy >= 1);
+    let mut cost = SegmentCost::default();
+    let max_len = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
+    let issue = cfg.wave_issue_cycles();
+    let exposed_latency = cfg.mem_latency_cycles / occupancy;
+
+    for i in 0..max_len {
+        scratch.clear();
+        let mut groups_present = [false; NUM_KINDS];
+        let mut active = 0u64;
+        for lane in lanes {
+            let Some(op) = lane.get(i) else { continue };
+            active += 1;
+            let k = kind_index(op.kind());
+            groups_present[k] = true;
+            match *op {
+                Op::Alu(n) => scratch.alu_max = scratch.alu_max.max(n),
+                Op::GlobalRead { addr }
+                | Op::GlobalWrite { addr }
+                | Op::GlobalAtomic { addr }
+                | Op::GlobalAtomicAgg { addr } => scratch.addrs[k].push(addr),
+                Op::LdsRead { word } | Op::LdsWrite { word } | Op::LdsAtomic { word } => {
+                    scratch.addrs[k].push(word as u64)
+                }
+                Op::Barrier => {
+                    unreachable!("barriers are stripped before wave folding")
+                }
+            }
+        }
+
+        let group_count = groups_present.iter().filter(|&&p| p).count() as u64;
+        let mut step_cycles = 0u64;
+
+        if groups_present[kind_index(OpKind::Alu)] {
+            step_cycles += scratch.alu_max as u64 * issue;
+        }
+        for kind in [OpKind::GlobalRead, OpKind::GlobalWrite] {
+            let k = kind_index(kind);
+            if groups_present[k] {
+                let mut lines: Vec<u64> = scratch.addrs[k]
+                    .iter()
+                    .map(|a| a / cfg.cacheline_bytes)
+                    .collect();
+                let tx = distinct(&mut lines);
+                // With the explicit L2 the step is as slow as its slowest
+                // transaction: a single miss exposes the full latency.
+                let latency = match l2 {
+                    Some(cache) => {
+                        let mut any_miss = false;
+                        for &line in lines.iter() {
+                            if cache.access(line) {
+                                cost.l2_hits += 1;
+                            } else {
+                                cost.l2_misses += 1;
+                                any_miss = true;
+                            }
+                        }
+                        let raw = if any_miss {
+                            cfg.mem_latency_cycles
+                        } else {
+                            cfg.l2_hit_latency_cycles
+                        };
+                        raw / occupancy
+                    }
+                    None => exposed_latency,
+                };
+                step_cycles += issue
+                    + cfg.mem_issue_cycles
+                    + tx.saturating_sub(1) * cfg.mem_tx_cycles
+                    + latency;
+                cost.mem_transactions += tx;
+                cost.mem_instructions += 1;
+            }
+        }
+        {
+            let k = kind_index(OpKind::GlobalAtomic);
+            if groups_present[k] {
+                let lanes_in_group = scratch.addrs[k].len() as u64;
+                let mult = max_multiplicity(&mut scratch.addrs[k]);
+                let mut lines: Vec<u64> = scratch.addrs[k]
+                    .iter()
+                    .map(|a| a / cfg.cacheline_bytes)
+                    .collect();
+                let tx = distinct(&mut lines);
+                step_cycles += issue + cfg.mem_issue_cycles + mult * cfg.atomic_latency_cycles;
+                cost.mem_transactions += tx;
+                cost.mem_instructions += 1;
+                cost.global_atomics += lanes_in_group;
+            }
+        }
+        {
+            // Aggregated atomics: ballot + lane scan (a few extra issue
+            // cycles) then ONE memory atomic per distinct address —
+            // same-address lanes never serialize.
+            let k = kind_index(OpKind::GlobalAtomicAgg);
+            if groups_present[k] {
+                let lanes_in_group = scratch.addrs[k].len() as u64;
+                let distinct_addrs = distinct(&mut scratch.addrs[k]);
+                step_cycles += 2 * issue + cfg.mem_issue_cycles + cfg.atomic_latency_cycles;
+                cost.mem_transactions += distinct_addrs;
+                cost.mem_instructions += 1;
+                cost.global_atomics += lanes_in_group;
+            }
+        }
+        for kind in [OpKind::LdsRead, OpKind::LdsWrite, OpKind::LdsAtomic] {
+            let k = kind_index(kind);
+            if groups_present[k] {
+                let degree = if kind == OpKind::LdsAtomic {
+                    // Same-word LDS atomics serialize per colliding lane.
+                    max_multiplicity(&mut scratch.addrs[k])
+                } else {
+                    // Bank conflicts: distinct words mapping to the same bank
+                    // serialize; same-word access broadcasts.
+                    let words = &mut scratch.addrs[k];
+                    words.sort_unstable();
+                    words.dedup();
+                    let banks = cfg.lds_banks as u64;
+                    let mut per_bank = vec![0u64; cfg.lds_banks];
+                    for &w in words.iter() {
+                        per_bank[(w % banks) as usize] += 1;
+                    }
+                    per_bank.into_iter().max().unwrap_or(0).max(1)
+                };
+                step_cycles += issue + degree * cfg.lds_latency_cycles;
+            }
+        }
+
+        cost.cycles += step_cycles;
+        cost.steps += 1;
+        cost.active_lane_ops += active;
+        cost.possible_lane_ops += wave_size as u64;
+        if group_count > 1 {
+            cost.divergent_steps += 1;
+        }
+    }
+
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::small_test() // wave 4, simd 2 => issue 2; line 16B
+    }
+
+    fn fold(lanes: &[&[Op]], occupancy: u64) -> SegmentCost {
+        let c = cfg();
+        let mut scratch = FoldScratch::new();
+        let mut no_l2 = None;
+        fold_wave_segment(lanes, c.wavefront_size, &c, occupancy, &mut scratch, &mut no_l2)
+    }
+
+    fn fold_with_l2(lanes: &[&[Op]], l2: &mut Option<L2Cache>) -> SegmentCost {
+        let mut c = cfg();
+        c.l2_size_bytes = 64 * c.cacheline_bytes;
+        let mut scratch = FoldScratch::new();
+        fold_wave_segment(lanes, c.wavefront_size, &c, 1, &mut scratch, l2)
+    }
+
+    #[test]
+    fn empty_lanes_cost_nothing() {
+        let cost = fold(&[&[], &[], &[], &[]], 1);
+        assert_eq!(cost, SegmentCost::default());
+    }
+
+    #[test]
+    fn coalesced_read_is_one_transaction() {
+        // 4 lanes read 4 consecutive u32 addresses within one 16B line.
+        let ops: Vec<Vec<Op>> = (0..4)
+            .map(|l| vec![Op::GlobalRead { addr: 256 + l * 4 }])
+            .collect();
+        let lanes: Vec<&[Op]> = ops.iter().map(|v| v.as_slice()).collect();
+        let cost = fold(&lanes, 1);
+        assert_eq!(cost.mem_transactions, 1);
+        assert_eq!(cost.steps, 1);
+        // issue(2) + mem_issue(4) + 0 extra tx + latency 100
+        assert_eq!(cost.cycles, 2 + 4 + 100);
+        assert_eq!(cost.active_lane_ops, 4);
+    }
+
+    #[test]
+    fn scattered_reads_cost_extra_transactions() {
+        // 4 lanes read addresses 256 apart: 4 distinct lines.
+        let ops: Vec<Vec<Op>> = (0..4)
+            .map(|l| vec![Op::GlobalRead { addr: 256 * (l + 1) }])
+            .collect();
+        let lanes: Vec<&[Op]> = ops.iter().map(|v| v.as_slice()).collect();
+        let cost = fold(&lanes, 1);
+        assert_eq!(cost.mem_transactions, 4);
+        // issue(2) + mem_issue(4) + 3 extra*4 + latency 100
+        assert_eq!(cost.cycles, 2 + 4 + 12 + 100);
+    }
+
+    #[test]
+    fn occupancy_hides_latency() {
+        let ops: Vec<Vec<Op>> = (0..4)
+            .map(|l| vec![Op::GlobalRead { addr: 256 + l * 4 }])
+            .collect();
+        let lanes: Vec<&[Op]> = ops.iter().map(|v| v.as_slice()).collect();
+        let full = fold(&lanes, 1).cycles;
+        let hidden = fold(&lanes, 10).cycles;
+        assert_eq!(full - hidden, 100 - 10);
+    }
+
+    #[test]
+    fn idle_lanes_reduce_utilization() {
+        // Lane 0 does 4 ALU steps, others do 1: utilization = (4+3)/(4*4).
+        let long = vec![Op::Alu(1), Op::GlobalRead { addr: 0 }, Op::Alu(1), Op::Alu(1)];
+        let short = vec![Op::Alu(1)];
+        let lanes: Vec<&[Op]> = vec![&long, &short, &short, &short];
+        let cost = fold(&lanes, 1);
+        assert_eq!(cost.steps, 4);
+        assert_eq!(cost.active_lane_ops, 7);
+        assert_eq!(cost.possible_lane_ops, 16);
+    }
+
+    #[test]
+    fn divergence_serializes_groups() {
+        // At step 0 two lanes read while two do ALU: both groups pay.
+        let read = vec![Op::GlobalRead { addr: 256 }];
+        let alu = vec![Op::Alu(1)];
+        let lanes: Vec<&[Op]> = vec![&read, &read, &alu, &alu];
+        let cost = fold(&lanes, 1);
+        assert_eq!(cost.divergent_steps, 1);
+        // alu: max(1)*2 ; read: 2 + 4 + 100
+        assert_eq!(cost.cycles, 2 + (2 + 4 + 100));
+    }
+
+    #[test]
+    fn same_address_atomics_serialize() {
+        let same: Vec<Vec<Op>> = (0..4).map(|_| vec![Op::GlobalAtomic { addr: 512 }]).collect();
+        let lanes: Vec<&[Op]> = same.iter().map(|v| v.as_slice()).collect();
+        let serialized = fold(&lanes, 1);
+
+        let distinct_ops: Vec<Vec<Op>> = (0..4)
+            .map(|l| vec![Op::GlobalAtomic { addr: 512 + l * 256 }])
+            .collect();
+        let lanes2: Vec<&[Op]> = distinct_ops.iter().map(|v| v.as_slice()).collect();
+        let pipelined = fold(&lanes2, 1);
+
+        assert!(serialized.cycles > pipelined.cycles);
+        assert_eq!(serialized.global_atomics, 4);
+        // serialized: mult 4 => 4*20 ; pipelined: mult 1 => 20
+        assert_eq!(serialized.cycles - pipelined.cycles, 3 * 20);
+    }
+
+    #[test]
+    fn l2_hits_are_cheaper_than_misses() {
+        let mut c = cfg();
+        c.l2_size_bytes = 64 * c.cacheline_bytes;
+        let mut l2 = L2Cache::from_config(&c);
+        assert!(l2.is_some());
+        let ops: Vec<Vec<Op>> = (0..4)
+            .map(|l| vec![Op::GlobalRead { addr: 256 + l * 4 }])
+            .collect();
+        let lanes: Vec<&[Op]> = ops.iter().map(|v| v.as_slice()).collect();
+        let cold = fold_with_l2(&lanes, &mut l2);
+        let warm = fold_with_l2(&lanes, &mut l2);
+        assert_eq!(cold.l2_misses, 1);
+        assert_eq!(cold.l2_hits, 0);
+        assert_eq!(warm.l2_hits, 1);
+        assert_eq!(warm.l2_misses, 0);
+        // miss latency 100 vs hit latency 20.
+        assert_eq!(cold.cycles - warm.cycles, 100 - 20);
+    }
+
+    #[test]
+    fn aggregated_atomics_do_not_serialize() {
+        let same: Vec<Vec<Op>> = (0..4)
+            .map(|_| vec![Op::GlobalAtomicAgg { addr: 512 }])
+            .collect();
+        let lanes: Vec<&[Op]> = same.iter().map(|v| v.as_slice()).collect();
+        let agg = fold(&lanes, 1);
+
+        let plain: Vec<Vec<Op>> = (0..4).map(|_| vec![Op::GlobalAtomic { addr: 512 }]).collect();
+        let lanes2: Vec<&[Op]> = plain.iter().map(|v| v.as_slice()).collect();
+        let serialized = fold(&lanes2, 1);
+
+        assert!(agg.cycles < serialized.cycles, "agg {} vs plain {}", agg.cycles, serialized.cycles);
+        // One transaction, one atomic latency, all four lane-ops counted.
+        assert_eq!(agg.mem_transactions, 1);
+        assert_eq!(agg.global_atomics, 4);
+        // agg: 2*issue(2) + mem_issue(4) + latency(20) = 28
+        assert_eq!(agg.cycles, 4 + 4 + 20);
+    }
+
+    #[test]
+    fn lds_bank_conflicts_serialize() {
+        // 4 banks on the test device. Words 0 and 4 share bank 0.
+        let conflict: Vec<Vec<Op>> = vec![
+            vec![Op::LdsRead { word: 0 }],
+            vec![Op::LdsRead { word: 4 }],
+            vec![Op::LdsRead { word: 1 }],
+            vec![Op::LdsRead { word: 2 }],
+        ];
+        let lanes: Vec<&[Op]> = conflict.iter().map(|v| v.as_slice()).collect();
+        let conflicted = fold(&lanes, 1);
+
+        let clean: Vec<Vec<Op>> = (0..4).map(|l| vec![Op::LdsRead { word: l as u32 }]).collect();
+        let lanes2: Vec<&[Op]> = clean.iter().map(|v| v.as_slice()).collect();
+        let fast = fold(&lanes2, 1);
+        assert!(conflicted.cycles > fast.cycles);
+        assert_eq!(conflicted.cycles - fast.cycles, 2); // one extra lds_latency
+    }
+
+    #[test]
+    fn same_word_lds_broadcasts() {
+        let bcast: Vec<Vec<Op>> = (0..4).map(|_| vec![Op::LdsRead { word: 0 }]).collect();
+        let lanes: Vec<&[Op]> = bcast.iter().map(|v| v.as_slice()).collect();
+        let cost = fold(&lanes, 1);
+        // issue 2 + degree 1 * 2
+        assert_eq!(cost.cycles, 4);
+    }
+
+    #[test]
+    fn alu_batch_costs_max_across_lanes() {
+        let big = vec![Op::Alu(10)];
+        let small = vec![Op::Alu(2)];
+        let lanes: Vec<&[Op]> = vec![&big, &small, &small, &small];
+        let cost = fold(&lanes, 1);
+        assert_eq!(cost.cycles, 10 * 2);
+        assert_eq!(cost.divergent_steps, 0);
+    }
+
+    #[test]
+    fn segment_cost_add_accumulates() {
+        let a = SegmentCost {
+            cycles: 10,
+            steps: 2,
+            active_lane_ops: 5,
+            possible_lane_ops: 8,
+            mem_transactions: 1,
+            mem_instructions: 1,
+            global_atomics: 0,
+            divergent_steps: 1,
+            l2_hits: 2,
+            l2_misses: 1,
+        };
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b.cycles, 20);
+        assert_eq!(b.steps, 4);
+        assert_eq!(b.mem_transactions, 2);
+    }
+}

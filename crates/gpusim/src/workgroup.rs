@@ -1,0 +1,357 @@
+//! Workgroup execution: functional run of the lanes plus cost folding.
+
+use crate::buffer::MemoryState;
+use crate::cache::L2Cache;
+use crate::config::DeviceConfig;
+use crate::kernel::Kernel;
+use crate::lane::{LaneCtx, LaneIds};
+use crate::trace::{LaneTrace, Op};
+use crate::wave::{fold_wave_segment, FoldScratch, SegmentCost};
+
+/// Work assigned to one workgroup execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WgWork {
+    /// Thread-per-item over `start..end` (one lane per item).
+    Range { start: usize, end: usize },
+    /// Workgroup-per-item over `start..end`: the whole group cooperates on
+    /// each item in turn (a work-stealing chunk may hold several).
+    Items { start: usize, end: usize },
+}
+
+/// Result of executing one workgroup's work.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WgOutcome {
+    /// Cycles the owning CU is busy executing this work.
+    pub service_cycles: u64,
+    /// Wavefront executions.
+    pub waves: u64,
+    /// Aggregated step counters.
+    pub cost: SegmentCost,
+}
+
+/// Executes workgroups, reusing trace/LDS allocations across calls.
+pub(crate) struct WgExecutor {
+    traces: Vec<LaneTrace>,
+    lds: Vec<u32>,
+    scratch: FoldScratch,
+    /// Per-lane barrier-segment boundaries, reused.
+    seg_bounds: Vec<Vec<(usize, usize)>>,
+}
+
+/// Static parameters shared by every workgroup of a launch.
+pub(crate) struct WgParams<'a> {
+    pub cfg: &'a DeviceConfig,
+    pub kernel_name: &'a str,
+    pub wg_size: usize,
+    pub lds_words: usize,
+    pub num_items: usize,
+    pub occupancy: u64,
+}
+
+impl WgExecutor {
+    pub fn new() -> Self {
+        Self {
+            traces: Vec::new(),
+            lds: Vec::new(),
+            scratch: FoldScratch::new(),
+            seg_bounds: Vec::new(),
+        }
+    }
+
+    /// Execute one workgroup's work (functionally and in the cost model).
+    pub fn run(
+        &mut self,
+        kernel: &dyn Kernel,
+        mem: &mut MemoryState,
+        l2: &mut Option<L2Cache>,
+        params: &WgParams<'_>,
+        group_id: usize,
+        work: WgWork,
+    ) -> WgOutcome {
+        let mut outcome = WgOutcome::default();
+        match work {
+            WgWork::Range { start, end } => {
+                // A range larger than the workgroup (a work-stealing chunk)
+                // is processed in workgroup-sized slices, like a persistent
+                // workgroup iterating its chunk.
+                let mut s = start;
+                while s < end {
+                    let e = (s + params.wg_size).min(end);
+                    let inst =
+                        self.exec_instance(kernel, mem, l2, params, group_id, e - s, |l| s + l);
+                    accumulate(&mut outcome, inst);
+                    s = e;
+                }
+            }
+            WgWork::Items { start, end } => {
+                for item in start..end {
+                    let inst = self.exec_instance(kernel, mem, l2, params, group_id, params.wg_size, |_| {
+                        item
+                    });
+                    accumulate(&mut outcome, inst);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Run `active_lanes` lanes of one workgroup instance and fold the cost.
+    #[allow(clippy::too_many_arguments)] // internal hot path; a param struct would obscure it
+    fn exec_instance(
+        &mut self,
+        kernel: &dyn Kernel,
+        mem: &mut MemoryState,
+        l2: &mut Option<L2Cache>,
+        params: &WgParams<'_>,
+        group_id: usize,
+        active_lanes: usize,
+        item_for_lane: impl Fn(usize) -> usize,
+    ) -> WgOutcome {
+        let cfg = params.cfg;
+        let wave_size = cfg.wavefront_size;
+
+        if self.traces.len() < active_lanes {
+            self.traces.resize_with(active_lanes, LaneTrace::new);
+        }
+        self.lds.clear();
+        self.lds.resize(params.lds_words, 0);
+
+        // Functional execution: lanes in increasing local-id order.
+        for local in 0..active_lanes {
+            let trace = &mut self.traces[local];
+            trace.clear();
+            let mut ctx = LaneCtx {
+                mem,
+                lds: &mut self.lds,
+                trace,
+                ids: LaneIds {
+                    item: item_for_lane(local),
+                    lane: local % wave_size,
+                    wave: local / wave_size,
+                    local,
+                    group: group_id,
+                    group_size: params.wg_size,
+                    num_items: params.num_items,
+                },
+            };
+            kernel.run(&mut ctx);
+        }
+
+        // Barrier discipline: every lane must hit the same number.
+        let barriers = if active_lanes > 0 {
+            self.traces[0].barrier_count()
+        } else {
+            0
+        };
+        for (local, t) in self.traces[..active_lanes].iter().enumerate() {
+            if t.barrier_count() != barriers {
+                panic!(
+                    "kernel '{}': lane {local} of workgroup {group_id} executed {} barriers \
+                     but lane 0 executed {barriers} (barriers must be workgroup-uniform)",
+                    params.kernel_name,
+                    t.barrier_count(),
+                );
+            }
+        }
+
+        // Segment boundaries per lane.
+        if self.seg_bounds.len() < active_lanes {
+            self.seg_bounds.resize_with(active_lanes, Vec::new);
+        }
+        for (local, t) in self.traces[..active_lanes].iter().enumerate() {
+            let bounds = &mut self.seg_bounds[local];
+            bounds.clear();
+            let mut seg_start = 0usize;
+            for (i, op) in t.ops().iter().enumerate() {
+                if matches!(op, Op::Barrier) {
+                    bounds.push((seg_start, i));
+                    seg_start = i + 1;
+                }
+            }
+            bounds.push((seg_start, t.len()));
+        }
+
+        let waves = active_lanes.div_ceil(wave_size).max(if active_lanes == 0 { 0 } else { 1 });
+        let mut service = 0u64;
+        let mut total_cost = SegmentCost::default();
+
+        for seg in 0..=barriers {
+            let mut seg_max = 0u64;
+            let mut seg_sum = 0u64;
+            for w in 0..waves {
+                let lo = w * wave_size;
+                let hi = ((w + 1) * wave_size).min(active_lanes);
+                let mut lane_slices: Vec<&[Op]> = Vec::with_capacity(hi - lo);
+                for local in lo..hi {
+                    let (s, e) = self.seg_bounds[local][seg];
+                    lane_slices.push(&self.traces[local].ops()[s..e]);
+                }
+                let cost = fold_wave_segment(
+                    &lane_slices,
+                    wave_size,
+                    cfg,
+                    params.occupancy,
+                    &mut self.scratch,
+                    l2,
+                );
+                seg_max = seg_max.max(cost.cycles);
+                seg_sum += cost.cycles;
+                total_cost.add(&cost);
+            }
+            // Waves of a workgroup overlap across the CU's SIMD units:
+            // throughput-bound at simds_per_cu, but never faster than the
+            // slowest wave.
+            let simds = cfg.simds_per_cu as u64;
+            service += seg_max.max(seg_sum.div_ceil(simds));
+            if seg < barriers {
+                service += cfg.barrier_cycles;
+            }
+        }
+
+        WgOutcome {
+            service_cycles: service,
+            waves: waves as u64,
+            cost: total_cost,
+        }
+    }
+}
+
+fn accumulate(into: &mut WgOutcome, inst: WgOutcome) {
+    into.service_cycles += inst.service_cycles;
+    into.waves += inst.waves;
+    into.cost.add(&inst.cost);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemoryState;
+
+    fn params(cfg: &DeviceConfig, wg_size: usize, lds: usize, n: usize) -> WgParams<'_> {
+        WgParams {
+            cfg,
+            kernel_name: "test",
+            wg_size,
+            lds_words: lds,
+            num_items: n,
+            occupancy: 1,
+        }
+    }
+
+    #[test]
+    fn range_work_runs_each_item_once() {
+        let cfg = DeviceConfig::small_test();
+        let mut mem = MemoryState::new();
+        let buf = mem.alloc(vec![0u32; 10]);
+        let kernel = move |ctx: &mut LaneCtx| {
+            let i = ctx.item();
+            let v = ctx.read(buf, i);
+            ctx.write(buf, i, v + 1);
+        };
+        let mut ex = WgExecutor::new();
+        let p = params(&cfg, 4, 0, 10);
+        // Two workgroups of 4 plus a partial one of 2.
+        let o1 = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Range { start: 0, end: 4 });
+        let _ = ex.run(&kernel, &mut mem, &mut None, &p, 1, WgWork::Range { start: 4, end: 8 });
+        let o3 = ex.run(&kernel, &mut mem, &mut None, &p, 2, WgWork::Range { start: 8, end: 10 });
+        assert_eq!(mem.as_slice(&buf), &[1u32; 10]);
+        assert!(o1.service_cycles > 0);
+        assert_eq!(o1.waves, 1);
+        // Partial workgroup has lower utilization (2 of 4 lanes).
+        assert!(o3.cost.active_lane_ops < o3.cost.possible_lane_ops);
+    }
+
+    #[test]
+    fn items_work_cooperates_per_item() {
+        let cfg = DeviceConfig::small_test();
+        let mut mem = MemoryState::new();
+        let sums = mem.alloc(vec![0u32; 3]);
+        // Each lane atomically adds its local id + 1; per item the total is
+        // 1+2+3+4 = 10.
+        let kernel = move |ctx: &mut LaneCtx| {
+            let item = ctx.item();
+            let v = ctx.local_id() as u32 + 1;
+            ctx.atomic_add(sums, item, v);
+        };
+        let mut ex = WgExecutor::new();
+        let p = params(&cfg, 4, 0, 3);
+        let o = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Items { start: 0, end: 3 });
+        assert_eq!(mem.as_slice(&sums), &[10, 10, 10]);
+        assert_eq!(o.waves, 3); // one wave per item instance
+    }
+
+    #[test]
+    fn last_lane_sees_lds_accumulation() {
+        let cfg = DeviceConfig::small_test();
+        let mut mem = MemoryState::new();
+        let out = mem.alloc(vec![0u32; 1]);
+        // Reduction pattern: every lane ORs a bit into LDS word 0, barrier,
+        // last lane publishes.
+        let kernel = move |ctx: &mut LaneCtx| {
+            let bit = 1u32 << ctx.local_id();
+            ctx.lds_atomic_or(0, bit);
+            ctx.barrier();
+            if ctx.is_last_in_group() {
+                let v = ctx.lds_read(0);
+                ctx.write(out, 0, v);
+            }
+        };
+        let mut ex = WgExecutor::new();
+        let p = params(&cfg, 4, 1, 1);
+        let o = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Items { start: 0, end: 1 });
+        assert_eq!(mem.as_slice(&out), &[0b1111]);
+        // Barrier cost charged once.
+        assert!(o.service_cycles >= cfg.barrier_cycles);
+    }
+
+    #[test]
+    fn lds_is_zeroed_per_item() {
+        let cfg = DeviceConfig::small_test();
+        let mut mem = MemoryState::new();
+        let out = mem.alloc(vec![0u32; 2]);
+        let kernel = move |ctx: &mut LaneCtx| {
+            ctx.lds_atomic_add(0, 1);
+            ctx.barrier();
+            if ctx.is_last_in_group() {
+                let v = ctx.lds_read(0);
+                ctx.write(out, ctx.item(), v);
+            }
+        };
+        let mut ex = WgExecutor::new();
+        let p = params(&cfg, 4, 1, 2);
+        ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Items { start: 0, end: 2 });
+        // Without zeroing, item 1 would read 8.
+        assert_eq!(mem.as_slice(&out), &[4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "barriers must be workgroup-uniform")]
+    fn divergent_barriers_panic() {
+        let cfg = DeviceConfig::small_test();
+        let mut mem = MemoryState::new();
+        let kernel = |ctx: &mut LaneCtx| {
+            if ctx.local_id() == 0 {
+                ctx.barrier();
+            }
+        };
+        let mut ex = WgExecutor::new();
+        let p = params(&cfg, 4, 0, 4);
+        ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Range { start: 0, end: 4 });
+    }
+
+    #[test]
+    fn multi_wave_workgroup_overlaps_on_simds() {
+        let cfg = DeviceConfig::small_test(); // 2 SIMDs per CU
+        let mut mem = MemoryState::new();
+        let kernel = |ctx: &mut LaneCtx| {
+            ctx.alu(8);
+        };
+        let mut ex = WgExecutor::new();
+        // 8 lanes = 2 waves; each wave costs 8*2 = 16 cycles of ALU.
+        let p = params(&cfg, 8, 0, 8);
+        let o = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Range { start: 0, end: 8 });
+        assert_eq!(o.waves, 2);
+        // max(16, (16+16)/2) = 16, not 32: the waves overlap.
+        assert_eq!(o.service_cycles, 16);
+    }
+}

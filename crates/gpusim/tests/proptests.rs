@@ -1,0 +1,139 @@
+//! Property-based tests of the simulator's execution and timing invariants.
+
+use proptest::prelude::*;
+
+use gc_gpusim::{DeviceConfig, Gpu, LaneCtx, Launch, ScheduleMode};
+
+fn schedules() -> [ScheduleMode; 4] {
+    [
+        ScheduleMode::StaticRoundRobin,
+        ScheduleMode::DynamicHw,
+        ScheduleMode::WorkStealing { chunk_items: 5 },
+        ScheduleMode::WorkStealing { chunk_items: 1000 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every item executes exactly once, under every schedule and any
+    /// wavefront-aligned workgroup size.
+    #[test]
+    fn each_item_runs_exactly_once(n in 0usize..500, wg_mult in 1usize..5, sched in 0usize..4) {
+        let cfg = DeviceConfig::small_test();
+        let mut gpu = Gpu::new(cfg.clone());
+        let counts = gpu.alloc_filled(n.max(1), 0u32);
+        let kernel = move |ctx: &mut LaneCtx| {
+            let i = ctx.item();
+            ctx.atomic_add(counts, i, 1u32);
+        };
+        let mut launch = Launch::threads("count", n).wg_size(wg_mult * cfg.wavefront_size);
+        launch.mode = schedules()[sched];
+        gpu.launch(&kernel, launch);
+        let host = gpu.read_back(counts);
+        for (i, &c) in host.iter().enumerate().take(n) {
+            prop_assert_eq!(c, 1, "item {}", i);
+        }
+    }
+
+    /// Wall time always includes launch overhead and at least the slowest
+    /// CU's busy time; utilization stays within [0, 1].
+    #[test]
+    fn timing_sanity(n in 1usize..300, alu in 1u32..50) {
+        let cfg = DeviceConfig::small_test();
+        let mut gpu = Gpu::new(cfg.clone());
+        let kernel = move |ctx: &mut LaneCtx| {
+            ctx.alu(alu + ctx.item() as u32 % 7);
+        };
+        let stats = gpu.launch(&kernel, Launch::threads("alu", n).wg_size(4));
+        let max_busy = stats.busy_per_cu.iter().copied().max().unwrap();
+        prop_assert_eq!(stats.wall_cycles, max_busy + cfg.kernel_launch_cycles);
+        let util = stats.simd_utilization();
+        prop_assert!((0.0..=1.0).contains(&util));
+        prop_assert!(stats.imbalance_factor() >= 1.0 - 1e-12);
+        prop_assert_eq!(stats.items, n);
+    }
+
+    /// The same kernel does the same total work under static and dynamic
+    /// dispatch: only the placement differs.
+    #[test]
+    fn static_and_dynamic_do_identical_work(n in 1usize..300) {
+        let cfg = DeviceConfig::small_test();
+        let run = |mode: ScheduleMode| {
+            let mut gpu = Gpu::new(cfg.clone());
+            let data = gpu.alloc_filled(n, 0u32);
+            let kernel = move |ctx: &mut LaneCtx| {
+                let i = ctx.item();
+                let v = ctx.read(data, i);
+                ctx.alu((i % 13) as u32);
+                ctx.write(data, i, v + 1);
+            };
+            let mut launch = Launch::threads("w", n).wg_size(4);
+            launch.mode = mode;
+            gpu.launch(&kernel, launch)
+        };
+        let stat = run(ScheduleMode::StaticRoundRobin);
+        let dynamic = run(ScheduleMode::DynamicHw);
+        let total = |s: &gc_gpusim::KernelStats| s.busy_per_cu.iter().sum::<u64>();
+        prop_assert_eq!(total(&stat), total(&dynamic));
+        prop_assert_eq!(stat.steps, dynamic.steps);
+        prop_assert_eq!(stat.mem_transactions, dynamic.mem_transactions);
+        // Note: no ordering between the wall times is asserted — greedy
+        // list scheduling is a heuristic, and round-robin can beat it
+        // (e.g. workgroup costs [4,1,1,4] on two CUs).
+    }
+
+    /// Atomic adds from every lane accumulate exactly.
+    #[test]
+    fn atomics_accumulate_exactly(n in 1usize..400, sched in 0usize..4) {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let total = gpu.alloc_filled(1, 0u64);
+        let kernel = move |ctx: &mut LaneCtx| {
+            let i = ctx.item() as u64;
+            ctx.atomic_add(total, 0, i);
+        };
+        let mut launch = Launch::threads("sum", n).wg_size(8);
+        launch.mode = schedules()[sched];
+        gpu.launch(&kernel, launch);
+        let expect: u64 = (0..n as u64).sum();
+        prop_assert_eq!(gpu.read_slice(total)[0], expect);
+    }
+
+    /// Cumulative device stats equal the sum of per-launch stats.
+    #[test]
+    fn device_stats_accumulate(launches in 1usize..6, n in 1usize..100) {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let buf = gpu.alloc_filled(n, 0u32);
+        let kernel = move |ctx: &mut LaneCtx| {
+            let i = ctx.item();
+            ctx.write(buf, i, 1);
+        };
+        let mut sum = 0u64;
+        for _ in 0..launches {
+            sum += gpu.launch(&kernel, Launch::threads("k", n).wg_size(4)).wall_cycles;
+        }
+        prop_assert_eq!(gpu.stats().total_cycles, sum);
+        prop_assert_eq!(gpu.stats().kernels_launched, launches as u64);
+        prop_assert_eq!(gpu.stats().per_kernel["k"].launches, launches as u64);
+    }
+
+    /// Raising the occupancy cap never slows a kernel down.
+    #[test]
+    fn occupancy_is_monotone(n in 64usize..400) {
+        let mut prev = u64::MAX;
+        for cap in [1usize, 2, 4, 8] {
+            let mut cfg = DeviceConfig::small_test();
+            cfg.max_waves_per_cu = cap;
+            let mut gpu = Gpu::new(cfg);
+            let data = gpu.alloc_filled(n, 0u32);
+            let kernel = move |ctx: &mut LaneCtx| {
+                let i = ctx.item();
+                let v = ctx.read(data, i);
+                ctx.write(data, i, v + 1);
+            };
+            let stats = gpu.launch(&kernel, Launch::threads("mem", n).wg_size(8));
+            prop_assert!(stats.wall_cycles <= prev, "cap {cap}");
+            prev = stats.wall_cycles;
+        }
+    }
+}

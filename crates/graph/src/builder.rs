@@ -1,0 +1,184 @@
+//! Edge-list to CSR construction.
+//!
+//! The builder accepts arbitrary (possibly duplicated, self-looping,
+//! one-directional) edges and produces a clean undirected [`CsrGraph`]:
+//! symmetrized, deduplicated, self-loops dropped, adjacency sorted.
+
+use crate::csr::{CsrGraph, GraphError, VertexId};
+
+/// Accumulates edges and builds a validated [`CsrGraph`].
+///
+/// ```
+/// use gc_graph::GraphBuilder;
+/// let g = GraphBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(1, 2) // duplicate, dropped
+///     .edge(3, 3) // self loop, dropped
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.degree(3), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `num_vertices` vertices and no edges yet.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocate for an expected number of undirected edges.
+    pub fn with_capacity(num_vertices: usize, edges: usize) -> Self {
+        Self {
+            num_vertices,
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Add an undirected edge. Out-of-range endpoints are reported at
+    /// [`GraphBuilder::build`] time; self loops and duplicates are dropped
+    /// silently (real datasets are full of them).
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Add an undirected edge through a mutable reference (loop-friendly).
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Extend from an iterator of undirected edges.
+    pub fn extend_edges(&mut self, iter: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        self.edges.extend(iter);
+    }
+
+    /// Number of raw (pre-dedup) edges accumulated so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Build the CSR graph.
+    pub fn build(self) -> Result<CsrGraph, GraphError> {
+        let n = self.num_vertices;
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooLarge(format!("{n} vertices")));
+        }
+        for &(u, v) in &self.edges {
+            if u as usize >= n {
+                return Err(GraphError::BadNeighbor { vertex: u, neighbor: v });
+            }
+            if v as usize >= n {
+                return Err(GraphError::BadNeighbor { vertex: v, neighbor: u });
+            }
+        }
+
+        // Symmetrize into directed arcs, dropping self loops.
+        let mut arcs: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            if u != v {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+        }
+        arcs.sort_unstable();
+        arcs.dedup();
+        if arcs.len() > u32::MAX as usize {
+            return Err(GraphError::TooLarge(format!("{} arcs", arcs.len())));
+        }
+
+        let mut row_ptr = vec![0u32; n + 1];
+        for &(u, _) in &arcs {
+            row_ptr[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<VertexId> = arcs.into_iter().map(|(_, v)| v).collect();
+
+        Ok(CsrGraph::from_parts_unchecked(row_ptr, col_idx))
+    }
+}
+
+/// Build a graph directly from an edge slice.
+pub fn from_edges(
+    num_vertices: usize,
+    edges: &[(VertexId, VertexId)],
+) -> Result<CsrGraph, GraphError> {
+    let mut b = GraphBuilder::with_capacity(num_vertices, edges.len());
+    b.extend_edges(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_symmetric_sorted_csr() {
+        let g = from_edges(5, &[(3, 1), (0, 4), (1, 0), (4, 2)]).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+        assert_eq!(g.neighbors(4), &[0, 2]);
+    }
+
+    #[test]
+    fn drops_duplicates_in_both_directions() {
+        let g = from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let g = from_edges(2, &[(0, 0), (0, 1), (1, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = from_edges(2, &[(0, 2)]).unwrap_err();
+        assert_eq!(err, GraphError::BadNeighbor { vertex: 2, neighbor: 0 });
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let g = from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_builder_builds_edgeless_graph() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn extend_and_push_accumulate() {
+        let mut b = GraphBuilder::new(4);
+        b.push_edge(0, 1);
+        b.extend_edges([(1, 2), (2, 3)]);
+        assert_eq!(b.raw_edge_count(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+}

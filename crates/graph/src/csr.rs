@@ -1,0 +1,309 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The coloring kernels consume exactly this layout as two device buffers
+//! (`row_ptr`, `col_idx`), matching the adjacency representation the paper's
+//! OpenCL kernels use. Vertices are `u32`; an undirected edge is stored in
+//! both endpoints' adjacency lists.
+
+use serde::Serialize;
+
+/// Vertex identifier. `u32` halves the memory traffic of the kernels
+/// relative to `usize` and matches GPU practice.
+pub type VertexId = u32;
+
+/// Errors produced by CSR validation and construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// `row_ptr` is missing, non-monotonic, or does not end at `col_idx.len()`.
+    BadRowPtr(String),
+    /// A neighbor index is out of range.
+    BadNeighbor { vertex: VertexId, neighbor: VertexId },
+    /// A vertex lists itself as a neighbor.
+    SelfLoop(VertexId),
+    /// An adjacency list is unsorted or contains duplicates.
+    UnsortedAdjacency(VertexId),
+    /// Edge (u, v) present without its reverse (v, u).
+    Asymmetric { from: VertexId, to: VertexId },
+    /// More than `u32::MAX` vertices or edges.
+    TooLarge(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::BadRowPtr(msg) => write!(f, "bad row_ptr: {msg}"),
+            GraphError::BadNeighbor { vertex, neighbor } => {
+                write!(f, "vertex {vertex} lists out-of-range neighbor {neighbor}")
+            }
+            GraphError::SelfLoop(v) => write!(f, "vertex {v} has a self loop"),
+            GraphError::UnsortedAdjacency(v) => {
+                write!(f, "adjacency of vertex {v} is unsorted or has duplicates")
+            }
+            GraphError::Asymmetric { from, to } => {
+                write!(f, "edge ({from}, {to}) has no reverse edge")
+            }
+            GraphError::TooLarge(msg) => write!(f, "graph too large: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected graph in CSR form.
+///
+/// Invariants (checked by [`CsrGraph::validate`], established by
+/// [`crate::builder::GraphBuilder`]):
+/// * `row_ptr.len() == num_vertices + 1`, monotonically non-decreasing,
+///   `row_ptr[0] == 0`, `row_ptr[n] == col_idx.len()`.
+/// * Every adjacency list is strictly sorted (no duplicates).
+/// * No self loops.
+/// * Symmetric: `(u, v)` present iff `(v, u)` present.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CsrGraph {
+    row_ptr: Vec<u32>,
+    col_idx: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Wrap raw CSR arrays, validating every invariant. Prefer
+    /// [`crate::builder::GraphBuilder`] for constructing graphs from edges.
+    pub fn from_parts(row_ptr: Vec<u32>, col_idx: Vec<VertexId>) -> Result<Self, GraphError> {
+        let g = Self { row_ptr, col_idx };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Wrap raw CSR arrays without validation.
+    ///
+    /// The caller must uphold the type's invariants; use only on arrays
+    /// produced by code that already guarantees them (e.g. the builder).
+    pub(crate) fn from_parts_unchecked(row_ptr: Vec<u32>, col_idx: Vec<VertexId>) -> Self {
+        debug_assert!(Self {
+            row_ptr: row_ptr.clone(),
+            col_idx: col_idx.clone()
+        }
+        .validate()
+        .is_ok());
+        Self { row_ptr, col_idx }
+    }
+
+    /// The empty graph.
+    pub fn empty() -> Self {
+        Self {
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of undirected edges (half the stored directed arcs).
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len() / 2
+    }
+
+    /// Number of stored directed arcs (`2 × num_edges`).
+    pub fn num_arcs(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.row_ptr[v + 1] - self.row_ptr[v]) as usize
+    }
+
+    /// Neighbors of `v`, strictly sorted.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.col_idx[self.row_ptr[v] as usize..self.row_ptr[v + 1] as usize]
+    }
+
+    /// True if `(u, v)` is an edge (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The raw row-pointer array (`num_vertices + 1` entries), as uploaded
+    /// to the device.
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array, as uploaded to the device.
+    pub fn col_idx(&self) -> &[VertexId] {
+        &self.col_idx
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Check all invariants.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.row_ptr.is_empty() {
+            return Err(GraphError::BadRowPtr("row_ptr must not be empty".into()));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(GraphError::BadRowPtr("row_ptr[0] must be 0".into()));
+        }
+        let n = self.row_ptr.len() - 1;
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooLarge(format!("{n} vertices")));
+        }
+        if *self.row_ptr.last().unwrap() as usize != self.col_idx.len() {
+            return Err(GraphError::BadRowPtr(format!(
+                "row_ptr ends at {} but col_idx has {} entries",
+                self.row_ptr.last().unwrap(),
+                self.col_idx.len()
+            )));
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(GraphError::BadRowPtr("row_ptr must be non-decreasing".into()));
+            }
+        }
+        for u in 0..n as VertexId {
+            let nbrs = self.neighbors(u);
+            for (i, &v) in nbrs.iter().enumerate() {
+                if v as usize >= n {
+                    return Err(GraphError::BadNeighbor { vertex: u, neighbor: v });
+                }
+                if v == u {
+                    return Err(GraphError::SelfLoop(u));
+                }
+                if i > 0 && nbrs[i - 1] >= v {
+                    return Err(GraphError::UnsortedAdjacency(u));
+                }
+            }
+        }
+        // Symmetry: every arc has its reverse.
+        for u in 0..n as VertexId {
+            for &v in self.neighbors(u) {
+                if !self.has_edge(v, u) {
+                    return Err(GraphError::Asymmetric { from: u, to: v });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle 0-1-2 plus pendant 3 attached to 0.
+    fn sample() -> CsrGraph {
+        CsrGraph::from_parts(vec![0, 3, 5, 7, 8], vec![1, 2, 3, 0, 2, 0, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.max_degree(), 3);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = sample();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_self_loop() {
+        let err = CsrGraph::from_parts(vec![0, 1], vec![0]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(0));
+    }
+
+    #[test]
+    fn validate_rejects_asymmetry() {
+        let err = CsrGraph::from_parts(vec![0, 1, 1], vec![1]).unwrap_err();
+        assert_eq!(err, GraphError::Asymmetric { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn validate_rejects_unsorted() {
+        let err = CsrGraph::from_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).unwrap_err();
+        assert_eq!(err, GraphError::UnsortedAdjacency(0));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let err = CsrGraph::from_parts(vec![0, 2, 4], vec![1, 1, 0, 0]).unwrap_err();
+        assert_eq!(err, GraphError::UnsortedAdjacency(0));
+    }
+
+    #[test]
+    fn validate_rejects_bad_row_ptr() {
+        assert!(matches!(
+            CsrGraph::from_parts(vec![0, 2], vec![1]).unwrap_err(),
+            GraphError::BadRowPtr(_)
+        ));
+        assert!(matches!(
+            CsrGraph::from_parts(vec![1, 1], vec![]).unwrap_err(),
+            GraphError::BadRowPtr(_)
+        ));
+        assert!(matches!(
+            CsrGraph::from_parts(vec![0, 2, 1, 3], vec![1, 2, 0].into_iter().collect())
+                .unwrap_err(),
+            GraphError::BadRowPtr(_)
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_neighbor() {
+        let err = CsrGraph::from_parts(vec![0, 1, 2], vec![5, 0]).unwrap_err();
+        assert_eq!(err, GraphError::BadNeighbor { vertex: 0, neighbor: 5 });
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msgs = [
+            GraphError::SelfLoop(3).to_string(),
+            GraphError::Asymmetric { from: 1, to: 2 }.to_string(),
+            GraphError::UnsortedAdjacency(7).to_string(),
+        ];
+        assert!(msgs[0].contains("self loop"));
+        assert!(msgs[1].contains("reverse"));
+        assert!(msgs[2].contains("unsorted"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Dataset registry: synthetic stand-ins for the paper's evaluation graphs.
+//!
+//! The paper evaluates coloring on SuiteSparse/SNAP graphs spanning four
+//! structural classes. Those files are not redistributable here, so each
+//! entry names the class, the public dataset it stands in for, and a
+//! deterministic generator reproducing the property the experiments depend
+//! on (degree distribution shape and locality). Real files can replace any
+//! stand-in via [`crate::io`].
+//!
+//! Sizes are scaled to the simulator (see [`Scale`]): the evaluation compares
+//! algorithms against each other on the same graph, so absolute size only
+//! needs to be large enough for the device to saturate (thousands of
+//! wavefronts), not match the original vertex counts.
+
+use serde::Serialize;
+
+use crate::csr::CsrGraph;
+use crate::generators::{erdos_renyi, grid_2d, grid_2d_diag, rmat, road, small_world, RmatParams};
+
+/// Structural class of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum GraphClass {
+    /// Regular 2-D mesh: uniform degree, perfect coalescing.
+    Mesh,
+    /// Road network: low degree, huge diameter, many iterations.
+    Road,
+    /// Uniform random: mild skew, poor locality.
+    Uniform,
+    /// Power law: hub vertices, heavy intra-wavefront imbalance.
+    PowerLaw,
+    /// Small world: near-regular with scattered long-range edges.
+    SmallWorld,
+}
+
+/// Graph size tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// ~1k vertices: integration tests.
+    Tiny,
+    /// ~20–60k vertices: the default for the reproduction harness.
+    Small,
+    /// ~100–260k vertices: closer to the paper's sizes; slower.
+    Full,
+}
+
+/// One registry entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DatasetSpec {
+    /// Registry name, used in tables and CLI filters.
+    pub name: &'static str,
+    /// Structural class.
+    pub class: GraphClass,
+    /// The public dataset this stands in for.
+    pub analogue: &'static str,
+    /// Why this class matters for the coloring study.
+    pub note: &'static str,
+}
+
+impl DatasetSpec {
+    /// Build the graph at the given scale. Deterministic.
+    pub fn build(&self, scale: Scale) -> CsrGraph {
+        let seed = fxhash(self.name);
+        match (self.name, scale) {
+            ("ecology-mesh", Scale::Tiny) => grid_2d(32, 32),
+            ("ecology-mesh", Scale::Small) => grid_2d(160, 160),
+            ("ecology-mesh", Scale::Full) => grid_2d(400, 400),
+
+            ("circuit-mesh", Scale::Tiny) => grid_2d_diag(24, 24),
+            ("circuit-mesh", Scale::Small) => grid_2d_diag(128, 128),
+            ("circuit-mesh", Scale::Full) => grid_2d_diag(320, 320),
+
+            ("road-net", Scale::Tiny) => road(32, 32, 0.88, seed),
+            ("road-net", Scale::Small) => road(160, 160, 0.88, seed),
+            ("road-net", Scale::Full) => road(440, 440, 0.88, seed),
+
+            ("uniform-rand", Scale::Tiny) => erdos_renyi(1_000, 5_000, seed),
+            ("uniform-rand", Scale::Small) => erdos_renyi(24_000, 120_000, seed),
+            ("uniform-rand", Scale::Full) => erdos_renyi(120_000, 600_000, seed),
+
+            ("citation-rmat", Scale::Tiny) => rmat(10, 8, RmatParams::graph500(), seed),
+            ("citation-rmat", Scale::Small) => rmat(14, 8, RmatParams::graph500(), seed),
+            ("citation-rmat", Scale::Full) => rmat(17, 8, RmatParams::graph500(), seed),
+
+            ("coauthor-rmat", Scale::Tiny) => rmat(10, 16, RmatParams::mild(), seed),
+            ("coauthor-rmat", Scale::Small) => rmat(13, 16, RmatParams::mild(), seed),
+            ("coauthor-rmat", Scale::Full) => rmat(16, 16, RmatParams::mild(), seed),
+
+            ("small-world", Scale::Tiny) => small_world(1_000, 6, 0.1, seed),
+            ("small-world", Scale::Small) => small_world(24_000, 6, 0.1, seed),
+            ("small-world", Scale::Full) => small_world(120_000, 6, 0.1, seed),
+
+            (name, _) => panic!("unknown dataset '{name}'"),
+        }
+    }
+}
+
+/// The full evaluation suite, in table order.
+pub fn suite() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "ecology-mesh",
+            class: GraphClass::Mesh,
+            analogue: "ecology1 / ecology2 (SuiteSparse)",
+            note: "uniform degree 4; best case for thread-per-vertex",
+        },
+        DatasetSpec {
+            name: "circuit-mesh",
+            class: GraphClass::Mesh,
+            analogue: "G3_circuit (SuiteSparse)",
+            note: "uniform degree 8 mesh with diagonals",
+        },
+        DatasetSpec {
+            name: "road-net",
+            class: GraphClass::Road,
+            analogue: "roadNet-CA (SNAP)",
+            note: "degree ≤ 6, huge diameter; iteration-count stress",
+        },
+        DatasetSpec {
+            name: "uniform-rand",
+            class: GraphClass::Uniform,
+            analogue: "uniform synthetic (paper's random graphs)",
+            note: "mild skew, scattered accesses",
+        },
+        DatasetSpec {
+            name: "citation-rmat",
+            class: GraphClass::PowerLaw,
+            analogue: "citationCiteseer (SuiteSparse)",
+            note: "heavy power-law skew; worst intra-wavefront imbalance",
+        },
+        DatasetSpec {
+            name: "coauthor-rmat",
+            class: GraphClass::PowerLaw,
+            analogue: "coPapersDBLP (SuiteSparse)",
+            note: "denser, milder power law",
+        },
+        DatasetSpec {
+            name: "small-world",
+            class: GraphClass::SmallWorld,
+            analogue: "Watts–Strogatz synthetic",
+            note: "near-regular with random long-range edges",
+        },
+    ]
+}
+
+/// Look up one dataset by name.
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    suite().into_iter().find(|d| d.name == name)
+}
+
+/// Tiny deterministic string hash for per-dataset seeds.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn every_dataset_builds_tiny_and_validates() {
+        for spec in suite() {
+            let g = spec.build(Scale::Tiny);
+            g.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", spec.name));
+            assert!(g.num_vertices() >= 500, "{} too small", spec.name);
+        }
+    }
+
+    #[test]
+    fn classes_have_expected_skew() {
+        for spec in suite() {
+            let g = spec.build(Scale::Tiny);
+            let skew = DegreeStats::of(&g).skew;
+            match spec.class {
+                GraphClass::Mesh => assert!(skew < 1.5, "{}: {skew}", spec.name),
+                GraphClass::Road => assert!(skew < 2.5, "{}: {skew}", spec.name),
+                GraphClass::Uniform => assert!(skew < 4.0, "{}: {skew}", spec.name),
+                GraphClass::PowerLaw => assert!(skew > 5.0, "{}: {skew}", spec.name),
+                GraphClass::SmallWorld => assert!(skew < 2.5, "{}: {skew}", spec.name),
+            }
+        }
+    }
+
+    #[test]
+    fn scales_grow() {
+        let spec = by_name("ecology-mesh").unwrap();
+        let tiny = spec.build(Scale::Tiny).num_vertices();
+        let small = spec.build(Scale::Small).num_vertices();
+        assert!(small > tiny * 10);
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let spec = by_name("citation-rmat").unwrap();
+        assert_eq!(spec.build(Scale::Tiny), spec.build(Scale::Tiny));
+    }
+
+    #[test]
+    fn by_name_misses_cleanly() {
+        assert!(by_name("nope").is_none());
+        assert_eq!(by_name("road-net").unwrap().class, GraphClass::Road);
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let mut names: Vec<_> = suite().iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite().len());
+    }
+}

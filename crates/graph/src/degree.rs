@@ -1,0 +1,163 @@
+//! Degree statistics: the structural fingerprint that drives the paper's
+//! load-imbalance analysis.
+//!
+//! A thread-per-vertex kernel's wavefront is as slow as the highest-degree
+//! vertex in it, so the max/mean degree ratio ("skew") predicts SIMD
+//! utilization loss, and the degree variance predicts per-workgroup cost
+//! variance (inter-CU imbalance).
+
+use serde::Serialize;
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    pub median: usize,
+    pub stddev: f64,
+    /// `max / mean`: the paper's intra-wavefront imbalance predictor.
+    /// 1.0 for regular graphs, large for scale-free graphs.
+    pub skew: f64,
+    /// log2-bucketed histogram: `histogram[i]` counts vertices with degree
+    /// in `[2^(i-1)+1 ..= 2^i]` (bucket 0 counts degree-0 vertices,
+    /// bucket 1 counts degree-1).
+    pub histogram: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Compute the statistics of `g`'s degree distribution.
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Self {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                stddev: 0.0,
+                skew: 1.0,
+                histogram: Vec::new(),
+            };
+        }
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let min = *degrees.iter().min().unwrap();
+        let max = *degrees.iter().max().unwrap();
+        let sum: usize = degrees.iter().sum();
+        let mean = sum as f64 / n as f64;
+        let var = degrees
+            .iter()
+            .map(|&d| {
+                let diff = d as f64 - mean;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        let stddev = var.sqrt();
+        degrees.sort_unstable();
+        let median = degrees[n / 2];
+        let skew = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+
+        let mut histogram = vec![0usize; bucket_of(max) + 1];
+        for &d in &degrees {
+            histogram[bucket_of(d)] += 1;
+        }
+
+        Self {
+            min,
+            max,
+            mean,
+            median,
+            stddev,
+            skew,
+            histogram,
+        }
+    }
+
+    /// Human-readable one-liner used by the harness tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "deg min/med/mean/max = {}/{}/{:.1}/{} skew {:.1}",
+            self.min, self.median, self.mean, self.max, self.skew
+        )
+    }
+}
+
+/// log2 bucket index: 0 -> 0, 1 -> 1, 2 -> 2, 3..4 -> 3, 5..8 -> 4, …
+fn bucket_of(degree: usize) -> usize {
+    match degree {
+        0 => 0,
+        d => (usize::BITS - (d - 1).leading_zeros()) as usize + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        // Star with center 0 and 8 leaves.
+        let edges: Vec<(u32, u32)> = (1..=8).map(|v| (0, v)).collect();
+        let g = from_edges(9, &edges).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 16.0 / 9.0).abs() < 1e-12);
+        assert!(s.skew > 4.0);
+    }
+
+    #[test]
+    fn cycle_is_regular() {
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|v| (v, (v + 1) % 6)).collect();
+        let g = from_edges(6, &edges).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.skew - 1.0).abs() < 1e-12);
+        assert!((s.stddev - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&CsrGraph::empty());
+        assert_eq!(s.max, 0);
+        assert!((s.skew - 1.0).abs() < 1e-12);
+        assert!(s.histogram.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 3);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(5), 4);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(9), 5);
+    }
+
+    #[test]
+    fn histogram_counts_all_vertices() {
+        let edges: Vec<(u32, u32)> = (1..=8).map(|v| (0, v)).collect();
+        let g = from_edges(9, &edges).unwrap();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.histogram.iter().sum::<usize>(), 9);
+        assert_eq!(s.histogram[1], 8); // eight degree-1 leaves
+        assert_eq!(*s.histogram.last().unwrap(), 1); // the hub
+    }
+
+    #[test]
+    fn summary_mentions_skew() {
+        let edges: Vec<(u32, u32)> = (1..=4).map(|v| (0, v)).collect();
+        let g = from_edges(5, &edges).unwrap();
+        let s = DegreeStats::of(&g);
+        assert!(s.summary().contains("skew"));
+    }
+}

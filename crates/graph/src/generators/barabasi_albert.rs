@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment: an alternative power-law
+//! family to R-MAT. BA graphs are connected with a guaranteed minimum
+//! degree — R-MAT's isolated-vertex tail is absent — so comparing the two
+//! separates "skew" effects from "isolated vertex" effects.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Barabási–Albert graph: starts from a small clique and attaches each new
+/// vertex to `m` distinct existing vertices chosen proportionally to their
+/// current degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(
+        n == 0 || n > m,
+        "need more vertices ({n}) than attachments ({m})"
+    );
+    if n == 0 {
+        return CsrGraph::empty();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Seed clique over the first m+1 vertices.
+    let seed_size = (m + 1).min(n);
+    for u in 0..seed_size {
+        for v in u + 1..seed_size {
+            b.push_edge(u as u32, v as u32);
+        }
+    }
+    // Endpoint multiset: vertex v appears deg(v) times; sampling uniformly
+    // from it is preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    for u in 0..seed_size {
+        for v in u + 1..seed_size {
+            endpoints.push(u as u32);
+            endpoints.push(v as u32);
+        }
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for v in seed_size..n {
+        targets.clear();
+        // Sample m distinct targets with rejection (m is tiny vs |endpoints|).
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.push_edge(v as u32, t);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("BA edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn size_and_connectivity() {
+        let g = barabasi_albert(500, 3, 7);
+        assert_eq!(g.num_vertices(), 500);
+        // Seed clique of 4 (6 edges) + 496 vertices × 3 attachments.
+        assert_eq!(g.num_edges(), 6 + 496 * 3);
+        let (_, components) = connected_components(&g);
+        assert_eq!(components, 1, "BA graphs are connected");
+    }
+
+    #[test]
+    fn no_isolated_vertices_and_heavy_tail() {
+        let g = barabasi_albert(2000, 4, 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.min >= 4, "min degree {}", s.min);
+        assert!(s.skew > 5.0, "BA should be skewed, got {}", s.skew);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(100, 2, 1), barabasi_albert(100, 2, 1));
+        assert_ne!(barabasi_albert(100, 2, 1), barabasi_albert(100, 2, 2));
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let g = barabasi_albert(3, 2, 0);
+        assert_eq!(g.num_edges(), 3); // just the seed clique K_3
+        assert_eq!(barabasi_albert(0, 1, 0).num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn m_too_large_panics() {
+        barabasi_albert(3, 3, 0);
+    }
+}

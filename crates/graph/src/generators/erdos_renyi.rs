@@ -1,0 +1,81 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Uniform random graph with `n` vertices and (up to) `m` distinct edges.
+///
+/// Sampling is with rejection of duplicates and self loops, so the result
+/// has exactly `min(m, n*(n-1)/2)` edges. Degrees concentrate around
+/// `2m / n` (binomial), giving mild skew — the "uniform random" structural
+/// class of the paper's dataset table.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v {
+            (u as u64) << 32 | v as u64
+        } else {
+            (v as u64) << 32 | u as u64
+        };
+        if seen.insert(key) {
+            builder.push_edge(u, v);
+        }
+    }
+    builder.build().expect("generator produces in-range edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+        assert_ne!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 8));
+    }
+
+    #[test]
+    fn clamps_to_complete_graph() {
+        let g = erdos_renyi(5, 1000, 3);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn degrees_are_mildly_skewed() {
+        let g = erdos_renyi(1000, 5000, 42);
+        let s = DegreeStats::of(&g);
+        assert!((s.mean - 10.0).abs() < 1e-9);
+        // Binomial tail: max degree stays within a small factor of the mean.
+        assert!(s.skew < 4.0, "ER skew should be mild, got {}", s.skew);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let g = erdos_renyi(0, 10, 1);
+        assert_eq!(g.num_vertices(), 0);
+        let g = erdos_renyi(10, 0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's datasets (see `DESIGN.md`): what matters
+//! for the coloring study is the *structural class* — degree distribution,
+//! regularity, locality — not the identity of a particular SNAP/DIMACS file.
+//! Every generator is deterministic for a given seed.
+//!
+//! | Generator | Structural class | Paper-dataset analogue |
+//! |---|---|---|
+//! | [`grid_2d`] | regular mesh, skew ≈ 1 | ecology / circuit meshes |
+//! | [`road`] | low-degree, high-diameter | roadNet-* |
+//! | [`erdos_renyi`] | uniform random, light skew | uniform synthetic |
+//! | [`rmat`] | power-law, heavy skew | citation / kron / co-author |
+//! | [`barabasi_albert`] | power-law, connected, min-degree m | social networks |
+//! | [`small_world`] | clustered, near-regular | social-ish meshes |
+//! | [`regular`] module | exact toy shapes | unit-test fixtures |
+
+mod barabasi_albert;
+mod erdos_renyi;
+mod grid;
+mod rmat;
+mod road;
+mod small_world;
+pub mod regular;
+
+pub use barabasi_albert::barabasi_albert;
+pub use erdos_renyi::erdos_renyi;
+pub use grid::{grid_2d, grid_2d_diag};
+pub use rmat::{rmat, RmatParams};
+pub use road::road;
+pub use small_world::small_world;

@@ -1,0 +1,236 @@
+//! Exact toy graphs with known chromatic numbers — fixtures for the test
+//! suite and for verifying coloring quality.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Path graph P_n (chromatic number 2 for n ≥ 2).
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 1..n {
+        b.push_edge(u as u32 - 1, u as u32);
+    }
+    b.build().expect("path edges are in range")
+}
+
+/// Cycle graph C_n (chromatic number 2 if n even, 3 if odd; n ≥ 3).
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices, got {n}");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for u in 0..n {
+        b.push_edge(u as u32, ((u + 1) % n) as u32);
+    }
+    b.build().expect("cycle edges are in range")
+}
+
+/// Complete graph K_n (chromatic number n).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.push_edge(u as u32, v as u32);
+        }
+    }
+    b.build().expect("complete edges are in range")
+}
+
+/// Star graph S_n: one hub connected to `n - 1` leaves (chromatic number 2;
+/// maximal degree skew — the minimal example of the paper's imbalance).
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1, "star needs at least the hub");
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n {
+        b.push_edge(0, v as u32);
+    }
+    b.build().expect("star edges are in range")
+}
+
+/// Complete bipartite graph K_{a,b} (chromatic number 2).
+pub fn complete_bipartite(a: usize, b_size: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(a + b_size, a * b_size);
+    for u in 0..a {
+        for v in 0..b_size {
+            b.push_edge(u as u32, (a + v) as u32);
+        }
+    }
+    b.build().expect("bipartite edges are in range")
+}
+
+/// Mycielski construction iterated from K_2: `mycielski(k)` is triangle-free
+/// for k ≥ 3 yet has chromatic number exactly `k` — the classic proof that
+/// greedy quality cannot be judged by clique size, and a standard coloring
+/// torture test (DIMACS `myciel*` instances are these graphs).
+///
+/// Sizes: `mycielski(2)` = K_2, and each step maps `n -> 2n + 1`, so
+/// `mycielski(k)` has `3 · 2^(k-2) - 1` vertices.
+pub fn mycielski(k: usize) -> CsrGraph {
+    assert!((2..=12).contains(&k), "mycielski k must be in 2..=12, got {k}");
+    // Start from K_2 (chromatic number 2).
+    let mut n: usize = 2;
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    for _ in 2..k {
+        // Add a shadow u_i of each vertex v_i connected to N(v_i), plus an
+        // apex w connected to every shadow.
+        let shadow = |v: u32| v + n as u32;
+        let apex = (2 * n) as u32;
+        let mut next: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 3 + n);
+        for &(a, b) in &edges {
+            next.push((a, b));
+            next.push((shadow(a), b));
+            next.push((a, shadow(b)));
+        }
+        for v in 0..n as u32 {
+            next.push((shadow(v), apex));
+        }
+        edges = next;
+        n = 2 * n + 1;
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges);
+    b.build().expect("mycielski edges are in range")
+}
+
+/// Approximately d-regular random graph via the configuration model:
+/// each vertex contributes `d` stubs, stubs are shuffled and paired.
+/// Self loops and duplicate pairs are dropped, so a few vertices end up
+/// with degree slightly below `d`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even (got n={n}, d={d})");
+    assert!(d < n || n == 0, "degree {d} must be below n ({n})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+    for pair in stubs.chunks_exact(2) {
+        b.push_edge(pair[0], pair[1]);
+    }
+    b.build().expect("pairing edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.degree(5), 1);
+        assert!(DegreeStats::of(&g).skew > 4.0);
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        // No edge within a side.
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn mycielski_sizes_follow_the_recurrence() {
+        assert_eq!(mycielski(2).num_vertices(), 2);
+        assert_eq!(mycielski(3).num_vertices(), 5); // C_5
+        assert_eq!(mycielski(4).num_vertices(), 11); // DIMACS myciel3
+        assert_eq!(mycielski(5).num_vertices(), 23); // DIMACS myciel4
+        mycielski(5).validate().unwrap();
+    }
+
+    #[test]
+    fn mycielski_3_is_the_five_cycle() {
+        let g = mycielski(3);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn mycielski_is_triangle_free() {
+        let g = mycielski(5);
+        for (u, v) in g.edges() {
+            for &w in g.neighbors(v) {
+                assert!(!(w > v && g.has_edge(u, w)), "triangle {u},{v},{w}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn mycielski_rejects_huge_k() {
+        mycielski(13);
+    }
+
+    #[test]
+    fn random_regular_is_nearly_regular() {
+        let g = random_regular(100, 6, 3);
+        let s = DegreeStats::of(&g);
+        assert!(s.max <= 6);
+        assert!(s.mean > 5.0, "mean degree {}", s.mean);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_regular_deterministic() {
+        assert_eq!(random_regular(40, 4, 1), random_regular(40, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_stub_count_panics() {
+        random_regular(5, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn single_vertex_star() {
+        let g = star(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_path_and_complete() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(complete(0).num_vertices(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+}

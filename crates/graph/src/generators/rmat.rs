@@ -1,0 +1,139 @@
+//! R-MAT (recursive matrix) power-law graphs — the "citation / kron /
+//! co-author" structural class: a few huge-degree hubs and a long tail of
+//! low-degree vertices. The worst case for thread-per-vertex SIMT mapping
+//! and the motivating case for the paper's hybrid algorithm.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    // d is implied: 1 - a - b - c
+}
+
+impl RmatParams {
+    /// The canonical Graph500/Kronecker parameters (0.57, 0.19, 0.19, 0.05).
+    pub fn graph500() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    /// Milder skew (0.45, 0.22, 0.22, 0.11).
+    pub fn mild() -> Self {
+        Self {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+        }
+    }
+}
+
+/// R-MAT graph with `2^scale` vertices and about `edge_factor × 2^scale`
+/// undirected edges (duplicates and self loops are dropped, so slightly
+/// fewer survive).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!(scale < 31, "rmat scale {scale} too large for u32 vertices");
+    assert!(
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0,
+        "invalid R-MAT probabilities"
+    );
+    assert!(
+        params.a + params.b + params.c < 1.0 + 1e-9,
+        "R-MAT probabilities exceed 1"
+    );
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (u, v) = sample_edge(scale, params, &mut rng);
+        builder.push_edge(u, v);
+    }
+    builder.build().expect("rmat edges are in range")
+}
+
+fn sample_edge(scale: u32, p: RmatParams, rng: &mut StdRng) -> (u32, u32) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // top-left: no bits set
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn sizes_are_plausible() {
+        let g = rmat(10, 8, RmatParams::graph500(), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Duplicates collapse, but most edges survive at this density.
+        assert!(g.num_edges() > 4000, "edges {}", g.num_edges());
+        assert!(g.num_edges() <= 8192);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn power_law_skew_is_heavy() {
+        let g = rmat(12, 8, RmatParams::graph500(), 7);
+        let s = DegreeStats::of(&g);
+        assert!(
+            s.skew > 10.0,
+            "rmat should be heavily skewed, got {}",
+            s.skew
+        );
+        // Some vertices end up isolated in R-MAT.
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn mild_params_are_less_skewed() {
+        let heavy = DegreeStats::of(&rmat(12, 8, RmatParams::graph500(), 3)).skew;
+        let mild = DegreeStats::of(&rmat(12, 8, RmatParams::mild(), 3)).skew;
+        assert!(mild < heavy, "mild {mild} vs heavy {heavy}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(8, 4, RmatParams::graph500(), 5);
+        let b = rmat(8, 4, RmatParams::graph500(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn giant_scale_panics() {
+        rmat(31, 1, RmatParams::graph500(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn bad_probabilities_panic() {
+        rmat(4, 1, RmatParams { a: 0.7, b: 0.3, c: 0.3 }, 1);
+    }
+}

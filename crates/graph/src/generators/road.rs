@@ -1,0 +1,98 @@
+//! Road-network-like graphs: low uniform degree, high diameter, strong
+//! locality. Coloring such graphs takes few colors but many iterations, and
+//! per-iteration kernels are cheap — kernel-launch overhead matters here.
+//!
+//! Construction: start from a 2-D grid (streets), delete a fraction of the
+//! edges (dead ends, rivers), then add a sprinkle of short "highway" bypass
+//! edges. Degrees stay in 1..=5, like roadNet-CA's 1..=12 with mean 2.8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Road-like graph on a `width × height` lattice.
+///
+/// `keep_prob` is the fraction of lattice edges kept (0.8–0.95 is road-like);
+/// a small number of random local bypass edges is added on top.
+pub fn road(width: usize, height: usize, keep_prob: f64, seed: u64) -> CsrGraph {
+    assert!(
+        (0.0..=1.0).contains(&keep_prob),
+        "keep_prob must be in [0, 1], got {keep_prob}"
+    );
+    let n = width * height;
+    let id = |x: usize, y: usize| (y * width + x) as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * 2);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width && rng.gen_bool(keep_prob) {
+                b.push_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < height && rng.gen_bool(keep_prob) {
+                b.push_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    // Local bypasses: ~2% of vertices get a short diagonal/skip edge,
+    // mimicking highway ramps without destroying locality.
+    if width > 3 && height > 3 {
+        let bypasses = n / 50;
+        for _ in 0..bypasses {
+            let x = rng.gen_range(0..width - 2);
+            let y = rng.gen_range(0..height - 2);
+            let dx = rng.gen_range(1..=2);
+            let dy = rng.gen_range(1..=2);
+            b.push_edge(id(x, y), id(x + dx, y + dy));
+        }
+    }
+    b.build().expect("road edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn degrees_stay_road_like() {
+        let g = road(64, 64, 0.9, 11);
+        let s = DegreeStats::of(&g);
+        assert!(s.max <= 6, "max degree {}", s.max);
+        assert!(s.mean > 2.0 && s.mean < 4.5, "mean {}", s.mean);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn keep_prob_one_is_a_superset_of_the_grid() {
+        let g = road(10, 10, 1.0, 5);
+        // All 180 lattice edges present plus bypasses.
+        assert!(g.num_edges() >= 180);
+    }
+
+    #[test]
+    fn keep_prob_zero_leaves_only_bypasses() {
+        let g = road(10, 10, 0.0, 5);
+        assert!(g.num_edges() <= 2 + 100 / 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(road(20, 20, 0.85, 3), road(20, 20, 0.85, 3));
+        assert_ne!(road(20, 20, 0.85, 3), road(20, 20, 0.85, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_prob")]
+    fn invalid_keep_prob_panics() {
+        road(4, 4, 1.5, 0);
+    }
+
+    #[test]
+    fn tiny_lattices_work() {
+        let g = road(2, 2, 1.0, 0);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+}

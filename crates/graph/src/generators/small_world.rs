@@ -1,0 +1,109 @@
+//! Watts–Strogatz small-world graphs: a ring lattice with a fraction of
+//! edges rewired to random targets. Near-regular degrees with occasional
+//! long-range edges — a middle ground between meshes and random graphs that
+//! stresses memory coalescing (the rewired edges scatter) without degree
+//! skew.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+
+/// Watts–Strogatz graph: `n` vertices on a ring, each joined to its `k`
+/// nearest neighbors (`k` even), then each edge rewired with probability
+/// `p` to a uniformly random non-duplicate target.
+pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even, got {k}");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(n == 0 || k < n, "k ({k}) must be smaller than n ({n})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            edges.push((u as u32, v as u32));
+        }
+    }
+    let mut seen: std::collections::HashSet<(u32, u32)> = edges
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    if n > 1 {
+        for e in edges.iter_mut() {
+            if rng.gen_bool(p) {
+                let u = e.0;
+                // Retry a few times to find a fresh target; give up and keep
+                // the lattice edge if the neighborhood is saturated.
+                for _ in 0..8 {
+                    let w = rng.gen_range(0..n as u32);
+                    let key = (u.min(w), u.max(w));
+                    if w != u && !seen.contains(&key) {
+                        seen.remove(&(e.0.min(e.1), e.0.max(e.1)));
+                        seen.insert(key);
+                        e.1 = w;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges);
+    b.build().expect("small-world edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn unrewired_is_a_ring_lattice() {
+        let g = small_world(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_count_and_near_regular_degrees() {
+        let g = small_world(200, 6, 0.2, 9);
+        assert_eq!(g.num_edges(), 600);
+        let s = DegreeStats::of(&g);
+        assert!(s.skew < 2.5, "small-world skew {}", s.skew);
+        assert!((s.mean - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_rewire_still_valid() {
+        let g = small_world(100, 4, 1.0, 5);
+        g.validate().unwrap();
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(small_world(50, 4, 0.3, 2), small_world(50, 4, 0.3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_k_panics() {
+        small_world(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than n")]
+    fn k_too_large_panics() {
+        small_world(4, 4, 0.1, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = small_world(0, 0, 0.0, 0);
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Compact binary CSR serialization.
+//!
+//! Text formats parse slowly at road-network scale; this format is a
+//! straight dump of the validated CSR arrays for fast reload:
+//!
+//! ```text
+//! magic   b"GCSR"          4 bytes
+//! version u32 LE           currently 1
+//! n       u64 LE           vertex count
+//! arcs    u64 LE           directed arc count (2 x edges)
+//! row_ptr (n + 1) x u32 LE
+//! col_idx arcs x u32 LE
+//! ```
+//!
+//! The reader re-validates every invariant, so a corrupted or hand-forged
+//! file cannot produce an invalid [`CsrGraph`].
+
+use std::io::{Read, Write};
+
+use crate::csr::CsrGraph;
+use crate::io::{parse_err, IoError};
+
+const MAGIC: &[u8; 4] = b"GCSR";
+const VERSION: u32 = 1;
+
+/// Write the graph in binary CSR form.
+pub fn write_binary<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), IoError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    writer.write_all(&(g.num_arcs() as u64).to_le_bytes())?;
+    for &x in g.row_ptr() {
+        writer.write_all(&x.to_le_bytes())?;
+    }
+    for &x in g.col_idx() {
+        writer.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, IoError> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Read a binary CSR file, validating all graph invariants.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, IoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(parse_err(0, "missing GCSR magic"));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(parse_err(0, format!("unsupported GCSR version {version}")));
+    }
+    let n = read_u64(&mut reader)? as usize;
+    let arcs = read_u64(&mut reader)? as usize;
+    // Guard against absurd headers before allocating.
+    if n > u32::MAX as usize || arcs > u32::MAX as usize {
+        return Err(parse_err(0, format!("implausible sizes n={n}, arcs={arcs}")));
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        row_ptr.push(read_u32(&mut reader)?);
+    }
+    let mut col_idx = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        col_idx.push(read_u32(&mut reader)?);
+    }
+    // Reject trailing garbage.
+    let mut extra = [0u8; 1];
+    if reader.read(&mut extra)? != 0 {
+        return Err(parse_err(0, "trailing bytes after CSR payload"));
+    }
+    Ok(CsrGraph::from_parts(row_ptr, col_idx)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_2d, rmat, RmatParams};
+
+    #[test]
+    fn roundtrips() {
+        for g in [
+            grid_2d(9, 7),
+            rmat(8, 6, RmatParams::graph500(), 3),
+            CsrGraph::empty(),
+        ] {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            assert_eq!(read_binary(buf.as_slice()).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(read_binary(&b"NOPE"[..]).is_err());
+        let g = grid_2d(3, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf[4] = 99; // version
+        assert!(read_binary(buf.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let g = grid_2d(4, 4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert!(read_binary(&buf[..buf.len() - 2]).is_err());
+        buf.push(0);
+        assert!(read_binary(buf.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_validation() {
+        let g = grid_2d(4, 4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Smash a col_idx entry to an out-of-range vertex.
+        let last = buf.len() - 1;
+        buf[last] = 0xFF;
+        assert!(matches!(read_binary(buf.as_slice()), Err(IoError::Graph(_))));
+    }
+
+    #[test]
+    fn rejects_implausible_header_sizes() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GCSR");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_binary(buf.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("implausible"));
+    }
+}

@@ -1,0 +1,91 @@
+//! SNAP-style whitespace edge lists: one `u v` pair per line, `#` comments.
+
+use std::io::{BufRead, Write};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::io::{parse_err, IoError};
+
+/// Read a whitespace edge list. Vertex ids are 0-based; the vertex count is
+/// `max id + 1`. Lines starting with `#` or `%` are comments.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing source vertex"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad source vertex: {e}")))?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing target vertex"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad target vertex: {e}")))?;
+        edges.push((u, v));
+        max_id = max_id.max(u).max(v);
+        any = true;
+    }
+    let n = if any { max_id as usize + 1 } else { 0 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges);
+    Ok(b.build()?)
+}
+
+/// Write the graph as a whitespace edge list (each undirected edge once).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# comment\n\n0 1\n1 2\n% another\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let g = crate::generators::regular::complete(5);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing target"));
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_collapse() {
+        let g = read_edge_list("0 1\n1 0\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

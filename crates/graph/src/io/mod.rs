@@ -1,0 +1,70 @@
+//! Graph file I/O.
+//!
+//! The paper's datasets come from the SuiteSparse/Florida collection
+//! (MatrixMarket `.mtx`), SNAP (whitespace edge lists), and the DIMACS
+//! coloring benchmarks (`.col`). All three readers produce the same clean
+//! undirected [`crate::CsrGraph`] (symmetrized, deduplicated, loop-free), so
+//! real datasets can be dropped in for the synthetic stand-ins whenever they
+//! are available.
+
+mod binary;
+mod dimacs;
+mod edge_list;
+mod matrix_market;
+
+pub use binary::{read_binary, write_binary};
+pub use dimacs::{read_dimacs_col, write_dimacs_col};
+pub use edge_list::{read_edge_list, write_edge_list};
+pub use matrix_market::{read_matrix_market, write_matrix_market};
+
+use std::fmt;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with a line number and description.
+    Parse { line: usize, msg: String },
+    /// Structurally invalid graph after parsing.
+    Graph(crate::GraphError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Graph(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<crate::GraphError> for IoError {
+    fn from(e: crate::GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+pub(crate) fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}

@@ -1,0 +1,30 @@
+//! # gc-graph — graph substrate for the GPU coloring reproduction
+//!
+//! CSR graphs (the layout the coloring kernels upload to the device),
+//! builders, degree statistics, deterministic generators spanning the
+//! paper's structural classes, file I/O for the standard interchange
+//! formats, and the dataset registry that stands in for the paper's
+//! evaluation graphs.
+//!
+//! ```
+//! use gc_graph::{datasets, DegreeStats, Scale};
+//!
+//! let spec = datasets::by_name("citation-rmat").unwrap();
+//! let g = spec.build(Scale::Tiny);
+//! let stats = DegreeStats::of(&g);
+//! assert!(stats.skew > 5.0); // power-law graphs are heavily skewed
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod degree;
+pub mod generators;
+pub mod io;
+pub mod relabel;
+pub mod traversal;
+
+pub use builder::{from_edges, GraphBuilder};
+pub use csr::{CsrGraph, GraphError, VertexId};
+pub use datasets::{by_name, suite, DatasetSpec, GraphClass, Scale};
+pub use degree::DegreeStats;

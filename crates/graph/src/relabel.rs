@@ -1,0 +1,165 @@
+//! Vertex relabeling: permutations that change how vertices map onto SIMT
+//! lanes without changing the graph.
+//!
+//! Thread-per-vertex kernels put vertices `64i..64i+63` in one wavefront, so
+//! the *numbering* determines which degrees share a wavefront. Sorting by
+//! degree packs similar-degree vertices together — an alternative (static)
+//! cure for intra-wavefront imbalance that the F16 experiment compares
+//! against the paper's (dynamic) hybrid binning. RCM ordering is the
+//! classic bandwidth/locality permutation for mesh-like matrices.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Permutation sorting vertices by non-increasing degree (ties by id).
+/// `order[new_id] = old_id`.
+pub fn degree_sort_order(g: &CsrGraph) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    order
+}
+
+/// Reverse Cuthill–McKee: BFS from a low-degree vertex of each component,
+/// visiting neighbors in increasing-degree order, reversed at the end.
+/// `order[new_id] = old_id`.
+pub fn rcm_order(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    let mut nbrs: Vec<VertexId> = Vec::new();
+
+    // Component starts, lowest degree first.
+    let mut starts: Vec<VertexId> = (0..n as VertexId).collect();
+    starts.sort_by_key(|&v| (g.degree(v), v));
+
+    for &start in &starts {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            nbrs.clear();
+            nbrs.extend(g.neighbors(u).iter().copied().filter(|&v| !visited[v as usize]));
+            nbrs.sort_by_key(|&v| (g.degree(v), v));
+            for &v in &nbrs {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Apply a permutation: returns the relabeled graph plus the `old -> new`
+/// id map. `order[new_id] = old_id` (as produced by the functions above).
+pub fn apply_order(g: &CsrGraph, order: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "permutation length must match vertex count");
+    let mut old_to_new = vec![VertexId::MAX; n];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        assert!(
+            old_to_new[old_id as usize] == VertexId::MAX,
+            "duplicate vertex {old_id} in permutation"
+        );
+        old_to_new[old_id as usize] = new_id as VertexId;
+    }
+    let mut b = crate::builder::GraphBuilder::with_capacity(n, g.num_edges());
+    for (u, v) in g.edges() {
+        b.push_edge(old_to_new[u as usize], old_to_new[v as usize]);
+    }
+    let relabeled = b.build().expect("relabeled edges are in range");
+    (relabeled, old_to_new)
+}
+
+/// Graph bandwidth: `max |u - v|` over edges — the metric RCM minimizes,
+/// exposed for tests and locality studies.
+pub fn bandwidth(g: &CsrGraph) -> usize {
+    g.edges()
+        .map(|(u, v)| (v - u) as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::{grid_2d, regular, rmat, RmatParams};
+
+    #[test]
+    fn degree_sort_is_monotone() {
+        let g = rmat(8, 6, RmatParams::graph500(), 1);
+        let order = degree_sort_order(&g);
+        let degs: Vec<usize> = order.iter().map(|&v| g.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn apply_preserves_structure() {
+        let g = rmat(7, 4, RmatParams::graph500(), 2);
+        let order = degree_sort_order(&g);
+        let (h, old_to_new) = apply_order(&g, &order);
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert_eq!(h.num_edges(), g.num_edges());
+        h.validate().unwrap();
+        // Every original edge exists under the new labels.
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(old_to_new[u as usize], old_to_new[v as usize]));
+        }
+        // Degrees carry over.
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), h.degree(old_to_new[v as usize]));
+        }
+    }
+
+    #[test]
+    fn degree_sorted_graph_has_monotone_degrees() {
+        let g = rmat(7, 4, RmatParams::graph500(), 5);
+        let (h, _) = apply_order(&g, &degree_sort_order(&g));
+        let degs: Vec<usize> = h.vertices().map(|v| h.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_shuffled_mesh() {
+        // Scramble a grid, then RCM it back: bandwidth should drop a lot.
+        let g = grid_2d(20, 20);
+        let shuffled_order: Vec<u32> = {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut o: Vec<u32> = (0..400).collect();
+            o.shuffle(&mut rand::rngs::StdRng::seed_from_u64(9));
+            o
+        };
+        let (scrambled, _) = apply_order(&g, &shuffled_order);
+        let before = bandwidth(&scrambled);
+        let (restored, _) = apply_order(&scrambled, &rcm_order(&scrambled));
+        let after = bandwidth(&restored);
+        assert!(after * 3 < before, "rcm {after} vs scrambled {before}");
+    }
+
+    #[test]
+    fn rcm_covers_disconnected_graphs() {
+        let g = from_edges(6, &[(0, 1), (2, 3)]).unwrap();
+        let order = rcm_order(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn apply_rejects_non_permutation() {
+        let g = regular::path(3);
+        apply_order(&g, &[0, 0, 2]);
+    }
+
+    #[test]
+    fn bandwidth_of_path_is_one() {
+        assert_eq!(bandwidth(&regular::path(10)), 1);
+        assert_eq!(bandwidth(&CsrGraph::empty()), 0);
+    }
+}

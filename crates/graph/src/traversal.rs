@@ -1,0 +1,133 @@
+//! Breadth-first traversal utilities: connected components and eccentricity
+//! estimates, used by the dataset registry to report structure and by tests
+//! to sanity-check generators.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// BFS from `source`; returns the distance array (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range ({n} vertices)");
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: returns `(labels, count)` where `labels[v]` is the
+/// component id of `v` in `0..count`.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as VertexId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Lower bound on the diameter via a double-sweep BFS from `start`
+/// (restricted to `start`'s component).
+pub fn pseudo_diameter(g: &CsrGraph, start: VertexId) -> u32 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(g, start);
+    let far = farthest(&first).unwrap_or(start);
+    let second = bfs_distances(g, far);
+    second
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+fn farthest(dist: &[u32]) -> Option<VertexId> {
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::{grid_2d, regular};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = regular::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = from_edges(4, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let (_, count) = connected_components(&grid_2d(8, 8));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn pseudo_diameter_of_path_is_exact() {
+        let g = regular::path(10);
+        assert_eq!(pseudo_diameter(&g, 5), 9);
+    }
+
+    #[test]
+    fn pseudo_diameter_of_grid() {
+        // Exact diameter of a W×H grid is (W-1)+(H-1); double sweep finds it.
+        assert_eq!(pseudo_diameter(&grid_2d(6, 4), 0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_bad_source_panics() {
+        bfs_distances(&regular::path(3), 5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the graph substrate's invariants.
+
+use proptest::prelude::*;
+
+use gc_graph::generators::{erdos_renyi, rmat, small_world, RmatParams};
+use gc_graph::io::{read_dimacs_col, read_matrix_market, write_dimacs_col, write_matrix_market};
+use gc_graph::{from_edges, CsrGraph, DegreeStats};
+
+/// Strategy: a vertex count and an arbitrary (messy) edge list over it.
+fn arb_graph_input() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1usize..60).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..200);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// The builder always produces a graph satisfying every CSR invariant,
+    /// no matter how messy the input edges are.
+    #[test]
+    fn builder_output_always_validates((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_vertices(), n);
+    }
+
+    /// Degree sum equals twice the edge count (handshake lemma).
+    #[test]
+    fn handshake_lemma((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        prop_assert_eq!(degree_sum, g.num_arcs());
+    }
+
+    /// Every requested edge (except self loops) is present, in both
+    /// directions, and nothing else is.
+    #[test]
+    fn edges_roundtrip_through_builder((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(g.has_edge(u, v), "missing ({u},{v})");
+                prop_assert!(g.has_edge(v, u), "missing reverse ({v},{u})");
+            }
+        }
+        let requested: std::collections::HashSet<(u32, u32)> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        prop_assert_eq!(g.num_edges(), requested.len());
+    }
+
+    /// `edges()` yields each undirected edge exactly once with u < v.
+    #[test]
+    fn edge_iterator_is_canonical((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+        let listed: Vec<(u32, u32)> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.num_edges());
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in listed {
+            prop_assert!(u < v);
+            prop_assert!(seen.insert((u, v)), "duplicate ({u},{v})");
+        }
+    }
+
+    /// Degree statistics are internally consistent.
+    #[test]
+    fn degree_stats_consistency((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+        let s = DegreeStats::of(&g);
+        prop_assert!(s.min <= s.median && s.median as f64 <= s.max as f64 + 1e-9);
+        prop_assert!(s.min as f64 <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max as f64 + 1e-9);
+        prop_assert_eq!(s.histogram.iter().sum::<usize>(), n);
+        prop_assert_eq!(s.max, g.max_degree());
+    }
+
+    /// Both file formats roundtrip arbitrary graphs exactly.
+    #[test]
+    fn io_roundtrips((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+
+        let mut mtx = Vec::new();
+        write_matrix_market(&g, &mut mtx).unwrap();
+        prop_assert_eq!(&read_matrix_market(mtx.as_slice()).unwrap(), &g);
+
+        let mut col = Vec::new();
+        write_dimacs_col(&g, &mut col).unwrap();
+        prop_assert_eq!(&read_dimacs_col(col.as_slice()).unwrap(), &g);
+    }
+
+    /// Generators are deterministic and valid for arbitrary parameters.
+    #[test]
+    fn generators_valid_and_deterministic(
+        n in 1usize..300,
+        m in 0usize..600,
+        seed in 0u64..1000,
+    ) {
+        let a = erdos_renyi(n, m, seed);
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(&a, &erdos_renyi(n, m, seed));
+    }
+
+    #[test]
+    fn rmat_valid_for_any_seed(scale in 4u32..9, ef in 1usize..8, seed in 0u64..1000) {
+        let g = rmat(scale, ef, RmatParams::graph500(), seed);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_vertices(), 1 << scale);
+    }
+
+    #[test]
+    fn small_world_valid(n in 5usize..200, k2 in 1usize..2, p in 0.0f64..1.0, seed in 0u64..100) {
+        let k = k2 * 2;
+        let g = small_world(n, k, p, seed);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_edges(), n * k / 2);
+    }
+
+    /// Relabeling by any generated permutation preserves the structure.
+    #[test]
+    fn relabeling_preserves_structure((n, edges) in arb_graph_input(), seed in 0u64..100) {
+        use gc_graph::relabel::{apply_order, degree_sort_order, rcm_order};
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let g = from_edges(n, &edges).unwrap();
+        let mut shuffled: Vec<u32> = (0..n as u32).collect();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        for order in [degree_sort_order(&g), rcm_order(&g), shuffled] {
+            let (h, old_to_new) = apply_order(&g, &order);
+            prop_assert!(h.validate().is_ok());
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            for (u, v) in g.edges() {
+                prop_assert!(h.has_edge(old_to_new[u as usize], old_to_new[v as usize]));
+            }
+        }
+    }
+
+    /// Barabási–Albert graphs are connected with exact edge counts.
+    #[test]
+    fn barabasi_albert_invariants(n in 4usize..150, m in 1usize..3, seed in 0u64..100) {
+        use gc_graph::generators::barabasi_albert;
+        use gc_graph::traversal::connected_components;
+        let g = barabasi_albert(n, m, seed);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_vertices(), n);
+        let (_, comps) = connected_components(&g);
+        prop_assert_eq!(comps, 1);
+        let seed_clique = (m + 1).min(n);
+        prop_assert_eq!(
+            g.num_edges(),
+            seed_clique * (seed_clique - 1) / 2 + n.saturating_sub(seed_clique) * m
+        );
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distances_are_lipschitz((n, edges) in arb_graph_input()) {
+        let g = from_edges(n, &edges).unwrap();
+        let dist = gc_graph::traversal::bfs_distances(&g, 0);
+        prop_assert_eq!(dist[0], 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                // Both endpoints are in the same component.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_graphs_hold_invariants() {
+    assert!(CsrGraph::empty().validate().is_ok());
+    let g = from_edges(1, &[]).unwrap();
+    assert_eq!(g.num_vertices(), 1);
+    assert_eq!(DegreeStats::of(&g).max, 0);
+}

@@ -1,0 +1,61 @@
+//! Run every coloring algorithm in the suite on one dataset and compare
+//! quality and (where applicable) modeled device time.
+//!
+//! Run with: `cargo run --release --example compare_algorithms [dataset]`
+//! Datasets: the registry names printed by the T1 table (default:
+//! `uniform-rand`).
+
+use gc_suite::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "uniform-rand".to_string());
+    let Some(spec) = by_name(&name) else {
+        eprintln!("unknown dataset '{name}'; known datasets:");
+        for s in suite() {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(2);
+    };
+    let g = spec.build(Scale::Tiny);
+    println!(
+        "dataset {}: {} vertices, {} edges ({})\n",
+        spec.name,
+        g.num_vertices(),
+        g.num_edges(),
+        spec.note
+    );
+
+    let mut reports: Vec<RunReport> = vec![
+        seq::greedy_first_fit(&g, VertexOrdering::Natural),
+        seq::greedy_first_fit(&g, VertexOrdering::LargestDegreeFirst),
+        seq::greedy_first_fit(&g, VertexOrdering::SmallestLast),
+        seq::dsatur(&g),
+        cpu::jones_plassmann(&g),
+        cpu::speculative_coloring(&g),
+        gpu::maxmin::color(&g, &GpuOptions::baseline()),
+        gpu::maxmin::color(&g, &GpuOptions::optimized()),
+        gpu::first_fit::color(&g, &GpuOptions::baseline()),
+        gpu::first_fit::color(&g, &GpuOptions::optimized()),
+    ];
+
+    println!(
+        "{:<28} {:>7} {:>6} {:>11} {:>9}",
+        "algorithm", "colors", "iters", "device-cyc", "model-ms"
+    );
+    println!("{}", "-".repeat(66));
+    reports.sort_by_key(|r| r.num_colors);
+    for r in &reports {
+        verify_coloring(&g, &r.colors)
+            .unwrap_or_else(|e| panic!("{} produced a bad coloring: {e}", r.algorithm));
+        let (cyc, ms) = if r.kernel_launches > 0 {
+            (r.cycles.to_string(), format!("{:.3}", r.time_ms))
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        println!(
+            "{:<28} {:>7} {:>6} {:>11} {:>9}",
+            r.algorithm, r.num_colors, r.iterations, cyc, ms
+        );
+    }
+    println!("\nall colorings verified proper");
+}

@@ -1,0 +1,70 @@
+//! Load-imbalance characterization: the paper's diagnostic workflow.
+//!
+//! Profiles two structurally opposite graphs — a regular mesh and a
+//! power-law graph — through the device counters: degree histogram (the
+//! cause), SIMD lane utilization (intra-wavefront symptom), per-CU busy
+//! spread (inter-CU symptom), and what each optimization recovers.
+//!
+//! Run with: `cargo run --release --example imbalance_profile`
+
+use gc_suite::prelude::*;
+
+fn profile(name: &str) {
+    let spec = by_name(name).expect("registry dataset");
+    let g = spec.build(Scale::Tiny);
+    let stats = DegreeStats::of(&g);
+    println!("\n=== {name} ===");
+    println!(
+        "{} vertices, {} edges, {}",
+        g.num_vertices(),
+        g.num_edges(),
+        stats.summary()
+    );
+
+    // Degree histogram: log2 buckets.
+    println!("degree histogram (log2 buckets):");
+    let total = g.num_vertices().max(1);
+    for (i, &count) in stats.histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let hi = if i == 0 { 0 } else { 1usize << (i - 1) };
+        let bar = "#".repeat((60 * count / total).max(1));
+        println!("  <= {hi:>5}: {count:>7} {bar}");
+    }
+
+    for (label, opts) in [
+        ("baseline        ", GpuOptions::baseline()),
+        ("work-stealing   ", GpuOptions::work_stealing()),
+        ("hybrid          ", GpuOptions::hybrid()),
+        ("optimized       ", GpuOptions::optimized()),
+    ] {
+        let r = gpu::maxmin::color(&g, &opts);
+        verify_coloring(&g, &r.colors).expect("proper coloring");
+        println!(
+            "{label} cycles {:>9}  simd {:>5.1}%  cu-imbalance {:.3}  steals {}",
+            r.cycles,
+            r.simd_utilization * 100.0,
+            r.imbalance_factor,
+            r.steal_pops
+        );
+    }
+
+    let base = gpu::maxmin::color(&g, &GpuOptions::baseline());
+    let opt = gpu::maxmin::color(&g, &GpuOptions::optimized());
+    println!(
+        "=> optimized speedup: {:.2}x",
+        base.cycles as f64 / opt.cycles as f64
+    );
+}
+
+fn main() {
+    println!("Load-imbalance profile on the simulated AMD Radeon HD 7950");
+    profile("ecology-mesh");
+    profile("citation-rmat");
+    println!(
+        "\nReading: the mesh keeps every SIMD lane busy (skew ~1) and gains little; \
+         the power-law graph starves wavefronts behind its hubs, which is exactly \
+         what work stealing and hybrid binning recover."
+    );
+}

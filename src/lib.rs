@@ -1,0 +1,73 @@
+//! # gc-suite — reproduction of "Graph Coloring on the GPU and Some
+//! Techniques to Improve Load Imbalance" (Che, Rodgers, Beckmann,
+//! Reinhardt — IPDPSW 2015)
+//!
+//! Umbrella crate tying the workspace together:
+//!
+//! * [`gc_gpusim`] — the simulated AMD Radeon HD 7950 (SIMT timing model);
+//! * [`gc_graph`] — CSR graphs, generators, I/O, dataset stand-ins;
+//! * [`gc_core`] — the coloring algorithms and the paper's load-imbalance
+//!   optimizations (work stealing, frontier compaction, hybrid binning).
+//!
+//! The runnable entry points live next door:
+//!
+//! * `cargo run --release -p gc-bench --bin repro` — regenerate every table
+//!   and figure of the evaluation;
+//! * `cargo run --release -p gc-bench --bin gc-color` — the command-line
+//!   coloring tool (file and registry inputs);
+//! * `cargo run --release --example quickstart` — the five-minute tour;
+//! * `cargo run --release --example sparse_solver_scheduling` — the paper's
+//!   motivating use: coloring as a scheduler for parallel sweeps;
+//! * `cargo run --release --example imbalance_profile` — the load-imbalance
+//!   characterization workflow;
+//! * `cargo run --release --example compare_algorithms` — every algorithm
+//!   on one dataset;
+//! * `cargo run --release --example register_allocation` — interference-graph
+//!   coloring with spilling;
+//! * `cargo run --release --example graph_applications` — the [`gc_apps`]
+//!   tour (BFS, SSSP, PageRank, MIS, colored Gauss–Seidel).
+
+pub use gc_apps as apps;
+pub use gc_core as core;
+pub use gc_gpusim as gpusim;
+pub use gc_graph as graph;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use gc_core::{
+        cpu, gpu, seq, verify_coloring, GpuOptions, RunReport, VertexOrdering, WorkSchedule,
+        UNCOLORED,
+    };
+    pub use gc_gpusim::{DeviceConfig, Gpu, LaneCtx, Launch};
+    pub use gc_graph::{
+        by_name, from_edges, suite, CsrGraph, DegreeStats, GraphBuilder, Scale, VertexId,
+    };
+}
+
+/// Color a graph with the paper's optimized GPU configuration and verify
+/// the result — the one-call entry point.
+///
+/// ```
+/// let g = gc_graph::generators::grid_2d(16, 16);
+/// let report = gc_suite::color_optimized(&g);
+/// assert!(report.num_colors >= 2);
+/// ```
+pub fn color_optimized(g: &gc_graph::CsrGraph) -> gc_core::RunReport {
+    let report = gc_core::gpu::maxmin::color(g, &gc_core::GpuOptions::optimized());
+    gc_core::verify_coloring(g, &report.colors)
+        .expect("optimized GPU coloring must be proper — this is a bug");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_colors_and_verifies() {
+        // Max/min colors a star in at most 2 rounds: leaves split into the
+        // local-max and local-min sets, the hub may need its own round.
+        let g = gc_graph::generators::regular::star(100);
+        let r = super::color_optimized(&g);
+        assert!(r.num_colors <= 3, "colors {}", r.num_colors);
+        assert_eq!(r.algorithm, "gpu-maxmin-steal-hybrid");
+    }
+}

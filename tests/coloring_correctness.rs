@@ -1,0 +1,92 @@
+//! Cross-crate integration: every algorithm must produce a proper coloring
+//! on every dataset class, on both the test device and the HD 7950 model.
+
+use gc_core::{cpu, gpu, seq, verify_coloring, GpuOptions, VertexOrdering, WorkSchedule};
+use gc_gpusim::DeviceConfig;
+use gc_graph::{suite, Scale};
+
+#[test]
+fn every_algorithm_is_proper_on_every_dataset() {
+    for spec in suite() {
+        let g = spec.build(Scale::Tiny);
+        let reports = vec![
+            seq::greedy_first_fit(&g, VertexOrdering::Natural),
+            seq::greedy_first_fit(&g, VertexOrdering::LargestDegreeFirst),
+            seq::greedy_first_fit(&g, VertexOrdering::SmallestLast),
+            seq::greedy_first_fit(&g, VertexOrdering::Random(11)),
+            seq::dsatur(&g),
+            cpu::jones_plassmann(&g),
+            cpu::speculative_coloring(&g),
+            gpu::maxmin::color(&g, &GpuOptions::baseline()),
+            gpu::maxmin::color(&g, &GpuOptions::optimized()),
+            gpu::first_fit::color(&g, &GpuOptions::baseline()),
+            gpu::first_fit::color(&g, &GpuOptions::optimized()),
+        ];
+        for r in reports {
+            let k = verify_coloring(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", r.algorithm, spec.name));
+            assert_eq!(k, r.num_colors, "{} on {}", r.algorithm, spec.name);
+            // First-fit-style algorithms obey Δ+1; max/min independent-set
+            // coloring only guarantees ≤ 2 colors per round.
+            let bound = if r.algorithm.contains("maxmin") {
+                2 * r.iterations
+            } else {
+                g.max_degree() + 1
+            };
+            assert!(
+                k <= bound,
+                "{} on {}: {k} colors exceeds bound {bound}",
+                r.algorithm,
+                spec.name,
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_algorithms_work_on_both_device_models() {
+    let spec = gc_graph::by_name("small-world").unwrap();
+    let g = spec.build(Scale::Tiny);
+    for device in [DeviceConfig::hd7950(), DeviceConfig::small_test()] {
+        let opts = GpuOptions::baseline().with_device(device.clone());
+        let mm = gpu::maxmin::color(&g, &opts);
+        let ff = gpu::first_fit::color(&g, &opts);
+        verify_coloring(&g, &mm.colors).unwrap();
+        verify_coloring(&g, &ff.colors).unwrap();
+        // Functional results are device-independent (only timing changes).
+        let base = gpu::maxmin::color(&g, &GpuOptions::baseline());
+        assert_eq!(mm.colors, base.colors, "device {}", device.name);
+    }
+}
+
+#[test]
+fn every_schedule_produces_identical_colorings() {
+    let spec = gc_graph::by_name("citation-rmat").unwrap();
+    let g = spec.build(Scale::Tiny);
+    let reference = gpu::maxmin::color(&g, &GpuOptions::baseline());
+    for schedule in [
+        WorkSchedule::DynamicHw,
+        WorkSchedule::WorkStealing { chunk: 64 },
+        WorkSchedule::WorkStealing { chunk: 1024 },
+    ] {
+        let r = gpu::maxmin::color(&g, &GpuOptions::baseline().with_schedule(schedule));
+        assert_eq!(r.colors, reference.colors, "{schedule:?}");
+    }
+}
+
+#[test]
+fn cpu_and_gpu_speculative_agree_on_color_budget() {
+    // Different algorithms, same guarantee: first-fit-style colorings stay
+    // within maxdeg+1 and land in the same ballpark.
+    let spec = gc_graph::by_name("uniform-rand").unwrap();
+    let g = spec.build(Scale::Tiny);
+    let cpu_r = cpu::speculative_coloring(&g);
+    let gpu_r = gpu::first_fit::color(&g, &GpuOptions::baseline());
+    let diff = cpu_r.num_colors.abs_diff(gpu_r.num_colors);
+    assert!(
+        diff <= 4,
+        "cpu {} vs gpu {} colors",
+        cpu_r.num_colors,
+        gpu_r.num_colors
+    );
+}

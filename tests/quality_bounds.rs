@@ -1,0 +1,84 @@
+//! Coloring-quality guarantees on graphs with known chromatic numbers.
+
+use gc_core::{cpu, gpu, seq, verify_coloring, GpuOptions, VertexOrdering};
+use gc_graph::generators::{grid_2d, regular};
+
+#[test]
+fn bipartite_graphs_get_two_colors_from_quality_algorithms() {
+    for g in [
+        grid_2d(15, 15),
+        regular::complete_bipartite(20, 30),
+        regular::star(200),
+    ] {
+        assert_eq!(seq::dsatur(&g).num_colors, 2);
+        assert_eq!(
+            seq::greedy_first_fit(&g, VertexOrdering::SmallestLast).num_colors,
+            2
+        );
+    }
+}
+
+#[test]
+fn cliques_force_n_colors_everywhere() {
+    let g = regular::complete(12);
+    for r in [
+        seq::dsatur(&g),
+        seq::greedy_first_fit(&g, VertexOrdering::Natural),
+        cpu::jones_plassmann(&g),
+        cpu::speculative_coloring(&g),
+        gpu::maxmin::color(&g, &GpuOptions::baseline()),
+        gpu::first_fit::color(&g, &GpuOptions::baseline()),
+    ] {
+        assert_eq!(r.num_colors, 12, "{}", r.algorithm);
+    }
+}
+
+#[test]
+fn odd_cycles_need_three_colors() {
+    let g = regular::cycle(101);
+    for r in [
+        seq::dsatur(&g),
+        cpu::jones_plassmann(&g),
+        gpu::first_fit::color(&g, &GpuOptions::baseline()),
+    ] {
+        verify_coloring(&g, &r.colors).unwrap();
+        assert!(
+            (3..=4).contains(&r.num_colors),
+            "{}: {} colors on C_101",
+            r.algorithm,
+            r.num_colors
+        );
+    }
+}
+
+#[test]
+fn maxdeg_plus_one_bound_holds_for_first_fit_style_algorithms() {
+    // Greedy/first-fit colorings obey Δ+1; max/min burns ~2 colors per
+    // round and only obeys the trivial |V| bound, so it is excluded.
+    let g = gc_graph::generators::rmat(9, 8, gc_graph::generators::RmatParams::graph500(), 3);
+    let bound = g.max_degree() + 1;
+    for r in [
+        seq::greedy_first_fit(&g, VertexOrdering::Random(5)),
+        cpu::jones_plassmann(&g),
+        cpu::speculative_coloring(&g),
+        gpu::first_fit::color(&g, &GpuOptions::baseline()),
+    ] {
+        assert!(
+            r.num_colors <= bound,
+            "{}: {} colors vs bound {bound}",
+            r.algorithm,
+            r.num_colors
+        );
+    }
+}
+
+#[test]
+fn gpu_first_fit_quality_is_close_to_sequential() {
+    let g = gc_graph::by_name("coauthor-rmat").unwrap().build(gc_graph::Scale::Tiny);
+    let seq_k = seq::greedy_first_fit(&g, VertexOrdering::Natural).num_colors;
+    let gpu_k = gpu::first_fit::color(&g, &GpuOptions::baseline()).num_colors;
+    assert!(
+        gpu_k <= seq_k + 5 && gpu_k + 5 >= seq_k,
+        "gpu {gpu_k} vs seq {seq_k}"
+    );
+}
