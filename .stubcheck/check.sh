@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run cargo against the workspace with the offline dependency stand-ins from
+# ./stubs patched in place of the crates.io dependencies. Repo manifests are
+# untouched; the patch arrives via --config flags only.
+#
+#   .stubcheck/check.sh build --workspace --release
+#   .stubcheck/check.sh test --workspace
+#   .stubcheck/check.sh clippy --workspace --all-targets -- -D warnings
+set -euo pipefail
+
+STUBS="$(cd "$(dirname "$0")/stubs" && pwd)"
+SUBCOMMAND="$1"
+shift
+
+# The flags ride after the subcommand so external subcommands (clippy)
+# forward them to their inner cargo invocation.
+exec cargo "$SUBCOMMAND" --offline \
+  --config 'patch."crates-io".rand.path="'"$STUBS"'/rand"' \
+  --config 'patch."crates-io".crossbeam.path="'"$STUBS"'/crossbeam"' \
+  --config 'patch."crates-io".serde.path="'"$STUBS"'/serde"' \
+  --config 'patch."crates-io".serde_json.path="'"$STUBS"'/serde_json"' \
+  --config 'patch."crates-io".proptest.path="'"$STUBS"'/proptest"' \
+  --config 'patch."crates-io".criterion.path="'"$STUBS"'/criterion"' \
+  "$@"

@@ -1,0 +1,98 @@
+//! Offline stand-in for `criterion`. Bench targets are not compiled by
+//! `cargo build`/`cargo test`, so this only needs to satisfy dependency
+//! resolution. The minimal API below keeps `--all-targets` builds working.
+
+pub struct Criterion;
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(group: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{group}/{param}"))
+    }
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+    }
+}
+
+pub struct BenchmarkGroup<'a>(&'a mut Criterion);
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: impl Into<IdOrStr>, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, _id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct IdOrStr;
+
+impl From<&str> for IdOrStr {
+    fn from(_: &str) -> Self {
+        IdOrStr
+    }
+}
+
+impl From<String> for IdOrStr {
+    fn from(_: String) -> Self {
+        IdOrStr
+    }
+}
+
+impl From<BenchmarkId> for IdOrStr {
+    fn from(_: BenchmarkId) -> Self {
+        IdOrStr
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, _name: impl Into<IdOrStr>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup(self)
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for `serde_json`: renders and parses the stub serde
+//! `Value` tree as real JSON (the emitted documents are loadable by any
+//! JSON consumer, including Perfetto).
+
+use std::io::{Read, Write};
+
+pub use serde::Value;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_value<T: ?Sized + serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render(value: &Value, out: &mut String, indent: usize, pretty: bool) {
+    let (nl, pad, pad_close, colon) = if pretty {
+        ("\n", "  ".repeat(indent + 1), "  ".repeat(indent), ": ")
+    } else {
+        ("", String::new(), String::new(), ":")
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(out, *n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render(item, out, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(out, k);
+                out.push_str(colon);
+                render(v, out, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, 0, false);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, 0, true);
+    Ok(out)
+}
+
+pub fn to_writer<W: Write, T: ?Sized + serde::Serialize>(mut w: W, value: &T) -> Result<(), Error> {
+    let text = to_string(value)?;
+    w.write_all(text.as_bytes()).map_err(|e| Error(e.to_string()))
+}
+
+pub fn to_writer_pretty<W: Write, T: ?Sized + serde::Serialize>(
+    mut w: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    w.write_all(text.as_bytes()).map_err(|e| Error(e.to_string()))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(Error(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-sync on UTF-8 boundaries for multibyte characters.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        other => {
+                            return Err(Error(format!("expected , or ] got '{}'", other as char)))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    pairs.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        other => {
+                            return Err(Error(format!("expected , or }} got '{}'", other as char)))
+                        }
+                    }
+                }
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.bytes.len()
+                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid number".into()))?;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| Error(format!("invalid number '{text}'")))
+            }
+            other => Err(Error(format!("unexpected character '{}'", other as char))),
+        }
+    }
+}
+
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut parser = Parser { bytes, pos: 0 };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", parser.pos)));
+    }
+    T::from_value(&value).map_err(Error)
+}
+
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    from_slice(text.as_bytes())
+}
+
+pub fn from_reader<R: Read, T: serde::Deserialize>(mut rdr: R) -> Result<T, Error> {
+    let mut buf = Vec::new();
+    rdr.read_to_end(&mut buf).map_err(|e| Error(e.to_string()))?;
+    from_slice(&buf)
+}
+
+/// Flat-object subset of serde_json's `json!` plus bare-expression fallback —
+/// the shapes this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec::Vec::from([
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ]))
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec::Vec::from([ $( $crate::to_value(&$item) ),* ]))
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}

@@ -1,0 +1,340 @@
+//! Derive macros for the offline serde stand-in. Supports exactly what this
+//! workspace derives: structs with named fields and enums with unit variants.
+//! The input is re-lexed from `TokenStream::to_string()`; field types are
+//! never parsed — the generated code lets inference supply them.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    generate(&input.to_string(), Mode::Ser).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    generate(&input.to_string(), Mode::De).parse().unwrap()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Lit,
+}
+
+fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            // Doc/line comment: to_string() can render doc attrs this way.
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                i += 1;
+            }
+            i += 2;
+        } else if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] == '_' || bytes[i].is_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok::Ident(bytes[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '.' || bytes[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Lit);
+        } else if c == '"' {
+            // String literal (doc comments arrive as `#[doc = "..."]`).
+            i += 1;
+            while i < bytes.len() && bytes[i] != '"' {
+                if bytes[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            toks.push(Tok::Lit);
+        } else if c == '\'' {
+            // Lifetime (`'static`) or char literal.
+            i += 1;
+            let start = i;
+            while i < bytes.len() && (bytes[i] == '_' || bytes[i].is_alphanumeric()) {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == '\'' {
+                i += 1;
+                toks.push(Tok::Lit);
+            } else {
+                // Lifetimes never matter to field extraction; drop them.
+                if i == start && i < bytes.len() && bytes[i] == '\\' {
+                    // Escaped char literal like '\n'.
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Tok::Lit);
+                }
+            }
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    toks
+}
+
+struct Cursor {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    /// Skip one `#[...]` attribute, reporting whether it is `#[serde(default)]`.
+    fn skip_attr(&mut self) -> bool {
+        assert_eq!(self.next(), Some(Tok::Punct('#')));
+        if self.peek() == Some(&Tok::Punct('!')) {
+            self.next();
+        }
+        assert_eq!(self.next(), Some(Tok::Punct('[')), "expected [ after # in derive input");
+        let mut depth = 1usize;
+        let mut saw_serde = false;
+        let mut saw_default = false;
+        while depth > 0 {
+            match self.next().expect("unterminated attribute") {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(s) if s == "serde" => saw_serde = true,
+                Tok::Ident(s) if s == "default" => saw_default = true,
+                _ => {}
+            }
+        }
+        saw_serde && saw_default
+    }
+
+    /// Skip attributes and visibility before an item, struct field, or
+    /// enum variant. Returns whether any skipped attr was `#[serde(default)]`.
+    fn skip_attrs_and_vis(&mut self) -> bool {
+        let mut has_default = false;
+        loop {
+            match self.peek() {
+                Some(Tok::Punct('#')) => has_default |= self.skip_attr(),
+                Some(Tok::Ident(s)) if s == "pub" => {
+                    self.next();
+                    if self.peek() == Some(&Tok::Punct('(')) {
+                        let mut depth = 0usize;
+                        loop {
+                            match self.next().expect("unterminated pub(...)") {
+                                Tok::Punct('(') => depth += 1,
+                                Tok::Punct(')') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                _ => return has_default,
+            }
+        }
+    }
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<(String, bool)> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(src: &str) -> Item {
+    let mut c = Cursor { toks: lex(src), pos: 0 };
+    c.skip_attrs_and_vis();
+    let kind = match c.next() {
+        Some(Tok::Ident(k)) if k == "struct" || k == "enum" => k,
+        other => panic!("serde stub derive: expected struct or enum, got {other:?}"),
+    };
+    let name = match c.next() {
+        Some(Tok::Ident(n)) => n,
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    assert_ne!(
+        c.peek(),
+        Some(&Tok::Punct('<')),
+        "serde stub derive: generic types are not supported ({name})"
+    );
+    assert_eq!(
+        c.next(),
+        Some(Tok::Punct('{')),
+        "serde stub derive: only brace-bodied items are supported ({name})"
+    );
+
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        loop {
+            if c.peek() == Some(&Tok::Punct('}')) {
+                break;
+            }
+            let has_default = c.skip_attrs_and_vis();
+            let field = match c.next() {
+                Some(Tok::Ident(f)) => f,
+                other => panic!("serde stub derive: expected field name in {name}, got {other:?}"),
+            };
+            assert_eq!(c.next(), Some(Tok::Punct(':')), "expected : after field {field}");
+            fields.push((field, has_default));
+            // Skip the type: everything up to a comma at bracket depth zero.
+            let mut angle = 0i32;
+            let mut round = 0i32;
+            let mut square = 0i32;
+            let mut brace = 0i32;
+            loop {
+                match c.peek() {
+                    Some(Tok::Punct(',')) if angle == 0 && round == 0 && square == 0 && brace == 0 => {
+                        c.next();
+                        break;
+                    }
+                    Some(Tok::Punct('}')) if angle == 0 && round == 0 && square == 0 && brace == 0 => {
+                        break;
+                    }
+                    Some(Tok::Punct(p)) => {
+                        match p {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            '(' => round += 1,
+                            ')' => round -= 1,
+                            '[' => square += 1,
+                            ']' => square -= 1,
+                            '{' => brace += 1,
+                            '}' => brace -= 1,
+                            _ => {}
+                        }
+                        c.next();
+                    }
+                    Some(_) => {
+                        c.next();
+                    }
+                    None => panic!("serde stub derive: unterminated field type in {name}"),
+                }
+            }
+        }
+        Item::Struct { name, fields }
+    } else {
+        let mut variants = Vec::new();
+        loop {
+            if c.peek() == Some(&Tok::Punct('}')) {
+                break;
+            }
+            c.skip_attrs_and_vis();
+            let variant = match c.next() {
+                Some(Tok::Ident(v)) => v,
+                other => panic!("serde stub derive: expected variant in {name}, got {other:?}"),
+            };
+            match c.peek() {
+                Some(Tok::Punct(',')) => {
+                    c.next();
+                }
+                Some(Tok::Punct('}')) | None => {}
+                other => panic!("serde stub derive: only unit variants are supported ({name}::{variant}, got {other:?})"),
+            }
+            variants.push(variant);
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+fn generate(src: &str, mode: Mode) -> String {
+    match (parse_item(src), mode) {
+        (Item::Struct { name, fields }, Mode::Ser) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec::Vec::from([{}]))\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        (Item::Struct { name, fields }, Mode::De) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|(f, has_default)| {
+                    let helper = if *has_default { "__default_field" } else { "__req_field" };
+                    format!("{f}: ::serde::{helper}(__v, \"{f}\")?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Ser) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+        (Item::Enum { name, variants }, Mode::De) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match ::serde::__variant_str(__v)? {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::std::format!(\"unknown {name} variant {{other}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}

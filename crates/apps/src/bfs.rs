@@ -28,7 +28,10 @@ pub struct BfsReport {
 /// Run BFS from `source` on the given device.
 pub fn bfs(g: &CsrGraph, source: VertexId, device: &DeviceConfig) -> BfsReport {
     let n = g.num_vertices();
-    assert!((source as usize) < n, "source {source} out of range ({n} vertices)");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range ({n} vertices)"
+    );
     let mut gpu = Gpu::new(device.clone());
     let row_ptr = gpu.alloc_from(g.row_ptr());
     let col_idx = gpu.alloc_from(g.col_idx());
@@ -74,7 +77,10 @@ pub fn bfs(g: &CsrGraph, source: VertexId, device: &DeviceConfig) -> BfsReport {
                 }
             }
         };
-        gpu.launch(&kernel, Launch::threads("bfs-level", frontier_len).dynamic());
+        gpu.launch(
+            &kernel,
+            Launch::threads("bfs-level", frontier_len).dynamic(),
+        );
         frontier_len = gpu.read_slice(next_len)[0] as usize;
         gpu.fill(next_len, 0);
         current = 1 - current;

@@ -61,7 +61,10 @@ fn upload(gpu: &mut Gpu, g: &CsrGraph, b: &[f32]) -> Problem {
 
 /// Max |new - old| readback, used as the convergence residual.
 fn max_update(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Residual `max_v |(deg+2)·x_v − Σ x_u − b_v|` of a candidate solution
@@ -171,7 +174,10 @@ pub fn colored_gauss_seidel(
                 let bv = ctx.read(rhs, v);
                 ctx.write(field, v, relaxed(bv, sum, (end - start) as u32));
             };
-            gpu.launch(&kernel, Launch::threads("gs-class-sweep", class.len()).dynamic());
+            gpu.launch(
+                &kernel,
+                Launch::threads("gs-class-sweep", class.len()).dynamic(),
+            );
         }
         final_residual = max_update(gpu.read_slice(prev), gpu.read_slice(field));
         sweeps += 1;

@@ -32,7 +32,10 @@ pub fn pagerank(
     max_iterations: usize,
     device: &DeviceConfig,
 ) -> PageRankReport {
-    assert!((0.0..1.0).contains(&d), "damping must be in [0, 1), got {d}");
+    assert!(
+        (0.0..1.0).contains(&d),
+        "damping must be in [0, 1), got {d}"
+    );
     let n = g.num_vertices();
     let mut gpu = Gpu::new(device.clone());
     if n == 0 {
@@ -159,7 +162,12 @@ mod tests {
     fn hub_outranks_leaves() {
         let g = regular::star(50);
         let r = pagerank(&g, 0.85, 1e-9, 100, &device());
-        assert!(r.ranks[0] > 10.0 * r.ranks[1], "hub {} leaf {}", r.ranks[0], r.ranks[1]);
+        assert!(
+            r.ranks[0] > 10.0 * r.ranks[1],
+            "hub {} leaf {}",
+            r.ranks[0],
+            r.ranks[1]
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub struct SsspReport {
 /// Run SSSP from `source`.
 pub fn sssp(g: &CsrGraph, source: VertexId, device: &DeviceConfig) -> SsspReport {
     let n = g.num_vertices();
-    assert!((source as usize) < n, "source {source} out of range ({n} vertices)");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range ({n} vertices)"
+    );
     let mut gpu = Gpu::new(device.clone());
     let row_ptr = gpu.alloc_from(g.row_ptr());
     let col_idx = gpu.alloc_from(g.col_idx());
@@ -61,7 +64,10 @@ pub fn sssp(g: &CsrGraph, source: VertexId, device: &DeviceConfig) -> SsspReport
     let mut frontier_len = 1usize;
     let mut rounds = 0usize;
     while frontier_len > 0 {
-        assert!(rounds <= n, "SSSP exceeded |V| rounds — negative cycle impossible here");
+        assert!(
+            rounds <= n,
+            "SSSP exceeded |V| rounds — negative cycle impossible here"
+        );
         let list = lists[current];
         let next = lists[1 - current];
         let kernel = move |ctx: &mut LaneCtx| {
@@ -89,7 +95,10 @@ pub fn sssp(g: &CsrGraph, source: VertexId, device: &DeviceConfig) -> SsspReport
                 }
             }
         };
-        gpu.launch(&kernel, Launch::threads("sssp-relax", frontier_len).dynamic());
+        gpu.launch(
+            &kernel,
+            Launch::threads("sssp-relax", frontier_len).dynamic(),
+        );
         frontier_len = gpu.read_slice(next_len)[0] as usize;
         gpu.fill(next_len, 0);
         current = 1 - current;

@@ -39,8 +39,8 @@ proptest! {
     fn sssp_never_exceeds_bfs_hops_times_max_weight(g in arb_graph()) {
         let s = sssp::sssp(&g, 0, &device());
         let b = gc_graph::traversal::bfs_distances(&g, 0);
-        for v in 0..g.num_vertices() {
-            match (b[v], s.distances[v]) {
+        for (v, (&hops, &d)) in b.iter().zip(&s.distances).enumerate() {
+            match (hops, d) {
                 (u32::MAX, d) => prop_assert_eq!(d, u32::MAX),
                 (hops, d) => {
                     prop_assert!(d <= hops * 8, "v{v}: dist {d} vs {hops} hops");

@@ -11,7 +11,9 @@ use gc_graph::{by_name, Scale};
 fn bench_apps(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph-applications");
     group.sample_size(10);
-    let g = by_name("small-world").expect("known dataset").build(Scale::Tiny);
+    let g = by_name("small-world")
+        .expect("known dataset")
+        .build(Scale::Tiny);
     let device = DeviceConfig::hd7950();
 
     group.bench_function("bfs", |b| {
@@ -27,7 +29,9 @@ fn bench_apps(c: &mut Criterion) {
         b.iter(|| mis::maximal_independent_set(std::hint::black_box(&g), 7, &device).cycles)
     });
 
-    let rhs: Vec<f32> = (0..g.num_vertices()).map(|v| ((v % 5) as f32) - 2.0).collect();
+    let rhs: Vec<f32> = (0..g.num_vertices())
+        .map(|v| ((v % 5) as f32) - 2.0)
+        .collect();
     group.bench_function("jacobi-solver", |b| {
         b.iter(|| gauss_seidel::jacobi(std::hint::black_box(&g), &rhs, 1e-5, 500, &device).cycles)
     });

@@ -8,7 +8,9 @@ use gc_graph::{by_name, Scale};
 fn bench_chunks(c: &mut Criterion) {
     let mut group = c.benchmark_group("f8-chunk-size");
     group.sample_size(10);
-    let g = by_name("citation-rmat").expect("known dataset").build(Scale::Tiny);
+    let g = by_name("citation-rmat")
+        .expect("known dataset")
+        .build(Scale::Tiny);
     for chunk in [16usize, 64, 256, 1024] {
         let opts = GpuOptions::baseline().with_schedule(WorkSchedule::WorkStealing { chunk });
         group.bench_function(format!("chunk-{chunk}"), |b| {

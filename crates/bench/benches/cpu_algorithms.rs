@@ -9,9 +9,13 @@ use gc_graph::{by_name, Scale};
 fn bench_cpu(c: &mut Criterion) {
     let mut group = c.benchmark_group("cpu-baselines");
     group.sample_size(10);
-    let g = by_name("uniform-rand").expect("known dataset").build(Scale::Tiny);
+    let g = by_name("uniform-rand")
+        .expect("known dataset")
+        .build(Scale::Tiny);
     group.bench_function("seq-ff-natural", |b| {
-        b.iter(|| seq::greedy_first_fit(std::hint::black_box(&g), VertexOrdering::Natural).num_colors)
+        b.iter(|| {
+            seq::greedy_first_fit(std::hint::black_box(&g), VertexOrdering::Natural).num_colors
+        })
     });
     group.bench_function("seq-ff-smallest-last", |b| {
         b.iter(|| {

@@ -8,7 +8,9 @@ use gc_graph::{by_name, Scale};
 fn bench_hybrid(c: &mut Criterion) {
     let mut group = c.benchmark_group("f7-hybrid-and-optimized");
     group.sample_size(10);
-    let g = by_name("citation-rmat").expect("known dataset").build(Scale::Tiny);
+    let g = by_name("citation-rmat")
+        .expect("known dataset")
+        .build(Scale::Tiny);
     for (label, opts) in [
         ("baseline", GpuOptions::baseline()),
         ("hybrid", GpuOptions::hybrid()),

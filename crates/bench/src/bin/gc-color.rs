@@ -8,26 +8,16 @@
 //! gc-color --dataset citation-rmat --algorithm maxmin --optimized
 //! gc-color --input graph.mtx --algorithm firstfit --out colors.txt
 //! gc-color --input web.col --format dimacs --algorithm jp --device warp32
+//! gc-color --dataset road-net --optimized --profile trace.json --json report.json
 //! ```
 
-use std::io::{BufReader, BufWriter, Write};
+use std::cell::RefCell;
+use std::io::{BufWriter, Write};
+use std::rc::Rc;
 
-use gc_core::{color_classes, gpu, seq, verify_coloring, GpuOptions, RunReport, VertexOrdering};
-use gc_gpusim::DeviceConfig;
-use gc_graph::{io, CsrGraph, Scale};
-
-struct Args {
-    input: Option<String>,
-    format: Option<String>,
-    dataset: Option<String>,
-    scale: Scale,
-    algorithm: String,
-    optimized: bool,
-    device: String,
-    seed: u64,
-    out: Option<String>,
-    classes: bool,
-}
+use gc_bench::cli::{self, ColorArgs, JsonTarget, Parsed, ProfileFormat};
+use gc_core::{color_classes, verify_coloring, RunReport};
+use gc_gpusim::{ChromeTraceSink, Gpu, JsonlSink};
 
 const USAGE: &str = "gc-color — graph coloring on a simulated AMD GPU
 
@@ -44,132 +34,92 @@ options:
   --seed N             priority permutation seed (default 3088)
   --out PATH           write `vertex color` lines
   --classes            print color-class sizes
+  --json [PATH]        dump the full run report as JSON (stdout if no PATH)
+  --profile PATH       write an execution trace of the device run
+  --profile-format F   chrome | jsonl trace format (default chrome)
   --help               this text";
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        input: None,
-        format: None,
-        dataset: None,
-        scale: Scale::Small,
-        algorithm: "maxmin".into(),
-        optimized: false,
-        device: "hd7950".into(),
-        seed: 0xC10,
-        out: None,
-        classes: false,
+/// Run the requested algorithm; when `--profile` names a GPU run, attach
+/// the matching trace sink and write the trace afterwards.
+fn run(args: &ColorArgs, g: &gc_graph::CsrGraph) -> Result<RunReport, String> {
+    let Some(trace_path) = &args.profile else {
+        return cli::run_algorithm(args, g);
     };
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next().ok_or_else(|| format!("{name} needs an argument"))
-        };
-        match arg.as_str() {
-            "--input" => args.input = Some(value("--input")?),
-            "--format" => args.format = Some(value("--format")?),
-            "--dataset" => args.dataset = Some(value("--dataset")?),
-            "--scale" => {
-                args.scale = match value("--scale")?.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "full" => Scale::Full,
-                    other => return Err(format!("unknown scale '{other}'")),
-                }
-            }
-            "--algorithm" => args.algorithm = value("--algorithm")?,
-            "--optimized" => args.optimized = true,
-            "--device" => args.device = value("--device")?,
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?
-            }
-            "--out" => args.out = Some(value("--out")?),
-            "--classes" => args.classes = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument '{other}' (try --help)")),
+    if !cli::is_gpu_algorithm(&args.algorithm) {
+        eprintln!(
+            "warning: --profile traces the simulated device; '{}' runs on the host \
+             (no trace written)",
+            args.algorithm
+        );
+        return cli::run_algorithm(args, g);
+    }
+    let opts = cli::gpu_options(args)?;
+    let mut gpu = Gpu::new(opts.device.clone());
+    let report = match args.profile_format {
+        ProfileFormat::Chrome => {
+            let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+            gpu.attach_profiler(sink.clone());
+            let report = cli::run_gpu_on(&mut gpu, &args.algorithm, g, &opts);
+            write_trace(trace_path, |w| sink.borrow().write_to(w))?;
+            report
+        }
+        ProfileFormat::Jsonl => {
+            let sink = Rc::new(RefCell::new(JsonlSink::new()));
+            gpu.attach_profiler(sink.clone());
+            let report = cli::run_gpu_on(&mut gpu, &args.algorithm, g, &opts);
+            write_trace(trace_path, |w| sink.borrow().write_to(w))?;
+            report
+        }
+    };
+    eprintln!("wrote trace {trace_path}");
+    Ok(report)
+}
+
+fn write_trace(
+    path: &str,
+    write: impl FnOnce(&mut BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write(&mut w)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn dump_json(target: &JsonTarget, report: &RunReport) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(report).map_err(|e| format!("serialize report: {e}"))?;
+    match target {
+        JsonTarget::Stdout => println!("{json}"),
+        JsonTarget::File(path) => {
+            std::fs::write(path, json.as_bytes()).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
         }
     }
-    if args.input.is_none() == args.dataset.is_none() {
-        return Err("exactly one of --input or --dataset is required".into());
-    }
-    Ok(args)
-}
-
-fn load_graph(args: &Args) -> Result<CsrGraph, String> {
-    if let Some(name) = &args.dataset {
-        let spec = gc_graph::by_name(name)
-            .ok_or_else(|| format!("unknown dataset '{name}' (see `repro --exp t1`)"))?;
-        return Ok(spec.build(args.scale));
-    }
-    let path = args.input.as_ref().expect("validated by parse_args");
-    let format = match args.format.as_deref() {
-        Some(f) => f.to_string(),
-        None => match path.rsplit('.').next() {
-            Some("mtx") => "mtx".into(),
-            Some("col") => "dimacs".into(),
-            Some("gcsr") => "gcsr".into(),
-            _ => "edges".into(),
-        },
-    };
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let reader = BufReader::new(file);
-    let graph = match format.as_str() {
-        "mtx" => io::read_matrix_market(reader),
-        "dimacs" => io::read_dimacs_col(reader),
-        "edges" => io::read_edge_list(reader),
-        "gcsr" => io::read_binary(reader),
-        other => return Err(format!("unknown format '{other}' (mtx | dimacs | edges | gcsr)")),
-    };
-    graph.map_err(|e| format!("parse {path}: {e}"))
-}
-
-fn pick_device(name: &str) -> Result<DeviceConfig, String> {
-    Ok(match name {
-        "hd7950" => DeviceConfig::hd7950(),
-        "hd7970" => DeviceConfig::hd7970(),
-        "apu" => DeviceConfig::apu_8cu(),
-        "warp32" => DeviceConfig::warp32(),
-        other => return Err(format!("unknown device '{other}'")),
-    })
-}
-
-fn run(args: &Args, g: &CsrGraph) -> Result<RunReport, String> {
-    let opts = {
-        let base = if args.optimized {
-            GpuOptions::optimized()
-        } else {
-            GpuOptions::baseline()
-        };
-        base.with_device(pick_device(&args.device)?).with_seed(args.seed)
-    };
-    Ok(match args.algorithm.as_str() {
-        "maxmin" => gpu::maxmin::color(g, &opts),
-        "jp" => gpu::jp::color(g, &opts),
-        "firstfit" => gpu::first_fit::color(g, &opts),
-        "seq" => seq::greedy_first_fit(g, VertexOrdering::SmallestLast),
-        "dsatur" => seq::dsatur(g),
-        other => {
-            return Err(format!(
-                "unknown algorithm '{other}' (maxmin | jp | firstfit | seq | dsatur)"
-            ))
-        }
-    })
+    Ok(())
 }
 
 fn main() {
-    let args = parse_args().unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let g = load_graph(&args).unwrap_or_else(|e| {
+    let args = match cli::parse_color_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let g = cli::load_graph(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    eprintln!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    eprintln!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let report = run(&args, &g).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -187,6 +137,13 @@ fn main() {
         for (i, class) in classes.iter().enumerate() {
             eprintln!("  class {i}: {} vertices", class.len());
         }
+    }
+
+    if let Some(target) = &args.json {
+        dump_json(target, &report).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
     }
 
     if let Some(path) = &args.out {

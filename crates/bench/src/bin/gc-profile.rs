@@ -1,0 +1,127 @@
+//! `gc-profile` — run a GPU coloring algorithm under the profiler and print
+//! a performance report: kernel time breakdown, per-kernel CU load balance,
+//! divergence hotspots, the steal-queue drain curve, and the per-iteration
+//! timeline. Optionally writes the underlying event trace for Perfetto.
+//!
+//! ```text
+//! gc-profile --dataset road-net --algorithm maxmin --optimized
+//! gc-profile --dataset citation-rmat --optimized --profile trace.json
+//! ```
+
+use std::cell::RefCell;
+use std::io::{BufWriter, Write};
+use std::rc::Rc;
+
+use gc_bench::cli::{self, Parsed, ProfileFormat};
+use gc_bench::render_profile_report;
+use gc_core::verify_coloring;
+use gc_gpusim::{CaptureSink, ChromeTraceSink, Gpu, JsonlSink};
+
+const USAGE: &str = "gc-profile — profile a coloring run on the simulated GPU
+
+input (one of):
+  --input PATH         graph file (.mtx / .col / edge list; see --format)
+  --dataset NAME       registry dataset (see `repro --exp t1`)
+
+options:
+  --format FMT         mtx | dimacs | edges | gcsr (default: from extension)
+  --scale S            tiny | small | full for --dataset (default small)
+  --algorithm A        maxmin | jp | firstfit (device algorithms only)
+  --optimized          enable work stealing + hybrid binning
+  --device D           hd7950 | hd7970 | apu | warp32 (default hd7950)
+  --seed N             priority permutation seed (default 3088)
+  --profile PATH       also write the event trace (for Perfetto)
+  --profile-format F   chrome | jsonl trace format (default chrome)
+  --json [PATH]        dump the run report as JSON (stdout if no PATH)
+  --help               this text";
+
+fn main() {
+    let args = match cli::parse_color_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !cli::is_gpu_algorithm(&args.algorithm) {
+        eprintln!(
+            "error: '{}' runs on the host; gc-profile profiles the simulated \
+             device (maxmin | jp | firstfit)",
+            args.algorithm
+        );
+        std::process::exit(2);
+    }
+    let g = cli::load_graph(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let opts = cli::gpu_options(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut gpu = Gpu::new(opts.device.clone());
+    let capture = Rc::new(RefCell::new(CaptureSink::new()));
+    gpu.attach_profiler(capture.clone());
+    // Optional on-disk trace rides along on the same run.
+    let chrome = Rc::new(RefCell::new(ChromeTraceSink::new()));
+    let jsonl = Rc::new(RefCell::new(JsonlSink::new()));
+    if args.profile.is_some() {
+        match args.profile_format {
+            ProfileFormat::Chrome => gpu.attach_profiler(chrome.clone()),
+            ProfileFormat::Jsonl => gpu.attach_profiler(jsonl.clone()),
+        }
+    }
+
+    let report = cli::run_gpu_on(&mut gpu, &args.algorithm, &g, &opts);
+    verify_coloring(&g, &report.colors).unwrap_or_else(|e| {
+        eprintln!("internal error: invalid coloring produced: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("{}", report.summary());
+
+    if let Some(path) = &args.profile {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut w = BufWriter::new(file);
+        let res = match args.profile_format {
+            ProfileFormat::Chrome => chrome.borrow().write_to(&mut w),
+            ProfileFormat::Jsonl => jsonl.borrow().write_to(&mut w),
+        };
+        res.and_then(|()| w.flush()).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote trace {path}");
+    }
+
+    print!("{}", render_profile_report(&report, &capture.borrow()));
+
+    if let Some(target) = &args.json {
+        let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+            eprintln!("error: serialize report: {e}");
+            std::process::exit(1);
+        });
+        match target {
+            cli::JsonTarget::Stdout => println!("{json}"),
+            cli::JsonTarget::File(path) => {
+                std::fs::write(path, json.as_bytes()).unwrap_or_else(|e| {
+                    eprintln!("error: write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}

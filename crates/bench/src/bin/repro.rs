@@ -32,9 +32,10 @@ fn parse_args() -> Result<Args, String> {
                 let ids = argv.next().ok_or("--exp needs an argument")?;
                 let mut picked = Vec::new();
                 for id in ids.split(',') {
-                    picked.push(by_id(id).ok_or_else(|| {
-                        format!("unknown experiment '{id}' (use --list)")
-                    })?);
+                    picked.push(
+                        by_id(id)
+                            .ok_or_else(|| format!("unknown experiment '{id}' (use --list)"))?,
+                    );
                 }
                 experiments = Some(picked);
             }

@@ -1,0 +1,361 @@
+//! Argument parsing and shared plumbing for the `gc-color` and `gc-profile`
+//! binaries. Lives in the library so parsing is unit-testable and both
+//! binaries agree on flags, validation, and error wording.
+
+use std::io::BufReader;
+
+use gc_core::{gpu, seq, GpuOptions, RunReport, VertexOrdering};
+use gc_gpusim::{DeviceConfig, Gpu};
+use gc_graph::{io, CsrGraph, Scale};
+
+/// Valid `--algorithm` values, in help order.
+pub const ALGORITHMS: &[&str] = &["maxmin", "jp", "firstfit", "seq", "dsatur"];
+/// Valid `--device` values.
+pub const DEVICES: &[&str] = &["hd7950", "hd7970", "apu", "warp32"];
+
+/// Trace output format selected by `--profile-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileFormat {
+    /// Chrome trace-event JSON (Perfetto / `chrome://tracing`).
+    Chrome,
+    /// One JSON object per event.
+    Jsonl,
+}
+
+/// Destination of the `--json` report dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonTarget {
+    Stdout,
+    File(String),
+}
+
+/// Parsed `gc-color` / `gc-profile` command line.
+#[derive(Debug, Clone)]
+pub struct ColorArgs {
+    pub input: Option<String>,
+    pub format: Option<String>,
+    pub dataset: Option<String>,
+    pub scale: Scale,
+    pub algorithm: String,
+    pub optimized: bool,
+    pub device: String,
+    pub seed: u64,
+    pub out: Option<String>,
+    pub classes: bool,
+    /// `--json [PATH]`: dump the full [`RunReport`] as JSON.
+    pub json: Option<JsonTarget>,
+    /// `--profile PATH`: write an execution trace of the run.
+    pub profile: Option<String>,
+    /// `--profile-format chrome|jsonl` (default chrome).
+    pub profile_format: ProfileFormat,
+}
+
+impl Default for ColorArgs {
+    fn default() -> Self {
+        Self {
+            input: None,
+            format: None,
+            dataset: None,
+            scale: Scale::Small,
+            algorithm: "maxmin".into(),
+            optimized: false,
+            device: "hd7950".into(),
+            seed: 0xC10,
+            out: None,
+            classes: false,
+            json: None,
+            profile: None,
+            profile_format: ProfileFormat::Chrome,
+        }
+    }
+}
+
+/// Outcome of parsing: run, or exit cleanly after `--help`.
+#[derive(Debug)]
+pub enum Parsed {
+    Run(Box<ColorArgs>),
+    Help,
+}
+
+/// Parse a `gc-color`-style argument list (without the program name).
+/// Validation that needs no I/O — algorithm, device, scale, format names —
+/// happens here so mistakes fail before any graph is loaded.
+pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
+    let mut args = ColorArgs::default();
+    let mut argv = argv.into_iter().peekable();
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match arg.as_str() {
+            "--input" => args.input = Some(value("--input")?),
+            "--format" => args.format = Some(value("--format")?),
+            "--dataset" => args.dataset = Some(value("--dataset")?),
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}' (tiny | small | full)")),
+                }
+            }
+            "--algorithm" => {
+                let a = value("--algorithm")?;
+                if !ALGORITHMS.contains(&a.as_str()) {
+                    return Err(format!(
+                        "unknown algorithm '{a}' ({})",
+                        ALGORITHMS.join(" | ")
+                    ));
+                }
+                args.algorithm = a;
+            }
+            "--optimized" => args.optimized = true,
+            "--device" => {
+                let d = value("--device")?;
+                if !DEVICES.contains(&d.as_str()) {
+                    return Err(format!("unknown device '{d}' ({})", DEVICES.join(" | ")));
+                }
+                args.device = d;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--classes" => args.classes = true,
+            "--json" => {
+                // Optional path: `--json report.json` writes a file,
+                // bare `--json` writes to stdout.
+                args.json = match argv.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        Some(JsonTarget::File(argv.next().expect("peeked")))
+                    }
+                    _ => Some(JsonTarget::Stdout),
+                };
+            }
+            "--profile" => args.profile = Some(value("--profile")?),
+            "--profile-format" => {
+                args.profile_format = match value("--profile-format")?.as_str() {
+                    "chrome" => ProfileFormat::Chrome,
+                    "jsonl" => ProfileFormat::Jsonl,
+                    other => {
+                        return Err(format!("unknown profile format '{other}' (chrome | jsonl)"))
+                    }
+                };
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if args.input.is_none() == args.dataset.is_none() {
+        return Err("exactly one of --input or --dataset is required".into());
+    }
+    Ok(Parsed::Run(Box::new(args)))
+}
+
+/// Load the graph named by `--input`/`--dataset`.
+pub fn load_graph(args: &ColorArgs) -> Result<CsrGraph, String> {
+    if let Some(name) = &args.dataset {
+        let spec = gc_graph::by_name(name)
+            .ok_or_else(|| format!("unknown dataset '{name}' (see `repro --exp t1`)"))?;
+        return Ok(spec.build(args.scale));
+    }
+    let path = args.input.as_ref().expect("validated by parse_color_args");
+    let format = match args.format.as_deref() {
+        Some(f) => f.to_string(),
+        None => match path.rsplit('.').next() {
+            Some("mtx") => "mtx".into(),
+            Some("col") => "dimacs".into(),
+            Some("gcsr") => "gcsr".into(),
+            _ => "edges".into(),
+        },
+    };
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let graph = match format.as_str() {
+        "mtx" => io::read_matrix_market(reader),
+        "dimacs" => io::read_dimacs_col(reader),
+        "edges" => io::read_edge_list(reader),
+        "gcsr" => io::read_binary(reader),
+        other => {
+            return Err(format!(
+                "unknown format '{other}' (mtx | dimacs | edges | gcsr)"
+            ))
+        }
+    };
+    graph.map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Resolve `--device` to a configuration.
+pub fn pick_device(name: &str) -> Result<DeviceConfig, String> {
+    Ok(match name {
+        "hd7950" => DeviceConfig::hd7950(),
+        "hd7970" => DeviceConfig::hd7970(),
+        "apu" => DeviceConfig::apu_8cu(),
+        "warp32" => DeviceConfig::warp32(),
+        other => {
+            return Err(format!(
+                "unknown device '{other}' ({})",
+                DEVICES.join(" | ")
+            ))
+        }
+    })
+}
+
+/// Build the [`GpuOptions`] implied by the parsed flags.
+pub fn gpu_options(args: &ColorArgs) -> Result<GpuOptions, String> {
+    let base = if args.optimized {
+        GpuOptions::optimized()
+    } else {
+        GpuOptions::baseline()
+    };
+    Ok(base
+        .with_device(pick_device(&args.device)?)
+        .with_seed(args.seed))
+}
+
+/// Whether the algorithm runs on the simulated device (and can therefore
+/// be profiled with device-event sinks).
+pub fn is_gpu_algorithm(name: &str) -> bool {
+    matches!(name, "maxmin" | "jp" | "firstfit")
+}
+
+/// Run a GPU algorithm on a caller-supplied device (so profilers attached
+/// to `gpu` observe the run).
+pub fn run_gpu_on(gpu: &mut Gpu, algorithm: &str, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    match algorithm {
+        "maxmin" => gpu::maxmin::color_on(gpu, g, opts),
+        "jp" => gpu::jp::color_on(gpu, g, opts),
+        "firstfit" => gpu::first_fit::color_on(gpu, g, opts),
+        other => unreachable!("not a GPU algorithm: {other}"),
+    }
+}
+
+/// Run any algorithm in the suite (host algorithms included).
+pub fn run_algorithm(args: &ColorArgs, g: &CsrGraph) -> Result<RunReport, String> {
+    if is_gpu_algorithm(&args.algorithm) {
+        let opts = gpu_options(args)?;
+        let mut gpu = Gpu::new(opts.device.clone());
+        return Ok(run_gpu_on(&mut gpu, &args.algorithm, g, &opts));
+    }
+    Ok(match args.algorithm.as_str() {
+        "seq" => seq::greedy_first_fit(g, VertexOrdering::SmallestLast),
+        "dsatur" => seq::dsatur(g),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' ({})",
+                ALGORITHMS.join(" | ")
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Parsed, String> {
+        parse_color_args(args.iter().map(|s| s.to_string()))
+    }
+
+    fn parsed(args: &[&str]) -> ColorArgs {
+        match parse(args).unwrap() {
+            Parsed::Run(a) => *a,
+            Parsed::Help => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn defaults_and_basic_flags() {
+        let a = parsed(&["--dataset", "road-net"]);
+        assert_eq!(a.algorithm, "maxmin");
+        assert_eq!(a.device, "hd7950");
+        assert!(!a.optimized);
+        assert!(a.json.is_none());
+        assert!(a.profile.is_none());
+
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--algorithm",
+            "jp",
+            "--optimized",
+            "--scale",
+            "tiny",
+        ]);
+        assert_eq!(a.algorithm, "jp");
+        assert!(a.optimized);
+        assert_eq!(a.scale, Scale::Tiny);
+    }
+
+    #[test]
+    fn unknown_algorithm_lists_choices_at_parse_time() {
+        let err = parse(&["--dataset", "road-net", "--algorithm", "nope"]).unwrap_err();
+        assert!(err.contains("unknown algorithm 'nope'"), "{err}");
+        for a in ALGORITHMS {
+            assert!(err.contains(a), "error should list '{a}': {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_device_and_scale_fail_at_parse_time() {
+        let err = parse(&["--dataset", "x", "--device", "rtx4090"]).unwrap_err();
+        assert!(err.contains("unknown device"), "{err}");
+        assert!(err.contains("hd7950"), "{err}");
+        let err = parse(&["--dataset", "x", "--scale", "huge"]).unwrap_err();
+        assert!(err.contains("unknown scale"), "{err}");
+    }
+
+    #[test]
+    fn json_flag_with_and_without_path() {
+        let a = parsed(&["--dataset", "road-net", "--json"]);
+        assert_eq!(a.json, Some(JsonTarget::Stdout));
+        let a = parsed(&["--dataset", "road-net", "--json", "r.json", "--classes"]);
+        assert_eq!(a.json, Some(JsonTarget::File("r.json".into())));
+        assert!(a.classes);
+        // Bare --json followed by another flag keeps the flag.
+        let a = parsed(&["--dataset", "road-net", "--json", "--optimized"]);
+        assert_eq!(a.json, Some(JsonTarget::Stdout));
+        assert!(a.optimized);
+    }
+
+    #[test]
+    fn profile_flags_parse() {
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--profile",
+            "trace.json",
+            "--profile-format",
+            "jsonl",
+        ]);
+        assert_eq!(a.profile.as_deref(), Some("trace.json"));
+        assert_eq!(a.profile_format, ProfileFormat::Jsonl);
+        let err = parse(&["--dataset", "x", "--profile-format", "xml"]).unwrap_err();
+        assert!(err.contains("chrome | jsonl"), "{err}");
+    }
+
+    #[test]
+    fn requires_exactly_one_input_source() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--dataset", "a", "--input", "b"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(matches!(parse(&["--help"]).unwrap(), Parsed::Help));
+        assert!(matches!(parse(&["-h"]).unwrap(), Parsed::Help));
+    }
+
+    #[test]
+    fn gpu_algorithm_classification() {
+        for a in ["maxmin", "jp", "firstfit"] {
+            assert!(is_gpu_algorithm(a));
+        }
+        for a in ["seq", "dsatur"] {
+            assert!(!is_gpu_algorithm(a));
+        }
+    }
+}

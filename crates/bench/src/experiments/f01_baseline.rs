@@ -41,10 +41,7 @@ mod tests {
         let mut r = Runner::new(Scale::Tiny);
         let t = run(&mut r);
         let per_edge = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|row| row[0] == name)
-                .unwrap()[3]
+            t.rows.iter().find(|row| row[0] == name).unwrap()[3]
                 .parse()
                 .unwrap()
         };

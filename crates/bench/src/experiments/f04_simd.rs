@@ -17,7 +17,9 @@ pub fn run(r: &mut Runner) -> ExpTable {
     );
     for spec in suite() {
         let skew = DegreeStats::of(r.graph(&spec)).skew;
-        let base = r.run(&spec, Family::MaxMin, Config::Baseline).simd_utilization;
+        let base = r
+            .run(&spec, Family::MaxMin, Config::Baseline)
+            .simd_utilization;
         let hybrid = r
             .run(&spec, Family::MaxMin, Config::hybrid_default())
             .simd_utilization;
@@ -28,7 +30,9 @@ pub fn run(r: &mut Runner) -> ExpTable {
             format!("{:.1}", hybrid * 100.0),
         ]);
     }
-    t.note("utilization falls as degree skew rises; hybrid binning recovers it on power-law graphs");
+    t.note(
+        "utilization falls as degree skew rises; hybrid binning recovers it on power-law graphs",
+    );
     t
 }
 
@@ -42,7 +46,9 @@ mod tests {
         let mut r = Runner::new(Scale::Tiny);
         let t = run(&mut r);
         let util = |name: &str| -> f64 {
-            t.rows.iter().find(|row| row[0] == name).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|row| row[0] == name).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         assert!(
             util("ecology-mesh") > util("citation-rmat"),

@@ -16,8 +16,12 @@ pub fn run(r: &mut Runner) -> ExpTable {
         &["graph", "static-rr", "dynamic-hw", "stealing"],
     );
     for spec in suite() {
-        let rr = r.run(&spec, Family::MaxMin, Config::Baseline).imbalance_factor;
-        let dy = r.run(&spec, Family::MaxMin, Config::DynamicHw).imbalance_factor;
+        let rr = r
+            .run(&spec, Family::MaxMin, Config::Baseline)
+            .imbalance_factor;
+        let dy = r
+            .run(&spec, Family::MaxMin, Config::DynamicHw)
+            .imbalance_factor;
         let ws = r
             .run(&spec, Family::MaxMin, Config::stealing_default())
             .imbalance_factor;
@@ -35,14 +39,16 @@ pub fn run(r: &mut Runner) -> ExpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gc_graph::{by_name, Scale};
     use crate::runner::{Config, Family};
+    use gc_graph::{by_name, Scale};
 
     #[test]
     fn stealing_reduces_imbalance_on_power_law() {
         let mut r = Runner::new(Scale::Tiny);
         let spec = by_name("citation-rmat").unwrap();
-        let rr = r.run(&spec, Family::MaxMin, Config::Baseline).imbalance_factor;
+        let rr = r
+            .run(&spec, Family::MaxMin, Config::Baseline)
+            .imbalance_factor;
         let ws = r
             .run(&spec, Family::MaxMin, Config::stealing_default())
             .imbalance_factor;

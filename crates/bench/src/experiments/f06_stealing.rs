@@ -14,7 +14,9 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut speedups = Vec::new();
     for spec in suite() {
         let base = r.run(&spec, Family::MaxMin, Config::Baseline).cycles;
-        let ws = r.run(&spec, Family::MaxMin, Config::stealing_default()).cycles;
+        let ws = r
+            .run(&spec, Family::MaxMin, Config::stealing_default())
+            .cycles;
         let s = base as f64 / ws as f64;
         speedups.push(s);
         t.row(vec![

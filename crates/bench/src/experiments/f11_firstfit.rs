@@ -13,7 +13,13 @@ pub fn run(r: &mut Runner) -> ExpTable {
         "f11",
         "GPU algorithm families (baseline schedule): cycles and colors",
         &[
-            "graph", "mm-cycles", "jp-cycles", "ff-cycles", "mm-colors", "jp-colors", "ff-colors",
+            "graph",
+            "mm-cycles",
+            "jp-cycles",
+            "ff-cycles",
+            "mm-colors",
+            "jp-colors",
+            "ff-colors",
         ],
     );
     for spec in suite() {

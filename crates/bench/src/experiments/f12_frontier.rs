@@ -17,7 +17,13 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut t = ExpTable::new(
         "f12",
         "frontier compaction: speedup over baseline (max/min)",
-        &["graph", "iterations", "naive-push", "aggregated-push", "verdict"],
+        &[
+            "graph",
+            "iterations",
+            "naive-push",
+            "aggregated-push",
+            "verdict",
+        ],
     );
     for spec in suite() {
         let baseline = r.run(&spec, Family::MaxMin, Config::Baseline).cycles;
@@ -63,7 +69,11 @@ mod tests {
         for row in &t.rows {
             let naive: f64 = row[2].trim_end_matches('x').parse().unwrap();
             let agg: f64 = row[3].trim_end_matches('x').parse().unwrap();
-            assert!(agg >= naive * 0.999, "{}: agg {agg} vs naive {naive}", row[0]);
+            assert!(
+                agg >= naive * 0.999,
+                "{}: agg {agg} vs naive {naive}",
+                row[0]
+            );
         }
         assert_eq!(t.rows.len(), suite().len());
     }

@@ -18,7 +18,13 @@ pub fn run(r: &mut Runner) -> ExpTable {
         "f13",
         "devices: baseline vs optimized max/min on citation-rmat",
         &[
-            "device", "CUs", "wave", "base-cycles", "opt-cycles", "speedup", "base-simd%",
+            "device",
+            "CUs",
+            "wave",
+            "base-cycles",
+            "opt-cycles",
+            "speedup",
+            "base-simd%",
         ],
     );
     for device in [

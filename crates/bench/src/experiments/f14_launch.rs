@@ -19,7 +19,13 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut t = ExpTable::new(
         "f14",
         "kernel-launch overhead sweep on road-net",
-        &["launch-cycles", "mm-cycles", "mm-launch-share", "ff-cycles", "ff/mm"],
+        &[
+            "launch-cycles",
+            "mm-cycles",
+            "mm-launch-share",
+            "ff-cycles",
+            "ff/mm",
+        ],
     );
     for lc in LAUNCH_CYCLES {
         let mut opts = GpuOptions::baseline();

@@ -6,8 +6,8 @@
 //! hybrid algorithm's benefit that recovers, and what both do together.
 
 use gc_core::{gpu, GpuOptions};
-use gc_graph::relabel::{apply_order, degree_sort_order};
 use gc_graph::by_name;
+use gc_graph::relabel::{apply_order, degree_sort_order};
 
 use crate::runner::Runner;
 use crate::table::ExpTable;
@@ -18,7 +18,14 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut t = ExpTable::new(
         "f16",
         "degree-sorted relabeling vs hybrid binning (speedup over baseline)",
-        &["graph", "deg-sorted", "hybrid", "sorted+hybrid", "sorted-simd%", "base-simd%"],
+        &[
+            "graph",
+            "deg-sorted",
+            "hybrid",
+            "sorted+hybrid",
+            "sorted-simd%",
+            "base-simd%",
+        ],
     );
     for name in GRAPHS {
         let spec = by_name(name).expect("known dataset");

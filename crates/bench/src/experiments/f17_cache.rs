@@ -16,7 +16,14 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut t = ExpTable::new(
         "f17",
         "explicit L2 vs flat-latency model (baseline max/min)",
-        &["graph", "flat-cycles", "l2-cycles", "l2/flat", "hit-rate%", "opt-speedup-l2"],
+        &[
+            "graph",
+            "flat-cycles",
+            "l2-cycles",
+            "l2/flat",
+            "hit-rate%",
+            "opt-speedup-l2",
+        ],
     );
     for spec in suite() {
         let g = r.graph(&spec).clone();
@@ -28,7 +35,10 @@ pub fn run(r: &mut Runner) -> ExpTable {
             &g,
             &GpuOptions::optimized().with_device(gc_gpusim::DeviceConfig::hd7950().with_l2()),
         );
-        assert_eq!(flat.colors, with_l2.colors, "cache model must not change results");
+        assert_eq!(
+            flat.colors, with_l2.colors,
+            "cache model must not change results"
+        );
         t.row(vec![
             spec.name.to_string(),
             flat.cycles.to_string(),

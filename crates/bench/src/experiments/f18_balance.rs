@@ -15,7 +15,14 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut t = ExpTable::new(
         "f18",
         "color-class imbalance (cv of class sizes; lower is better)",
-        &["graph", "seq-ff", "seq-ff+bal", "gpu-ff", "gpu-ff+bal", "moved%"],
+        &[
+            "graph",
+            "seq-ff",
+            "seq-ff+bal",
+            "gpu-ff",
+            "gpu-ff+bal",
+            "moved%",
+        ],
     );
     for spec in suite() {
         let g = r.graph(&spec).clone();

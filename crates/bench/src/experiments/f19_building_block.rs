@@ -22,7 +22,12 @@ pub fn run(r: &mut Runner) -> ExpTable {
         "f19",
         "colored Gauss-Seidel vs Jacobi smoothing to the same tolerance",
         &[
-            "graph", "j-sweeps", "gs-sweeps", "classes", "gs/jacobi", "gs/jacobi-no-launch",
+            "graph",
+            "j-sweeps",
+            "gs-sweeps",
+            "classes",
+            "gs/jacobi",
+            "gs/jacobi-no-launch",
         ],
     );
     let device = GpuOptions::baseline().device;
@@ -36,7 +41,9 @@ pub fn run(r: &mut Runner) -> ExpTable {
         let b: Vec<f32> = {
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(0xF19);
-            (0..g.num_vertices()).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+            (0..g.num_vertices())
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect()
         };
         let tol = 1e-6f32;
         let j = jacobi(&g, &b, tol, 2_000, &device);

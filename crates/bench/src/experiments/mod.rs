@@ -38,27 +38,111 @@ pub struct Experiment {
 /// All experiments in presentation order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "t1", what: "dataset properties", run: t1_datasets::run },
-        Experiment { id: "t2", what: "iterations and kernel launches per algorithm", run: t2_iterations::run },
-        Experiment { id: "f1", what: "baseline GPU coloring runtime across graph structures", run: f01_baseline::run },
-        Experiment { id: "f2", what: "colors used per algorithm", run: f02_colors::run },
-        Experiment { id: "f3", what: "active-vertex decay per iteration", run: f03_active::run },
-        Experiment { id: "f4", what: "SIMD lane utilization (intra-wavefront imbalance)", run: f04_simd::run },
-        Experiment { id: "f5", what: "per-CU load imbalance factor by schedule", run: f05_imbalance::run },
-        Experiment { id: "f6", what: "work-stealing speedup over baseline", run: f06_stealing::run },
-        Experiment { id: "f7", what: "headline: optimization speedups (~25% target)", run: f07_headline::run },
-        Experiment { id: "f8", what: "work-stealing chunk-size sensitivity", run: f08_chunk::run },
-        Experiment { id: "f9", what: "hybrid degree-threshold sensitivity", run: f09_threshold::run },
-        Experiment { id: "f10", what: "occupancy (resident waves/CU) sensitivity", run: f10_occupancy::run },
-        Experiment { id: "f11", what: "GPU algorithm families: max/min vs JP vs first-fit", run: f11_firstfit::run },
-        Experiment { id: "f12", what: "frontier compaction ablation (naive vs aggregated pushes)", run: f12_frontier::run },
-        Experiment { id: "f13", what: "cross-device sensitivity (extension)", run: f13_devices::run },
-        Experiment { id: "f14", what: "kernel-launch overhead sweep (extension)", run: f14_launch::run },
-        Experiment { id: "f15", what: "per-kernel time breakdown (extension)", run: f15_breakdown::run },
-        Experiment { id: "f16", what: "degree-sorted relabeling vs hybrid (extension)", run: f16_relabel::run },
-        Experiment { id: "f17", what: "explicit-L2 methodology ablation (extension)", run: f17_cache::run },
-        Experiment { id: "f18", what: "color-class balance for downstream scheduling (extension)", run: f18_balance::run },
-        Experiment { id: "f19", what: "coloring as a building block: colored Gauss-Seidel vs Jacobi (extension)", run: f19_building_block::run },
+        Experiment {
+            id: "t1",
+            what: "dataset properties",
+            run: t1_datasets::run,
+        },
+        Experiment {
+            id: "t2",
+            what: "iterations and kernel launches per algorithm",
+            run: t2_iterations::run,
+        },
+        Experiment {
+            id: "f1",
+            what: "baseline GPU coloring runtime across graph structures",
+            run: f01_baseline::run,
+        },
+        Experiment {
+            id: "f2",
+            what: "colors used per algorithm",
+            run: f02_colors::run,
+        },
+        Experiment {
+            id: "f3",
+            what: "active-vertex decay per iteration",
+            run: f03_active::run,
+        },
+        Experiment {
+            id: "f4",
+            what: "SIMD lane utilization (intra-wavefront imbalance)",
+            run: f04_simd::run,
+        },
+        Experiment {
+            id: "f5",
+            what: "per-CU load imbalance factor by schedule",
+            run: f05_imbalance::run,
+        },
+        Experiment {
+            id: "f6",
+            what: "work-stealing speedup over baseline",
+            run: f06_stealing::run,
+        },
+        Experiment {
+            id: "f7",
+            what: "headline: optimization speedups (~25% target)",
+            run: f07_headline::run,
+        },
+        Experiment {
+            id: "f8",
+            what: "work-stealing chunk-size sensitivity",
+            run: f08_chunk::run,
+        },
+        Experiment {
+            id: "f9",
+            what: "hybrid degree-threshold sensitivity",
+            run: f09_threshold::run,
+        },
+        Experiment {
+            id: "f10",
+            what: "occupancy (resident waves/CU) sensitivity",
+            run: f10_occupancy::run,
+        },
+        Experiment {
+            id: "f11",
+            what: "GPU algorithm families: max/min vs JP vs first-fit",
+            run: f11_firstfit::run,
+        },
+        Experiment {
+            id: "f12",
+            what: "frontier compaction ablation (naive vs aggregated pushes)",
+            run: f12_frontier::run,
+        },
+        Experiment {
+            id: "f13",
+            what: "cross-device sensitivity (extension)",
+            run: f13_devices::run,
+        },
+        Experiment {
+            id: "f14",
+            what: "kernel-launch overhead sweep (extension)",
+            run: f14_launch::run,
+        },
+        Experiment {
+            id: "f15",
+            what: "per-kernel time breakdown (extension)",
+            run: f15_breakdown::run,
+        },
+        Experiment {
+            id: "f16",
+            what: "degree-sorted relabeling vs hybrid (extension)",
+            run: f16_relabel::run,
+        },
+        Experiment {
+            id: "f17",
+            what: "explicit-L2 methodology ablation (extension)",
+            run: f17_cache::run,
+        },
+        Experiment {
+            id: "f18",
+            what: "color-class balance for downstream scheduling (extension)",
+            run: f18_balance::run,
+        },
+        Experiment {
+            id: "f19",
+            what: "coloring as a building block: colored Gauss-Seidel vs Jacobi (extension)",
+            run: f19_building_block::run,
+        },
     ]
 }
 

@@ -10,7 +10,15 @@ pub fn run(r: &mut Runner) -> ExpTable {
         "t1",
         "evaluation graphs (synthetic stand-ins; see DESIGN.md)",
         &[
-            "graph", "class", "V", "E", "deg-min", "deg-avg", "deg-max", "skew", "stands in for",
+            "graph",
+            "class",
+            "V",
+            "E",
+            "deg-min",
+            "deg-avg",
+            "deg-max",
+            "skew",
+            "stands in for",
         ],
     );
     for spec in suite() {

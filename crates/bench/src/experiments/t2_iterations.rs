@@ -13,7 +13,13 @@ pub fn run(r: &mut Runner) -> ExpTable {
     let mut t = ExpTable::new(
         "t2",
         "iterations and kernel launches (baseline schedule)",
-        &["graph", "mm-iters", "mm-launches", "ff-iters", "ff-launches"],
+        &[
+            "graph",
+            "mm-iters",
+            "mm-launches",
+            "ff-iters",
+            "ff-launches",
+        ],
     );
     for spec in suite() {
         let mm = r.run(&spec, Family::MaxMin, Config::Baseline);
@@ -41,8 +47,16 @@ mod tests {
         let mut r = Runner::new(Scale::Tiny);
         let t = run(&mut r);
         let sum = |col: usize| -> usize {
-            t.rows.iter().map(|row| row[col].parse::<usize>().unwrap()).sum()
+            t.rows
+                .iter()
+                .map(|row| row[col].parse::<usize>().unwrap())
+                .sum()
         };
-        assert!(sum(3) < sum(1), "ff iters {} vs mm iters {}", sum(3), sum(1));
+        assert!(
+            sum(3) < sum(1),
+            "ff iters {} vs mm iters {}",
+            sum(3),
+            sum(1)
+        );
     }
 }

@@ -11,10 +11,14 @@
 //!   (host time of the simulation, not the paper's metric; the paper metric
 //!   is model cycles, which `repro` reports).
 
+pub mod cli;
 pub mod experiments;
+pub mod profile_report;
 pub mod runner;
 pub mod table;
 
+pub use cli::{parse_color_args, ColorArgs, JsonTarget, Parsed, ProfileFormat};
 pub use experiments::{all, by_id, Experiment};
+pub use profile_report::render_profile_report;
 pub use runner::{Config, Family, Runner};
 pub use table::{geomean, ExpTable};

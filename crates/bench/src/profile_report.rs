@@ -1,0 +1,301 @@
+//! Human-readable profile summary rendered from a captured device run.
+//!
+//! `gc-profile` (and `gc-color --profile`) attach a [`CaptureSink`] to the
+//! simulated device, run an algorithm, and hand the capture here. The report
+//! answers the questions the paper's load-imbalance analysis asks: where did
+//! the cycles go, which kernel leaves CUs idle, where does SIMT divergence
+//! concentrate, and how does the steal queue drain over a run.
+
+use std::collections::BTreeMap;
+
+use gc_core::RunReport;
+use gc_gpusim::CaptureSink;
+
+use crate::table::ExpTable;
+
+/// Per-kernel-name totals folded from the captured launches.
+#[derive(Debug, Default, Clone)]
+struct KernelTotals {
+    launches: u64,
+    wall_cycles: u64,
+    steps: u64,
+    divergent_steps: u64,
+    active_lane_ops: u64,
+    possible_lane_ops: u64,
+    busy_per_cu: Vec<u64>,
+}
+
+fn fold_kernels(capture: &CaptureSink) -> BTreeMap<String, KernelTotals> {
+    let mut by_name: BTreeMap<String, KernelTotals> = BTreeMap::new();
+    for k in &capture.kernels {
+        let t = by_name.entry(k.name.clone()).or_default();
+        t.launches += 1;
+        t.wall_cycles += k.stats.wall_cycles;
+        t.steps += k.stats.steps;
+        t.divergent_steps += k.stats.divergent_steps;
+        t.active_lane_ops += k.stats.active_lane_ops;
+        t.possible_lane_ops += k.stats.possible_lane_ops;
+        if t.busy_per_cu.len() < k.stats.busy_per_cu.len() {
+            t.busy_per_cu.resize(k.stats.busy_per_cu.len(), 0);
+        }
+        for (acc, &b) in t.busy_per_cu.iter_mut().zip(&k.stats.busy_per_cu) {
+            *acc += b;
+        }
+    }
+    by_name
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Top kernels by summed wall cycles, with share of total device time and
+/// SIMD lane utilization.
+fn kernel_time_table(by_name: &BTreeMap<String, KernelTotals>, total_cycles: u64) -> ExpTable {
+    let mut t = ExpTable::new(
+        "top-kernels",
+        "kernel time breakdown (by wall cycles)",
+        &["kernel", "launches", "cycles", "% of run", "simd util"],
+    );
+    let mut ranked: Vec<_> = by_name.iter().collect();
+    ranked.sort_by(|a, b| b.1.wall_cycles.cmp(&a.1.wall_cycles).then(a.0.cmp(b.0)));
+    for (name, k) in ranked {
+        let util = if k.possible_lane_ops == 0 {
+            100.0
+        } else {
+            k.active_lane_ops as f64 / k.possible_lane_ops as f64 * 100.0
+        };
+        t.row(vec![
+            name.clone(),
+            k.launches.to_string(),
+            k.wall_cycles.to_string(),
+            format!("{:.1}%", pct(k.wall_cycles, total_cycles)),
+            format!("{util:.1}%"),
+        ]);
+    }
+    t
+}
+
+/// Worst-CU vs mean busy cycles per kernel — the per-kernel load-imbalance
+/// picture. An imbalance of 1.0 means perfectly even CU loads.
+fn load_balance_table(by_name: &BTreeMap<String, KernelTotals>) -> ExpTable {
+    let mut t = ExpTable::new(
+        "cu-balance",
+        "per-kernel CU load balance",
+        &["kernel", "worst CU busy", "mean CU busy", "imbalance"],
+    );
+    let mut ranked: Vec<_> = by_name
+        .iter()
+        .filter(|(_, k)| !k.busy_per_cu.is_empty())
+        .map(|(name, k)| {
+            let worst = *k.busy_per_cu.iter().max().expect("nonempty");
+            let mean = k.busy_per_cu.iter().sum::<u64>() as f64 / k.busy_per_cu.len() as f64;
+            let imbalance = if mean > 0.0 { worst as f64 / mean } else { 1.0 };
+            (name, worst, mean, imbalance)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, worst, mean, imbalance) in ranked {
+        t.row(vec![
+            name.clone(),
+            worst.to_string(),
+            format!("{mean:.0}"),
+            format!("{imbalance:.2}x"),
+        ]);
+    }
+    t.note("imbalance = worst-CU busy / mean busy; 1.00x is perfectly balanced");
+    t
+}
+
+/// Kernels ranked by SIMT divergence: share of wave steps that executed
+/// with a partially-populated mask.
+fn divergence_table(by_name: &BTreeMap<String, KernelTotals>) -> ExpTable {
+    let mut t = ExpTable::new(
+        "divergence",
+        "divergence hotspots",
+        &["kernel", "divergent steps", "total steps", "divergent %"],
+    );
+    let mut ranked: Vec<_> = by_name.iter().filter(|(_, k)| k.steps > 0).collect();
+    ranked.sort_by(|a, b| {
+        pct(b.1.divergent_steps, b.1.steps)
+            .partial_cmp(&pct(a.1.divergent_steps, a.1.steps))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (name, k) in ranked {
+        t.row(vec![
+            name.clone(),
+            k.divergent_steps.to_string(),
+            k.steps.to_string(),
+            format!("{:.1}%", pct(k.divergent_steps, k.steps)),
+        ]);
+    }
+    t
+}
+
+/// Steal-queue drain curve: pops bucketed over the run so the tail (drain
+/// pops on an empty queue) is visible as the curve flattening.
+fn steal_drain_table(capture: &CaptureSink, total_cycles: u64) -> Option<ExpTable> {
+    if capture.steal_pops.is_empty() {
+        return None;
+    }
+    const BUCKETS: u64 = 10;
+    let span = total_cycles.max(1);
+    let mut chunk_pops = [0u64; BUCKETS as usize];
+    let mut drain_pops = [0u64; BUCKETS as usize];
+    let mut items = [0u64; BUCKETS as usize];
+    for p in &capture.steal_pops {
+        let b = ((p.cycle.min(span - 1)) * BUCKETS / span) as usize;
+        match p.chunk {
+            Some((lo, hi)) => {
+                chunk_pops[b] += 1;
+                items[b] += (hi - lo) as u64;
+            }
+            None => drain_pops[b] += 1,
+        }
+    }
+    let mut t = ExpTable::new(
+        "steal-drain",
+        "steal-queue drain curve",
+        &["cycle window", "chunk pops", "items popped", "empty pops"],
+    );
+    for b in 0..BUCKETS as usize {
+        let lo = span * b as u64 / BUCKETS;
+        let hi = span * (b as u64 + 1) / BUCKETS;
+        t.row(vec![
+            format!("{lo}..{hi}"),
+            chunk_pops[b].to_string(),
+            items[b].to_string(),
+            drain_pops[b].to_string(),
+        ]);
+    }
+    t.note("empty pops: CUs probing an exhausted queue before retiring");
+    Some(t)
+}
+
+/// Per-iteration timeline from the run report.
+fn iteration_table(report: &RunReport) -> Option<ExpTable> {
+    if report.iteration_timeline.is_empty() {
+        return None;
+    }
+    const MAX_ROWS: usize = 16;
+    let mut t = ExpTable::new(
+        "iterations",
+        "per-iteration timeline",
+        &[
+            "iter",
+            "active",
+            "colored",
+            "cycles",
+            "simd util",
+            "imbalance",
+            "steal pops",
+        ],
+    );
+    for it in report.iteration_timeline.iter().take(MAX_ROWS) {
+        t.row(vec![
+            it.iteration.to_string(),
+            it.active.to_string(),
+            it.colored.to_string(),
+            it.cycles.to_string(),
+            format!("{:.1}%", it.simd_utilization * 100.0),
+            format!("{:.2}x", it.imbalance_factor),
+            it.steal_pops.to_string(),
+        ]);
+    }
+    if report.iteration_timeline.len() > MAX_ROWS {
+        t.note(format!(
+            "{} more iterations omitted",
+            report.iteration_timeline.len() - MAX_ROWS
+        ));
+    }
+    Some(t)
+}
+
+/// Render the full profile report for one captured run.
+pub fn render_profile_report(report: &RunReport, capture: &CaptureSink) -> String {
+    let by_name = fold_kernels(capture);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: {} — {} colors, {} iterations, {} launches, {} cycles\n\n",
+        report.algorithm,
+        report.num_colors,
+        report.iterations,
+        report.kernel_launches,
+        report.cycles,
+    ));
+    out.push_str(&kernel_time_table(&by_name, report.cycles).render());
+    out.push('\n');
+    out.push_str(&load_balance_table(&by_name).render());
+    out.push('\n');
+    out.push_str(&divergence_table(&by_name).render());
+    if let Some(t) = steal_drain_table(capture, report.cycles) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    if let Some(t) = iteration_table(report) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_core::{gpu, GpuOptions};
+    use gc_gpusim::{DeviceConfig, Gpu};
+    use gc_graph::generators::rmat;
+    use gc_graph::generators::RmatParams;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn profiled_run() -> (RunReport, CaptureSink) {
+        let g = rmat(9, 8, RmatParams::graph500(), 5);
+        let opts = GpuOptions::optimized().with_device(DeviceConfig::apu_8cu());
+        let mut dev = Gpu::new(opts.device.clone());
+        let sink = Rc::new(RefCell::new(CaptureSink::new()));
+        dev.attach_profiler(sink.clone());
+        let report = gpu::maxmin::color_on(&mut dev, &g, &opts);
+        let capture = sink.borrow().clone();
+        (report, capture)
+    }
+
+    #[test]
+    fn report_has_all_sections_for_stealing_run() {
+        let (report, capture) = profiled_run();
+        let s = render_profile_report(&report, &capture);
+        assert!(s.contains("kernel time breakdown"), "{s}");
+        assert!(s.contains("CU load balance"), "{s}");
+        assert!(s.contains("divergence hotspots"), "{s}");
+        assert!(s.contains("steal-queue drain curve"), "{s}");
+        assert!(s.contains("per-iteration timeline"), "{s}");
+        assert!(s.contains(&report.algorithm), "{s}");
+    }
+
+    #[test]
+    fn kernel_cycle_shares_cover_the_run() {
+        let (report, capture) = profiled_run();
+        let by_name = fold_kernels(&capture);
+        // Kernel wall cycles (plus launch overhead counted in the report's
+        // total) must not exceed the run total, and should dominate it.
+        let summed: u64 = by_name.values().map(|k| k.wall_cycles).sum();
+        assert!(summed <= report.cycles, "{summed} > {}", report.cycles);
+        assert!(summed * 2 > report.cycles, "kernels cover <half the run");
+    }
+
+    #[test]
+    fn no_steal_section_without_stealing() {
+        let g = rmat(8, 8, RmatParams::graph500(), 5);
+        let opts = GpuOptions::baseline().with_device(DeviceConfig::apu_8cu());
+        let mut dev = Gpu::new(opts.device.clone());
+        let sink = Rc::new(RefCell::new(CaptureSink::new()));
+        dev.attach_profiler(sink.clone());
+        let report = gpu::jp::color_on(&mut dev, &g, &opts);
+        let s = render_profile_report(&report, &sink.borrow());
+        assert!(!s.contains("steal-queue drain curve"), "{s}");
+    }
+}

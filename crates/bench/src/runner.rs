@@ -19,12 +19,19 @@ pub enum Family {
 pub enum Config {
     Baseline,
     DynamicHw,
-    Stealing { chunk: usize },
-    Hybrid { threshold: usize },
+    Stealing {
+        chunk: usize,
+    },
+    Hybrid {
+        threshold: usize,
+    },
     Frontier,
     /// Stealing + hybrid: the paper's full optimization stack. (Frontier
     /// compaction is excluded; F12 shows it does not pay on these kernels.)
-    Optimized { chunk: usize, threshold: usize },
+    Optimized {
+        chunk: usize,
+        threshold: usize,
+    },
 }
 
 impl Config {
@@ -94,7 +101,9 @@ impl Runner {
     /// The dataset's graph, built on first use.
     pub fn graph(&mut self, spec: &DatasetSpec) -> &CsrGraph {
         let scale = self.scale;
-        self.graphs.entry(spec.name).or_insert_with(|| spec.build(scale))
+        self.graphs
+            .entry(spec.name)
+            .or_insert_with(|| spec.build(scale))
     }
 
     /// Run (or recall) a GPU coloring; the result is verified before being
@@ -113,7 +122,10 @@ impl Runner {
                 Family::FirstFit => gpu::first_fit::color(g, &opts),
             };
             verify_coloring(g, &report.colors).unwrap_or_else(|e| {
-                panic!("{} / {family:?} / {config:?} produced an invalid coloring: {e}", spec.name)
+                panic!(
+                    "{} / {family:?} / {config:?} produced an invalid coloring: {e}",
+                    spec.name
+                )
             });
             self.runs.insert(key, report);
         }

@@ -50,7 +50,11 @@ impl ExpTable {
             }
         }
         let mut out = String::new();
-        out.push_str(&format!("== {} — {} ==\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "== {} — {} ==\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
             for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {

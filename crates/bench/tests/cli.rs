@@ -1,9 +1,13 @@
-//! End-to-end tests of the `gc-color` and `repro` binaries.
+//! End-to-end tests of the `gc-color`, `gc-profile`, and `repro` binaries.
 
 use std::process::Command;
 
 fn gc_color() -> Command {
     Command::new(env!("CARGO_BIN_EXE_gc-color"))
+}
+
+fn gc_profile() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gc-profile"))
 }
 
 fn repro() -> Command {
@@ -28,7 +32,11 @@ fn colors_a_registry_dataset_and_writes_output() {
         ])
         .output()
         .expect("run gc-color");
-    assert!(status.status.success(), "{}", String::from_utf8_lossy(&status.stderr));
+    assert!(
+        status.status.success(),
+        "{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
     let text = std::fs::read_to_string(&out).unwrap();
     // Header + one line per vertex of the tiny road net (32x32 = 1024).
     assert_eq!(text.lines().count(), 1 + 1024);
@@ -47,10 +55,20 @@ fn colors_a_file_input_roundtrip() {
         gc_graph::io::write_matrix_market(&g, std::io::BufWriter::new(f)).unwrap();
     }
     let output = gc_color()
-        .args(["--input", graph_path.to_str().unwrap(), "--algorithm", "dsatur", "--classes"])
+        .args([
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--algorithm",
+            "dsatur",
+            "--classes",
+        ])
         .output()
         .expect("run gc-color");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("64 vertices"), "{stderr}");
     assert!(stderr.contains("2 color classes"), "{stderr}");
@@ -71,7 +89,11 @@ fn reads_binary_gcsr_input() {
         .args(["--input", path.to_str().unwrap(), "--algorithm", "seq"])
         .output()
         .expect("run gc-color");
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     assert!(String::from_utf8_lossy(&output.stderr).contains("36 vertices"));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -80,13 +102,246 @@ fn reads_binary_gcsr_input() {
 fn rejects_bad_arguments() {
     for bad in [
         vec!["--dataset", "nope", "--scale", "tiny"],
-        vec!["--dataset", "road-net", "--algorithm", "nope", "--scale", "tiny"],
-        vec!["--dataset", "road-net", "--device", "nope", "--scale", "tiny"],
+        vec![
+            "--dataset",
+            "road-net",
+            "--algorithm",
+            "nope",
+            "--scale",
+            "tiny",
+        ],
+        vec![
+            "--dataset",
+            "road-net",
+            "--device",
+            "nope",
+            "--scale",
+            "tiny",
+        ],
         vec![], // neither input nor dataset
     ] {
         let output = gc_color().args(&bad).output().expect("run gc-color");
         assert!(!output.status.success(), "args {bad:?} should fail");
     }
+}
+
+#[test]
+fn unknown_algorithm_error_lists_the_choices() {
+    let output = gc_color()
+        .args(["--dataset", "road-net", "--algorithm", "nope"])
+        .output()
+        .expect("run gc-color");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for choice in ["maxmin", "jp", "firstfit", "seq", "dsatur"] {
+        assert!(stderr.contains(choice), "missing '{choice}' in: {stderr}");
+    }
+}
+
+#[test]
+fn json_report_roundtrips_with_iteration_timeline() {
+    let dir = std::env::temp_dir().join(format!("gc-cli-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    let output = gc_color()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "maxmin",
+            "--optimized",
+            "--json",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report: gc_core::RunReport =
+        serde_json::from_reader(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(report.colors.len(), 1024);
+    assert!(report.kernel_launches > 0);
+    // GPU runs carry a non-empty timeline that survives the round trip.
+    assert_eq!(report.iteration_timeline.len(), report.iterations);
+    let cycle_sum: u64 = report.iteration_timeline.iter().map(|it| it.cycles).sum();
+    assert_eq!(cycle_sum, report.cycles);
+    for it in &report.iteration_timeline {
+        assert!((0.0..=1.0).contains(&it.simd_utilization));
+        assert!(it.imbalance_factor >= 1.0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_to_stdout_parses() {
+    let output = gc_color()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "seq",
+            "--json",
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report: gc_core::RunReport = serde_json::from_slice(&output.stdout).unwrap();
+    assert_eq!(report.colors.len(), 1024);
+    // Host algorithms measure real wall time now instead of reporting 0.
+    assert!(report.time_ms > 0.0, "time_ms {}", report.time_ms);
+    assert!(report.iteration_timeline.is_empty());
+}
+
+#[test]
+fn profile_flag_writes_a_consistent_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("gc-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let report_path = dir.join("report.json");
+    let output = gc_color()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "maxmin",
+            "--optimized",
+            "--profile",
+            trace_path.to_str().unwrap(),
+            "--json",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let report: gc_core::RunReport =
+        serde_json::from_reader(std::fs::File::open(&report_path).unwrap()).unwrap();
+    let trace: serde_json::Value =
+        serde_json::from_reader(std::fs::File::open(&trace_path).unwrap()).unwrap();
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+
+    // One named track per CU of the default device (HD 7950: 28 CUs).
+    let cu_tracks = events
+        .iter()
+        .filter(|e| {
+            e["name"] == "thread_name"
+                && e["args"]["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("CU "))
+        })
+        .count();
+    assert_eq!(cu_tracks, 28);
+
+    // Kernel spans (tid 0 complete events) tile the whole device run.
+    let kernel_cycles: u64 = events
+        .iter()
+        .filter(|e| e["ph"] == "X" && e["tid"] == 0)
+        .map(|e| e["dur"].as_u64().expect("non-negative integer dur"))
+        .sum();
+    assert_eq!(kernel_cycles, report.cycles);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_on_host_algorithm_warns_and_skips_trace() {
+    let dir = std::env::temp_dir().join(format!("gc-cli-hosttrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let output = gc_color()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "dsatur",
+            "--profile",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("warning"));
+    assert!(!trace_path.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_profile_prints_the_report_tables() {
+    let dir = std::env::temp_dir().join(format!("gc-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let output = gc_profile()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "maxmin",
+            "--optimized",
+            "--profile",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-profile");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("kernel time breakdown"), "{stdout}");
+    assert!(stdout.contains("CU load balance"), "{stdout}");
+    assert!(stdout.contains("divergence hotspots"), "{stdout}");
+    assert!(stdout.contains("steal-queue drain curve"), "{stdout}");
+    assert!(stdout.contains("per-iteration timeline"), "{stdout}");
+    // The trace rides along on the same run.
+    let trace: serde_json::Value =
+        serde_json::from_reader(std::fs::File::open(&trace_path).unwrap()).unwrap();
+    assert!(trace["traceEvents"]
+        .as_array()
+        .is_some_and(|e| !e.is_empty()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_profile_rejects_host_algorithms() {
+    let output = gc_profile()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "dsatur",
+        ])
+        .output()
+        .expect("run gc-profile");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("simulated"), "{stderr}");
 }
 
 #[test]
@@ -101,7 +356,11 @@ fn repro_lists_and_runs_one_experiment() {
         .args(["--exp", "t1", "--scale", "tiny"])
         .output()
         .expect("run repro");
-    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
     let out = String::from_utf8_lossy(&run.stdout);
     assert!(out.contains("== T1"));
     assert!(out.contains("citation-rmat"));
@@ -123,7 +382,11 @@ fn repro_writes_json() {
         ])
         .output()
         .expect("run repro");
-    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
     let parsed: serde_json::Value =
         serde_json::from_reader(std::fs::File::open(&json_path).unwrap()).unwrap();
     assert_eq!(parsed["paper"], "10.1109/IPDPSW.2015.74");

@@ -20,7 +20,11 @@ use crate::verify::UNCOLORED;
 /// `max_rounds` is reached (each move strictly reduces the sum of squared
 /// class sizes, so it terminates regardless).
 pub fn balance_coloring(g: &CsrGraph, colors: &mut [u32], max_rounds: usize) -> usize {
-    assert_eq!(colors.len(), g.num_vertices(), "color array length mismatch");
+    assert_eq!(
+        colors.len(),
+        g.num_vertices(),
+        "color array length mismatch"
+    );
     for &c in colors.iter() {
         assert_ne!(c, UNCOLORED, "coloring must be complete before balancing");
     }
@@ -47,10 +51,13 @@ pub fn balance_coloring(g: &CsrGraph, colors: &mut [u32], max_rounds: usize) -> 
             // from a class of size s to one of size t helps iff t + 1 < s.
             let mut best: Option<usize> = None;
             for (c, &size) in class_size.iter().enumerate() {
-                if c != from && !forbidden[c] && size + 1 < class_size[from]
-                    && best.is_none_or(|b| size < class_size[b]) {
-                        best = Some(c);
-                    }
+                if c != from
+                    && !forbidden[c]
+                    && size + 1 < class_size[from]
+                    && best.is_none_or(|b| size < class_size[b])
+                {
+                    best = Some(c);
+                }
             }
             if let Some(to) = best {
                 colors[v as usize] = to as u32;
@@ -146,7 +153,10 @@ mod tests {
         assert!(moved > 0);
         let classes = crate::verify::color_classes(&colors);
         let sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
-        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1, "{sizes:?}");
+        assert!(
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1,
+            "{sizes:?}"
+        );
     }
 
     #[test]

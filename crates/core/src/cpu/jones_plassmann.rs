@@ -25,6 +25,7 @@ pub fn jones_plassmann(g: &CsrGraph) -> RunReport {
 
 /// Jones–Plassmann with explicit thread count and priority seed.
 pub fn jones_plassmann_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> RunReport {
+    let t0 = std::time::Instant::now();
     let n = g.num_vertices();
     // Unique priorities: a random permutation of 0..n.
     let mut priority: Vec<u32> = (0..n as u32).collect();
@@ -104,7 +105,7 @@ pub fn jones_plassmann_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> 
 
     let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
     let num_colors = count_colors(&colors);
-    let mut report = RunReport::host("cpu-jones-plassmann", colors, num_colors);
+    let mut report = RunReport::host("cpu-jones-plassmann", colors, num_colors).with_host_time(t0);
     report.iterations = rounds;
     report.active_per_iteration = active_per_round;
     report

@@ -25,6 +25,7 @@ pub fn speculative_coloring(g: &CsrGraph) -> RunReport {
 
 /// Speculative coloring with explicit thread count and tie-break seed.
 pub fn speculative_coloring_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> RunReport {
+    let t0 = std::time::Instant::now();
     let n = g.num_vertices();
     let mut priority: Vec<u32> = (0..n as u32).collect();
     priority.shuffle(&mut StdRng::seed_from_u64(seed));
@@ -105,7 +106,7 @@ pub fn speculative_coloring_with_threads(g: &CsrGraph, threads: usize, seed: u64
 
     let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
     let num_colors = count_colors(&colors);
-    let mut report = RunReport::host("cpu-speculative", colors, num_colors);
+    let mut report = RunReport::host("cpu-speculative", colors, num_colors).with_host_time(t0);
     report.iterations = rounds;
     report.active_per_iteration = active_per_round;
     report

@@ -87,18 +87,19 @@ enum Items {
 }
 
 /// Run the assign/commit loop to completion; returns `(iterations,
-/// active-vertex curve)`.
+/// active-vertex curve, per-iteration timeline)`.
 pub(crate) fn run_iterative(
     gpu: &mut Gpu,
     st: &IterState,
     opts: &GpuOptions,
     kernels: &impl IterationKernels,
-) -> (usize, Vec<usize>) {
+) -> (usize, Vec<usize>, Vec<crate::IterationStats>) {
     let n = st.dev.n;
     let mut items = initial_items(gpu, st, opts);
     let mut remaining = n;
     let mut iterations = 0usize;
     let mut active_curve = Vec::new();
+    let mut timeline = Vec::new();
 
     while remaining > 0 {
         assert!(
@@ -107,6 +108,8 @@ pub(crate) fn run_iterative(
             opts.max_iterations
         );
         active_curve.push(remaining);
+        let stats_before = gpu.stats().clone();
+        gpu.profile_iteration_begin(iterations, remaining);
         let iter = iterations as u32;
 
         match &items {
@@ -157,6 +160,14 @@ pub(crate) fn run_iterative(
         let colored = gpu.read_slice(st.counter)[0] as usize;
         gpu.fill(st.counter, 0);
         assert!(colored > 0, "no progress in iteration {iterations}");
+        gpu.profile_iteration_end(iterations, colored);
+        timeline.push(crate::gpu::iteration_delta(
+            &stats_before,
+            gpu.stats(),
+            iterations,
+            remaining,
+            colored,
+        ));
         remaining -= colored;
         iterations += 1;
 
@@ -167,7 +178,7 @@ pub(crate) fn run_iterative(
             }
         }
     }
-    (iterations, active_curve)
+    (iterations, active_curve, timeline)
 }
 
 /// Build the iteration-0 item sources from the options.
@@ -240,7 +251,8 @@ fn commit(
                     let end = ctx.read(dev.row_ptr, v + 1);
                     ctx.alu(2);
                     if (end - start) as usize > t {
-                        push.high.expect("hybrid frontiers exist when threshold set")
+                        push.high
+                            .expect("hybrid frontiers exist when threshold set")
                     } else {
                         push.low
                     }

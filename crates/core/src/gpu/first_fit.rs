@@ -35,7 +35,15 @@ mod lds {
 /// Color `g` with speculative first-fit under the given options.
 pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     let mut gpu = Gpu::new(opts.device.clone());
-    let dev = DeviceGraph::upload(&mut gpu, g, opts.seed);
+    color_on(&mut gpu, g, opts)
+}
+
+/// Like [`color`], but on a caller-supplied device — the entry point used by
+/// profiling tools that attach [`gc_gpusim::ProfileSink`] observers before
+/// the run. Resets device statistics first.
+pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    gpu.reset_stats();
+    let dev = DeviceGraph::upload(gpu, g, opts.seed);
     let label = format!("gpu-firstfit{}", opts.label_suffix());
     let n = dev.n;
 
@@ -44,7 +52,7 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     // compact. Hybrid splits the worklist by degree.
     let (mut low, mut low_len, mut high) = match opts.hybrid_threshold {
         None => {
-            let f = Frontier::all_vertices(&mut gpu, n);
+            let f = Frontier::all_vertices(gpu, n);
             (f, n, None)
         }
         Some(t) => {
@@ -61,14 +69,15 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
             let (lo_len, hi_len) = (lo.len(), hi.len());
             let lo = lo;
             let hi = hi;
-            let lf = Frontier::with_initial(&mut gpu, &lo, n);
-            let hf = Frontier::with_initial(&mut gpu, &hi, n);
+            let lf = Frontier::with_initial(gpu, &lo, n);
+            let hf = Frontier::with_initial(gpu, &hi, n);
             (lf, lo_len, Some((hf, hi_len)))
         }
     };
 
     let mut iterations = 0usize;
     let mut active_curve = Vec::new();
+    let mut timeline = Vec::new();
     loop {
         let high_len = high.as_ref().map(|(_, l)| *l).unwrap_or(0);
         let total_active = low_len + high_len;
@@ -81,13 +90,15 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
             opts.max_iterations
         );
         active_curve.push(total_active);
+        let stats_before = gpu.stats().clone();
+        gpu.profile_iteration_begin(iterations, total_active);
 
         if low_len > 0 {
-            assign_tpv(&mut gpu, &dev, opts, low.active(), low_len);
+            assign_tpv(gpu, &dev, opts, low.active(), low_len);
         }
         if let Some((hf, hlen)) = &high {
             if *hlen > 0 {
-                assign_wgv(&mut gpu, &dev, opts, hf.active(), *hlen);
+                assign_wgv(gpu, &dev, opts, hf.active(), *hlen);
             }
         }
 
@@ -99,22 +110,34 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
             aggregated: opts.aggregated_push,
         };
         if low_len > 0 {
-            resolve(&mut gpu, &dev, opts, low.active(), low_len, push);
+            resolve(gpu, &dev, opts, low.active(), low_len, push);
         }
         if let Some((hf, hlen)) = &high {
             if *hlen > 0 {
-                resolve(&mut gpu, &dev, opts, hf.active(), *hlen, push);
+                resolve(gpu, &dev, opts, hf.active(), *hlen, push);
             }
         }
 
-        low_len = low.swap(&mut gpu);
+        low_len = low.swap(gpu);
         if let Some((hf, hlen)) = &mut high {
-            *hlen = hf.swap(&mut gpu);
+            *hlen = hf.swap(gpu);
         }
+        // Vertices leaving the worklist kept a conflict-free color: the
+        // round finalized `total_active - re-listed`.
+        let next_active = low_len + high.as_ref().map(|(_, l)| *l).unwrap_or(0);
+        let finalized = total_active - next_active;
+        gpu.profile_iteration_end(iterations, finalized);
+        timeline.push(crate::gpu::iteration_delta(
+            &stats_before,
+            gpu.stats(),
+            iterations,
+            total_active,
+            finalized,
+        ));
         iterations += 1;
     }
 
-    finish_report(&gpu, &dev, label, iterations, active_curve)
+    finish_report(gpu, &dev, label, iterations, active_curve, timeline)
 }
 
 #[derive(Clone, Copy)]
@@ -127,7 +150,13 @@ struct PushTargets {
 
 /// Thread-per-vertex speculative assign: scan neighbors per 64-color window
 /// until a free color is found.
-fn assign_tpv(gpu: &mut Gpu, dev: &DeviceGraph, opts: &GpuOptions, list: Buffer<u32>, items: usize) {
+fn assign_tpv(
+    gpu: &mut Gpu,
+    dev: &DeviceGraph,
+    opts: &GpuOptions,
+    list: Buffer<u32>,
+    items: usize,
+) {
     let dev = *dev;
     let kernel = move |ctx: &mut LaneCtx| {
         let v = ctx.read(list, ctx.item()) as usize;
@@ -162,7 +191,13 @@ fn assign_tpv(gpu: &mut Gpu, dev: &DeviceGraph, opts: &GpuOptions, list: Buffer<
 /// `0..32 × ff_mask_words` in one coalesced pass, and the last lane picks
 /// the smallest free color (falling back to a solo window scan if every
 /// tracked color is forbidden).
-fn assign_wgv(gpu: &mut Gpu, dev: &DeviceGraph, opts: &GpuOptions, list: Buffer<u32>, items: usize) {
+fn assign_wgv(
+    gpu: &mut Gpu,
+    dev: &DeviceGraph,
+    opts: &GpuOptions,
+    list: Buffer<u32>,
+    items: usize,
+) {
     let dev = *dev;
     let mask_words = opts.ff_mask_words.max(1);
     let kernel = move |ctx: &mut LaneCtx| {
@@ -284,7 +319,8 @@ fn resolve(
                 Some(t) => {
                     ctx.alu(1);
                     if end - start > t {
-                        push.high.expect("hybrid frontiers exist when threshold set")
+                        push.high
+                            .expect("hybrid frontiers exist when threshold set")
                     } else {
                         push.low
                     }
@@ -373,6 +409,23 @@ mod tests {
         );
         verify_coloring(&g, &r.colors).unwrap();
         assert!(r.steal_pops > 0);
+    }
+
+    #[test]
+    fn iteration_timeline_tracks_rounds_and_finalized_vertices() {
+        let g = erdos_renyi(500, 3000, 11);
+        let r = color(&g, &tiny_opts());
+        assert_eq!(r.iteration_timeline.len(), r.iterations);
+        let cycles: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
+        assert_eq!(cycles, r.cycles);
+        // Finalized counts telescope over the worklist: every vertex leaves
+        // it for good exactly once.
+        let finalized: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+        assert_eq!(finalized, g.num_vertices());
+        for it in &r.iteration_timeline {
+            assert!(it.imbalance_factor >= 1.0);
+            assert!((0.0..=1.0).contains(&it.simd_utilization));
+        }
     }
 
     #[test]

@@ -35,10 +35,18 @@ mod lds {
 /// Color `g` with GPU Jones–Plassmann under the given options.
 pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     let mut gpu = Gpu::new(opts.device.clone());
-    let st = IterState::new(&mut gpu, g, opts);
-    let (iterations, active) = run_iterative(&mut gpu, &st, opts, &JpKernels);
+    color_on(&mut gpu, g, opts)
+}
+
+/// Like [`color`], but on a caller-supplied device — the entry point used by
+/// profiling tools that attach [`gc_gpusim::ProfileSink`] observers before
+/// the run. Resets device statistics first.
+pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    gpu.reset_stats();
+    let st = IterState::new(gpu, g, opts);
+    let (iterations, active, timeline) = run_iterative(gpu, &st, opts, &JpKernels);
     let label = format!("gpu-jp{}", opts.label_suffix());
-    finish_report(&gpu, &st.dev, label, iterations, active)
+    finish_report(gpu, &st.dev, label, iterations, active, timeline)
 }
 
 struct JpKernels;

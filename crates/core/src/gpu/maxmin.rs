@@ -42,10 +42,19 @@ mod lds {
 /// priority permutation unless `opts.max_iterations` is exceeded).
 pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     let mut gpu = Gpu::new(opts.device.clone());
-    let st = IterState::new(&mut gpu, g, opts);
-    let (iterations, active) = run_iterative(&mut gpu, &st, opts, &MaxMinKernels);
+    color_on(&mut gpu, g, opts)
+}
+
+/// Like [`color`], but on a caller-supplied device — the entry point used by
+/// profiling tools that attach [`gc_gpusim::ProfileSink`] observers before
+/// the run. Resets device statistics first, so the report covers exactly
+/// this run.
+pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    gpu.reset_stats();
+    let st = IterState::new(gpu, g, opts);
+    let (iterations, active, timeline) = run_iterative(gpu, &st, opts, &MaxMinKernels);
     let label = format!("gpu-maxmin{}", opts.label_suffix());
-    finish_report(&gpu, &st.dev, label, iterations, active)
+    finish_report(gpu, &st.dev, label, iterations, active, timeline)
 }
 
 struct MaxMinKernels;
@@ -260,13 +269,56 @@ mod tests {
     }
 
     #[test]
+    fn iteration_timeline_matches_run_shape() {
+        let g = grid_2d(16, 16);
+        let r = color(&g, &tiny_opts());
+        assert_eq!(r.iteration_timeline.len(), r.iterations);
+        // Every launch happens inside some iteration, so the per-iteration
+        // cycle deltas tile the whole run.
+        let cycles: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
+        assert_eq!(cycles, r.cycles);
+        let launches: u64 = r
+            .iteration_timeline
+            .iter()
+            .map(|it| it.kernel_launches)
+            .sum();
+        assert_eq!(launches, r.kernel_launches);
+        let colored: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+        assert_eq!(colored, g.num_vertices());
+        for (it, &active) in r.iteration_timeline.iter().zip(&r.active_per_iteration) {
+            assert_eq!(it.active, active);
+            assert!(it.imbalance_factor >= 1.0);
+            assert!((0.0..=1.0).contains(&it.simd_utilization));
+            assert!(it.kernel_launches >= 1);
+            assert!(it.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn color_on_reports_iterations_to_attached_profiler() {
+        use gc_gpusim::{CaptureSink, Gpu};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let g = grid_2d(12, 12);
+        let capture = Rc::new(RefCell::new(CaptureSink::new()));
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        gpu.attach_profiler(capture.clone());
+        let r = color_on(&mut gpu, &g, &tiny_opts());
+        let cap = capture.borrow();
+        assert_eq!(cap.iterations.len(), r.iterations);
+        assert_eq!(cap.kernels.len(), r.kernel_launches as usize);
+        // The trace and the report agree on total device time.
+        assert_eq!(cap.kernels.last().unwrap().end_cycle, r.cycles);
+        // Same priorities => same coloring as the owned-device entry point.
+        assert_eq!(r.colors, color(&g, &tiny_opts()).colors);
+    }
+
+    #[test]
     fn active_curve_is_strictly_decreasing() {
         let g = grid_2d(16, 16);
         let r = color(&g, &tiny_opts());
-        assert!(r
-            .active_per_iteration
-            .windows(2)
-            .all(|w| w[1] < w[0]));
+        assert!(r.active_per_iteration.windows(2).all(|w| w[1] < w[0]));
     }
 
     #[test]
@@ -287,7 +339,9 @@ mod tests {
 
     #[test]
     fn aggregated_push_is_functionally_identical_and_cheaper() {
-        let g = gc_graph::by_name("citation-rmat").unwrap().build(Scale::Tiny);
+        let g = gc_graph::by_name("citation-rmat")
+            .unwrap()
+            .build(Scale::Tiny);
         let naive = color(&g, &tiny_opts().with_frontier(true));
         let mut opts = tiny_opts().with_frontier(true);
         opts.aggregated_push = true;

@@ -111,6 +111,50 @@ impl Frontier {
     }
 }
 
+/// Metrics of one outer iteration, computed as the difference between two
+/// [`gc_gpusim::DeviceStats`] snapshots taken at its boundaries.
+pub(crate) fn iteration_delta(
+    before: &gc_gpusim::DeviceStats,
+    after: &gc_gpusim::DeviceStats,
+    iteration: usize,
+    active: usize,
+    colored: usize,
+) -> crate::IterationStats {
+    let active_ops = after.active_lane_ops - before.active_lane_ops;
+    let possible_ops = after.possible_lane_ops - before.possible_lane_ops;
+    // Per-iteration imbalance: max/mean of the busy cycles each CU added
+    // during this iteration (`before` may have fewer entries if no launch
+    // had touched the device yet).
+    let busy_delta: Vec<u64> = after
+        .busy_per_cu
+        .iter()
+        .enumerate()
+        .map(|(cu, &b)| b - before.busy_per_cu.get(cu).copied().unwrap_or(0))
+        .collect();
+    let max = busy_delta.iter().copied().max().unwrap_or(0);
+    let sum: u64 = busy_delta.iter().sum();
+    let imbalance_factor = if sum == 0 {
+        1.0
+    } else {
+        max as f64 / (sum as f64 / busy_delta.len() as f64)
+    };
+    crate::IterationStats {
+        iteration,
+        active,
+        colored,
+        cycles: after.total_cycles - before.total_cycles,
+        kernel_launches: after.kernels_launched - before.kernels_launched,
+        simd_utilization: if possible_ops == 0 {
+            1.0
+        } else {
+            active_ops as f64 / possible_ops as f64
+        },
+        imbalance_factor,
+        divergent_steps: after.divergent_steps - before.divergent_steps,
+        steal_pops: after.steal_pops - before.steal_pops,
+    }
+}
+
 /// Build the final [`crate::RunReport`] from device state and statistics.
 pub(crate) fn finish_report(
     gpu: &Gpu,
@@ -118,23 +162,11 @@ pub(crate) fn finish_report(
     algorithm: String,
     iterations: usize,
     active_per_iteration: Vec<usize>,
+    iteration_timeline: Vec<crate::IterationStats>,
 ) -> crate::RunReport {
     let colors = gpu.read_back(dev.colors);
     let num_colors = crate::verify::count_colors(&colors);
     let stats = gpu.stats();
-    let (active, possible, mem_tx, steals, l2_hits, l2_misses) = stats.per_kernel.values().fold(
-        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64),
-        |(a, p, m, s, h, mi), k| {
-            (
-                a + k.active_lane_ops,
-                p + k.possible_lane_ops,
-                m + k.mem_transactions,
-                s + k.steal_pops,
-                h + k.l2_hits,
-                mi + k.l2_misses,
-            )
-        },
-    );
     crate::RunReport {
         algorithm,
         colors,
@@ -144,17 +176,17 @@ pub(crate) fn finish_report(
         cycles: stats.total_cycles,
         time_ms: stats.total_ms(gpu.config()),
         active_per_iteration,
-        simd_utilization: if possible == 0 { 1.0 } else { active as f64 / possible as f64 },
+        iteration_timeline,
+        simd_utilization: stats.simd_utilization(),
         imbalance_factor: stats.imbalance_factor(),
-        mem_transactions: mem_tx,
-        steal_pops: steals,
+        mem_transactions: stats.mem_transactions,
+        steal_pops: stats.steal_pops,
         kernel_breakdown: stats
             .per_kernel
             .iter()
             .map(|(name, agg)| (name.clone(), agg.wall_cycles, agg.launches))
             .collect(),
-        l2_hit_rate: (l2_hits + l2_misses > 0)
-            .then(|| l2_hits as f64 / (l2_hits + l2_misses) as f64),
+        l2_hit_rate: stats.l2_hit_rate(),
     }
 }
 

@@ -20,9 +20,9 @@ impl WorkSchedule {
         match self {
             WorkSchedule::StaticRoundRobin => ScheduleMode::StaticRoundRobin,
             WorkSchedule::DynamicHw => ScheduleMode::DynamicHw,
-            WorkSchedule::WorkStealing { chunk } => ScheduleMode::WorkStealing {
-                chunk_items: chunk,
-            },
+            WorkSchedule::WorkStealing { chunk } => {
+                ScheduleMode::WorkStealing { chunk_items: chunk }
+            }
         }
     }
 

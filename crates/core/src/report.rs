@@ -1,11 +1,36 @@
 //! Per-run results and metrics shared by all coloring algorithms.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// Per-outer-iteration device metrics: one entry per round of an iterative
+/// GPU algorithm, so imbalance spikes and divergence can be attributed to
+/// the iteration that caused them instead of drowning in the aggregate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Outer-iteration index (0-based).
+    pub iteration: usize,
+    /// Active (uncolored / worklisted) vertices entering the iteration.
+    pub active: usize,
+    /// Vertices whose color became final during the iteration.
+    pub colored: usize,
+    /// Device cycles spent in this iteration's launches.
+    pub cycles: u64,
+    /// Kernel launches issued this iteration.
+    pub kernel_launches: u64,
+    /// SIMD lane utilization of this iteration's launches, in `[0, 1]`.
+    pub simd_utilization: f64,
+    /// Per-CU load imbalance of this iteration's launches (`>= 1.0`).
+    pub imbalance_factor: f64,
+    /// Divergent SIMT steps in this iteration's launches.
+    pub divergent_steps: u64,
+    /// Work-stealing queue pops in this iteration's launches.
+    pub steal_pops: u64,
+}
 
 /// A completed proper coloring plus execution metrics. Every algorithm in
 /// this crate — sequential, CPU-parallel, GPU — returns one of these so the
 /// harness can tabulate them uniformly.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Algorithm label ("gpu-maxmin-baseline", "seq-ff-ldf", …).
     pub algorithm: String,
@@ -24,6 +49,11 @@ pub struct RunReport {
     /// Uncolored vertices at the start of each iteration; the paper's
     /// active-vertex decay curves.
     pub active_per_iteration: Vec<usize>,
+    /// Per-iteration device metrics (empty for CPU algorithms). The same
+    /// rounds as `active_per_iteration`, but with cycles, imbalance,
+    /// utilization, and divergence attributed to each round.
+    #[serde(default)]
+    pub iteration_timeline: Vec<IterationStats>,
     /// Aggregate SIMD lane utilization (1.0 for CPU algorithms).
     pub simd_utilization: f64,
     /// Aggregate per-CU load imbalance factor (1.0 for CPU algorithms).
@@ -52,6 +82,7 @@ impl RunReport {
             cycles: 0,
             time_ms: 0.0,
             active_per_iteration: Vec::new(),
+            iteration_timeline: Vec::new(),
             simd_utilization: 1.0,
             imbalance_factor: 1.0,
             mem_transactions: 0,
@@ -59,6 +90,14 @@ impl RunReport {
             kernel_breakdown: Vec::new(),
             l2_hit_rate: None,
         }
+    }
+
+    /// Record host wall time measured from `started`. CPU algorithms call
+    /// this on their way out so `time_ms` reflects real elapsed time instead
+    /// of the placeholder 0.0 (device runs use modeled cycles instead).
+    pub fn with_host_time(mut self, started: std::time::Instant) -> Self {
+        self.time_ms = started.elapsed().as_secs_f64() * 1e3;
+        self
     }
 
     /// One-line human summary used by examples and the harness.
@@ -94,6 +133,14 @@ mod tests {
         assert_eq!(r.iterations, 1);
         assert!((r.simd_utilization - 1.0).abs() < 1e-12);
         assert!(r.summary().contains("2 colors"));
+    }
+
+    #[test]
+    fn host_time_is_measured_not_hardcoded() {
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let r = RunReport::host("seq", vec![0], 1).with_host_time(t0);
+        assert!(r.time_ms > 0.0, "time_ms {}", r.time_ms);
     }
 
     #[test]

@@ -50,9 +50,10 @@ pub fn distance2_colors(g: &CsrGraph, ordering: VertexOrdering) -> Vec<u32> {
 
 /// [`distance2_colors`] wrapped in a [`RunReport`].
 pub fn distance2_greedy(g: &CsrGraph, ordering: VertexOrdering) -> RunReport {
+    let t0 = std::time::Instant::now();
     let colors = distance2_colors(g, ordering);
     let num_colors = count_colors(&colors);
-    RunReport::host("seq-distance2", colors, num_colors)
+    RunReport::host("seq-distance2", colors, num_colors).with_host_time(t0)
 }
 
 /// Verify a distance-2 coloring; returns the number of colors used.

@@ -20,9 +20,8 @@ pub fn dsatur_colors(g: &CsrGraph) -> Vec<u32> {
     let mut adjacent_colors: Vec<HashSet<u32>> = vec![HashSet::new(); n];
     // Lazy max-heap of (saturation, degree, vertex); stale entries are
     // skipped at pop time.
-    let mut heap: std::collections::BinaryHeap<(usize, usize, u32)> = (0..n as u32)
-        .map(|v| (0usize, g.degree(v), v))
-        .collect();
+    let mut heap: std::collections::BinaryHeap<(usize, usize, u32)> =
+        (0..n as u32).map(|v| (0usize, g.degree(v), v)).collect();
 
     let mut remaining = n;
     while remaining > 0 {
@@ -51,9 +50,10 @@ pub fn dsatur_colors(g: &CsrGraph) -> Vec<u32> {
 
 /// [`dsatur_colors`] wrapped in a [`RunReport`].
 pub fn dsatur(g: &CsrGraph) -> RunReport {
+    let t0 = std::time::Instant::now();
     let colors = dsatur_colors(g);
     let num_colors = count_colors(&colors);
-    RunReport::host("seq-dsatur", colors, num_colors)
+    RunReport::host("seq-dsatur", colors, num_colors).with_host_time(t0)
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub fn greedy_colors(g: &CsrGraph, ordering: VertexOrdering) -> Vec<u32> {
 
 /// [`greedy_colors`] wrapped in a [`RunReport`].
 pub fn greedy_first_fit(g: &CsrGraph, ordering: VertexOrdering) -> RunReport {
+    let t0 = std::time::Instant::now();
     let colors = greedy_colors(g, ordering);
     let num_colors = count_colors(&colors);
     let name = match ordering {
@@ -42,7 +43,7 @@ pub fn greedy_first_fit(g: &CsrGraph, ordering: VertexOrdering) -> RunReport {
         VertexOrdering::SmallestLast => "seq-ff-sl".to_string(),
         VertexOrdering::Random(s) => format!("seq-ff-random{s}"),
     };
-    RunReport::host(name, colors, num_colors)
+    RunReport::host(name, colors, num_colors).with_host_time(t0)
 }
 
 /// Greedy's classical guarantee, used as a test oracle: first-fit never
@@ -108,7 +109,10 @@ mod tests {
     #[test]
     fn report_names_follow_ordering() {
         let g = regular::path(4);
-        assert_eq!(greedy_first_fit(&g, VertexOrdering::Natural).algorithm, "seq-ff-natural");
+        assert_eq!(
+            greedy_first_fit(&g, VertexOrdering::Natural).algorithm,
+            "seq-ff-natural"
+        );
         assert_eq!(
             greedy_first_fit(&g, VertexOrdering::Random(3)).algorithm,
             "seq-ff-random3"

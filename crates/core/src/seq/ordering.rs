@@ -96,8 +96,8 @@ fn smallest_last(g: &CsrGraph) -> Vec<VertexId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gc_graph::generators::{grid_2d, regular};
     use gc_graph::from_edges;
+    use gc_graph::generators::{grid_2d, regular};
 
     fn is_permutation(order: &[VertexId], n: usize) -> bool {
         let mut seen = vec![false; n];

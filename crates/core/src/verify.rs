@@ -13,14 +13,21 @@ pub enum VerifyError {
     /// A vertex is still [`UNCOLORED`].
     Uncolored(VertexId),
     /// Two adjacent vertices share a color.
-    Conflict { u: VertexId, v: VertexId, color: u32 },
+    Conflict {
+        u: VertexId,
+        v: VertexId,
+        color: u32,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerifyError::WrongLength { expected, actual } => {
-                write!(f, "color array has {actual} entries for {expected} vertices")
+                write!(
+                    f,
+                    "color array has {actual} entries for {expected} vertices"
+                )
             }
             VerifyError::Uncolored(v) => write!(f, "vertex {v} is uncolored"),
             VerifyError::Conflict { u, v, color } => {
@@ -104,7 +111,11 @@ mod tests {
         let g = regular::path(3);
         assert_eq!(
             verify_coloring(&g, &[0, 0, 1]),
-            Err(VerifyError::Conflict { u: 0, v: 1, color: 0 })
+            Err(VerifyError::Conflict {
+                u: 0,
+                v: 1,
+                color: 0
+            })
         );
     }
 
@@ -122,7 +133,10 @@ mod tests {
         let g = regular::path(3);
         assert_eq!(
             verify_coloring(&g, &[0, 1]),
-            Err(VerifyError::WrongLength { expected: 3, actual: 2 })
+            Err(VerifyError::WrongLength {
+                expected: 3,
+                actual: 2
+            })
         );
     }
 
@@ -169,8 +183,12 @@ mod tests {
     #[test]
     fn error_messages() {
         assert!(VerifyError::Uncolored(3).to_string().contains("uncolored"));
-        assert!(VerifyError::Conflict { u: 1, v: 2, color: 0 }
-            .to_string()
-            .contains("share color"));
+        assert!(VerifyError::Conflict {
+            u: 1,
+            v: 2,
+            color: 0
+        }
+        .to_string()
+        .contains("share color"));
     }
 }

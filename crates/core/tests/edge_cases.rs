@@ -38,7 +38,12 @@ fn empty_graph_everywhere() {
 fn single_vertex_takes_one_color_in_one_round() {
     let g = from_edges(1, &[]).unwrap();
     for r in all_gpu_runs(&g) {
-        assert_eq!(verify_coloring(&g, &r.colors).unwrap(), 1, "{}", r.algorithm);
+        assert_eq!(
+            verify_coloring(&g, &r.colors).unwrap(),
+            1,
+            "{}",
+            r.algorithm
+        );
         assert_eq!(r.iterations, 1, "{}", r.algorithm);
     }
 }
@@ -51,7 +56,12 @@ fn all_isolated_vertices_take_one_color() {
     for r in all_gpu_runs(&g) {
         verify_coloring(&g, &r.colors).unwrap();
         assert_eq!(r.iterations, 1, "{}", r.algorithm);
-        assert!(r.num_colors <= 2, "{}: {} colors", r.algorithm, r.num_colors);
+        assert!(
+            r.num_colors <= 2,
+            "{}: {} colors",
+            r.algorithm,
+            r.num_colors
+        );
     }
     let r = gpu::first_fit::color(&g, &tiny_opts());
     assert_eq!(r.num_colors, 1);
@@ -61,7 +71,12 @@ fn all_isolated_vertices_take_one_color() {
 fn single_edge_works() {
     let g = from_edges(2, &[(0, 1)]).unwrap();
     for r in all_gpu_runs(&g) {
-        assert_eq!(verify_coloring(&g, &r.colors).unwrap(), 2, "{}", r.algorithm);
+        assert_eq!(
+            verify_coloring(&g, &r.colors).unwrap(),
+            2,
+            "{}",
+            r.algorithm
+        );
     }
 }
 
@@ -71,7 +86,11 @@ fn disconnected_components_color_independently() {
     let g = from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)]).unwrap();
     for r in all_gpu_runs(&g) {
         let k = verify_coloring(&g, &r.colors).unwrap();
-        assert!(k >= 3, "{}: needs a triangle's 3 colors, got {k}", r.algorithm);
+        assert!(
+            k >= 3,
+            "{}: needs a triangle's 3 colors, got {k}",
+            r.algorithm
+        );
     }
 }
 

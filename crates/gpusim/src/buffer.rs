@@ -174,7 +174,9 @@ impl MemoryState {
         slot.data.downcast_ref::<Vec<T>>().unwrap_or_else(|| {
             panic!(
                 "buffer id {} holds {} elements, accessed as {}",
-                buf.id, slot.elem_name, T::NAME
+                buf.id,
+                slot.elem_name,
+                T::NAME
             )
         })
     }
@@ -189,7 +191,9 @@ impl MemoryState {
         slot.data.downcast_mut::<Vec<T>>().unwrap_or_else(|| {
             panic!(
                 "buffer id {} holds {} elements, accessed as {}",
-                buf.id, name, T::NAME
+                buf.id,
+                name,
+                T::NAME
             )
         })
     }

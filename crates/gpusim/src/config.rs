@@ -278,7 +278,8 @@ mod tests {
             DeviceConfig::apu_8cu(),
             DeviceConfig::warp32(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

@@ -3,8 +3,12 @@
 use crate::buffer::{Buffer, DeviceScalar, MemoryState};
 use crate::cache::L2Cache;
 use crate::config::DeviceConfig;
-use crate::kernel::{Kernel, Launch};
+use crate::kernel::{Kernel, Launch, ScheduleMode};
 use crate::metrics::{DeviceStats, KernelStats};
+use crate::profile::{
+    IterationBeginEvent, IterationEndEvent, KernelDispatchEvent, KernelRetireEvent, Probe,
+    SharedSink,
+};
 use crate::scheduler::run_launch;
 
 /// A simulated GPU: global memory plus an execution/timing engine.
@@ -34,6 +38,11 @@ pub struct Gpu {
     /// Explicit L2 state; `None` under the flat-latency model. Persists
     /// across launches (device data stays resident between kernels).
     l2: Option<L2Cache>,
+    /// Attached profilers; empty in normal runs, so launches pay only an
+    /// `is_empty` check.
+    sinks: Vec<SharedSink>,
+    /// Device-wide launch sequence number (survives [`Gpu::reset_stats`]).
+    launch_seq: u64,
 }
 
 impl Gpu {
@@ -48,6 +57,55 @@ impl Gpu {
             stats: DeviceStats::default(),
             last_kernel: None,
             l2,
+            sinks: Vec::new(),
+            launch_seq: 0,
+        }
+    }
+
+    /// Attach a profiler; every subsequent launch reports events to it.
+    /// Callers keep their own `Rc` clone to read results back afterwards.
+    pub fn attach_profiler(&mut self, sink: SharedSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Whether any profiler is attached.
+    pub fn profiling(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Current device time: cumulative cycles across all launches so far.
+    pub fn now_cycles(&self) -> u64 {
+        self.stats.total_cycles
+    }
+
+    /// Report an algorithm-level iteration boundary to attached profilers
+    /// (the driver layer calls this around each outer iteration).
+    pub fn profile_iteration_begin(&self, iteration: usize, active: usize) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let ev = IterationBeginEvent {
+            iteration,
+            active,
+            cycle: self.now_cycles(),
+        };
+        for s in &self.sinks {
+            s.borrow_mut().iteration_begin(&ev);
+        }
+    }
+
+    /// Report the end of an algorithm-level iteration to attached profilers.
+    pub fn profile_iteration_end(&self, iteration: usize, completed: usize) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let ev = IterationEndEvent {
+            iteration,
+            completed,
+            cycle: self.now_cycles(),
+        };
+        for s in &self.sinks {
+            s.borrow_mut().iteration_end(&ev);
         }
     }
 
@@ -106,8 +164,56 @@ impl Gpu {
 
     /// Execute a kernel over the launch's items; returns its statistics and
     /// accumulates them into [`Gpu::stats`].
+    ///
+    /// With profilers attached, fires `kernel_dispatch` before execution,
+    /// per-workgroup and steal-pop events during it, and `kernel_retire`
+    /// after. All event timestamps are absolute device cycles based at
+    /// [`Gpu::now_cycles`], so consecutive launches tile the timeline with
+    /// no gaps: summed kernel-span durations equal total device cycles.
     pub fn launch<K: Kernel>(&mut self, kernel: &K, launch: Launch) -> KernelStats {
-        let stats = run_launch(kernel, &launch, &self.cfg, &mut self.mem, &mut self.l2);
+        let base_cycle = self.stats.total_cycles;
+        let seq = self.launch_seq;
+        self.launch_seq += 1;
+        if !self.sinks.is_empty() {
+            let ev = KernelDispatchEvent {
+                seq,
+                name: &launch.name,
+                items: launch.items,
+                wg_size: launch.wg_size,
+                mode: mode_name(launch.mode),
+                start_cycle: base_cycle,
+            };
+            for s in &self.sinks {
+                s.borrow_mut().kernel_dispatch(&ev);
+            }
+        }
+        let probe = (!self.sinks.is_empty()).then(|| Probe {
+            sinks: &self.sinks,
+            seq,
+            name: &launch.name,
+            base_cycle,
+            launch_overhead: self.cfg.kernel_launch_cycles,
+        });
+        let stats = run_launch(
+            kernel,
+            &launch,
+            &self.cfg,
+            &mut self.mem,
+            &mut self.l2,
+            probe.as_ref(),
+        );
+        if !self.sinks.is_empty() {
+            let ev = KernelRetireEvent {
+                seq,
+                name: &launch.name,
+                start_cycle: base_cycle,
+                end_cycle: base_cycle + stats.wall_cycles,
+                stats: &stats,
+            };
+            for s in &self.sinks {
+                s.borrow_mut().kernel_retire(&ev);
+            }
+        }
         self.stats.absorb(&stats);
         self.last_kernel = Some(stats.clone());
         stats
@@ -132,6 +238,15 @@ impl Gpu {
     /// Cumulative device time in milliseconds.
     pub fn elapsed_ms(&self) -> f64 {
         self.stats.total_ms(&self.cfg)
+    }
+}
+
+/// Stable human-readable name of a scheduling mode, used in profile events.
+fn mode_name(mode: ScheduleMode) -> &'static str {
+    match mode {
+        ScheduleMode::StaticRoundRobin => "static-round-robin",
+        ScheduleMode::DynamicHw => "dynamic",
+        ScheduleMode::WorkStealing { .. } => "work-stealing",
     }
 }
 
@@ -180,6 +295,64 @@ mod tests {
         let mut gpu = Gpu::new(DeviceConfig::small_test());
         let buf = gpu.alloc_filled(4, 0u32);
         gpu.write_slice(buf, &[1, 2]);
+    }
+
+    #[test]
+    fn profiler_sees_kernel_and_iteration_events() {
+        use crate::profile::CaptureSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let capture = Rc::new(RefCell::new(CaptureSink::new()));
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        assert!(!gpu.profiling());
+        gpu.attach_profiler(capture.clone());
+        assert!(gpu.profiling());
+
+        let buf = gpu.alloc_filled(32, 0u32);
+        let kernel = move |ctx: &mut LaneCtx| {
+            ctx.write(buf, ctx.item(), 1);
+        };
+        gpu.profile_iteration_begin(0, 32);
+        let s1 = gpu.launch(&kernel, Launch::threads("a", 32).wg_size(4));
+        let s2 = gpu.launch(&kernel, Launch::threads("b", 32).wg_size(4).stealing(8));
+        gpu.profile_iteration_end(0, 32);
+
+        let cap = capture.borrow();
+        // Kernel spans tile the device timeline exactly.
+        assert_eq!(cap.kernels.len(), 2);
+        assert_eq!(cap.kernels[0].seq, 0);
+        assert_eq!(cap.kernels[1].seq, 1);
+        assert_eq!(cap.kernels[0].start_cycle, 0);
+        assert_eq!(cap.kernels[0].end_cycle, s1.wall_cycles);
+        assert_eq!(cap.kernels[1].start_cycle, s1.wall_cycles);
+        assert_eq!(cap.kernels[1].end_cycle, s1.wall_cycles + s2.wall_cycles);
+        assert_eq!(cap.kernels[1].end_cycle, gpu.now_cycles());
+
+        // Workgroup spans stay inside their kernel's span and never exceed
+        // its busy window.
+        assert_eq!(
+            cap.workgroups.len(),
+            (s1.workgroups + s2.workgroups) as usize
+        );
+        for wg in &cap.workgroups {
+            let k = &cap.kernels[wg.kernel_seq as usize];
+            assert!(wg.start_cycle >= k.start_cycle);
+            assert!(wg.end_cycle <= k.end_cycle, "wg ends inside kernel span");
+            assert!(wg.end_cycle > wg.start_cycle);
+        }
+
+        // Kernel "b" stole 4 chunks + one drain pop per CU.
+        let drains = cap.steal_pops.iter().filter(|p| p.chunk.is_none()).count();
+        assert_eq!(drains, gpu.config().num_cus);
+        assert_eq!(cap.steal_pops.len() as u64, s2.steal_pops);
+
+        // The iteration span covers both launches.
+        assert_eq!(cap.iterations.len(), 1);
+        let it = &cap.iterations[0];
+        assert_eq!((it.active, it.completed), (32, 32));
+        assert_eq!(it.start_cycle, 0);
+        assert_eq!(it.end_cycle, gpu.now_cycles());
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //!   *any* interleaving (as on real hardware), and the simulator realizes one
 //!   legal one.
 
-use crate::buffer::{AtomicScalar, Buffer, DeviceScalar};
 use crate::buffer::MemoryState;
+use crate::buffer::{AtomicScalar, Buffer, DeviceScalar};
 use crate::trace::{LaneTrace, Op};
 
 /// Identity of the executing lane within the dispatch.

@@ -25,6 +25,10 @@
 //!   per-pop atomic cost ([`ScheduleMode`]).
 //! * **Overheads** — kernel launch, workgroup dispatch, barriers, LDS bank
 //!   conflicts.
+//! * **Observability** — optional [`ProfileSink`] observers receive kernel
+//!   dispatch/retire, workgroup-retire, steal-pop, and iteration events;
+//!   [`ChromeTraceSink`] renders them as a Perfetto-compatible timeline
+//!   with one track per compute unit.
 //!
 //! ## What is not modeled
 //!
@@ -47,6 +51,7 @@ pub mod gpu;
 pub mod kernel;
 pub mod lane;
 pub mod metrics;
+pub mod profile;
 mod scheduler;
 pub mod trace;
 mod wave;
@@ -58,3 +63,4 @@ pub use gpu::Gpu;
 pub use kernel::{GridStyle, Kernel, Launch, ScheduleMode};
 pub use lane::{LaneCtx, LaneIds};
 pub use metrics::{DeviceStats, KernelAggregate, KernelStats};
+pub use profile::{CaptureSink, ChromeTraceSink, JsonlSink, ProfileSink, SharedSink};

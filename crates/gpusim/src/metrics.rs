@@ -92,11 +92,14 @@ pub struct KernelAggregate {
     pub launch_cycles: u64,
     pub workgroups: u64,
     pub waves: u64,
+    pub steps: u64,
     pub mem_transactions: u64,
+    pub mem_instructions: u64,
     pub global_atomics: u64,
     pub steal_pops: u64,
     pub active_lane_ops: u64,
     pub possible_lane_ops: u64,
+    pub divergent_steps: u64,
     pub l2_hits: u64,
     pub l2_misses: u64,
     /// Per-CU busy cycles summed across this kernel's launches.
@@ -110,11 +113,14 @@ impl KernelAggregate {
         self.launch_cycles += s.launch_cycles;
         self.workgroups += s.workgroups;
         self.waves += s.waves;
+        self.steps += s.steps;
         self.mem_transactions += s.mem_transactions;
+        self.mem_instructions += s.mem_instructions;
         self.global_atomics += s.global_atomics;
         self.steal_pops += s.steal_pops;
         self.active_lane_ops += s.active_lane_ops;
         self.possible_lane_ops += s.possible_lane_ops;
+        self.divergent_steps += s.divergent_steps;
         self.l2_hits += s.l2_hits;
         self.l2_misses += s.l2_misses;
         if self.busy_per_cu.len() < s.busy_per_cu.len() {
@@ -158,22 +164,46 @@ pub struct DeviceStats {
     pub per_kernel: BTreeMap<String, KernelAggregate>,
     /// Per-CU busy cycles summed across launches.
     pub busy_per_cu: Vec<u64>,
+    /// SIMT steps across all launches.
+    pub steps: u64,
+    /// Active lane-operations across all launches.
+    pub active_lane_ops: u64,
+    /// Possible lane-operations across all launches.
+    pub possible_lane_ops: u64,
+    /// Divergent SIMT steps across all launches.
+    pub divergent_steps: u64,
+    /// Coalesced memory transactions across all launches.
+    pub mem_transactions: u64,
+    /// Global atomic lane-operations across all launches.
+    pub global_atomics: u64,
+    /// Work-stealing queue pops across all launches.
+    pub steal_pops: u64,
+    /// L2 hits across all launches (explicit-cache mode only).
+    pub l2_hits: u64,
+    /// L2 misses across all launches (explicit-cache mode only).
+    pub l2_misses: u64,
 }
 
 impl DeviceStats {
     pub(crate) fn absorb(&mut self, s: &KernelStats) {
         self.total_cycles += s.wall_cycles;
         self.kernels_launched += 1;
-        self.per_kernel
-            .entry(s.name.clone())
-            .or_default()
-            .absorb(s);
+        self.per_kernel.entry(s.name.clone()).or_default().absorb(s);
         if self.busy_per_cu.len() < s.busy_per_cu.len() {
             self.busy_per_cu.resize(s.busy_per_cu.len(), 0);
         }
         for (acc, &b) in self.busy_per_cu.iter_mut().zip(&s.busy_per_cu) {
             *acc += b;
         }
+        self.steps += s.steps;
+        self.active_lane_ops += s.active_lane_ops;
+        self.possible_lane_ops += s.possible_lane_ops;
+        self.divergent_steps += s.divergent_steps;
+        self.mem_transactions += s.mem_transactions;
+        self.global_atomics += s.global_atomics;
+        self.steal_pops += s.steal_pops;
+        self.l2_hits += s.l2_hits;
+        self.l2_misses += s.l2_misses;
     }
 
     /// Total time in milliseconds at the device clock.
@@ -190,6 +220,22 @@ impl DeviceStats {
         } else {
             max as f64 / (sum as f64 / self.busy_per_cu.len() as f64)
         }
+    }
+
+    /// Cumulative SIMD utilization across all launches, in `[0, 1]`.
+    pub fn simd_utilization(&self) -> f64 {
+        if self.possible_lane_ops == 0 {
+            1.0
+        } else {
+            self.active_lane_ops as f64 / self.possible_lane_ops as f64
+        }
+    }
+
+    /// Cumulative L2 hit rate in `[0, 1]`, or `None` when the explicit cache
+    /// saw no traffic.
+    pub fn l2_hit_rate(&self) -> Option<f64> {
+        let total = self.l2_hits + self.l2_misses;
+        (total > 0).then(|| self.l2_hits as f64 / total as f64)
     }
 }
 
@@ -256,5 +302,17 @@ mod tests {
         // max 35, mean 25 => 1.4
         assert!((agg.imbalance_factor() - 1.4).abs() < 1e-12);
         assert!((agg.simd_utilization() - 0.75).abs() < 1e-12);
+        // Device-level totals mirror the per-kernel sums.
+        assert_eq!(d.steps, 20);
+        assert_eq!(d.active_lane_ops, 60);
+        assert_eq!(d.possible_lane_ops, 80);
+        assert_eq!(d.mem_transactions, 10);
+        assert_eq!(d.global_atomics, 2);
+        assert_eq!((d.l2_hits, d.l2_misses), (6, 2));
+        assert!((d.simd_utilization() - 0.75).abs() < 1e-12);
+        assert!((d.l2_hit_rate().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(agg.steps, 20);
+        assert_eq!(agg.mem_instructions, 10);
+        assert_eq!(agg.divergent_steps, 0);
     }
 }

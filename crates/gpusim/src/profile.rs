@@ -1,0 +1,718 @@
+//! Profiling hooks and trace sinks: the simulator's observability layer.
+//!
+//! Every [`crate::Gpu`] can carry any number of [`ProfileSink`] observers.
+//! With no sink attached the hot path is unchanged (one branch per launch
+//! and per workgroup); with sinks attached the device emits fine-grained
+//! events — kernel dispatch/retire, workgroup retire with compute-unit id
+//! and cycle span, work-steal queue pops, and (driven by the algorithm
+//! layer) per-iteration boundaries.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`ChromeTraceSink`] — Chrome trace-event JSON (`chrome://tracing` /
+//!   [Perfetto](https://ui.perfetto.dev)): one track per compute unit with
+//!   workgroup spans, a `kernels` track with one span per launch, and an
+//!   `iterations` track. Timestamps are **device cycles** rendered as trace
+//!   microseconds (1 µs on screen = 1 model cycle).
+//! * [`JsonlSink`] — one JSON object per event, for machine consumption.
+//! * [`CaptureSink`] — owned in-memory copies of every event, for report
+//!   generators and tests.
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use gc_gpusim::{profile::ChromeTraceSink, DeviceConfig, Gpu, LaneCtx, Launch};
+//!
+//! let trace = Rc::new(RefCell::new(ChromeTraceSink::new()));
+//! let mut gpu = Gpu::new(DeviceConfig::small_test());
+//! gpu.attach_profiler(trace.clone());
+//! let buf = gpu.alloc_filled(64, 0u32);
+//! gpu.launch(
+//!     &move |ctx: &mut LaneCtx| { let i = ctx.item(); ctx.write(buf, i, 1); },
+//!     Launch::threads("fill", 64).wg_size(4),
+//! );
+//! let mut out = Vec::new();
+//! trace.borrow().write_to(&mut out).unwrap();
+//! assert!(String::from_utf8(out).unwrap().contains("\"fill\""));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::metrics::KernelStats;
+use crate::workgroup::{WgOutcome, WgWork};
+
+/// A profiler handle shareable between the caller and the [`crate::Gpu`].
+pub type SharedSink = Rc<RefCell<dyn ProfileSink>>;
+
+/// A kernel has been dispatched (fires before any workgroup runs).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelDispatchEvent<'a> {
+    /// Device-wide launch sequence number (0, 1, 2, …).
+    pub seq: u64,
+    /// Launch name.
+    pub name: &'a str,
+    /// Items in the dispatch.
+    pub items: usize,
+    /// Lanes per workgroup.
+    pub wg_size: usize,
+    /// Scheduling policy (`"static-round-robin"`, `"dynamic"`,
+    /// `"work-stealing"`).
+    pub mode: &'static str,
+    /// Device cycle at which the launch begins (cumulative device time).
+    pub start_cycle: u64,
+}
+
+/// A kernel has retired; carries its full [`KernelStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRetireEvent<'a> {
+    /// Device-wide launch sequence number.
+    pub seq: u64,
+    /// Launch name.
+    pub name: &'a str,
+    /// Device cycle at which the launch began.
+    pub start_cycle: u64,
+    /// Device cycle at which the last CU went idle (includes launch
+    /// overhead): `start_cycle + stats.wall_cycles`.
+    pub end_cycle: u64,
+    /// The launch's counters.
+    pub stats: &'a KernelStats,
+}
+
+/// One workgroup execution (a chunk, in work-stealing mode) has retired.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkgroupRetireEvent<'a> {
+    /// Sequence number of the owning launch.
+    pub kernel_seq: u64,
+    /// Name of the owning launch.
+    pub kernel: &'a str,
+    /// Workgroup (or chunk) index within the launch.
+    pub wg_index: usize,
+    /// Compute unit the workgroup ran on.
+    pub cu: usize,
+    /// Absolute device cycle the CU started on this workgroup (dispatch or
+    /// queue-pop overhead included in the span).
+    pub start_cycle: u64,
+    /// Absolute device cycle the workgroup retired.
+    pub end_cycle: u64,
+    /// Wavefront executions inside the workgroup.
+    pub waves: u64,
+    /// Lane-operations actually executed.
+    pub active_lane_ops: u64,
+    /// Lane-operations a fully utilized group would execute.
+    pub possible_lane_ops: u64,
+    /// SIMT steps that diverged.
+    pub divergent_steps: u64,
+    /// Item range `[start, end)` processed by this workgroup.
+    pub items: (usize, usize),
+}
+
+/// A persistent workgroup popped the shared work-stealing queue.
+#[derive(Debug, Clone, Copy)]
+pub struct StealPopEvent<'a> {
+    /// Sequence number of the owning launch.
+    pub kernel_seq: u64,
+    /// Name of the owning launch.
+    pub kernel: &'a str,
+    /// Compute unit that popped.
+    pub cu: usize,
+    /// Absolute device cycle of the pop.
+    pub cycle: u64,
+    /// Item range handed out; `None` for the final empty (drain) pop.
+    pub chunk: Option<(usize, usize)>,
+}
+
+/// An algorithm iteration is starting (emitted by the driver layer).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationBeginEvent {
+    /// Outer-iteration index.
+    pub iteration: usize,
+    /// Active (e.g. still-uncolored) items entering the iteration.
+    pub active: usize,
+    /// Device cycle at the iteration boundary.
+    pub cycle: u64,
+}
+
+/// An algorithm iteration finished (emitted by the driver layer).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationEndEvent {
+    /// Outer-iteration index.
+    pub iteration: usize,
+    /// Items retired (e.g. vertices colored) during the iteration.
+    pub completed: usize,
+    /// Device cycle at the iteration boundary.
+    pub cycle: u64,
+}
+
+/// Observer of simulator execution. All hooks default to no-ops, so a sink
+/// implements only what it cares about.
+pub trait ProfileSink {
+    /// A kernel is about to run.
+    fn kernel_dispatch(&mut self, _ev: &KernelDispatchEvent<'_>) {}
+    /// A kernel finished; its statistics are final.
+    fn kernel_retire(&mut self, _ev: &KernelRetireEvent<'_>) {}
+    /// One workgroup (or work-stealing chunk) retired.
+    fn workgroup_retire(&mut self, _ev: &WorkgroupRetireEvent<'_>) {}
+    /// A work-stealing queue pop occurred.
+    fn steal_pop(&mut self, _ev: &StealPopEvent<'_>) {}
+    /// An algorithm-level iteration began.
+    fn iteration_begin(&mut self, _ev: &IterationBeginEvent) {}
+    /// An algorithm-level iteration ended.
+    fn iteration_end(&mut self, _ev: &IterationEndEvent) {}
+}
+
+/// Per-launch context handed to the scheduler so it can emit workgroup and
+/// steal-pop events with absolute device cycles.
+pub(crate) struct Probe<'a> {
+    pub sinks: &'a [SharedSink],
+    pub seq: u64,
+    pub name: &'a str,
+    /// Device cycle at which the launch begins.
+    pub base_cycle: u64,
+    /// Launch overhead paid before any CU starts working.
+    pub launch_overhead: u64,
+}
+
+impl Probe<'_> {
+    fn abs(&self, cu_local_cycle: u64) -> u64 {
+        self.base_cycle + self.launch_overhead + cu_local_cycle
+    }
+
+    pub fn workgroup_retire(
+        &self,
+        cu: usize,
+        wg_index: usize,
+        cu_start: u64,
+        cu_end: u64,
+        outcome: &WgOutcome,
+        work: WgWork,
+    ) {
+        let items = match work {
+            WgWork::Range { start, end } | WgWork::Items { start, end } => (start, end),
+        };
+        let ev = WorkgroupRetireEvent {
+            kernel_seq: self.seq,
+            kernel: self.name,
+            wg_index,
+            cu,
+            start_cycle: self.abs(cu_start),
+            end_cycle: self.abs(cu_end),
+            waves: outcome.waves,
+            active_lane_ops: outcome.cost.active_lane_ops,
+            possible_lane_ops: outcome.cost.possible_lane_ops,
+            divergent_steps: outcome.cost.divergent_steps,
+            items,
+        };
+        for s in self.sinks {
+            s.borrow_mut().workgroup_retire(&ev);
+        }
+    }
+
+    pub fn steal_pop(&self, cu: usize, cu_cycle: u64, chunk: Option<(usize, usize)>) {
+        let ev = StealPopEvent {
+            kernel_seq: self.seq,
+            kernel: self.name,
+            cu,
+            cycle: self.abs(cu_cycle),
+            chunk,
+        };
+        for s in self.sinks {
+            s.borrow_mut().steal_pop(&ev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing (dependency-free; the simulator crate stays std-only).
+
+/// Escape a string for inclusion in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a JSON number (never `NaN`/`inf`, which JSON forbids).
+fn num(f: f64) -> String {
+    if f.is_finite() {
+        format!("{f}")
+    } else {
+        "0".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+
+/// Collects events into Chrome trace-event JSON, viewable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Track layout (all under pid 0): tid 0 `kernels` (one complete-event span
+/// per launch, args carrying SIMD utilization, divergent steps, steal pops,
+/// imbalance), tid 1 `iterations` (algorithm-level iteration spans), and
+/// tid `2 + cu` per compute unit (workgroup spans plus steal-pop instants).
+///
+/// Timestamps and durations are **device cycles** (1 trace µs = 1 cycle).
+#[derive(Default)]
+pub struct ChromeTraceSink {
+    events: Vec<String>,
+    cus: BTreeSet<usize>,
+    pending_iterations: BTreeMap<usize, (usize, u64)>,
+}
+
+const KERNEL_TID: usize = 0;
+const ITER_TID: usize = 1;
+const CU_TID_BASE: usize = 2;
+
+impl ChromeTraceSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events collected so far (excluding track metadata).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Write the complete trace document.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut meta = vec![
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"name\":\"gc-gpusim device\"}}}}"
+            ),
+            thread_name(KERNEL_TID, "kernels"),
+            thread_name(ITER_TID, "iterations"),
+        ];
+        for &cu in &self.cus {
+            meta.push(thread_name(CU_TID_BASE + cu, &format!("CU {cu}")));
+        }
+        let mut first = true;
+        for line in meta.iter().chain(self.events.iter()) {
+            if !first {
+                writeln!(w, ",")?;
+            }
+            first = false;
+            write!(w, "{line}")?;
+        }
+        writeln!(w, "\n]}}")
+    }
+}
+
+fn thread_name(tid: usize, name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        esc(name)
+    )
+}
+
+impl ProfileSink for ChromeTraceSink {
+    fn kernel_retire(&mut self, ev: &KernelRetireEvent<'_>) {
+        let s = ev.stats;
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{KERNEL_TID},\"args\":{{\"seq\":{},\"items\":{},\
+             \"workgroups\":{},\"waves\":{},\"simd_utilization\":{},\
+             \"divergent_steps\":{},\"steal_pops\":{},\"imbalance_factor\":{},\
+             \"launch_cycles\":{},\"mem_transactions\":{}}}}}",
+            esc(ev.name),
+            ev.start_cycle,
+            ev.end_cycle - ev.start_cycle,
+            ev.seq,
+            s.items,
+            s.workgroups,
+            s.waves,
+            num(s.simd_utilization()),
+            s.divergent_steps,
+            s.steal_pops,
+            num(s.imbalance_factor()),
+            s.launch_cycles,
+            s.mem_transactions,
+        ));
+    }
+
+    fn workgroup_retire(&mut self, ev: &WorkgroupRetireEvent<'_>) {
+        self.cus.insert(ev.cu);
+        self.events.push(format!(
+            "{{\"name\":\"{}#{}\",\"cat\":\"workgroup\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"kernel_seq\":{},\"waves\":{},\
+             \"active_lane_ops\":{},\"possible_lane_ops\":{},\"divergent_steps\":{},\
+             \"items\":[{},{}]}}}}",
+            esc(ev.kernel),
+            ev.wg_index,
+            ev.start_cycle,
+            ev.end_cycle - ev.start_cycle,
+            CU_TID_BASE + ev.cu,
+            ev.kernel_seq,
+            ev.waves,
+            ev.active_lane_ops,
+            ev.possible_lane_ops,
+            ev.divergent_steps,
+            ev.items.0,
+            ev.items.1,
+        ));
+    }
+
+    fn steal_pop(&mut self, ev: &StealPopEvent<'_>) {
+        self.cus.insert(ev.cu);
+        let chunk = match ev.chunk {
+            Some((s, e)) => format!("[{s},{e}]"),
+            None => "null".to_string(),
+        };
+        self.events.push(format!(
+            "{{\"name\":\"steal-pop\",\"cat\":\"steal\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"kernel\":\"{}\",\"kernel_seq\":{},\"chunk\":{}}}}}",
+            ev.cycle,
+            CU_TID_BASE + ev.cu,
+            esc(ev.kernel),
+            ev.kernel_seq,
+            chunk,
+        ));
+    }
+
+    fn iteration_begin(&mut self, ev: &IterationBeginEvent) {
+        self.pending_iterations
+            .insert(ev.iteration, (ev.active, ev.cycle));
+    }
+
+    fn iteration_end(&mut self, ev: &IterationEndEvent) {
+        let (active, start) = self
+            .pending_iterations
+            .remove(&ev.iteration)
+            .unwrap_or((0, ev.cycle));
+        self.events.push(format!(
+            "{{\"name\":\"iteration {}\",\"cat\":\"iteration\",\"ph\":\"X\",\"ts\":{},\
+             \"dur\":{},\"pid\":0,\"tid\":{ITER_TID},\"args\":{{\"active\":{},\
+             \"completed\":{}}}}}",
+            ev.iteration,
+            start,
+            ev.cycle.saturating_sub(start),
+            active,
+            ev.completed,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+
+/// Records every event as one JSON object per line — a machine-readable
+/// stream for external analysis.
+#[derive(Default)]
+pub struct JsonlSink {
+    lines: Vec<String>,
+}
+
+impl JsonlSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Event lines collected so far.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Write all events, one JSON object per line.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for line in &self.lines {
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ProfileSink for JsonlSink {
+    fn kernel_dispatch(&mut self, ev: &KernelDispatchEvent<'_>) {
+        self.lines.push(format!(
+            "{{\"type\":\"kernel_dispatch\",\"seq\":{},\"name\":\"{}\",\"items\":{},\
+             \"wg_size\":{},\"mode\":\"{}\",\"start_cycle\":{}}}",
+            ev.seq,
+            esc(ev.name),
+            ev.items,
+            ev.wg_size,
+            ev.mode,
+            ev.start_cycle,
+        ));
+    }
+
+    fn kernel_retire(&mut self, ev: &KernelRetireEvent<'_>) {
+        let s = ev.stats;
+        let busy: Vec<String> = s.busy_per_cu.iter().map(|b| b.to_string()).collect();
+        self.lines.push(format!(
+            "{{\"type\":\"kernel_retire\",\"seq\":{},\"name\":\"{}\",\"start_cycle\":{},\
+             \"end_cycle\":{},\"wall_cycles\":{},\"launch_cycles\":{},\"workgroups\":{},\
+             \"waves\":{},\"steps\":{},\"active_lane_ops\":{},\"possible_lane_ops\":{},\
+             \"simd_utilization\":{},\"imbalance_factor\":{},\"divergent_steps\":{},\
+             \"mem_transactions\":{},\"global_atomics\":{},\"steal_pops\":{},\
+             \"busy_per_cu\":[{}]}}",
+            ev.seq,
+            esc(ev.name),
+            ev.start_cycle,
+            ev.end_cycle,
+            s.wall_cycles,
+            s.launch_cycles,
+            s.workgroups,
+            s.waves,
+            s.steps,
+            s.active_lane_ops,
+            s.possible_lane_ops,
+            num(s.simd_utilization()),
+            num(s.imbalance_factor()),
+            s.divergent_steps,
+            s.mem_transactions,
+            s.global_atomics,
+            s.steal_pops,
+            busy.join(","),
+        ));
+    }
+
+    fn workgroup_retire(&mut self, ev: &WorkgroupRetireEvent<'_>) {
+        self.lines.push(format!(
+            "{{\"type\":\"workgroup_retire\",\"kernel_seq\":{},\"kernel\":\"{}\",\
+             \"wg_index\":{},\"cu\":{},\"start_cycle\":{},\"end_cycle\":{},\"waves\":{},\
+             \"active_lane_ops\":{},\"possible_lane_ops\":{},\"divergent_steps\":{},\
+             \"items\":[{},{}]}}",
+            ev.kernel_seq,
+            esc(ev.kernel),
+            ev.wg_index,
+            ev.cu,
+            ev.start_cycle,
+            ev.end_cycle,
+            ev.waves,
+            ev.active_lane_ops,
+            ev.possible_lane_ops,
+            ev.divergent_steps,
+            ev.items.0,
+            ev.items.1,
+        ));
+    }
+
+    fn steal_pop(&mut self, ev: &StealPopEvent<'_>) {
+        let chunk = match ev.chunk {
+            Some((s, e)) => format!("[{s},{e}]"),
+            None => "null".to_string(),
+        };
+        self.lines.push(format!(
+            "{{\"type\":\"steal_pop\",\"kernel_seq\":{},\"kernel\":\"{}\",\"cu\":{},\
+             \"cycle\":{},\"chunk\":{}}}",
+            ev.kernel_seq,
+            esc(ev.kernel),
+            ev.cu,
+            ev.cycle,
+            chunk,
+        ));
+    }
+
+    fn iteration_begin(&mut self, ev: &IterationBeginEvent) {
+        self.lines.push(format!(
+            "{{\"type\":\"iteration_begin\",\"iteration\":{},\"active\":{},\"cycle\":{}}}",
+            ev.iteration, ev.active, ev.cycle,
+        ));
+    }
+
+    fn iteration_end(&mut self, ev: &IterationEndEvent) {
+        self.lines.push(format!(
+            "{{\"type\":\"iteration_end\",\"iteration\":{},\"completed\":{},\"cycle\":{}}}",
+            ev.iteration, ev.completed, ev.cycle,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CaptureSink
+
+/// Owned copy of a kernel retire event.
+#[derive(Debug, Clone)]
+pub struct CapturedKernel {
+    pub seq: u64,
+    pub name: String,
+    pub start_cycle: u64,
+    pub end_cycle: u64,
+    pub stats: KernelStats,
+}
+
+/// Owned copy of a workgroup retire event.
+#[derive(Debug, Clone)]
+pub struct CapturedWorkgroup {
+    pub kernel_seq: u64,
+    pub wg_index: usize,
+    pub cu: usize,
+    pub start_cycle: u64,
+    pub end_cycle: u64,
+    pub waves: u64,
+    pub active_lane_ops: u64,
+    pub possible_lane_ops: u64,
+    pub divergent_steps: u64,
+    pub items: (usize, usize),
+}
+
+/// Owned copy of a steal-pop event.
+#[derive(Debug, Clone)]
+pub struct CapturedStealPop {
+    pub kernel_seq: u64,
+    pub cu: usize,
+    pub cycle: u64,
+    /// `None` for the final empty (drain) pop.
+    pub chunk: Option<(usize, usize)>,
+}
+
+/// Owned copy of a completed iteration span.
+#[derive(Debug, Clone)]
+pub struct CapturedIteration {
+    pub iteration: usize,
+    pub active: usize,
+    pub completed: usize,
+    pub start_cycle: u64,
+    pub end_cycle: u64,
+}
+
+/// Records owned copies of every event — the input to report generators
+/// (`gc-profile`) and tests.
+#[derive(Default, Clone)]
+pub struct CaptureSink {
+    pub kernels: Vec<CapturedKernel>,
+    pub workgroups: Vec<CapturedWorkgroup>,
+    pub steal_pops: Vec<CapturedStealPop>,
+    pub iterations: Vec<CapturedIteration>,
+    pending_iterations: BTreeMap<usize, (usize, u64)>,
+}
+
+impl CaptureSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ProfileSink for CaptureSink {
+    fn kernel_retire(&mut self, ev: &KernelRetireEvent<'_>) {
+        self.kernels.push(CapturedKernel {
+            seq: ev.seq,
+            name: ev.name.to_string(),
+            start_cycle: ev.start_cycle,
+            end_cycle: ev.end_cycle,
+            stats: ev.stats.clone(),
+        });
+    }
+
+    fn workgroup_retire(&mut self, ev: &WorkgroupRetireEvent<'_>) {
+        self.workgroups.push(CapturedWorkgroup {
+            kernel_seq: ev.kernel_seq,
+            wg_index: ev.wg_index,
+            cu: ev.cu,
+            start_cycle: ev.start_cycle,
+            end_cycle: ev.end_cycle,
+            waves: ev.waves,
+            active_lane_ops: ev.active_lane_ops,
+            possible_lane_ops: ev.possible_lane_ops,
+            divergent_steps: ev.divergent_steps,
+            items: ev.items,
+        });
+    }
+
+    fn steal_pop(&mut self, ev: &StealPopEvent<'_>) {
+        self.steal_pops.push(CapturedStealPop {
+            kernel_seq: ev.kernel_seq,
+            cu: ev.cu,
+            cycle: ev.cycle,
+            chunk: ev.chunk,
+        });
+    }
+
+    fn iteration_begin(&mut self, ev: &IterationBeginEvent) {
+        self.pending_iterations
+            .insert(ev.iteration, (ev.active, ev.cycle));
+    }
+
+    fn iteration_end(&mut self, ev: &IterationEndEvent) {
+        let (active, start) = self
+            .pending_iterations
+            .remove(&ev.iteration)
+            .unwrap_or((0, ev.cycle));
+        self.iterations.push(CapturedIteration {
+            iteration: ev.iteration,
+            active,
+            completed: ev.completed,
+            start_cycle: start,
+            end_cycle: ev.cycle,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esc_handles_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn num_never_emits_non_finite() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn iteration_span_pairs_begin_with_end() {
+        let mut sink = CaptureSink::new();
+        sink.iteration_begin(&IterationBeginEvent {
+            iteration: 0,
+            active: 10,
+            cycle: 100,
+        });
+        sink.iteration_end(&IterationEndEvent {
+            iteration: 0,
+            completed: 4,
+            cycle: 250,
+        });
+        assert_eq!(sink.iterations.len(), 1);
+        let it = &sink.iterations[0];
+        assert_eq!((it.active, it.completed), (10, 4));
+        assert_eq!((it.start_cycle, it.end_cycle), (100, 250));
+    }
+
+    #[test]
+    fn chrome_trace_writes_a_document() {
+        let mut sink = ChromeTraceSink::new();
+        sink.iteration_begin(&IterationBeginEvent {
+            iteration: 0,
+            active: 8,
+            cycle: 0,
+        });
+        sink.iteration_end(&IterationEndEvent {
+            iteration: 0,
+            completed: 8,
+            cycle: 40,
+        });
+        let mut out = Vec::new();
+        sink.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\""));
+        assert!(text.contains("iteration 0"));
+        assert!(text.trim_end().ends_with("]}"));
+    }
+}

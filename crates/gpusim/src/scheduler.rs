@@ -22,15 +22,19 @@ use crate::cache::L2Cache;
 use crate::config::DeviceConfig;
 use crate::kernel::{GridStyle, Kernel, Launch, ScheduleMode};
 use crate::metrics::KernelStats;
+use crate::profile::Probe;
 use crate::workgroup::{WgExecutor, WgParams, WgWork};
 
-/// Run one launch to completion, returning its statistics.
+/// Run one launch to completion, returning its statistics. When a `probe`
+/// is attached it receives one event per workgroup retire (with the CU id
+/// and CU-local cycle span) and per work-steal queue pop.
 pub(crate) fn run_launch(
     kernel: &dyn Kernel,
     launch: &Launch,
     cfg: &DeviceConfig,
     mem: &mut MemoryState,
     l2: &mut Option<L2Cache>,
+    probe: Option<&Probe<'_>>,
 ) -> KernelStats {
     validate_launch(launch, cfg);
 
@@ -73,7 +77,11 @@ pub(crate) fn run_launch(
             for (i, &work) in tasks.iter().enumerate() {
                 let cu = i % cfg.num_cus;
                 let outcome = executor.run(kernel, mem, l2, &params, i, work);
+                let t0 = busy[cu];
                 busy[cu] += cfg.wg_dispatch_cycles + outcome.service_cycles;
+                if let Some(p) = probe {
+                    p.workgroup_retire(cu, i, t0, busy[cu], &outcome, work);
+                }
                 absorb(&mut stats, &outcome);
             }
         }
@@ -81,10 +89,13 @@ pub(crate) fn run_launch(
             let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
                 (0..cfg.num_cus).map(|cu| Reverse((0u64, cu))).collect();
             for (i, &work) in tasks.iter().enumerate() {
-                let Reverse((t, cu)) = heap.pop().expect("heap holds one entry per CU");
+                let Reverse((t0, cu)) = heap.pop().expect("heap holds one entry per CU");
                 let outcome = executor.run(kernel, mem, l2, &params, i, work);
-                let t = t + cfg.wg_dispatch_cycles + outcome.service_cycles;
+                let t = t0 + cfg.wg_dispatch_cycles + outcome.service_cycles;
                 busy[cu] += cfg.wg_dispatch_cycles + outcome.service_cycles;
+                if let Some(p) = probe {
+                    p.workgroup_retire(cu, i, t0, t, &outcome, work);
+                }
                 absorb(&mut stats, &outcome);
                 heap.push(Reverse((t, cu)));
             }
@@ -93,18 +104,28 @@ pub(crate) fn run_launch(
             let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
                 (0..cfg.num_cus).map(|cu| Reverse((0u64, cu))).collect();
             for (i, &work) in tasks.iter().enumerate() {
-                let Reverse((t, cu)) = heap.pop().expect("heap holds one entry per CU");
+                let Reverse((t0, cu)) = heap.pop().expect("heap holds one entry per CU");
                 let outcome = executor.run(kernel, mem, l2, &params, i, work);
-                let t = t + cfg.steal_pop_cycles + outcome.service_cycles;
+                let t = t0 + cfg.steal_pop_cycles + outcome.service_cycles;
                 busy[cu] += cfg.steal_pop_cycles + outcome.service_cycles;
+                if let Some(p) = probe {
+                    let chunk = match work {
+                        WgWork::Range { start, end } | WgWork::Items { start, end } => (start, end),
+                    };
+                    p.steal_pop(cu, t0, Some(chunk));
+                    p.workgroup_retire(cu, i, t0, t, &outcome, work);
+                }
                 absorb(&mut stats, &outcome);
                 stats.steal_pops += 1;
                 heap.push(Reverse((t, cu)));
             }
             // Every persistent workgroup pays one final (empty) pop to learn
             // the queue is drained.
-            for b in busy.iter_mut() {
-                *b += cfg.steal_pop_cycles;
+            for Reverse((t, cu)) in heap {
+                if let Some(p) = probe {
+                    p.steal_pop(cu, t, None);
+                }
+                busy[cu] += cfg.steal_pop_cycles;
             }
             stats.steal_pops += cfg.num_cus as u64;
         }
@@ -140,7 +161,10 @@ fn validate_launch(launch: &Launch, cfg: &DeviceConfig) {
     }
     if let ScheduleMode::WorkStealing { chunk_items } = launch.mode {
         if chunk_items == 0 {
-            panic!("kernel '{}': work-stealing chunk size must be positive", launch.name);
+            panic!(
+                "kernel '{}': work-stealing chunk size must be positive",
+                launch.name
+            );
         }
     }
 }
@@ -166,7 +190,10 @@ fn build_tasks(launch: &Launch) -> Vec<WgWork> {
                 .collect()
         }
         (GridStyle::WorkgroupPerItem, _) => (0..n)
-            .map(|i| WgWork::Items { start: i, end: i + 1 })
+            .map(|i| WgWork::Items {
+                start: i,
+                end: i + 1,
+            })
             .collect(),
     }
 }
@@ -194,9 +221,7 @@ mod tests {
     use super::*;
     use crate::lane::LaneCtx;
 
-    fn increment_kernel(
-        buf: crate::buffer::Buffer<u32>,
-    ) -> impl Fn(&mut LaneCtx) {
+    fn increment_kernel(buf: crate::buffer::Buffer<u32>) -> impl Fn(&mut LaneCtx) {
         move |ctx: &mut LaneCtx| {
             let i = ctx.item();
             let v = ctx.read(buf, i);
@@ -221,7 +246,14 @@ mod tests {
             let (cfg, mut mem, buf) = setup(37);
             let mut launch = Launch::threads("inc", 37).wg_size(4);
             launch.mode = mode;
-            let stats = run_launch(&increment_kernel(buf), &launch, &cfg, &mut mem, &mut None);
+            let stats = run_launch(
+                &increment_kernel(buf),
+                &launch,
+                &cfg,
+                &mut mem,
+                &mut None,
+                None,
+            );
             assert_eq!(mem.as_slice(&buf), &[1u32; 37], "mode {mode:?}");
             assert_eq!(stats.items, 37);
             assert!(stats.wall_cycles > cfg.kernel_launch_cycles);
@@ -232,7 +264,14 @@ mod tests {
     fn zero_items_is_launch_overhead_only() {
         let (cfg, mut mem, buf) = setup(1);
         let launch = Launch::threads("empty", 0).wg_size(4);
-        let stats = run_launch(&increment_kernel(buf), &launch, &cfg, &mut mem, &mut None);
+        let stats = run_launch(
+            &increment_kernel(buf),
+            &launch,
+            &cfg,
+            &mut mem,
+            &mut None,
+            None,
+        );
         assert_eq!(stats.wall_cycles, cfg.kernel_launch_cycles);
         assert_eq!(stats.workgroups, 0);
         assert_eq!(mem.as_slice(&buf), &[0u32]);
@@ -253,9 +292,15 @@ mod tests {
             }
             ctx.write(buf, i, 1);
         };
-        let launch = Launch::threads("skewed", 16).wg_size(4).static_round_robin();
-        let stats = run_launch(&kernel, &launch, &cfg, &mut mem, &mut None);
-        assert!(stats.imbalance_factor() > 1.2, "imbalance {}", stats.imbalance_factor());
+        let launch = Launch::threads("skewed", 16)
+            .wg_size(4)
+            .static_round_robin();
+        let stats = run_launch(&kernel, &launch, &cfg, &mut mem, &mut None, None);
+        assert!(
+            stats.imbalance_factor() > 1.2,
+            "imbalance {}",
+            stats.imbalance_factor()
+        );
 
         let (mut mem2, buf2);
         {
@@ -272,7 +317,7 @@ mod tests {
             ctx.write(buf2, i, 1);
         };
         let dyn_launch = Launch::threads("skewed", 16).wg_size(4).dynamic();
-        let dyn_stats = run_launch(&kernel2, &dyn_launch, &cfg, &mut mem2, &mut None);
+        let dyn_stats = run_launch(&kernel2, &dyn_launch, &cfg, &mut mem2, &mut None, None);
         assert!(dyn_stats.wall_cycles <= stats.wall_cycles);
     }
 
@@ -282,7 +327,14 @@ mod tests {
         // wg-size slices, not truncated.
         let (cfg, mut mem, buf) = setup(40);
         let launch = Launch::threads("bigchunk", 40).wg_size(4).stealing(16);
-        let stats = run_launch(&increment_kernel(buf), &launch, &cfg, &mut mem, &mut None);
+        let stats = run_launch(
+            &increment_kernel(buf),
+            &launch,
+            &cfg,
+            &mut mem,
+            &mut None,
+            None,
+        );
         assert_eq!(mem.as_slice(&buf), &[1u32; 40]);
         // 3 chunks (16 + 16 + 8), each sliced into wg_size-4 instances.
         assert_eq!(stats.workgroups, 3);
@@ -293,7 +345,14 @@ mod tests {
     fn stealing_counts_pops_and_pays_overhead() {
         let (cfg, mut mem, buf) = setup(32);
         let launch = Launch::threads("steal", 32).wg_size(4).stealing(4);
-        let stats = run_launch(&increment_kernel(buf), &launch, &cfg, &mut mem, &mut None);
+        let stats = run_launch(
+            &increment_kernel(buf),
+            &launch,
+            &cfg,
+            &mut mem,
+            &mut None,
+            None,
+        );
         // 8 chunks + one drain pop per CU.
         assert_eq!(stats.steal_pops, 8 + cfg.num_cus as u64);
         assert_eq!(stats.workgroups, 8);
@@ -318,7 +377,7 @@ mod tests {
             };
             let mut launch = Launch::threads("skew", 64).wg_size(4);
             launch.mode = mode;
-            run_launch(&kernel, &launch, &cfg, &mut mem, &mut None)
+            run_launch(&kernel, &launch, &cfg, &mut mem, &mut None, None)
         };
         let rr = run(ScheduleMode::StaticRoundRobin);
         let ws = run(ScheduleMode::WorkStealing { chunk_items: 4 });
@@ -353,7 +412,14 @@ mod tests {
     fn bad_wg_size_panics() {
         let (cfg, mut mem, buf) = setup(4);
         let launch = Launch::threads("bad", 4).wg_size(3);
-        run_launch(&increment_kernel(buf), &launch, &cfg, &mut mem, &mut None);
+        run_launch(
+            &increment_kernel(buf),
+            &launch,
+            &cfg,
+            &mut mem,
+            &mut None,
+            None,
+        );
     }
 
     #[test]
@@ -366,7 +432,7 @@ mod tests {
             ctx.atomic_add(out, ctx.item(), 1);
         };
         let launch = Launch::groups("coop", 5).wg_size(4).lds_words(0);
-        let stats = run_launch(&kernel, &launch, &cfg, &mut mem, &mut None);
+        let stats = run_launch(&kernel, &launch, &cfg, &mut mem, &mut None, None);
         assert_eq!(mem.as_slice(&out), &[4u32; 5]);
         assert_eq!(stats.workgroups, 5);
     }

@@ -293,7 +293,14 @@ mod tests {
         let c = cfg();
         let mut scratch = FoldScratch::new();
         let mut no_l2 = None;
-        fold_wave_segment(lanes, c.wavefront_size, &c, occupancy, &mut scratch, &mut no_l2)
+        fold_wave_segment(
+            lanes,
+            c.wavefront_size,
+            &c,
+            occupancy,
+            &mut scratch,
+            &mut no_l2,
+        )
     }
 
     fn fold_with_l2(lanes: &[&[Op]], l2: &mut Option<L2Cache>) -> SegmentCost {
@@ -328,7 +335,11 @@ mod tests {
     fn scattered_reads_cost_extra_transactions() {
         // 4 lanes read addresses 256 apart: 4 distinct lines.
         let ops: Vec<Vec<Op>> = (0..4)
-            .map(|l| vec![Op::GlobalRead { addr: 256 * (l + 1) }])
+            .map(|l| {
+                vec![Op::GlobalRead {
+                    addr: 256 * (l + 1),
+                }]
+            })
             .collect();
         let lanes: Vec<&[Op]> = ops.iter().map(|v| v.as_slice()).collect();
         let cost = fold(&lanes, 1);
@@ -351,7 +362,12 @@ mod tests {
     #[test]
     fn idle_lanes_reduce_utilization() {
         // Lane 0 does 4 ALU steps, others do 1: utilization = (4+3)/(4*4).
-        let long = vec![Op::Alu(1), Op::GlobalRead { addr: 0 }, Op::Alu(1), Op::Alu(1)];
+        let long = vec![
+            Op::Alu(1),
+            Op::GlobalRead { addr: 0 },
+            Op::Alu(1),
+            Op::Alu(1),
+        ];
         let short = vec![Op::Alu(1)];
         let lanes: Vec<&[Op]> = vec![&long, &short, &short, &short];
         let cost = fold(&lanes, 1);
@@ -374,12 +390,18 @@ mod tests {
 
     #[test]
     fn same_address_atomics_serialize() {
-        let same: Vec<Vec<Op>> = (0..4).map(|_| vec![Op::GlobalAtomic { addr: 512 }]).collect();
+        let same: Vec<Vec<Op>> = (0..4)
+            .map(|_| vec![Op::GlobalAtomic { addr: 512 }])
+            .collect();
         let lanes: Vec<&[Op]> = same.iter().map(|v| v.as_slice()).collect();
         let serialized = fold(&lanes, 1);
 
         let distinct_ops: Vec<Vec<Op>> = (0..4)
-            .map(|l| vec![Op::GlobalAtomic { addr: 512 + l * 256 }])
+            .map(|l| {
+                vec![Op::GlobalAtomic {
+                    addr: 512 + l * 256,
+                }]
+            })
             .collect();
         let lanes2: Vec<&[Op]> = distinct_ops.iter().map(|v| v.as_slice()).collect();
         let pipelined = fold(&lanes2, 1);
@@ -418,11 +440,18 @@ mod tests {
         let lanes: Vec<&[Op]> = same.iter().map(|v| v.as_slice()).collect();
         let agg = fold(&lanes, 1);
 
-        let plain: Vec<Vec<Op>> = (0..4).map(|_| vec![Op::GlobalAtomic { addr: 512 }]).collect();
+        let plain: Vec<Vec<Op>> = (0..4)
+            .map(|_| vec![Op::GlobalAtomic { addr: 512 }])
+            .collect();
         let lanes2: Vec<&[Op]> = plain.iter().map(|v| v.as_slice()).collect();
         let serialized = fold(&lanes2, 1);
 
-        assert!(agg.cycles < serialized.cycles, "agg {} vs plain {}", agg.cycles, serialized.cycles);
+        assert!(
+            agg.cycles < serialized.cycles,
+            "agg {} vs plain {}",
+            agg.cycles,
+            serialized.cycles
+        );
         // One transaction, one atomic latency, all four lane-ops counted.
         assert_eq!(agg.mem_transactions, 1);
         assert_eq!(agg.global_atomics, 4);
@@ -442,7 +471,9 @@ mod tests {
         let lanes: Vec<&[Op]> = conflict.iter().map(|v| v.as_slice()).collect();
         let conflicted = fold(&lanes, 1);
 
-        let clean: Vec<Vec<Op>> = (0..4).map(|l| vec![Op::LdsRead { word: l as u32 }]).collect();
+        let clean: Vec<Vec<Op>> = (0..4)
+            .map(|l| vec![Op::LdsRead { word: l as u32 }])
+            .collect();
         let lanes2: Vec<&[Op]> = clean.iter().map(|v| v.as_slice()).collect();
         let fast = fold(&lanes2, 1);
         assert!(conflicted.cycles > fast.cycles);

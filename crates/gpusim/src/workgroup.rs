@@ -85,9 +85,15 @@ impl WgExecutor {
             }
             WgWork::Items { start, end } => {
                 for item in start..end {
-                    let inst = self.exec_instance(kernel, mem, l2, params, group_id, params.wg_size, |_| {
-                        item
-                    });
+                    let inst = self.exec_instance(
+                        kernel,
+                        mem,
+                        l2,
+                        params,
+                        group_id,
+                        params.wg_size,
+                        |_| item,
+                    );
                     accumulate(&mut outcome, inst);
                 }
             }
@@ -171,7 +177,9 @@ impl WgExecutor {
             bounds.push((seg_start, t.len()));
         }
 
-        let waves = active_lanes.div_ceil(wave_size).max(if active_lanes == 0 { 0 } else { 1 });
+        let waves = active_lanes
+            .div_ceil(wave_size)
+            .max(if active_lanes == 0 { 0 } else { 1 });
         let mut service = 0u64;
         let mut total_cost = SegmentCost::default();
 
@@ -251,9 +259,30 @@ mod tests {
         let mut ex = WgExecutor::new();
         let p = params(&cfg, 4, 0, 10);
         // Two workgroups of 4 plus a partial one of 2.
-        let o1 = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Range { start: 0, end: 4 });
-        let _ = ex.run(&kernel, &mut mem, &mut None, &p, 1, WgWork::Range { start: 4, end: 8 });
-        let o3 = ex.run(&kernel, &mut mem, &mut None, &p, 2, WgWork::Range { start: 8, end: 10 });
+        let o1 = ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            0,
+            WgWork::Range { start: 0, end: 4 },
+        );
+        let _ = ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            1,
+            WgWork::Range { start: 4, end: 8 },
+        );
+        let o3 = ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            2,
+            WgWork::Range { start: 8, end: 10 },
+        );
         assert_eq!(mem.as_slice(&buf), &[1u32; 10]);
         assert!(o1.service_cycles > 0);
         assert_eq!(o1.waves, 1);
@@ -275,7 +304,14 @@ mod tests {
         };
         let mut ex = WgExecutor::new();
         let p = params(&cfg, 4, 0, 3);
-        let o = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Items { start: 0, end: 3 });
+        let o = ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            0,
+            WgWork::Items { start: 0, end: 3 },
+        );
         assert_eq!(mem.as_slice(&sums), &[10, 10, 10]);
         assert_eq!(o.waves, 3); // one wave per item instance
     }
@@ -298,7 +334,14 @@ mod tests {
         };
         let mut ex = WgExecutor::new();
         let p = params(&cfg, 4, 1, 1);
-        let o = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Items { start: 0, end: 1 });
+        let o = ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            0,
+            WgWork::Items { start: 0, end: 1 },
+        );
         assert_eq!(mem.as_slice(&out), &[0b1111]);
         // Barrier cost charged once.
         assert!(o.service_cycles >= cfg.barrier_cycles);
@@ -319,7 +362,14 @@ mod tests {
         };
         let mut ex = WgExecutor::new();
         let p = params(&cfg, 4, 1, 2);
-        ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Items { start: 0, end: 2 });
+        ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            0,
+            WgWork::Items { start: 0, end: 2 },
+        );
         // Without zeroing, item 1 would read 8.
         assert_eq!(mem.as_slice(&out), &[4, 4]);
     }
@@ -336,7 +386,14 @@ mod tests {
         };
         let mut ex = WgExecutor::new();
         let p = params(&cfg, 4, 0, 4);
-        ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Range { start: 0, end: 4 });
+        ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            0,
+            WgWork::Range { start: 0, end: 4 },
+        );
     }
 
     #[test]
@@ -349,7 +406,14 @@ mod tests {
         let mut ex = WgExecutor::new();
         // 8 lanes = 2 waves; each wave costs 8*2 = 16 cycles of ALU.
         let p = params(&cfg, 8, 0, 8);
-        let o = ex.run(&kernel, &mut mem, &mut None, &p, 0, WgWork::Range { start: 0, end: 8 });
+        let o = ex.run(
+            &kernel,
+            &mut mem,
+            &mut None,
+            &p,
+            0,
+            WgWork::Range { start: 0, end: 8 },
+        );
         assert_eq!(o.waves, 2);
         // max(16, (16+16)/2) = 16, not 32: the waves overlap.
         assert_eq!(o.service_cycles, 16);

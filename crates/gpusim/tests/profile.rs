@@ -1,0 +1,490 @@
+//! Profiling-layer characterization tests: metric invariants that must hold
+//! for every schedule mode, and structural validity of the emitted traces.
+//!
+//! The trace checks parse the Chrome trace JSON with a small recursive-
+//! descent parser (the simulator crate is dependency-free, so no serde).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gc_gpusim::{
+    CaptureSink, ChromeTraceSink, DeviceConfig, Gpu, JsonlSink, KernelStats, LaneCtx, Launch,
+};
+
+const N: usize = 4096;
+
+/// An irregular kernel: per-item work scales with a pseudo-random weight,
+/// so lanes diverge and CU loads skew — exercising every counter.
+fn irregular_kernel(
+    data: gc_gpusim::Buffer<u32>,
+    sink: gc_gpusim::Buffer<u32>,
+) -> impl Fn(&mut LaneCtx) {
+    move |ctx: &mut LaneCtx| {
+        let i = ctx.item();
+        let w = (i.wrapping_mul(2654435761) >> 27) % 9;
+        for k in 0..=w {
+            let v = ctx.read(data, (i + k * 131) % N);
+            ctx.alu(1 + v % 2);
+        }
+        ctx.write(sink, i, w as u32);
+    }
+}
+
+fn run_mode(configure: impl FnOnce(Launch) -> Launch) -> (KernelStats, usize) {
+    let mut gpu = Gpu::new(DeviceConfig::apu_8cu());
+    let data = gpu.alloc_filled(N, 3u32);
+    let sink = gpu.alloc_filled(N, 0u32);
+    let kernel = irregular_kernel(data, sink);
+    let stats = gpu.launch(&kernel, configure(Launch::threads("irregular", N)));
+    (stats, gpu.config().num_cus)
+}
+
+fn check_invariants(stats: &KernelStats, num_cus: usize, mode: &str) {
+    assert!(
+        stats.active_lane_ops <= stats.possible_lane_ops,
+        "{mode}: active {} > possible {}",
+        stats.active_lane_ops,
+        stats.possible_lane_ops
+    );
+    let util = stats.simd_utilization();
+    assert!((0.0..=1.0).contains(&util), "{mode}: utilization {util}");
+    assert_eq!(stats.busy_per_cu.len(), num_cus, "{mode}");
+    let worst = *stats.busy_per_cu.iter().max().unwrap();
+    assert!(
+        worst <= stats.wall_cycles,
+        "{mode}: busiest CU {worst} exceeds wall {}",
+        stats.wall_cycles
+    );
+    let mean = stats.busy_per_cu.iter().sum::<u64>() as f64 / num_cus as f64;
+    assert!(mean > 0.0, "{mode}: no CU did any work");
+    let imbalance = worst as f64 / mean;
+    assert!(imbalance >= 1.0 - 1e-12, "{mode}: imbalance {imbalance}");
+}
+
+#[test]
+fn metric_invariants_hold_in_every_schedule_mode() {
+    type Configure = fn(Launch) -> Launch;
+    let modes: [(&str, Configure); 3] = [
+        ("static", |l| l),
+        ("dynamic", |l| l.dynamic()),
+        ("stealing", |l| l.stealing(256)),
+    ];
+    for (name, configure) in modes {
+        let (stats, num_cus) = run_mode(configure);
+        check_invariants(&stats, num_cus, name);
+        assert!(stats.divergent_steps > 0, "{name}: kernel should diverge");
+    }
+}
+
+#[test]
+fn captured_workgroups_respect_kernel_bounds() {
+    let mut gpu = Gpu::new(DeviceConfig::apu_8cu());
+    let capture = Rc::new(RefCell::new(CaptureSink::new()));
+    gpu.attach_profiler(capture.clone());
+    let data = gpu.alloc_filled(N, 3u32);
+    let sink = gpu.alloc_filled(N, 0u32);
+    let kernel = irregular_kernel(data, sink);
+    gpu.launch(&kernel, Launch::threads("irregular", N).stealing(128));
+    let num_cus = gpu.config().num_cus;
+    let end_of_run = gpu.now_cycles();
+
+    let cap = capture.borrow();
+    assert_eq!(cap.kernels.len(), 1);
+    let k = &cap.kernels[0];
+    assert!(!cap.workgroups.is_empty());
+    for wg in &cap.workgroups {
+        assert!(wg.cu < num_cus, "cu {} out of range", wg.cu);
+        assert!(wg.start_cycle <= wg.end_cycle);
+        assert!(wg.start_cycle >= k.start_cycle && wg.end_cycle <= k.end_cycle);
+        assert!(wg.active_lane_ops <= wg.possible_lane_ops);
+        assert!(wg.items.0 < wg.items.1, "empty item range");
+    }
+    // Workgroup item ranges must cover each item exactly once.
+    let mut covered = vec![0u32; N];
+    for wg in &cap.workgroups {
+        for c in &mut covered[wg.items.0..wg.items.1] {
+            *c += 1;
+        }
+    }
+    assert!(
+        covered.iter().all(|&c| c == 1),
+        "items not covered exactly once"
+    );
+    // Every CU issues one final drain pop on the empty queue.
+    let drains = cap.steal_pops.iter().filter(|p| p.chunk.is_none()).count();
+    assert_eq!(drains, num_cus);
+    assert_eq!(k.end_cycle, end_of_run);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser for trace validation.
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // UTF-8 continuation bytes pass through unchanged.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at {start}: {e}"))
+    }
+}
+
+fn traced_run() -> (String, usize, u64, u64) {
+    let mut gpu = Gpu::new(DeviceConfig::apu_8cu());
+    let trace = Rc::new(RefCell::new(ChromeTraceSink::new()));
+    gpu.attach_profiler(trace.clone());
+    let data = gpu.alloc_filled(N, 3u32);
+    let sink = gpu.alloc_filled(N, 0u32);
+    let kernel = irregular_kernel(data, sink);
+    gpu.profile_iteration_begin(0, N);
+    gpu.launch(&kernel, Launch::threads("pass-a", N).stealing(256));
+    gpu.launch(&kernel, Launch::threads("pass-b", N));
+    gpu.profile_iteration_end(0, N);
+    let mut out = Vec::new();
+    trace.borrow().write_to(&mut out).unwrap();
+    (
+        String::from_utf8(out).unwrap(),
+        gpu.config().num_cus,
+        gpu.now_cycles(),
+        2,
+    )
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_consistent_spans() {
+    let (text, num_cus, total_cycles, launches) = traced_run();
+    let doc = Parser::parse(&text).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{text}"));
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+
+    // Every event has a phase; every complete event has non-negative ts/dur.
+    let mut kernel_span_total = 0.0f64;
+    let mut kernel_spans = 0u64;
+    let mut track_names = Vec::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("event without ph");
+        match ph {
+            "X" => {
+                let ts = ev.get("ts").and_then(Json::as_f64).expect("X without ts");
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("X without dur");
+                assert!(ts >= 0.0, "negative ts: {ts}");
+                assert!(dur >= 0.0, "negative dur: {dur}");
+                assert!(
+                    ts + dur <= total_cycles as f64 + 0.5,
+                    "span [{ts}, {}] beyond end of run {total_cycles}",
+                    ts + dur
+                );
+                if ev.get("tid").and_then(Json::as_f64) == Some(0.0) {
+                    kernel_span_total += dur;
+                    kernel_spans += 1;
+                }
+            }
+            "i" => {
+                assert!(ev.get("ts").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+            }
+            "M" => {
+                if ev.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    let name = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .expect("thread_name without args.name");
+                    track_names.push(name.to_string());
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+
+    // One kernel span per launch; they tile the whole run.
+    assert_eq!(kernel_spans, launches);
+    assert!(
+        (kernel_span_total - total_cycles as f64).abs() < 0.5,
+        "kernel spans sum to {kernel_span_total}, device ran {total_cycles}"
+    );
+    // One named track per CU, plus the kernel and iteration tracks.
+    let cu_tracks = track_names.iter().filter(|n| n.starts_with("CU ")).count();
+    assert_eq!(cu_tracks, num_cus, "tracks: {track_names:?}");
+    assert!(
+        track_names.iter().any(|n| n.contains("kernel")),
+        "{track_names:?}"
+    );
+    assert!(
+        track_names.iter().any(|n| n.contains("iteration")),
+        "{track_names:?}"
+    );
+}
+
+#[test]
+fn jsonl_trace_lines_each_parse_as_objects() {
+    let mut gpu = Gpu::new(DeviceConfig::apu_8cu());
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    gpu.attach_profiler(sink.clone());
+    let data = gpu.alloc_filled(N, 3u32);
+    let out = gpu.alloc_filled(N, 0u32);
+    let kernel = irregular_kernel(data, out);
+    gpu.launch(&kernel, Launch::threads("jsonl-pass", N).stealing(512));
+
+    let sink = sink.borrow();
+    assert!(!sink.lines().is_empty());
+    let mut types = std::collections::BTreeSet::new();
+    for line in sink.lines() {
+        let v = Parser::parse(line).unwrap_or_else(|e| panic!("invalid JSONL: {e}\n{line}"));
+        let t = v
+            .get("type")
+            .and_then(Json::as_str)
+            .expect("line without type");
+        types.insert(t.to_string());
+    }
+    for expected in [
+        "kernel_dispatch",
+        "kernel_retire",
+        "workgroup_retire",
+        "steal_pop",
+    ] {
+        assert!(types.contains(expected), "missing {expected}: {types:?}");
+    }
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "\"unterminated",
+        "01x",
+        "[1] trailing",
+    ] {
+        assert!(Parser::parse(bad).is_err(), "accepted {bad:?}");
+    }
+    // And accepts the shapes the traces use.
+    let ok = r#"{"a":[{"b":-1.5e3,"c":"xA\n"},true,null]}"#;
+    let v = Parser::parse(ok).unwrap();
+    assert_eq!(
+        v.get("a").and_then(|a| match a {
+            Json::Arr(items) => items[0].get("c").and_then(Json::as_str).map(str::to_string),
+            _ => None,
+        }),
+        Some("xA\n".to_string())
+    );
+}

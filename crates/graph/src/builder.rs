@@ -75,10 +75,16 @@ impl GraphBuilder {
         }
         for &(u, v) in &self.edges {
             if u as usize >= n {
-                return Err(GraphError::BadNeighbor { vertex: u, neighbor: v });
+                return Err(GraphError::BadNeighbor {
+                    vertex: u,
+                    neighbor: v,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::BadNeighbor { vertex: v, neighbor: u });
+                return Err(GraphError::BadNeighbor {
+                    vertex: v,
+                    neighbor: u,
+                });
             }
         }
 
@@ -148,7 +154,13 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let err = from_edges(2, &[(0, 2)]).unwrap_err();
-        assert_eq!(err, GraphError::BadNeighbor { vertex: 2, neighbor: 0 });
+        assert_eq!(
+            err,
+            GraphError::BadNeighbor {
+                vertex: 2,
+                neighbor: 0
+            }
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub enum GraphError {
     /// `row_ptr` is missing, non-monotonic, or does not end at `col_idx.len()`.
     BadRowPtr(String),
     /// A neighbor index is out of range.
-    BadNeighbor { vertex: VertexId, neighbor: VertexId },
+    BadNeighbor {
+        vertex: VertexId,
+        neighbor: VertexId,
+    },
     /// A vertex lists itself as a neighbor.
     SelfLoop(VertexId),
     /// An adjacency list is unsorted or contains duplicates.
@@ -180,14 +183,19 @@ impl CsrGraph {
         }
         for w in self.row_ptr.windows(2) {
             if w[1] < w[0] {
-                return Err(GraphError::BadRowPtr("row_ptr must be non-decreasing".into()));
+                return Err(GraphError::BadRowPtr(
+                    "row_ptr must be non-decreasing".into(),
+                ));
             }
         }
         for u in 0..n as VertexId {
             let nbrs = self.neighbors(u);
             for (i, &v) in nbrs.iter().enumerate() {
                 if v as usize >= n {
-                    return Err(GraphError::BadNeighbor { vertex: u, neighbor: v });
+                    return Err(GraphError::BadNeighbor {
+                        vertex: u,
+                        neighbor: v,
+                    });
                 }
                 if v == u {
                     return Err(GraphError::SelfLoop(u));
@@ -292,7 +300,13 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_neighbor() {
         let err = CsrGraph::from_parts(vec![0, 1, 2], vec![5, 0]).unwrap_err();
-        assert_eq!(err, GraphError::BadNeighbor { vertex: 0, neighbor: 5 });
+        assert_eq!(
+            err,
+            GraphError::BadNeighbor {
+                vertex: 0,
+                neighbor: 5
+            }
+        );
     }
 
     #[test]

@@ -18,10 +18,10 @@
 mod barabasi_albert;
 mod erdos_renyi;
 mod grid;
+pub mod regular;
 mod rmat;
 mod road;
 mod small_world;
-pub mod regular;
 
 pub use barabasi_albert::barabasi_albert;
 pub use erdos_renyi::erdos_renyi;

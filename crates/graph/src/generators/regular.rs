@@ -68,7 +68,10 @@ pub fn complete_bipartite(a: usize, b_size: usize) -> CsrGraph {
 /// Sizes: `mycielski(2)` = K_2, and each step maps `n -> 2n + 1`, so
 /// `mycielski(k)` has `3 · 2^(k-2) - 1` vertices.
 pub fn mycielski(k: usize) -> CsrGraph {
-    assert!((2..=12).contains(&k), "mycielski k must be in 2..=12, got {k}");
+    assert!(
+        (2..=12).contains(&k),
+        "mycielski k must be in 2..=12, got {k}"
+    );
     // Start from K_2 (chromatic number 2).
     let mut n: usize = 2;
     let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
@@ -99,10 +102,15 @@ pub fn mycielski(k: usize) -> CsrGraph {
 /// Self loops and duplicate pairs are dropped, so a few vertices end up
 /// with degree slightly below `d`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
-    assert!((n * d).is_multiple_of(2), "n*d must be even (got n={n}, d={d})");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even (got n={n}, d={d})"
+    );
     assert!(d < n || n == 0, "degree {d} must be below n ({n})");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::with_capacity(n, n * d / 2);
     for pair in stubs.chunks_exact(2) {

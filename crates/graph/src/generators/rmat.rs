@@ -134,6 +134,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed 1")]
     fn bad_probabilities_panic() {
-        rmat(4, 1, RmatParams { a: 0.7, b: 0.3, c: 0.3 }, 1);
+        rmat(
+            4,
+            1,
+            RmatParams {
+                a: 0.7,
+                b: 0.3,
+                c: 0.3,
+            },
+            1,
+        );
     }
 }

@@ -25,10 +25,8 @@ pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
             edges.push((u as u32, v as u32));
         }
     }
-    let mut seen: std::collections::HashSet<(u32, u32)> = edges
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect();
+    let mut seen: std::collections::HashSet<(u32, u32)> =
+        edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
     if n > 1 {
         for e in edges.iter_mut() {
             if rng.gen_bool(p) {

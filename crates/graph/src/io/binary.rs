@@ -65,7 +65,10 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, IoError> {
     let arcs = read_u64(&mut reader)? as usize;
     // Guard against absurd headers before allocating.
     if n > u32::MAX as usize || arcs > u32::MAX as usize {
-        return Err(parse_err(0, format!("implausible sizes n={n}, arcs={arcs}")));
+        return Err(parse_err(
+            0,
+            format!("implausible sizes n={n}, arcs={arcs}"),
+        ));
     }
     let mut row_ptr = Vec::with_capacity(n + 1);
     for _ in 0..=n {
@@ -135,7 +138,10 @@ mod tests {
         // Smash a col_idx entry to an out-of-range vertex.
         let last = buf.len() - 1;
         buf[last] = 0xFF;
-        assert!(matches!(read_binary(buf.as_slice()), Err(IoError::Graph(_))));
+        assert!(matches!(
+            read_binary(buf.as_slice()),
+            Err(IoError::Graph(_))
+        ));
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
 
 /// Write the graph as a whitespace edge list (each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<(), IoError> {
-    writeln!(writer, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u} {v}")?;
     }

@@ -41,7 +41,12 @@ pub fn rcm_order(g: &CsrGraph) -> Vec<VertexId> {
         while let Some(u) = queue.pop_front() {
             order.push(u);
             nbrs.clear();
-            nbrs.extend(g.neighbors(u).iter().copied().filter(|&v| !visited[v as usize]));
+            nbrs.extend(
+                g.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !visited[v as usize]),
+            );
             nbrs.sort_by_key(|&v| (g.degree(v), v));
             for &v in &nbrs {
                 visited[v as usize] = true;
@@ -77,10 +82,7 @@ pub fn apply_order(g: &CsrGraph, order: &[VertexId]) -> (CsrGraph, Vec<VertexId>
 /// Graph bandwidth: `max |u - v|` over edges — the metric RCM minimizes,
 /// exposed for tests and locality studies.
 pub fn bandwidth(g: &CsrGraph) -> usize {
-    g.edges()
-        .map(|(u, v)| (v - u) as usize)
-        .max()
-        .unwrap_or(0)
+    g.edges().map(|(u, v)| (v - u) as usize).max().unwrap_or(0)
 }
 
 #[cfg(test)]

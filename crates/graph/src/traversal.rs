@@ -7,7 +7,10 @@ use crate::csr::{CsrGraph, VertexId};
 /// BFS from `source`; returns the distance array (`u32::MAX` = unreachable).
 pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
     let n = g.num_vertices();
-    assert!((source as usize) < n, "source {source} out of range ({n} vertices)");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range ({n} vertices)"
+    );
     let mut dist = vec![u32::MAX; n];
     let mut queue = std::collections::VecDeque::new();
     dist[source as usize] = 0;

@@ -8,7 +8,9 @@
 use gc_suite::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "uniform-rand".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "uniform-rand".to_string());
     let Some(spec) = by_name(&name) else {
         eprintln!("unknown dataset '{name}'; known datasets:");
         for s in suite() {

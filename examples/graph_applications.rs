@@ -7,7 +7,9 @@ use gc_apps::{bfs, gauss_seidel, mis, pagerank, sssp};
 use gc_suite::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "small-world".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "small-world".to_string());
     let Some(spec) = by_name(&name) else {
         eprintln!("unknown dataset '{name}'");
         std::process::exit(2);
@@ -68,16 +70,12 @@ fn main() {
     );
 
     // The coloring-scheduled solver.
-    let rhs: Vec<f32> = (0..g.num_vertices()).map(|v| ((v % 7) as f32) - 3.0).collect();
+    let rhs: Vec<f32> = (0..g.num_vertices())
+        .map(|v| ((v % 7) as f32) - 3.0)
+        .collect();
     let j = gauss_seidel::jacobi(&g, &rhs, 1e-6, 2000, &device);
-    let gs = gauss_seidel::colored_gauss_seidel(
-        &g,
-        &rhs,
-        1e-6,
-        2000,
-        &device,
-        &GpuOptions::optimized(),
-    );
+    let gs =
+        gauss_seidel::colored_gauss_seidel(&g, &rhs, 1e-6, 2000, &device, &GpuOptions::optimized());
     assert!(gauss_seidel::equation_residual(&g, &rhs, &gs.field) < 1e-3);
     println!(
         "solver:   jacobi {} sweeps vs colored gauss-seidel {} sweeps over {} classes",

@@ -37,7 +37,10 @@ fn synthetic_live_ranges(count: usize, program_len: u32, seed: u64) -> Vec<LiveR
                 rng.gen_range(2..30)
             };
             let start = rng.gen_range(0..program_len.saturating_sub(len).max(1));
-            LiveRange { start, end: start + len }
+            LiveRange {
+                start,
+                end: start + len,
+            }
         })
         .collect()
 }
@@ -90,8 +93,11 @@ fn main() {
         // Spill the classes beyond the register file, smallest classes
         // first (fewest reloads).
         let classes = gc_core::color_classes(&report.colors);
-        let mut sizes: Vec<(usize, usize)> =
-            classes.iter().enumerate().map(|(c, class)| (class.len(), c)).collect();
+        let mut sizes: Vec<(usize, usize)> = classes
+            .iter()
+            .enumerate()
+            .map(|(c, class)| (class.len(), c))
+            .collect();
         sizes.sort_unstable();
         let spilled: usize = sizes
             .iter()
@@ -104,7 +110,10 @@ fn main() {
             graph.num_vertices(),
             PHYSICAL_REGISTERS
         );
-        assert!(spilled < graph.num_vertices() / 2, "spill rate implausibly high");
+        assert!(
+            spilled < graph.num_vertices() / 2,
+            "spill rate implausibly high"
+        );
     }
 
     // Compare against the sequential quality reference.

@@ -49,7 +49,10 @@ fn main() {
     {
         let mut by_color: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
         for v in g.vertices() {
-            by_color.entry(report.colors[v as usize]).or_default().push(v);
+            by_color
+                .entry(report.colors[v as usize])
+                .or_default()
+                .push(v);
         }
         classes.extend(by_color.into_values());
     }
@@ -71,7 +74,10 @@ fn main() {
     // concurrently (they are pairwise non-adjacent, so no update reads
     // another in-flight value).
     let parallel: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(init(v).to_bits())).collect();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
     for class in &classes {
         let chunk = class.len().div_ceil(threads).max(1);
         crossbeam::thread::scope(|s| {
@@ -108,6 +114,9 @@ fn main() {
         threads,
         max_diff
     );
-    assert_eq!(max_diff, 0.0, "colored schedule must be exactly sequentializable");
+    assert_eq!(
+        max_diff, 0.0,
+        "colored schedule must be exactly sequentializable"
+    );
     println!("OK: coloring produced a correct parallel schedule");
 }

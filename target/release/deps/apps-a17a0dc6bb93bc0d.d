@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/apps-a17a0dc6bb93bc0d.d: crates/bench/benches/apps.rs Cargo.toml
+
+/root/repo/target/release/deps/libapps-a17a0dc6bb93bc0d.rmeta: crates/bench/benches/apps.rs Cargo.toml
+
+crates/bench/benches/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apps_pipeline-17538ba1a457c610.d: tests/apps_pipeline.rs
+
+/root/repo/target/release/deps/apps_pipeline-17538ba1a457c610: tests/apps_pipeline.rs
+
+tests/apps_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/apps_pipeline-b45377420c66040f.d: tests/apps_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libapps_pipeline-b45377420c66040f.rmeta: tests/apps_pipeline.rs Cargo.toml
+
+tests/apps_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

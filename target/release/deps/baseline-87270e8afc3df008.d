@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baseline-87270e8afc3df008.d: crates/bench/benches/baseline.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaseline-87270e8afc3df008.rmeta: crates/bench/benches/baseline.rs Cargo.toml
+
+crates/bench/benches/baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

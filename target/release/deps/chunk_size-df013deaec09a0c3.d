@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chunk_size-df013deaec09a0c3.d: crates/bench/benches/chunk_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libchunk_size-df013deaec09a0c3.rmeta: crates/bench/benches/chunk_size.rs Cargo.toml
+
+crates/bench/benches/chunk_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cli-109b7da937dccf28.d: crates/bench/tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-109b7da937dccf28.rmeta: crates/bench/tests/cli.rs Cargo.toml
+
+crates/bench/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_gc-color=placeholder:gc-color
+# env-dep:CARGO_BIN_EXE_gc-profile=placeholder:gc-profile
+# env-dep:CARGO_BIN_EXE_repro=placeholder:repro
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cli-62c58dca0de1ce39.d: crates/bench/tests/cli.rs
+
+/root/repo/target/release/deps/cli-62c58dca0de1ce39: crates/bench/tests/cli.rs
+
+crates/bench/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_gc-color=/root/repo/target/release/gc-color
+# env-dep:CARGO_BIN_EXE_gc-profile=/root/repo/target/release/gc-profile
+# env-dep:CARGO_BIN_EXE_repro=/root/repo/target/release/repro

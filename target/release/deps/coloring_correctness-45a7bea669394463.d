@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coloring_correctness-45a7bea669394463.d: tests/coloring_correctness.rs
+
+/root/repo/target/release/deps/coloring_correctness-45a7bea669394463: tests/coloring_correctness.rs
+
+tests/coloring_correctness.rs:

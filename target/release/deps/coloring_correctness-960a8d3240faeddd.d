@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coloring_correctness-960a8d3240faeddd.d: tests/coloring_correctness.rs Cargo.toml
+
+/root/repo/target/release/deps/libcoloring_correctness-960a8d3240faeddd.rmeta: tests/coloring_correctness.rs Cargo.toml
+
+tests/coloring_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

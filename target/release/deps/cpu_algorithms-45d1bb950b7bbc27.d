@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cpu_algorithms-45d1bb950b7bbc27.d: crates/bench/benches/cpu_algorithms.rs Cargo.toml
+
+/root/repo/target/release/deps/libcpu_algorithms-45d1bb950b7bbc27.rmeta: crates/bench/benches/cpu_algorithms.rs Cargo.toml
+
+crates/bench/benches/cpu_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1cc78d817ff406a7.d: .stubcheck/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1cc78d817ff406a7.rlib: .stubcheck/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1cc78d817ff406a7.rmeta: .stubcheck/stubs/criterion/src/lib.rs
+
+.stubcheck/stubs/criterion/src/lib.rs:

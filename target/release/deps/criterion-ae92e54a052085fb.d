@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-ae92e54a052085fb.d: .stubcheck/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ae92e54a052085fb.rmeta: .stubcheck/stubs/criterion/src/lib.rs
+
+.stubcheck/stubs/criterion/src/lib.rs:

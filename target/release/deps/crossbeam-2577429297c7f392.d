@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-2577429297c7f392.d: .stubcheck/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-2577429297c7f392.rlib: .stubcheck/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-2577429297c7f392.rmeta: .stubcheck/stubs/crossbeam/src/lib.rs
+
+.stubcheck/stubs/crossbeam/src/lib.rs:

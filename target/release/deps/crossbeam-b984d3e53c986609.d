@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-b984d3e53c986609.d: .stubcheck/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b984d3e53c986609.rmeta: .stubcheck/stubs/crossbeam/src/lib.rs
+
+.stubcheck/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-9f8c5b53ea816840.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-9f8c5b53ea816840: tests/determinism.rs
+
+tests/determinism.rs:

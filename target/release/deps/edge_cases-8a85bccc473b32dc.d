@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edge_cases-8a85bccc473b32dc.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/release/deps/edge_cases-8a85bccc473b32dc: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/edge_cases-8aa58a1e576a8116.d: crates/core/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libedge_cases-8aa58a1e576a8116.rmeta: crates/core/tests/edge_cases.rs Cargo.toml
+
+crates/core/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/first_fit-35d99176304b2882.d: crates/bench/benches/first_fit.rs Cargo.toml
+
+/root/repo/target/release/deps/libfirst_fit-35d99176304b2882.rmeta: crates/bench/benches/first_fit.rs Cargo.toml
+
+crates/bench/benches/first_fit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

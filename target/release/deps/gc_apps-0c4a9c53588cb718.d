@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gc_apps-0c4a9c53588cb718.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs Cargo.toml
+
+/root/repo/target/release/deps/libgc_apps-0c4a9c53588cb718.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/gauss_seidel.rs:
+crates/apps/src/mis.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/sssp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

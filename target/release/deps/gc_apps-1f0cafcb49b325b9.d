@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gc_apps-1f0cafcb49b325b9.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+/root/repo/target/release/deps/libgc_apps-1f0cafcb49b325b9.rlib: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+/root/repo/target/release/deps/libgc_apps-1f0cafcb49b325b9.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/gauss_seidel.rs:
+crates/apps/src/mis.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/sssp.rs:

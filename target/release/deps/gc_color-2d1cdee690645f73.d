@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc_color-2d1cdee690645f73.d: crates/bench/src/bin/gc-color.rs
+
+/root/repo/target/release/deps/gc_color-2d1cdee690645f73: crates/bench/src/bin/gc-color.rs
+
+crates/bench/src/bin/gc-color.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc_color-3bf6fe6d85ba24e8.d: crates/bench/src/bin/gc-color.rs
+
+/root/repo/target/release/deps/gc_color-3bf6fe6d85ba24e8: crates/bench/src/bin/gc-color.rs
+
+crates/bench/src/bin/gc-color.rs:

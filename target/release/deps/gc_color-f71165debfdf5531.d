@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gc_color-f71165debfdf5531.d: crates/bench/src/bin/gc-color.rs Cargo.toml
+
+/root/repo/target/release/deps/libgc_color-f71165debfdf5531.rmeta: crates/bench/src/bin/gc-color.rs Cargo.toml
+
+crates/bench/src/bin/gc-color.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

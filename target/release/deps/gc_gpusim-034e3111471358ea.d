@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/gc_gpusim-034e3111471358ea.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs Cargo.toml
+
+/root/repo/target/release/deps/libgc_gpusim-034e3111471358ea.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/cache.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/lane.rs:
+crates/gpusim/src/metrics.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/scheduler.rs:
+crates/gpusim/src/trace.rs:
+crates/gpusim/src/wave.rs:
+crates/gpusim/src/workgroup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

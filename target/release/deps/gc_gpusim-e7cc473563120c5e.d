@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gc_gpusim-e7cc473563120c5e.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+/root/repo/target/release/deps/gc_gpusim-e7cc473563120c5e: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/cache.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/lane.rs:
+crates/gpusim/src/metrics.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/scheduler.rs:
+crates/gpusim/src/trace.rs:
+crates/gpusim/src/wave.rs:
+crates/gpusim/src/workgroup.rs:

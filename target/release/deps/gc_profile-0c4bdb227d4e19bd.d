@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gc_profile-0c4bdb227d4e19bd.d: crates/bench/src/bin/gc-profile.rs Cargo.toml
+
+/root/repo/target/release/deps/libgc_profile-0c4bdb227d4e19bd.rmeta: crates/bench/src/bin/gc-profile.rs Cargo.toml
+
+crates/bench/src/bin/gc-profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

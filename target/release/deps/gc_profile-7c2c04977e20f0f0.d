@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc_profile-7c2c04977e20f0f0.d: crates/bench/src/bin/gc-profile.rs
+
+/root/repo/target/release/deps/gc_profile-7c2c04977e20f0f0: crates/bench/src/bin/gc-profile.rs
+
+crates/bench/src/bin/gc-profile.rs:

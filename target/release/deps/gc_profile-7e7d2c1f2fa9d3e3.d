@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gc_profile-7e7d2c1f2fa9d3e3.d: crates/bench/src/bin/gc-profile.rs Cargo.toml
+
+/root/repo/target/release/deps/libgc_profile-7e7d2c1f2fa9d3e3.rmeta: crates/bench/src/bin/gc-profile.rs Cargo.toml
+
+crates/bench/src/bin/gc-profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc_profile-dbff6f0b6b8a81e6.d: crates/bench/src/bin/gc-profile.rs
+
+/root/repo/target/release/deps/gc_profile-dbff6f0b6b8a81e6: crates/bench/src/bin/gc-profile.rs
+
+crates/bench/src/bin/gc-profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc_suite-33132681a60ad270.d: src/lib.rs
+
+/root/repo/target/release/deps/gc_suite-33132681a60ad270: src/lib.rs
+
+src/lib.rs:

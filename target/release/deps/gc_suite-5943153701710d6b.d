@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gc_suite-5943153701710d6b.d: src/lib.rs
+
+/root/repo/target/release/deps/libgc_suite-5943153701710d6b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgc_suite-5943153701710d6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gc_suite-7cb6cc14d60000e9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgc_suite-7cb6cc14d60000e9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

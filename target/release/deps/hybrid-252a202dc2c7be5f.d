@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hybrid-252a202dc2c7be5f.d: crates/bench/benches/hybrid.rs Cargo.toml
+
+/root/repo/target/release/deps/libhybrid-252a202dc2c7be5f.rmeta: crates/bench/benches/hybrid.rs Cargo.toml
+
+crates/bench/benches/hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/io_roundtrip-927b03c2cd6d6dad.d: tests/io_roundtrip.rs Cargo.toml
+
+/root/repo/target/release/deps/libio_roundtrip-927b03c2cd6d6dad.rmeta: tests/io_roundtrip.rs Cargo.toml
+
+tests/io_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

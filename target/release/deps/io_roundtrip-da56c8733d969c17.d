@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_roundtrip-da56c8733d969c17.d: tests/io_roundtrip.rs
+
+/root/repo/target/release/deps/io_roundtrip-da56c8733d969c17: tests/io_roundtrip.rs
+
+tests/io_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/memory_patterns-e1cd5be368ab860c.d: crates/gpusim/tests/memory_patterns.rs
+
+/root/repo/target/release/deps/memory_patterns-e1cd5be368ab860c: crates/gpusim/tests/memory_patterns.rs
+
+crates/gpusim/tests/memory_patterns.rs:

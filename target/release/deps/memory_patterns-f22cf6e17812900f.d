@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/memory_patterns-f22cf6e17812900f.d: crates/gpusim/tests/memory_patterns.rs Cargo.toml
+
+/root/repo/target/release/deps/libmemory_patterns-f22cf6e17812900f.rmeta: crates/gpusim/tests/memory_patterns.rs Cargo.toml
+
+crates/gpusim/tests/memory_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-e07e3599683ddf22.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-e07e3599683ddf22: tests/paper_claims.rs
+
+tests/paper_claims.rs:

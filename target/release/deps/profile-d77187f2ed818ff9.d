@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/profile-d77187f2ed818ff9.d: crates/gpusim/tests/profile.rs Cargo.toml
+
+/root/repo/target/release/deps/libprofile-d77187f2ed818ff9.rmeta: crates/gpusim/tests/profile.rs Cargo.toml
+
+crates/gpusim/tests/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

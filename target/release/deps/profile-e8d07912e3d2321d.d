@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile-e8d07912e3d2321d.d: crates/gpusim/tests/profile.rs
+
+/root/repo/target/release/deps/profile-e8d07912e3d2321d: crates/gpusim/tests/profile.rs
+
+crates/gpusim/tests/profile.rs:

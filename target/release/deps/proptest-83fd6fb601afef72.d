@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-83fd6fb601afef72.d: .stubcheck/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-83fd6fb601afef72.rlib: .stubcheck/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-83fd6fb601afef72.rmeta: .stubcheck/stubs/proptest/src/lib.rs
+
+.stubcheck/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-ba5737779aab77f6.d: .stubcheck/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ba5737779aab77f6.rmeta: .stubcheck/stubs/proptest/src/lib.rs
+
+.stubcheck/stubs/proptest/src/lib.rs:

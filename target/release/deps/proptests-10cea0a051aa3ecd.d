@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-10cea0a051aa3ecd.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-10cea0a051aa3ecd: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-71004bc9afe16618.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-71004bc9afe16618.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

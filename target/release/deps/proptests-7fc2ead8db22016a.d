@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7fc2ead8db22016a.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7fc2ead8db22016a: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

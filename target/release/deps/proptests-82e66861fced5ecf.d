@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-82e66861fced5ecf.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-82e66861fced5ecf: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-9c0d8121922289d2.d: crates/gpusim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-9c0d8121922289d2.rmeta: crates/gpusim/tests/proptests.rs Cargo.toml
+
+crates/gpusim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

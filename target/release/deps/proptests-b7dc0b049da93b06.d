@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-b7dc0b049da93b06.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-b7dc0b049da93b06.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

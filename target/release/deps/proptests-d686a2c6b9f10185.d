@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-d686a2c6b9f10185.d: crates/apps/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-d686a2c6b9f10185.rmeta: crates/apps/tests/proptests.rs Cargo.toml
+
+crates/apps/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d968c73fd6c277ec.d: crates/gpusim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d968c73fd6c277ec: crates/gpusim/tests/proptests.rs
+
+crates/gpusim/tests/proptests.rs:

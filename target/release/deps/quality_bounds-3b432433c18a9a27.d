@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quality_bounds-3b432433c18a9a27.d: tests/quality_bounds.rs
+
+/root/repo/target/release/deps/quality_bounds-3b432433c18a9a27: tests/quality_bounds.rs
+
+tests/quality_bounds.rs:

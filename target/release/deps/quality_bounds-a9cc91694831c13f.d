@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quality_bounds-a9cc91694831c13f.d: tests/quality_bounds.rs Cargo.toml
+
+/root/repo/target/release/deps/libquality_bounds-a9cc91694831c13f.rmeta: tests/quality_bounds.rs Cargo.toml
+
+tests/quality_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

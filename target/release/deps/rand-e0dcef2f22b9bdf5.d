@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e0dcef2f22b9bdf5.d: .stubcheck/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e0dcef2f22b9bdf5.rlib: .stubcheck/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e0dcef2f22b9bdf5.rmeta: .stubcheck/stubs/rand/src/lib.rs
+
+.stubcheck/stubs/rand/src/lib.rs:

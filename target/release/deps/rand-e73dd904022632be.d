@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-e73dd904022632be.d: .stubcheck/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e73dd904022632be.rmeta: .stubcheck/stubs/rand/src/lib.rs
+
+.stubcheck/stubs/rand/src/lib.rs:

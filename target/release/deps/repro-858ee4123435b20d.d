@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-858ee4123435b20d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-858ee4123435b20d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-dec8fe085990181a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-dec8fe085990181a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a28cda5d70a615e0.d: .stubcheck/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a28cda5d70a615e0.rlib: .stubcheck/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a28cda5d70a615e0.rmeta: .stubcheck/stubs/serde/src/lib.rs
+
+.stubcheck/stubs/serde/src/lib.rs:

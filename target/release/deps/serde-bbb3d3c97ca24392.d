@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-bbb3d3c97ca24392.d: .stubcheck/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-bbb3d3c97ca24392.rmeta: .stubcheck/stubs/serde/src/lib.rs
+
+.stubcheck/stubs/serde/src/lib.rs:

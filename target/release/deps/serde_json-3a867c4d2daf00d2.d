@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-3a867c4d2daf00d2.d: .stubcheck/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3a867c4d2daf00d2.rmeta: .stubcheck/stubs/serde_json/src/lib.rs
+
+.stubcheck/stubs/serde_json/src/lib.rs:

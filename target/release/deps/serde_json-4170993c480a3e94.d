@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-4170993c480a3e94.d: .stubcheck/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4170993c480a3e94.rlib: .stubcheck/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4170993c480a3e94.rmeta: .stubcheck/stubs/serde_json/src/lib.rs
+
+.stubcheck/stubs/serde_json/src/lib.rs:

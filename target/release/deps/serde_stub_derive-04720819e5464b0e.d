@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_stub_derive-04720819e5464b0e.d: .stubcheck/stubs/serde_stub_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_stub_derive-04720819e5464b0e.so: .stubcheck/stubs/serde_stub_derive/src/lib.rs
+
+.stubcheck/stubs/serde_stub_derive/src/lib.rs:

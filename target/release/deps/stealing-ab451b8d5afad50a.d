@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stealing-ab451b8d5afad50a.d: crates/bench/benches/stealing.rs Cargo.toml
+
+/root/repo/target/release/deps/libstealing-ab451b8d5afad50a.rmeta: crates/bench/benches/stealing.rs Cargo.toml
+
+crates/bench/benches/stealing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

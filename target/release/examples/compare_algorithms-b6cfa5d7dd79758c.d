@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/compare_algorithms-b6cfa5d7dd79758c.d: examples/compare_algorithms.rs Cargo.toml
+
+/root/repo/target/release/examples/libcompare_algorithms-b6cfa5d7dd79758c.rmeta: examples/compare_algorithms.rs Cargo.toml
+
+examples/compare_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

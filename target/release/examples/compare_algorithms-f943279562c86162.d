@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_algorithms-f943279562c86162.d: examples/compare_algorithms.rs
+
+/root/repo/target/release/examples/compare_algorithms-f943279562c86162: examples/compare_algorithms.rs
+
+examples/compare_algorithms.rs:

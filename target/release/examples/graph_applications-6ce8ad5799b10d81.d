@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/graph_applications-6ce8ad5799b10d81.d: examples/graph_applications.rs Cargo.toml
+
+/root/repo/target/release/examples/libgraph_applications-6ce8ad5799b10d81.rmeta: examples/graph_applications.rs Cargo.toml
+
+examples/graph_applications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

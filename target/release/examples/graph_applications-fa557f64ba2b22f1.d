@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph_applications-fa557f64ba2b22f1.d: examples/graph_applications.rs
+
+/root/repo/target/release/examples/graph_applications-fa557f64ba2b22f1: examples/graph_applications.rs
+
+examples/graph_applications.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/imbalance_profile-0b02e46502e95c79.d: examples/imbalance_profile.rs
+
+/root/repo/target/release/examples/imbalance_profile-0b02e46502e95c79: examples/imbalance_profile.rs
+
+examples/imbalance_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/imbalance_profile-65abbdbc8dd8daba.d: examples/imbalance_profile.rs Cargo.toml
+
+/root/repo/target/release/examples/libimbalance_profile-65abbdbc8dd8daba.rmeta: examples/imbalance_profile.rs Cargo.toml
+
+examples/imbalance_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-86d2b70844ddc5a4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-86d2b70844ddc5a4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/register_allocation-46bbdccbfdd29c90.d: examples/register_allocation.rs Cargo.toml
+
+/root/repo/target/release/examples/libregister_allocation-46bbdccbfdd29c90.rmeta: examples/register_allocation.rs Cargo.toml
+
+examples/register_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

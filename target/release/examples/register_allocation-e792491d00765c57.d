@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/register_allocation-e792491d00765c57.d: examples/register_allocation.rs
+
+/root/repo/target/release/examples/register_allocation-e792491d00765c57: examples/register_allocation.rs
+
+examples/register_allocation.rs:

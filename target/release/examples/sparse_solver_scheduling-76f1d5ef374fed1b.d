@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sparse_solver_scheduling-76f1d5ef374fed1b.d: examples/sparse_solver_scheduling.rs Cargo.toml
+
+/root/repo/target/release/examples/libsparse_solver_scheduling-76f1d5ef374fed1b.rmeta: examples/sparse_solver_scheduling.rs Cargo.toml
+
+examples/sparse_solver_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_solver_scheduling-d53ca2ca0237e2cb.d: examples/sparse_solver_scheduling.rs
+
+/root/repo/target/release/examples/sparse_solver_scheduling-d53ca2ca0237e2cb: examples/sparse_solver_scheduling.rs
+
+examples/sparse_solver_scheduling.rs:

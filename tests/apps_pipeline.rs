@@ -18,11 +18,19 @@ fn color_then_solve_pipeline_on_hd7950() {
     assert!(classes.len() >= 2);
 
     // Solve a Laplacian system scheduled by (another) coloring.
-    let b: Vec<f32> = (0..g.num_vertices()).map(|v| ((v % 3) as f32) - 1.0).collect();
-    let gs = gauss_seidel::colored_gauss_seidel(&g, &b, 1e-6, 1_000, &device, &GpuOptions::optimized());
+    let b: Vec<f32> = (0..g.num_vertices())
+        .map(|v| ((v % 3) as f32) - 1.0)
+        .collect();
+    let gs =
+        gauss_seidel::colored_gauss_seidel(&g, &b, 1e-6, 1_000, &device, &GpuOptions::optimized());
     assert!(gauss_seidel::equation_residual(&g, &b, &gs.field) < 1e-3);
     let j = gauss_seidel::jacobi(&g, &b, 1e-6, 1_000, &device);
-    assert!(gs.sweeps < j.sweeps, "GS {} vs Jacobi {}", gs.sweeps, j.sweeps);
+    assert!(
+        gs.sweeps < j.sweeps,
+        "GS {} vs Jacobi {}",
+        gs.sweeps,
+        j.sweeps
+    );
 }
 
 #[test]

@@ -14,18 +14,33 @@ fn all_datasets_roundtrip_all_formats_in_memory() {
 
         let mut mtx = Vec::new();
         write_matrix_market(&g, &mut mtx).unwrap();
-        assert_eq!(read_matrix_market(mtx.as_slice()).unwrap(), g, "{} mtx", spec.name);
+        assert_eq!(
+            read_matrix_market(mtx.as_slice()).unwrap(),
+            g,
+            "{} mtx",
+            spec.name
+        );
 
         let mut el = Vec::new();
         write_edge_list(&g, &mut el).unwrap();
         let el_graph = read_edge_list(el.as_slice()).unwrap();
         // Edge lists drop trailing isolated vertices (ids are implicit);
         // graphs whose last vertex has an edge roundtrip exactly.
-        assert_eq!(el_graph.num_edges(), g.num_edges(), "{} edgelist", spec.name);
+        assert_eq!(
+            el_graph.num_edges(),
+            g.num_edges(),
+            "{} edgelist",
+            spec.name
+        );
 
         let mut col = Vec::new();
         write_dimacs_col(&g, &mut col).unwrap();
-        assert_eq!(read_dimacs_col(col.as_slice()).unwrap(), g, "{} dimacs", spec.name);
+        assert_eq!(
+            read_dimacs_col(col.as_slice()).unwrap(),
+            g,
+            "{} dimacs",
+            spec.name
+        );
     }
 }
 

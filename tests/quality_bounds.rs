@@ -74,7 +74,9 @@ fn maxdeg_plus_one_bound_holds_for_first_fit_style_algorithms() {
 
 #[test]
 fn gpu_first_fit_quality_is_close_to_sequential() {
-    let g = gc_graph::by_name("coauthor-rmat").unwrap().build(gc_graph::Scale::Tiny);
+    let g = gc_graph::by_name("coauthor-rmat")
+        .unwrap()
+        .build(gc_graph::Scale::Tiny);
     let seq_k = seq::greedy_first_fit(&g, VertexOrdering::Natural).num_colors;
     let gpu_k = gpu::first_fit::color(&g, &GpuOptions::baseline()).num_colors;
     assert!(
