@@ -1,0 +1,252 @@
+//! Recorded benchmark baseline and the diff logic behind `gc-bench-diff`.
+//!
+//! `gc-bench-diff --update` runs a fixed grid of headline configurations and
+//! writes the result (`BENCH_small.json` at the repo root is the committed
+//! copy); plain `gc-bench-diff` re-runs the same grid and lists every
+//! regression against the recorded numbers. The simulator is deterministic,
+//! so an unmodified checkout diffs clean at zero tolerance; the tolerance
+//! exists so intentional model changes below the bar don't page anyone.
+
+use serde::{Deserialize, Serialize};
+
+use gc_graph::{suite, Scale};
+
+use crate::runner::{Config, Family, Runner};
+
+/// Relative cycle tolerance used when the caller does not override it.
+pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+/// One recorded run: a dataset under one family/config combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    pub dataset: String,
+    pub family: String,
+    pub config: String,
+    pub cycles: u64,
+    pub num_colors: usize,
+    pub iterations: usize,
+    pub mem_transactions: u64,
+}
+
+/// The whole recorded baseline file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Scale the numbers were recorded at ("tiny" | "small" | "full").
+    pub scale: String,
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// One comparison row produced by [`compare_baseline`].
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// "dataset / family / config".
+    pub key: String,
+    pub baseline_cycles: u64,
+    pub fresh_cycles: u64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+    /// True when this row regressed (cycles above tolerance, or colors /
+    /// iterations changed at all).
+    pub regression: bool,
+    /// Human explanation when `regression` (or a notable improvement).
+    pub note: String,
+}
+
+/// The headline grid: every suite dataset under the paper's baseline and
+/// fully-optimized max/min runs plus the speculative first-fit baseline.
+fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
+    vec![
+        (Family::MaxMin, Config::Baseline, "maxmin", "baseline"),
+        (
+            Family::MaxMin,
+            Config::optimized_default(),
+            "maxmin",
+            "optimized",
+        ),
+        (Family::FirstFit, Config::Baseline, "firstfit", "baseline"),
+    ]
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Parse the `scale` field of a baseline file.
+pub fn parse_scale(name: &str) -> Result<Scale, String> {
+    match name {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!(
+            "unknown scale '{other}' in baseline (tiny | small | full)"
+        )),
+    }
+}
+
+/// Run the headline grid at `scale` and record every result.
+pub fn record_baseline(scale: Scale) -> BenchBaseline {
+    let mut runner = Runner::new(scale);
+    let mut entries = Vec::new();
+    for spec in suite() {
+        for (family, config, fam_label, cfg_label) in combos() {
+            let r = runner.run(&spec, family, config);
+            entries.push(BaselineEntry {
+                dataset: spec.name.to_string(),
+                family: fam_label.to_string(),
+                config: cfg_label.to_string(),
+                cycles: r.cycles,
+                num_colors: r.num_colors,
+                iterations: r.iterations,
+                mem_transactions: r.mem_transactions,
+            });
+        }
+    }
+    BenchBaseline {
+        scale: scale_name(scale).to_string(),
+        entries,
+    }
+}
+
+/// Re-run the recorded grid and compare. Returns one line per entry;
+/// regressions are flagged, improvements and in-tolerance drift are not.
+pub fn compare_baseline(base: &BenchBaseline, tolerance: f64) -> Result<Vec<DiffLine>, String> {
+    let scale = parse_scale(&base.scale)?;
+    let fresh = record_baseline(scale);
+    let mut lines = Vec::new();
+    for (old, new) in base.entries.iter().zip(&fresh.entries) {
+        let key = format!("{} / {} / {}", old.dataset, old.family, old.config);
+        if (
+            old.dataset.as_str(),
+            old.family.as_str(),
+            old.config.as_str(),
+        ) != (
+            new.dataset.as_str(),
+            new.family.as_str(),
+            new.config.as_str(),
+        ) {
+            return Err(format!(
+                "baseline grid mismatch at '{key}': recorded against a different tool version; \
+                 regenerate with --update"
+            ));
+        }
+        let ratio = if old.cycles == 0 {
+            1.0
+        } else {
+            new.cycles as f64 / old.cycles as f64
+        };
+        let mut notes = Vec::new();
+        if new.num_colors != old.num_colors {
+            notes.push(format!("colors {} -> {}", old.num_colors, new.num_colors));
+        }
+        if new.iterations != old.iterations {
+            notes.push(format!(
+                "iterations {} -> {}",
+                old.iterations, new.iterations
+            ));
+        }
+        if ratio > 1.0 + tolerance {
+            notes.push(format!(
+                "cycles +{:.1}% (tolerance {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+        let regression = !notes.is_empty();
+        if !regression && ratio < 1.0 - tolerance {
+            notes.push(format!("improved {:.1}%", (1.0 - ratio) * 100.0));
+        }
+        lines.push(DiffLine {
+            key,
+            baseline_cycles: old.cycles,
+            fresh_cycles: new.cycles,
+            ratio,
+            regression,
+            note: notes.join(", "),
+        });
+    }
+    if base.entries.len() != fresh.entries.len() {
+        return Err(format!(
+            "baseline has {} entries but the current grid has {}; regenerate with --update",
+            base.entries.len(),
+            fresh.entries.len()
+        ));
+    }
+    Ok(lines)
+}
+
+/// Save a baseline as pretty JSON.
+pub fn save_baseline(base: &BenchBaseline, path: &str) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(base).map_err(|e| format!("serialize baseline: {e}"))?;
+    std::fs::write(path, json.as_bytes()).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Load a baseline. A missing file reports "read PATH", malformed JSON
+/// reports "parse PATH" — plain errors, never a panic.
+pub fn load_baseline(path: &str) -> Result<BenchBaseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmodified_checkout_diffs_clean_at_zero_tolerance() {
+        let base = record_baseline(Scale::Tiny);
+        let lines = compare_baseline(&base, 0.0).unwrap();
+        assert_eq!(lines.len(), base.entries.len());
+        let regressions: Vec<_> = lines.iter().filter(|l| l.regression).collect();
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn inflated_baseline_entry_reports_a_regression() {
+        let mut base = record_baseline(Scale::Tiny);
+        // Pretend the recorded run was 2x faster than reality.
+        base.entries[0].cycles /= 2;
+        base.entries[1].num_colors += 1;
+        let lines = compare_baseline(&base, DEFAULT_TOLERANCE).unwrap();
+        assert!(lines[0].regression, "{:?}", lines[0]);
+        assert!(lines[0].note.contains("cycles +"), "{}", lines[0].note);
+        assert!(lines[1].regression);
+        assert!(lines[1].note.contains("colors"), "{}", lines[1].note);
+        assert!(!lines[2].regression);
+    }
+
+    #[test]
+    fn baseline_roundtrips_and_load_errors_are_clean() {
+        let dir = std::env::temp_dir().join("gc-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.json");
+        let path = path.to_str().unwrap();
+        let base = BenchBaseline {
+            scale: "tiny".into(),
+            entries: vec![BaselineEntry {
+                dataset: "road-net".into(),
+                family: "maxmin".into(),
+                config: "baseline".into(),
+                cycles: 123,
+                num_colors: 4,
+                iterations: 5,
+                mem_transactions: 6,
+            }],
+        };
+        save_baseline(&base, path).unwrap();
+        let back = load_baseline(path).unwrap();
+        assert_eq!(back.scale, "tiny");
+        assert_eq!(back.entries[0].cycles, 123);
+        let err = load_baseline("/nonexistent/b.json").unwrap_err();
+        assert!(err.starts_with("read "), "{err}");
+        std::fs::write(path, b"not json").unwrap();
+        let err = load_baseline(path).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+        let err = parse_scale("huge").unwrap_err();
+        assert!(err.contains("unknown scale"), "{err}");
+    }
+}

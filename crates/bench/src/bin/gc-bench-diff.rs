@@ -1,0 +1,136 @@
+//! `gc-bench-diff` — compare a fresh benchmark run against the recorded
+//! baseline (`BENCH_small.json` by default) and list regressions.
+//!
+//! The simulator is deterministic, so on an unmodified checkout every
+//! configuration reproduces its recorded cycle count exactly and the diff
+//! is clean. After a model change, rows whose cycles grew beyond the
+//! relative tolerance — or whose colors / iteration counts changed at all —
+//! are listed as regressions and the exit status is nonzero.
+//!
+//! ```text
+//! gc-bench-diff                         # compare against BENCH_small.json
+//! gc-bench-diff --tolerance 0.10        # allow 10% cycle drift
+//! gc-bench-diff --update --scale small  # re-record the baseline
+//! ```
+
+use gc_bench::baseline::{
+    compare_baseline, load_baseline, parse_scale, record_baseline, save_baseline, DEFAULT_TOLERANCE,
+};
+
+const USAGE: &str = "gc-bench-diff — diff a fresh benchmark run against a recorded baseline
+
+options:
+  --baseline PATH   baseline file (default BENCH_small.json)
+  --update          re-run the grid and overwrite the baseline file
+  --scale S         tiny | small | full for --update (default small)
+  --tolerance F     relative cycle tolerance, e.g. 0.05 (default 0.05)
+  --help            this text";
+
+struct Args {
+    baseline: String,
+    update: bool,
+    scale: String,
+    tolerance: f64,
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        baseline: "BENCH_small.json".into(),
+        update: false,
+        scale: "small".into(),
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match arg.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--update" => args.update = true,
+            "--scale" => args.scale = value("--scale")?,
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&args.tolerance) {
+                    return Err("--tolerance must be in [0, 1)".into());
+                }
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.update {
+        let scale = parse_scale(&args.scale).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("recording baseline at scale {} …", args.scale);
+        let base = record_baseline(scale);
+        save_baseline(&base, &args.baseline).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {} ({} entries)", args.baseline, base.entries.len());
+        return;
+    }
+
+    let base = load_baseline(&args.baseline).unwrap_or_else(|e| {
+        eprintln!("error: {e} (record one with `gc-bench-diff --update`)");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "comparing against {} ({} entries, scale {}, tolerance {:.0}%) …",
+        args.baseline,
+        base.entries.len(),
+        base.scale,
+        args.tolerance * 100.0
+    );
+    let lines = compare_baseline(&base, args.tolerance).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let mut regressions = 0;
+    for l in &lines {
+        let status = if l.regression {
+            regressions += 1;
+            "REGRESSED"
+        } else if l.note.is_empty() {
+            "ok"
+        } else {
+            "ok*"
+        };
+        println!(
+            "{status:9} {:44} {:>12} -> {:>12} cycles ({:+.2}%){}{}",
+            l.key,
+            l.baseline_cycles,
+            l.fresh_cycles,
+            (l.ratio - 1.0) * 100.0,
+            if l.note.is_empty() { "" } else { "  " },
+            l.note,
+        );
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} regression(s) against {}", args.baseline);
+        std::process::exit(1);
+    }
+    println!("no regressions against {}", args.baseline);
+}

@@ -1,11 +1,15 @@
 //! `gc-profile` — run a GPU coloring algorithm under the profiler and print
 //! a performance report: kernel time breakdown, per-kernel CU load balance,
-//! divergence hotspots, the steal-queue drain curve, and the per-iteration
-//! timeline. Optionally writes the underlying event trace for Perfetto.
+//! divergence hotspots, per-buffer memory traffic with coalescing
+//! efficiency, hot cache lines by atomic traffic, lane-occupancy and
+//! workgroup-duration histograms, the steal-queue drain curve, and the
+//! per-iteration timeline. Optionally writes the underlying event trace for
+//! Perfetto, or saves/replays the whole capture as JSON.
 //!
 //! ```text
 //! gc-profile --dataset road-net --algorithm maxmin --optimized
-//! gc-profile --dataset citation-rmat --optimized --profile trace.json
+//! gc-profile --dataset citation-rmat --optimized --save-capture run.json
+//! gc-profile --from-capture run.json
 //! ```
 
 use std::cell::RefCell;
@@ -13,7 +17,7 @@ use std::io::{BufWriter, Write};
 use std::rc::Rc;
 
 use gc_bench::cli::{self, Parsed, ProfileFormat};
-use gc_bench::render_profile_report;
+use gc_bench::{render_profile_report, ProfileCapture};
 use gc_core::verify_coloring;
 use gc_gpusim::{CaptureSink, ChromeTraceSink, Gpu, JsonlSink};
 
@@ -22,6 +26,7 @@ const USAGE: &str = "gc-profile — profile a coloring run on the simulated GPU
 input (one of):
   --input PATH         graph file (.mtx / .col / edge list; see --format)
   --dataset NAME       registry dataset (see `repro --exp t1`)
+  --from-capture PATH  render a saved capture instead of running
 
 options:
   --format FMT         mtx | dimacs | edges | gcsr (default: from extension)
@@ -32,6 +37,7 @@ options:
   --seed N             priority permutation seed (default 3088)
   --profile PATH       also write the event trace (for Perfetto)
   --profile-format F   chrome | jsonl trace format (default chrome)
+  --save-capture PATH  save the report + events as JSON for --from-capture
   --json [PATH]        dump the run report as JSON (stdout if no PATH)
   --help               this text";
 
@@ -47,6 +53,18 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = &args.from_capture {
+        let cap = ProfileCapture::load(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let (report, sink) = cap.into_parts();
+        eprintln!("replaying capture {path}: {}", report.summary());
+        print!("{}", render_profile_report(&report, &sink));
+        return;
+    }
+
     if !cli::is_gpu_algorithm(&args.algorithm) {
         eprintln!(
             "error: '{}' runs on the host; gc-profile profiles the simulated \
@@ -104,6 +122,15 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("wrote trace {path}");
+    }
+
+    if let Some(path) = &args.save_capture {
+        let cap = ProfileCapture::new(report.clone(), &capture.borrow());
+        cap.save(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote capture {path}");
     }
 
     print!("{}", render_profile_report(&report, &capture.borrow()));

@@ -1,0 +1,96 @@
+//! On-disk capture format for `gc-profile`: the run report plus every
+//! captured device event, so a report can be re-rendered (or diffed) later
+//! without re-running the simulation.
+
+use gc_core::RunReport;
+use gc_gpusim::profile::{CapturedIteration, CapturedKernel, CapturedStealPop, CapturedWorkgroup};
+use gc_gpusim::CaptureSink;
+use serde::{Deserialize, Serialize};
+
+/// Everything `gc-profile --save-capture` writes and `--from-capture` reads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileCapture {
+    /// The completed run's report.
+    pub report: RunReport,
+    /// Kernel retire events.
+    pub kernels: Vec<CapturedKernel>,
+    /// Workgroup retire events.
+    pub workgroups: Vec<CapturedWorkgroup>,
+    /// Steal-pop events.
+    pub steal_pops: Vec<CapturedStealPop>,
+    /// Completed iteration spans.
+    pub iterations: Vec<CapturedIteration>,
+}
+
+impl ProfileCapture {
+    /// Package a finished run for saving.
+    pub fn new(report: RunReport, sink: &CaptureSink) -> Self {
+        Self {
+            report,
+            kernels: sink.kernels.clone(),
+            workgroups: sink.workgroups.clone(),
+            steal_pops: sink.steal_pops.clone(),
+            iterations: sink.iterations.clone(),
+        }
+    }
+
+    /// Split back into the pieces `render_profile_report` consumes.
+    pub fn into_parts(self) -> (RunReport, CaptureSink) {
+        let mut sink = CaptureSink::new();
+        sink.kernels = self.kernels;
+        sink.workgroups = self.workgroups;
+        sink.steal_pops = self.steal_pops;
+        sink.iterations = self.iterations;
+        (self.report, sink)
+    }
+
+    /// Write the capture as JSON. Errors name the path and the cause.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| format!("serialize capture: {e}"))?;
+        std::fs::write(path, json.as_bytes()).map_err(|e| format!("write {path}: {e}"))
+    }
+
+    /// Read a capture back. A missing file reports "read PATH", malformed
+    /// JSON reports "parse PATH" — both as plain errors, never a panic.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let report = RunReport::host("unit", vec![0, 1, 0], 2);
+        let mut sink = CaptureSink::new();
+        sink.iterations.push(CapturedIteration {
+            iteration: 0,
+            active: 3,
+            completed: 3,
+            start_cycle: 10,
+            end_cycle: 90,
+        });
+        let cap = ProfileCapture::new(report, &sink);
+        let json = serde_json::to_string(&cap).unwrap();
+        let back: ProfileCapture = serde_json::from_str(&json).unwrap();
+        let (report, sink) = back.into_parts();
+        assert_eq!(report.algorithm, "unit");
+        assert_eq!(sink.iterations.len(), 1);
+        assert_eq!(sink.iterations[0].end_cycle, 90);
+    }
+
+    #[test]
+    fn load_reports_missing_and_corrupt_files() {
+        let err = ProfileCapture::load("/nonexistent/cap.json").unwrap_err();
+        assert!(err.starts_with("read /nonexistent/cap.json"), "{err}");
+        let dir = std::env::temp_dir().join("gc-capture-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = ProfileCapture::load(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+    }
+}

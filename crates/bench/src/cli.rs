@@ -38,6 +38,8 @@ pub struct ColorArgs {
     pub scale: Scale,
     pub algorithm: String,
     pub optimized: bool,
+    /// `--frontier`: worklist compaction (only touch uncolored vertices).
+    pub frontier: bool,
     pub device: String,
     pub seed: u64,
     pub out: Option<String>,
@@ -48,6 +50,12 @@ pub struct ColorArgs {
     pub profile: Option<String>,
     /// `--profile-format chrome|jsonl` (default chrome).
     pub profile_format: ProfileFormat,
+    /// `--save-capture PATH`: write the report + captured events as JSON
+    /// so the profile can be re-rendered without re-running.
+    pub save_capture: Option<String>,
+    /// `--from-capture PATH`: render a previously saved capture instead of
+    /// running (no graph input needed).
+    pub from_capture: Option<String>,
 }
 
 impl Default for ColorArgs {
@@ -59,6 +67,7 @@ impl Default for ColorArgs {
             scale: Scale::Small,
             algorithm: "maxmin".into(),
             optimized: false,
+            frontier: false,
             device: "hd7950".into(),
             seed: 0xC10,
             out: None,
@@ -66,6 +75,8 @@ impl Default for ColorArgs {
             json: None,
             profile: None,
             profile_format: ProfileFormat::Chrome,
+            save_capture: None,
+            from_capture: None,
         }
     }
 }
@@ -111,6 +122,7 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 args.algorithm = a;
             }
             "--optimized" => args.optimized = true,
+            "--frontier" => args.frontier = true,
             "--device" => {
                 let d = value("--device")?;
                 if !DEVICES.contains(&d.as_str()) {
@@ -136,6 +148,8 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 };
             }
             "--profile" => args.profile = Some(value("--profile")?),
+            "--save-capture" => args.save_capture = Some(value("--save-capture")?),
+            "--from-capture" => args.from_capture = Some(value("--from-capture")?),
             "--profile-format" => {
                 args.profile_format = match value("--profile-format")?.as_str() {
                     "chrome" => ProfileFormat::Chrome,
@@ -149,7 +163,12 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
-    if args.input.is_none() == args.dataset.is_none() {
+    if args.from_capture.is_some() {
+        // Rendering a saved capture replaces the run: no graph input.
+        if args.input.is_some() || args.dataset.is_some() {
+            return Err("--from-capture replays a saved run; drop --input/--dataset".into());
+        }
+    } else if args.input.is_none() == args.dataset.is_none() {
         return Err("exactly one of --input or --dataset is required".into());
     }
     Ok(Parsed::Run(Box::new(args)))
@@ -211,7 +230,9 @@ pub fn gpu_options(args: &ColorArgs) -> Result<GpuOptions, String> {
     } else {
         GpuOptions::baseline()
     };
+    let frontier = args.frontier || base.frontier;
     Ok(base
+        .with_frontier(frontier)
         .with_device(pick_device(&args.device)?)
         .with_seed(args.seed))
 }
@@ -341,6 +362,19 @@ mod tests {
     fn requires_exactly_one_input_source() {
         assert!(parse(&[]).is_err());
         assert!(parse(&["--dataset", "a", "--input", "b"]).is_err());
+    }
+
+    #[test]
+    fn capture_flags_parse() {
+        let a = parsed(&["--dataset", "road-net", "--save-capture", "cap.json"]);
+        assert_eq!(a.save_capture.as_deref(), Some("cap.json"));
+        // --from-capture stands in for the graph input…
+        let a = parsed(&["--from-capture", "cap.json"]);
+        assert_eq!(a.from_capture.as_deref(), Some("cap.json"));
+        assert!(a.input.is_none() && a.dataset.is_none());
+        // …and rejects one being given anyway.
+        let err = parse(&["--from-capture", "cap.json", "--dataset", "road-net"]).unwrap_err();
+        assert!(err.contains("--from-capture"), "{err}");
     }
 
     #[test]

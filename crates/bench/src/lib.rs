@@ -11,12 +11,16 @@
 //!   (host time of the simulation, not the paper's metric; the paper metric
 //!   is model cycles, which `repro` reports).
 
+pub mod baseline;
+pub mod capture;
 pub mod cli;
 pub mod experiments;
 pub mod profile_report;
 pub mod runner;
 pub mod table;
 
+pub use baseline::{compare_baseline, record_baseline, BenchBaseline};
+pub use capture::ProfileCapture;
 pub use cli::{parse_color_args, ColorArgs, JsonTarget, Parsed, ProfileFormat};
 pub use experiments::{all, by_id, Experiment};
 pub use profile_report::render_profile_report;

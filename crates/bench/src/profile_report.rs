@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use gc_core::RunReport;
-use gc_gpusim::CaptureSink;
+use gc_gpusim::{BufferMemStats, CaptureSink, Histogram};
 
 use crate::table::ExpTable;
 
@@ -23,6 +23,7 @@ struct KernelTotals {
     active_lane_ops: u64,
     possible_lane_ops: u64,
     busy_per_cu: Vec<u64>,
+    per_buffer: BTreeMap<String, BufferMemStats>,
 }
 
 fn fold_kernels(capture: &CaptureSink) -> BTreeMap<String, KernelTotals> {
@@ -40,6 +41,9 @@ fn fold_kernels(capture: &CaptureSink) -> BTreeMap<String, KernelTotals> {
         }
         for (acc, &b) in t.busy_per_cu.iter_mut().zip(&k.stats.busy_per_cu) {
             *acc += b;
+        }
+        for (buf, s) in &k.stats.per_buffer {
+            t.per_buffer.entry(buf.clone()).or_default().add(s);
         }
     }
     by_name
@@ -176,6 +180,108 @@ fn steal_drain_table(capture: &CaptureSink, total_cycles: u64) -> Option<ExpTabl
     Some(t)
 }
 
+/// Per-kernel × per-buffer memory traffic, ranked by transactions. The
+/// `tx/instr` column is the coalescing efficiency: 1.0 is a perfectly
+/// coalesced access stream, `wavefront_size` is fully scattered.
+fn memory_table(by_name: &BTreeMap<String, KernelTotals>) -> Option<ExpTable> {
+    let mut rows: Vec<(&String, &String, &BufferMemStats)> = by_name
+        .iter()
+        .flat_map(|(name, k)| k.per_buffer.iter().map(move |(buf, s)| (name, buf, s)))
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    rows.sort_by(|a, b| {
+        b.2.transactions
+            .cmp(&a.2.transactions)
+            .then(a.0.cmp(b.0))
+            .then(a.1.cmp(b.1))
+    });
+    let mut t = ExpTable::new(
+        "memory-by-buffer",
+        "per-buffer memory traffic",
+        &[
+            "kernel",
+            "buffer",
+            "instrs",
+            "transactions",
+            "tx/instr",
+            "bytes",
+            "atomic ops",
+        ],
+    );
+    for (name, buf, s) in rows {
+        t.row(vec![
+            name.clone(),
+            buf.clone(),
+            s.instructions().to_string(),
+            s.transactions.to_string(),
+            format!("{:.2}", s.tx_per_instruction()),
+            s.bytes_moved.to_string(),
+            s.atomic_lane_ops.to_string(),
+        ]);
+    }
+    t.note("tx/instr = coalesced transactions per vector instruction; 1.00 is perfectly coalesced");
+    Some(t)
+}
+
+/// Hottest cache lines by atomic traffic across the run.
+fn hot_lines_table(report: &RunReport) -> Option<ExpTable> {
+    if report.hot_lines.is_empty() {
+        return None;
+    }
+    let total: u64 = report.hot_lines.iter().map(|h| h.atomic_lane_ops).sum();
+    let mut t = ExpTable::new(
+        "hot-lines",
+        "hot cache lines by atomic traffic",
+        &[
+            "line address",
+            "buffer",
+            "atomic lane-ops",
+            "% of top lines",
+        ],
+    );
+    for h in &report.hot_lines {
+        t.row(vec![
+            format!("{:#x}", h.line_addr),
+            h.buffer.clone(),
+            h.atomic_lane_ops.to_string(),
+            format!("{:.1}%", pct(h.atomic_lane_ops, total)),
+        ]);
+    }
+    t.note("top lines merged across launches; contention concentrates where atomics collide");
+    Some(t)
+}
+
+/// Render one log2 histogram as a table of nonzero buckets plus a
+/// percentile summary note.
+fn histogram_table(id: &str, title: &str, unit: &str, h: &Histogram) -> Option<ExpTable> {
+    if h.is_empty() {
+        return None;
+    }
+    let mut t = ExpTable::new(id, title, &[unit, "count", "% of total"]);
+    for (lo, hi, count) in h.nonzero_buckets() {
+        let range = if lo == hi {
+            lo.to_string()
+        } else {
+            format!("{lo}..{hi}")
+        };
+        t.row(vec![
+            range,
+            count.to_string(),
+            format!("{:.1}%", pct(count, h.count())),
+        ]);
+    }
+    t.note(format!(
+        "p50 {} / p95 {} / p99 {} / max {} (log2 buckets)",
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max()
+    ));
+    Some(t)
+}
+
 /// Per-iteration timeline from the run report.
 fn iteration_table(report: &RunReport) -> Option<ExpTable> {
     if report.iteration_timeline.is_empty() {
@@ -232,6 +338,41 @@ pub fn render_profile_report(report: &RunReport, capture: &CaptureSink) -> Strin
     out.push_str(&load_balance_table(&by_name).render());
     out.push('\n');
     out.push_str(&divergence_table(&by_name).render());
+    if let Some(t) = memory_table(&by_name) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    if let Some(t) = hot_lines_table(report) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    if let Some(t) = histogram_table(
+        "lane-occupancy",
+        "lane occupancy per SIMT step",
+        "active lanes",
+        &report.lane_occupancy,
+    ) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    if let Some(t) = histogram_table(
+        "wg-duration",
+        "workgroup duration distribution",
+        "service cycles",
+        &report.wg_duration,
+    ) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    if let Some(t) = histogram_table(
+        "steal-depth",
+        "steal-queue depth at pop",
+        "queued chunks",
+        &report.steal_depth,
+    ) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
     if let Some(t) = steal_drain_table(capture, report.cycles) {
         out.push('\n');
         out.push_str(&t.render());
@@ -274,6 +415,39 @@ mod tests {
         assert!(s.contains("steal-queue drain curve"), "{s}");
         assert!(s.contains("per-iteration timeline"), "{s}");
         assert!(s.contains(&report.algorithm), "{s}");
+        assert!(s.contains("per-buffer memory traffic"), "{s}");
+        assert!(s.contains("hot cache lines by atomic traffic"), "{s}");
+        assert!(s.contains("lane occupancy per SIMT step"), "{s}");
+        assert!(s.contains("workgroup duration distribution"), "{s}");
+        assert!(s.contains("steal-queue depth at pop"), "{s}");
+    }
+
+    #[test]
+    fn memory_table_names_the_csr_buffers() {
+        let (report, capture) = profiled_run();
+        let s = render_profile_report(&report, &capture);
+        for buf in ["row_ptr", "col_idx", "colors"] {
+            assert!(s.contains(buf), "missing buffer {buf} in:\n{s}");
+        }
+        // The adjacency gathers are data-dependent while row_ptr reads
+        // stream: col_idx must coalesce worse on an rmat graph.
+        let by_name = fold_kernels(&capture);
+        let mut col_idx = BufferMemStats::default();
+        let mut row_ptr = BufferMemStats::default();
+        for k in by_name.values() {
+            if let Some(s) = k.per_buffer.get("col_idx") {
+                col_idx.add(s);
+            }
+            if let Some(s) = k.per_buffer.get("row_ptr") {
+                row_ptr.add(s);
+            }
+        }
+        assert!(
+            col_idx.tx_per_instruction() > row_ptr.tx_per_instruction(),
+            "col_idx {} vs row_ptr {}",
+            col_idx.tx_per_instruction(),
+            row_ptr.tx_per_instruction()
+        );
     }
 
     #[test]

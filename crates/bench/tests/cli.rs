@@ -14,6 +14,10 @@ fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
 }
 
+fn gc_bench_diff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gc-bench-diff"))
+}
+
 #[test]
 fn colors_a_registry_dataset_and_writes_output() {
     let dir = std::env::temp_dir().join(format!("gc-cli-{}", std::process::id()));
@@ -342,6 +346,154 @@ fn gc_profile_rejects_host_algorithms() {
     assert!(!output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("simulated"), "{stderr}");
+}
+
+#[test]
+fn gc_profile_saves_and_replays_a_capture() {
+    let dir = std::env::temp_dir().join(format!("gc-capture-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cap_path = dir.join("run.json");
+    let run = gc_profile()
+        .args([
+            "--dataset",
+            "citation-rmat",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "maxmin",
+            "--optimized",
+            "--save-capture",
+            cap_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-profile");
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let live = String::from_utf8_lossy(&run.stdout);
+    // The new memory sections render from the live run…
+    assert!(live.contains("per-buffer memory traffic"), "{live}");
+    assert!(live.contains("hot cache lines by atomic traffic"), "{live}");
+    assert!(live.contains("lane occupancy per SIMT step"), "{live}");
+    assert!(live.contains("workgroup duration distribution"), "{live}");
+    assert!(live.contains("col_idx"), "{live}");
+
+    // …and identically from the saved capture, with no graph input.
+    let replay = gc_profile()
+        .args(["--from-capture", cap_path.to_str().unwrap()])
+        .output()
+        .expect("replay gc-profile");
+    assert!(
+        replay.status.success(),
+        "{}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    assert_eq!(live, String::from_utf8_lossy(&replay.stdout));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_profile_fails_cleanly_on_missing_or_corrupt_capture() {
+    let missing = gc_profile()
+        .args(["--from-capture", "/nonexistent/run.json"])
+        .output()
+        .expect("run gc-profile");
+    assert!(!missing.status.success());
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(
+        stderr.contains("error: read /nonexistent/run.json"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let dir = std::env::temp_dir().join(format!("gc-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, b"{definitely not a capture").unwrap();
+    let corrupt = gc_profile()
+        .args(["--from-capture", path.to_str().unwrap()])
+        .output()
+        .expect("run gc-profile");
+    assert!(!corrupt.status.success());
+    let stderr = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(stderr.contains("error: parse"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_color_json_report_carries_per_buffer_attribution() {
+    let output = gc_color()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "maxmin",
+            "--json",
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report: gc_core::RunReport = serde_json::from_slice(&output.stdout).unwrap();
+    assert!(
+        !report.per_buffer.is_empty(),
+        "per_buffer missing from JSON"
+    );
+    for buf in ["row_ptr", "col_idx", "colors"] {
+        assert!(report.per_buffer.contains_key(buf), "missing {buf}");
+    }
+    let tx: u64 = report.per_buffer.values().map(|b| b.transactions).sum();
+    assert_eq!(tx, report.mem_transactions);
+    assert!(!report.hot_lines.is_empty());
+    assert!(!report.lane_occupancy.is_empty());
+}
+
+#[test]
+fn gc_bench_diff_errors_without_a_baseline_then_roundtrips() {
+    let dir = std::env::temp_dir().join(format!("gc-bdiff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+    let path = path.to_str().unwrap();
+
+    let missing = gc_bench_diff()
+        .args(["--baseline", path])
+        .output()
+        .expect("run gc-bench-diff");
+    assert!(!missing.status.success());
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(stderr.contains("--update"), "{stderr}");
+
+    // Record at tiny scale, then compare: deterministic, so zero regressions.
+    let update = gc_bench_diff()
+        .args(["--baseline", path, "--update", "--scale", "tiny"])
+        .output()
+        .expect("run gc-bench-diff --update");
+    assert!(
+        update.status.success(),
+        "{}",
+        String::from_utf8_lossy(&update.stderr)
+    );
+    let compare = gc_bench_diff()
+        .args(["--baseline", path, "--tolerance", "0.0"])
+        .output()
+        .expect("run gc-bench-diff");
+    assert!(
+        compare.status.success(),
+        "{}",
+        String::from_utf8_lossy(&compare.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&compare.stdout);
+    assert!(stdout.contains("no regressions"), "{stdout}");
+    assert!(stdout.contains("road-net / maxmin / optimized"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

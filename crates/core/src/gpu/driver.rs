@@ -26,8 +26,8 @@ pub(crate) struct IterState {
 impl IterState {
     pub fn new(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> Self {
         let dev = DeviceGraph::upload(gpu, g, opts.seed);
-        let cand = gpu.alloc_filled(dev.n, UNCOLORED);
-        let counter = gpu.alloc_filled(1, 0u32);
+        let cand = gpu.alloc_filled_named(dev.n, UNCOLORED, "cand");
+        let counter = gpu.alloc_filled_named(1, 0u32, "counter");
         Self { dev, cand, counter }
     }
 }
@@ -191,9 +191,9 @@ fn initial_items(gpu: &mut Gpu, st: &IterState, opts: &GpuOptions) -> Items {
             let low_len = low.len();
             let high_len = high.len();
             Items::StaticBins {
-                low: gpu.alloc_from(&low),
+                low: gpu.alloc_from_named(&low, "bin_low"),
                 low_len,
-                high: gpu.alloc_from(&high),
+                high: gpu.alloc_from_named(&high, "bin_high"),
                 high_len,
             }
         }

@@ -55,10 +55,10 @@ impl DeviceGraph {
         priority.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
         Self {
             n,
-            row_ptr: gpu.alloc_from(g.row_ptr()),
-            col_idx: gpu.alloc_from(g.col_idx()),
-            colors: gpu.alloc_filled(n, crate::verify::UNCOLORED),
-            priority: gpu.alloc_from(&priority),
+            row_ptr: gpu.alloc_from_named(g.row_ptr(), "row_ptr"),
+            col_idx: gpu.alloc_from_named(g.col_idx(), "col_idx"),
+            colors: gpu.alloc_filled_named(n, crate::verify::UNCOLORED, "colors"),
+            priority: gpu.alloc_from_named(&priority, "priority"),
         }
     }
 }
@@ -85,8 +85,11 @@ impl Frontier {
         let mut seeded = init.to_vec();
         seeded.resize(capacity, 0);
         Self {
-            list: [gpu.alloc_from(&seeded), gpu.alloc_filled(capacity, 0u32)],
-            len: gpu.alloc_filled(1, 0u32),
+            list: [
+                gpu.alloc_from_named(&seeded, "worklist"),
+                gpu.alloc_filled_named(capacity, 0u32, "worklist"),
+            ],
+            len: gpu.alloc_filled_named(1, 0u32, "worklist_len"),
             current: 0,
         }
     }
@@ -131,25 +134,14 @@ pub(crate) fn iteration_delta(
         .enumerate()
         .map(|(cu, &b)| b - before.busy_per_cu.get(cu).copied().unwrap_or(0))
         .collect();
-    let max = busy_delta.iter().copied().max().unwrap_or(0);
-    let sum: u64 = busy_delta.iter().sum();
-    let imbalance_factor = if sum == 0 {
-        1.0
-    } else {
-        max as f64 / (sum as f64 / busy_delta.len() as f64)
-    };
     crate::IterationStats {
         iteration,
         active,
         colored,
         cycles: after.total_cycles - before.total_cycles,
         kernel_launches: after.kernels_launched - before.kernels_launched,
-        simd_utilization: if possible_ops == 0 {
-            1.0
-        } else {
-            active_ops as f64 / possible_ops as f64
-        },
-        imbalance_factor,
+        simd_utilization: gc_gpusim::utilization_of(active_ops, possible_ops),
+        imbalance_factor: gc_gpusim::imbalance_factor_of(&busy_delta),
         divergent_steps: after.divergent_steps - before.divergent_steps,
         steal_pops: after.steal_pops - before.steal_pops,
     }
@@ -187,6 +179,11 @@ pub(crate) fn finish_report(
             .map(|(name, agg)| (name.clone(), agg.wall_cycles, agg.launches))
             .collect(),
         l2_hit_rate: stats.l2_hit_rate(),
+        per_buffer: stats.per_buffer.clone(),
+        hot_lines: stats.hot_lines.clone(),
+        lane_occupancy: stats.lane_occupancy.clone(),
+        wg_duration: stats.wg_duration.clone(),
+        steal_depth: stats.steal_depth.clone(),
     }
 }
 

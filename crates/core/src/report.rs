@@ -68,6 +68,24 @@ pub struct RunReport {
     /// L2 hit rate in `[0, 1]` when the device ran with the explicit cache
     /// model; `None` under the flat-latency model (and for CPU algorithms).
     pub l2_hit_rate: Option<f64>,
+    /// Device-wide per-buffer memory attribution, keyed by buffer name
+    /// (empty for CPU algorithms). Each counter sums over buffers to the
+    /// corresponding device total exactly.
+    #[serde(default)]
+    pub per_buffer: std::collections::BTreeMap<String, gc_gpusim::BufferMemStats>,
+    /// Top cache lines by atomic lane-operations across the whole run
+    /// (empty for CPU algorithms).
+    #[serde(default)]
+    pub hot_lines: Vec<gc_gpusim::HotLine>,
+    /// Active lanes per SIMT step across the whole run.
+    #[serde(default)]
+    pub lane_occupancy: gc_gpusim::Histogram,
+    /// Service cycles per workgroup execution across the whole run.
+    #[serde(default)]
+    pub wg_duration: gc_gpusim::Histogram,
+    /// Steal-queue depth observed at each pop (0 for drain pops).
+    #[serde(default)]
+    pub steal_depth: gc_gpusim::Histogram,
 }
 
 impl RunReport {
@@ -89,6 +107,11 @@ impl RunReport {
             steal_pops: 0,
             kernel_breakdown: Vec::new(),
             l2_hit_rate: None,
+            per_buffer: Default::default(),
+            hot_lines: Vec::new(),
+            lane_occupancy: Default::default(),
+            wg_duration: Default::default(),
+            steal_depth: Default::default(),
         }
     }
 

@@ -113,6 +113,35 @@ impl<T: DeviceScalar> fmt::Debug for Buffer<T> {
 struct Slot {
     data: Box<dyn Any + Send>,
     elem_name: &'static str,
+    /// Attribution name: caller-chosen via `alloc_named`, else `buf{id}`.
+    name: String,
+    base_addr: u64,
+}
+
+/// Immutable address→buffer lookup table, snapshotted once per launch.
+///
+/// Buffer base addresses are strictly increasing, so the owner of an address
+/// is the last buffer whose base is `<= addr`. Addresses below the first base
+/// (possible only with cache lines wider than the base alignment) fall back
+/// to the first buffer so attribution stays total: every access is charged to
+/// exactly one buffer, which is what makes per-buffer sums reproduce the
+/// kernel totals exactly.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BufferMap {
+    /// `(base_addr, buffer id)`, sorted by base address.
+    bases: Vec<(u64, u32)>,
+}
+
+impl BufferMap {
+    /// Buffer id owning `addr`; `None` only when no buffers exist.
+    pub(crate) fn resolve(&self, addr: u64) -> Option<u32> {
+        let i = self.bases.partition_point(|&(base, _)| base <= addr);
+        if i == 0 {
+            self.bases.first().map(|&(_, id)| id)
+        } else {
+            Some(self.bases[i - 1].1)
+        }
+    }
 }
 
 /// The device's global memory: an arena of typed allocations.
@@ -137,6 +166,16 @@ impl MemoryState {
     }
 
     pub(crate) fn alloc<T: DeviceScalar>(&mut self, data: Vec<T>) -> Buffer<T> {
+        self.alloc_impl(data, None)
+    }
+
+    /// Allocate with an attribution name used by per-buffer memory counters.
+    /// Several buffers may share a name; their counters are merged.
+    pub(crate) fn alloc_named<T: DeviceScalar>(&mut self, data: Vec<T>, name: &str) -> Buffer<T> {
+        self.alloc_impl(data, Some(name))
+    }
+
+    fn alloc_impl<T: DeviceScalar>(&mut self, data: Vec<T>, name: Option<&str>) -> Buffer<T> {
         let len = data.len();
         let id = u32::try_from(self.slots.len()).expect("too many buffers");
         let base_addr = self.next_base;
@@ -146,12 +185,36 @@ impl MemoryState {
         self.slots.push(Slot {
             data: Box::new(data),
             elem_name: T::NAME,
+            name: match name {
+                Some(n) => n.to_string(),
+                None => format!("buf{id}"),
+            },
+            base_addr,
         });
         Buffer {
             id,
             len,
             base_addr,
             _marker: PhantomData,
+        }
+    }
+
+    /// Attribution name of buffer `id` (panics on an unknown id).
+    pub(crate) fn buffer_name(&self, id: u32) -> &str {
+        &self.slots[id as usize].name
+    }
+
+    /// Snapshot the address→buffer table for one launch.
+    pub(crate) fn buffer_map(&self) -> BufferMap {
+        BufferMap {
+            // Slots are allocated at strictly increasing bases, so this is
+            // already sorted.
+            bases: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(id, s)| (s.base_addr, id as u32))
+                .collect(),
         }
     }
 
@@ -328,6 +391,34 @@ mod tests {
             _marker: PhantomData,
         };
         let _ = mem.load(&forged, 0);
+    }
+
+    #[test]
+    fn names_default_and_explicit() {
+        let mut mem = MemoryState::new();
+        let a = mem.alloc(vec![0u32; 2]);
+        let b = mem.alloc_named(vec![0u32; 2], "colors");
+        assert_eq!(mem.buffer_name(a.id), "buf0");
+        assert_eq!(mem.buffer_name(b.id), "colors");
+    }
+
+    #[test]
+    fn buffer_map_resolves_addresses() {
+        let mut mem = MemoryState::new();
+        let a = mem.alloc(vec![0u32; 4]); // base 256
+        let b = mem.alloc(vec![0u64; 100]); // base 512, 800 bytes
+        let c = mem.alloc(vec![0u8; 1]); // base 1536
+        let map = mem.buffer_map();
+        assert_eq!(map.resolve(a.addr_of(0)), Some(a.id));
+        assert_eq!(map.resolve(a.addr_of(3)), Some(a.id));
+        assert_eq!(map.resolve(b.addr_of(0)), Some(b.id));
+        assert_eq!(map.resolve(b.addr_of(99)), Some(b.id));
+        assert_eq!(map.resolve(c.addr_of(0)), Some(c.id));
+        // Way past the end: still charged to the last buffer (total map).
+        assert_eq!(map.resolve(1 << 40), Some(c.id));
+        // Below the first base: falls back to the first buffer.
+        assert_eq!(map.resolve(0), Some(a.id));
+        assert_eq!(BufferMap::default().resolve(256), None);
     }
 
     #[test]

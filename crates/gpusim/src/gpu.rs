@@ -114,14 +114,43 @@ impl Gpu {
         &self.cfg
     }
 
-    /// Allocate a buffer initialized from host data.
+    /// Allocate a buffer initialized from host data. The buffer gets an
+    /// auto-generated attribution name (`buf{id}`); prefer
+    /// [`Gpu::alloc_from_named`] for buffers that matter in profiles.
     pub fn alloc_from<T: DeviceScalar>(&mut self, data: &[T]) -> Buffer<T> {
         self.mem.alloc(data.to_vec())
     }
 
-    /// Allocate a buffer of `len` copies of `value`.
+    /// Allocate a buffer of `len` copies of `value` with an auto name.
     pub fn alloc_filled<T: DeviceScalar>(&mut self, len: usize, value: T) -> Buffer<T> {
         self.mem.alloc(vec![value; len])
+    }
+
+    /// Allocate a named buffer taking ownership of `data`. The name keys the
+    /// per-buffer memory attribution in [`crate::KernelStats`]; buffers
+    /// sharing a name are merged there (useful for double buffers).
+    pub fn alloc_named<T: DeviceScalar>(&mut self, data: Vec<T>, name: &str) -> Buffer<T> {
+        self.mem.alloc_named(data, name)
+    }
+
+    /// Allocate a named buffer initialized from host data.
+    pub fn alloc_from_named<T: DeviceScalar>(&mut self, data: &[T], name: &str) -> Buffer<T> {
+        self.mem.alloc_named(data.to_vec(), name)
+    }
+
+    /// Allocate a named buffer of `len` copies of `value`.
+    pub fn alloc_filled_named<T: DeviceScalar>(
+        &mut self,
+        len: usize,
+        value: T,
+        name: &str,
+    ) -> Buffer<T> {
+        self.mem.alloc_named(vec![value; len], name)
+    }
+
+    /// Attribution name of a buffer.
+    pub fn buffer_name<T: DeviceScalar>(&self, buf: Buffer<T>) -> &str {
+        self.mem.buffer_name(buf.id)
     }
 
     /// Copy a buffer's contents back to the host.

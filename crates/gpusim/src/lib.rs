@@ -28,7 +28,11 @@
 //! * **Observability** — optional [`ProfileSink`] observers receive kernel
 //!   dispatch/retire, workgroup-retire, steal-pop, and iteration events;
 //!   [`ChromeTraceSink`] renders them as a Perfetto-compatible timeline
-//!   with one track per compute unit.
+//!   with one track per compute unit. Every launch additionally attributes
+//!   its memory counters to named buffers ([`BufferMemStats`]), tracks the
+//!   hottest cache lines by atomic traffic ([`HotLine`]), and records
+//!   lane-occupancy / workgroup-duration / steal-depth distributions as
+//!   log2 [`Histogram`]s.
 //!
 //! ## What is not modeled
 //!
@@ -62,5 +66,8 @@ pub use config::DeviceConfig;
 pub use gpu::Gpu;
 pub use kernel::{GridStyle, Kernel, Launch, ScheduleMode};
 pub use lane::{LaneCtx, LaneIds};
-pub use metrics::{DeviceStats, KernelAggregate, KernelStats};
+pub use metrics::{
+    imbalance_factor_of, utilization_of, BufferMemStats, DeviceStats, Histogram, HotLine,
+    KernelAggregate, KernelStats, HOT_LINES_TOP_K,
+};
 pub use profile::{CaptureSink, ChromeTraceSink, JsonlSink, ProfileSink, SharedSink};

@@ -2,12 +2,443 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
+use crate::buffer::{BufferMap, MemoryState};
 use crate::config::DeviceConfig;
 
+/// Fraction `active / possible`, defined as 1.0 when `possible` is zero
+/// (an empty launch wastes no lanes). Shared by every stats level.
+pub fn utilization_of(active_lane_ops: u64, possible_lane_ops: u64) -> f64 {
+    if possible_lane_ops == 0 {
+        1.0
+    } else {
+        active_lane_ops as f64 / possible_lane_ops as f64
+    }
+}
+
+/// Load imbalance across CUs: `max(busy) / mean(busy)`. 1.0 is perfectly
+/// balanced (the paper's "load imbalance factor"); also 1.0 for an idle
+/// device. Shared by every stats level.
+pub fn imbalance_factor_of(busy_per_cu: &[u64]) -> f64 {
+    let max = busy_per_cu.iter().copied().max().unwrap_or(0);
+    let sum: u64 = busy_per_cu.iter().sum();
+    if sum == 0 {
+        1.0
+    } else {
+        max as f64 / (sum as f64 / busy_per_cu.len() as f64)
+    }
+}
+
+/// Log2-bucketed distribution of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `k >= 1` holds `[2^(k-1), 2^k - 1]`.
+/// Exact count/sum/min/max are kept alongside, so the mean is exact and
+/// percentiles are accurate to within a power of two — plenty to tell a
+/// balanced distribution from a heavy tail, at O(65) memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bucket counts; trailing empty buckets are not stored.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value stored in bucket `k`.
+fn bucket_hi(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+/// Smallest value stored in bucket `k`.
+fn bucket_lo(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let k = bucket_index(v);
+        if self.buckets.len() <= k {
+            self.buckets.resize(k + 1, 0);
+        }
+        self.buckets[k] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (acc, &c) in self.buckets.iter_mut().zip(&other.buckets) {
+            *acc += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` in `[0, 100]`: the upper bound of the bucket
+    /// holding the `ceil(p/100 · count)`-th smallest sample, clamped to the
+    /// observed max. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_hi(k).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, smallest values first.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (bucket_lo(k), bucket_hi(k), c))
+    }
+}
+
+/// Per-buffer memory counters for one kernel launch (or an aggregate of
+/// launches). The invariant maintained by the simulator: summing any field
+/// over all buffers of a launch reproduces the corresponding
+/// [`KernelStats`] total exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferMemStats {
+    /// Vector read instructions attributed to this buffer.
+    pub read_instructions: u64,
+    /// Vector write instructions attributed to this buffer.
+    pub write_instructions: u64,
+    /// Vector atomic instructions (plain and aggregated).
+    pub atomic_instructions: u64,
+    /// Coalesced transactions touching this buffer.
+    pub transactions: u64,
+    /// Bytes moved: `transactions × cacheline_bytes`.
+    pub bytes_moved: u64,
+    /// L2 hits on this buffer's lines (explicit-cache mode only).
+    pub l2_hits: u64,
+    /// L2 misses on this buffer's lines (explicit-cache mode only).
+    pub l2_misses: u64,
+    /// Atomic lane-operations landing in this buffer.
+    pub atomic_lane_ops: u64,
+}
+
+impl BufferMemStats {
+    /// Accumulate another buffer's (or launch's) counters.
+    pub fn add(&mut self, o: &BufferMemStats) {
+        self.read_instructions += o.read_instructions;
+        self.write_instructions += o.write_instructions;
+        self.atomic_instructions += o.atomic_instructions;
+        self.transactions += o.transactions;
+        self.bytes_moved += o.bytes_moved;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.atomic_lane_ops += o.atomic_lane_ops;
+    }
+
+    /// All vector memory instructions attributed to this buffer.
+    pub fn instructions(&self) -> u64 {
+        self.read_instructions + self.write_instructions + self.atomic_instructions
+    }
+
+    /// Coalescing efficiency: transactions per vector instruction. 1.0 is
+    /// perfectly coalesced; `wavefront_size` is fully scattered.
+    pub fn tx_per_instruction(&self) -> f64 {
+        let instr = self.instructions();
+        if instr == 0 {
+            0.0
+        } else {
+            self.transactions as f64 / instr as f64
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == BufferMemStats::default()
+    }
+}
+
+/// How many hot cache lines each launch retains.
+pub const HOT_LINES_TOP_K: usize = 8;
+
+/// One contended cache line: atomic lane-operations observed on it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotLine {
+    /// Byte address of the cache line's first byte.
+    pub line_addr: u64,
+    /// Name of the buffer owning the line.
+    pub buffer: String,
+    /// Atomic lane-operations that landed on this line.
+    pub atomic_lane_ops: u64,
+}
+
+/// Merge hot-line lists (by line address), keeping the top
+/// [`HOT_LINES_TOP_K`] by atomic traffic. Per-launch lists are exact; merged
+/// lists are top-K-of-top-K approximations, which is fine for spotting the
+/// contended color/worklist lines this tracker exists for.
+pub(crate) fn merge_hot_lines(into: &mut Vec<HotLine>, other: &[HotLine]) {
+    for o in other {
+        match into.iter_mut().find(|h| h.line_addr == o.line_addr) {
+            Some(h) => h.atomic_lane_ops += o.atomic_lane_ops,
+            None => into.push(o.clone()),
+        }
+    }
+    into.sort_by(|a, b| {
+        b.atomic_lane_ops
+            .cmp(&a.atomic_lane_ops)
+            .then(a.line_addr.cmp(&b.line_addr))
+    });
+    into.truncate(HOT_LINES_TOP_K);
+}
+
+/// Vector memory instruction classes for per-buffer attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Read,
+    Write,
+    Atomic,
+}
+
+/// Mutable per-launch attribution state, threaded through the wave fold.
+///
+/// Indexed by buffer id during the launch; reduced to name-keyed maps and
+/// top-K lists when the launch's [`KernelStats`] is assembled.
+pub(crate) struct LaunchTally {
+    map: BufferMap,
+    per_buffer: Vec<BufferMemStats>,
+    /// Cache-line index → atomic lane-ops.
+    atomic_lines: BTreeMap<u64, u64>,
+    /// Active-lane count of every SIMT step.
+    pub lane_occupancy: Histogram,
+    /// Scratch for plurality voting: `(buffer id, lanes)`.
+    votes: Vec<(u32, u64)>,
+}
+
+impl LaunchTally {
+    pub fn new(mem: &MemoryState) -> Self {
+        Self {
+            map: mem.buffer_map(),
+            per_buffer: vec![BufferMemStats::default(); mem.num_buffers()],
+            atomic_lines: BTreeMap::new(),
+            lane_occupancy: Histogram::new(),
+            votes: Vec::new(),
+        }
+    }
+
+    /// A tally with no buffers, for unit tests that fold raw op traces.
+    #[cfg(test)]
+    pub fn detached() -> Self {
+        Self {
+            map: BufferMap::default(),
+            per_buffer: Vec::new(),
+            atomic_lines: BTreeMap::new(),
+            lane_occupancy: Histogram::new(),
+            votes: Vec::new(),
+        }
+    }
+
+    fn bucket(&mut self, id: u32) -> &mut BufferMemStats {
+        &mut self.per_buffer[id as usize]
+    }
+
+    /// Record one SIMT step's active-lane count.
+    pub fn step(&mut self, active_lanes: u64) {
+        self.lane_occupancy.record(active_lanes);
+    }
+
+    /// Attribute one vector memory instruction to the buffer accessed by the
+    /// plurality of its lanes (ties break to the lowest buffer id, which is
+    /// deterministic), keeping per-buffer instruction sums exact.
+    pub fn instruction(&mut self, kind: AccessKind, lane_addrs: &[u64]) {
+        self.votes.clear();
+        for &a in lane_addrs {
+            let Some(id) = self.map.resolve(a) else {
+                return;
+            };
+            match self.votes.iter_mut().find(|(v, _)| *v == id) {
+                Some((_, n)) => *n += 1,
+                None => self.votes.push((id, 1)),
+            }
+        }
+        let Some(&(winner, _)) = self
+            .votes
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        else {
+            return;
+        };
+        let b = self.bucket(winner);
+        match kind {
+            AccessKind::Read => b.read_instructions += 1,
+            AccessKind::Write => b.write_instructions += 1,
+            AccessKind::Atomic => b.atomic_instructions += 1,
+        }
+    }
+
+    /// Attribute one coalesced transaction at `addr` moving `bytes`.
+    pub fn transaction(&mut self, addr: u64, bytes: u64) {
+        if let Some(id) = self.map.resolve(addr) {
+            let b = self.bucket(id);
+            b.transactions += 1;
+            b.bytes_moved += bytes;
+        }
+    }
+
+    /// Attribute one L2 access on the line starting at `line_addr`.
+    pub fn l2_access(&mut self, line_addr: u64, hit: bool) {
+        if let Some(id) = self.map.resolve(line_addr) {
+            let b = self.bucket(id);
+            if hit {
+                b.l2_hits += 1;
+            } else {
+                b.l2_misses += 1;
+            }
+        }
+    }
+
+    /// Attribute one atomic lane-operation at `addr` and count it toward the
+    /// hot-line tracker.
+    pub fn atomic_lane(&mut self, addr: u64, cacheline_bytes: u64) {
+        if let Some(id) = self.map.resolve(addr) {
+            self.bucket(id).atomic_lane_ops += 1;
+        }
+        *self.atomic_lines.entry(addr / cacheline_bytes).or_insert(0) += 1;
+    }
+
+    /// Reduce to the name-keyed per-buffer map (zero rows dropped; buffers
+    /// sharing a name are merged).
+    pub fn per_buffer_by_name(&self, mem: &MemoryState) -> BTreeMap<String, BufferMemStats> {
+        let mut out: BTreeMap<String, BufferMemStats> = BTreeMap::new();
+        for (id, b) in self.per_buffer.iter().enumerate() {
+            if b.is_zero() {
+                continue;
+            }
+            out.entry(mem.buffer_name(id as u32).to_string())
+                .or_default()
+                .add(b);
+        }
+        out
+    }
+
+    /// Reduce the full per-line atomic counts to the launch's top-K.
+    pub fn top_hot_lines(&self, mem: &MemoryState, cacheline_bytes: u64) -> Vec<HotLine> {
+        let mut lines: Vec<HotLine> = self
+            .atomic_lines
+            .iter()
+            .map(|(&line, &ops)| {
+                let addr = line * cacheline_bytes;
+                HotLine {
+                    line_addr: addr,
+                    buffer: self
+                        .map
+                        .resolve(addr)
+                        .map(|id| mem.buffer_name(id).to_string())
+                        .unwrap_or_default(),
+                    atomic_lane_ops: ops,
+                }
+            })
+            .collect();
+        lines.sort_by(|a, b| {
+            b.atomic_lane_ops
+                .cmp(&a.atomic_lane_ops)
+                .then(a.line_addr.cmp(&b.line_addr))
+        });
+        lines.truncate(HOT_LINES_TOP_K);
+        lines
+    }
+}
+
 /// Counters for one kernel dispatch.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelStats {
     /// Launch name.
     pub name: String,
@@ -45,29 +476,34 @@ pub struct KernelStats {
     pub l2_hits: u64,
     /// L2 misses among read/write transactions (explicit-cache mode only).
     pub l2_misses: u64,
+    /// Per-buffer memory attribution, keyed by buffer name. Each counter
+    /// sums over buffers to the corresponding launch total exactly.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub per_buffer: BTreeMap<String, BufferMemStats>,
+    /// Top cache lines by atomic lane-operations.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub hot_lines: Vec<HotLine>,
+    /// Active lanes per SIMT step.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub lane_occupancy: Histogram,
+    /// Service cycles per workgroup execution.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub wg_duration: Histogram,
+    /// Work-steal queue depth observed at each pop (0 for drain pops).
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub steal_depth: Histogram,
 }
 
 impl KernelStats {
     /// Fraction of SIMD lanes doing useful work, in `[0, 1]`.
     pub fn simd_utilization(&self) -> f64 {
-        if self.possible_lane_ops == 0 {
-            1.0
-        } else {
-            self.active_lane_ops as f64 / self.possible_lane_ops as f64
-        }
+        utilization_of(self.active_lane_ops, self.possible_lane_ops)
     }
 
     /// Load imbalance across CUs: `max(busy) / mean(busy)`. 1.0 is perfectly
     /// balanced; the paper's "load imbalance factor".
     pub fn imbalance_factor(&self) -> f64 {
-        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
-        let sum: u64 = self.busy_per_cu.iter().sum();
-        if sum == 0 {
-            1.0
-        } else {
-            let mean = sum as f64 / self.busy_per_cu.len() as f64;
-            max as f64 / mean
-        }
+        imbalance_factor_of(&self.busy_per_cu)
     }
 
     /// Wall-clock time in milliseconds at the device clock.
@@ -84,7 +520,7 @@ impl KernelStats {
 }
 
 /// Aggregated counters for all launches sharing a kernel name.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KernelAggregate {
     pub launches: u64,
     pub wall_cycles: u64,
@@ -104,6 +540,21 @@ pub struct KernelAggregate {
     pub l2_misses: u64,
     /// Per-CU busy cycles summed across this kernel's launches.
     pub busy_per_cu: Vec<u64>,
+    /// Per-buffer memory attribution summed across launches.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub per_buffer: BTreeMap<String, BufferMemStats>,
+    /// Top cache lines by atomic traffic, merged across launches.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub hot_lines: Vec<HotLine>,
+    /// Active lanes per SIMT step, merged across launches.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub lane_occupancy: Histogram,
+    /// Service cycles per workgroup, merged across launches.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub wg_duration: Histogram,
+    /// Steal-queue depth at pop time, merged across launches.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub steal_depth: Histogram,
 }
 
 impl KernelAggregate {
@@ -129,32 +580,29 @@ impl KernelAggregate {
         for (acc, &b) in self.busy_per_cu.iter_mut().zip(&s.busy_per_cu) {
             *acc += b;
         }
+        for (name, b) in &s.per_buffer {
+            self.per_buffer.entry(name.clone()).or_default().add(b);
+        }
+        merge_hot_lines(&mut self.hot_lines, &s.hot_lines);
+        self.lane_occupancy.merge(&s.lane_occupancy);
+        self.wg_duration.merge(&s.wg_duration);
+        self.steal_depth.merge(&s.steal_depth);
     }
 
     /// Load imbalance of this kernel across CUs, accumulated over its
     /// launches (`max / mean` busy cycles).
     pub fn imbalance_factor(&self) -> f64 {
-        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
-        let sum: u64 = self.busy_per_cu.iter().sum();
-        if sum == 0 {
-            1.0
-        } else {
-            max as f64 / (sum as f64 / self.busy_per_cu.len() as f64)
-        }
+        imbalance_factor_of(&self.busy_per_cu)
     }
 
     /// Aggregate SIMD utilization across the launches.
     pub fn simd_utilization(&self) -> f64 {
-        if self.possible_lane_ops == 0 {
-            1.0
-        } else {
-            self.active_lane_ops as f64 / self.possible_lane_ops as f64
-        }
+        utilization_of(self.active_lane_ops, self.possible_lane_ops)
     }
 }
 
 /// Cumulative device statistics since construction or the last reset.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceStats {
     /// Total wall cycles across all launches.
     pub total_cycles: u64,
@@ -182,6 +630,21 @@ pub struct DeviceStats {
     pub l2_hits: u64,
     /// L2 misses across all launches (explicit-cache mode only).
     pub l2_misses: u64,
+    /// Per-buffer memory attribution summed across all launches.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub per_buffer: BTreeMap<String, BufferMemStats>,
+    /// Top cache lines by atomic traffic, merged across all launches.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub hot_lines: Vec<HotLine>,
+    /// Active lanes per SIMT step across all launches.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub lane_occupancy: Histogram,
+    /// Service cycles per workgroup across all launches.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub wg_duration: Histogram,
+    /// Steal-queue depth at pop time across all launches.
+    #[serde(default, skip_serializing_if = "Histogram::is_empty")]
+    pub steal_depth: Histogram,
 }
 
 impl DeviceStats {
@@ -204,6 +667,13 @@ impl DeviceStats {
         self.steal_pops += s.steal_pops;
         self.l2_hits += s.l2_hits;
         self.l2_misses += s.l2_misses;
+        for (name, b) in &s.per_buffer {
+            self.per_buffer.entry(name.clone()).or_default().add(b);
+        }
+        merge_hot_lines(&mut self.hot_lines, &s.hot_lines);
+        self.lane_occupancy.merge(&s.lane_occupancy);
+        self.wg_duration.merge(&s.wg_duration);
+        self.steal_depth.merge(&s.steal_depth);
     }
 
     /// Total time in milliseconds at the device clock.
@@ -213,22 +683,12 @@ impl DeviceStats {
 
     /// Cumulative imbalance factor across all launches.
     pub fn imbalance_factor(&self) -> f64 {
-        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
-        let sum: u64 = self.busy_per_cu.iter().sum();
-        if sum == 0 {
-            1.0
-        } else {
-            max as f64 / (sum as f64 / self.busy_per_cu.len() as f64)
-        }
+        imbalance_factor_of(&self.busy_per_cu)
     }
 
     /// Cumulative SIMD utilization across all launches, in `[0, 1]`.
     pub fn simd_utilization(&self) -> f64 {
-        if self.possible_lane_ops == 0 {
-            1.0
-        } else {
-            self.active_lane_ops as f64 / self.possible_lane_ops as f64
-        }
+        utilization_of(self.active_lane_ops, self.possible_lane_ops)
     }
 
     /// Cumulative L2 hit rate in `[0, 1]`, or `None` when the explicit cache
@@ -263,6 +723,11 @@ mod tests {
             occupancy: 4,
             l2_hits: 3,
             l2_misses: 1,
+            per_buffer: BTreeMap::new(),
+            hot_lines: Vec::new(),
+            lane_occupancy: Histogram::new(),
+            wg_duration: Histogram::new(),
+            steal_depth: Histogram::new(),
         }
     }
 
@@ -314,5 +779,152 @@ mod tests {
         assert_eq!(agg.steps, 20);
         assert_eq!(agg.mem_instructions, 10);
         assert_eq!(agg.divergent_steps, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // 0 | 1 | [2,3] | [4,7] | [8,15] | [512,1023]
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (512, 1023, 1),
+            ]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1025);
+        assert_eq!((h.min(), h.max()), (0, 1000));
+    }
+
+    #[test]
+    fn histogram_percentiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Rank 50 lives in bucket [32,63]; rank 95 and 99 in [64,127],
+        // clamped to the observed max of 100.
+        assert_eq!(h.p50(), 63);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_and_merge() {
+        let empty = Histogram::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let mut a = Histogram::new();
+        a.record(4);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1_000_009);
+        assert_eq!((a.min(), a.max()), (4, 1_000_000));
+        assert_eq!(a.p99(), 1_000_000);
+
+        let mut c = Histogram::new();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn shared_metric_helpers() {
+        assert_eq!(utilization_of(0, 0), 1.0);
+        assert_eq!(utilization_of(3, 4), 0.75);
+        assert_eq!(imbalance_factor_of(&[]), 1.0);
+        assert_eq!(imbalance_factor_of(&[0, 0]), 1.0);
+        assert_eq!(imbalance_factor_of(&[10, 30]), 1.5);
+    }
+
+    #[test]
+    fn hot_line_merge_is_top_k() {
+        let mut into = vec![HotLine {
+            line_addr: 256,
+            buffer: "colors".into(),
+            atomic_lane_ops: 10,
+        }];
+        let other: Vec<HotLine> = (0..10)
+            .map(|i| HotLine {
+                line_addr: 256 + 64 * i,
+                buffer: "colors".into(),
+                atomic_lane_ops: i,
+            })
+            .collect();
+        merge_hot_lines(&mut into, &other);
+        assert_eq!(into.len(), HOT_LINES_TOP_K);
+        // The 256 line merged: 10 + 0 = 10, still the hottest.
+        assert_eq!(into[0].line_addr, 256);
+        assert_eq!(into[0].atomic_lane_ops, 10);
+        // Descending by traffic afterwards.
+        for w in into.windows(2) {
+            assert!(w[0].atomic_lane_ops >= w[1].atomic_lane_ops);
+        }
+    }
+
+    #[test]
+    fn tally_attributes_by_plurality_and_merges_names() {
+        let mut mem = MemoryState::new();
+        let a = mem.alloc_named(vec![0u32; 64], "a");
+        let b = mem.alloc_named(vec![0u32; 64], "b");
+        let b2 = mem.alloc_named(vec![0u32; 64], "b");
+        let mut t = LaunchTally::new(&mem);
+
+        // 3 lanes in `a`, 1 in `b`: instruction goes to `a`.
+        t.instruction(
+            AccessKind::Read,
+            &[a.addr_of(0), a.addr_of(1), a.addr_of(2), b.addr_of(0)],
+        );
+        // 2-2 tie between a (id 0) and b2 (id 2): lowest id wins.
+        t.instruction(
+            AccessKind::Write,
+            &[a.addr_of(0), a.addr_of(1), b2.addr_of(0), b2.addr_of(1)],
+        );
+        t.transaction(a.addr_of(0), 64);
+        t.transaction(b.addr_of(0), 64);
+        t.transaction(b2.addr_of(0), 64);
+        t.l2_access(a.addr_of(0), true);
+        t.l2_access(b.addr_of(0), false);
+        t.atomic_lane(b.addr_of(0), 64);
+        t.atomic_lane(b.addr_of(0), 64);
+        t.instruction(AccessKind::Atomic, &[b.addr_of(0), b.addr_of(0)]);
+
+        let by_name = t.per_buffer_by_name(&mem);
+        assert_eq!(by_name.len(), 2);
+        let sa = &by_name["a"];
+        assert_eq!(sa.read_instructions, 1);
+        assert_eq!(sa.write_instructions, 1);
+        assert_eq!(sa.transactions, 1);
+        assert_eq!(sa.bytes_moved, 64);
+        assert_eq!(sa.l2_hits, 1);
+        let sb = &by_name["b"];
+        // The two same-named buffers merged: b tx + b2 tx.
+        assert_eq!(sb.transactions, 2);
+        assert_eq!(sb.atomic_lane_ops, 2);
+        assert_eq!(sb.atomic_instructions, 1);
+        assert_eq!(sb.l2_misses, 1);
+
+        let hot = t.top_hot_lines(&mem, 64);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].buffer, "b");
+        assert_eq!(hot[0].atomic_lane_ops, 2);
+        assert_eq!(hot[0].line_addr, b.addr_of(0));
     }
 }

@@ -42,6 +42,8 @@ use std::collections::BTreeSet;
 use std::io::{self, Write};
 use std::rc::Rc;
 
+use serde::{Deserialize, Serialize};
+
 use crate::metrics::KernelStats;
 use crate::workgroup::{WgOutcome, WgWork};
 
@@ -542,7 +544,7 @@ impl ProfileSink for JsonlSink {
 // CaptureSink
 
 /// Owned copy of a kernel retire event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CapturedKernel {
     pub seq: u64,
     pub name: String,
@@ -552,7 +554,7 @@ pub struct CapturedKernel {
 }
 
 /// Owned copy of a workgroup retire event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CapturedWorkgroup {
     pub kernel_seq: u64,
     pub wg_index: usize,
@@ -567,7 +569,7 @@ pub struct CapturedWorkgroup {
 }
 
 /// Owned copy of a steal-pop event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CapturedStealPop {
     pub kernel_seq: u64,
     pub cu: usize,
@@ -577,7 +579,7 @@ pub struct CapturedStealPop {
 }
 
 /// Owned copy of a completed iteration span.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CapturedIteration {
     pub iteration: usize,
     pub active: usize,

@@ -21,7 +21,7 @@ use crate::buffer::MemoryState;
 use crate::cache::L2Cache;
 use crate::config::DeviceConfig;
 use crate::kernel::{GridStyle, Kernel, Launch, ScheduleMode};
-use crate::metrics::KernelStats;
+use crate::metrics::{Histogram, KernelStats, LaunchTally};
 use crate::profile::Probe;
 use crate::workgroup::{WgExecutor, WgParams, WgWork};
 
@@ -51,6 +51,11 @@ pub(crate) fn run_launch(
 
     let mut executor = WgExecutor::new();
     let mut busy = vec![0u64; cfg.num_cus];
+    // Buffers cannot be allocated mid-launch, so one address→buffer snapshot
+    // serves the whole launch.
+    let mut tally = LaunchTally::new(mem);
+    let mut wg_duration = Histogram::new();
+    let mut steal_depth = Histogram::new();
     let mut stats = KernelStats {
         name: launch.name.clone(),
         items: launch.items,
@@ -70,15 +75,21 @@ pub(crate) fn run_launch(
         occupancy,
         l2_hits: 0,
         l2_misses: 0,
+        per_buffer: Default::default(),
+        hot_lines: Vec::new(),
+        lane_occupancy: Histogram::new(),
+        wg_duration: Histogram::new(),
+        steal_depth: Histogram::new(),
     };
 
     match launch.mode {
         ScheduleMode::StaticRoundRobin => {
             for (i, &work) in tasks.iter().enumerate() {
                 let cu = i % cfg.num_cus;
-                let outcome = executor.run(kernel, mem, l2, &params, i, work);
+                let outcome = executor.run(kernel, mem, l2, &params, i, work, &mut tally);
                 let t0 = busy[cu];
                 busy[cu] += cfg.wg_dispatch_cycles + outcome.service_cycles;
+                wg_duration.record(outcome.service_cycles);
                 if let Some(p) = probe {
                     p.workgroup_retire(cu, i, t0, busy[cu], &outcome, work);
                 }
@@ -90,9 +101,10 @@ pub(crate) fn run_launch(
                 (0..cfg.num_cus).map(|cu| Reverse((0u64, cu))).collect();
             for (i, &work) in tasks.iter().enumerate() {
                 let Reverse((t0, cu)) = heap.pop().expect("heap holds one entry per CU");
-                let outcome = executor.run(kernel, mem, l2, &params, i, work);
+                let outcome = executor.run(kernel, mem, l2, &params, i, work, &mut tally);
                 let t = t0 + cfg.wg_dispatch_cycles + outcome.service_cycles;
                 busy[cu] += cfg.wg_dispatch_cycles + outcome.service_cycles;
+                wg_duration.record(outcome.service_cycles);
                 if let Some(p) = probe {
                     p.workgroup_retire(cu, i, t0, t, &outcome, work);
                 }
@@ -105,9 +117,13 @@ pub(crate) fn run_launch(
                 (0..cfg.num_cus).map(|cu| Reverse((0u64, cu))).collect();
             for (i, &work) in tasks.iter().enumerate() {
                 let Reverse((t0, cu)) = heap.pop().expect("heap holds one entry per CU");
-                let outcome = executor.run(kernel, mem, l2, &params, i, work);
+                // Depth seen by the popping workgroup: chunks still queued,
+                // including the one it takes.
+                steal_depth.record((tasks.len() - i) as u64);
+                let outcome = executor.run(kernel, mem, l2, &params, i, work, &mut tally);
                 let t = t0 + cfg.steal_pop_cycles + outcome.service_cycles;
                 busy[cu] += cfg.steal_pop_cycles + outcome.service_cycles;
+                wg_duration.record(outcome.service_cycles);
                 if let Some(p) = probe {
                     let chunk = match work {
                         WgWork::Range { start, end } | WgWork::Items { start, end } => (start, end),
@@ -125,6 +141,7 @@ pub(crate) fn run_launch(
                 if let Some(p) = probe {
                     p.steal_pop(cu, t, None);
                 }
+                steal_depth.record(0);
                 busy[cu] += cfg.steal_pop_cycles;
             }
             stats.steal_pops += cfg.num_cus as u64;
@@ -133,6 +150,11 @@ pub(crate) fn run_launch(
 
     stats.wall_cycles = busy.iter().copied().max().unwrap_or(0) + cfg.kernel_launch_cycles;
     stats.busy_per_cu = busy;
+    stats.per_buffer = tally.per_buffer_by_name(mem);
+    stats.hot_lines = tally.top_hot_lines(mem, cfg.cacheline_bytes);
+    stats.lane_occupancy = tally.lane_occupancy;
+    stats.wg_duration = wg_duration;
+    stats.steal_depth = steal_depth;
     stats
 }
 

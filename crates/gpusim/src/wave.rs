@@ -23,6 +23,7 @@
 
 use crate::cache::L2Cache;
 use crate::config::DeviceConfig;
+use crate::metrics::{AccessKind, LaunchTally};
 use crate::trace::{Op, OpKind};
 
 /// Cost and counters of one barrier-delimited wavefront segment.
@@ -133,7 +134,8 @@ fn max_multiplicity(values: &mut [u64]) -> u64 {
 ///
 /// `lanes` holds each lane's op slice for this segment (shorter slices go
 /// idle). `occupancy` is the resident-wave count used for latency hiding and
-/// must be ≥ 1.
+/// must be ≥ 1. `tally` receives the per-buffer attribution of every counter
+/// charged to `SegmentCost`, so per-buffer sums reproduce the totals exactly.
 pub(crate) fn fold_wave_segment(
     lanes: &[&[Op]],
     wave_size: usize,
@@ -141,6 +143,7 @@ pub(crate) fn fold_wave_segment(
     occupancy: u64,
     scratch: &mut FoldScratch,
     l2: &mut Option<L2Cache>,
+    tally: &mut LaunchTally,
 ) -> SegmentCost {
     debug_assert!(occupancy >= 1);
     let mut cost = SegmentCost::default();
@@ -172,6 +175,8 @@ pub(crate) fn fold_wave_segment(
             }
         }
 
+        tally.step(active);
+
         let group_count = groups_present.iter().filter(|&&p| p).count() as u64;
         let mut step_cycles = 0u64;
 
@@ -181,18 +186,29 @@ pub(crate) fn fold_wave_segment(
         for kind in [OpKind::GlobalRead, OpKind::GlobalWrite] {
             let k = kind_index(kind);
             if groups_present[k] {
+                let access = if kind == OpKind::GlobalRead {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                };
+                tally.instruction(access, &scratch.addrs[k]);
                 let mut lines: Vec<u64> = scratch.addrs[k]
                     .iter()
                     .map(|a| a / cfg.cacheline_bytes)
                     .collect();
                 let tx = distinct(&mut lines);
+                for &line in lines.iter() {
+                    tally.transaction(line * cfg.cacheline_bytes, cfg.cacheline_bytes);
+                }
                 // With the explicit L2 the step is as slow as its slowest
                 // transaction: a single miss exposes the full latency.
                 let latency = match l2 {
                     Some(cache) => {
                         let mut any_miss = false;
                         for &line in lines.iter() {
-                            if cache.access(line) {
+                            let hit = cache.access(line);
+                            tally.l2_access(line * cfg.cacheline_bytes, hit);
+                            if hit {
                                 cost.l2_hits += 1;
                             } else {
                                 cost.l2_misses += 1;
@@ -220,12 +236,19 @@ pub(crate) fn fold_wave_segment(
             let k = kind_index(OpKind::GlobalAtomic);
             if groups_present[k] {
                 let lanes_in_group = scratch.addrs[k].len() as u64;
+                tally.instruction(AccessKind::Atomic, &scratch.addrs[k]);
+                for &a in scratch.addrs[k].iter() {
+                    tally.atomic_lane(a, cfg.cacheline_bytes);
+                }
                 let mult = max_multiplicity(&mut scratch.addrs[k]);
                 let mut lines: Vec<u64> = scratch.addrs[k]
                     .iter()
                     .map(|a| a / cfg.cacheline_bytes)
                     .collect();
                 let tx = distinct(&mut lines);
+                for &line in lines.iter() {
+                    tally.transaction(line * cfg.cacheline_bytes, cfg.cacheline_bytes);
+                }
                 step_cycles += issue + cfg.mem_issue_cycles + mult * cfg.atomic_latency_cycles;
                 cost.mem_transactions += tx;
                 cost.mem_instructions += 1;
@@ -239,7 +262,16 @@ pub(crate) fn fold_wave_segment(
             let k = kind_index(OpKind::GlobalAtomicAgg);
             if groups_present[k] {
                 let lanes_in_group = scratch.addrs[k].len() as u64;
+                tally.instruction(AccessKind::Atomic, &scratch.addrs[k]);
+                for &a in scratch.addrs[k].iter() {
+                    tally.atomic_lane(a, cfg.cacheline_bytes);
+                }
                 let distinct_addrs = distinct(&mut scratch.addrs[k]);
+                // A transaction here is one post-aggregation atomic, charged
+                // a full line like every other transaction.
+                for &a in scratch.addrs[k].iter() {
+                    tally.transaction(a, cfg.cacheline_bytes);
+                }
                 step_cycles += 2 * issue + cfg.mem_issue_cycles + cfg.atomic_latency_cycles;
                 cost.mem_transactions += distinct_addrs;
                 cost.mem_instructions += 1;
@@ -293,6 +325,7 @@ mod tests {
         let c = cfg();
         let mut scratch = FoldScratch::new();
         let mut no_l2 = None;
+        let mut tally = LaunchTally::detached();
         fold_wave_segment(
             lanes,
             c.wavefront_size,
@@ -300,6 +333,7 @@ mod tests {
             occupancy,
             &mut scratch,
             &mut no_l2,
+            &mut tally,
         )
     }
 
@@ -307,7 +341,8 @@ mod tests {
         let mut c = cfg();
         c.l2_size_bytes = 64 * c.cacheline_bytes;
         let mut scratch = FoldScratch::new();
-        fold_wave_segment(lanes, c.wavefront_size, &c, 1, &mut scratch, l2)
+        let mut tally = LaunchTally::detached();
+        fold_wave_segment(lanes, c.wavefront_size, &c, 1, &mut scratch, l2, &mut tally)
     }
 
     #[test]
@@ -497,6 +532,69 @@ mod tests {
         let cost = fold(&lanes, 1);
         assert_eq!(cost.cycles, 10 * 2);
         assert_eq!(cost.divergent_steps, 0);
+    }
+
+    #[test]
+    fn fold_attributes_counters_to_buffers() {
+        use crate::buffer::MemoryState;
+
+        let c = cfg(); // 16B lines
+        let mut mem = MemoryState::new();
+        let a = mem.alloc_named(vec![0u32; 16], "a");
+        let b = mem.alloc_named(vec![0u32; 16], "b");
+        let mut tally = LaunchTally::new(&mem);
+        let mut scratch = FoldScratch::new();
+        let mut no_l2 = None;
+
+        // Step 0: all four lanes read consecutive `a` elements (1 line);
+        // step 1: lanes 0-1 read `a` scattered (2 lines) while lanes 2-3
+        // atomically hit one `b` element (1 line, 2 lane-ops).
+        let ops: Vec<Vec<Op>> = (0..4usize)
+            .map(|l| {
+                let second = if l < 2 {
+                    Op::GlobalRead {
+                        addr: a.addr_of(l * 8),
+                    }
+                } else {
+                    Op::GlobalAtomic { addr: b.addr_of(0) }
+                };
+                vec![Op::GlobalRead { addr: a.addr_of(l) }, second]
+            })
+            .collect();
+        let lanes: Vec<&[Op]> = ops.iter().map(|v| v.as_slice()).collect();
+        let cost = fold_wave_segment(
+            &lanes,
+            c.wavefront_size,
+            &c,
+            1,
+            &mut scratch,
+            &mut no_l2,
+            &mut tally,
+        );
+
+        let by_name = tally.per_buffer_by_name(&mem);
+        let sa = &by_name["a"];
+        let sb = &by_name["b"];
+        assert_eq!(sa.read_instructions, 2);
+        assert_eq!(sa.transactions, 3);
+        assert_eq!(sb.atomic_instructions, 1);
+        assert_eq!(sb.transactions, 1);
+        assert_eq!(sb.atomic_lane_ops, 2);
+        // Per-buffer sums reproduce the fold's totals exactly.
+        assert_eq!(sa.transactions + sb.transactions, cost.mem_transactions);
+        assert_eq!(sa.instructions() + sb.instructions(), cost.mem_instructions);
+        assert_eq!(sa.atomic_lane_ops + sb.atomic_lane_ops, cost.global_atomics);
+        assert_eq!(
+            sa.bytes_moved + sb.bytes_moved,
+            cost.mem_transactions * c.cacheline_bytes
+        );
+        // The lane-occupancy histogram saw two full steps.
+        assert_eq!(tally.lane_occupancy.count(), cost.steps);
+        assert_eq!(tally.lane_occupancy.sum(), cost.active_lane_ops);
+        // The contended `b` line is the hottest.
+        let hot = tally.top_hot_lines(&mem, c.cacheline_bytes);
+        assert_eq!(hot[0].buffer, "b");
+        assert_eq!(hot[0].atomic_lane_ops, 2);
     }
 
     #[test]

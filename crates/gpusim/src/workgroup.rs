@@ -5,6 +5,7 @@ use crate::cache::L2Cache;
 use crate::config::DeviceConfig;
 use crate::kernel::Kernel;
 use crate::lane::{LaneCtx, LaneIds};
+use crate::metrics::LaunchTally;
 use crate::trace::{LaneTrace, Op};
 use crate::wave::{fold_wave_segment, FoldScratch, SegmentCost};
 
@@ -59,6 +60,7 @@ impl WgExecutor {
     }
 
     /// Execute one workgroup's work (functionally and in the cost model).
+    #[allow(clippy::too_many_arguments)] // internal hot path; a param struct would obscure it
     pub fn run(
         &mut self,
         kernel: &dyn Kernel,
@@ -67,6 +69,7 @@ impl WgExecutor {
         params: &WgParams<'_>,
         group_id: usize,
         work: WgWork,
+        tally: &mut LaunchTally,
     ) -> WgOutcome {
         let mut outcome = WgOutcome::default();
         match work {
@@ -77,8 +80,16 @@ impl WgExecutor {
                 let mut s = start;
                 while s < end {
                     let e = (s + params.wg_size).min(end);
-                    let inst =
-                        self.exec_instance(kernel, mem, l2, params, group_id, e - s, |l| s + l);
+                    let inst = self.exec_instance(
+                        kernel,
+                        mem,
+                        l2,
+                        params,
+                        group_id,
+                        e - s,
+                        |l| s + l,
+                        tally,
+                    );
                     accumulate(&mut outcome, inst);
                     s = e;
                 }
@@ -93,6 +104,7 @@ impl WgExecutor {
                         group_id,
                         params.wg_size,
                         |_| item,
+                        tally,
                     );
                     accumulate(&mut outcome, inst);
                 }
@@ -112,6 +124,7 @@ impl WgExecutor {
         group_id: usize,
         active_lanes: usize,
         item_for_lane: impl Fn(usize) -> usize,
+        tally: &mut LaunchTally,
     ) -> WgOutcome {
         let cfg = params.cfg;
         let wave_size = cfg.wavefront_size;
@@ -201,6 +214,7 @@ impl WgExecutor {
                     params.occupancy,
                     &mut self.scratch,
                     l2,
+                    tally,
                 );
                 seg_max = seg_max.max(cost.cycles);
                 seg_sum += cost.cycles;
@@ -257,6 +271,7 @@ mod tests {
             ctx.write(buf, i, v + 1);
         };
         let mut ex = WgExecutor::new();
+        let mut tally = LaunchTally::new(&mem);
         let p = params(&cfg, 4, 0, 10);
         // Two workgroups of 4 plus a partial one of 2.
         let o1 = ex.run(
@@ -266,6 +281,7 @@ mod tests {
             &p,
             0,
             WgWork::Range { start: 0, end: 4 },
+            &mut tally,
         );
         let _ = ex.run(
             &kernel,
@@ -274,6 +290,7 @@ mod tests {
             &p,
             1,
             WgWork::Range { start: 4, end: 8 },
+            &mut tally,
         );
         let o3 = ex.run(
             &kernel,
@@ -282,6 +299,7 @@ mod tests {
             &p,
             2,
             WgWork::Range { start: 8, end: 10 },
+            &mut tally,
         );
         assert_eq!(mem.as_slice(&buf), &[1u32; 10]);
         assert!(o1.service_cycles > 0);
@@ -303,6 +321,7 @@ mod tests {
             ctx.atomic_add(sums, item, v);
         };
         let mut ex = WgExecutor::new();
+        let mut tally = LaunchTally::new(&mem);
         let p = params(&cfg, 4, 0, 3);
         let o = ex.run(
             &kernel,
@@ -311,6 +330,7 @@ mod tests {
             &p,
             0,
             WgWork::Items { start: 0, end: 3 },
+            &mut tally,
         );
         assert_eq!(mem.as_slice(&sums), &[10, 10, 10]);
         assert_eq!(o.waves, 3); // one wave per item instance
@@ -333,6 +353,7 @@ mod tests {
             }
         };
         let mut ex = WgExecutor::new();
+        let mut tally = LaunchTally::new(&mem);
         let p = params(&cfg, 4, 1, 1);
         let o = ex.run(
             &kernel,
@@ -341,6 +362,7 @@ mod tests {
             &p,
             0,
             WgWork::Items { start: 0, end: 1 },
+            &mut tally,
         );
         assert_eq!(mem.as_slice(&out), &[0b1111]);
         // Barrier cost charged once.
@@ -361,6 +383,7 @@ mod tests {
             }
         };
         let mut ex = WgExecutor::new();
+        let mut tally = LaunchTally::new(&mem);
         let p = params(&cfg, 4, 1, 2);
         ex.run(
             &kernel,
@@ -369,6 +392,7 @@ mod tests {
             &p,
             0,
             WgWork::Items { start: 0, end: 2 },
+            &mut tally,
         );
         // Without zeroing, item 1 would read 8.
         assert_eq!(mem.as_slice(&out), &[4, 4]);
@@ -385,6 +409,7 @@ mod tests {
             }
         };
         let mut ex = WgExecutor::new();
+        let mut tally = LaunchTally::new(&mem);
         let p = params(&cfg, 4, 0, 4);
         ex.run(
             &kernel,
@@ -393,6 +418,7 @@ mod tests {
             &p,
             0,
             WgWork::Range { start: 0, end: 4 },
+            &mut tally,
         );
     }
 
@@ -404,6 +430,7 @@ mod tests {
             ctx.alu(8);
         };
         let mut ex = WgExecutor::new();
+        let mut tally = LaunchTally::new(&mem);
         // 8 lanes = 2 waves; each wave costs 8*2 = 16 cycles of ALU.
         let p = params(&cfg, 8, 0, 8);
         let o = ex.run(
@@ -413,6 +440,7 @@ mod tests {
             &p,
             0,
             WgWork::Range { start: 0, end: 8 },
+            &mut tally,
         );
         assert_eq!(o.waves, 2);
         // max(16, (16+16)/2) = 16, not 32: the waves overlap.

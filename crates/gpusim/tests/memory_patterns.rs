@@ -1,5 +1,6 @@
 //! Characterization tests of the memory model: the cost relations between
-//! access patterns that the coloring analysis relies on.
+//! access patterns that the coloring analysis relies on, and the exactness
+//! of the per-buffer attribution of those costs.
 
 use gc_gpusim::{DeviceConfig, Gpu, KernelStats, LaneCtx, Launch};
 
@@ -125,4 +126,132 @@ fn larger_workgroups_amortize_dispatch() {
     assert_eq!(small.workgroups, 4 * large.workgroups);
     // Same functional work, same transactions.
     assert_eq!(small.mem_transactions, large.mem_transactions);
+}
+
+/// Run a mixed read/write/atomic kernel over three named buffers under the
+/// given launch mode and device config.
+fn run_attributed(cfg: DeviceConfig, launch: Launch) -> KernelStats {
+    let mut gpu = Gpu::new(cfg);
+    let src = gpu.alloc_filled_named(N, 1u32, "src");
+    let dst = gpu.alloc_filled_named(N, 0u32, "dst");
+    let ctr = gpu.alloc_filled_named(8, 0u32, "ctr");
+    let kernel = move |ctx: &mut LaneCtx| {
+        let i = ctx.item();
+        // Streaming read, scattered read, streaming write, contended atomic.
+        let a = ctx.read(src, i);
+        let b = ctx.read(src, (i.wrapping_mul(2654435761)) % N);
+        ctx.write(dst, i, a + b);
+        if i.is_multiple_of(3) {
+            ctx.atomic_add(ctr, i % 8, 1);
+        }
+    };
+    gpu.launch(&kernel, launch)
+}
+
+/// The ISSUE invariant: every per-buffer counter sums over buffers to the
+/// corresponding kernel total *exactly*, whatever the schedule mode.
+fn assert_sums_match(stats: &KernelStats, cacheline_bytes: u64) {
+    assert!(!stats.per_buffer.is_empty(), "attribution missing");
+    let sum = |f: fn(&gc_gpusim::BufferMemStats) -> u64| -> u64 {
+        stats.per_buffer.values().map(f).sum()
+    };
+    assert_eq!(sum(|b| b.transactions), stats.mem_transactions);
+    assert_eq!(
+        sum(|b| b.read_instructions + b.write_instructions + b.atomic_instructions),
+        stats.mem_instructions
+    );
+    assert_eq!(sum(|b| b.atomic_lane_ops), stats.global_atomics);
+    assert_eq!(
+        sum(|b| b.bytes_moved),
+        stats.mem_transactions * cacheline_bytes
+    );
+    assert_eq!(sum(|b| b.l2_hits), stats.l2_hits);
+    assert_eq!(sum(|b| b.l2_misses), stats.l2_misses);
+}
+
+#[test]
+fn per_buffer_sums_equal_totals_in_every_schedule_mode() {
+    let launches = [
+        Launch::threads("static", N).static_round_robin(),
+        Launch::threads("dynamic", N).dynamic(),
+        Launch::threads("stealing", N).stealing(256),
+    ];
+    for launch in launches {
+        let cfg = DeviceConfig::hd7950();
+        let cl = cfg.cacheline_bytes;
+        let name = launch.name.clone();
+        let stats = run_attributed(cfg, launch);
+        assert_sums_match(&stats, cl);
+        assert_eq!(
+            stats.per_buffer.len(),
+            3,
+            "mode {name}: src/dst/ctr expected"
+        );
+        // Distribution shape is also attributed.
+        assert_eq!(
+            stats.lane_occupancy.sum(),
+            stats.active_lane_ops,
+            "mode {name}"
+        );
+        assert_eq!(stats.lane_occupancy.count(), stats.steps, "mode {name}");
+        assert_eq!(stats.wg_duration.count(), stats.workgroups, "mode {name}");
+    }
+}
+
+#[test]
+fn per_buffer_sums_equal_totals_with_explicit_l2() {
+    let cfg = DeviceConfig::hd7950().with_l2();
+    let cl = cfg.cacheline_bytes;
+    let stats = run_attributed(cfg, Launch::threads("l2", N).dynamic());
+    assert!(
+        stats.l2_hits + stats.l2_misses > 0,
+        "L2 should be exercised"
+    );
+    assert_sums_match(&stats, cl);
+}
+
+#[test]
+fn scattered_buffer_coalesces_worse_than_streaming_buffer() {
+    let stats = run_attributed(
+        DeviceConfig::hd7950(),
+        Launch::threads("coalesce", N).dynamic(),
+    );
+    // `src` takes one streaming and one scattered read per item; `dst` only a
+    // streaming write. So src must need strictly more transactions per vector
+    // instruction than dst.
+    let src = &stats.per_buffer["src"];
+    let dst = &stats.per_buffer["dst"];
+    assert!(
+        src.tx_per_instruction() > dst.tx_per_instruction(),
+        "src {} vs dst {}",
+        src.tx_per_instruction(),
+        dst.tx_per_instruction()
+    );
+}
+
+#[test]
+fn hot_lines_attribute_atomic_traffic() {
+    let stats = run_attributed(DeviceConfig::hd7950(), Launch::threads("hot", N).dynamic());
+    // All atomics land in the 8-word `ctr` buffer: its single cache line must
+    // top the hot list, and hot-line traffic is bounded by the atomic total.
+    let top = stats.hot_lines.first().expect("hot lines recorded");
+    assert_eq!(top.buffer, "ctr");
+    assert_eq!(
+        stats
+            .hot_lines
+            .iter()
+            .map(|h| h.atomic_lane_ops)
+            .sum::<u64>(),
+        stats.global_atomics
+    );
+}
+
+#[test]
+fn steal_depth_histogram_counts_every_pop() {
+    let stats = run_attributed(
+        DeviceConfig::hd7950(),
+        Launch::threads("pops", N).stealing(128),
+    );
+    assert!(stats.steal_pops > 0);
+    assert_eq!(stats.steal_depth.count(), stats.steal_pops);
 }

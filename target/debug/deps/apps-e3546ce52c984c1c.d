@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-e3546ce52c984c1c.d: crates/bench/benches/apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-e3546ce52c984c1c.rmeta: crates/bench/benches/apps.rs Cargo.toml
+
+crates/bench/benches/apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_pipeline-af85de69199a4042.d: tests/apps_pipeline.rs
+
+/root/repo/target/debug/deps/apps_pipeline-af85de69199a4042: tests/apps_pipeline.rs
+
+tests/apps_pipeline.rs:

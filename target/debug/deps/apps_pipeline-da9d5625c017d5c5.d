@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps_pipeline-da9d5625c017d5c5.d: tests/apps_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps_pipeline-da9d5625c017d5c5.rmeta: tests/apps_pipeline.rs Cargo.toml
+
+tests/apps_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

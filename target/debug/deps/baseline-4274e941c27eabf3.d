@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline-4274e941c27eabf3.d: crates/bench/benches/baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline-4274e941c27eabf3.rmeta: crates/bench/benches/baseline.rs Cargo.toml
+
+crates/bench/benches/baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

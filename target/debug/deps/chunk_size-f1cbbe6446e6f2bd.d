@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chunk_size-f1cbbe6446e6f2bd.d: crates/bench/benches/chunk_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchunk_size-f1cbbe6446e6f2bd.rmeta: crates/bench/benches/chunk_size.rs Cargo.toml
+
+crates/bench/benches/chunk_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

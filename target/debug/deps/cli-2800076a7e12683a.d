@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cli-2800076a7e12683a.d: crates/bench/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-2800076a7e12683a.rmeta: crates/bench/tests/cli.rs Cargo.toml
+
+crates/bench/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_gc-bench-diff=placeholder:gc-bench-diff
+# env-dep:CARGO_BIN_EXE_gc-color=placeholder:gc-color
+# env-dep:CARGO_BIN_EXE_gc-profile=placeholder:gc-profile
+# env-dep:CARGO_BIN_EXE_repro=placeholder:repro
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

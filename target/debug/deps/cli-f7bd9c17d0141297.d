@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-f7bd9c17d0141297.d: crates/bench/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-f7bd9c17d0141297: crates/bench/tests/cli.rs
+
+crates/bench/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_gc-bench-diff=/root/repo/target/debug/gc-bench-diff
+# env-dep:CARGO_BIN_EXE_gc-color=/root/repo/target/debug/gc-color
+# env-dep:CARGO_BIN_EXE_gc-profile=/root/repo/target/debug/gc-profile
+# env-dep:CARGO_BIN_EXE_repro=/root/repo/target/debug/repro

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coloring_correctness-2ec764c8b34d744c.d: tests/coloring_correctness.rs
+
+/root/repo/target/debug/deps/coloring_correctness-2ec764c8b34d744c: tests/coloring_correctness.rs
+
+tests/coloring_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coloring_correctness-5707a3b8d2f10b60.d: tests/coloring_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoloring_correctness-5707a3b8d2f10b60.rmeta: tests/coloring_correctness.rs Cargo.toml
+
+tests/coloring_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpu_algorithms-86d838a045345027.d: crates/bench/benches/cpu_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpu_algorithms-86d838a045345027.rmeta: crates/bench/benches/cpu_algorithms.rs Cargo.toml
+
+crates/bench/benches/cpu_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

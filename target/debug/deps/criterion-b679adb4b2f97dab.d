@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b679adb4b2f97dab.d: .stubcheck/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b679adb4b2f97dab.rmeta: .stubcheck/stubs/criterion/src/lib.rs
+
+.stubcheck/stubs/criterion/src/lib.rs:

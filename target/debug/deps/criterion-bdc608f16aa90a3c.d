@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-bdc608f16aa90a3c.d: .stubcheck/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bdc608f16aa90a3c.rlib: .stubcheck/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bdc608f16aa90a3c.rmeta: .stubcheck/stubs/criterion/src/lib.rs
+
+.stubcheck/stubs/criterion/src/lib.rs:

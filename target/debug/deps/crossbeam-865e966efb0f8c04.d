@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-865e966efb0f8c04.d: .stubcheck/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-865e966efb0f8c04.rmeta: .stubcheck/stubs/crossbeam/src/lib.rs
+
+.stubcheck/stubs/crossbeam/src/lib.rs:

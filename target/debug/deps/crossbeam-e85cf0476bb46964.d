@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-e85cf0476bb46964.d: .stubcheck/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e85cf0476bb46964.rlib: .stubcheck/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e85cf0476bb46964.rmeta: .stubcheck/stubs/crossbeam/src/lib.rs
+
+.stubcheck/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ec0586bdb6b3afad.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ec0586bdb6b3afad: tests/determinism.rs
+
+tests/determinism.rs:

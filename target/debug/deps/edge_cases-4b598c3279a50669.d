@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-4b598c3279a50669.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-4b598c3279a50669: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

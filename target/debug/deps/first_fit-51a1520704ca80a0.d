@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/first_fit-51a1520704ca80a0.d: crates/bench/benches/first_fit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfirst_fit-51a1520704ca80a0.rmeta: crates/bench/benches/first_fit.rs Cargo.toml
+
+crates/bench/benches/first_fit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gc_apps-0dc60ae4cdfbde92.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+/root/repo/target/debug/deps/libgc_apps-0dc60ae4cdfbde92.rlib: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+/root/repo/target/debug/deps/libgc_apps-0dc60ae4cdfbde92.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/gauss_seidel.rs:
+crates/apps/src/mis.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/sssp.rs:

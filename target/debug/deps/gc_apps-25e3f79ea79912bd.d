@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gc_apps-25e3f79ea79912bd.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_apps-25e3f79ea79912bd.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/gauss_seidel.rs:
+crates/apps/src/mis.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/sssp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

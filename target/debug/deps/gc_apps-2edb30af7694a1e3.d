@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gc_apps-2edb30af7694a1e3.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+/root/repo/target/debug/deps/gc_apps-2edb30af7694a1e3: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/gauss_seidel.rs crates/apps/src/mis.rs crates/apps/src/pagerank.rs crates/apps/src/sssp.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/gauss_seidel.rs:
+crates/apps/src/mis.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/sssp.rs:

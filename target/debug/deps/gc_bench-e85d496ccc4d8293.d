@@ -1,0 +1,35 @@
+/root/repo/target/debug/deps/gc_bench-e85d496ccc4d8293.d: crates/bench/src/lib.rs crates/bench/src/baseline.rs crates/bench/src/capture.rs crates/bench/src/cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/f01_baseline.rs crates/bench/src/experiments/f02_colors.rs crates/bench/src/experiments/f03_active.rs crates/bench/src/experiments/f04_simd.rs crates/bench/src/experiments/f05_imbalance.rs crates/bench/src/experiments/f06_stealing.rs crates/bench/src/experiments/f07_headline.rs crates/bench/src/experiments/f08_chunk.rs crates/bench/src/experiments/f09_threshold.rs crates/bench/src/experiments/f10_occupancy.rs crates/bench/src/experiments/f11_firstfit.rs crates/bench/src/experiments/f12_frontier.rs crates/bench/src/experiments/f13_devices.rs crates/bench/src/experiments/f14_launch.rs crates/bench/src/experiments/f15_breakdown.rs crates/bench/src/experiments/f16_relabel.rs crates/bench/src/experiments/f17_cache.rs crates/bench/src/experiments/f18_balance.rs crates/bench/src/experiments/f19_building_block.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t2_iterations.rs crates/bench/src/profile_report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgc_bench-e85d496ccc4d8293.rlib: crates/bench/src/lib.rs crates/bench/src/baseline.rs crates/bench/src/capture.rs crates/bench/src/cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/f01_baseline.rs crates/bench/src/experiments/f02_colors.rs crates/bench/src/experiments/f03_active.rs crates/bench/src/experiments/f04_simd.rs crates/bench/src/experiments/f05_imbalance.rs crates/bench/src/experiments/f06_stealing.rs crates/bench/src/experiments/f07_headline.rs crates/bench/src/experiments/f08_chunk.rs crates/bench/src/experiments/f09_threshold.rs crates/bench/src/experiments/f10_occupancy.rs crates/bench/src/experiments/f11_firstfit.rs crates/bench/src/experiments/f12_frontier.rs crates/bench/src/experiments/f13_devices.rs crates/bench/src/experiments/f14_launch.rs crates/bench/src/experiments/f15_breakdown.rs crates/bench/src/experiments/f16_relabel.rs crates/bench/src/experiments/f17_cache.rs crates/bench/src/experiments/f18_balance.rs crates/bench/src/experiments/f19_building_block.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t2_iterations.rs crates/bench/src/profile_report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgc_bench-e85d496ccc4d8293.rmeta: crates/bench/src/lib.rs crates/bench/src/baseline.rs crates/bench/src/capture.rs crates/bench/src/cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/f01_baseline.rs crates/bench/src/experiments/f02_colors.rs crates/bench/src/experiments/f03_active.rs crates/bench/src/experiments/f04_simd.rs crates/bench/src/experiments/f05_imbalance.rs crates/bench/src/experiments/f06_stealing.rs crates/bench/src/experiments/f07_headline.rs crates/bench/src/experiments/f08_chunk.rs crates/bench/src/experiments/f09_threshold.rs crates/bench/src/experiments/f10_occupancy.rs crates/bench/src/experiments/f11_firstfit.rs crates/bench/src/experiments/f12_frontier.rs crates/bench/src/experiments/f13_devices.rs crates/bench/src/experiments/f14_launch.rs crates/bench/src/experiments/f15_breakdown.rs crates/bench/src/experiments/f16_relabel.rs crates/bench/src/experiments/f17_cache.rs crates/bench/src/experiments/f18_balance.rs crates/bench/src/experiments/f19_building_block.rs crates/bench/src/experiments/t1_datasets.rs crates/bench/src/experiments/t2_iterations.rs crates/bench/src/profile_report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/baseline.rs:
+crates/bench/src/capture.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/f01_baseline.rs:
+crates/bench/src/experiments/f02_colors.rs:
+crates/bench/src/experiments/f03_active.rs:
+crates/bench/src/experiments/f04_simd.rs:
+crates/bench/src/experiments/f05_imbalance.rs:
+crates/bench/src/experiments/f06_stealing.rs:
+crates/bench/src/experiments/f07_headline.rs:
+crates/bench/src/experiments/f08_chunk.rs:
+crates/bench/src/experiments/f09_threshold.rs:
+crates/bench/src/experiments/f10_occupancy.rs:
+crates/bench/src/experiments/f11_firstfit.rs:
+crates/bench/src/experiments/f12_frontier.rs:
+crates/bench/src/experiments/f13_devices.rs:
+crates/bench/src/experiments/f14_launch.rs:
+crates/bench/src/experiments/f15_breakdown.rs:
+crates/bench/src/experiments/f16_relabel.rs:
+crates/bench/src/experiments/f17_cache.rs:
+crates/bench/src/experiments/f18_balance.rs:
+crates/bench/src/experiments/f19_building_block.rs:
+crates/bench/src/experiments/t1_datasets.rs:
+crates/bench/src/experiments/t2_iterations.rs:
+crates/bench/src/profile_report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

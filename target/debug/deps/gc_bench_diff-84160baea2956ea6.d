@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_bench_diff-84160baea2956ea6.d: crates/bench/src/bin/gc-bench-diff.rs
+
+/root/repo/target/debug/deps/gc_bench_diff-84160baea2956ea6: crates/bench/src/bin/gc-bench-diff.rs
+
+crates/bench/src/bin/gc-bench-diff.rs:

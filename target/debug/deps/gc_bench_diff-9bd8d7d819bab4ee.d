@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_bench_diff-9bd8d7d819bab4ee.d: crates/bench/src/bin/gc-bench-diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_bench_diff-9bd8d7d819bab4ee.rmeta: crates/bench/src/bin/gc-bench-diff.rs Cargo.toml
+
+crates/bench/src/bin/gc-bench-diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

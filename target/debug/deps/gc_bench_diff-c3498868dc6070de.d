@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_bench_diff-c3498868dc6070de.d: crates/bench/src/bin/gc-bench-diff.rs
+
+/root/repo/target/debug/deps/gc_bench_diff-c3498868dc6070de: crates/bench/src/bin/gc-bench-diff.rs
+
+crates/bench/src/bin/gc-bench-diff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_color-40bfe5ce0e536c3a.d: crates/bench/src/bin/gc-color.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_color-40bfe5ce0e536c3a.rmeta: crates/bench/src/bin/gc-color.rs Cargo.toml
+
+crates/bench/src/bin/gc-color.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

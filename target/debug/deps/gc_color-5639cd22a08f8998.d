@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_color-5639cd22a08f8998.d: crates/bench/src/bin/gc-color.rs
+
+/root/repo/target/debug/deps/gc_color-5639cd22a08f8998: crates/bench/src/bin/gc-color.rs
+
+crates/bench/src/bin/gc-color.rs:

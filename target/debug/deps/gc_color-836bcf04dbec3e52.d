@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_color-836bcf04dbec3e52.d: crates/bench/src/bin/gc-color.rs
+
+/root/repo/target/debug/deps/gc_color-836bcf04dbec3e52: crates/bench/src/bin/gc-color.rs
+
+crates/bench/src/bin/gc-color.rs:

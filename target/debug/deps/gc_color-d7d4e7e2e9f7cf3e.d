@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_color-d7d4e7e2e9f7cf3e.d: crates/bench/src/bin/gc-color.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_color-d7d4e7e2e9f7cf3e.rmeta: crates/bench/src/bin/gc-color.rs Cargo.toml
+
+crates/bench/src/bin/gc-color.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/gc_core-5fade5d5fc33ce12.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/cpu/mod.rs crates/core/src/cpu/jones_plassmann.rs crates/core/src/cpu/speculative.rs crates/core/src/gpu/mod.rs crates/core/src/gpu/driver.rs crates/core/src/gpu/first_fit.rs crates/core/src/gpu/jp.rs crates/core/src/gpu/maxmin.rs crates/core/src/gpu/options.rs crates/core/src/report.rs crates/core/src/seq/mod.rs crates/core/src/seq/distance2.rs crates/core/src/seq/dsatur.rs crates/core/src/seq/greedy.rs crates/core/src/seq/ordering.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/gc_core-5fade5d5fc33ce12: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/cpu/mod.rs crates/core/src/cpu/jones_plassmann.rs crates/core/src/cpu/speculative.rs crates/core/src/gpu/mod.rs crates/core/src/gpu/driver.rs crates/core/src/gpu/first_fit.rs crates/core/src/gpu/jp.rs crates/core/src/gpu/maxmin.rs crates/core/src/gpu/options.rs crates/core/src/report.rs crates/core/src/seq/mod.rs crates/core/src/seq/distance2.rs crates/core/src/seq/dsatur.rs crates/core/src/seq/greedy.rs crates/core/src/seq/ordering.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/cpu/mod.rs:
+crates/core/src/cpu/jones_plassmann.rs:
+crates/core/src/cpu/speculative.rs:
+crates/core/src/gpu/mod.rs:
+crates/core/src/gpu/driver.rs:
+crates/core/src/gpu/first_fit.rs:
+crates/core/src/gpu/jp.rs:
+crates/core/src/gpu/maxmin.rs:
+crates/core/src/gpu/options.rs:
+crates/core/src/report.rs:
+crates/core/src/seq/mod.rs:
+crates/core/src/seq/distance2.rs:
+crates/core/src/seq/dsatur.rs:
+crates/core/src/seq/greedy.rs:
+crates/core/src/seq/ordering.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/gc_core-9e54108700c17e67.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/cpu/mod.rs crates/core/src/cpu/jones_plassmann.rs crates/core/src/cpu/speculative.rs crates/core/src/gpu/mod.rs crates/core/src/gpu/driver.rs crates/core/src/gpu/first_fit.rs crates/core/src/gpu/jp.rs crates/core/src/gpu/maxmin.rs crates/core/src/gpu/options.rs crates/core/src/report.rs crates/core/src/seq/mod.rs crates/core/src/seq/distance2.rs crates/core/src/seq/dsatur.rs crates/core/src/seq/greedy.rs crates/core/src/seq/ordering.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libgc_core-9e54108700c17e67.rlib: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/cpu/mod.rs crates/core/src/cpu/jones_plassmann.rs crates/core/src/cpu/speculative.rs crates/core/src/gpu/mod.rs crates/core/src/gpu/driver.rs crates/core/src/gpu/first_fit.rs crates/core/src/gpu/jp.rs crates/core/src/gpu/maxmin.rs crates/core/src/gpu/options.rs crates/core/src/report.rs crates/core/src/seq/mod.rs crates/core/src/seq/distance2.rs crates/core/src/seq/dsatur.rs crates/core/src/seq/greedy.rs crates/core/src/seq/ordering.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libgc_core-9e54108700c17e67.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/cpu/mod.rs crates/core/src/cpu/jones_plassmann.rs crates/core/src/cpu/speculative.rs crates/core/src/gpu/mod.rs crates/core/src/gpu/driver.rs crates/core/src/gpu/first_fit.rs crates/core/src/gpu/jp.rs crates/core/src/gpu/maxmin.rs crates/core/src/gpu/options.rs crates/core/src/report.rs crates/core/src/seq/mod.rs crates/core/src/seq/distance2.rs crates/core/src/seq/dsatur.rs crates/core/src/seq/greedy.rs crates/core/src/seq/ordering.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/cpu/mod.rs:
+crates/core/src/cpu/jones_plassmann.rs:
+crates/core/src/cpu/speculative.rs:
+crates/core/src/gpu/mod.rs:
+crates/core/src/gpu/driver.rs:
+crates/core/src/gpu/first_fit.rs:
+crates/core/src/gpu/jp.rs:
+crates/core/src/gpu/maxmin.rs:
+crates/core/src/gpu/options.rs:
+crates/core/src/report.rs:
+crates/core/src/seq/mod.rs:
+crates/core/src/seq/distance2.rs:
+crates/core/src/seq/dsatur.rs:
+crates/core/src/seq/greedy.rs:
+crates/core/src/seq/ordering.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gc_gpusim-4369cc35bc2f452b.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+/root/repo/target/debug/deps/gc_gpusim-4369cc35bc2f452b: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/cache.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/lane.rs:
+crates/gpusim/src/metrics.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/scheduler.rs:
+crates/gpusim/src/trace.rs:
+crates/gpusim/src/wave.rs:
+crates/gpusim/src/workgroup.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/gc_gpusim-571cd79b39db664e.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_gpusim-571cd79b39db664e.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/cache.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/lane.rs:
+crates/gpusim/src/metrics.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/scheduler.rs:
+crates/gpusim/src/trace.rs:
+crates/gpusim/src/wave.rs:
+crates/gpusim/src/workgroup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gc_gpusim-bce54de69711d3f2.d: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+/root/repo/target/debug/deps/libgc_gpusim-bce54de69711d3f2.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+/root/repo/target/debug/deps/libgc_gpusim-bce54de69711d3f2.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/buffer.rs crates/gpusim/src/cache.rs crates/gpusim/src/config.rs crates/gpusim/src/gpu.rs crates/gpusim/src/kernel.rs crates/gpusim/src/lane.rs crates/gpusim/src/metrics.rs crates/gpusim/src/profile.rs crates/gpusim/src/scheduler.rs crates/gpusim/src/trace.rs crates/gpusim/src/wave.rs crates/gpusim/src/workgroup.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/buffer.rs:
+crates/gpusim/src/cache.rs:
+crates/gpusim/src/config.rs:
+crates/gpusim/src/gpu.rs:
+crates/gpusim/src/kernel.rs:
+crates/gpusim/src/lane.rs:
+crates/gpusim/src/metrics.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/scheduler.rs:
+crates/gpusim/src/trace.rs:
+crates/gpusim/src/wave.rs:
+crates/gpusim/src/workgroup.rs:

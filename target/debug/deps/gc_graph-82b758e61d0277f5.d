@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/gc_graph-82b758e61d0277f5.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/degree.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/barabasi_albert.rs crates/graph/src/generators/erdos_renyi.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/generators/small_world.rs crates/graph/src/io/mod.rs crates/graph/src/io/binary.rs crates/graph/src/io/dimacs.rs crates/graph/src/io/edge_list.rs crates/graph/src/io/matrix_market.rs crates/graph/src/relabel.rs crates/graph/src/traversal.rs
+
+/root/repo/target/debug/deps/gc_graph-82b758e61d0277f5: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/datasets.rs crates/graph/src/degree.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/barabasi_albert.rs crates/graph/src/generators/erdos_renyi.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/regular.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/road.rs crates/graph/src/generators/small_world.rs crates/graph/src/io/mod.rs crates/graph/src/io/binary.rs crates/graph/src/io/dimacs.rs crates/graph/src/io/edge_list.rs crates/graph/src/io/matrix_market.rs crates/graph/src/relabel.rs crates/graph/src/traversal.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/datasets.rs:
+crates/graph/src/degree.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/barabasi_albert.rs:
+crates/graph/src/generators/erdos_renyi.rs:
+crates/graph/src/generators/grid.rs:
+crates/graph/src/generators/regular.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/generators/road.rs:
+crates/graph/src/generators/small_world.rs:
+crates/graph/src/io/mod.rs:
+crates/graph/src/io/binary.rs:
+crates/graph/src/io/dimacs.rs:
+crates/graph/src/io/edge_list.rs:
+crates/graph/src/io/matrix_market.rs:
+crates/graph/src/relabel.rs:
+crates/graph/src/traversal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_profile-078618dbfc999bac.d: crates/bench/src/bin/gc-profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_profile-078618dbfc999bac.rmeta: crates/bench/src/bin/gc-profile.rs Cargo.toml
+
+crates/bench/src/bin/gc-profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

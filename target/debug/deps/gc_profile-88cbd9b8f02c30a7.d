@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_profile-88cbd9b8f02c30a7.d: crates/bench/src/bin/gc-profile.rs
+
+/root/repo/target/debug/deps/gc_profile-88cbd9b8f02c30a7: crates/bench/src/bin/gc-profile.rs
+
+crates/bench/src/bin/gc-profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_profile-e2a470ea6875ce72.d: crates/bench/src/bin/gc-profile.rs
+
+/root/repo/target/debug/deps/gc_profile-e2a470ea6875ce72: crates/bench/src/bin/gc-profile.rs
+
+crates/bench/src/bin/gc-profile.rs:

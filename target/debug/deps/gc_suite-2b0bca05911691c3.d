@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_suite-2b0bca05911691c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/gc_suite-2b0bca05911691c3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_suite-8c95a77a82af6d33.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_suite-8c95a77a82af6d33.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

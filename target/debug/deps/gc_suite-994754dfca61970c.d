@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gc_suite-994754dfca61970c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgc_suite-994754dfca61970c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgc_suite-994754dfca61970c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid-93a1482d2713b058.d: crates/bench/benches/hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid-93a1482d2713b058.rmeta: crates/bench/benches/hybrid.rs Cargo.toml
+
+crates/bench/benches/hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

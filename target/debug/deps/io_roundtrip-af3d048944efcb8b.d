@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_roundtrip-af3d048944efcb8b.d: tests/io_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_roundtrip-af3d048944efcb8b.rmeta: tests/io_roundtrip.rs Cargo.toml
+
+tests/io_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_roundtrip-e95c2b6edfe3fc8a.d: tests/io_roundtrip.rs
+
+/root/repo/target/debug/deps/io_roundtrip-e95c2b6edfe3fc8a: tests/io_roundtrip.rs
+
+tests/io_roundtrip.rs:

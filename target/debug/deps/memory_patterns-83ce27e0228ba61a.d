@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_patterns-83ce27e0228ba61a.d: crates/gpusim/tests/memory_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_patterns-83ce27e0228ba61a.rmeta: crates/gpusim/tests/memory_patterns.rs Cargo.toml
+
+crates/gpusim/tests/memory_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

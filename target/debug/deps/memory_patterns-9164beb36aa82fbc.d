@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_patterns-9164beb36aa82fbc.d: crates/gpusim/tests/memory_patterns.rs
+
+/root/repo/target/debug/deps/memory_patterns-9164beb36aa82fbc: crates/gpusim/tests/memory_patterns.rs
+
+crates/gpusim/tests/memory_patterns.rs:

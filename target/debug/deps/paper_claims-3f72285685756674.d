@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-3f72285685756674.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-3f72285685756674: tests/paper_claims.rs
+
+tests/paper_claims.rs:

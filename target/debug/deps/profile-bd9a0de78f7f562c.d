@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-bd9a0de78f7f562c.d: crates/gpusim/tests/profile.rs
+
+/root/repo/target/debug/deps/profile-bd9a0de78f7f562c: crates/gpusim/tests/profile.rs
+
+crates/gpusim/tests/profile.rs:

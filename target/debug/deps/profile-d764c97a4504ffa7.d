@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-d764c97a4504ffa7.d: crates/gpusim/tests/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile-d764c97a4504ffa7.rmeta: crates/gpusim/tests/profile.rs Cargo.toml
+
+crates/gpusim/tests/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

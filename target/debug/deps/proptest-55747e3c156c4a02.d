@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-55747e3c156c4a02.d: .stubcheck/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-55747e3c156c4a02.rlib: .stubcheck/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-55747e3c156c4a02.rmeta: .stubcheck/stubs/proptest/src/lib.rs
+
+.stubcheck/stubs/proptest/src/lib.rs:

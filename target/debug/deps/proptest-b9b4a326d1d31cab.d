@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b9b4a326d1d31cab.d: .stubcheck/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b9b4a326d1d31cab.rmeta: .stubcheck/stubs/proptest/src/lib.rs
+
+.stubcheck/stubs/proptest/src/lib.rs:

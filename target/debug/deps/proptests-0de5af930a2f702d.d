@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0de5af930a2f702d.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0de5af930a2f702d: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

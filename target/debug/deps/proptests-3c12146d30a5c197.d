@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3c12146d30a5c197.d: crates/gpusim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3c12146d30a5c197: crates/gpusim/tests/proptests.rs
+
+crates/gpusim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-604e491588591e26.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-604e491588591e26: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

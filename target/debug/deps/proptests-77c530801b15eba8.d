@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-77c530801b15eba8.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-77c530801b15eba8: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-862951591a98f57c.d: crates/gpusim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-862951591a98f57c.rmeta: crates/gpusim/tests/proptests.rs Cargo.toml
+
+crates/gpusim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ef1ddb9daf03b313.d: crates/apps/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ef1ddb9daf03b313.rmeta: crates/apps/tests/proptests.rs Cargo.toml
+
+crates/apps/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quality_bounds-9f19b835295e1a24.d: tests/quality_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquality_bounds-9f19b835295e1a24.rmeta: tests/quality_bounds.rs Cargo.toml
+
+tests/quality_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality_bounds-b7fe75b097fc16ea.d: tests/quality_bounds.rs
+
+/root/repo/target/debug/deps/quality_bounds-b7fe75b097fc16ea: tests/quality_bounds.rs
+
+tests/quality_bounds.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-274e539751437b56.d: .stubcheck/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-274e539751437b56.rlib: .stubcheck/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-274e539751437b56.rmeta: .stubcheck/stubs/rand/src/lib.rs
+
+.stubcheck/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4d46e19804f252ca.d: .stubcheck/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4d46e19804f252ca.rmeta: .stubcheck/stubs/rand/src/lib.rs
+
+.stubcheck/stubs/rand/src/lib.rs:

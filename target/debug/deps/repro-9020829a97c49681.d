@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9020829a97c49681.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9020829a97c49681: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2f9a0057f3657018.d: .stubcheck/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2f9a0057f3657018.rlib: .stubcheck/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2f9a0057f3657018.rmeta: .stubcheck/stubs/serde/src/lib.rs
+
+.stubcheck/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-74d9a7d0522507d2.d: .stubcheck/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-74d9a7d0522507d2.rmeta: .stubcheck/stubs/serde/src/lib.rs
+
+.stubcheck/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-20567620817e9f46.d: .stubcheck/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-20567620817e9f46.rlib: .stubcheck/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-20567620817e9f46.rmeta: .stubcheck/stubs/serde_json/src/lib.rs
+
+.stubcheck/stubs/serde_json/src/lib.rs:

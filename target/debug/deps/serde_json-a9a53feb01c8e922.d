@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-a9a53feb01c8e922.d: .stubcheck/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-a9a53feb01c8e922.rmeta: .stubcheck/stubs/serde_json/src/lib.rs
+
+.stubcheck/stubs/serde_json/src/lib.rs:

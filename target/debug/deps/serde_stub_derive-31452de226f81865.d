@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_stub_derive-31452de226f81865.d: .stubcheck/stubs/serde_stub_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_stub_derive-31452de226f81865.so: .stubcheck/stubs/serde_stub_derive/src/lib.rs
+
+.stubcheck/stubs/serde_stub_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stealing-b2cbbc0cb02ec63b.d: crates/bench/benches/stealing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstealing-b2cbbc0cb02ec63b.rmeta: crates/bench/benches/stealing.rs Cargo.toml
+
+crates/bench/benches/stealing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_algorithms-3663e3295f55f2d1.d: examples/compare_algorithms.rs
+
+/root/repo/target/debug/examples/compare_algorithms-3663e3295f55f2d1: examples/compare_algorithms.rs
+
+examples/compare_algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_algorithms-a97c3585bde062ec.d: examples/compare_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_algorithms-a97c3585bde062ec.rmeta: examples/compare_algorithms.rs Cargo.toml
+
+examples/compare_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

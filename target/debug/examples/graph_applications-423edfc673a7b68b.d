@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_applications-423edfc673a7b68b.d: examples/graph_applications.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_applications-423edfc673a7b68b.rmeta: examples/graph_applications.rs Cargo.toml
+
+examples/graph_applications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_applications-ed73bd758410d026.d: examples/graph_applications.rs
+
+/root/repo/target/debug/examples/graph_applications-ed73bd758410d026: examples/graph_applications.rs
+
+examples/graph_applications.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/imbalance_profile-6edad2a82ac8c13a.d: examples/imbalance_profile.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimbalance_profile-6edad2a82ac8c13a.rmeta: examples/imbalance_profile.rs Cargo.toml
+
+examples/imbalance_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/imbalance_profile-a57daa8d15d92d8c.d: examples/imbalance_profile.rs
+
+/root/repo/target/debug/examples/imbalance_profile-a57daa8d15d92d8c: examples/imbalance_profile.rs
+
+examples/imbalance_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-02c98ff7c9b963e4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-02c98ff7c9b963e4: examples/quickstart.rs
+
+examples/quickstart.rs:

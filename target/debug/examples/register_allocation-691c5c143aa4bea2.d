@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/register_allocation-691c5c143aa4bea2.d: examples/register_allocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libregister_allocation-691c5c143aa4bea2.rmeta: examples/register_allocation.rs Cargo.toml
+
+examples/register_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/register_allocation-cf78fa49ca8a79ab.d: examples/register_allocation.rs
+
+/root/repo/target/debug/examples/register_allocation-cf78fa49ca8a79ab: examples/register_allocation.rs
+
+examples/register_allocation.rs:

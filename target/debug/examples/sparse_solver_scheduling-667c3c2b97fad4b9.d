@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_solver_scheduling-667c3c2b97fad4b9.d: examples/sparse_solver_scheduling.rs
+
+/root/repo/target/debug/examples/sparse_solver_scheduling-667c3c2b97fad4b9: examples/sparse_solver_scheduling.rs
+
+examples/sparse_solver_scheduling.rs:

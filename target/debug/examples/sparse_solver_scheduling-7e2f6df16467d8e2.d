@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_solver_scheduling-7e2f6df16467d8e2.d: examples/sparse_solver_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_solver_scheduling-7e2f6df16467d8e2.rmeta: examples/sparse_solver_scheduling.rs Cargo.toml
+
+examples/sparse_solver_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

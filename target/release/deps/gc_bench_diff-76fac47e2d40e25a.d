@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gc_bench_diff-76fac47e2d40e25a.d: crates/bench/src/bin/gc-bench-diff.rs
+
+/root/repo/target/release/deps/gc_bench_diff-76fac47e2d40e25a: crates/bench/src/bin/gc-bench-diff.rs
+
+crates/bench/src/bin/gc-bench-diff.rs:
