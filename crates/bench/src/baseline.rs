@@ -53,7 +53,8 @@ pub struct DiffLine {
 }
 
 /// The headline grid: every suite dataset under the paper's baseline and
-/// fully-optimized max/min runs plus the speculative first-fit baseline.
+/// fully-optimized max/min runs, the speculative first-fit baseline, and
+/// the 2-device partitioned first-fit driver.
 fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
     vec![
         (Family::MaxMin, Config::Baseline, "maxmin", "baseline"),
@@ -64,6 +65,15 @@ fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
             "optimized",
         ),
         (Family::FirstFit, Config::Baseline, "firstfit", "baseline"),
+        (
+            Family::MultiFirstFit {
+                devices: 2,
+                strategy: gc_graph::PartitionStrategy::DegreeBalanced,
+            },
+            Config::Baseline,
+            "multiff2-degree-balanced",
+            "baseline",
+        ),
     ]
 }
 

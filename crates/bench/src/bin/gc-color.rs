@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use gc_bench::cli::{self, ColorArgs, JsonTarget, Parsed, ProfileFormat};
 use gc_core::{color_classes, verify_coloring, RunReport};
-use gc_gpusim::{ChromeTraceSink, Gpu, JsonlSink};
+use gc_gpusim::{ChromeTraceSink, Gpu, JsonlSink, MultiGpu, ProfileSink};
 
 const USAGE: &str = "gc-color — graph coloring on a simulated AMD GPU
 
@@ -30,6 +30,10 @@ options:
   --scale S            tiny | small | full for --dataset (default small)
   --algorithm A        maxmin | jp | firstfit | seq | dsatur (default maxmin)
   --optimized          enable work stealing + hybrid binning (GPU algorithms)
+  --devices N          simulated devices; N > 1 partitions the graph and runs
+                       the distributed first-fit driver (default 1)
+  --partition S        block | degree-balanced | bfs partitioning strategy
+                       for --devices > 1 (default degree-balanced)
   --device D           hd7950 | hd7970 | apu | warp32 (default hd7950)
   --seed N             priority permutation seed (default 3088)
   --out PATH           write `vertex color` lines
@@ -53,6 +57,9 @@ fn run(args: &ColorArgs, g: &gc_graph::CsrGraph) -> Result<RunReport, String> {
         );
         return cli::run_algorithm(args, g);
     }
+    if args.devices > 1 {
+        return run_multi_profiled(args, g, trace_path);
+    }
     let opts = cli::gpu_options(args)?;
     let mut gpu = Gpu::new(opts.device.clone());
     let report = match args.profile_format {
@@ -73,6 +80,71 @@ fn run(args: &ColorArgs, g: &gc_graph::CsrGraph) -> Result<RunReport, String> {
     };
     eprintln!("wrote trace {trace_path}");
     Ok(report)
+}
+
+/// Profile a multi-device run: one trace sink per simulated device, each
+/// written to its own file (`trace.json` → `trace.dev0.json`, …).
+fn run_multi_profiled(
+    args: &ColorArgs,
+    g: &gc_graph::CsrGraph,
+    trace_path: &str,
+) -> Result<RunReport, String> {
+    match args.profile_format {
+        ProfileFormat::Chrome => run_multi_with_sinks(args, g, trace_path, ChromeTraceSink::new),
+        ProfileFormat::Jsonl => run_multi_with_sinks(args, g, trace_path, JsonlSink::new),
+    }
+}
+
+/// The sink-type-generic body of [`run_multi_profiled`].
+fn run_multi_with_sinks<S>(
+    args: &ColorArgs,
+    g: &gc_graph::CsrGraph,
+    trace_path: &str,
+    new_sink: impl Fn() -> S,
+) -> Result<RunReport, String>
+where
+    S: ProfileSink + TraceWriter + 'static,
+{
+    let opts = cli::multi_options(args)?;
+    let mut mg = MultiGpu::new(args.devices, opts.base.device.clone(), opts.link.clone());
+    let sinks: Vec<Rc<RefCell<S>>> = (0..args.devices)
+        .map(|_| Rc::new(RefCell::new(new_sink())))
+        .collect();
+    for (i, sink) in sinks.iter().enumerate() {
+        mg.device(i).attach_profiler(sink.clone());
+    }
+    let report = cli::run_multi_on(&mut mg, g, &opts);
+    for (i, sink) in sinks.iter().enumerate() {
+        let path = device_trace_path(trace_path, i);
+        write_trace(&path, |w| sink.borrow().write(w))?;
+        eprintln!("wrote trace {path}");
+    }
+    Ok(report)
+}
+
+/// Uniform "serialize your trace" view over the concrete sink types.
+trait TraceWriter {
+    fn write(&self, w: &mut BufWriter<std::fs::File>) -> std::io::Result<()>;
+}
+
+impl TraceWriter for ChromeTraceSink {
+    fn write(&self, w: &mut BufWriter<std::fs::File>) -> std::io::Result<()> {
+        self.write_to(w)
+    }
+}
+
+impl TraceWriter for JsonlSink {
+    fn write(&self, w: &mut BufWriter<std::fs::File>) -> std::io::Result<()> {
+        self.write_to(w)
+    }
+}
+
+/// Insert `.devN` before the final extension: `trace.json` → `trace.dev0.json`.
+fn device_trace_path(path: &str, device: usize) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.dev{device}.{ext}"),
+        _ => format!("{path}.dev{device}"),
+    }
 }
 
 fn write_trace(

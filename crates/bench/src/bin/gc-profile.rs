@@ -16,10 +16,10 @@ use std::cell::RefCell;
 use std::io::{BufWriter, Write};
 use std::rc::Rc;
 
-use gc_bench::cli::{self, Parsed, ProfileFormat};
-use gc_bench::{render_profile_report, ProfileCapture};
+use gc_bench::cli::{self, ColorArgs, Parsed, ProfileFormat};
+use gc_bench::{render_multi_profile_report, render_profile_report, ProfileCapture};
 use gc_core::verify_coloring;
-use gc_gpusim::{CaptureSink, ChromeTraceSink, Gpu, JsonlSink};
+use gc_gpusim::{CaptureSink, ChromeTraceSink, Gpu, JsonlSink, MultiGpu};
 
 const USAGE: &str = "gc-profile — profile a coloring run on the simulated GPU
 
@@ -33,6 +33,10 @@ options:
   --scale S            tiny | small | full for --dataset (default small)
   --algorithm A        maxmin | jp | firstfit (device algorithms only)
   --optimized          enable work stealing + hybrid binning
+  --devices N          simulated devices; N > 1 profiles the partitioned
+                       distributed first-fit driver (default 1)
+  --partition S        block | degree-balanced | bfs partitioning strategy
+                       for --devices > 1 (default degree-balanced)
   --device D           hd7950 | hd7970 | apu | warp32 (default hd7950)
   --seed N             priority permutation seed (default 3088)
   --profile PATH       also write the event trace (for Perfetto)
@@ -40,6 +44,53 @@ options:
   --save-capture PATH  save the report + events as JSON for --from-capture
   --json [PATH]        dump the run report as JSON (stdout if no PATH)
   --help               this text";
+
+/// Profile the multi-device driver: one capture per device, rendered as
+/// the multi-device report (partition summary + per-device sections).
+fn run_multi(args: &ColorArgs, g: &gc_graph::CsrGraph) {
+    if args.save_capture.is_some() {
+        eprintln!("warning: --save-capture holds a single device's events; not written for multi-device runs");
+    }
+    if args.profile.is_some() {
+        eprintln!("warning: use `gc-color --devices N --profile PATH` for per-device trace files");
+    }
+    let opts = cli::multi_options(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut mg = MultiGpu::new(args.devices, opts.base.device.clone(), opts.link.clone());
+    let sinks: Vec<Rc<RefCell<CaptureSink>>> = (0..args.devices)
+        .map(|_| Rc::new(RefCell::new(CaptureSink::new())))
+        .collect();
+    for (i, sink) in sinks.iter().enumerate() {
+        mg.device(i).attach_profiler(sink.clone());
+    }
+    let report = cli::run_multi_on(&mut mg, g, &opts);
+    verify_coloring(g, &report.colors).unwrap_or_else(|e| {
+        eprintln!("internal error: invalid coloring produced: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("{}", report.summary());
+    let captures: Vec<CaptureSink> = sinks.iter().map(|s| s.borrow().clone()).collect();
+    print!("{}", render_multi_profile_report(&report, &captures));
+
+    if let Some(target) = &args.json {
+        let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+            eprintln!("error: serialize report: {e}");
+            std::process::exit(1);
+        });
+        match target {
+            cli::JsonTarget::Stdout => println!("{json}"),
+            cli::JsonTarget::File(path) => {
+                std::fs::write(path, json.as_bytes()).unwrap_or_else(|e| {
+                    eprintln!("error: write {path}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}
 
 fn main() {
     let args = match cli::parse_color_args(std::env::args().skip(1)) {
@@ -82,6 +133,11 @@ fn main() {
         g.num_vertices(),
         g.num_edges()
     );
+
+    if args.devices > 1 {
+        run_multi(&args, &g);
+        return;
+    }
 
     let opts = cli::gpu_options(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");

@@ -5,13 +5,16 @@
 use std::io::BufReader;
 
 use gc_core::{gpu, seq, GpuOptions, RunReport, VertexOrdering};
-use gc_gpusim::{DeviceConfig, Gpu};
+use gc_gpusim::{DeviceConfig, Gpu, MultiGpu};
+use gc_graph::partition::{PartitionStrategy, STRATEGY_NAMES};
 use gc_graph::{io, CsrGraph, Scale};
 
 /// Valid `--algorithm` values, in help order.
 pub const ALGORITHMS: &[&str] = &["maxmin", "jp", "firstfit", "seq", "dsatur"];
 /// Valid `--device` values.
 pub const DEVICES: &[&str] = &["hd7950", "hd7970", "apu", "warp32"];
+/// Default `--partition` strategy for multi-device runs.
+pub const DEFAULT_PARTITION: &str = "degree-balanced";
 
 /// Trace output format selected by `--profile-format`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +43,11 @@ pub struct ColorArgs {
     pub optimized: bool,
     /// `--frontier`: worklist compaction (only touch uncolored vertices).
     pub frontier: bool,
+    /// `--devices N`: simulated devices; >1 selects the multi-device
+    /// partitioned first-fit driver.
+    pub devices: usize,
+    /// `--partition S`: partitioning strategy for `--devices > 1`.
+    pub partition: Option<String>,
     pub device: String,
     pub seed: u64,
     pub out: Option<String>,
@@ -68,6 +76,8 @@ impl Default for ColorArgs {
             algorithm: "maxmin".into(),
             optimized: false,
             frontier: false,
+            devices: 1,
+            partition: None,
             device: "hd7950".into(),
             seed: 0xC10,
             out: None,
@@ -93,6 +103,7 @@ pub enum Parsed {
 /// happens here so mistakes fail before any graph is loaded.
 pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut args = ColorArgs::default();
+    let mut algorithm_explicit = false;
     let mut argv = argv.into_iter().peekable();
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| {
@@ -120,9 +131,25 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                     ));
                 }
                 args.algorithm = a;
+                algorithm_explicit = true;
             }
             "--optimized" => args.optimized = true,
             "--frontier" => args.frontier = true,
+            "--devices" => {
+                args.devices = value("--devices")?
+                    .parse()
+                    .map_err(|e| format!("bad --devices: {e}"))?
+            }
+            "--partition" => {
+                let p = value("--partition")?;
+                if PartitionStrategy::by_name(&p).is_none() {
+                    return Err(format!(
+                        "unknown partition strategy '{p}' ({})",
+                        STRATEGY_NAMES.join(" | ")
+                    ));
+                }
+                args.partition = Some(p);
+            }
             "--device" => {
                 let d = value("--device")?;
                 if !DEVICES.contains(&d.as_str()) {
@@ -170,6 +197,23 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
         }
     } else if args.input.is_none() == args.dataset.is_none() {
         return Err("exactly one of --input or --dataset is required".into());
+    }
+    if args.devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    if args.devices > 1 {
+        // Only the speculative first-fit driver has a distributed
+        // conflict-resolution protocol; other algorithms stay single-device.
+        if algorithm_explicit && args.algorithm != "firstfit" {
+            return Err(format!(
+                "--devices {} requires --algorithm firstfit (got '{}')",
+                args.devices, args.algorithm
+            ));
+        }
+        args.algorithm = "firstfit".into();
+    } else if args.partition.is_some() {
+        // Harmless, but almost certainly a mistake worth flagging.
+        return Err("--partition only applies with --devices > 1".into());
     }
     Ok(Parsed::Run(Box::new(args)))
 }
@@ -237,10 +281,31 @@ pub fn gpu_options(args: &ColorArgs) -> Result<GpuOptions, String> {
         .with_seed(args.seed))
 }
 
+/// Build the [`gpu::MultiOptions`] implied by the parsed flags
+/// (meaningful when `args.devices > 1`).
+pub fn multi_options(args: &ColorArgs) -> Result<gpu::MultiOptions, String> {
+    let name = args.partition.as_deref().unwrap_or(DEFAULT_PARTITION);
+    let strategy = PartitionStrategy::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown partition strategy '{name}' ({})",
+            STRATEGY_NAMES.join(" | ")
+        )
+    })?;
+    Ok(gpu::MultiOptions::new(args.devices)
+        .with_strategy(strategy)
+        .with_base(gpu_options(args)?))
+}
+
 /// Whether the algorithm runs on the simulated device (and can therefore
 /// be profiled with device-event sinks).
 pub fn is_gpu_algorithm(name: &str) -> bool {
     matches!(name, "maxmin" | "jp" | "firstfit")
+}
+
+/// Run the multi-device driver on a caller-supplied substrate (so profilers
+/// attached to its devices observe the run).
+pub fn run_multi_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &gpu::MultiOptions) -> RunReport {
+    gpu::multi::color_on(mg, g, opts)
 }
 
 /// Run a GPU algorithm on a caller-supplied device (so profilers attached
@@ -256,6 +321,9 @@ pub fn run_gpu_on(gpu: &mut Gpu, algorithm: &str, g: &CsrGraph, opts: &GpuOption
 
 /// Run any algorithm in the suite (host algorithms included).
 pub fn run_algorithm(args: &ColorArgs, g: &CsrGraph) -> Result<RunReport, String> {
+    if args.devices > 1 {
+        return Ok(gpu::multi::color(g, &multi_options(args)?));
+    }
     if is_gpu_algorithm(&args.algorithm) {
         let opts = gpu_options(args)?;
         let mut gpu = Gpu::new(opts.device.clone());
@@ -381,6 +449,90 @@ mod tests {
     fn help_short_circuits() {
         assert!(matches!(parse(&["--help"]).unwrap(), Parsed::Help));
         assert!(matches!(parse(&["-h"]).unwrap(), Parsed::Help));
+    }
+
+    #[test]
+    fn devices_flag_forces_firstfit() {
+        let a = parsed(&["--dataset", "road-net", "--devices", "4"]);
+        assert_eq!(a.devices, 4);
+        assert_eq!(a.algorithm, "firstfit", "default algorithm is overridden");
+        // Explicit firstfit is fine; explicit anything else is an error.
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--algorithm",
+            "firstfit",
+        ]);
+        assert_eq!(a.algorithm, "firstfit");
+        let err = parse(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--algorithm",
+            "maxmin",
+        ])
+        .unwrap_err();
+        assert!(err.contains("firstfit"), "{err}");
+    }
+
+    #[test]
+    fn partition_flag_validates_strategy() {
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--partition",
+            "bfs",
+        ]);
+        assert_eq!(a.partition.as_deref(), Some("bfs"));
+        let err = parse(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--partition",
+            "metis",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown partition strategy"), "{err}");
+        for s in STRATEGY_NAMES {
+            assert!(err.contains(s), "error should list '{s}': {err}");
+        }
+        // --partition without multiple devices is rejected as a likely typo.
+        let err = parse(&["--dataset", "road-net", "--partition", "block"]).unwrap_err();
+        assert!(err.contains("--devices"), "{err}");
+    }
+
+    #[test]
+    fn zero_devices_is_rejected() {
+        let err = parse(&["--dataset", "road-net", "--devices", "0"]).unwrap_err();
+        assert!(err.contains("--devices"), "{err}");
+    }
+
+    #[test]
+    fn multi_options_resolves_strategy_and_base() {
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--partition",
+            "block",
+            "--seed",
+            "7",
+        ]);
+        let mo = multi_options(&a).unwrap();
+        assert_eq!(mo.devices, 2);
+        assert_eq!(mo.strategy, PartitionStrategy::Block);
+        assert_eq!(mo.base.seed, 7);
+        // Default strategy applies when --partition is omitted.
+        let a = parsed(&["--dataset", "road-net", "--devices", "2"]);
+        let mo = multi_options(&a).unwrap();
+        assert_eq!(mo.strategy.name(), DEFAULT_PARTITION);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! F20 — scaling across devices (extension).
+//!
+//! The paper's imbalance analysis stops at one GPU; this sweep partitions
+//! each graph across N simulated devices and reports how the distributed
+//! first-fit driver scales: modeled wall cycles, the inter-device imbalance
+//! factor (the paper's max/mean metric one level up the hierarchy), the
+//! partition's edge cut, and the boundary-color bytes pushed over the link.
+
+use gc_graph::{by_name, PartitionStrategy};
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+const DATASETS: &[&str] = &["road-net", "citation-rmat"];
+const DEVICE_COUNTS: &[usize] = &[2, 4, 8];
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f20",
+        "scaling across devices: partitioned first-fit",
+        &[
+            "dataset",
+            "strategy",
+            "devices",
+            "wall cycles",
+            "speedup",
+            "dev imbalance",
+            "edge cut %",
+            "exchange KiB",
+        ],
+    );
+    for name in DATASETS {
+        let spec = by_name(name).expect("known dataset");
+        let single = r.run(&spec, Family::FirstFit, Config::Baseline);
+        let single_cycles = single.cycles;
+        t.row(vec![
+            name.to_string(),
+            "-".into(),
+            "1".into(),
+            single_cycles.to_string(),
+            "1.000x".into(),
+            "1.00x".into(),
+            "0.0".into(),
+            "0.0".into(),
+        ]);
+        for strategy in PartitionStrategy::all() {
+            for &devices in DEVICE_COUNTS {
+                let family = Family::MultiFirstFit { devices, strategy };
+                let report = r.run(&spec, family, Config::Baseline);
+                let multi = report.multi.as_ref().expect("multi-device section");
+                t.row(vec![
+                    name.to_string(),
+                    strategy.name().to_string(),
+                    devices.to_string(),
+                    report.cycles.to_string(),
+                    format!("{:.3}x", single_cycles as f64 / report.cycles as f64),
+                    format!("{:.2}x", multi.device_imbalance_factor),
+                    format!("{:.1}", multi.edge_cut_fraction * 100.0),
+                    format!("{:.1}", multi.exchange_bytes as f64 / 1024.0),
+                ]);
+            }
+        }
+    }
+    t.note("speedup is vs the 1-device speculative first-fit run on the same graph");
+    t.note("edge cut and exchange bytes grow with N; whether wall cycles drop depends on the cut");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    #[test]
+    fn every_row_is_well_formed() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        // One single-device row plus strategies x device counts per dataset.
+        let per_dataset = 1 + PartitionStrategy::all().len() * DEVICE_COUNTS.len();
+        assert_eq!(t.rows.len(), DATASETS.len() * per_dataset);
+        for row in &t.rows {
+            let wall: u64 = row[3].parse().unwrap();
+            assert!(wall > 0, "{row:?}");
+            let speedup: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(speedup > 0.0, "{row:?}");
+            let imbalance: f64 = row[5].trim_end_matches('x').parse().unwrap();
+            assert!(imbalance >= 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cut_grows_with_device_count_for_block_on_road() {
+        let mut r = Runner::new(Scale::Tiny);
+        let t = run(&mut r);
+        let cut = |devices: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|row| row[0] == "road-net" && row[1] == "block" && row[2] == devices)
+                .unwrap()[6]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            cut("8") >= cut("2"),
+            "8-way cut {} < 2-way cut {}",
+            cut("8"),
+            cut("2")
+        );
+    }
+}

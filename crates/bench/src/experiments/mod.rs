@@ -22,6 +22,7 @@ mod f16_relabel;
 mod f17_cache;
 mod f18_balance;
 mod f19_building_block;
+mod f20_multidevice;
 mod t1_datasets;
 mod t2_iterations;
 
@@ -142,6 +143,11 @@ pub fn all() -> Vec<Experiment> {
             id: "f19",
             what: "coloring as a building block: colored Gauss-Seidel vs Jacobi (extension)",
             run: f19_building_block::run,
+        },
+        Experiment {
+            id: "f20",
+            what: "scaling across devices: partitioned first-fit (extension)",
+            run: f20_multidevice::run,
         },
     ]
 }

@@ -23,6 +23,6 @@ pub use baseline::{compare_baseline, record_baseline, BenchBaseline};
 pub use capture::ProfileCapture;
 pub use cli::{parse_color_args, ColorArgs, JsonTarget, Parsed, ProfileFormat};
 pub use experiments::{all, by_id, Experiment};
-pub use profile_report::render_profile_report;
+pub use profile_report::{render_multi_profile_report, render_profile_report};
 pub use runner::{Config, Family, Runner};
 pub use table::{geomean, ExpTable};

@@ -384,6 +384,131 @@ pub fn render_profile_report(report: &RunReport, capture: &CaptureSink) -> Strin
     out
 }
 
+/// Partition quality, link traffic, and inter-device balance of a
+/// multi-device run.
+fn multi_summary_table(multi: &gc_core::MultiDeviceReport) -> ExpTable {
+    let mut t = ExpTable::new(
+        "multi-summary",
+        "multi-device summary",
+        &["metric", "value"],
+    );
+    t.row(vec!["devices".into(), multi.num_devices.to_string()]);
+    t.row(vec!["partition strategy".into(), multi.strategy.clone()]);
+    t.row(vec![
+        "edge cut".into(),
+        format!(
+            "{} ({:.1}% of edges)",
+            multi.edge_cut,
+            multi.edge_cut_fraction * 100.0
+        ),
+    ]);
+    t.row(vec![
+        "replication factor".into(),
+        format!("{:.3}", multi.replication_factor),
+    ]);
+    t.row(vec!["supersteps".into(), multi.supersteps.to_string()]);
+    t.row(vec![
+        "exchange bytes".into(),
+        multi.exchange_bytes.to_string(),
+    ]);
+    t.row(vec![
+        "exchange transfers".into(),
+        multi.exchange_transfers.to_string(),
+    ]);
+    t.row(vec!["link cycles".into(), multi.link_cycles.to_string()]);
+    t.row(vec!["wall cycles".into(), multi.wall_cycles.to_string()]);
+    t.row(vec![
+        "device imbalance".into(),
+        format!("{:.2}x", multi.device_imbalance_factor),
+    ]);
+    t.note(format!(
+        "link: {} cycles latency, {} bytes/cycle; wall = per-superstep max + serialized link",
+        multi.link_latency_cycles, multi.link_bytes_per_cycle
+    ));
+    t
+}
+
+/// Per-device partition shares and device-level load.
+fn per_device_table(multi: &gc_core::MultiDeviceReport) -> ExpTable {
+    let mut t = ExpTable::new(
+        "per-device",
+        "per-device load",
+        &[
+            "device",
+            "owned",
+            "boundary",
+            "ghosts",
+            "deg sum",
+            "busy cycles",
+            "simd util",
+            "CU imbalance",
+        ],
+    );
+    for i in 0..multi.num_devices {
+        let st = &multi.per_device[i];
+        t.row(vec![
+            format!("dev{i}"),
+            multi.part_sizes[i].to_string(),
+            multi.boundary_sizes[i].to_string(),
+            multi.ghost_sizes[i].to_string(),
+            multi.part_degrees[i].to_string(),
+            multi.device_cycles[i].to_string(),
+            format!("{:.1}%", st.simd_utilization() * 100.0),
+            format!("{:.2}x", st.imbalance_factor()),
+        ]);
+    }
+    t.note("CU imbalance is intra-device; the summary's device imbalance is across devices");
+    t
+}
+
+/// Render the profile report for a multi-device run: partition and link
+/// summary, per-device load, then the merged per-kernel view (one capture
+/// per device, kernels keyed `devN/<kernel>`) and the global timeline.
+pub fn render_multi_profile_report(report: &RunReport, captures: &[CaptureSink]) -> String {
+    let Some(multi) = &report.multi else {
+        // Single-device runs carry no multi section; render the plain report.
+        let empty = CaptureSink::new();
+        return render_profile_report(report, captures.first().unwrap_or(&empty));
+    };
+    let mut merged: BTreeMap<String, KernelTotals> = BTreeMap::new();
+    for (i, cap) in captures.iter().enumerate() {
+        for (name, k) in fold_kernels(cap) {
+            merged.insert(format!("dev{i}/{name}"), k);
+        }
+    }
+    let busy_total: u64 = multi.device_cycles.iter().sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: {} — {} colors, {} iterations, {} launches, {} wall cycles on {} devices\n\n",
+        report.algorithm,
+        report.num_colors,
+        report.iterations,
+        report.kernel_launches,
+        report.cycles,
+        multi.num_devices,
+    ));
+    out.push_str(&multi_summary_table(multi).render());
+    out.push('\n');
+    out.push_str(&per_device_table(multi).render());
+    out.push('\n');
+    let mut kt = kernel_time_table(&merged, busy_total);
+    kt.note("% of run is of summed per-device busy cycles (devices overlap in wall time)");
+    out.push_str(&kt.render());
+    out.push('\n');
+    out.push_str(&load_balance_table(&merged).render());
+    out.push('\n');
+    out.push_str(&divergence_table(&merged).render());
+    if let Some(t) = memory_table(&merged) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    if let Some(t) = iteration_table(report) {
+        out.push('\n');
+        out.push_str(&t.render());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +584,33 @@ mod tests {
         let summed: u64 = by_name.values().map(|k| k.wall_cycles).sum();
         assert!(summed <= report.cycles, "{summed} > {}", report.cycles);
         assert!(summed * 2 > report.cycles, "kernels cover <half the run");
+    }
+
+    #[test]
+    fn multi_report_has_partition_and_per_device_sections() {
+        use gc_core::gpu::MultiOptions;
+        use gc_gpusim::MultiGpu;
+
+        let g = rmat(9, 8, RmatParams::graph500(), 5);
+        let opts = MultiOptions::new(2).with_base(GpuOptions::baseline());
+        let mut mg = MultiGpu::new(2, opts.base.device.clone(), opts.link.clone());
+        let sinks: Vec<Rc<RefCell<CaptureSink>>> = (0..2)
+            .map(|_| Rc::new(RefCell::new(CaptureSink::new())))
+            .collect();
+        for (i, sink) in sinks.iter().enumerate() {
+            mg.device(i).attach_profiler(sink.clone());
+        }
+        let report = gpu::multi::color_on(&mut mg, &g, &opts);
+        let captures: Vec<CaptureSink> = sinks.iter().map(|s| s.borrow().clone()).collect();
+        let s = render_multi_profile_report(&report, &captures);
+        assert!(s.contains("multi-device summary"), "{s}");
+        assert!(s.contains("per-device load"), "{s}");
+        assert!(s.contains("edge cut"), "{s}");
+        assert!(s.contains("exchange bytes"), "{s}");
+        // Kernels are keyed by device in the merged breakdown.
+        assert!(s.contains("dev0/"), "{s}");
+        assert!(s.contains("dev1/"), "{s}");
+        assert!(s.contains("per-iteration timeline"), "{s}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 
 use gc_core::{gpu, verify_coloring, GpuOptions, RunReport, WorkSchedule};
+use gc_graph::partition::PartitionStrategy;
 use gc_graph::{CsrGraph, DatasetSpec, Scale};
 
 /// GPU algorithm family.
@@ -12,6 +13,11 @@ use gc_graph::{CsrGraph, DatasetSpec, Scale};
 pub enum Family {
     MaxMin,
     FirstFit,
+    /// Partitioned first-fit across `devices` simulated GPUs.
+    MultiFirstFit {
+        devices: usize,
+        strategy: PartitionStrategy,
+    },
 }
 
 /// Named GPU configurations used across the experiments.
@@ -120,6 +126,12 @@ impl Runner {
             let report = match family {
                 Family::MaxMin => gpu::maxmin::color(g, &opts),
                 Family::FirstFit => gpu::first_fit::color(g, &opts),
+                Family::MultiFirstFit { devices, strategy } => {
+                    let mopts = gpu::MultiOptions::new(devices)
+                        .with_strategy(strategy)
+                        .with_base(opts);
+                    gpu::multi::color(g, &mopts)
+                }
             };
             verify_coloring(g, &report.colors).unwrap_or_else(|e| {
                 panic!(
@@ -167,6 +179,20 @@ mod tests {
         let spec = by_name("road-net").unwrap();
         let s = r.speedup_over_baseline(&spec, Family::MaxMin, Config::Baseline);
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_family_runs_and_verifies() {
+        let mut r = Runner::new(Scale::Tiny);
+        let spec = by_name("road-net").unwrap();
+        let family = Family::MultiFirstFit {
+            devices: 2,
+            strategy: PartitionStrategy::DegreeBalanced,
+        };
+        let report = r.run(&spec, family, Config::Baseline);
+        let multi = report.multi.as_ref().expect("multi section present");
+        assert_eq!(multi.num_devices, 2);
+        assert_eq!(multi.strategy, "degree-balanced");
     }
 
     #[test]

@@ -140,17 +140,20 @@ pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     finish_report(gpu, &dev, label, iterations, active_curve, timeline)
 }
 
+/// Where the resolve kernel pushes conflict losers: the `(list, len)`
+/// worklist pair(s) for the next round. Shared with [`super::multi`], which
+/// reuses these kernels per device.
 #[derive(Clone, Copy)]
-struct PushTargets {
-    low: (Buffer<u32>, Buffer<u32>),
-    high: Option<(Buffer<u32>, Buffer<u32>)>,
-    threshold: Option<usize>,
-    aggregated: bool,
+pub(crate) struct PushTargets {
+    pub(crate) low: (Buffer<u32>, Buffer<u32>),
+    pub(crate) high: Option<(Buffer<u32>, Buffer<u32>)>,
+    pub(crate) threshold: Option<usize>,
+    pub(crate) aggregated: bool,
 }
 
 /// Thread-per-vertex speculative assign: scan neighbors per 64-color window
 /// until a free color is found.
-fn assign_tpv(
+pub(crate) fn assign_tpv(
     gpu: &mut Gpu,
     dev: &DeviceGraph,
     opts: &GpuOptions,
@@ -283,7 +286,7 @@ fn assign_wgv(
 
 /// Conflict detection: the lower-priority endpoint of every same-colored
 /// edge is uncolored and pushed to the next worklist.
-fn resolve(
+pub(crate) fn resolve(
     gpu: &mut Gpu,
     dev: &DeviceGraph,
     opts: &GpuOptions,

@@ -20,8 +20,10 @@ pub(crate) mod driver;
 pub mod first_fit;
 pub mod jp;
 pub mod maxmin;
+pub mod multi;
 mod options;
 
+pub use multi::MultiOptions;
 pub use options::{GpuOptions, WorkSchedule};
 
 use gc_gpusim::{Buffer, Gpu};
@@ -184,6 +186,7 @@ pub(crate) fn finish_report(
         lane_occupancy: stats.lane_occupancy.clone(),
         wg_duration: stats.wg_duration.clone(),
         steal_depth: stats.steal_depth.clone(),
+        multi: None,
     }
 }
 

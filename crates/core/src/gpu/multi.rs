@@ -1,0 +1,603 @@
+//! Multi-device partitioned coloring: speculative first-fit per partition,
+//! boundary-color exchange over the inter-device link, and distributed
+//! conflict resolution.
+//!
+//! The graph is split by a [`gc_graph::partition`] strategy; each device
+//! gets one part's local CSR (owned rows, columns pointing at owned or
+//! ghost vertices) and runs the *same* assign/resolve kernels as
+//! [`super::first_fit`], so per-device cost modeling is identical. Each
+//! round is a BSP superstep pair:
+//!
+//! 1. **assign** (all devices concurrently) — every active vertex
+//!    speculatively takes the smallest color absent among its local
+//!    neighbors, reading ghost colors from the last exchange;
+//! 2. **exchange** — owners push boundary colors that changed to every
+//!    device ghosting them; the link charges
+//!    `latency + bytes/bandwidth` per message ([`gc_gpusim::LinkConfig`]).
+//!    After the exchange every ghost slot equals the owner's post-assign
+//!    color, so the next phase operates on a consistent global snapshot;
+//! 3. **resolve** (all devices concurrently) — same-colored edges are
+//!    detected and the lower-priority endpoint is uncolored and re-listed.
+//!    Priorities are one global permutation sliced per device, so the two
+//!    owners of a cut edge reach the *same* verdict independently — no
+//!    decision messages are needed, and the globally highest-priority
+//!    active vertex always keeps its color, guaranteeing progress.
+//!
+//! Wall time follows the critical path: per superstep the slowest device
+//! (the straggler), plus the serialized link transfers — which is exactly
+//! the paper's load-imbalance story lifted from compute units to devices.
+//! [`crate::MultiDeviceReport`] carries the partition quality, link
+//! traffic, and per-device statistics.
+//!
+//! With `devices == 1` the driver delegates to
+//! [`super::first_fit::color_on`] unchanged, byte-for-byte: same colors,
+//! same cycles, same report.
+
+use gc_gpusim::{LinkConfig, MultiGpu};
+use gc_graph::{partition, CsrGraph, Partition, PartitionStrategy};
+
+use crate::gpu::first_fit::{assign_tpv, resolve, PushTargets};
+use crate::gpu::{DeviceGraph, Frontier, GpuOptions};
+use crate::report::{MultiDeviceReport, RunReport};
+use crate::verify::UNCOLORED;
+
+/// Options of a multi-device run: the per-device kernel options plus the
+/// partitioning strategy and link model.
+#[derive(Debug, Clone)]
+pub struct MultiOptions {
+    /// Per-device kernel options (device config, schedule, wg size, seed).
+    /// `hybrid_threshold` is ignored for `devices > 1`: the distributed
+    /// driver runs the thread-per-vertex kernels only.
+    pub base: GpuOptions,
+    /// Number of devices (= partition parts). 1 delegates to single-device
+    /// first-fit.
+    pub devices: usize,
+    /// How vertices are split across devices.
+    pub strategy: PartitionStrategy,
+    /// Inter-device link model for the boundary exchanges.
+    pub link: LinkConfig,
+}
+
+impl MultiOptions {
+    /// Degree-balanced partitioning over `devices` devices with baseline
+    /// kernels and the PCIe-class link.
+    pub fn new(devices: usize) -> Self {
+        Self {
+            base: GpuOptions::baseline(),
+            devices,
+            strategy: PartitionStrategy::DegreeBalanced,
+            link: LinkConfig::pcie(),
+        }
+    }
+
+    /// Set the partitioning strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the per-device kernel options.
+    pub fn with_base(mut self, base: GpuOptions) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Set the link model.
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+}
+
+/// Per-device state: the uploaded local subgraph plus its worklist.
+struct PartState {
+    dev: DeviceGraph,
+    frontier: Frontier,
+    active: usize,
+}
+
+/// Color `g` across `opts.devices` simulated devices.
+pub fn color(g: &CsrGraph, opts: &MultiOptions) -> RunReport {
+    let mut mg = MultiGpu::new(opts.devices, opts.base.device.clone(), opts.link.clone());
+    color_on(&mut mg, g, opts)
+}
+
+/// Like [`color`], but on a caller-supplied substrate — the entry point for
+/// profiling tools that attach [`gc_gpusim::ProfileSink`] observers to the
+/// devices before the run. Resets all statistics first.
+pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunReport {
+    assert_eq!(
+        mg.num_devices(),
+        opts.devices,
+        "substrate has {} devices, options ask for {}",
+        mg.num_devices(),
+        opts.devices
+    );
+    if opts.devices == 1 {
+        // Regression guarantee: one device is *exactly* the single-device
+        // path — same upload, same kernels, same report.
+        return super::first_fit::color_on(mg.device(0), g, &opts.base);
+    }
+    mg.reset_stats();
+
+    // The hybrid degree split stays single-device-only; run the
+    // thread-per-vertex kernels and label accordingly.
+    let mut eff = opts.base.clone();
+    eff.hybrid_threshold = None;
+    let label = format!(
+        "gpu-multi{}-{}-firstfit{}",
+        opts.devices,
+        opts.strategy.name(),
+        eff.label_suffix()
+    );
+
+    let part = partition(g, opts.devices, opts.strategy);
+    let k = part.num_parts();
+    let n = g.num_vertices();
+
+    // One global priority permutation, sliced per device: both owners of a
+    // cut edge then apply the same symmetry-breaking order, which is what
+    // makes the distributed resolve consistent. Same construction (and
+    // seed) as `DeviceGraph::upload`.
+    let global_priority: Vec<u32> = {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut p: Vec<u32> = (0..n as u32).collect();
+        p.shuffle(&mut rand::rngs::StdRng::seed_from_u64(eff.seed));
+        p
+    };
+
+    // Upload each part: local CSR, colors over owned + ghosts, priorities,
+    // and a worklist seeded with all owned vertices.
+    let mut states: Vec<PartState> = Vec::with_capacity(k);
+    for (p, sub) in part.parts.iter().enumerate() {
+        let gpu = mg.device(p);
+        let n_owned = sub.n_owned();
+        let local_priority: Vec<u32> = (0..sub.n_local() as u32)
+            .map(|l| global_priority[sub.global_of(l) as usize])
+            .collect();
+        let dev = DeviceGraph {
+            n: n_owned,
+            row_ptr: gpu.alloc_from_named(&sub.row_ptr, "row_ptr"),
+            col_idx: gpu.alloc_from_named(&sub.col_idx, "col_idx"),
+            colors: gpu.alloc_filled_named(sub.n_local().max(1), UNCOLORED, "colors"),
+            priority: gpu.alloc_from_named(&local_priority, "priority"),
+        };
+        let init: Vec<u32> = (0..n_owned as u32).collect();
+        let frontier = Frontier::with_initial(gpu, &init, n_owned.max(1));
+        states.push(PartState {
+            dev,
+            frontier,
+            active: n_owned,
+        });
+    }
+
+    // Exchange plan per ordered device pair (owner -> ghoster):
+    // (owner-local id, ghost slot on the receiver).
+    let mut plans: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k * k];
+    for (q, sub) in part.parts.iter().enumerate() {
+        for (gi, (&gv, &o)) in sub.ghosts.iter().zip(&sub.ghost_owner).enumerate() {
+            let ol = part.parts[o as usize]
+                .local_of(gv)
+                .expect("ghost is owned by its owner part") as usize;
+            plans[o as usize * k + q].push((ol, sub.n_owned() + gi));
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut active_curve = Vec::new();
+    let mut timeline = Vec::new();
+    loop {
+        let total_active: usize = states.iter().map(|s| s.active).sum();
+        if total_active == 0 {
+            break;
+        }
+        assert!(
+            iterations < eff.max_iterations,
+            "multi-device first-fit exceeded {} rounds",
+            eff.max_iterations
+        );
+        active_curve.push(total_active);
+        let before: Vec<gc_gpusim::DeviceStats> =
+            (0..k).map(|p| mg.device_ref(p).stats().clone()).collect();
+        let wall_before = mg.wall_cycles();
+        for (p, st) in states.iter().enumerate() {
+            mg.device_ref(p)
+                .profile_iteration_begin(iterations, st.active);
+        }
+
+        // Superstep 1: concurrent speculative assign.
+        mg.begin_step();
+        for (p, st) in states.iter().enumerate() {
+            if st.active > 0 {
+                let list = st.frontier.active();
+                assign_tpv(mg.device(p), &st.dev, &eff, list, st.active);
+            }
+        }
+        mg.end_step();
+
+        // Boundary exchange: after it, every ghost slot equals its owner's
+        // post-assign color, so resolve sees a consistent snapshot.
+        exchange(mg, &states, &plans, k);
+
+        // Superstep 2: concurrent conflict resolve; losers re-list.
+        mg.begin_step();
+        for (p, st) in states.iter().enumerate() {
+            if st.active > 0 {
+                let push = PushTargets {
+                    low: (st.frontier.next(), st.frontier.len),
+                    high: None,
+                    threshold: None,
+                    aggregated: eff.aggregated_push,
+                };
+                let list = st.frontier.active();
+                resolve(mg.device(p), &st.dev, &eff, list, st.active, push);
+            }
+        }
+        mg.end_step();
+
+        let mut next_active = 0usize;
+        for (p, st) in states.iter_mut().enumerate() {
+            let finalized_p = if st.active > 0 {
+                let new_len = {
+                    let gpu = mg.device(p);
+                    st.frontier.swap(gpu)
+                };
+                let f = st.active - new_len;
+                st.active = new_len;
+                f
+            } else {
+                0
+            };
+            next_active += st.active;
+            mg.device_ref(p)
+                .profile_iteration_end(iterations, finalized_p);
+        }
+
+        timeline.push(multi_iteration_delta(
+            mg,
+            &before,
+            wall_before,
+            iterations,
+            total_active,
+            total_active - next_active,
+        ));
+        iterations += 1;
+    }
+
+    finish_multi_report(
+        mg,
+        g,
+        &part,
+        &states,
+        opts,
+        label,
+        iterations,
+        active_curve,
+        timeline,
+    )
+}
+
+/// Push every boundary color the receiver doesn't have yet. Comparing
+/// against the receiver's current ghost value makes the exchange a delta:
+/// quiescent regions stop costing bytes, and after the call every planned
+/// ghost slot exactly mirrors its owner.
+fn exchange(mg: &mut MultiGpu, states: &[PartState], plans: &[Vec<(usize, usize)>], k: usize) {
+    let snaps: Vec<Vec<u32>> = (0..k)
+        .map(|p| mg.device_ref(p).read_back(states[p].dev.colors))
+        .collect();
+    for q in 0..k {
+        let mut dst = snaps[q].clone();
+        let mut dirty = false;
+        for o in 0..k {
+            if o == q {
+                continue;
+            }
+            let mut changed = 0u64;
+            for &(ol, slot) in &plans[o * k + q] {
+                let val = snaps[o][ol];
+                if dst[slot] != val {
+                    dst[slot] = val;
+                    changed += 1;
+                    dirty = true;
+                }
+            }
+            if changed > 0 {
+                mg.transfer(o, q, changed * std::mem::size_of::<u32>() as u64);
+            }
+        }
+        if dirty {
+            mg.device(q).write_slice(states[q].dev.colors, &dst);
+        }
+    }
+}
+
+/// One round's metrics, aggregated across devices: `cycles` is the round's
+/// wall-clock share (so the timeline sums to the report total), and
+/// `imbalance_factor` is the *inter-device* max/mean of this round's
+/// per-device busy deltas — the straggler effect, per round.
+fn multi_iteration_delta(
+    mg: &MultiGpu,
+    before: &[gc_gpusim::DeviceStats],
+    wall_before: u64,
+    iteration: usize,
+    active: usize,
+    colored: usize,
+) -> crate::IterationStats {
+    let mut device_deltas = Vec::with_capacity(before.len());
+    let (mut launches, mut active_ops, mut possible_ops) = (0u64, 0u64, 0u64);
+    let (mut divergent, mut steals) = (0u64, 0u64);
+    for (p, b) in before.iter().enumerate() {
+        let after = mg.device_ref(p).stats();
+        device_deltas.push(after.total_cycles - b.total_cycles);
+        launches += after.kernels_launched - b.kernels_launched;
+        active_ops += after.active_lane_ops - b.active_lane_ops;
+        possible_ops += after.possible_lane_ops - b.possible_lane_ops;
+        divergent += after.divergent_steps - b.divergent_steps;
+        steals += after.steal_pops - b.steal_pops;
+    }
+    crate::IterationStats {
+        iteration,
+        active,
+        colored,
+        cycles: mg.wall_cycles() - wall_before,
+        kernel_launches: launches,
+        simd_utilization: gc_gpusim::utilization_of(active_ops, possible_ops),
+        imbalance_factor: gc_gpusim::imbalance_factor_of(&device_deltas),
+        divergent_steps: divergent,
+        steal_pops: steals,
+    }
+}
+
+/// Gather owned colors into the global array and fold all device counters
+/// plus the partition/link statistics into the final report.
+#[allow(clippy::too_many_arguments)]
+fn finish_multi_report(
+    mg: &mut MultiGpu,
+    g: &CsrGraph,
+    part: &Partition,
+    states: &[PartState],
+    opts: &MultiOptions,
+    algorithm: String,
+    iterations: usize,
+    active_per_iteration: Vec<usize>,
+    iteration_timeline: Vec<crate::IterationStats>,
+) -> RunReport {
+    let mut colors = vec![UNCOLORED; g.num_vertices()];
+    for (p, st) in states.iter().enumerate() {
+        let local = mg.device_ref(p).read_back(st.dev.colors);
+        for (i, &v) in part.parts[p].owned.iter().enumerate() {
+            colors[v as usize] = local[i];
+        }
+    }
+    let num_colors = crate::verify::count_colors(&colors);
+
+    let ms = mg.multi_stats();
+    let pstats = part.stats();
+
+    // Machine-wide aggregates: sum the device counters, view imbalance
+    // across the union of all CUs, and merge the name-keyed maps.
+    let mut busy_all_cus = Vec::new();
+    let (mut launches, mut active_ops, mut possible_ops) = (0u64, 0u64, 0u64);
+    let (mut mem_tx, mut steals) = (0u64, 0u64);
+    let (mut l2_hits, mut l2_misses) = (0u64, 0u64);
+    let mut breakdown: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    let mut per_buffer: std::collections::BTreeMap<String, gc_gpusim::BufferMemStats> =
+        Default::default();
+    let mut lane_occupancy = gc_gpusim::Histogram::new();
+    let mut wg_duration = gc_gpusim::Histogram::new();
+    let mut steal_depth = gc_gpusim::Histogram::new();
+    for d in &ms.per_device {
+        busy_all_cus.extend_from_slice(&d.busy_per_cu);
+        launches += d.kernels_launched;
+        active_ops += d.active_lane_ops;
+        possible_ops += d.possible_lane_ops;
+        mem_tx += d.mem_transactions;
+        steals += d.steal_pops;
+        l2_hits += d.l2_hits;
+        l2_misses += d.l2_misses;
+        for (name, agg) in &d.per_kernel {
+            let e = breakdown.entry(name.clone()).or_default();
+            e.0 += agg.wall_cycles;
+            e.1 += agg.launches;
+        }
+        for (name, b) in &d.per_buffer {
+            per_buffer.entry(name.clone()).or_default().add(b);
+        }
+        lane_occupancy.merge(&d.lane_occupancy);
+        wg_duration.merge(&d.wg_duration);
+        steal_depth.merge(&d.steal_depth);
+    }
+
+    RunReport {
+        algorithm,
+        colors,
+        num_colors,
+        iterations,
+        kernel_launches: launches,
+        cycles: ms.wall_cycles,
+        time_ms: mg.wall_ms(),
+        active_per_iteration,
+        iteration_timeline,
+        simd_utilization: gc_gpusim::utilization_of(active_ops, possible_ops),
+        imbalance_factor: gc_gpusim::imbalance_factor_of(&busy_all_cus),
+        mem_transactions: mem_tx,
+        steal_pops: steals,
+        kernel_breakdown: breakdown
+            .into_iter()
+            .map(|(name, (cycles, n))| (name, cycles, n))
+            .collect(),
+        l2_hit_rate: (l2_hits + l2_misses > 0)
+            .then(|| l2_hits as f64 / (l2_hits + l2_misses) as f64),
+        per_buffer,
+        hot_lines: Vec::new(), // per-device lists live in `multi.per_device`
+        lane_occupancy,
+        wg_duration,
+        steal_depth,
+        multi: Some(MultiDeviceReport {
+            num_devices: ms.num_devices,
+            strategy: pstats.strategy,
+            edge_cut: pstats.edge_cut,
+            edge_cut_fraction: pstats.edge_cut_fraction,
+            replication_factor: pstats.replication_factor,
+            part_sizes: pstats.part_sizes,
+            boundary_sizes: pstats.boundary_sizes,
+            ghost_sizes: pstats.ghost_sizes,
+            part_degrees: pstats.part_degrees,
+            exchange_bytes: ms.link_bytes,
+            exchange_transfers: ms.link_transfers,
+            link_cycles: ms.link_cycles,
+            link_latency_cycles: opts.link.latency_cycles,
+            link_bytes_per_cycle: opts.link.bytes_per_cycle,
+            wall_cycles: ms.wall_cycles,
+            supersteps: ms.steps,
+            device_imbalance_factor: ms.device_imbalance_factor(),
+            device_cycles: ms.cycles_per_device,
+            per_device: ms.per_device,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{grid_2d, rmat, road, RmatParams};
+
+    fn tiny(devices: usize) -> MultiOptions {
+        MultiOptions::new(devices)
+            .with_base(GpuOptions::baseline().with_device(DeviceConfig::small_test()))
+    }
+
+    fn families() -> Vec<(&'static str, CsrGraph)> {
+        vec![
+            ("grid", grid_2d(16, 15)),
+            ("rmat", rmat(8, 8, RmatParams::graph500(), 4)),
+            ("road", road(14, 14, 0.88, 9)),
+        ]
+    }
+
+    #[test]
+    fn one_device_is_byte_identical_to_single_device_first_fit() {
+        for (_, g) in families() {
+            let opts = tiny(1);
+            let single = crate::gpu::first_fit::color(&g, &opts.base);
+            let multi = color(&g, &opts);
+            assert_eq!(multi.colors, single.colors, "colors must match exactly");
+            assert_eq!(multi.cycles, single.cycles, "cycles must match exactly");
+            assert_eq!(multi.algorithm, single.algorithm);
+            assert_eq!(multi.kernel_launches, single.kernel_launches);
+            assert_eq!(multi.iterations, single.iterations);
+            assert_eq!(multi.mem_transactions, single.mem_transactions);
+            assert!(multi.multi.is_none(), "no multi section for one device");
+        }
+    }
+
+    #[test]
+    fn n_device_colorings_are_valid_for_all_strategies_and_families() {
+        for (name, g) in families() {
+            for strategy in PartitionStrategy::all() {
+                for devices in [2, 4] {
+                    let r = color(&g, &tiny(devices).with_strategy(strategy));
+                    verify_coloring(&g, &r.colors)
+                        .unwrap_or_else(|e| panic!("{name}/{}/{devices}: {e}", strategy.name()));
+                    let m = r.multi.as_ref().expect("multi section present");
+                    assert_eq!(m.num_devices, devices);
+                    assert_eq!(m.strategy, strategy.name());
+                    assert_eq!(m.device_cycles.len(), devices);
+                    assert_eq!(m.per_device.len(), devices);
+                    assert!(m.device_imbalance_factor >= 1.0);
+                    if m.edge_cut > 0 {
+                        assert!(
+                            m.exchange_bytes > 0,
+                            "{name}/{}/{devices}: cut {} but no exchange",
+                            strategy.name(),
+                            m.edge_cut
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let g = rmat(8, 8, RmatParams::graph500(), 13);
+        let opts = tiny(4).with_strategy(PartitionStrategy::BfsGrown);
+        let a = color(&g, &opts);
+        let b = color(&g, &opts);
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.cycles, b.cycles);
+        let (ma, mb) = (a.multi.unwrap(), b.multi.unwrap());
+        assert_eq!(ma.exchange_bytes, mb.exchange_bytes);
+        assert_eq!(ma.device_cycles, mb.device_cycles);
+    }
+
+    #[test]
+    fn wall_clock_is_critical_path_not_sum() {
+        let g = grid_2d(24, 24);
+        let r = color(&g, &tiny(4));
+        let m = r.multi.as_ref().unwrap();
+        let sum: u64 = m.device_cycles.iter().sum();
+        let max = *m.device_cycles.iter().max().unwrap();
+        assert!(m.wall_cycles >= max + m.link_cycles);
+        assert!(
+            m.wall_cycles <= sum + m.link_cycles,
+            "wall {} exceeds fully serial {}",
+            m.wall_cycles,
+            sum + m.link_cycles
+        );
+        assert_eq!(r.cycles, m.wall_cycles);
+        // The timeline's wall shares telescope to the total.
+        let t: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
+        assert_eq!(t, r.cycles);
+    }
+
+    #[test]
+    fn more_devices_than_vertices_still_colors() {
+        let g = grid_2d(2, 2); // 4 vertices on 6 devices: 2 empty parts
+        for strategy in PartitionStrategy::all() {
+            let r = color(&g, &tiny(6).with_strategy(strategy));
+            verify_coloring(&g, &r.colors).unwrap();
+            assert_eq!(r.multi.unwrap().num_devices, 6);
+        }
+    }
+
+    #[test]
+    fn exchange_is_delta_bounded_by_ghost_traffic() {
+        // Each round can send at most one u32 per (ghost slot); with R
+        // rounds, bytes <= 4 * total_ghosts * R.
+        let g = rmat(8, 8, RmatParams::graph500(), 4);
+        let r = color(&g, &tiny(4));
+        let m = r.multi.unwrap();
+        let total_ghosts: usize = m.ghost_sizes.iter().sum();
+        let bound = 4 * total_ghosts as u64 * r.iterations as u64;
+        assert!(m.exchange_bytes <= bound, "{} > {bound}", m.exchange_bytes);
+        assert!(m.exchange_bytes > 0);
+        assert!(m.link_cycles >= m.exchange_transfers * m.link_latency_cycles);
+    }
+
+    #[test]
+    fn finalized_counts_telescope() {
+        let g = road(14, 14, 0.88, 9);
+        let r = color(&g, &tiny(3));
+        let finalized: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+        assert_eq!(finalized, g.num_vertices());
+        assert_eq!(r.active_per_iteration[0], g.num_vertices());
+        assert_eq!(r.iteration_timeline.len(), r.iterations);
+    }
+
+    #[test]
+    fn quality_stays_in_the_greedy_ballpark() {
+        let g = rmat(8, 8, RmatParams::graph500(), 4);
+        let single = crate::gpu::first_fit::color(&g, &tiny(1).base);
+        let multi = color(&g, &tiny(4));
+        assert!(
+            multi.num_colors <= single.num_colors + 8,
+            "multi {} vs single {}",
+            multi.num_colors,
+            single.num_colors
+        );
+    }
+}

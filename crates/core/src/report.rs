@@ -27,6 +27,54 @@ pub struct IterationStats {
     pub steal_pops: u64,
 }
 
+/// Multi-device section of a [`RunReport`]: partition quality, link
+/// traffic, and the per-device statistics behind the inter-device
+/// imbalance factor. Present only for runs driven by
+/// [`crate::gpu::multi`] with more than one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiDeviceReport {
+    /// Devices the graph was partitioned across.
+    pub num_devices: usize,
+    /// Partitioning strategy name ("block", "degree-balanced", "bfs").
+    pub strategy: String,
+    /// Undirected edges whose endpoints live on different devices.
+    pub edge_cut: usize,
+    /// Fraction of all edges that are cut.
+    pub edge_cut_fraction: f64,
+    /// `sum(owned + ghosts) / num_vertices` across devices.
+    pub replication_factor: f64,
+    /// Owned vertices per device.
+    pub part_sizes: Vec<usize>,
+    /// Boundary vertices (owned, with a remote neighbor) per device.
+    pub boundary_sizes: Vec<usize>,
+    /// Ghost vertices (remote copies) per device.
+    pub ghost_sizes: Vec<usize>,
+    /// Sum of owned-vertex degrees per device (the work-balance view).
+    pub part_degrees: Vec<usize>,
+    /// Boundary-color payload bytes exchanged over the link.
+    pub exchange_bytes: u64,
+    /// Link messages sent.
+    pub exchange_transfers: u64,
+    /// Link cycles (latency + bandwidth) spent on the exchanges.
+    pub link_cycles: u64,
+    /// Link latency parameter used, in device cycles per message.
+    pub link_latency_cycles: u64,
+    /// Link bandwidth parameter used, in bytes per device cycle.
+    pub link_bytes_per_cycle: u64,
+    /// Modeled wall cycles: per superstep the slowest device, plus the
+    /// serialized link transfers (equals the report's `cycles`).
+    pub wall_cycles: u64,
+    /// Supersteps executed (two per coloring round: assign, resolve).
+    pub supersteps: u64,
+    /// Total busy cycles per device.
+    pub device_cycles: Vec<u64>,
+    /// Device-to-device load imbalance: `max/mean` of `device_cycles` —
+    /// the paper's imbalance factor one level up the hierarchy.
+    pub device_imbalance_factor: f64,
+    /// Full per-device simulator statistics, in device order.
+    pub per_device: Vec<gc_gpusim::DeviceStats>,
+}
+
 /// A completed proper coloring plus execution metrics. Every algorithm in
 /// this crate — sequential, CPU-parallel, GPU — returns one of these so the
 /// harness can tabulate them uniformly.
@@ -86,6 +134,10 @@ pub struct RunReport {
     /// Steal-queue depth observed at each pop (0 for drain pops).
     #[serde(default)]
     pub steal_depth: gc_gpusim::Histogram,
+    /// Multi-device section: partition quality, link traffic, per-device
+    /// stats. `None` for single-device and CPU runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub multi: Option<MultiDeviceReport>,
 }
 
 impl RunReport {
@@ -112,6 +164,7 @@ impl RunReport {
             lane_occupancy: Default::default(),
             wg_duration: Default::default(),
             steal_depth: Default::default(),
+            multi: None,
         }
     }
 

@@ -55,6 +55,7 @@ pub mod gpu;
 pub mod kernel;
 pub mod lane;
 pub mod metrics;
+pub mod multi;
 pub mod profile;
 mod scheduler;
 pub mod trace;
@@ -70,4 +71,5 @@ pub use metrics::{
     imbalance_factor_of, utilization_of, BufferMemStats, DeviceStats, Histogram, HotLine,
     KernelAggregate, KernelStats, HOT_LINES_TOP_K,
 };
+pub use multi::{LinkConfig, MultiDeviceStats, MultiGpu};
 pub use profile::{CaptureSink, ChromeTraceSink, JsonlSink, ProfileSink, SharedSink};

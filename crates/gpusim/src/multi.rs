@@ -1,0 +1,373 @@
+//! Simulated multi-GPU substrate: N independent devices plus an
+//! inter-device link.
+//!
+//! [`MultiGpu`] owns one [`Gpu`] per device, all sharing a single
+//! [`DeviceConfig`]. The devices are independent simulators with their own
+//! memory, counters, and timelines; the substrate adds what single-device
+//! simulation lacks:
+//!
+//! * a **link model** ([`LinkConfig`]) charging boundary-color exchanges a
+//!   fixed latency plus a bandwidth term (`bytes / bytes_per_cycle`);
+//! * a **superstep clock**: devices execute rounds concurrently, so wall
+//!   time per round is the *maximum* of the per-device round times (the
+//!   straggler), not the sum — [`MultiGpu::begin_step`] /
+//!   [`MultiGpu::end_step`] bracket a round and accumulate the critical
+//!   path, and link transfers extend it;
+//! * aggregation: [`MultiGpu::multi_stats`] folds the per-device
+//!   [`DeviceStats`] into a [`MultiDeviceStats`] whose inter-device
+//!   imbalance factor reuses the same `max/mean` definition
+//!   ([`imbalance_factor_of`]) the paper applies per compute unit — the
+//!   second level of the load-imbalance hierarchy.
+//!
+//! Everything stays deterministic: the same inputs replay to identical
+//! cycle counts, byte counts, and statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DeviceConfig;
+use crate::gpu::Gpu;
+use crate::metrics::{imbalance_factor_of, DeviceStats};
+
+/// Inter-device link parameters. Defaults model a PCIe-class interconnect
+/// relative to the simulated 800 MHz device clock: ~1 µs latency per
+/// message and 16 bytes per device cycle (~12.8 GB/s).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Fixed cycles per transfer (latency, software stack, sync).
+    pub latency_cycles: u64,
+    /// Payload bytes moved per device cycle once streaming.
+    pub bytes_per_cycle: u64,
+}
+
+impl LinkConfig {
+    /// PCIe-class default used by the multi-device experiments.
+    pub fn pcie() -> Self {
+        Self {
+            latency_cycles: 800,
+            bytes_per_cycle: 16,
+        }
+    }
+
+    /// A fast NVLink/xGMI-class link: lower latency, 4x the bandwidth.
+    pub fn fast() -> Self {
+        Self {
+            latency_cycles: 200,
+            bytes_per_cycle: 64,
+        }
+    }
+
+    /// Cycles one transfer of `bytes` occupies the link.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        self.latency_cycles + bytes.div_ceil(self.bytes_per_cycle.max(1))
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes_per_cycle == 0 {
+            return Err("link bytes_per_cycle must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::pcie()
+    }
+}
+
+/// Aggregated statistics of a multi-device run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MultiDeviceStats {
+    /// Number of devices.
+    pub num_devices: usize,
+    /// Modeled wall cycles along the critical path: per superstep the
+    /// slowest device, plus the serialized link transfers.
+    pub wall_cycles: u64,
+    /// Cycles spent in link transfers (included in `wall_cycles`).
+    pub link_cycles: u64,
+    /// Payload bytes moved over the link.
+    pub link_bytes: u64,
+    /// Number of link transfers (messages).
+    pub link_transfers: u64,
+    /// Total device cycles per device (the busy profile the inter-device
+    /// imbalance factor is computed from).
+    pub cycles_per_device: Vec<u64>,
+    /// Supersteps executed.
+    pub steps: u64,
+    /// Full per-device statistics, in device order.
+    pub per_device: Vec<DeviceStats>,
+}
+
+impl MultiDeviceStats {
+    /// Device-to-device load imbalance: `max/mean` of per-device total
+    /// cycles — the paper's per-CU imbalance factor lifted one level up
+    /// the hierarchy.
+    pub fn device_imbalance_factor(&self) -> f64 {
+        imbalance_factor_of(&self.cycles_per_device)
+    }
+
+    /// Sum of all device cycles (the "total work" view; compare against
+    /// `wall_cycles × num_devices` for parallel efficiency).
+    pub fn sum_device_cycles(&self) -> u64 {
+        self.cycles_per_device.iter().sum()
+    }
+}
+
+/// N simulated GPUs sharing one [`DeviceConfig`], plus the link between
+/// them and the superstep clock.
+pub struct MultiGpu {
+    devices: Vec<Gpu>,
+    link: LinkConfig,
+    wall_cycles: u64,
+    link_cycles: u64,
+    link_bytes: u64,
+    link_transfers: u64,
+    steps: u64,
+    /// Per-device `total_cycles` snapshot taken at [`MultiGpu::begin_step`].
+    step_base: Option<Vec<u64>>,
+}
+
+impl MultiGpu {
+    /// Create `n` devices of identical configuration joined by `link`.
+    /// Panics on an invalid configuration or `n == 0`.
+    pub fn new(n: usize, cfg: DeviceConfig, link: LinkConfig) -> Self {
+        assert!(n > 0, "a MultiGpu needs at least one device");
+        link.validate()
+            .unwrap_or_else(|e| panic!("invalid link config: {e}"));
+        Self {
+            devices: (0..n).map(|_| Gpu::new(cfg.clone())).collect(),
+            link,
+            wall_cycles: 0,
+            link_cycles: 0,
+            link_bytes: 0,
+            link_transfers: 0,
+            steps: 0,
+            step_base: None,
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The shared device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        self.devices[0].config()
+    }
+
+    /// The link configuration.
+    pub fn link(&self) -> &LinkConfig {
+        &self.link
+    }
+
+    /// Borrow one device mutably (for allocations and launches).
+    pub fn device(&mut self, i: usize) -> &mut Gpu {
+        &mut self.devices[i]
+    }
+
+    /// Borrow one device immutably (for read-backs and stats).
+    pub fn device_ref(&self, i: usize) -> &Gpu {
+        &self.devices[i]
+    }
+
+    /// Iterate the devices mutably, e.g. to attach profilers.
+    pub fn devices_mut(&mut self) -> impl Iterator<Item = &mut Gpu> {
+        self.devices.iter_mut()
+    }
+
+    /// Reset the aggregate clocks and every device's statistics.
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.devices {
+            d.reset_stats();
+        }
+        self.wall_cycles = 0;
+        self.link_cycles = 0;
+        self.link_bytes = 0;
+        self.link_transfers = 0;
+        self.steps = 0;
+        self.step_base = None;
+    }
+
+    /// Begin a superstep: snapshot each device's clock. Launches issued on
+    /// any device until [`MultiGpu::end_step`] count as concurrent work.
+    pub fn begin_step(&mut self) {
+        assert!(self.step_base.is_none(), "begin_step while a step is open");
+        self.step_base = Some(self.devices.iter().map(|d| d.now_cycles()).collect());
+    }
+
+    /// End the superstep: wall time advances by the *slowest* device's
+    /// delta (devices run concurrently). Returns the per-device deltas.
+    pub fn end_step(&mut self) -> Vec<u64> {
+        let base = self
+            .step_base
+            .take()
+            .expect("end_step without a matching begin_step");
+        let deltas: Vec<u64> = self
+            .devices
+            .iter()
+            .zip(&base)
+            .map(|(d, &b)| d.now_cycles() - b)
+            .collect();
+        self.wall_cycles += deltas.iter().copied().max().unwrap_or(0);
+        self.steps += 1;
+        deltas
+    }
+
+    /// Charge one link transfer of `bytes` from `from` to `to`. Transfers
+    /// serialize on the shared link, so the cost lands on the wall clock.
+    /// Zero-byte transfers are free (no message is sent).
+    pub fn transfer(&mut self, from: usize, to: usize, bytes: u64) -> u64 {
+        assert!(from < self.devices.len() && to < self.devices.len());
+        if from == to || bytes == 0 {
+            return 0;
+        }
+        let cycles = self.link.transfer_cycles(bytes);
+        self.link_cycles += cycles;
+        self.link_bytes += bytes;
+        self.link_transfers += 1;
+        self.wall_cycles += cycles;
+        cycles
+    }
+
+    /// Modeled wall cycles so far (supersteps plus link transfers).
+    pub fn wall_cycles(&self) -> u64 {
+        self.wall_cycles
+    }
+
+    /// Payload bytes moved over the link so far.
+    pub fn link_bytes(&self) -> u64 {
+        self.link_bytes
+    }
+
+    /// Convert the wall clock to milliseconds at the shared device clock.
+    pub fn wall_ms(&self) -> f64 {
+        self.config().cycles_to_ms(self.wall_cycles)
+    }
+
+    /// Fold everything into a [`MultiDeviceStats`].
+    pub fn multi_stats(&self) -> MultiDeviceStats {
+        MultiDeviceStats {
+            num_devices: self.devices.len(),
+            wall_cycles: self.wall_cycles,
+            link_cycles: self.link_cycles,
+            link_bytes: self.link_bytes,
+            link_transfers: self.link_transfers,
+            cycles_per_device: self.devices.iter().map(|d| d.now_cycles()).collect(),
+            steps: self.steps,
+            per_device: self.devices.iter().map(|d| d.stats().clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Launch;
+    use crate::lane::LaneCtx;
+
+    fn write_kernel(gpu: &mut Gpu, items: usize, name: &str) -> u64 {
+        let buf = gpu.alloc_filled(items, 0u32);
+        let kernel = move |ctx: &mut LaneCtx| {
+            ctx.write(buf, ctx.item(), 1);
+        };
+        gpu.launch(&kernel, Launch::threads(name, items).wg_size(4))
+            .wall_cycles
+    }
+
+    #[test]
+    fn supersteps_charge_the_straggler() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::pcie());
+        mg.begin_step();
+        let c0 = write_kernel(mg.device(0), 4, "small");
+        let c1 = write_kernel(mg.device(1), 64, "big");
+        let deltas = mg.end_step();
+        assert_eq!(deltas, vec![c0, c1]);
+        assert!(c1 > c0);
+        assert_eq!(mg.wall_cycles(), c1, "wall clock follows the straggler");
+        let stats = mg.multi_stats();
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.cycles_per_device, vec![c0, c1]);
+        assert_eq!(stats.sum_device_cycles(), c0 + c1);
+        // max/mean over [c0, c1].
+        let expect = c1 as f64 / ((c0 + c1) as f64 / 2.0);
+        assert!((stats.device_imbalance_factor() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfers_cost_latency_plus_bandwidth() {
+        let link = LinkConfig {
+            latency_cycles: 100,
+            bytes_per_cycle: 8,
+        };
+        assert_eq!(link.transfer_cycles(0), 100);
+        assert_eq!(link.transfer_cycles(1), 101);
+        assert_eq!(link.transfer_cycles(64), 108);
+
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), link);
+        assert_eq!(mg.transfer(0, 1, 64), 108);
+        assert_eq!(mg.transfer(0, 1, 0), 0, "empty messages are free");
+        assert_eq!(mg.transfer(1, 1, 64), 0, "self transfers are free");
+        assert_eq!(mg.wall_cycles(), 108);
+        let stats = mg.multi_stats();
+        assert_eq!(stats.link_transfers, 1);
+        assert_eq!(stats.link_bytes, 64);
+        assert_eq!(stats.link_cycles, 108);
+    }
+
+    #[test]
+    fn balanced_devices_have_unit_imbalance() {
+        let mut mg = MultiGpu::new(3, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_step();
+        for i in 0..3 {
+            write_kernel(mg.device(i), 16, "same");
+        }
+        mg.end_step();
+        let stats = mg.multi_stats();
+        assert!((stats.device_imbalance_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.num_devices, 3);
+        assert_eq!(stats.per_device.len(), 3);
+        assert_eq!(stats.per_device[0].kernels_launched, 1);
+        // Wall = one device's time, not 3x.
+        assert_eq!(stats.wall_cycles * 3, stats.sum_device_cycles());
+    }
+
+    #[test]
+    fn reset_clears_all_clocks() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_step();
+        write_kernel(mg.device(0), 8, "k");
+        mg.end_step();
+        mg.transfer(0, 1, 128);
+        mg.reset_stats();
+        assert_eq!(mg.wall_cycles(), 0);
+        assert_eq!(mg.link_bytes(), 0);
+        let stats = mg.multi_stats();
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.sum_device_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step while a step is open")]
+    fn nested_steps_panic() {
+        let mut mg = MultiGpu::new(1, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_step();
+        mg.begin_step();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        MultiGpu::new(0, DeviceConfig::small_test(), LinkConfig::default());
+    }
+
+    #[test]
+    fn wall_ms_uses_shared_clock() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.transfer(0, 1, 16_000);
+        let expect = mg.config().cycles_to_ms(mg.wall_cycles());
+        assert!((mg.wall_ms() - expect).abs() < 1e-12);
+        assert!(mg.wall_ms() > 0.0);
+    }
+}

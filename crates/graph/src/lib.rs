@@ -21,6 +21,7 @@ pub mod datasets;
 pub mod degree;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod relabel;
 pub mod traversal;
 
@@ -28,3 +29,4 @@ pub use builder::{from_edges, GraphBuilder};
 pub use csr::{CsrGraph, GraphError, VertexId};
 pub use datasets::{by_name, suite, DatasetSpec, GraphClass, Scale};
 pub use degree::DegreeStats;
+pub use partition::{partition, Partition, PartitionStats, PartitionStrategy, SubGraph};

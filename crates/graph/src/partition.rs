@@ -1,0 +1,589 @@
+//! Vertex partitioning for multi-device coloring.
+//!
+//! A [`Partition`] splits a [`CsrGraph`] into `num_parts` disjoint vertex
+//! sets, one per device. Each part gets a local CSR subgraph over its owned
+//! vertices plus a *ghost* region: copies of remote neighbors whose colors
+//! must be fetched over the inter-device link. The cut statistics
+//! ([`Partition::edge_cut`], [`Partition::replication_factor`]) predict that
+//! communication volume, which is why the three strategies trade balance
+//! against cut quality:
+//!
+//! * [`PartitionStrategy::Block`] — contiguous global-id ranges. Zero-cost
+//!   to compute; cut quality depends entirely on the input labeling (good
+//!   for meshes and roads, poor for scale-free graphs).
+//! * [`PartitionStrategy::DegreeBalanced`] — greedy: each vertex goes to the
+//!   part with the least accumulated degree (capped at the same vertex
+//!   count as Block), equalizing *work* per device even under power-law
+//!   skew, at the price of scattering neighborhoods.
+//! * [`PartitionStrategy::BfsGrown`] — parts grown as BFS balls from
+//!   low-id seeds, trading a little compute for locality: neighbors tend to
+//!   land in the same part, shrinking the cut on high-diameter graphs.
+//!
+//! All three are deterministic: the same graph and part count always yield
+//! byte-identical partitions.
+
+use serde::Serialize;
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Partitioning strategy. See the module docs for the trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PartitionStrategy {
+    /// Contiguous global-id blocks of near-equal size.
+    Block,
+    /// Greedy minimum accumulated degree, vertex count capped per part.
+    DegreeBalanced,
+    /// BFS balls grown from the smallest unassigned vertex id.
+    BfsGrown,
+}
+
+/// CLI names of every strategy, in help order.
+pub const STRATEGY_NAMES: &[&str] = &["block", "degree-balanced", "bfs"];
+
+impl PartitionStrategy {
+    /// All strategies, in [`STRATEGY_NAMES`] order.
+    pub fn all() -> [PartitionStrategy; 3] {
+        [Self::Block, Self::DegreeBalanced, Self::BfsGrown]
+    }
+
+    /// The strategy's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Block => "block",
+            Self::DegreeBalanced => "degree-balanced",
+            Self::BfsGrown => "bfs",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// One part's local view of the graph: a CSR over its owned vertices whose
+/// columns may point into the ghost region.
+///
+/// Local vertex ids are `0..n_owned()` for owned vertices (ascending global
+/// id) followed by `n_owned()..n_local()` for ghosts (ascending global id).
+/// Rows exist only for owned vertices; ghost adjacency stays on the owner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SubGraph {
+    /// Global ids of owned vertices; the local id is the index.
+    pub owned: Vec<VertexId>,
+    /// Global ids of ghost vertices; local id = `n_owned() + index`.
+    pub ghosts: Vec<VertexId>,
+    /// Owning part of each ghost (parallel to `ghosts`).
+    pub ghost_owner: Vec<u32>,
+    /// Local CSR row pointers (`n_owned() + 1` entries).
+    pub row_ptr: Vec<u32>,
+    /// Local CSR adjacency in local ids (owned or ghost).
+    pub col_idx: Vec<u32>,
+    /// Local ids of boundary vertices: owned vertices with at least one
+    /// ghost neighbor. These are the vertices whose colors cross the link.
+    pub boundary: Vec<u32>,
+    /// Directed arcs from this part's owned vertices into other parts.
+    pub cut_arcs: usize,
+}
+
+impl SubGraph {
+    /// Number of owned vertices.
+    pub fn n_owned(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Owned plus ghost vertices — the size of the local color array.
+    pub fn n_local(&self) -> usize {
+        self.owned.len() + self.ghosts.len()
+    }
+
+    /// Local id of a global vertex, owned or ghost.
+    pub fn local_of(&self, global: VertexId) -> Option<u32> {
+        if let Ok(i) = self.owned.binary_search(&global) {
+            return Some(i as u32);
+        }
+        self.ghosts
+            .binary_search(&global)
+            .ok()
+            .map(|i| (self.owned.len() + i) as u32)
+    }
+
+    /// Global id of a local vertex, owned or ghost.
+    pub fn global_of(&self, local: u32) -> VertexId {
+        let local = local as usize;
+        if local < self.owned.len() {
+            self.owned[local]
+        } else {
+            self.ghosts[local - self.owned.len()]
+        }
+    }
+}
+
+/// Cut and balance statistics of a partition, as reported in run JSON.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PartitionStats {
+    /// Strategy name.
+    pub strategy: String,
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Undirected edges whose endpoints live in different parts.
+    pub edge_cut: usize,
+    /// Fraction of all edges that are cut.
+    pub edge_cut_fraction: f64,
+    /// `sum over parts of (owned + ghosts) / num_vertices`; 1.0 means no
+    /// replication at all.
+    pub replication_factor: f64,
+    /// Owned vertices per part.
+    pub part_sizes: Vec<usize>,
+    /// Boundary vertices per part.
+    pub boundary_sizes: Vec<usize>,
+    /// Ghost vertices per part.
+    pub ghost_sizes: Vec<usize>,
+    /// Sum of owned-vertex degrees per part (the work-balance view).
+    pub part_degrees: Vec<usize>,
+}
+
+/// A complete vertex partition: the assignment plus one [`SubGraph`] per
+/// part and the cut statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Partition {
+    /// Strategy that produced this partition.
+    pub strategy: PartitionStrategy,
+    /// Part of each vertex, in `0..num_parts`.
+    pub assignment: Vec<u32>,
+    /// Per-part local subgraphs.
+    pub parts: Vec<SubGraph>,
+    /// Undirected edges crossing parts.
+    pub edge_cut: usize,
+    /// Total undirected edges of the input graph.
+    pub total_edges: usize,
+    /// Vertices of the input graph.
+    pub num_vertices: usize,
+}
+
+impl Partition {
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Owned vertices per part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.n_owned()).collect()
+    }
+
+    /// `sum(owned + ghosts) / num_vertices`: how many copies of the average
+    /// vertex exist across devices. 1.0 = no ghosts at all.
+    pub fn replication_factor(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 1.0;
+        }
+        let total: usize = self.parts.iter().map(|p| p.n_local()).sum();
+        total as f64 / self.num_vertices as f64
+    }
+
+    /// The statistics bundle reported in run JSON.
+    pub fn stats(&self) -> PartitionStats {
+        PartitionStats {
+            strategy: self.strategy.name().to_string(),
+            num_parts: self.num_parts(),
+            edge_cut: self.edge_cut,
+            edge_cut_fraction: if self.total_edges == 0 {
+                0.0
+            } else {
+                self.edge_cut as f64 / self.total_edges as f64
+            },
+            replication_factor: self.replication_factor(),
+            part_sizes: self.part_sizes(),
+            boundary_sizes: self.parts.iter().map(|p| p.boundary.len()).collect(),
+            ghost_sizes: self.parts.iter().map(|p| p.ghosts.len()).collect(),
+            // Every global neighbor of an owned vertex appears in the local
+            // CSR (owned or ghost), so the arc count is the degree sum.
+            part_degrees: self
+                .parts
+                .iter()
+                .map(|p| p.row_ptr.last().copied().unwrap_or(0) as usize)
+                .collect(),
+        }
+    }
+}
+
+/// Per-part owned-vertex targets: the Block sizes `floor(n/k)` or
+/// `ceil(n/k)`, reused as the balance cap by the other strategies so every
+/// strategy satisfies the same bound: no part exceeds `ceil(n/k)` vertices.
+fn part_targets(n: usize, k: usize) -> Vec<usize> {
+    let base = n / k;
+    let rem = n % k;
+    (0..k).map(|p| base + usize::from(p < rem)).collect()
+}
+
+/// Partition `g` into `num_parts` parts with the given strategy.
+/// Deterministic. Panics if `num_parts` is zero.
+pub fn partition(g: &CsrGraph, num_parts: usize, strategy: PartitionStrategy) -> Partition {
+    assert!(num_parts > 0, "num_parts must be positive");
+    let n = g.num_vertices();
+    let assignment = match strategy {
+        PartitionStrategy::Block => assign_block(n, num_parts),
+        PartitionStrategy::DegreeBalanced => assign_degree_balanced(g, num_parts),
+        PartitionStrategy::BfsGrown => assign_bfs_grown(g, num_parts),
+    };
+    build_partition(g, num_parts, strategy, assignment)
+}
+
+fn assign_block(n: usize, k: usize) -> Vec<u32> {
+    let targets = part_targets(n, k);
+    let mut assignment = Vec::with_capacity(n);
+    for (p, &t) in targets.iter().enumerate() {
+        assignment.extend(std::iter::repeat_n(p as u32, t));
+    }
+    assignment
+}
+
+fn assign_degree_balanced(g: &CsrGraph, k: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    let cap = part_targets(n, k);
+    let mut degree_load = vec![0usize; k];
+    let mut count = vec![0usize; k];
+    let mut assignment = vec![0u32; n];
+    // Heaviest vertices first so the greedy choice matters where it counts;
+    // ties break to the lower vertex id for determinism.
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    for v in order {
+        let p = (0..k)
+            .filter(|&p| count[p] < cap[p])
+            .min_by_key(|&p| (degree_load[p], p))
+            .expect("caps sum to n, so an open part always exists");
+        assignment[v as usize] = p as u32;
+        degree_load[p] += g.degree(v);
+        count[p] += 1;
+    }
+    assignment
+}
+
+fn assign_bfs_grown(g: &CsrGraph, k: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    let targets = part_targets(n, k);
+    let mut assignment = vec![u32::MAX; n];
+    let mut next_seed = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for (p, &target) in targets.iter().enumerate() {
+        let mut size = 0usize;
+        queue.clear();
+        while size < target {
+            let u = match queue.pop_front() {
+                Some(u) => u,
+                None => {
+                    // Frontier exhausted (component boundary or fresh part):
+                    // restart from the smallest unassigned vertex.
+                    while assignment[next_seed] != u32::MAX {
+                        next_seed += 1;
+                    }
+                    next_seed as VertexId
+                }
+            };
+            if assignment[u as usize] != u32::MAX {
+                continue;
+            }
+            assignment[u as usize] = p as u32;
+            size += 1;
+            for &v in g.neighbors(u) {
+                if assignment[v as usize] == u32::MAX {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    assignment
+}
+
+fn build_partition(
+    g: &CsrGraph,
+    k: usize,
+    strategy: PartitionStrategy,
+    assignment: Vec<u32>,
+) -> Partition {
+    let n = g.num_vertices();
+    debug_assert_eq!(assignment.len(), n);
+    // Owned lists per part, ascending global id.
+    let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for v in 0..n as VertexId {
+        owned[assignment[v as usize] as usize].push(v);
+    }
+    // Local id of every vertex within its owning part.
+    let mut local_in_owner = vec![0u32; n];
+    for part in &owned {
+        for (i, &v) in part.iter().enumerate() {
+            local_in_owner[v as usize] = i as u32;
+        }
+    }
+
+    let mut edge_cut = 0usize;
+    let mut parts = Vec::with_capacity(k);
+    for (p, owned) in owned.into_iter().enumerate() {
+        let p = p as u32;
+        // Ghosts: remote neighbors, unique and ascending.
+        let mut ghosts: Vec<VertexId> = Vec::new();
+        let mut cut_arcs = 0usize;
+        for &u in &owned {
+            for &v in g.neighbors(u) {
+                if assignment[v as usize] != p {
+                    cut_arcs += 1;
+                    if u < v {
+                        edge_cut += 1;
+                    }
+                    ghosts.push(v);
+                }
+            }
+        }
+        ghosts.sort_unstable();
+        ghosts.dedup();
+        let ghost_owner: Vec<u32> = ghosts.iter().map(|&v| assignment[v as usize]).collect();
+
+        // Local CSR: owned rows, columns mapped to local ids.
+        let n_owned = owned.len();
+        let mut row_ptr = Vec::with_capacity(n_owned + 1);
+        row_ptr.push(0u32);
+        let mut col_idx = Vec::new();
+        let mut boundary = Vec::new();
+        for (i, &u) in owned.iter().enumerate() {
+            let mut has_ghost = false;
+            for &v in g.neighbors(u) {
+                let local = if assignment[v as usize] == p {
+                    local_in_owner[v as usize]
+                } else {
+                    has_ghost = true;
+                    (n_owned + ghosts.binary_search(&v).expect("ghost collected above")) as u32
+                };
+                col_idx.push(local);
+            }
+            row_ptr.push(col_idx.len() as u32);
+            if has_ghost {
+                boundary.push(i as u32);
+            }
+        }
+        parts.push(SubGraph {
+            owned,
+            ghosts,
+            ghost_owner,
+            row_ptr,
+            col_idx,
+            boundary,
+            cut_arcs,
+        });
+    }
+
+    Partition {
+        strategy,
+        assignment,
+        parts,
+        edge_cut,
+        total_edges: g.num_edges(),
+        num_vertices: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_2d, rmat, road, RmatParams};
+
+    fn families() -> Vec<(&'static str, CsrGraph)> {
+        vec![
+            ("grid", grid_2d(20, 17)),
+            ("rmat", rmat(9, 8, RmatParams::graph500(), 7)),
+            ("road", road(18, 18, 0.88, 11)),
+        ]
+    }
+
+    /// Every vertex in exactly one part; ghost maps consistent with the cut;
+    /// part sizes within the balance bound; subgraph CSR internally sound.
+    fn check_invariants(g: &CsrGraph, part: &Partition, k: usize) {
+        let n = g.num_vertices();
+        assert_eq!(part.assignment.len(), n);
+        assert_eq!(part.num_parts(), k);
+
+        // Exactly-one-part: owned lists are disjoint and cover 0..n.
+        let mut seen = vec![false; n];
+        for (p, sub) in part.parts.iter().enumerate() {
+            for &v in &sub.owned {
+                assert!(!seen[v as usize], "vertex {v} owned twice");
+                seen[v as usize] = true;
+                assert_eq!(part.assignment[v as usize], p as u32);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some vertex owned by no part");
+
+        // Balance bound shared by all strategies: no part above ceil(n/k).
+        let bound = n.div_ceil(k);
+        for (p, sub) in part.parts.iter().enumerate() {
+            assert!(
+                sub.n_owned() <= bound,
+                "part {p} has {} owned vertices, bound {bound}",
+                sub.n_owned()
+            );
+        }
+
+        // Ghost maps consistent with the edge cut: summed cut arcs are twice
+        // the undirected cut, every ghost is a real remote neighbor, and the
+        // local CSR round-trips to the global adjacency.
+        let cut_arcs: usize = part.parts.iter().map(|s| s.cut_arcs).sum();
+        assert_eq!(cut_arcs, 2 * part.edge_cut);
+        let direct_cut = g
+            .edges()
+            .filter(|&(u, v)| part.assignment[u as usize] != part.assignment[v as usize])
+            .count();
+        assert_eq!(part.edge_cut, direct_cut);
+
+        for (p, sub) in part.parts.iter().enumerate() {
+            assert_eq!(sub.row_ptr.len(), sub.n_owned() + 1);
+            assert_eq!(sub.ghosts.len(), sub.ghost_owner.len());
+            assert!(sub.owned.windows(2).all(|w| w[0] < w[1]));
+            assert!(sub.ghosts.windows(2).all(|w| w[0] < w[1]));
+            for (&gv, &owner) in sub.ghosts.iter().zip(&sub.ghost_owner) {
+                assert_eq!(owner, part.assignment[gv as usize]);
+                assert_ne!(owner, p as u32, "ghost owned by its own part");
+            }
+            let mut boundary_seen = Vec::new();
+            for (i, &u) in sub.owned.iter().enumerate() {
+                let row = &sub.col_idx[sub.row_ptr[i] as usize..sub.row_ptr[i + 1] as usize];
+                let globals: Vec<VertexId> = row.iter().map(|&l| sub.global_of(l)).collect();
+                assert_eq!(globals, g.neighbors(u), "row of {u} in part {p}");
+                if row.iter().any(|&l| (l as usize) >= sub.n_owned()) {
+                    boundary_seen.push(i as u32);
+                }
+            }
+            assert_eq!(sub.boundary, boundary_seen);
+            // Every ghost is referenced by at least one owned row.
+            let mut referenced = vec![false; sub.ghosts.len()];
+            for &l in &sub.col_idx {
+                if let Some(gi) = (l as usize).checked_sub(sub.n_owned()) {
+                    referenced[gi] = true;
+                }
+            }
+            assert!(referenced.iter().all(|&r| r), "unreferenced ghost");
+        }
+
+        assert!(part.replication_factor() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn invariants_hold_for_all_strategies_and_families() {
+        for (name, g) in families() {
+            for strategy in PartitionStrategy::all() {
+                for k in [1, 2, 3, 4, 8] {
+                    let part = partition(&g, k, strategy);
+                    check_invariants(&g, &part, k);
+                    assert_eq!(
+                        part.stats().edge_cut,
+                        part.edge_cut,
+                        "{name}/{}/{k}",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        for (_, g) in families() {
+            for strategy in PartitionStrategy::all() {
+                let a = partition(&g, 4, strategy);
+                let b = partition(&g, 4, strategy);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn single_part_has_no_cut_or_ghosts() {
+        for (_, g) in families() {
+            for strategy in PartitionStrategy::all() {
+                let part = partition(&g, 1, strategy);
+                assert_eq!(part.edge_cut, 0);
+                assert!(part.parts[0].ghosts.is_empty());
+                assert!(part.parts[0].boundary.is_empty());
+                assert!((part.replication_factor() - 1.0).abs() < 1e-12);
+                // The one part's CSR is exactly the input CSR.
+                assert_eq!(part.parts[0].row_ptr, g.row_ptr());
+                let cols: Vec<u32> = part.parts[0].col_idx.clone();
+                assert_eq!(cols, g.col_idx().to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn block_partition_is_contiguous() {
+        let g = grid_2d(10, 10);
+        let part = partition(&g, 4, PartitionStrategy::Block);
+        // Assignment is non-decreasing over vertex ids.
+        assert!(part.assignment.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(part.part_sizes(), vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn degree_balanced_beats_block_on_degree_spread_for_rmat() {
+        let g = rmat(10, 8, RmatParams::graph500(), 5);
+        let spread = |p: &Partition| {
+            let deg: Vec<usize> = p
+                .parts
+                .iter()
+                .map(|s| s.owned.iter().map(|&v| g.degree(v)).sum::<usize>())
+                .collect();
+            *deg.iter().max().unwrap() - *deg.iter().min().unwrap()
+        };
+        let block = partition(&g, 4, PartitionStrategy::Block);
+        let bal = partition(&g, 4, PartitionStrategy::DegreeBalanced);
+        assert!(
+            spread(&bal) < spread(&block),
+            "degree spread: balanced {} vs block {}",
+            spread(&bal),
+            spread(&block)
+        );
+    }
+
+    #[test]
+    fn bfs_grown_cuts_less_than_degree_balanced_on_grid() {
+        let g = grid_2d(32, 32);
+        let bfs = partition(&g, 4, PartitionStrategy::BfsGrown);
+        let bal = partition(&g, 4, PartitionStrategy::DegreeBalanced);
+        assert!(
+            bfs.edge_cut < bal.edge_cut,
+            "edge cut: bfs {} vs degree-balanced {}",
+            bfs.edge_cut,
+            bal.edge_cut
+        );
+    }
+
+    #[test]
+    fn more_parts_than_vertices_leaves_empty_parts() {
+        let g = grid_2d(2, 2); // 4 vertices
+        let part = partition(&g, 6, PartitionStrategy::BfsGrown);
+        let sizes = part.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        assert_eq!(sizes.iter().filter(|&&s| s == 0).count(), 2);
+        check_invariants(&g, &part, 6);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in PartitionStrategy::all() {
+            assert_eq!(PartitionStrategy::by_name(s.name()), Some(s));
+        }
+        assert_eq!(PartitionStrategy::by_name("metis"), None);
+        assert_eq!(STRATEGY_NAMES.len(), PartitionStrategy::all().len());
+    }
+
+    #[test]
+    fn local_of_and_global_of_round_trip() {
+        let g = road(12, 12, 0.88, 3);
+        let part = partition(&g, 3, PartitionStrategy::DegreeBalanced);
+        for sub in &part.parts {
+            for l in 0..sub.n_local() as u32 {
+                assert_eq!(sub.local_of(sub.global_of(l)), Some(l));
+            }
+            assert_eq!(sub.local_of(u32::MAX - 1), None);
+        }
+    }
+}
