@@ -54,7 +54,8 @@ pub struct DiffLine {
 
 /// The headline grid: every suite dataset under the paper's baseline and
 /// fully-optimized max/min runs, the speculative first-fit baseline, and
-/// the 2-device partitioned first-fit driver.
+/// the partitioned first-fit driver (degree-balanced and cut-aware, at 2
+/// and 4 devices, with the overlapped exchange on).
 fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
     vec![
         (Family::MaxMin, Config::Baseline, "maxmin", "baseline"),
@@ -69,9 +70,30 @@ fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
             Family::MultiFirstFit {
                 devices: 2,
                 strategy: gc_graph::PartitionStrategy::DegreeBalanced,
+                overlap: true,
             },
             Config::Baseline,
             "multiff2-degree-balanced",
+            "baseline",
+        ),
+        (
+            Family::MultiFirstFit {
+                devices: 2,
+                strategy: gc_graph::PartitionStrategy::CutAware,
+                overlap: true,
+            },
+            Config::Baseline,
+            "multiff2-cutaware",
+            "baseline",
+        ),
+        (
+            Family::MultiFirstFit {
+                devices: 4,
+                strategy: gc_graph::PartitionStrategy::CutAware,
+                overlap: true,
+            },
+            Config::Baseline,
+            "multiff4-cutaware",
             "baseline",
         ),
     ]

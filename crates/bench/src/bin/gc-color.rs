@@ -32,8 +32,10 @@ options:
   --optimized          enable work stealing + hybrid binning (GPU algorithms)
   --devices N          simulated devices; N > 1 partitions the graph and runs
                        the distributed first-fit driver (default 1)
-  --partition S        block | degree-balanced | bfs partitioning strategy
-                       for --devices > 1 (default degree-balanced)
+  --partition S        block | degree-balanced | bfs | cutaware partitioning
+                       strategy for --devices > 1 (default degree-balanced)
+  --no-overlap         charge boundary-exchange link time serially instead of
+                       overlapping it with interior compute (--devices > 1)
   --device D           hd7950 | hd7970 | apu | warp32 (default hd7950)
   --seed N             priority permutation seed (default 3088)
   --out PATH           write `vertex color` lines

@@ -11,6 +11,10 @@ use gc_graph::{io, CsrGraph, Scale};
 
 /// Valid `--algorithm` values, in help order.
 pub const ALGORITHMS: &[&str] = &["maxmin", "jp", "firstfit", "seq", "dsatur"];
+/// Valid `--dataset` values (the registry suite, in table order).
+pub fn dataset_names() -> Vec<&'static str> {
+    gc_graph::suite().iter().map(|d| d.name).collect()
+}
 /// Valid `--device` values.
 pub const DEVICES: &[&str] = &["hd7950", "hd7970", "apu", "warp32"];
 /// Default `--partition` strategy for multi-device runs.
@@ -48,6 +52,9 @@ pub struct ColorArgs {
     pub devices: usize,
     /// `--partition S`: partitioning strategy for `--devices > 1`.
     pub partition: Option<String>,
+    /// `--no-overlap`: charge boundary-exchange link time serially instead
+    /// of overlapping it with interior compute (`--devices > 1` only).
+    pub overlap: bool,
     pub device: String,
     pub seed: u64,
     pub out: Option<String>,
@@ -78,6 +85,7 @@ impl Default for ColorArgs {
             frontier: false,
             devices: 1,
             partition: None,
+            overlap: true,
             device: "hd7950".into(),
             seed: 0xC10,
             out: None,
@@ -113,7 +121,16 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
         match arg.as_str() {
             "--input" => args.input = Some(value("--input")?),
             "--format" => args.format = Some(value("--format")?),
-            "--dataset" => args.dataset = Some(value("--dataset")?),
+            "--dataset" => {
+                let name = value("--dataset")?;
+                if gc_graph::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown dataset '{name}' ({})",
+                        dataset_names().join(" | ")
+                    ));
+                }
+                args.dataset = Some(name);
+            }
             "--scale" => {
                 args.scale = match value("--scale")?.as_str() {
                     "tiny" => Scale::Tiny,
@@ -135,6 +152,7 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
             }
             "--optimized" => args.optimized = true,
             "--frontier" => args.frontier = true,
+            "--no-overlap" => args.overlap = false,
             "--devices" => {
                 args.devices = value("--devices")?
                     .parse()
@@ -214,6 +232,8 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
     } else if args.partition.is_some() {
         // Harmless, but almost certainly a mistake worth flagging.
         return Err("--partition only applies with --devices > 1".into());
+    } else if !args.overlap {
+        return Err("--no-overlap only applies with --devices > 1".into());
     }
     Ok(Parsed::Run(Box::new(args)))
 }
@@ -293,6 +313,7 @@ pub fn multi_options(args: &ColorArgs) -> Result<gpu::MultiOptions, String> {
     })?;
     Ok(gpu::MultiOptions::new(args.devices)
         .with_strategy(strategy)
+        .with_overlap(args.overlap)
         .with_base(gpu_options(args)?))
 }
 
@@ -390,11 +411,24 @@ mod tests {
 
     #[test]
     fn unknown_device_and_scale_fail_at_parse_time() {
-        let err = parse(&["--dataset", "x", "--device", "rtx4090"]).unwrap_err();
+        let err = parse(&["--dataset", "road-net", "--device", "rtx4090"]).unwrap_err();
         assert!(err.contains("unknown device"), "{err}");
         assert!(err.contains("hd7950"), "{err}");
-        let err = parse(&["--dataset", "x", "--scale", "huge"]).unwrap_err();
+        let err = parse(&["--dataset", "road-net", "--scale", "huge"]).unwrap_err();
         assert!(err.contains("unknown scale"), "{err}");
+    }
+
+    #[test]
+    fn unknown_dataset_lists_choices_at_parse_time() {
+        let err = parse(&["--dataset", "karate-club"]).unwrap_err();
+        assert!(err.contains("unknown dataset 'karate-club'"), "{err}");
+        for name in dataset_names() {
+            assert!(err.contains(name), "error should list '{name}': {err}");
+        }
+        // Every registry name parses.
+        for name in dataset_names() {
+            assert_eq!(parsed(&["--dataset", name]).dataset.as_deref(), Some(name));
+        }
     }
 
     #[test]
@@ -422,14 +456,14 @@ mod tests {
         ]);
         assert_eq!(a.profile.as_deref(), Some("trace.json"));
         assert_eq!(a.profile_format, ProfileFormat::Jsonl);
-        let err = parse(&["--dataset", "x", "--profile-format", "xml"]).unwrap_err();
+        let err = parse(&["--dataset", "road-net", "--profile-format", "xml"]).unwrap_err();
         assert!(err.contains("chrome | jsonl"), "{err}");
     }
 
     #[test]
     fn requires_exactly_one_input_source() {
         assert!(parse(&[]).is_err());
-        assert!(parse(&["--dataset", "a", "--input", "b"]).is_err());
+        assert!(parse(&["--dataset", "road-net", "--input", "b"]).is_err());
     }
 
     #[test]
@@ -508,6 +542,16 @@ mod tests {
     }
 
     #[test]
+    fn no_overlap_flag_needs_multiple_devices() {
+        let a = parsed(&["--dataset", "road-net", "--devices", "2", "--no-overlap"]);
+        assert!(!a.overlap);
+        let a = parsed(&["--dataset", "road-net", "--devices", "2"]);
+        assert!(a.overlap, "overlap is the default");
+        let err = parse(&["--dataset", "road-net", "--no-overlap"]).unwrap_err();
+        assert!(err.contains("--devices"), "{err}");
+    }
+
+    #[test]
     fn zero_devices_is_rejected() {
         let err = parse(&["--dataset", "road-net", "--devices", "0"]).unwrap_err();
         assert!(err.contains("--devices"), "{err}");
@@ -529,10 +573,24 @@ mod tests {
         assert_eq!(mo.devices, 2);
         assert_eq!(mo.strategy, PartitionStrategy::Block);
         assert_eq!(mo.base.seed, 7);
+        assert!(mo.overlap, "overlap defaults on");
         // Default strategy applies when --partition is omitted.
         let a = parsed(&["--dataset", "road-net", "--devices", "2"]);
         let mo = multi_options(&a).unwrap();
         assert_eq!(mo.strategy.name(), DEFAULT_PARTITION);
+        // --no-overlap and --partition cutaware reach MultiOptions.
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "4",
+            "--partition",
+            "cutaware",
+            "--no-overlap",
+        ]);
+        let mo = multi_options(&a).unwrap();
+        assert_eq!(mo.strategy, PartitionStrategy::CutAware);
+        assert!(!mo.overlap);
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn run(r: &mut Runner) -> ExpTable {
         ]);
         for strategy in PartitionStrategy::all() {
             for &devices in DEVICE_COUNTS {
-                let family = Family::MultiFirstFit { devices, strategy };
+                let family = Family::MultiFirstFit {
+                    devices,
+                    strategy,
+                    overlap: true,
+                };
                 let report = r.run(&spec, family, Config::Baseline);
                 let multi = report.multi.as_ref().expect("multi-device section");
                 t.row(vec![

@@ -1,0 +1,151 @@
+//! F21 — cut-aware partitioning × overlapped exchange (extension).
+//!
+//! The strategy sweep behind the multi-device story: at a fixed device
+//! count, how much edge cut does the cut-aware streaming partitioner
+//! remove relative to the contiguous strategies, and how much of the
+//! remaining boundary-exchange link time does the overlapped superstep
+//! hide behind interior compute? Each strategy runs with the overlap on
+//! and off; colors and traffic are identical either way, so the wall-cycle
+//! delta is exactly the hidden link time.
+
+use gc_graph::{by_name, PartitionStrategy};
+
+use crate::runner::{Config, Family, Runner};
+use crate::table::ExpTable;
+
+/// One dataset per structural family: mesh, road, power law.
+const DATASETS: &[&str] = &["ecology-mesh", "road-net", "coauthor-rmat"];
+const STRATEGIES: &[PartitionStrategy] = &[
+    PartitionStrategy::DegreeBalanced,
+    PartitionStrategy::BfsGrown,
+    PartitionStrategy::CutAware,
+];
+const DEVICES: usize = 4;
+
+pub fn run(r: &mut Runner) -> ExpTable {
+    let mut t = ExpTable::new(
+        "f21",
+        "cut-aware partitioning x overlapped exchange (4 devices)",
+        &[
+            "dataset",
+            "strategy",
+            "overlap",
+            "wall cycles",
+            "edge cut",
+            "cut %",
+            "dev imbalance",
+            "part-deg imb",
+            "hidden cycles",
+            "overlap eff",
+        ],
+    );
+    for name in DATASETS {
+        let spec = by_name(name).expect("known dataset");
+        for &strategy in STRATEGIES {
+            for overlap in [true, false] {
+                let family = Family::MultiFirstFit {
+                    devices: DEVICES,
+                    strategy,
+                    overlap,
+                };
+                let report = r.run(&spec, family, Config::Baseline);
+                let multi = report.multi.as_ref().expect("multi-device section");
+                t.row(vec![
+                    name.to_string(),
+                    strategy.name().to_string(),
+                    if overlap { "on" } else { "off" }.to_string(),
+                    report.cycles.to_string(),
+                    multi.edge_cut.to_string(),
+                    format!("{:.1}", multi.edge_cut_fraction * 100.0),
+                    format!("{:.2}x", multi.device_imbalance_factor),
+                    format!("{:.2}x", multi.part_degree_imbalance),
+                    multi.exchange_hidden_cycles.to_string(),
+                    format!("{:.2}", multi.overlap_efficiency),
+                ]);
+            }
+        }
+    }
+    t.note("cutaware streams vertices to the part holding most already-placed neighbors, then refines the boundary under a degree-load cap");
+    t.note(
+        "overlap on/off runs the identical schedule; wall(off) - wall(on) = hidden cycles exactly",
+    );
+    t.note("overlap eff = hidden link cycles / total link cycles (1.00 when the link is idle)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::Scale;
+
+    fn table() -> ExpTable {
+        let mut r = Runner::new(Scale::Tiny);
+        run(&mut r)
+    }
+
+    fn find<'a>(t: &'a ExpTable, dataset: &str, strategy: &str, overlap: &str) -> &'a Vec<String> {
+        t.rows
+            .iter()
+            .find(|row| row[0] == dataset && row[1] == strategy && row[2] == overlap)
+            .unwrap_or_else(|| panic!("missing row {dataset}/{strategy}/{overlap}"))
+    }
+
+    #[test]
+    fn every_row_is_well_formed() {
+        let t = table();
+        assert_eq!(t.rows.len(), DATASETS.len() * STRATEGIES.len() * 2);
+        for row in &t.rows {
+            let wall: u64 = row[3].parse().unwrap();
+            assert!(wall > 0, "{row:?}");
+            let imbalance: f64 = row[6].trim_end_matches('x').parse().unwrap();
+            assert!(imbalance >= 1.0, "{row:?}");
+            let eff: f64 = row[9].parse().unwrap();
+            assert!((0.0..=1.0).contains(&eff), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cutaware_cuts_less_than_degree_balanced_on_every_family() {
+        let t = table();
+        for name in DATASETS {
+            let balanced: usize = find(&t, name, "degree-balanced", "on")[4].parse().unwrap();
+            let aware: usize = find(&t, name, "cutaware", "on")[4].parse().unwrap();
+            assert!(
+                aware < balanced,
+                "{name}: cutaware cut {aware} !< degree-balanced cut {balanced}"
+            );
+        }
+    }
+
+    #[test]
+    fn cutaware_keeps_device_imbalance_bounded() {
+        let t = table();
+        for name in DATASETS {
+            let row = find(&t, name, "cutaware", "on");
+            let imbalance: f64 = row[6].trim_end_matches('x').parse().unwrap();
+            assert!(imbalance <= 2.0, "{name}: device imbalance {imbalance}");
+        }
+    }
+
+    #[test]
+    fn overlap_never_slower_and_strictly_faster_somewhere() {
+        let t = table();
+        let mut strictly_faster = 0usize;
+        for name in DATASETS {
+            for strategy in ["degree-balanced", "bfs", "cutaware"] {
+                let on: u64 = find(&t, name, strategy, "on")[3].parse().unwrap();
+                let off: u64 = find(&t, name, strategy, "off")[3].parse().unwrap();
+                let hidden: u64 = find(&t, name, strategy, "on")[8].parse().unwrap();
+                assert!(
+                    on <= off,
+                    "{name}/{strategy}: overlap slower ({on} > {off})"
+                );
+                assert_eq!(off - on, hidden, "{name}/{strategy}: wall delta != hidden");
+                if on < off {
+                    strictly_faster += 1;
+                }
+            }
+        }
+        assert!(strictly_faster > 0, "overlap never hid any link time");
+    }
+}

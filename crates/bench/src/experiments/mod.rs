@@ -23,6 +23,7 @@ mod f17_cache;
 mod f18_balance;
 mod f19_building_block;
 mod f20_multidevice;
+mod f21_cutaware;
 mod t1_datasets;
 mod t2_iterations;
 
@@ -148,6 +149,11 @@ pub fn all() -> Vec<Experiment> {
             id: "f20",
             what: "scaling across devices: partitioned first-fit (extension)",
             run: f20_multidevice::run,
+        },
+        Experiment {
+            id: "f21",
+            what: "cut-aware partitioning x overlapped exchange (extension)",
+            run: f21_cutaware::run,
         },
     ]
 }

@@ -13,10 +13,13 @@ use gc_graph::{CsrGraph, DatasetSpec, Scale};
 pub enum Family {
     MaxMin,
     FirstFit,
-    /// Partitioned first-fit across `devices` simulated GPUs.
+    /// Partitioned first-fit across `devices` simulated GPUs. `overlap`
+    /// selects whether boundary-exchange link time is hidden behind
+    /// interior compute or charged serially (colors are identical).
     MultiFirstFit {
         devices: usize,
         strategy: PartitionStrategy,
+        overlap: bool,
     },
 }
 
@@ -126,9 +129,14 @@ impl Runner {
             let report = match family {
                 Family::MaxMin => gpu::maxmin::color(g, &opts),
                 Family::FirstFit => gpu::first_fit::color(g, &opts),
-                Family::MultiFirstFit { devices, strategy } => {
+                Family::MultiFirstFit {
+                    devices,
+                    strategy,
+                    overlap,
+                } => {
                     let mopts = gpu::MultiOptions::new(devices)
                         .with_strategy(strategy)
+                        .with_overlap(overlap)
                         .with_base(opts);
                     gpu::multi::color(g, &mopts)
                 }
@@ -188,6 +196,7 @@ mod tests {
         let family = Family::MultiFirstFit {
             devices: 2,
             strategy: PartitionStrategy::DegreeBalanced,
+            overlap: true,
         };
         let report = r.run(&spec, family, Config::Baseline);
         let multi = report.multi.as_ref().expect("multi section present");

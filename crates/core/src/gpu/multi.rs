@@ -6,28 +6,41 @@
 //! gets one part's local CSR (owned rows, columns pointing at owned or
 //! ghost vertices) and runs the *same* assign/resolve kernels as
 //! [`super::first_fit`], so per-device cost modeling is identical. Each
-//! round is a BSP superstep pair:
+//! device's worklist is split into a **boundary** frontier (owned vertices
+//! with a ghost neighbor — the only vertices whose colors cross the link)
+//! and an **interior** frontier (everything else; by construction these
+//! never read ghost colors). Each round is then three supersteps:
 //!
-//! 1. **assign** (all devices concurrently) — every active vertex
-//!    speculatively takes the smallest color absent among its local
-//!    neighbors, reading ghost colors from the last exchange;
-//! 2. **exchange** — owners push boundary colors that changed to every
-//!    device ghosting them; the link charges
-//!    `latency + bytes/bandwidth` per message ([`gc_gpusim::LinkConfig`]).
-//!    After the exchange every ghost slot equals the owner's post-assign
-//!    color, so the next phase operates on a consistent global snapshot;
-//! 3. **resolve** (all devices concurrently) — same-colored edges are
-//!    detected and the lower-priority endpoint is uncolored and re-listed.
-//!    Priorities are one global permutation sliced per device, so the two
-//!    owners of a cut edge reach the *same* verdict independently — no
-//!    decision messages are needed, and the globally highest-priority
-//!    active vertex always keeps its color, guaranteeing progress.
+//! 1. **boundary assign** (all devices concurrently) — active boundary
+//!    vertices speculatively take the smallest color absent among their
+//!    local neighbors, reading ghost colors from the last exchange;
+//! 2. **exchange ∥ interior work** — owners push boundary colors that
+//!    changed to every device ghosting them (delta exchange; the link
+//!    charges `latency + bytes/bandwidth` per message,
+//!    [`gc_gpusim::LinkConfig`]) *while* each device runs assign and
+//!    resolve over its interior frontier — interior vertices have no
+//!    ghost neighbors, so they never observe the in-flight exchange.
+//!    After this step every ghost slot equals the owner's post-assign
+//!    color, a consistent snapshot for the next phase;
+//! 3. **boundary resolve** (all devices concurrently) — same-colored
+//!    edges touching boundary vertices are detected and the
+//!    lower-priority endpoint is uncolored and re-listed. Priorities are
+//!    one global permutation sliced per device, so the two owners of a
+//!    cut edge reach the *same* verdict independently — no decision
+//!    messages are needed, and the globally highest-priority active
+//!    vertex always keeps its color, guaranteeing progress. (Interior
+//!    conflicts resolve in phase 2; a boundary–interior conflict is seen
+//!    by both endpoints against the other's committed color, so the
+//!    verdicts agree.)
 //!
 //! Wall time follows the critical path: per superstep the slowest device
-//! (the straggler), plus the serialized link transfers — which is exactly
-//! the paper's load-imbalance story lifted from compute units to devices.
-//! [`crate::MultiDeviceReport`] carries the partition quality, link
-//! traffic, and per-device statistics.
+//! (the straggler), plus the link time *not hidden* behind interior
+//! compute — with [`MultiOptions::overlap`] disabled, the identical
+//! schedule runs but the exchange is charged serially, so colors and
+//! traffic match bit-for-bit and only the clock differs (this is exactly
+//! the paper's load-imbalance story lifted from compute units to
+//! devices). [`crate::MultiDeviceReport`] carries the partition quality,
+//! link traffic, overlap efficiency, and per-device statistics.
 //!
 //! With `devices == 1` the driver delegates to
 //! [`super::first_fit::color_on`] unchanged, byte-for-byte: same colors,
@@ -56,6 +69,10 @@ pub struct MultiOptions {
     pub strategy: PartitionStrategy,
     /// Inter-device link model for the boundary exchanges.
     pub link: LinkConfig,
+    /// Overlap the boundary exchange with interior compute (default).
+    /// Disabling charges the same exchanges serially on the wall clock —
+    /// colors and link traffic are identical either way.
+    pub overlap: bool,
 }
 
 impl MultiOptions {
@@ -67,6 +84,7 @@ impl MultiOptions {
             devices,
             strategy: PartitionStrategy::DegreeBalanced,
             link: LinkConfig::pcie(),
+            overlap: true,
         }
     }
 
@@ -87,13 +105,31 @@ impl MultiOptions {
         self.link = link;
         self
     }
+
+    /// Enable or disable exchange/compute overlap.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
 }
 
-/// Per-device state: the uploaded local subgraph plus its worklist.
+/// Per-device state: the uploaded local subgraph plus its two worklists.
+/// Membership is static (a vertex's boundary-ness never changes), so a
+/// resolve loser always re-lists into the frontier it came from.
 struct PartState {
     dev: DeviceGraph,
-    frontier: Frontier,
-    active: usize,
+    /// Owned vertices with at least one ghost neighbor.
+    boundary: Frontier,
+    /// Owned vertices whose neighbors are all owned.
+    interior: Frontier,
+    active_boundary: usize,
+    active_interior: usize,
+}
+
+impl PartState {
+    fn active(&self) -> usize {
+        self.active_boundary + self.active_interior
+    }
 }
 
 /// Color `g` across `opts.devices` simulated devices.
@@ -125,10 +161,11 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
     let mut eff = opts.base.clone();
     eff.hybrid_threshold = None;
     let label = format!(
-        "gpu-multi{}-{}-firstfit{}",
+        "gpu-multi{}-{}-firstfit{}{}",
         opts.devices,
         opts.strategy.name(),
-        eff.label_suffix()
+        eff.label_suffix(),
+        if opts.overlap { "" } else { "-serial" }
     );
 
     let part = partition(g, opts.devices, opts.strategy);
@@ -148,7 +185,8 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
     };
 
     // Upload each part: local CSR, colors over owned + ghosts, priorities,
-    // and a worklist seeded with all owned vertices.
+    // and two worklists — boundary vertices (from the partition's
+    // precomputed list) and the interior remainder.
     let mut states: Vec<PartState> = Vec::with_capacity(k);
     for (p, sub) in part.parts.iter().enumerate() {
         let gpu = mg.device(p);
@@ -163,12 +201,21 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
             colors: gpu.alloc_filled_named(sub.n_local().max(1), UNCOLORED, "colors"),
             priority: gpu.alloc_from_named(&local_priority, "priority"),
         };
-        let init: Vec<u32> = (0..n_owned as u32).collect();
-        let frontier = Frontier::with_initial(gpu, &init, n_owned.max(1));
+        let mut is_boundary = vec![false; n_owned];
+        for &b in &sub.boundary {
+            is_boundary[b as usize] = true;
+        }
+        let interior_init: Vec<u32> = (0..n_owned as u32)
+            .filter(|&l| !is_boundary[l as usize])
+            .collect();
+        let boundary = Frontier::with_initial(gpu, &sub.boundary, sub.boundary.len().max(1));
+        let interior = Frontier::with_initial(gpu, &interior_init, interior_init.len().max(1));
         states.push(PartState {
             dev,
-            frontier,
-            active: n_owned,
+            active_boundary: sub.boundary.len(),
+            active_interior: interior_init.len(),
+            boundary,
+            interior,
         });
     }
 
@@ -187,8 +234,10 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
     let mut iterations = 0usize;
     let mut active_curve = Vec::new();
     let mut timeline = Vec::new();
+    let mut round_link_msgs = Vec::new();
+    let mut round_link_bytes = Vec::new();
     loop {
-        let total_active: usize = states.iter().map(|s| s.active).sum();
+        let total_active: usize = states.iter().map(|s| s.active()).sum();
         if total_active == 0 {
             break;
         }
@@ -201,59 +250,94 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         let before: Vec<gc_gpusim::DeviceStats> =
             (0..k).map(|p| mg.device_ref(p).stats().clone()).collect();
         let wall_before = mg.wall_cycles();
+        let msgs_before = mg.link_transfers();
+        let bytes_before = mg.link_bytes();
         for (p, st) in states.iter().enumerate() {
             mg.device_ref(p)
-                .profile_iteration_begin(iterations, st.active);
+                .profile_iteration_begin(iterations, st.active());
         }
 
-        // Superstep 1: concurrent speculative assign.
+        // Superstep 1: concurrent speculative boundary assign.
         mg.begin_step();
         for (p, st) in states.iter().enumerate() {
-            if st.active > 0 {
-                let list = st.frontier.active();
-                assign_tpv(mg.device(p), &st.dev, &eff, list, st.active);
+            if st.active_boundary > 0 {
+                let list = st.boundary.active();
+                assign_tpv(mg.device(p), &st.dev, &eff, list, st.active_boundary);
             }
         }
         mg.end_step();
 
-        // Boundary exchange: after it, every ghost slot equals its owner's
-        // post-assign color, so resolve sees a consistent snapshot.
-        exchange(mg, &states, &plans, k);
-
-        // Superstep 2: concurrent conflict resolve; losers re-list.
-        mg.begin_step();
+        // Superstep 2: boundary exchange overlapped with interior assign +
+        // resolve. The ghost-slot data movement happens up front in
+        // simulation order — interior vertices never read ghost slots, so
+        // they cannot observe it — and only the *cost* rides on the step:
+        // queued on the link concurrently with the interior kernels
+        // (overlap) or charged serially before them. Either way every
+        // ghost slot mirrors its owner's post-assign color before phase 3.
+        let pairs = exchange_data(mg, &states, &plans, k);
+        if opts.overlap {
+            mg.begin_overlap_step();
+            for &(o, q, bytes) in &pairs {
+                mg.queue_transfer(o, q, bytes);
+            }
+        } else {
+            for &(o, q, bytes) in &pairs {
+                mg.transfer(o, q, bytes);
+            }
+            mg.begin_step();
+        }
         for (p, st) in states.iter().enumerate() {
-            if st.active > 0 {
+            if st.active_interior > 0 {
+                let list = st.interior.active();
+                assign_tpv(mg.device(p), &st.dev, &eff, list, st.active_interior);
                 let push = PushTargets {
-                    low: (st.frontier.next(), st.frontier.len),
+                    low: (st.interior.next(), st.interior.len),
                     high: None,
                     threshold: None,
                     aggregated: eff.aggregated_push,
                 };
-                let list = st.frontier.active();
-                resolve(mg.device(p), &st.dev, &eff, list, st.active, push);
+                resolve(mg.device(p), &st.dev, &eff, list, st.active_interior, push);
+            }
+        }
+        if opts.overlap {
+            mg.end_overlap_step();
+        } else {
+            mg.end_step();
+        }
+
+        // Superstep 3: concurrent boundary conflict resolve; losers
+        // re-list into the boundary frontier.
+        mg.begin_step();
+        for (p, st) in states.iter().enumerate() {
+            if st.active_boundary > 0 {
+                let push = PushTargets {
+                    low: (st.boundary.next(), st.boundary.len),
+                    high: None,
+                    threshold: None,
+                    aggregated: eff.aggregated_push,
+                };
+                let list = st.boundary.active();
+                resolve(mg.device(p), &st.dev, &eff, list, st.active_boundary, push);
             }
         }
         mg.end_step();
 
         let mut next_active = 0usize;
         for (p, st) in states.iter_mut().enumerate() {
-            let finalized_p = if st.active > 0 {
-                let new_len = {
-                    let gpu = mg.device(p);
-                    st.frontier.swap(gpu)
-                };
-                let f = st.active - new_len;
-                st.active = new_len;
-                f
-            } else {
-                0
-            };
-            next_active += st.active;
+            let active_before = st.active();
+            if st.active_boundary > 0 {
+                st.active_boundary = st.boundary.swap(mg.device(p));
+            }
+            if st.active_interior > 0 {
+                st.active_interior = st.interior.swap(mg.device(p));
+            }
+            next_active += st.active();
             mg.device_ref(p)
-                .profile_iteration_end(iterations, finalized_p);
+                .profile_iteration_end(iterations, active_before - st.active());
         }
 
+        round_link_msgs.push(mg.link_transfers() - msgs_before);
+        round_link_bytes.push(mg.link_bytes() - bytes_before);
         timeline.push(multi_iteration_delta(
             mg,
             &before,
@@ -275,17 +359,29 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         iterations,
         active_curve,
         timeline,
+        round_link_msgs,
+        round_link_bytes,
     )
 }
 
-/// Push every boundary color the receiver doesn't have yet. Comparing
-/// against the receiver's current ghost value makes the exchange a delta:
-/// quiescent regions stop costing bytes, and after the call every planned
-/// ghost slot exactly mirrors its owner.
-fn exchange(mg: &mut MultiGpu, states: &[PartState], plans: &[Vec<(usize, usize)>], k: usize) {
+/// Move every boundary color the receiver doesn't have yet into its ghost
+/// slots, and return the per-ordered-pair payloads `(owner, receiver,
+/// bytes)` — only pairs that actually changed something, so a quiescent
+/// pair sends no message and pays no link latency. Comparing against the
+/// receiver's current ghost value makes the exchange a delta: after the
+/// call every planned ghost slot exactly mirrors its owner. The caller
+/// charges the returned payloads to the link (queued on an overlap step,
+/// or serially).
+fn exchange_data(
+    mg: &mut MultiGpu,
+    states: &[PartState],
+    plans: &[Vec<(usize, usize)>],
+    k: usize,
+) -> Vec<(usize, usize, u64)> {
     let snaps: Vec<Vec<u32>> = (0..k)
         .map(|p| mg.device_ref(p).read_back(states[p].dev.colors))
         .collect();
+    let mut pairs = Vec::new();
     for q in 0..k {
         let mut dst = snaps[q].clone();
         let mut dirty = false;
@@ -303,13 +399,14 @@ fn exchange(mg: &mut MultiGpu, states: &[PartState], plans: &[Vec<(usize, usize)
                 }
             }
             if changed > 0 {
-                mg.transfer(o, q, changed * std::mem::size_of::<u32>() as u64);
+                pairs.push((o, q, changed * std::mem::size_of::<u32>() as u64));
             }
         }
         if dirty {
             mg.device(q).write_slice(states[q].dev.colors, &dst);
         }
     }
+    pairs
 }
 
 /// One round's metrics, aggregated across devices: `cycles` is the round's
@@ -362,6 +459,8 @@ fn finish_multi_report(
     iterations: usize,
     active_per_iteration: Vec<usize>,
     iteration_timeline: Vec<crate::IterationStats>,
+    round_link_msgs: Vec<u64>,
+    round_link_bytes: Vec<u64>,
 ) -> RunReport {
     let mut colors = vec![UNCOLORED; g.num_vertices()];
     for (p, st) in states.iter().enumerate() {
@@ -444,13 +543,21 @@ fn finish_multi_report(
             boundary_sizes: pstats.boundary_sizes,
             ghost_sizes: pstats.ghost_sizes,
             part_degrees: pstats.part_degrees,
+            part_degree_imbalance: pstats.part_degree_imbalance,
             exchange_bytes: ms.link_bytes,
             exchange_transfers: ms.link_transfers,
+            round_link_msgs,
+            round_link_bytes,
             link_cycles: ms.link_cycles,
             link_latency_cycles: opts.link.latency_cycles,
             link_bytes_per_cycle: opts.link.bytes_per_cycle,
             wall_cycles: ms.wall_cycles,
             supersteps: ms.steps,
+            overlap: opts.overlap,
+            overlap_steps: ms.overlap_steps,
+            exchange_hidden_cycles: ms.exchange_hidden_cycles,
+            exchange_exposed_cycles: ms.exchange_exposed_cycles,
+            overlap_efficiency: ms.overlap_efficiency(),
             device_imbalance_factor: ms.device_imbalance_factor(),
             device_cycles: ms.cycles_per_device,
             per_device: ms.per_device,
@@ -541,17 +648,65 @@ mod tests {
         let m = r.multi.as_ref().unwrap();
         let sum: u64 = m.device_cycles.iter().sum();
         let max = *m.device_cycles.iter().max().unwrap();
-        assert!(m.wall_cycles >= max + m.link_cycles);
+        // Critical path: at least the straggler plus the link time that
+        // compute couldn't hide; at most fully serial.
+        assert!(m.wall_cycles >= max + m.exchange_exposed_cycles);
         assert!(
             m.wall_cycles <= sum + m.link_cycles,
             "wall {} exceeds fully serial {}",
             m.wall_cycles,
             sum + m.link_cycles
         );
+        // Every link cycle is either hidden or exposed, never both.
+        assert_eq!(
+            m.exchange_hidden_cycles + m.exchange_exposed_cycles,
+            m.link_cycles
+        );
         assert_eq!(r.cycles, m.wall_cycles);
         // The timeline's wall shares telescope to the total.
         let t: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
         assert_eq!(t, r.cycles);
+    }
+
+    #[test]
+    fn overlap_matches_serial_colors_and_is_never_slower() {
+        for (name, g) in families() {
+            for devices in [2, 4] {
+                let ov = color(&g, &tiny(devices));
+                let sr = color(&g, &tiny(devices).with_overlap(false));
+                assert_eq!(ov.colors, sr.colors, "{name}/{devices}: colors differ");
+                assert_eq!(ov.iterations, sr.iterations);
+                let (mo, ms) = (ov.multi.unwrap(), sr.multi.unwrap());
+                // Identical schedule, identical traffic — only the clock
+                // accounting differs.
+                assert_eq!(mo.exchange_bytes, ms.exchange_bytes);
+                assert_eq!(mo.exchange_transfers, ms.exchange_transfers);
+                assert_eq!(mo.link_cycles, ms.link_cycles);
+                assert_eq!(mo.supersteps, ms.supersteps);
+                assert!(mo.overlap && !ms.overlap);
+                assert!(
+                    mo.wall_cycles <= ms.wall_cycles,
+                    "{name}/{devices}: overlap wall {} > serial wall {}",
+                    mo.wall_cycles,
+                    ms.wall_cycles
+                );
+                // Serial charges everything exposed; overlap hides what
+                // the interior compute covers and exposes the rest.
+                assert_eq!(ms.overlap_steps, 0);
+                assert_eq!(ms.exchange_hidden_cycles, 0);
+                assert_eq!(ms.exchange_exposed_cycles, ms.link_cycles);
+                assert_eq!(mo.overlap_steps, ov.iterations as u64);
+                assert_eq!(
+                    mo.exchange_hidden_cycles + mo.exchange_exposed_cycles,
+                    mo.link_cycles
+                );
+                // Phases 1 and 3 are identical in both runs, and per round
+                // serial pays `exchange + compute` where overlap pays
+                // `max(exchange, compute)` — so the whole wall gap is
+                // exactly the hidden link time.
+                assert_eq!(ms.wall_cycles - mo.wall_cycles, mo.exchange_hidden_cycles);
+            }
+        }
     }
 
     #[test]
@@ -576,6 +731,55 @@ mod tests {
         assert!(m.exchange_bytes <= bound, "{} > {bound}", m.exchange_bytes);
         assert!(m.exchange_bytes > 0);
         assert!(m.link_cycles >= m.exchange_transfers * m.link_latency_cycles);
+    }
+
+    #[test]
+    fn zero_cut_partitions_never_touch_the_link() {
+        // Two disconnected cliques split exactly at the part boundary: no
+        // cut edges, no ghosts. The run must not pay a single link cycle —
+        // a naive exchange that messages every device pair each round
+        // would charge latency here; the delta exchange charges nothing.
+        let mut edges = Vec::new();
+        for c in [0u32, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    edges.push((c + i, c + j));
+                }
+            }
+        }
+        let g = gc_graph::from_edges(12, &edges).unwrap();
+        let r = color(&g, &tiny(2).with_strategy(PartitionStrategy::Block));
+        verify_coloring(&g, &r.colors).unwrap();
+        let m = r.multi.unwrap();
+        assert_eq!(m.edge_cut, 0);
+        assert_eq!(m.exchange_transfers, 0);
+        assert_eq!(m.exchange_bytes, 0);
+        assert_eq!(m.link_cycles, 0);
+        assert!(m.round_link_msgs.iter().all(|&x| x == 0));
+        assert!((m.overlap_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiescent_pairs_send_no_messages() {
+        // A single cut edge between two otherwise-empty parts. Round 1:
+        // both endpoints speculatively take color 0 and both directions
+        // carry one changed ghost (2 messages, 8 bytes). Round 2: only the
+        // conflict loser re-colors — the winner's direction is quiescent
+        // and must send nothing and pay no latency. That makes the whole
+        // exchange exactly 3 messages of 4 bytes each, and the link clock
+        // exactly 3 × (latency + ceil(4 / bytes_per_cycle)): conflict-free
+        // directions never reach the link.
+        let g = gc_graph::from_edges(16, &[(0u32, 8u32)]).unwrap();
+        let r = color(&g, &tiny(2).with_strategy(PartitionStrategy::Block));
+        verify_coloring(&g, &r.colors).unwrap();
+        let m = r.multi.unwrap();
+        assert_eq!(r.iterations, 2);
+        assert_eq!(m.round_link_msgs, vec![2, 1]);
+        assert_eq!(m.round_link_bytes, vec![8, 4]);
+        assert_eq!(m.round_link_msgs.iter().sum::<u64>(), m.exchange_transfers);
+        assert_eq!(m.round_link_bytes.iter().sum::<u64>(), m.exchange_bytes);
+        let per_msg = m.link_latency_cycles + 4u64.div_ceil(m.link_bytes_per_cycle);
+        assert_eq!(m.link_cycles, m.exchange_transfers * per_msg);
     }
 
     #[test]

@@ -51,10 +51,22 @@ pub struct MultiDeviceReport {
     pub ghost_sizes: Vec<usize>,
     /// Sum of owned-vertex degrees per device (the work-balance view).
     pub part_degrees: Vec<usize>,
+    /// `max/mean` of `part_degrees` — the partition's static work
+    /// imbalance (1.0 when no parts or no edges).
+    #[serde(default)]
+    pub part_degree_imbalance: f64,
     /// Boundary-color payload bytes exchanged over the link.
     pub exchange_bytes: u64,
     /// Link messages sent.
     pub exchange_transfers: u64,
+    /// Link messages per coloring round (length = `iterations`). A round
+    /// with no boundary color changes sends no messages and pays no link
+    /// latency — the delta-exchange guarantee.
+    #[serde(default)]
+    pub round_link_msgs: Vec<u64>,
+    /// Payload bytes per coloring round (same indexing).
+    #[serde(default)]
+    pub round_link_bytes: Vec<u64>,
     /// Link cycles (latency + bandwidth) spent on the exchanges.
     pub link_cycles: u64,
     /// Link latency parameter used, in device cycles per message.
@@ -62,10 +74,31 @@ pub struct MultiDeviceReport {
     /// Link bandwidth parameter used, in bytes per device cycle.
     pub link_bytes_per_cycle: u64,
     /// Modeled wall cycles: per superstep the slowest device, plus the
-    /// serialized link transfers (equals the report's `cycles`).
+    /// link time not hidden behind compute (equals the report's `cycles`).
     pub wall_cycles: u64,
-    /// Supersteps executed (two per coloring round: assign, resolve).
+    /// Supersteps executed (three per coloring round: boundary assign,
+    /// overlapped exchange + interior work, boundary resolve).
     pub supersteps: u64,
+    /// Whether the exchange was overlapped with interior compute. When
+    /// `false` the same schedule runs but the link time is charged
+    /// serially, so colors and traffic are identical either way.
+    #[serde(default)]
+    pub overlap: bool,
+    /// Overlap supersteps executed (one per coloring round when
+    /// `overlap`, 0 otherwise).
+    #[serde(default)]
+    pub overlap_steps: u64,
+    /// Link cycles hidden behind concurrent interior compute.
+    #[serde(default)]
+    pub exchange_hidden_cycles: u64,
+    /// Link cycles exposed on the wall clock (serialized transfers plus
+    /// exchange time outlasting the overlapped compute).
+    #[serde(default)]
+    pub exchange_exposed_cycles: u64,
+    /// `exchange_hidden_cycles / link_cycles`, in `[0, 1]`; 1.0 when the
+    /// link was never used.
+    #[serde(default)]
+    pub overlap_efficiency: f64,
     /// Total busy cycles per device.
     pub device_cycles: Vec<u64>,
     /// Device-to-device load imbalance: `max/mean` of `device_cycles` —

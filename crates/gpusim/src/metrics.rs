@@ -18,8 +18,21 @@ pub fn utilization_of(active_lane_ops: u64, possible_lane_ops: u64) -> f64 {
 }
 
 /// Load imbalance across CUs: `max(busy) / mean(busy)`. 1.0 is perfectly
-/// balanced (the paper's "load imbalance factor"); also 1.0 for an idle
-/// device. Shared by every stats level.
+/// balanced (the paper's "load imbalance factor"). Shared by every stats
+/// level.
+///
+/// Degenerate inputs are defined by convention, not computed:
+///
+/// * **Empty slice** (no CUs / no devices): returns 1.0. There is nothing
+///   to be imbalanced against, and `NaN` would poison downstream
+///   aggregation.
+/// * **All-idle** (every entry 0): returns 1.0. An idle device is vacuously
+///   balanced — but it is *not* evidence of good load distribution.
+///
+/// Consumers that need to distinguish "balanced under load" from "never
+/// ran" must check activity separately (e.g. `sum_device_cycles() > 0` or
+/// a nonzero busy total); this function intentionally does not encode that
+/// distinction in its return value.
 pub fn imbalance_factor_of(busy_per_cu: &[u64]) -> f64 {
     let max = busy_per_cu.iter().copied().max().unwrap_or(0);
     let sum: u64 = busy_per_cu.iter().sum();
@@ -926,5 +939,29 @@ mod tests {
         assert_eq!(hot[0].buffer, "b");
         assert_eq!(hot[0].atomic_lane_ops, 2);
         assert_eq!(hot[0].line_addr, b.addr_of(0));
+    }
+    #[test]
+    fn imbalance_factor_of_empty_slice_is_one_by_convention() {
+        // No CUs at all: defined as 1.0 (not NaN) so aggregation stays
+        // finite. See the function docs — this is NOT "balanced under
+        // load"; callers must check activity separately.
+        assert_eq!(imbalance_factor_of(&[]), 1.0);
+    }
+
+    #[test]
+    fn imbalance_factor_of_all_idle_is_one_by_convention() {
+        // Every CU idle: vacuously balanced, defined as 1.0 rather than
+        // 0/0. A consumer that wants "did this device do anything" must
+        // look at the busy totals, not the imbalance factor.
+        assert_eq!(imbalance_factor_of(&[0, 0, 0]), 1.0);
+        assert_eq!(imbalance_factor_of(&[0]), 1.0);
+    }
+
+    #[test]
+    fn imbalance_factor_of_loaded_slices() {
+        assert_eq!(imbalance_factor_of(&[10, 10, 10]), 1.0);
+        // max 30, mean 20 -> 1.5; zeros count toward the mean.
+        assert!((imbalance_factor_of(&[30, 10, 20]) - 1.5).abs() < 1e-12);
+        assert!((imbalance_factor_of(&[40, 0]) - 2.0).abs() < 1e-12);
     }
 }

@@ -13,6 +13,12 @@
 //!   straggler), not the sum — [`MultiGpu::begin_step`] /
 //!   [`MultiGpu::end_step`] bracket a round and accumulate the critical
 //!   path, and link transfers extend it;
+//! * **exchange/compute overlap**: [`MultiGpu::begin_overlap_step`] /
+//!   [`MultiGpu::queue_transfer`] / [`MultiGpu::end_overlap_step`] model a
+//!   round whose link traffic runs concurrently with the compute launched
+//!   inside the step — the round costs `max(compute, exchange)` instead of
+//!   `compute + exchange`, and the hidden/exposed split of every link
+//!   cycle is tracked so reports can state the overlap efficiency;
 //! * aggregation: [`MultiGpu::multi_stats`] folds the per-device
 //!   [`DeviceStats`] into a [`MultiDeviceStats`] whose inter-device
 //!   imbalance factor reuses the same `max/mean` definition
@@ -95,6 +101,17 @@ pub struct MultiDeviceStats {
     pub cycles_per_device: Vec<u64>,
     /// Supersteps executed.
     pub steps: u64,
+    /// How many of `steps` were overlap steps (exchange concurrent with
+    /// compute).
+    #[serde(default)]
+    pub overlap_steps: u64,
+    /// Link cycles hidden behind concurrent compute in overlap steps.
+    #[serde(default)]
+    pub exchange_hidden_cycles: u64,
+    /// Link cycles exposed on the wall clock: serialized transfers plus
+    /// the part of overlap-step exchanges that outlasted the compute.
+    #[serde(default)]
+    pub exchange_exposed_cycles: u64,
     /// Full per-device statistics, in device order.
     pub per_device: Vec<DeviceStats>,
 }
@@ -112,6 +129,18 @@ impl MultiDeviceStats {
     pub fn sum_device_cycles(&self) -> u64 {
         self.cycles_per_device.iter().sum()
     }
+
+    /// Fraction of link cycles hidden behind concurrent compute, in
+    /// `[0, 1]`. 1.0 when the link was never used (nothing to hide).
+    /// `exchange_hidden_cycles + exchange_exposed_cycles == link_cycles`
+    /// always holds.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.link_cycles == 0 {
+            1.0
+        } else {
+            self.exchange_hidden_cycles as f64 / self.link_cycles as f64
+        }
+    }
 }
 
 /// N simulated GPUs sharing one [`DeviceConfig`], plus the link between
@@ -124,8 +153,15 @@ pub struct MultiGpu {
     link_bytes: u64,
     link_transfers: u64,
     steps: u64,
+    overlap_steps: u64,
+    exchange_hidden_cycles: u64,
+    exchange_exposed_cycles: u64,
     /// Per-device `total_cycles` snapshot taken at [`MultiGpu::begin_step`].
     step_base: Option<Vec<u64>>,
+    /// Whether the open step is an overlap step, and the link cycles
+    /// queued on it so far.
+    overlap_open: bool,
+    pending_exchange_cycles: u64,
 }
 
 impl MultiGpu {
@@ -143,7 +179,12 @@ impl MultiGpu {
             link_bytes: 0,
             link_transfers: 0,
             steps: 0,
+            overlap_steps: 0,
+            exchange_hidden_cycles: 0,
+            exchange_exposed_cycles: 0,
             step_base: None,
+            overlap_open: false,
+            pending_exchange_cycles: 0,
         }
     }
 
@@ -187,7 +228,12 @@ impl MultiGpu {
         self.link_bytes = 0;
         self.link_transfers = 0;
         self.steps = 0;
+        self.overlap_steps = 0;
+        self.exchange_hidden_cycles = 0;
+        self.exchange_exposed_cycles = 0;
         self.step_base = None;
+        self.overlap_open = false;
+        self.pending_exchange_cycles = 0;
     }
 
     /// Begin a superstep: snapshot each device's clock. Launches issued on
@@ -200,24 +246,89 @@ impl MultiGpu {
     /// End the superstep: wall time advances by the *slowest* device's
     /// delta (devices run concurrently). Returns the per-device deltas.
     pub fn end_step(&mut self) -> Vec<u64> {
-        let base = self
-            .step_base
-            .take()
-            .expect("end_step without a matching begin_step");
-        let deltas: Vec<u64> = self
-            .devices
-            .iter()
-            .zip(&base)
-            .map(|(d, &b)| d.now_cycles() - b)
-            .collect();
+        assert!(
+            !self.overlap_open,
+            "end_step on an overlap step; use end_overlap_step"
+        );
+        let deltas = self.take_step_deltas();
         self.wall_cycles += deltas.iter().copied().max().unwrap_or(0);
         self.steps += 1;
         deltas
     }
 
+    /// Begin an **overlap step**: like [`MultiGpu::begin_step`], but link
+    /// transfers queued inside it (via [`MultiGpu::queue_transfer`]) run
+    /// concurrently with the compute launched on the devices. The step's
+    /// wall cost, settled at [`MultiGpu::end_overlap_step`], is
+    /// `max(slowest device, queued exchange)`.
+    pub fn begin_overlap_step(&mut self) {
+        self.begin_step();
+        self.overlap_open = true;
+    }
+
+    /// Queue one link transfer of `bytes` on the open overlap step. The
+    /// transfers still serialize against each other on the shared link,
+    /// but the resulting exchange window overlaps the step's compute
+    /// instead of extending the wall clock directly. Zero-byte and self
+    /// transfers are free, exactly as in [`MultiGpu::transfer`]. Returns
+    /// the link cycles the message occupies.
+    pub fn queue_transfer(&mut self, from: usize, to: usize, bytes: u64) -> u64 {
+        assert!(
+            self.overlap_open,
+            "queue_transfer outside an overlap step; use transfer"
+        );
+        assert!(from < self.devices.len() && to < self.devices.len());
+        if from == to || bytes == 0 {
+            return 0;
+        }
+        let cycles = self.link.transfer_cycles(bytes);
+        self.link_cycles += cycles;
+        self.link_bytes += bytes;
+        self.link_transfers += 1;
+        self.pending_exchange_cycles += cycles;
+        cycles
+    }
+
+    /// End the overlap step: wall time advances by
+    /// `max(slowest device delta, queued exchange cycles)` — the exchange
+    /// hides behind compute up to the compute's length, and any excess is
+    /// exposed. Accumulates the hidden/exposed split
+    /// (`exchange_hidden_cycles + exchange_exposed_cycles == link_cycles`
+    /// over the whole run). Returns the per-device deltas.
+    pub fn end_overlap_step(&mut self) -> Vec<u64> {
+        assert!(
+            self.overlap_open,
+            "end_overlap_step without a matching begin_overlap_step"
+        );
+        let deltas = self.take_step_deltas();
+        let compute = deltas.iter().copied().max().unwrap_or(0);
+        let exchange = self.pending_exchange_cycles;
+        self.wall_cycles += compute.max(exchange);
+        self.exchange_hidden_cycles += compute.min(exchange);
+        self.exchange_exposed_cycles += exchange.saturating_sub(compute);
+        self.pending_exchange_cycles = 0;
+        self.overlap_open = false;
+        self.steps += 1;
+        self.overlap_steps += 1;
+        deltas
+    }
+
+    fn take_step_deltas(&mut self) -> Vec<u64> {
+        let base = self
+            .step_base
+            .take()
+            .expect("end_step without a matching begin_step");
+        self.devices
+            .iter()
+            .zip(&base)
+            .map(|(d, &b)| d.now_cycles() - b)
+            .collect()
+    }
+
     /// Charge one link transfer of `bytes` from `from` to `to`. Transfers
-    /// serialize on the shared link, so the cost lands on the wall clock.
-    /// Zero-byte transfers are free (no message is sent).
+    /// serialize on the shared link, so the cost lands on the wall clock
+    /// (fully exposed — nothing hides it). Zero-byte transfers are free
+    /// (no message is sent).
     pub fn transfer(&mut self, from: usize, to: usize, bytes: u64) -> u64 {
         assert!(from < self.devices.len() && to < self.devices.len());
         if from == to || bytes == 0 {
@@ -227,6 +338,7 @@ impl MultiGpu {
         self.link_cycles += cycles;
         self.link_bytes += bytes;
         self.link_transfers += 1;
+        self.exchange_exposed_cycles += cycles;
         self.wall_cycles += cycles;
         cycles
     }
@@ -239,6 +351,16 @@ impl MultiGpu {
     /// Payload bytes moved over the link so far.
     pub fn link_bytes(&self) -> u64 {
         self.link_bytes
+    }
+
+    /// Link messages sent so far.
+    pub fn link_transfers(&self) -> u64 {
+        self.link_transfers
+    }
+
+    /// Link cycles accumulated so far (hidden or not).
+    pub fn link_cycles(&self) -> u64 {
+        self.link_cycles
     }
 
     /// Convert the wall clock to milliseconds at the shared device clock.
@@ -256,6 +378,9 @@ impl MultiGpu {
             link_transfers: self.link_transfers,
             cycles_per_device: self.devices.iter().map(|d| d.now_cycles()).collect(),
             steps: self.steps,
+            overlap_steps: self.overlap_steps,
+            exchange_hidden_cycles: self.exchange_hidden_cycles,
+            exchange_exposed_cycles: self.exchange_exposed_cycles,
             per_device: self.devices.iter().map(|d| d.stats().clone()).collect(),
         }
     }
@@ -360,6 +485,159 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_panics() {
         MultiGpu::new(0, DeviceConfig::small_test(), LinkConfig::default());
+    }
+
+    #[test]
+    fn overlap_step_hides_exchange_behind_compute() {
+        let link = LinkConfig {
+            latency_cycles: 10,
+            bytes_per_cycle: 8,
+        };
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), link);
+        mg.begin_overlap_step();
+        let c0 = write_kernel(mg.device(0), 64, "big");
+        let c1 = write_kernel(mg.device(1), 64, "big");
+        // Small exchange: fully hidden behind the concurrent compute.
+        let x = mg.queue_transfer(0, 1, 8);
+        assert_eq!(x, 11);
+        let compute = c0.max(c1);
+        assert!(x < compute, "test premise: exchange shorter than compute");
+        mg.end_overlap_step();
+        assert_eq!(mg.wall_cycles(), compute, "exchange fully hidden");
+        let stats = mg.multi_stats();
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.overlap_steps, 1);
+        assert_eq!(stats.exchange_hidden_cycles, x);
+        assert_eq!(stats.exchange_exposed_cycles, 0);
+        assert!((stats.overlap_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_step_exposes_exchange_excess() {
+        let link = LinkConfig {
+            latency_cycles: 5_000,
+            bytes_per_cycle: 1,
+        };
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), link);
+        mg.begin_overlap_step();
+        let c0 = write_kernel(mg.device(0), 4, "small");
+        let x = mg.queue_transfer(0, 1, 100) + mg.queue_transfer(1, 0, 100);
+        assert!(x > c0, "test premise: exchange outlasts compute");
+        mg.end_overlap_step();
+        assert_eq!(mg.wall_cycles(), x, "step costs the longer exchange");
+        let stats = mg.multi_stats();
+        assert_eq!(stats.exchange_hidden_cycles, c0);
+        assert_eq!(stats.exchange_exposed_cycles, x - c0);
+        assert_eq!(
+            stats.exchange_hidden_cycles + stats.exchange_exposed_cycles,
+            stats.link_cycles
+        );
+        assert!((stats.overlap_efficiency() - c0 as f64 / x as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_plus_exposed_always_equals_link_cycles() {
+        // Mixed run: serialized transfers (fully exposed), an overlap step
+        // that hides its exchange, and one that exposes part of it.
+        let link = LinkConfig {
+            latency_cycles: 50,
+            bytes_per_cycle: 4,
+        };
+        let mut mg = MultiGpu::new(3, DeviceConfig::small_test(), link);
+        mg.transfer(0, 1, 256);
+        mg.begin_overlap_step();
+        for i in 0..3 {
+            write_kernel(mg.device(i), 64, "work");
+        }
+        mg.queue_transfer(0, 2, 16);
+        mg.end_overlap_step();
+        mg.begin_overlap_step();
+        mg.queue_transfer(1, 0, 4096);
+        mg.end_overlap_step();
+        mg.begin_step();
+        write_kernel(mg.device(0), 8, "tail");
+        mg.end_step();
+
+        let stats = mg.multi_stats();
+        assert_eq!(
+            stats.exchange_hidden_cycles + stats.exchange_exposed_cycles,
+            stats.link_cycles
+        );
+        assert_eq!(stats.steps, 3);
+        assert_eq!(stats.overlap_steps, 2);
+        assert!(stats.exchange_hidden_cycles > 0);
+        assert!(stats.exchange_exposed_cycles > 0);
+        let eff = stats.overlap_efficiency();
+        assert!(eff > 0.0 && eff < 1.0);
+        assert!(stats.wall_cycles >= *stats.cycles_per_device.iter().max().unwrap());
+    }
+
+    #[test]
+    fn overlap_efficiency_is_one_with_no_link_traffic() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_overlap_step();
+        write_kernel(mg.device(0), 8, "k");
+        mg.end_overlap_step();
+        let stats = mg.multi_stats();
+        assert_eq!(stats.link_cycles, 0);
+        assert!((stats.overlap_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_and_serial_accounting_agree_on_zero_exchange() {
+        // With no queued transfers an overlap step must cost exactly what
+        // a plain superstep costs: the straggler.
+        let mut serial = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        serial.begin_step();
+        write_kernel(serial.device(0), 32, "k");
+        serial.end_step();
+
+        let mut overlap = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        overlap.begin_overlap_step();
+        write_kernel(overlap.device(0), 32, "k");
+        overlap.end_overlap_step();
+
+        assert_eq!(serial.wall_cycles(), overlap.wall_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_transfer outside an overlap step")]
+    fn queue_transfer_needs_an_open_overlap_step() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.queue_transfer(0, 1, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_step on an overlap step")]
+    fn plain_end_step_rejects_overlap_steps() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_overlap_step();
+        mg.end_step();
+    }
+
+    #[test]
+    #[should_panic(expected = "end_overlap_step without a matching begin_overlap_step")]
+    fn end_overlap_step_rejects_plain_steps() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_step();
+        mg.end_overlap_step();
+    }
+
+    #[test]
+    fn reset_clears_overlap_state() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_overlap_step();
+        mg.queue_transfer(0, 1, 1024);
+        mg.end_overlap_step();
+        mg.transfer(0, 1, 64);
+        mg.reset_stats();
+        let stats = mg.multi_stats();
+        assert_eq!(stats.overlap_steps, 0);
+        assert_eq!(stats.exchange_hidden_cycles, 0);
+        assert_eq!(stats.exchange_exposed_cycles, 0);
+        // And a fresh plain step works after reset.
+        mg.begin_step();
+        mg.end_step();
     }
 
     #[test]

@@ -18,9 +18,19 @@
 //! * [`PartitionStrategy::BfsGrown`] — parts grown as BFS balls from
 //!   low-id seeds, trading a little compute for locality: neighbors tend to
 //!   land in the same part, shrinking the cut on high-diameter graphs.
+//! * [`PartitionStrategy::CutAware`] — Fennel/LDG-style streaming: each
+//!   vertex goes to the part where it already has the most neighbors, minus
+//!   a degree-load penalty, with parts closed once they reach the mean
+//!   degree load; a bounded greedy refinement pass then moves boundary
+//!   vertices that reduce the cut (or the load spread) within a
+//!   configurable imbalance cap. Aims for BfsGrown-class cuts at
+//!   DegreeBalanced-class work balance.
 //!
-//! All three are deterministic: the same graph and part count always yield
-//! byte-identical partitions.
+//! All strategies are deterministic: the same graph and part count always
+//! yield byte-identical partitions, and every strategy bounds its part
+//! sizes by [`PartitionStrategy::max_part_size`] — `ceil(n/k)` everywhere
+//! except `CutAware`, which trades a little count slack for degree-load
+//! balance.
 
 use serde::Serialize;
 
@@ -35,15 +45,23 @@ pub enum PartitionStrategy {
     DegreeBalanced,
     /// BFS balls grown from the smallest unassigned vertex id.
     BfsGrown,
+    /// Streaming neighbor-affinity scoring with a degree-load penalty plus
+    /// bounded boundary refinement ([`CutAwareParams`] defaults).
+    CutAware,
 }
 
 /// CLI names of every strategy, in help order.
-pub const STRATEGY_NAMES: &[&str] = &["block", "degree-balanced", "bfs"];
+pub const STRATEGY_NAMES: &[&str] = &["block", "degree-balanced", "bfs", "cutaware"];
 
 impl PartitionStrategy {
     /// All strategies, in [`STRATEGY_NAMES`] order.
-    pub fn all() -> [PartitionStrategy; 3] {
-        [Self::Block, Self::DegreeBalanced, Self::BfsGrown]
+    pub fn all() -> [PartitionStrategy; 4] {
+        [
+            Self::Block,
+            Self::DegreeBalanced,
+            Self::BfsGrown,
+            Self::CutAware,
+        ]
     }
 
     /// The strategy's CLI name.
@@ -52,12 +70,24 @@ impl PartitionStrategy {
             Self::Block => "block",
             Self::DegreeBalanced => "degree-balanced",
             Self::BfsGrown => "bfs",
+            Self::CutAware => "cutaware",
         }
     }
 
     /// Parse a CLI name.
     pub fn by_name(name: &str) -> Option<Self> {
         Self::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Upper bound on owned vertices per part this strategy guarantees:
+    /// the Block target `ceil(n/k)` for the strictly count-balanced
+    /// strategies, plus [`CutAwareParams`]' default vertex slack for
+    /// `CutAware` (which balances degree load instead of vertex count).
+    pub fn max_part_size(&self, n: usize, k: usize) -> usize {
+        match self {
+            Self::CutAware => CutAwareParams::default().count_cap(n, k),
+            _ => n.div_ceil(k),
+        }
     }
 }
 
@@ -141,6 +171,21 @@ pub struct PartitionStats {
     pub ghost_sizes: Vec<usize>,
     /// Sum of owned-vertex degrees per part (the work-balance view).
     pub part_degrees: Vec<usize>,
+    /// `max/mean` of `part_degrees` — the work-balance quality in one
+    /// number, same definition as the paper's imbalance factor. 1.0 when
+    /// there are no parts or no edges (vacuously balanced).
+    pub part_degree_imbalance: f64,
+}
+
+/// `max/mean` over per-part degree sums; 1.0 for empty or all-zero input.
+pub fn degree_imbalance_of(part_degrees: &[usize]) -> f64 {
+    let max = part_degrees.iter().copied().max().unwrap_or(0);
+    let sum: usize = part_degrees.iter().sum();
+    if sum == 0 {
+        1.0
+    } else {
+        max as f64 / (sum as f64 / part_degrees.len() as f64)
+    }
 }
 
 /// A complete vertex partition: the assignment plus one [`SubGraph`] per
@@ -184,6 +229,13 @@ impl Partition {
 
     /// The statistics bundle reported in run JSON.
     pub fn stats(&self) -> PartitionStats {
+        // Every global neighbor of an owned vertex appears in the local
+        // CSR (owned or ghost), so the arc count is the degree sum.
+        let part_degrees: Vec<usize> = self
+            .parts
+            .iter()
+            .map(|p| p.row_ptr.last().copied().unwrap_or(0) as usize)
+            .collect();
         PartitionStats {
             strategy: self.strategy.name().to_string(),
             num_parts: self.num_parts(),
@@ -197,13 +249,8 @@ impl Partition {
             part_sizes: self.part_sizes(),
             boundary_sizes: self.parts.iter().map(|p| p.boundary.len()).collect(),
             ghost_sizes: self.parts.iter().map(|p| p.ghosts.len()).collect(),
-            // Every global neighbor of an owned vertex appears in the local
-            // CSR (owned or ghost), so the arc count is the degree sum.
-            part_degrees: self
-                .parts
-                .iter()
-                .map(|p| p.row_ptr.last().copied().unwrap_or(0) as usize)
-                .collect(),
+            part_degree_imbalance: degree_imbalance_of(&part_degrees),
+            part_degrees,
         }
     }
 }
@@ -217,6 +264,53 @@ fn part_targets(n: usize, k: usize) -> Vec<usize> {
     (0..k).map(|p| base + usize::from(p < rem)).collect()
 }
 
+/// Tuning knobs of [`PartitionStrategy::CutAware`]. The defaults are what
+/// the enum-routed [`partition`] uses; [`partition_cut_aware`] accepts
+/// custom values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutAwareParams {
+    /// Weight of the degree-load penalty in the streaming score. Higher
+    /// values trade cut quality for tighter balance.
+    pub balance_penalty: f64,
+    /// The imbalance cap: the degree load refinement may grow a part to,
+    /// as a multiple of the mean (`total_degree / k`). Streaming always
+    /// balances tightly to the mean (falling back to the least-loaded part
+    /// when every open part is full, which tops parts up evenly);
+    /// refinement then trades imbalance up to this cap for cut quality,
+    /// never moving a vertex into a part past `max(cap, current max
+    /// load)` — so the final part-degree imbalance stays within the cap,
+    /// plus hub-fallback overshoot on extreme degree skew.
+    pub degree_cap: f64,
+    /// Slack on the per-part vertex-count cap as a multiple of the Block
+    /// target `ceil(n/k)`. A little headroom lets refinement move vertices
+    /// between exactly-full parts; [`PartitionStrategy::max_part_size`]
+    /// reflects it.
+    pub vertex_slack: f64,
+    /// Refinement sweeps over all vertices. Each sweep makes only moves
+    /// that strictly improve (cut, load spread), so a small bound suffices.
+    pub refine_passes: usize,
+}
+
+impl Default for CutAwareParams {
+    fn default() -> Self {
+        Self {
+            balance_penalty: 1.0,
+            degree_cap: 1.05,
+            vertex_slack: 1.25,
+            refine_passes: 2,
+        }
+    }
+}
+
+impl CutAwareParams {
+    /// Per-part vertex-count cap: the Block target plus the slack, never
+    /// below `ceil(n/k)` (so caps always sum to at least `n`).
+    pub fn count_cap(&self, n: usize, k: usize) -> usize {
+        let base = n.div_ceil(k);
+        ((base as f64 * self.vertex_slack).ceil() as usize).max(base)
+    }
+}
+
 /// Partition `g` into `num_parts` parts with the given strategy.
 /// Deterministic. Panics if `num_parts` is zero.
 pub fn partition(g: &CsrGraph, num_parts: usize, strategy: PartitionStrategy) -> Partition {
@@ -226,8 +320,18 @@ pub fn partition(g: &CsrGraph, num_parts: usize, strategy: PartitionStrategy) ->
         PartitionStrategy::Block => assign_block(n, num_parts),
         PartitionStrategy::DegreeBalanced => assign_degree_balanced(g, num_parts),
         PartitionStrategy::BfsGrown => assign_bfs_grown(g, num_parts),
+        PartitionStrategy::CutAware => assign_cut_aware(g, num_parts, CutAwareParams::default()),
     };
     build_partition(g, num_parts, strategy, assignment)
+}
+
+/// [`PartitionStrategy::CutAware`] with explicit [`CutAwareParams`] — for
+/// sweeps over the balance/cut trade-off. Deterministic. Panics if
+/// `num_parts` is zero.
+pub fn partition_cut_aware(g: &CsrGraph, num_parts: usize, params: CutAwareParams) -> Partition {
+    assert!(num_parts > 0, "num_parts must be positive");
+    let assignment = assign_cut_aware(g, num_parts, params);
+    build_partition(g, num_parts, PartitionStrategy::CutAware, assignment)
 }
 
 fn assign_block(n: usize, k: usize) -> Vec<u32> {
@@ -262,13 +366,30 @@ fn assign_degree_balanced(g: &CsrGraph, k: usize) -> Vec<u32> {
 }
 
 fn assign_bfs_grown(g: &CsrGraph, k: usize) -> Vec<u32> {
+    assign_bfs_grown_with_high_water(g, k).0
+}
+
+/// BFS-grown assignment plus the queue's high-water mark. A `queued` mark
+/// set on push keeps each vertex in the queue at most once, bounding the
+/// high-water mark by `n`; without it, dense graphs re-push every shared
+/// neighbor and the queue inflates to O(m). Dedup does not change the
+/// result: a duplicate would be skipped at pop time anyway, so only the
+/// position of each vertex's *first* push — identical either way — matters.
+fn assign_bfs_grown_with_high_water(g: &CsrGraph, k: usize) -> (Vec<u32>, usize) {
     let n = g.num_vertices();
     let targets = part_targets(n, k);
     let mut assignment = vec![u32::MAX; n];
+    let mut queued = vec![false; n];
     let mut next_seed = 0usize;
     let mut queue = std::collections::VecDeque::new();
+    let mut high_water = 0usize;
     for (p, &target) in targets.iter().enumerate() {
         let mut size = 0usize;
+        // A part can fill up with vertices still queued; they must stay
+        // reachable by later parts, so clear their marks with the queue.
+        for &u in &queue {
+            queued[u as usize] = false;
+        }
         queue.clear();
         while size < target {
             let u = match queue.pop_front() {
@@ -288,13 +409,183 @@ fn assign_bfs_grown(g: &CsrGraph, k: usize) -> Vec<u32> {
             assignment[u as usize] = p as u32;
             size += 1;
             for &v in g.neighbors(u) {
-                if assignment[v as usize] == u32::MAX {
+                if assignment[v as usize] == u32::MAX && !queued[v as usize] {
+                    queued[v as usize] = true;
                     queue.push_back(v);
                 }
             }
+            high_water = high_water.max(queue.len());
         }
     }
+    (assignment, high_water)
+}
+
+/// Fennel/LDG-style streaming assignment: each vertex (ascending id, which
+/// preserves whatever locality the labeling has) goes to the part
+/// maximizing `neighbors already there − balance_penalty · load/target`,
+/// skipping parts already at the mean degree load; then
+/// [`refine_boundary`] sweeps move cut vertices that strictly reduce the
+/// cut within the `degree_cap` imbalance budget. Both phases respect the
+/// slacked owned-vertex count cap.
+fn assign_cut_aware(g: &CsrGraph, k: usize, params: CutAwareParams) -> Vec<u32> {
+    let n = g.num_vertices();
+    let cap = vec![params.count_cap(n, k); k];
+    let total_degree: usize = (0..n as VertexId).map(|v| g.degree(v)).sum();
+    // Mean final degree load per part. Streaming balances tightly to it;
+    // refinement may then trade up to `degree_cap` of imbalance for cut
+    // quality. `max(1)` keeps edgeless graphs well-defined.
+    let target = (total_degree as f64 / k as f64).max(1.0);
+    let deg_cap = target;
+
+    let mut assignment = vec![u32::MAX; n];
+    let mut count = vec![0usize; k];
+    let mut degree_load = vec![0usize; k];
+    // Scratch: neighbors already assigned to each part, touched-list reset.
+    let mut nbrs_in = vec![0usize; k];
+    let mut touched: Vec<usize> = Vec::with_capacity(k);
+
+    for v in 0..n as VertexId {
+        for &u in g.neighbors(v) {
+            let p = assignment[u as usize];
+            if p != u32::MAX {
+                let p = p as usize;
+                if nbrs_in[p] == 0 {
+                    touched.push(p);
+                }
+                nbrs_in[p] += 1;
+            }
+        }
+        let deg = g.degree(v);
+        let mut best: Option<(f64, usize)> = None;
+        let mut fallback: Option<(usize, usize)> = None; // (load, part)
+        for p in 0..k {
+            if count[p] >= cap[p] {
+                continue;
+            }
+            if (degree_load[p] + deg) as f64 <= deg_cap {
+                let score =
+                    nbrs_in[p] as f64 - params.balance_penalty * (degree_load[p] as f64 / target);
+                // Strict `>` keeps ties on the lowest part id.
+                if best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, p));
+                }
+            } else if fallback.is_none_or(|(l, _)| degree_load[p] < l) {
+                fallback = Some((degree_load[p], p));
+            }
+        }
+        // Every open part past the degree cap happens for outsized hubs
+        // and for the stream's tail once all parts sit near the mean;
+        // place those like DegreeBalanced would, on the least-loaded part
+        // — which is what tops the parts up evenly.
+        let p = best
+            .map(|(_, p)| p)
+            .or(fallback.map(|(_, p)| p))
+            .expect("count caps sum to >= n, so an open part always exists");
+        assignment[v as usize] = p as u32;
+        count[p] += 1;
+        degree_load[p] += deg;
+        for p in touched.drain(..) {
+            nbrs_in[p] = 0;
+        }
+    }
+
+    refine_boundary(
+        g,
+        k,
+        params,
+        &mut assignment,
+        &mut count,
+        &mut degree_load,
+        &cap,
+        params.degree_cap * target,
+    );
     assignment
+}
+
+/// Bounded greedy refinement: up to `refine_passes` ascending-id sweeps,
+/// moving a vertex to the neighboring part with the largest gain in local
+/// edges, provided the destination stays under the vertex-count cap and
+/// under `max(degree cap, current max load)` — so the maximum part load
+/// never increases. A move needs either a strict cut gain, or a zero cut
+/// gain that strictly shrinks the degree-load spread; the edge cut never
+/// increases and each sweep makes strict progress on (cut, then sum of
+/// squared loads), making the pass bound a cost guard rather than a
+/// convergence requirement.
+#[allow(clippy::too_many_arguments)]
+fn refine_boundary(
+    g: &CsrGraph,
+    k: usize,
+    params: CutAwareParams,
+    assignment: &mut [u32],
+    count: &mut [usize],
+    degree_load: &mut [usize],
+    cap: &[usize],
+    deg_cap: f64,
+) {
+    let n = g.num_vertices();
+    let mut nbrs_in = vec![0usize; k];
+    let mut touched: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..params.refine_passes {
+        let mut moved = false;
+        for v in 0..n as VertexId {
+            let home = assignment[v as usize] as usize;
+            let mut is_cut = false;
+            for &u in g.neighbors(v) {
+                let p = assignment[u as usize] as usize;
+                if p != home {
+                    is_cut = true;
+                }
+                if nbrs_in[p] == 0 {
+                    touched.push(p);
+                }
+                nbrs_in[p] += 1;
+            }
+            if is_cut {
+                let deg = g.degree(v);
+                // Destinations may fill up to the imbalance budget — or to
+                // the current straggler when hub fallback already overshot
+                // it — so the maximum part load never increases past
+                // `max(deg_cap, initial max)`.
+                let load_ceiling =
+                    deg_cap.max(degree_load.iter().copied().max().unwrap_or(0) as f64);
+                let mut best: Option<((i64, i64), usize)> = None; // ((cut gain, load relief), part)
+                for &p in &touched {
+                    if p == home
+                        || count[p] >= cap[p]
+                        || (degree_load[p] + deg) as f64 > load_ceiling
+                    {
+                        continue;
+                    }
+                    let gain = nbrs_in[p] as i64 - nbrs_in[home] as i64;
+                    let relief = degree_load[home] as i64 - (degree_load[p] + deg) as i64;
+                    // Either fewer cut edges, or the same cut with the
+                    // vertex landing on a strictly lighter part.
+                    if gain < 0 || (gain == 0 && relief <= 0) {
+                        continue;
+                    }
+                    let key = (gain, relief);
+                    // Strict `>` keeps ties on the lowest part id.
+                    if best.is_none_or(|(bk, _)| key > bk) {
+                        best = Some((key, p));
+                    }
+                }
+                if let Some((_, p)) = best {
+                    assignment[v as usize] = p as u32;
+                    count[home] -= 1;
+                    count[p] += 1;
+                    degree_load[home] -= deg;
+                    degree_load[p] += deg;
+                    moved = true;
+                }
+            }
+            for p in touched.drain(..) {
+                nbrs_in[p] = 0;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
 }
 
 fn build_partition(
@@ -414,8 +705,9 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s), "some vertex owned by no part");
 
-        // Balance bound shared by all strategies: no part above ceil(n/k).
-        let bound = n.div_ceil(k);
+        // Balance bound: ceil(n/k) for the count-balanced strategies,
+        // CutAware's documented slack on top for the degree-balanced one.
+        let bound = part.strategy.max_part_size(n, k);
         for (p, sub) in part.parts.iter().enumerate() {
             assert!(
                 sub.n_owned() <= bound,
@@ -573,6 +865,155 @@ mod tests {
         }
         assert_eq!(PartitionStrategy::by_name("metis"), None);
         assert_eq!(STRATEGY_NAMES.len(), PartitionStrategy::all().len());
+    }
+
+    /// The pre-fix BFS growth, verbatim: no dedup on push, so shared
+    /// neighbors are queued once per incident edge. Used as the behavioral
+    /// reference for the bounded-queue fix.
+    fn bfs_grown_reference(g: &CsrGraph, k: usize) -> (Vec<u32>, usize) {
+        let n = g.num_vertices();
+        let targets = part_targets(n, k);
+        let mut assignment = vec![u32::MAX; n];
+        let mut next_seed = 0usize;
+        let mut queue = std::collections::VecDeque::new();
+        let mut high_water = 0usize;
+        for (p, &target) in targets.iter().enumerate() {
+            let mut size = 0usize;
+            queue.clear();
+            while size < target {
+                let u = match queue.pop_front() {
+                    Some(u) => u,
+                    None => {
+                        while assignment[next_seed] != u32::MAX {
+                            next_seed += 1;
+                        }
+                        next_seed as VertexId
+                    }
+                };
+                if assignment[u as usize] != u32::MAX {
+                    continue;
+                }
+                assignment[u as usize] = p as u32;
+                size += 1;
+                for &v in g.neighbors(u) {
+                    if assignment[v as usize] == u32::MAX {
+                        queue.push_back(v);
+                    }
+                }
+                high_water = high_water.max(queue.len());
+            }
+        }
+        (assignment, high_water)
+    }
+
+    #[test]
+    fn bfs_queue_is_bounded_on_dense_rmat_with_assignments_unchanged() {
+        // Dense power-law graph: average degree 24, lots of shared
+        // neighbors, so duplicate pushes used to inflate the queue past n.
+        let g = rmat(9, 24, RmatParams::graph500(), 21);
+        let n = g.num_vertices();
+        for k in [2, 4] {
+            let (fixed, fixed_hw) = assign_bfs_grown_with_high_water(&g, k);
+            let (reference, ref_hw) = bfs_grown_reference(&g, k);
+            assert_eq!(fixed, reference, "dedup must not change assignments");
+            assert!(
+                fixed_hw <= n,
+                "k={k}: queue high water {fixed_hw} exceeds n={n}"
+            );
+            assert!(
+                ref_hw > n,
+                "k={k}: reference high water {ref_hw} <= n={n}; \
+                 graph not dense enough to exercise the bug"
+            );
+        }
+        // Cross-part reachability: a vertex left queued when a part fills
+        // must still be assignable later — every vertex is assigned.
+        let (fixed, _) = assign_bfs_grown_with_high_water(&g, 7);
+        assert!(fixed.iter().all(|&p| p != u32::MAX));
+    }
+
+    #[test]
+    fn cutaware_cut_no_worse_than_degree_balanced() {
+        for (name, g) in families() {
+            for k in [2, 4, 8] {
+                let aware = partition(&g, k, PartitionStrategy::CutAware);
+                let bal = partition(&g, k, PartitionStrategy::DegreeBalanced);
+                assert!(
+                    aware.edge_cut <= bal.edge_cut,
+                    "{name}/k={k}: cutaware cut {} > degree-balanced {}",
+                    aware.edge_cut,
+                    bal.edge_cut
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutaware_degree_imbalance_no_worse_than_bfs_grown() {
+        for (name, g) in families() {
+            for k in [2, 4, 8] {
+                let aware = partition(&g, k, PartitionStrategy::CutAware).stats();
+                let bfs = partition(&g, k, PartitionStrategy::BfsGrown).stats();
+                assert!(
+                    aware.part_degree_imbalance <= bfs.part_degree_imbalance + 1e-12,
+                    "{name}/k={k}: cutaware degree imbalance {:.4} > bfs {:.4}",
+                    aware.part_degree_imbalance,
+                    bfs.part_degree_imbalance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutaware_respects_the_soft_degree_cap() {
+        for (name, g) in families() {
+            for k in [2, 4, 8] {
+                let stats = partition(&g, k, PartitionStrategy::CutAware).stats();
+                // The soft cap is 1.2x the mean; hub fallback can exceed it
+                // by at most one vertex's degree, so 2x is comfortably safe
+                // and still far below BfsGrown's worst observed skew.
+                assert!(
+                    stats.part_degree_imbalance <= 2.0,
+                    "{name}/k={k}: degree imbalance {:.3}",
+                    stats.part_degree_imbalance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutaware_params_trade_balance_for_cut() {
+        let g = grid_2d(32, 32);
+        let relaxed = partition_cut_aware(
+            &g,
+            4,
+            CutAwareParams {
+                balance_penalty: 0.0,
+                degree_cap: 4.0,
+                ..CutAwareParams::default()
+            },
+        );
+        let default = partition(&g, 4, PartitionStrategy::CutAware);
+        // With no balance pressure the cut can only be at least as good.
+        assert!(relaxed.edge_cut <= default.edge_cut);
+        // Zero refinement passes is valid and deterministic.
+        let unrefined = partition_cut_aware(
+            &g,
+            4,
+            CutAwareParams {
+                refine_passes: 0,
+                ..CutAwareParams::default()
+            },
+        );
+        assert!(unrefined.edge_cut >= default.edge_cut);
+        check_invariants(&g, &unrefined, 4);
+    }
+
+    #[test]
+    fn degree_imbalance_of_handles_empty_and_idle() {
+        assert_eq!(degree_imbalance_of(&[]), 1.0);
+        assert_eq!(degree_imbalance_of(&[0, 0]), 1.0);
+        assert!((degree_imbalance_of(&[30, 10, 20]) - 1.5).abs() < 1e-12);
     }
 
     #[test]
