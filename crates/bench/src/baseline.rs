@@ -137,9 +137,40 @@ pub fn record_baseline(scale: Scale) -> BenchBaseline {
             });
         }
     }
+    entries.push(tuned_entry(&mut runner));
     BenchBaseline {
         scale: scale_name(scale).to_string(),
         entries,
+    }
+}
+
+/// One tuned row: the quick-space grid winner on citation-rmat, re-run for
+/// its full metrics. Grid search is RNG-free and the simulator is
+/// deterministic, so the row replays exactly like the fixed combos.
+fn tuned_entry(runner: &mut Runner) -> BaselineEntry {
+    const DATASET: &str = "citation-rmat";
+    const ALGORITHM: &str = "maxmin";
+    let spec = gc_graph::by_name(DATASET).expect("suite dataset");
+    let g = runner.graph(&spec).clone();
+    let base = gc_core::GpuOptions::baseline();
+    let outcome = gc_tune::tune(
+        &[(DATASET, &g)],
+        ALGORITHM,
+        &gc_tune::ParamSpace::quick(),
+        &gc_tune::SearchStrategy::Grid,
+        &base,
+    )
+    .expect("quick space tunes");
+    let r = gc_tune::run_config(&g, ALGORITHM, &outcome.winner.config, &base)
+        .expect("winner config runs");
+    BaselineEntry {
+        dataset: DATASET.to_string(),
+        family: ALGORITHM.to_string(),
+        config: "tuned".to_string(),
+        cycles: r.cycles,
+        num_colors: r.num_colors,
+        iterations: r.iterations,
+        mem_transactions: r.mem_transactions,
     }
 }
 

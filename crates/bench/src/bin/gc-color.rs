@@ -37,6 +37,14 @@ options:
   --no-overlap         charge boundary-exchange link time serially instead of
                        overlapping it with interior compute (--devices > 1)
   --device D           hd7950 | hd7970 | apu | warp32 (default hd7950)
+  --wg N               workgroup size override (GPU algorithms)
+  --chunk N            work-stealing chunk size override
+  --hybrid-threshold N degree threshold for hybrid binning
+  --link-latency N     inter-device link latency in cycles (--devices > 1)
+  --link-bandwidth N   inter-device link bytes/cycle (--devices > 1)
+  --tuned [PATH]       apply the cached gc-tune winner for this graph and
+                       algorithm (default cache TUNE_CACHE.json); conflicts
+                       with the explicit knob flags above
   --seed N             priority permutation seed (default 3088)
   --out PATH           write `vertex color` lines
   --classes            print color-class sizes
@@ -174,8 +182,8 @@ fn dump_json(target: &JsonTarget, report: &RunReport) -> Result<(), String> {
 }
 
 fn main() {
-    let args = match cli::parse_color_args(std::env::args().skip(1)) {
-        Ok(Parsed::Run(args)) => args,
+    let mut args = match cli::parse_color_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(args)) => *args,
         Ok(Parsed::Help) => {
             println!("{USAGE}");
             std::process::exit(0);
@@ -194,6 +202,14 @@ fn main() {
         g.num_vertices(),
         g.num_edges()
     );
+    match cli::apply_tuned(&mut args, &g) {
+        Ok(Some(desc)) => eprintln!("{desc}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let report = run(&args, &g).unwrap_or_else(|e| {
         eprintln!("error: {e}");

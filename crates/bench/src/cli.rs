@@ -5,7 +5,7 @@
 use std::io::BufReader;
 
 use gc_core::{gpu, seq, GpuOptions, RunReport, VertexOrdering};
-use gc_gpusim::{DeviceConfig, Gpu, MultiGpu};
+use gc_gpusim::{DeviceConfig, Gpu, LinkConfig, MultiGpu};
 use gc_graph::partition::{PartitionStrategy, STRATEGY_NAMES};
 use gc_graph::{io, CsrGraph, Scale};
 
@@ -55,6 +55,21 @@ pub struct ColorArgs {
     /// `--no-overlap`: charge boundary-exchange link time serially instead
     /// of overlapping it with interior compute (`--devices > 1` only).
     pub overlap: bool,
+    /// `--wg N`: workgroup size for the thread-per-vertex kernels.
+    pub wg: Option<usize>,
+    /// `--chunk N`: work-stealing chunk size (selects the stealing
+    /// schedule).
+    pub chunk: Option<usize>,
+    /// `--hybrid-threshold N`: degree threshold for the hybrid
+    /// workgroup-per-vertex kernel.
+    pub hybrid_threshold: Option<usize>,
+    /// `--link-latency N`: link latency in cycles/message (`--devices > 1`).
+    pub link_latency: Option<u64>,
+    /// `--link-bandwidth N`: link bytes/cycle (`--devices > 1`).
+    pub link_bandwidth: Option<u64>,
+    /// `--tuned [PATH]`: apply the cached tuned config for this graph +
+    /// algorithm from the gc-tune cache (default `TUNE_CACHE.json`).
+    pub tuned: Option<String>,
     pub device: String,
     pub seed: u64,
     pub out: Option<String>,
@@ -86,6 +101,12 @@ impl Default for ColorArgs {
             devices: 1,
             partition: None,
             overlap: true,
+            wg: None,
+            chunk: None,
+            hybrid_threshold: None,
+            link_latency: None,
+            link_bandwidth: None,
+            tuned: None,
             device: "hd7950".into(),
             seed: 0xC10,
             out: None,
@@ -112,6 +133,9 @@ pub enum Parsed {
 pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed, String> {
     let mut args = ColorArgs::default();
     let mut algorithm_explicit = false;
+    // Flags that pin knobs the tune cache would set; they conflict with
+    // `--tuned`, which must reproduce the cached config exactly.
+    let mut pinned: Vec<&'static str> = Vec::new();
     let mut argv = argv.into_iter().peekable();
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| {
@@ -150,15 +174,77 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 args.algorithm = a;
                 algorithm_explicit = true;
             }
-            "--optimized" => args.optimized = true,
+            "--optimized" => {
+                args.optimized = true;
+                pinned.push("--optimized");
+            }
             "--frontier" => args.frontier = true,
-            "--no-overlap" => args.overlap = false,
+            "--no-overlap" => {
+                args.overlap = false;
+                pinned.push("--no-overlap");
+            }
             "--devices" => {
                 args.devices = value("--devices")?
                     .parse()
-                    .map_err(|e| format!("bad --devices: {e}"))?
+                    .map_err(|e| format!("bad --devices: {e}"))?;
+                pinned.push("--devices");
+            }
+            "--wg" => {
+                let wg: usize = value("--wg")?
+                    .parse()
+                    .map_err(|e| format!("bad --wg: {e}"))?;
+                if wg == 0 {
+                    return Err("--wg must be positive".into());
+                }
+                args.wg = Some(wg);
+                pinned.push("--wg");
+            }
+            "--chunk" => {
+                let chunk: usize = value("--chunk")?
+                    .parse()
+                    .map_err(|e| format!("bad --chunk: {e}"))?;
+                if chunk == 0 {
+                    return Err("--chunk must be positive".into());
+                }
+                args.chunk = Some(chunk);
+                pinned.push("--chunk");
+            }
+            "--hybrid-threshold" => {
+                args.hybrid_threshold = Some(
+                    value("--hybrid-threshold")?
+                        .parse()
+                        .map_err(|e| format!("bad --hybrid-threshold: {e}"))?,
+                );
+                pinned.push("--hybrid-threshold");
+            }
+            "--link-latency" => {
+                args.link_latency = Some(
+                    value("--link-latency")?
+                        .parse()
+                        .map_err(|e| format!("bad --link-latency: {e}"))?,
+                );
+                pinned.push("--link-latency");
+            }
+            "--link-bandwidth" => {
+                let b: u64 = value("--link-bandwidth")?
+                    .parse()
+                    .map_err(|e| format!("bad --link-bandwidth: {e}"))?;
+                if b == 0 {
+                    return Err("--link-bandwidth must be positive".into());
+                }
+                args.link_bandwidth = Some(b);
+                pinned.push("--link-bandwidth");
+            }
+            "--tuned" => {
+                // Optional path: `--tuned cache.json` reads that file,
+                // bare `--tuned` reads the default cache.
+                args.tuned = match argv.peek() {
+                    Some(next) if !next.starts_with("--") => Some(argv.next().expect("peeked")),
+                    _ => Some(gc_tune::DEFAULT_CACHE_PATH.to_string()),
+                };
             }
             "--partition" => {
+                pinned.push("--partition");
                 let p = value("--partition")?;
                 if PartitionStrategy::by_name(&p).is_none() {
                     return Err(format!(
@@ -219,6 +305,12 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
     if args.devices == 0 {
         return Err("--devices must be at least 1".into());
     }
+    if args.tuned.is_some() && !pinned.is_empty() {
+        return Err(format!(
+            "--tuned applies the cached config; drop {}",
+            pinned.join(", ")
+        ));
+    }
     if args.devices > 1 {
         // Only the speculative first-fit driver has a distributed
         // conflict-resolution protocol; other algorithms stay single-device.
@@ -234,6 +326,8 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
         return Err("--partition only applies with --devices > 1".into());
     } else if !args.overlap {
         return Err("--no-overlap only applies with --devices > 1".into());
+    } else if args.link_latency.is_some() || args.link_bandwidth.is_some() {
+        return Err("--link-latency/--link-bandwidth only apply with --devices > 1".into());
     }
     Ok(Parsed::Run(Box::new(args)))
 }
@@ -287,7 +381,9 @@ pub fn pick_device(name: &str) -> Result<DeviceConfig, String> {
     })
 }
 
-/// Build the [`GpuOptions`] implied by the parsed flags.
+/// Build the [`GpuOptions`] implied by the parsed flags. The per-knob
+/// flags (`--wg`, `--chunk`, `--hybrid-threshold`) override the preset
+/// chosen by `--optimized`.
 pub fn gpu_options(args: &ColorArgs) -> Result<GpuOptions, String> {
     let base = if args.optimized {
         GpuOptions::optimized()
@@ -295,10 +391,20 @@ pub fn gpu_options(args: &ColorArgs) -> Result<GpuOptions, String> {
         GpuOptions::baseline()
     };
     let frontier = args.frontier || base.frontier;
-    Ok(base
+    let mut opts = base
         .with_frontier(frontier)
         .with_device(pick_device(&args.device)?)
-        .with_seed(args.seed))
+        .with_seed(args.seed);
+    if let Some(wg) = args.wg {
+        opts = opts.with_wg_size(wg);
+    }
+    if let Some(chunk) = args.chunk {
+        opts = opts.with_schedule(gc_core::WorkSchedule::WorkStealing { chunk });
+    }
+    if let Some(threshold) = args.hybrid_threshold {
+        opts = opts.with_hybrid_threshold(Some(threshold));
+    }
+    Ok(opts)
 }
 
 /// Build the [`gpu::MultiOptions`] implied by the parsed flags
@@ -311,10 +417,67 @@ pub fn multi_options(args: &ColorArgs) -> Result<gpu::MultiOptions, String> {
             STRATEGY_NAMES.join(" | ")
         )
     })?;
+    let mut link = LinkConfig::pcie();
+    if let Some(latency) = args.link_latency {
+        link.latency_cycles = latency;
+    }
+    if let Some(bandwidth) = args.link_bandwidth {
+        link.bytes_per_cycle = bandwidth;
+    }
     Ok(gpu::MultiOptions::new(args.devices)
         .with_strategy(strategy)
         .with_overlap(args.overlap)
+        .with_link(link)
         .with_base(gpu_options(args)?))
+}
+
+/// Resolve `--tuned`: look up the cached winner for (graph fingerprint,
+/// algorithm) and write its knobs back into `args` exactly as the
+/// equivalent explicit flags would, so the run is byte-identical to an
+/// explicitly-flagged run of the same config. Returns a description of
+/// the applied config, or `None` when `--tuned` was not given. Call after
+/// the graph is loaded (the lookup needs its fingerprint).
+pub fn apply_tuned(args: &mut ColorArgs, g: &CsrGraph) -> Result<Option<String>, String> {
+    let Some(path) = args.tuned.clone() else {
+        return Ok(None);
+    };
+    let cache =
+        gc_tune::TuneCache::load(&path).map_err(|e| format!("{e} (run gc-tune to create it)"))?;
+    let fingerprint = g.fingerprint();
+    let entry = cache
+        .lookup(fingerprint, &args.algorithm, gc_tune::OBJECTIVE_WALL_CYCLES)
+        .ok_or_else(|| {
+            let keys: Vec<&str> = cache.entries.keys().map(String::as_str).collect();
+            format!(
+                "no tuned entry {} in {path} (cached: {}); run gc-tune \
+                 --algorithm {} on this graph to add one",
+                gc_tune::cache_key(fingerprint, &args.algorithm, gc_tune::OBJECTIVE_WALL_CYCLES),
+                if keys.is_empty() {
+                    "none".to_string()
+                } else {
+                    keys.join(", ")
+                },
+                args.algorithm
+            )
+        })?;
+    let config = &entry.config;
+    args.wg = Some(config.wg_size);
+    args.chunk = config.steal_chunk;
+    args.hybrid_threshold = config.hybrid_threshold;
+    args.devices = config.devices;
+    if config.devices > 1 {
+        args.partition = Some(config.partition.clone());
+        args.overlap = config.overlap;
+        args.link_latency = Some(config.link_latency);
+        args.link_bandwidth = Some(config.link_bandwidth);
+    }
+    Ok(Some(format!(
+        "tuned: {} ({} cycles cached, space {}, strategy {})",
+        config.label(),
+        entry.score.cycles,
+        entry.space,
+        entry.strategy
+    )))
 }
 
 /// Whether the algorithm runs on the simulated device (and can therefore
@@ -601,5 +764,177 @@ mod tests {
         for a in ["seq", "dsatur"] {
             assert!(!is_gpu_algorithm(a));
         }
+    }
+
+    #[test]
+    fn knob_flags_reach_gpu_options() {
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--wg",
+            "128",
+            "--chunk",
+            "512",
+            "--hybrid-threshold",
+            "32",
+        ]);
+        let opts = gpu_options(&a).unwrap();
+        assert_eq!(opts.wg_size, 128);
+        assert_eq!(
+            opts.schedule,
+            gc_core::WorkSchedule::WorkStealing { chunk: 512 }
+        );
+        assert_eq!(opts.hybrid_threshold, Some(32));
+        // Knobs override the --optimized preset, not just the baseline.
+        let a = parsed(&["--dataset", "road-net", "--optimized", "--wg", "64"]);
+        let opts = gpu_options(&a).unwrap();
+        assert_eq!(opts.wg_size, 64);
+        assert_eq!(
+            opts.schedule,
+            GpuOptions::optimized().schedule,
+            "untouched knobs keep the preset"
+        );
+        // Zero values are rejected at parse time.
+        for flag in ["--wg", "--chunk"] {
+            let err = parse(&["--dataset", "road-net", flag, "0"]).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+        }
+    }
+
+    #[test]
+    fn link_flags_need_devices_and_reach_multi_options() {
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--link-latency",
+            "200",
+            "--link-bandwidth",
+            "64",
+        ]);
+        let mo = multi_options(&a).unwrap();
+        assert_eq!(mo.link.latency_cycles, 200);
+        assert_eq!(mo.link.bytes_per_cycle, 64);
+        // Untouched link knobs keep the PCIe default.
+        let a = parsed(&["--dataset", "road-net", "--devices", "2"]);
+        assert_eq!(multi_options(&a).unwrap().link, LinkConfig::pcie());
+        let err = parse(&["--dataset", "road-net", "--link-latency", "200"]).unwrap_err();
+        assert!(err.contains("--devices"), "{err}");
+        let err = parse(&[
+            "--dataset",
+            "road-net",
+            "--link-bandwidth",
+            "0",
+            "--devices",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--link-bandwidth"), "{err}");
+    }
+
+    #[test]
+    fn tuned_flag_with_and_without_path() {
+        let a = parsed(&["--dataset", "road-net", "--tuned"]);
+        assert_eq!(a.tuned.as_deref(), Some(gc_tune::DEFAULT_CACHE_PATH));
+        let a = parsed(&["--dataset", "road-net", "--tuned", "my.json"]);
+        assert_eq!(a.tuned.as_deref(), Some("my.json"));
+        // Bare --tuned followed by another flag keeps the default path.
+        let a = parsed(&["--dataset", "road-net", "--tuned", "--classes"]);
+        assert_eq!(a.tuned.as_deref(), Some(gc_tune::DEFAULT_CACHE_PATH));
+        assert!(a.classes);
+    }
+
+    #[test]
+    fn tuned_conflicts_with_pinned_flags() {
+        for pinned in [
+            vec!["--wg", "128"],
+            vec!["--chunk", "256"],
+            vec!["--hybrid-threshold", "64"],
+            vec!["--optimized"],
+            vec!["--devices", "2"],
+            vec!["--devices", "2", "--partition", "block"],
+            vec!["--devices", "2", "--no-overlap"],
+            vec!["--devices", "2", "--link-latency", "200"],
+        ] {
+            let mut args = vec!["--dataset", "road-net", "--tuned"];
+            args.extend(&pinned);
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains("--tuned"), "{pinned:?}: {err}");
+            assert!(err.contains(pinned[0]), "{pinned:?}: {err}");
+        }
+        // Flags the cache does not pin still compose with --tuned.
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--tuned",
+            "--seed",
+            "9",
+            "--device",
+            "apu",
+            "--frontier",
+        ]);
+        assert!(a.tuned.is_some());
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn apply_tuned_writes_cached_knobs_back() {
+        let g = gc_graph::generators::grid_2d(4, 4);
+        let dir = std::env::temp_dir().join(format!("gc-cli-tuned-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let path_str = path.to_str().unwrap().to_string();
+
+        // No --tuned: a no-op.
+        let mut a = parsed(&["--dataset", "road-net"]);
+        assert_eq!(apply_tuned(&mut a, &g), Ok(None));
+
+        // Missing cache file: a clean error mentioning gc-tune.
+        let mut a = parsed(&["--dataset", "road-net"]);
+        a.tuned = Some(path_str.clone());
+        let err = apply_tuned(&mut a, &g).unwrap_err();
+        assert!(err.contains("gc-tune"), "{err}");
+
+        // Cache present but no entry for this (graph, algorithm).
+        let mut cache = gc_tune::TuneCache::new();
+        let mut config = gc_tune::ParamSpace::quick().configs()[0].clone();
+        config.wg_size = 128;
+        config.steal_chunk = Some(512);
+        cache.insert(
+            g.fingerprint(),
+            gc_tune::TuneEntry {
+                graph: "sample".into(),
+                algorithm: "maxmin".into(),
+                objective: gc_tune::OBJECTIVE_WALL_CYCLES.into(),
+                space: "quick".into(),
+                strategy: "grid".into(),
+                evaluations: 8,
+                score: gc_tune::Score {
+                    cycles: 100,
+                    imbalance_milli: 1000,
+                    colors: 4,
+                },
+                config: config.clone(),
+            },
+        );
+        cache.save(&path_str).unwrap();
+        let mut a = parsed(&["--dataset", "road-net", "--algorithm", "jp"]);
+        a.tuned = Some(path_str.clone());
+        let err = apply_tuned(&mut a, &g).unwrap_err();
+        assert!(err.contains("no tuned entry"), "{err}");
+        assert!(err.contains("maxmin"), "error lists cached keys: {err}");
+
+        // A hit writes the knobs back as if they were explicit flags.
+        let mut a = parsed(&["--dataset", "road-net"]);
+        a.tuned = Some(path_str.clone());
+        let desc = apply_tuned(&mut a, &g).unwrap().unwrap();
+        assert!(desc.contains("tuned"), "{desc}");
+        assert_eq!(a.wg, Some(128));
+        assert_eq!(a.chunk, Some(512));
+        assert_eq!(a.devices, 1);
+        assert_eq!(gpu_options(&a).unwrap().wg_size, 128);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -24,6 +24,7 @@ mod f18_balance;
 mod f19_building_block;
 mod f20_multidevice;
 mod f21_cutaware;
+mod f22_crossover;
 mod t1_datasets;
 mod t2_iterations;
 
@@ -154,6 +155,11 @@ pub fn all() -> Vec<Experiment> {
             id: "f21",
             what: "cut-aware partitioning x overlapped exchange (extension)",
             run: f21_cutaware::run,
+        },
+        Experiment {
+            id: "f22",
+            what: "link latency/bandwidth crossover surface for tuned multi-device coloring (extension)",
+            run: f22_crossover::run,
         },
     ]
 }

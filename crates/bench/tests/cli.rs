@@ -552,3 +552,241 @@ fn repro_rejects_unknown_experiment() {
     assert!(!run.status.success());
     assert!(String::from_utf8_lossy(&run.stderr).contains("unknown experiment"));
 }
+
+/// Tune the quick space for (dataset, algorithm) in-process and write the
+/// winning entry to a cache file, returning the winner's config.
+fn write_tuned_cache(dataset: &str, algorithm: &str, path: &str) -> gc_tune::TunedConfig {
+    let g = gc_graph::by_name(dataset)
+        .expect("known dataset")
+        .build(gc_graph::Scale::Tiny);
+    let base = gc_core::GpuOptions::baseline();
+    let outcome = gc_tune::tune(
+        &[(dataset, &g)],
+        algorithm,
+        &gc_tune::ParamSpace::quick(),
+        &gc_tune::SearchStrategy::Grid,
+        &base,
+    )
+    .expect("quick space tunes");
+    let mut cache = gc_tune::TuneCache::new();
+    cache.insert(
+        g.fingerprint(),
+        gc_tune::TuneEntry {
+            graph: format!("{dataset}@tiny"),
+            algorithm: algorithm.into(),
+            objective: gc_tune::OBJECTIVE_WALL_CYCLES.into(),
+            space: "quick".into(),
+            strategy: "grid".into(),
+            evaluations: outcome.total_evaluations,
+            score: outcome.winner.score,
+            config: outcome.winner.config.clone(),
+        },
+    );
+    cache.save(path).unwrap();
+    outcome.winner.config
+}
+
+/// The flag list equivalent to a cached config, as a user would type it.
+fn explicit_flags(config: &gc_tune::TunedConfig) -> Vec<String> {
+    let mut flags = vec!["--wg".to_string(), config.wg_size.to_string()];
+    if let Some(chunk) = config.steal_chunk {
+        flags.extend(["--chunk".into(), chunk.to_string()]);
+    }
+    if let Some(threshold) = config.hybrid_threshold {
+        flags.extend(["--hybrid-threshold".into(), threshold.to_string()]);
+    }
+    if config.devices > 1 {
+        flags.extend(["--devices".into(), config.devices.to_string()]);
+        flags.extend(["--partition".into(), config.partition.clone()]);
+        if !config.overlap {
+            flags.push("--no-overlap".into());
+        }
+        flags.extend(["--link-latency".into(), config.link_latency.to_string()]);
+        flags.extend(["--link-bandwidth".into(), config.link_bandwidth.to_string()]);
+    }
+    flags
+}
+
+/// The acceptance criterion: `--tuned` must produce byte-identical colors
+/// to an explicitly-flagged run of the same config.
+#[test]
+fn tuned_run_matches_explicit_flags_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("gc-tuned-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("cache.json");
+    let config = write_tuned_cache("road-net", "firstfit", cache_path.to_str().unwrap());
+
+    let common = [
+        "--dataset",
+        "road-net",
+        "--scale",
+        "tiny",
+        "--algorithm",
+        "firstfit",
+    ];
+    let tuned_out = dir.join("tuned.txt");
+    let tuned = gc_color()
+        .args(common)
+        .args(["--tuned", cache_path.to_str().unwrap()])
+        .args(["--out", tuned_out.to_str().unwrap()])
+        .output()
+        .expect("run gc-color --tuned");
+    assert!(
+        tuned.status.success(),
+        "{}",
+        String::from_utf8_lossy(&tuned.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&tuned.stderr).contains("tuned:"),
+        "{}",
+        String::from_utf8_lossy(&tuned.stderr)
+    );
+
+    let explicit_out = dir.join("explicit.txt");
+    let explicit = gc_color()
+        .args(common)
+        .args(explicit_flags(&config))
+        .args(["--out", explicit_out.to_str().unwrap()])
+        .output()
+        .expect("run gc-color with explicit flags");
+    assert!(
+        explicit.status.success(),
+        "{}",
+        String::from_utf8_lossy(&explicit.stderr)
+    );
+
+    let tuned_bytes = std::fs::read(&tuned_out).unwrap();
+    let explicit_bytes = std::fs::read(&explicit_out).unwrap();
+    assert!(
+        tuned_bytes == explicit_bytes,
+        "--tuned colors differ from the explicit run of {}",
+        config.label()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A cached multi-device winner reconstructs the full multi-device flag
+/// set (partition, overlap, link) through `--tuned`.
+#[test]
+fn tuned_multi_device_entry_round_trips() {
+    let dir = std::env::temp_dir().join(format!("gc-tuned-multi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("cache.json");
+    let g = gc_graph::by_name("road-net")
+        .expect("known dataset")
+        .build(gc_graph::Scale::Tiny);
+    let config = gc_tune::TunedConfig {
+        wg_size: 256,
+        steal_chunk: Some(256),
+        hybrid_threshold: None,
+        devices: 2,
+        partition: "cutaware".into(),
+        overlap: false,
+        link_latency: 200,
+        link_bandwidth: 64,
+    };
+    let mut cache = gc_tune::TuneCache::new();
+    cache.insert(
+        g.fingerprint(),
+        gc_tune::TuneEntry {
+            graph: "road-net@tiny".into(),
+            algorithm: "firstfit".into(),
+            objective: gc_tune::OBJECTIVE_WALL_CYCLES.into(),
+            space: "multi".into(),
+            strategy: "grid".into(),
+            evaluations: 1,
+            score: gc_tune::Score {
+                cycles: 1,
+                imbalance_milli: 1000,
+                colors: 1,
+            },
+            config: config.clone(),
+        },
+    );
+    cache.save(cache_path.to_str().unwrap()).unwrap();
+
+    let common = [
+        "--dataset",
+        "road-net",
+        "--scale",
+        "tiny",
+        "--algorithm",
+        "firstfit",
+    ];
+    let tuned_out = dir.join("tuned.txt");
+    let tuned = gc_color()
+        .args(common)
+        .args(["--tuned", cache_path.to_str().unwrap()])
+        .args(["--out", tuned_out.to_str().unwrap()])
+        .output()
+        .expect("run gc-color --tuned");
+    assert!(
+        tuned.status.success(),
+        "{}",
+        String::from_utf8_lossy(&tuned.stderr)
+    );
+    let explicit_out = dir.join("explicit.txt");
+    let explicit = gc_color()
+        .args(common)
+        .args(explicit_flags(&config))
+        .args(["--out", explicit_out.to_str().unwrap()])
+        .output()
+        .expect("run gc-color with explicit flags");
+    assert!(
+        explicit.status.success(),
+        "{}",
+        String::from_utf8_lossy(&explicit.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&tuned_out).unwrap(),
+        std::fs::read(&explicit_out).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tuned_fails_cleanly_on_missing_cache_or_entry() {
+    let dir = std::env::temp_dir().join(format!("gc-tuned-miss-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("cache.json");
+    let common = ["--dataset", "road-net", "--scale", "tiny"];
+
+    // Missing cache file.
+    let missing = gc_color()
+        .args(common)
+        .args(["--tuned", cache_path.to_str().unwrap()])
+        .output()
+        .expect("run gc-color");
+    assert!(!missing.status.success());
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(stderr.contains("gc-tune"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Cache exists, but was tuned for another algorithm.
+    write_tuned_cache("road-net", "firstfit", cache_path.to_str().unwrap());
+    let wrong_alg = gc_color()
+        .args(common)
+        .args([
+            "--algorithm",
+            "maxmin",
+            "--tuned",
+            cache_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-color");
+    assert!(!wrong_alg.status.success());
+    let stderr = String::from_utf8_lossy(&wrong_alg.stderr);
+    assert!(stderr.contains("no tuned entry"), "{stderr}");
+
+    // --tuned combined with a pinned knob is a usage error (exit 2).
+    let conflict = gc_color()
+        .args(common)
+        .args(["--tuned", cache_path.to_str().unwrap(), "--wg", "128"])
+        .output()
+        .expect("run gc-color");
+    assert!(!conflict.status.success());
+    assert_eq!(conflict.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&conflict.stderr);
+    assert!(stderr.contains("--wg"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

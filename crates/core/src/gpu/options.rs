@@ -143,6 +143,13 @@ impl GpuOptions {
         self
     }
 
+    /// Set the workgroup size for the thread-per-vertex kernels (a tuned
+    /// knob; the presets all use 256).
+    pub fn with_wg_size(mut self, wg_size: usize) -> Self {
+        self.wg_size = wg_size;
+        self
+    }
+
     /// Set the priority seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -195,10 +202,12 @@ mod tests {
             .with_frontier(true)
             .with_hybrid_threshold(Some(64))
             .with_seed(7)
+            .with_wg_size(128)
             .with_schedule(WorkSchedule::DynamicHw);
         assert!(o.frontier);
         assert_eq!(o.hybrid_threshold, Some(64));
         assert_eq!(o.seed, 7);
+        assert_eq!(o.wg_size, 128);
         assert_eq!(o.label_suffix(), "-dyn-frontier-hybrid");
     }
 }

@@ -46,6 +46,17 @@ pub struct LinkConfig {
 }
 
 impl LinkConfig {
+    /// A link from explicit parameters: fixed `latency_cycles` per message
+    /// and `bytes_per_cycle` streaming bandwidth. The constructor behind
+    /// link-parameter sweeps (the autotuner's crossover-surface search and
+    /// the `--link-latency` / `--link-bandwidth` CLI flags).
+    pub fn from_params(latency_cycles: u64, bytes_per_cycle: u64) -> Self {
+        Self {
+            latency_cycles,
+            bytes_per_cycle,
+        }
+    }
+
     /// PCIe-class default used by the multi-device experiments.
     pub fn pcie() -> Self {
         Self {

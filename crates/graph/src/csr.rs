@@ -162,6 +162,31 @@ impl CsrGraph {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
+    /// Deterministic 64-bit structural fingerprint: FNV-1a over the vertex
+    /// and arc counts followed by both CSR arrays. Two graphs fingerprint
+    /// equal iff they are the same labeled graph, so the value keys
+    /// externally persisted per-graph state (e.g. the autotuner cache)
+    /// across runs and machines.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut word = |w: u32| {
+            for b in w.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        word(self.row_ptr.len() as u32);
+        word(self.col_idx.len() as u32);
+        for &w in &self.row_ptr {
+            word(w);
+        }
+        for &w in &self.col_idx {
+            word(w);
+        }
+        h
+    }
+
     /// Check all invariants.
     pub fn validate(&self) -> Result<(), GraphError> {
         if self.row_ptr.is_empty() {
@@ -245,6 +270,20 @@ mod tests {
         let g = sample();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_and_is_stable() {
+        let g = sample();
+        assert_eq!(g.fingerprint(), sample().fingerprint());
+        // Different structure, different fingerprint — including graphs with
+        // identical counts (path 0-1-2 vs triangle has different counts, so
+        // also compare two distinct 2-edge graphs on 4 vertices).
+        let path = CsrGraph::from_parts(vec![0, 1, 3, 4, 4], vec![1, 0, 2, 1]).unwrap();
+        let split = CsrGraph::from_parts(vec![0, 1, 2, 3, 4], vec![1, 0, 3, 2]).unwrap();
+        assert_ne!(path.fingerprint(), split.fingerprint());
+        assert_ne!(g.fingerprint(), path.fingerprint());
+        assert_ne!(g.fingerprint(), CsrGraph::empty().fingerprint());
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! `gc-tune` — search the simulator's configuration space for the best
+//! coloring configuration of a graph, persist the winner to the tune
+//! cache, and optionally render the Pareto frontier / link crossover
+//! surface.
+//!
+//! ```text
+//! gc-tune --dataset ecology-mesh --scale tiny --space quick --report
+//! gc-tune --dataset citation-rmat --space single --strategy halving
+//! gc-tune --dataset road-net --algorithm firstfit --space f22 --report
+//! gc-color --dataset ecology-mesh --scale tiny --tuned     # applies the winner
+//! ```
+
+use std::io::BufReader;
+
+use gc_core::GpuOptions;
+use gc_graph::{io, CsrGraph, Scale};
+use gc_tune::{
+    cache_key, render_report, tune, ParamSpace, SearchStrategy, TuneCache, TuneEntry,
+    OBJECTIVE_WALL_CYCLES, SPACE_NAMES, STRATEGY_NAMES,
+};
+
+const USAGE: &str = "gc-tune — autotune coloring configurations on the simulated GPU
+
+input (one of):
+  --input PATH       graph file (.mtx / .col / edge list; see --format)
+  --dataset NAME     registry dataset (see `repro --exp t1`)
+
+options:
+  --format FMT       mtx | dimacs | edges | gcsr (default: from extension)
+  --scale S          tiny | small | full for --dataset (default small)
+  --algorithm A      maxmin | jp | firstfit (default maxmin; multi-device
+                     spaces require firstfit)
+  --space NAME       quick | single | multi | f22 (default quick)
+  --strategy S       grid | random | halving (default grid; halving
+                     promotes survivors up the tiny -> small -> full
+                     dataset ladder)
+  --samples N        configurations drawn by --strategy random (default 16)
+  --seed N           priority-permutation and sampling seed (default 3088)
+  --device D         hd7950 | hd7970 | apu | warp32 (default hd7950)
+  --cache PATH       tune cache to read/update (default TUNE_CACHE.json)
+  --no-cache         do not read or write the cache
+  --force            search even if the cache already has a winner
+  --report           render the Pareto frontier and, for multi-device
+                     spaces, the link crossover surface
+  --json [PATH]      dump the outcome as JSON (stdout if no PATH)
+  --help             this text";
+
+struct Args {
+    input: Option<String>,
+    format: Option<String>,
+    dataset: Option<String>,
+    scale: Scale,
+    algorithm: String,
+    space_name: String,
+    strategy_name: String,
+    samples: usize,
+    seed: u64,
+    device: String,
+    cache: String,
+    no_cache: bool,
+    force: bool,
+    report: bool,
+    json: Option<Option<String>>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            input: None,
+            format: None,
+            dataset: None,
+            scale: Scale::Small,
+            algorithm: "maxmin".into(),
+            space_name: "quick".into(),
+            strategy_name: "grid".into(),
+            samples: 16,
+            seed: 0xC10,
+            device: "hd7950".into(),
+            cache: gc_tune::DEFAULT_CACHE_PATH.into(),
+            no_cache: false,
+            force: false,
+            report: false,
+            json: None,
+        }
+    }
+}
+
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut args = Args::default();
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Parsed::Help),
+            "--input" => args.input = Some(value("--input")?),
+            "--format" => args.format = Some(value("--format")?),
+            "--dataset" => {
+                let name = value("--dataset")?;
+                if gc_graph::by_name(&name).is_none() {
+                    return Err(format!("unknown dataset '{name}' (see `repro --exp t1`)"));
+                }
+                args.dataset = Some(name);
+            }
+            "--scale" => {
+                let s = value("--scale")?;
+                args.scale = match s.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}' (tiny | small | full)")),
+                };
+            }
+            "--algorithm" => {
+                let a = value("--algorithm")?;
+                if !gc_tune::eval::ALGORITHMS.contains(&a.as_str()) {
+                    return Err(format!(
+                        "unknown algorithm '{a}' ({})",
+                        gc_tune::eval::ALGORITHMS.join(" | ")
+                    ));
+                }
+                args.algorithm = a;
+            }
+            "--space" => {
+                let s = value("--space")?;
+                if ParamSpace::by_name(&s).is_none() {
+                    return Err(format!("unknown space '{s}' ({})", SPACE_NAMES.join(" | ")));
+                }
+                args.space_name = s;
+            }
+            "--strategy" => {
+                let s = value("--strategy")?;
+                if SearchStrategy::by_name(&s, 1, 0).is_none() {
+                    return Err(format!(
+                        "unknown strategy '{s}' ({})",
+                        STRATEGY_NAMES.join(" | ")
+                    ));
+                }
+                args.strategy_name = s;
+            }
+            "--samples" => {
+                args.samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?;
+                if args.samples == 0 {
+                    return Err("--samples must be positive".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--device" => {
+                let d = value("--device")?;
+                pick_device(&d)?;
+                args.device = d;
+            }
+            "--cache" => args.cache = value("--cache")?,
+            "--no-cache" => args.no_cache = true,
+            "--force" => args.force = true,
+            "--report" => args.report = true,
+            "--json" => {
+                // Optional value: a following non-flag token is the path.
+                match argv.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        args.json = Some(Some(argv.next().unwrap()))
+                    }
+                    _ => args.json = Some(None),
+                }
+            }
+            other => return Err(format!("unknown argument '{other}' (see --help)")),
+        }
+    }
+    if args.input.is_none() == args.dataset.is_none() {
+        return Err("exactly one of --input or --dataset is required".into());
+    }
+    let space = ParamSpace::by_name(&args.space_name).expect("validated above");
+    if space.has_multi_device() && args.algorithm != "firstfit" {
+        return Err(format!(
+            "space '{}' contains multi-device configs, which run the \
+             distributed first-fit driver; pass --algorithm firstfit",
+            args.space_name
+        ));
+    }
+    Ok(Parsed::Run(Box::new(args)))
+}
+
+fn pick_device(name: &str) -> Result<gc_gpusim::DeviceConfig, String> {
+    use gc_gpusim::DeviceConfig;
+    Ok(match name {
+        "hd7950" => DeviceConfig::hd7950(),
+        "hd7970" => DeviceConfig::hd7970(),
+        "apu" => DeviceConfig::apu_8cu(),
+        "warp32" => DeviceConfig::warp32(),
+        other => {
+            return Err(format!(
+                "unknown device '{other}' (hd7950 | hd7970 | apu | warp32)"
+            ))
+        }
+    })
+}
+
+fn load_file(path: &str, format: Option<&str>) -> Result<CsrGraph, String> {
+    let format = match format {
+        Some(f) => f.to_string(),
+        None => match path.rsplit('.').next() {
+            Some("mtx") => "mtx".into(),
+            Some("col") => "dimacs".into(),
+            Some("gcsr") => "gcsr".into(),
+            _ => "edges".into(),
+        },
+    };
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let graph = match format.as_str() {
+        "mtx" => io::read_matrix_market(reader),
+        "dimacs" => io::read_dimacs_col(reader),
+        "edges" => io::read_edge_list(reader),
+        "gcsr" => io::read_binary(reader),
+        other => {
+            return Err(format!(
+                "unknown format '{other}' (mtx | dimacs | edges | gcsr)"
+            ))
+        }
+    };
+    graph.map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// The target graph plus, for dataset inputs under halving, the cheaper
+/// rungs below the target scale.
+fn build_ladder(args: &Args) -> Result<Vec<(String, CsrGraph)>, String> {
+    if let Some(name) = &args.dataset {
+        let spec = gc_graph::by_name(name)
+            .ok_or_else(|| format!("unknown dataset '{name}' (see `repro --exp t1`)"))?;
+        let scales: &[Scale] = if args.strategy_name == "halving" {
+            match args.scale {
+                Scale::Tiny => &[Scale::Tiny],
+                Scale::Small => &[Scale::Tiny, Scale::Small],
+                Scale::Full => &[Scale::Tiny, Scale::Small, Scale::Full],
+            }
+        } else {
+            std::slice::from_ref(&args.scale)
+        };
+        return Ok(scales
+            .iter()
+            .map(|&s| (format!("{name}@{}", scale_name(s)), spec.build(s)))
+            .collect());
+    }
+    let path = args.input.as_ref().expect("validated by parse_args");
+    Ok(vec![(
+        path.clone(),
+        load_file(path, args.format.as_deref())?,
+    )])
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let fail = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+
+    let ladder = build_ladder(&args).unwrap_or_else(|e| fail(e));
+    let (target_label, target) = ladder.last().expect("ladder is non-empty");
+    let fingerprint = target.fingerprint();
+    eprintln!(
+        "graph: {} — {} vertices, {} edges, fingerprint {fingerprint:016x}",
+        target_label,
+        target.num_vertices(),
+        target.num_edges()
+    );
+
+    let mut cache = if args.no_cache {
+        TuneCache::new()
+    } else {
+        TuneCache::load_or_new(&args.cache).unwrap_or_else(|e| fail(e))
+    };
+
+    if !args.no_cache && !args.force {
+        if let Some(entry) = cache.lookup(fingerprint, &args.algorithm, OBJECTIVE_WALL_CYCLES) {
+            println!(
+                "cached winner for {}: {} | {} cycles, {} colors \
+                 (space {}, strategy {}, {} evaluations)",
+                cache_key(fingerprint, &args.algorithm, OBJECTIVE_WALL_CYCLES),
+                entry.config.label(),
+                entry.score.cycles,
+                entry.score.colors,
+                entry.space,
+                entry.strategy,
+                entry.evaluations
+            );
+            if args.report {
+                eprintln!("note: --report needs fresh evaluations; pass --force to re-search");
+            }
+            return;
+        }
+    }
+
+    let space = ParamSpace::by_name(&args.space_name).expect("validated at parse time");
+    let strategy = SearchStrategy::by_name(&args.strategy_name, args.samples, args.seed)
+        .expect("validated at parse time");
+    let base = GpuOptions::baseline()
+        .with_device(pick_device(&args.device).expect("validated at parse time"))
+        .with_seed(args.seed);
+    let ladder_refs: Vec<(&str, &CsrGraph)> = ladder.iter().map(|(l, g)| (l.as_str(), g)).collect();
+    let outcome =
+        tune(&ladder_refs, &args.algorithm, &space, &strategy, &base).unwrap_or_else(|e| fail(e));
+
+    let w = &outcome.winner;
+    println!(
+        "winner: {} | {} cycles, imbalance {:.3}, {} colors ({} evaluations)",
+        w.config.label(),
+        w.score.cycles,
+        w.score.imbalance_milli as f64 / 1000.0,
+        w.score.colors,
+        outcome.total_evaluations
+    );
+    if args.report {
+        print!("{}", render_report(&outcome, &args.algorithm, target_label));
+    }
+
+    if !args.no_cache {
+        let key = cache.insert(
+            fingerprint,
+            TuneEntry {
+                graph: target_label.clone(),
+                algorithm: args.algorithm.clone(),
+                objective: OBJECTIVE_WALL_CYCLES.into(),
+                space: args.space_name.clone(),
+                strategy: args.strategy_name.clone(),
+                evaluations: outcome.total_evaluations,
+                score: w.score,
+                config: w.config.clone(),
+            },
+        );
+        cache.save(&args.cache).unwrap_or_else(|e| fail(e));
+        eprintln!("cached {key} -> {}", args.cache);
+    }
+
+    if let Some(target) = &args.json {
+        let dump = serde_json::json!({
+            "graph": target_label,
+            "fingerprint": format!("{fingerprint:016x}"),
+            "algorithm": args.algorithm,
+            "objective": OBJECTIVE_WALL_CYCLES,
+            "space": args.space_name,
+            "strategy": args.strategy_name,
+            "winner": w,
+            "evaluated": outcome.evaluated,
+            "rungs": outcome.rungs,
+        });
+        let json = serde_json::to_string_pretty(&dump).unwrap_or_else(|e| fail(e.to_string()));
+        match target {
+            None => println!("{json}"),
+            Some(path) => {
+                std::fs::write(path, json.as_bytes())
+                    .unwrap_or_else(|e| fail(format!("write {path}: {e}")));
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The persistent tune cache: winners keyed by (graph fingerprint,
+//! algorithm, objective), serialized as versioned, byte-deterministic
+//! JSON so the file diffs cleanly under version control.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::eval::Score;
+use crate::space::TunedConfig;
+
+/// Format version; bumped on breaking schema changes so a stale cache
+/// fails loudly instead of applying garbage configs.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Where `gc-tune` writes and `--tuned` reads by default.
+pub const DEFAULT_CACHE_PATH: &str = "TUNE_CACHE.json";
+
+/// The cache key: `fingerprint/algorithm/objective`, with the fingerprint
+/// zero-padded hex so keys sort by graph.
+pub fn cache_key(fingerprint: u64, algorithm: &str, objective: &str) -> String {
+    format!("{fingerprint:016x}/{algorithm}/{objective}")
+}
+
+/// One cached winner plus the provenance needed to interpret it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuneEntry {
+    /// Human hint for the graph (dataset name + scale, or the input path).
+    /// Informational only — the fingerprint in the key is authoritative.
+    pub graph: String,
+    /// Algorithm the config was tuned for.
+    pub algorithm: String,
+    /// Objective the config won under ([`crate::OBJECTIVE_WALL_CYCLES`]).
+    pub objective: String,
+    /// Name of the searched space (or `"custom"`).
+    pub space: String,
+    /// Search strategy name.
+    pub strategy: String,
+    /// Evaluations the search spent.
+    pub evaluations: usize,
+    /// The winner's score on the target graph.
+    pub score: Score,
+    /// The winning configuration.
+    pub config: TunedConfig,
+}
+
+/// The on-disk cache. `BTreeMap` keeps entries sorted, which together
+/// with `serde_json`'s stable field order makes the serialized bytes a
+/// pure function of the contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneCache {
+    pub version: u32,
+    pub entries: BTreeMap<String, TuneEntry>,
+}
+
+impl Default for TuneCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuneCache {
+    /// An empty cache at the current version.
+    pub fn new() -> Self {
+        Self {
+            version: CACHE_VERSION,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Parse a cache, rejecting version mismatches.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let cache: TuneCache =
+            serde_json::from_str(json).map_err(|e| format!("parse tune cache: {e}"))?;
+        if cache.version != CACHE_VERSION {
+            return Err(format!(
+                "tune cache version {} but this binary expects {}; re-run gc-tune",
+                cache.version, CACHE_VERSION
+            ));
+        }
+        Ok(cache)
+    }
+
+    /// Load a cache file (the file must exist).
+    pub fn load(path: &str) -> Result<Self, String> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("read tune cache {path}: {e}"))?;
+        Self::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Load a cache file, or start empty when the file does not exist.
+    pub fn load_or_new(path: &str) -> Result<Self, String> {
+        if std::path::Path::new(path).exists() {
+            Self::load(path)
+        } else {
+            Ok(Self::new())
+        }
+    }
+
+    /// The deterministic serialized form (pretty JSON + trailing newline).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut json = serde_json::to_string_pretty(self).expect("cache serializes");
+        json.push('\n');
+        json.into_bytes()
+    }
+
+    /// Write the cache to `path`.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| format!("write tune cache {path}: {e}"))
+    }
+
+    /// Insert (or replace) the entry for `fingerprint` under the entry's
+    /// own algorithm/objective, returning the key used.
+    pub fn insert(&mut self, fingerprint: u64, entry: TuneEntry) -> String {
+        let key = cache_key(fingerprint, &entry.algorithm, &entry.objective);
+        self.entries.insert(key.clone(), entry);
+        key
+    }
+
+    /// Look up the winner for (fingerprint, algorithm, objective).
+    pub fn lookup(&self, fingerprint: u64, algorithm: &str, objective: &str) -> Option<&TuneEntry> {
+        self.entries
+            .get(&cache_key(fingerprint, algorithm, objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamSpace;
+
+    fn entry(algorithm: &str) -> TuneEntry {
+        TuneEntry {
+            graph: "test-graph".into(),
+            algorithm: algorithm.into(),
+            objective: crate::OBJECTIVE_WALL_CYCLES.into(),
+            space: "quick".into(),
+            strategy: "grid".into(),
+            evaluations: 8,
+            score: Score {
+                cycles: 1234,
+                imbalance_milli: 1500,
+                colors: 9,
+            },
+            config: ParamSpace::quick().configs()[0].clone(),
+        }
+    }
+
+    #[test]
+    fn key_is_padded_and_scoped() {
+        let k = cache_key(0xBEEF, "maxmin", "wall-cycles");
+        assert_eq!(k, "000000000000beef/maxmin/wall-cycles");
+    }
+
+    #[test]
+    fn roundtrip_and_lookup() {
+        let mut cache = TuneCache::new();
+        cache.insert(7, entry("maxmin"));
+        cache.insert(7, entry("firstfit"));
+        cache.insert(9, entry("maxmin"));
+        let json = String::from_utf8(cache.to_bytes()).unwrap();
+        let back = TuneCache::from_json(&json).unwrap();
+        assert_eq!(back, cache);
+        assert!(back.lookup(7, "maxmin", "wall-cycles").is_some());
+        assert!(back.lookup(7, "jp", "wall-cycles").is_none());
+        assert!(back.lookup(8, "maxmin", "wall-cycles").is_none());
+    }
+
+    #[test]
+    fn serialized_bytes_are_insertion_order_independent() {
+        let mut a = TuneCache::new();
+        a.insert(1, entry("maxmin"));
+        a.insert(2, entry("firstfit"));
+        let mut b = TuneCache::new();
+        b.insert(2, entry("firstfit"));
+        b.insert(1, entry("maxmin"));
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_remedy() {
+        let mut cache = TuneCache::new();
+        cache.version = CACHE_VERSION + 1;
+        let err = TuneCache::from_json(&String::from_utf8(cache.to_bytes()).unwrap()).unwrap_err();
+        assert!(err.contains("re-run gc-tune"), "{err}");
+    }
+
+    #[test]
+    fn load_missing_file_errors_but_load_or_new_starts_empty() {
+        let path =
+            std::env::temp_dir().join(format!("gc-tune-missing-{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        assert!(TuneCache::load(path).is_err());
+        assert_eq!(TuneCache::load_or_new(path).unwrap(), TuneCache::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! Deterministic evaluation harness: run one configuration through the
+//! stack and score it.
+
+use gc_core::{gpu, GpuOptions, RunReport};
+use gc_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::space::TunedConfig;
+
+/// The one objective this tuner optimizes: modeled wall cycles, with the
+/// load-imbalance factor and the color count as lexicographic tiebreaks.
+/// Part of the cache key so future objectives can coexist.
+pub const OBJECTIVE_WALL_CYCLES: &str = "wall-cycles";
+
+/// Algorithms the evaluation harness can drive.
+pub const ALGORITHMS: &[&str] = &["maxmin", "jp", "firstfit"];
+
+/// Lexicographic score of one run: fewer wall cycles first, then lower
+/// per-CU load imbalance (in milli-units so `Ord` stays exact), then
+/// fewer colors. Derived `Ord` compares fields in declaration order,
+/// which is exactly the tiebreak chain.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Score {
+    /// Modeled wall cycles (the multi-device driver reports the superstep
+    /// critical path here).
+    pub cycles: u64,
+    /// Per-CU load imbalance factor x 1000, rounded.
+    pub imbalance_milli: u64,
+    /// Distinct colors used.
+    pub colors: u32,
+}
+
+impl Score {
+    /// Extract the score from a finished run.
+    pub fn from_report(report: &RunReport) -> Self {
+        Self {
+            cycles: report.cycles,
+            imbalance_milli: (report.imbalance_factor * 1000.0).round() as u64,
+            colors: report.num_colors as u32,
+        }
+    }
+}
+
+/// One evaluated point: the configuration, its score, and the algorithm
+/// label of the run that produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evaluation {
+    pub config: TunedConfig,
+    pub score: Score,
+    /// The run's self-describing label, e.g. `gpu-maxmin-steal-hybrid`.
+    pub algorithm_label: String,
+}
+
+/// Run `config` on `g` with the given algorithm. `base` carries the
+/// device and priority seed; the config's knobs override the rest.
+/// Multi-device configs require `firstfit` (the only distributed driver).
+pub fn run_config(
+    g: &CsrGraph,
+    algorithm: &str,
+    config: &TunedConfig,
+    base: &GpuOptions,
+) -> Result<RunReport, String> {
+    if config.devices > 1 {
+        if algorithm != "firstfit" {
+            return Err(format!(
+                "multi-device configs run the distributed first-fit driver; \
+                 got algorithm '{algorithm}' (use firstfit)"
+            ));
+        }
+        return Ok(gpu::multi::color(g, &config.multi_options(base)?));
+    }
+    let opts = config.gpu_options(base);
+    Ok(match algorithm {
+        "maxmin" => gpu::maxmin::color(g, &opts),
+        "jp" => gpu::jp::color(g, &opts),
+        "firstfit" => gpu::first_fit::color(g, &opts),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' ({})",
+                ALGORITHMS.join(" | ")
+            ))
+        }
+    })
+}
+
+/// Run and score one configuration.
+pub fn evaluate(
+    g: &CsrGraph,
+    algorithm: &str,
+    config: &TunedConfig,
+    base: &GpuOptions,
+) -> Result<Evaluation, String> {
+    let report = run_config(g, algorithm, config, base)?;
+    Ok(Evaluation {
+        config: config.clone(),
+        score: Score::from_report(&report),
+        algorithm_label: report.algorithm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamSpace;
+    use gc_graph::generators::grid_2d;
+
+    #[test]
+    fn score_orders_lexicographically() {
+        let a = Score {
+            cycles: 100,
+            imbalance_milli: 2000,
+            colors: 9,
+        };
+        let b = Score {
+            cycles: 100,
+            imbalance_milli: 1000,
+            colors: 20,
+        };
+        let c = Score {
+            cycles: 99,
+            imbalance_milli: 9000,
+            colors: 50,
+        };
+        assert!(c < b && b < a); // cycles dominate, then imbalance
+        let d = Score { colors: 8, ..a };
+        assert!(d < a);
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_and_verifiable() {
+        let g = grid_2d(16, 16);
+        let base = GpuOptions::baseline();
+        let config = &ParamSpace::quick().configs()[0];
+        let r1 = run_config(&g, "maxmin", config, &base).unwrap();
+        let r2 = run_config(&g, "maxmin", config, &base).unwrap();
+        gc_core::verify_coloring(&g, &r1.colors).unwrap();
+        assert_eq!(r1.colors, r2.colors);
+        assert_eq!(r1.cycles, r2.cycles);
+        let e = evaluate(&g, "maxmin", config, &base).unwrap();
+        assert_eq!(e.score.cycles, r1.cycles);
+        assert!(e.algorithm_label.starts_with("gpu-maxmin"));
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_algorithms() {
+        let g = grid_2d(4, 4);
+        let base = GpuOptions::baseline();
+        let single = &ParamSpace::quick().configs()[0];
+        let err = evaluate(&g, "dsatur", single, &base).unwrap_err();
+        assert!(err.contains("maxmin | jp | firstfit"), "{err}");
+
+        let multi = ParamSpace::multi()
+            .configs()
+            .into_iter()
+            .find(|c| c.devices > 1)
+            .unwrap();
+        let err = evaluate(&g, "maxmin", &multi, &base).unwrap_err();
+        assert!(err.contains("firstfit"), "{err}");
+        evaluate(&g, "firstfit", &multi, &base).unwrap();
+    }
+}

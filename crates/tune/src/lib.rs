@@ -1,0 +1,43 @@
+//! # gc-tune — autotuning for the simulated coloring stack
+//!
+//! The paper's load-imbalance mitigations (work-stealing granularity,
+//! hybrid degree binning, partitioning, exchange overlap) have no single
+//! winning setting: the right configuration flips with graph family,
+//! device, and interconnect parameters. This crate treats the whole stack
+//! as a deterministic black-box objective and searches it:
+//!
+//! * [`ParamSpace`] — a typed space over simulator and algorithm knobs:
+//!   workgroup size, steal chunk size, hybrid degree threshold, device
+//!   count, link latency/bandwidth, partition strategy, overlap on/off.
+//!   Points canonicalize (single-device configs drop link/partition axes,
+//!   multi-device configs drop the hybrid threshold) and deduplicate, so
+//!   the searched space has no redundant evaluations.
+//! * [`SearchStrategy`] — exhaustive grid, seeded random sampling, and
+//!   successive halving that promotes surviving configs up a ladder of
+//!   graph scales (cheap rungs eliminate losers before the target scale
+//!   is ever run).
+//! * [`evaluate`] — runs `gpu::{maxmin, jp, first_fit}` or the
+//!   multi-device driver and scores the run lexicographically: wall
+//!   cycles first, then the load-imbalance factor, then color count
+//!   ([`Score`]). Everything inherits the simulator's determinism — the
+//!   same space and seed replay to the identical winner.
+//! * [`TuneCache`] — winners persist to a versioned `TUNE_CACHE.json`
+//!   keyed by (graph fingerprint, algorithm, objective), so repeat runs
+//!   are instant and `gc-color --tuned` / `gc-profile --tuned` can apply
+//!   the cached config without re-searching.
+//! * [`report`] — Pareto frontier (cycles vs colors) and, for
+//!   multi-device spaces, the link latency x bandwidth crossover surface:
+//!   the region where tuned multi-device wall cycles beat the tuned
+//!   single-device config.
+
+pub mod cache;
+pub mod eval;
+pub mod report;
+pub mod search;
+pub mod space;
+
+pub use cache::{cache_key, TuneCache, TuneEntry, CACHE_VERSION, DEFAULT_CACHE_PATH};
+pub use eval::{evaluate, run_config, Evaluation, Score, OBJECTIVE_WALL_CYCLES};
+pub use report::{crossover_surface, pareto_frontier, render_report, CrossoverCell};
+pub use search::{tune, RungSummary, SearchStrategy, SplitMix64, TuneOutcome, STRATEGY_NAMES};
+pub use space::{ParamSpace, TunedConfig, SPACE_NAMES};

@@ -1,0 +1,299 @@
+//! Rendering search results: the Pareto frontier (cycles vs colors) and,
+//! for multi-device spaces, the link latency x bandwidth crossover
+//! surface.
+
+use serde::{Deserialize, Serialize};
+
+use crate::eval::Evaluation;
+use crate::search::TuneOutcome;
+
+/// The evaluations not dominated on (cycles, colors): no other config is
+/// at least as good on both axes and better on one. Sorted by ascending
+/// cycles (so colors descend along the frontier).
+pub fn pareto_frontier(evals: &[Evaluation]) -> Vec<&Evaluation> {
+    let mut frontier: Vec<&Evaluation> = evals
+        .iter()
+        .filter(|e| {
+            !evals.iter().any(|o| {
+                o.score.cycles <= e.score.cycles
+                    && o.score.colors <= e.score.colors
+                    && (o.score.cycles < e.score.cycles || o.score.colors < e.score.colors)
+            })
+        })
+        .collect();
+    frontier.sort_by_key(|e| (e.score.cycles, e.score.colors, e.config.clone()));
+    frontier.dedup_by(|a, b| a.score == b.score && a.config == b.config);
+    frontier
+}
+
+/// One cell of the crossover surface: a (latency, bandwidth) link point,
+/// the best multi-device config evaluated there, and whether it beats the
+/// best single-device config (which is link-independent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossoverCell {
+    pub latency: u64,
+    pub bandwidth: u64,
+    /// Wall cycles of the best single-device evaluation.
+    pub single_cycles: u64,
+    /// Wall cycles of the best multi-device evaluation at this link.
+    pub multi_cycles: u64,
+    /// Device count of that best multi-device evaluation.
+    pub multi_devices: usize,
+    /// `multi_cycles < single_cycles` — the tuned multi-device config
+    /// wins this cell.
+    pub multi_wins: bool,
+}
+
+/// Fold a mixed single/multi evaluation set into the crossover surface:
+/// one cell per distinct (latency, bandwidth) appearing among the
+/// multi-device evaluations, ordered by (latency, bandwidth). Empty when
+/// the set lacks either side of the comparison.
+pub fn crossover_surface(evals: &[Evaluation]) -> Vec<CrossoverCell> {
+    let single_cycles = match evals
+        .iter()
+        .filter(|e| e.config.devices == 1)
+        .map(|e| e.score)
+        .min()
+    {
+        Some(s) => s.cycles,
+        None => return Vec::new(),
+    };
+    let mut links: Vec<(u64, u64)> = evals
+        .iter()
+        .filter(|e| e.config.devices > 1)
+        .map(|e| (e.config.link_latency, e.config.link_bandwidth))
+        .collect();
+    links.sort_unstable();
+    links.dedup();
+    links
+        .into_iter()
+        .map(|(latency, bandwidth)| {
+            let best = evals
+                .iter()
+                .filter(|e| {
+                    e.config.devices > 1
+                        && e.config.link_latency == latency
+                        && e.config.link_bandwidth == bandwidth
+                })
+                .min_by_key(|e| (e.score, e.config.clone()))
+                .expect("link point came from a multi-device evaluation");
+            CrossoverCell {
+                latency,
+                bandwidth,
+                single_cycles,
+                multi_cycles: best.score.cycles,
+                multi_devices: best.config.devices,
+                multi_wins: best.score.cycles < single_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Left-align `rows` into fixed-width columns (two-space gutters).
+fn align(rows: &[Vec<String>]) -> String {
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| {
+            rows.iter()
+                .filter_map(|r| r.get(c))
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::from("  ");
+        for (c, cell) in row.iter().enumerate() {
+            line.push_str(cell);
+            if c + 1 < row.len() {
+                line.push_str(&" ".repeat(widths[c] - cell.len() + 2));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the full human report for a finished search: header, rung
+/// narrowing, Pareto frontier, and (when the evaluation set spans link
+/// points) the crossover surface.
+pub fn render_report(outcome: &TuneOutcome, algorithm: &str, graph: &str) -> String {
+    let mut s = String::new();
+    let w = &outcome.winner;
+    s.push_str(&format!(
+        "gc-tune report — algorithm {algorithm}, graph {graph}\n"
+    ));
+    s.push_str(&format!(
+        "  evaluations: {} across {} rung(s)\n",
+        outcome.total_evaluations,
+        outcome.rungs.len()
+    ));
+    for r in &outcome.rungs {
+        s.push_str(&format!(
+            "    {} ({} vertices): {} evaluated -> {} kept\n",
+            r.graph, r.vertices, r.evaluated, r.survivors
+        ));
+    }
+    s.push_str(&format!(
+        "  winner: {} | {} cycles, imbalance {:.3}, {} colors ({})\n",
+        w.config.label(),
+        w.score.cycles,
+        w.score.imbalance_milli as f64 / 1000.0,
+        w.score.colors,
+        w.algorithm_label
+    ));
+
+    s.push_str("\nPareto frontier (cycles vs colors):\n");
+    let mut rows = vec![vec!["cycles".into(), "colors".into(), "config".into()]];
+    for e in pareto_frontier(&outcome.evaluated) {
+        rows.push(vec![
+            e.score.cycles.to_string(),
+            e.score.colors.to_string(),
+            e.config.label(),
+        ]);
+    }
+    s.push_str(&align(&rows));
+
+    let surface = crossover_surface(&outcome.evaluated);
+    if !surface.is_empty() {
+        s.push_str("\nCrossover surface (best multi-device vs best single-device):\n");
+        let mut rows = vec![vec![
+            "latency".into(),
+            "B/cycle".into(),
+            "single-cycles".into(),
+            "multi-cycles".into(),
+            "devices".into(),
+            "winner".into(),
+        ]];
+        for c in &surface {
+            rows.push(vec![
+                c.latency.to_string(),
+                c.bandwidth.to_string(),
+                c.single_cycles.to_string(),
+                c.multi_cycles.to_string(),
+                c.multi_devices.to_string(),
+                if c.multi_wins {
+                    "multi".into()
+                } else {
+                    "single".into()
+                },
+            ]);
+        }
+        s.push_str(&align(&rows));
+        let wins = surface.iter().filter(|c| c.multi_wins).count();
+        s.push_str(&format!(
+            "  multi-device wins {wins}/{} link cells",
+            surface.len()
+        ));
+        if let Some(c) = surface.iter().find(|c| c.multi_wins) {
+            s.push_str(&format!(
+                "; first winning cell: latency {} cycles, {} B/cycle",
+                c.latency, c.bandwidth
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Score;
+    use crate::search::RungSummary;
+    use crate::space::{ParamSpace, TunedConfig};
+
+    fn eval(cycles: u64, colors: u32, config: TunedConfig) -> Evaluation {
+        Evaluation {
+            config,
+            score: Score {
+                cycles,
+                imbalance_milli: 1000,
+                colors,
+            },
+            algorithm_label: "gpu-test".into(),
+        }
+    }
+
+    fn single(wg: usize) -> TunedConfig {
+        TunedConfig {
+            wg_size: wg,
+            ..ParamSpace::quick().configs()[0].clone()
+        }
+        .canonical()
+    }
+
+    fn multi(devices: usize, latency: u64, bandwidth: u64) -> TunedConfig {
+        TunedConfig {
+            devices,
+            partition: "cutaware".into(),
+            link_latency: latency,
+            link_bandwidth: bandwidth,
+            ..single(256)
+        }
+        .canonical()
+    }
+
+    #[test]
+    fn pareto_drops_dominated_points() {
+        let evals = vec![
+            eval(100, 10, single(64)),
+            eval(90, 12, single(128)),
+            eval(120, 9, single(256)),
+            eval(130, 12, single(512)), // dominated by all three
+        ];
+        let front = pareto_frontier(&evals);
+        let cycles: Vec<u64> = front.iter().map(|e| e.score.cycles).collect();
+        assert_eq!(cycles, vec![90, 100, 120]);
+    }
+
+    #[test]
+    fn crossover_marks_cells_where_multi_wins() {
+        let evals = vec![
+            eval(100, 10, single(256)),
+            eval(80, 10, multi(2, 0, 64)),    // cheap link: multi wins
+            eval(95, 10, multi(4, 0, 64)),    // worse multi at same cell
+            eval(150, 10, multi(2, 5000, 4)), // expensive link: single wins
+        ];
+        let surface = crossover_surface(&evals);
+        assert_eq!(surface.len(), 2);
+        assert!(surface[0].multi_wins);
+        assert_eq!(surface[0].multi_cycles, 80);
+        assert_eq!(surface[0].multi_devices, 2);
+        assert!(!surface[1].multi_wins);
+        assert_eq!(surface[1].single_cycles, 100);
+    }
+
+    #[test]
+    fn crossover_is_empty_without_both_sides() {
+        assert!(crossover_surface(&[eval(10, 3, single(256))]).is_empty());
+        assert!(crossover_surface(&[eval(10, 3, multi(2, 0, 16))]).is_empty());
+    }
+
+    #[test]
+    fn report_renders_frontier_and_surface() {
+        let evals = vec![
+            eval(100, 10, single(256)),
+            eval(80, 11, multi(2, 0, 64)),
+            eval(150, 11, multi(2, 5000, 4)),
+        ];
+        let outcome = TuneOutcome {
+            winner: evals[1].clone(),
+            evaluated: evals,
+            total_evaluations: 3,
+            rungs: vec![RungSummary {
+                graph: "g".into(),
+                vertices: 100,
+                evaluated: 3,
+                survivors: 1,
+            }],
+        };
+        let text = render_report(&outcome, "firstfit", "test-graph");
+        assert!(text.contains("Pareto frontier"));
+        assert!(text.contains("Crossover surface"));
+        assert!(text.contains("multi-device wins 1/2 link cells"));
+        assert!(text.contains("first winning cell: latency 0 cycles, 64 B/cycle"));
+    }
+}

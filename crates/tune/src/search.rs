@@ -1,0 +1,312 @@
+//! Search strategies over a [`ParamSpace`]: exhaustive grid, seeded
+//! random sampling, and successive halving across graph scales.
+
+use gc_core::GpuOptions;
+use gc_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::eval::{evaluate, Evaluation};
+use crate::space::ParamSpace;
+
+/// Names accepted by [`SearchStrategy::by_name`].
+pub const STRATEGY_NAMES: &[&str] = &["grid", "random", "halving"];
+
+/// A deterministic SplitMix64 generator. The tuner rolls its own RNG so
+/// sampled searches replay identically everywhere — results never depend
+/// on an external crate's stream (the offline stub `rand` and the
+/// crates.io `rand` differ).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `[0, bound)` (`bound > 0`). The slight modulo
+    /// bias is irrelevant for sampling a search space.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// How to explore the space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Evaluate every canonical configuration on the target graph.
+    Grid,
+    /// Evaluate `samples` distinct configurations, chosen by a seeded
+    /// partial Fisher-Yates shuffle of the canonical enumeration.
+    Random { samples: usize, seed: u64 },
+    /// Successive halving up the graph ladder: evaluate all survivors on
+    /// each rung, keep the better half, and crown the winner on the final
+    /// (target) rung. Cheap small-scale rungs eliminate most configs
+    /// before the target scale runs.
+    Halving,
+}
+
+impl SearchStrategy {
+    /// Strategy name as accepted by [`SearchStrategy::by_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchStrategy::Grid => "grid",
+            SearchStrategy::Random { .. } => "random",
+            SearchStrategy::Halving => "halving",
+        }
+    }
+
+    /// Resolve a strategy name; `samples`/`seed` parameterize `random`.
+    pub fn by_name(name: &str, samples: usize, seed: u64) -> Option<Self> {
+        match name {
+            "grid" => Some(SearchStrategy::Grid),
+            "random" => Some(SearchStrategy::Random { samples, seed }),
+            "halving" => Some(SearchStrategy::Halving),
+            _ => None,
+        }
+    }
+}
+
+/// One halving rung: which graph ran, and how the field narrowed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RungSummary {
+    /// Label of the rung's graph (dataset + scale, or a path).
+    pub graph: String,
+    /// Vertices of the rung's graph.
+    pub vertices: usize,
+    /// Configurations evaluated on this rung.
+    pub evaluated: usize,
+    /// Configurations promoted to the next rung.
+    pub survivors: usize,
+}
+
+/// The result of a search: the winner, every final-rung evaluation (the
+/// material for Pareto/crossover reports), and how the search got there.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    pub winner: Evaluation,
+    /// Evaluations on the target graph (the full surface for `grid`).
+    pub evaluated: Vec<Evaluation>,
+    /// Total evaluations across all rungs.
+    pub total_evaluations: usize,
+    /// Per-rung narrowing (one entry for grid/random).
+    pub rungs: Vec<RungSummary>,
+}
+
+/// Sort evaluations best-first; ties break on the configuration itself so
+/// the order (and therefore the winner) never depends on enumeration
+/// accidents.
+fn sort_best_first(evals: &mut [Evaluation]) {
+    evals.sort_by(|a, b| a.score.cmp(&b.score).then_with(|| a.config.cmp(&b.config)));
+}
+
+/// Search `space` for the best configuration of `algorithm` on the last
+/// graph of `ladder` (earlier rungs are cheaper stand-ins, used by
+/// [`SearchStrategy::Halving`]; grid and random ignore them). `base`
+/// carries the device and priority seed shared by every evaluation.
+pub fn tune(
+    ladder: &[(&str, &CsrGraph)],
+    algorithm: &str,
+    space: &ParamSpace,
+    strategy: &SearchStrategy,
+    base: &GpuOptions,
+) -> Result<TuneOutcome, String> {
+    if ladder.is_empty() {
+        return Err("tune requires at least one graph".into());
+    }
+    space.validate()?;
+    let all = space.configs();
+    if space.has_multi_device() && algorithm != "firstfit" {
+        return Err(format!(
+            "space contains multi-device configs, which run the distributed \
+             first-fit driver; got algorithm '{algorithm}' (use firstfit)"
+        ));
+    }
+
+    let (target_label, target) = *ladder.last().unwrap();
+    let mut rungs = Vec::new();
+    let mut total = 0usize;
+
+    let survivors: Vec<_> = match strategy {
+        SearchStrategy::Grid => all,
+        SearchStrategy::Random { samples, seed } => {
+            let mut rng = SplitMix64(*seed);
+            let mut idx: Vec<usize> = (0..all.len()).collect();
+            let take = (*samples).clamp(1, all.len());
+            // Partial Fisher-Yates: the first `take` slots end up holding
+            // a uniform sample without replacement.
+            for i in 0..take {
+                let j = i + rng.below(idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut picked: Vec<_> = idx[..take].iter().map(|&i| all[i].clone()).collect();
+            picked.sort(); // deterministic evaluation order
+            picked
+        }
+        SearchStrategy::Halving => {
+            let mut survivors = all;
+            // Every rung but the last halves the field; the final rung is
+            // handled below like a grid over the survivors.
+            for (label, g) in &ladder[..ladder.len() - 1] {
+                if survivors.len() <= 1 {
+                    break;
+                }
+                let mut evals = survivors
+                    .iter()
+                    .map(|c| evaluate(g, algorithm, c, base))
+                    .collect::<Result<Vec<_>, _>>()?;
+                total += evals.len();
+                sort_best_first(&mut evals);
+                let keep = survivors.len().div_ceil(2);
+                rungs.push(RungSummary {
+                    graph: label.to_string(),
+                    vertices: g.num_vertices(),
+                    evaluated: evals.len(),
+                    survivors: keep,
+                });
+                survivors = evals[..keep].iter().map(|e| e.config.clone()).collect();
+            }
+            survivors
+        }
+    };
+
+    let mut evaluated = survivors
+        .iter()
+        .map(|c| evaluate(target, algorithm, c, base))
+        .collect::<Result<Vec<_>, _>>()?;
+    total += evaluated.len();
+    sort_best_first(&mut evaluated);
+    rungs.push(RungSummary {
+        graph: target_label.to_string(),
+        vertices: target.num_vertices(),
+        evaluated: evaluated.len(),
+        survivors: 1,
+    });
+    let winner = evaluated
+        .first()
+        .cloned()
+        .ok_or_else(|| "space produced no configurations".to_string())?;
+    Ok(TuneOutcome {
+        winner,
+        evaluated,
+        total_evaluations: total,
+        rungs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generators::grid_2d;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut uniq = xs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), xs.len());
+        assert_ne!(
+            xs,
+            (0..8)
+                .map(|_| SplitMix64(43).next_u64())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for name in STRATEGY_NAMES {
+            assert_eq!(SearchStrategy::by_name(name, 4, 1).unwrap().name(), *name);
+        }
+        assert!(SearchStrategy::by_name("anneal", 4, 1).is_none());
+    }
+
+    #[test]
+    fn grid_replays_to_identical_winner() {
+        let g = grid_2d(16, 16);
+        let ladder: &[(&str, &CsrGraph)] = &[("grid16", &g)];
+        let base = GpuOptions::baseline();
+        let space = ParamSpace::quick();
+        let a = tune(ladder, "maxmin", &space, &SearchStrategy::Grid, &base).unwrap();
+        let b = tune(ladder, "maxmin", &space, &SearchStrategy::Grid, &base).unwrap();
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.total_evaluations, space.configs().len());
+        // The winner really is the minimum.
+        for e in &a.evaluated {
+            assert!(a.winner.score <= e.score);
+        }
+    }
+
+    #[test]
+    fn random_same_seed_same_sample_different_seed_may_differ() {
+        let g = grid_2d(12, 12);
+        let ladder: &[(&str, &CsrGraph)] = &[("grid12", &g)];
+        let base = GpuOptions::baseline();
+        let space = ParamSpace::single();
+        let s1 = SearchStrategy::Random {
+            samples: 6,
+            seed: 7,
+        };
+        let a = tune(ladder, "maxmin", &space, &s1, &base).unwrap();
+        let b = tune(ladder, "maxmin", &space, &s1, &base).unwrap();
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.total_evaluations, 6);
+        let configs_a: Vec<_> = a.evaluated.iter().map(|e| e.config.clone()).collect();
+        let c = tune(
+            ladder,
+            "maxmin",
+            &space,
+            &SearchStrategy::Random {
+                samples: 6,
+                seed: 8,
+            },
+            &base,
+        )
+        .unwrap();
+        let configs_c: Vec<_> = c.evaluated.iter().map(|e| e.config.clone()).collect();
+        assert_ne!(configs_a, configs_c, "different seeds drew the same sample");
+    }
+
+    #[test]
+    fn halving_narrows_across_rungs_and_matches_grid_quality_bound() {
+        let small = grid_2d(8, 8);
+        let target = grid_2d(16, 16);
+        let ladder: &[(&str, &CsrGraph)] = &[("rung0", &small), ("target", &target)];
+        let base = GpuOptions::baseline();
+        let space = ParamSpace::quick();
+        let out = tune(ladder, "maxmin", &space, &SearchStrategy::Halving, &base).unwrap();
+        assert_eq!(out.rungs.len(), 2);
+        assert_eq!(out.rungs[0].evaluated, space.configs().len());
+        assert_eq!(out.rungs[0].survivors, space.configs().len().div_ceil(2));
+        assert_eq!(out.rungs[1].evaluated, out.rungs[0].survivors);
+        assert!(out.total_evaluations < 2 * space.configs().len());
+        // The final-rung winner is evaluated on the target graph.
+        let grid = tune(&ladder[1..], "maxmin", &space, &SearchStrategy::Grid, &base).unwrap();
+        assert!(out.winner.score >= grid.winner.score);
+    }
+
+    #[test]
+    fn tune_rejects_multi_space_with_single_device_algorithm() {
+        let g = grid_2d(8, 8);
+        let ladder: &[(&str, &CsrGraph)] = &[("g", &g)];
+        let err = tune(
+            ladder,
+            "maxmin",
+            &ParamSpace::multi(),
+            &SearchStrategy::Grid,
+            &GpuOptions::baseline(),
+        )
+        .unwrap_err();
+        assert!(err.contains("firstfit"), "{err}");
+    }
+}

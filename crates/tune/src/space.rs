@@ -1,0 +1,401 @@
+//! Typed parameter spaces over the simulator and algorithm knobs, and the
+//! canonical configuration points they enumerate.
+
+use gc_core::gpu::MultiOptions;
+use gc_core::{GpuOptions, WorkSchedule};
+use gc_gpusim::LinkConfig;
+use gc_graph::PartitionStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Partition label used by canonical single-device configs, where the
+/// partition axis does not apply.
+pub const NO_PARTITION: &str = "-";
+
+/// Names accepted by [`ParamSpace::by_name`].
+pub const SPACE_NAMES: &[&str] = &["quick", "single", "multi", "f22"];
+
+/// One point of a [`ParamSpace`]: every knob the tuner can turn, in
+/// canonical form (see [`TunedConfig::canonical`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TunedConfig {
+    /// Lanes per workgroup for the thread-per-vertex kernels.
+    pub wg_size: usize,
+    /// Work-stealing chunk size; `None` means static round-robin.
+    pub steal_chunk: Option<usize>,
+    /// Hybrid degree threshold; `None` disables degree binning.
+    pub hybrid_threshold: Option<usize>,
+    /// Simulated devices; 1 runs the single-device algorithms.
+    pub devices: usize,
+    /// Partition strategy name (`"-"` when `devices == 1`).
+    pub partition: String,
+    /// Overlap boundary exchange with interior compute (multi-device).
+    pub overlap: bool,
+    /// Link latency in device cycles per message (0 when `devices == 1`).
+    pub link_latency: u64,
+    /// Link bandwidth in payload bytes per device cycle (1 when
+    /// `devices == 1`).
+    pub link_bandwidth: u64,
+}
+
+impl TunedConfig {
+    /// Collapse the axes a point does not actually exercise, so distinct
+    /// raw grid points that run identically compare equal: single-device
+    /// configs have no partition/overlap/link, and the multi-device driver
+    /// forces the hybrid threshold off.
+    pub fn canonical(mut self) -> Self {
+        if self.devices == 1 {
+            self.partition = NO_PARTITION.into();
+            self.overlap = true;
+            self.link_latency = 0;
+            self.link_bandwidth = 1;
+        } else {
+            self.hybrid_threshold = None;
+        }
+        self
+    }
+
+    /// Single-device [`GpuOptions`] for this point, inheriting device,
+    /// seed, and everything else from `base`.
+    pub fn gpu_options(&self, base: &GpuOptions) -> GpuOptions {
+        let schedule = match self.steal_chunk {
+            Some(chunk) => WorkSchedule::WorkStealing { chunk },
+            None => WorkSchedule::StaticRoundRobin,
+        };
+        base.clone()
+            .with_wg_size(self.wg_size)
+            .with_schedule(schedule)
+            .with_hybrid_threshold(self.hybrid_threshold)
+    }
+
+    /// Multi-device [`MultiOptions`] for this point (`devices > 1`).
+    pub fn multi_options(&self, base: &GpuOptions) -> Result<MultiOptions, String> {
+        let strategy = PartitionStrategy::by_name(&self.partition).ok_or_else(|| {
+            format!(
+                "unknown partition strategy '{}' ({})",
+                self.partition,
+                gc_graph::partition::STRATEGY_NAMES.join(" | ")
+            )
+        })?;
+        Ok(MultiOptions::new(self.devices)
+            .with_strategy(strategy)
+            .with_overlap(self.overlap)
+            .with_link(LinkConfig::from_params(
+                self.link_latency,
+                self.link_bandwidth,
+            ))
+            .with_base(self.gpu_options(base)))
+    }
+
+    /// Compact human label, e.g.
+    /// `wg=256 chunk=256 hybrid=64 dev=1` or
+    /// `wg=256 chunk=- hybrid=- dev=2 part=cutaware overlap=on link=800cy/16B`.
+    pub fn label(&self) -> String {
+        let opt = |v: Option<usize>| v.map_or("-".to_string(), |x| x.to_string());
+        let mut s = format!(
+            "wg={} chunk={} hybrid={} dev={}",
+            self.wg_size,
+            opt(self.steal_chunk),
+            opt(self.hybrid_threshold),
+            self.devices
+        );
+        if self.devices > 1 {
+            s.push_str(&format!(
+                " part={} overlap={} link={}cy/{}B",
+                self.partition,
+                if self.overlap { "on" } else { "off" },
+                self.link_latency,
+                self.link_bandwidth
+            ));
+        }
+        s
+    }
+}
+
+/// A cartesian product over the tunable knobs. Every axis is a non-empty
+/// list of candidate values; [`ParamSpace::configs`] enumerates the
+/// product, canonicalizes, and deduplicates.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    pub wg_size: Vec<usize>,
+    pub steal_chunk: Vec<Option<usize>>,
+    pub hybrid_threshold: Vec<Option<usize>>,
+    pub devices: Vec<usize>,
+    pub partition: Vec<PartitionStrategy>,
+    pub overlap: Vec<bool>,
+    pub link_latency: Vec<u64>,
+    pub link_bandwidth: Vec<u64>,
+}
+
+impl ParamSpace {
+    /// A small single-device space around the paper's presets: enough to
+    /// separate baseline / stealing / hybrid / optimized in a few seconds.
+    pub fn quick() -> Self {
+        Self {
+            wg_size: vec![128, 256],
+            steal_chunk: vec![None, Some(256)],
+            hybrid_threshold: vec![None, Some(64)],
+            devices: vec![1],
+            partition: vec![PartitionStrategy::DegreeBalanced],
+            overlap: vec![true],
+            link_latency: vec![0],
+            link_bandwidth: vec![1],
+        }
+    }
+
+    /// The full single-device space: workgroup size x chunk x threshold,
+    /// covering the F8/F9 sweep ranges.
+    pub fn single() -> Self {
+        Self {
+            wg_size: vec![64, 128, 256],
+            steal_chunk: vec![None, Some(64), Some(256), Some(1024)],
+            hybrid_threshold: vec![None, Some(16), Some(64), Some(256)],
+            devices: vec![1],
+            partition: vec![PartitionStrategy::DegreeBalanced],
+            overlap: vec![true],
+            link_latency: vec![0],
+            link_bandwidth: vec![1],
+        }
+    }
+
+    /// The multi-device space at the default PCIe-class link: device
+    /// count x partition strategy x overlap, with the single-device
+    /// configs included as the reference points.
+    pub fn multi() -> Self {
+        Self {
+            wg_size: vec![256],
+            steal_chunk: vec![None, Some(256)],
+            hybrid_threshold: vec![None, Some(64)],
+            devices: vec![1, 2, 4],
+            partition: vec![
+                PartitionStrategy::DegreeBalanced,
+                PartitionStrategy::CutAware,
+            ],
+            overlap: vec![true, false],
+            link_latency: vec![800],
+            link_bandwidth: vec![16],
+        }
+    }
+
+    /// The F22 crossover space: multi-device configs swept across link
+    /// latency (free to cross-node-network-class) and bandwidth, plus the
+    /// single-device reference configs. The crossover surface report
+    /// derives from a grid search over this space.
+    pub fn f22() -> Self {
+        Self {
+            wg_size: vec![256],
+            steal_chunk: vec![None, Some(256)],
+            hybrid_threshold: vec![None, Some(64)],
+            devices: vec![1, 2, 4],
+            partition: vec![PartitionStrategy::CutAware],
+            overlap: vec![true],
+            link_latency: vec![0, 200, 800, 6400, 51200],
+            link_bandwidth: vec![4, 16, 64],
+        }
+    }
+
+    /// Look up a named space.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(Self::quick()),
+            "single" => Some(Self::single()),
+            "multi" => Some(Self::multi()),
+            "f22" => Some(Self::f22()),
+            _ => None,
+        }
+    }
+
+    /// Whether any point of the space runs the multi-device driver.
+    pub fn has_multi_device(&self) -> bool {
+        self.devices.iter().any(|&d| d > 1)
+    }
+
+    /// Check every axis is non-empty and every value legal.
+    pub fn validate(&self) -> Result<(), String> {
+        let nonempty: &[(&str, usize)] = &[
+            ("wg_size", self.wg_size.len()),
+            ("steal_chunk", self.steal_chunk.len()),
+            ("hybrid_threshold", self.hybrid_threshold.len()),
+            ("devices", self.devices.len()),
+            ("partition", self.partition.len()),
+            ("overlap", self.overlap.len()),
+            ("link_latency", self.link_latency.len()),
+            ("link_bandwidth", self.link_bandwidth.len()),
+        ];
+        for (axis, len) in nonempty {
+            if *len == 0 {
+                return Err(format!("space axis {axis} is empty"));
+            }
+        }
+        if self.wg_size.contains(&0) {
+            return Err("wg_size values must be positive".into());
+        }
+        if self.steal_chunk.contains(&Some(0)) {
+            return Err("steal_chunk values must be positive".into());
+        }
+        if self.devices.contains(&0) {
+            return Err("devices values must be positive".into());
+        }
+        if self.link_bandwidth.contains(&0) {
+            return Err("link_bandwidth values must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Raw cartesian-product size, before canonical deduplication.
+    pub fn raw_len(&self) -> usize {
+        self.wg_size.len()
+            * self.steal_chunk.len()
+            * self.hybrid_threshold.len()
+            * self.devices.len()
+            * self.partition.len()
+            * self.overlap.len()
+            * self.link_latency.len()
+            * self.link_bandwidth.len()
+    }
+
+    /// Enumerate the canonical, deduplicated configurations in a
+    /// deterministic order (first occurrence in the product order wins).
+    pub fn configs(&self) -> Vec<TunedConfig> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for &wg_size in &self.wg_size {
+            for &steal_chunk in &self.steal_chunk {
+                for &hybrid_threshold in &self.hybrid_threshold {
+                    for &devices in &self.devices {
+                        for &partition in &self.partition {
+                            for &overlap in &self.overlap {
+                                for &link_latency in &self.link_latency {
+                                    for &link_bandwidth in &self.link_bandwidth {
+                                        let c = TunedConfig {
+                                            wg_size,
+                                            steal_chunk,
+                                            hybrid_threshold,
+                                            devices,
+                                            partition: partition.name().into(),
+                                            overlap,
+                                            link_latency,
+                                            link_bandwidth,
+                                        }
+                                        .canonical();
+                                        if seen.insert(c.clone()) {
+                                            out.push(c);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_spaces_resolve_and_validate() {
+        for name in SPACE_NAMES {
+            let space = ParamSpace::by_name(name).unwrap();
+            space.validate().unwrap();
+            assert!(!space.configs().is_empty(), "space {name} is empty");
+        }
+        assert!(ParamSpace::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn canonicalization_dedupes_inapplicable_axes() {
+        // quick: 2 wg x 2 chunk x 2 hybrid, single-device — the partition /
+        // overlap / link axes collapse entirely.
+        let quick = ParamSpace::quick();
+        assert_eq!(quick.configs().len(), 8);
+
+        // multi: singles collapse the partition x overlap product (2x2),
+        // multis collapse the hybrid axis (2).
+        let multi = ParamSpace::multi();
+        let configs = multi.configs();
+        assert!(configs.len() < multi.raw_len());
+        let singles = configs.iter().filter(|c| c.devices == 1).count();
+        let multis = configs.iter().filter(|c| c.devices > 1).count();
+        assert_eq!(singles, 4); // 2 chunk x 2 hybrid
+        assert_eq!(multis, 16); // 2 chunk x 2 dev x 2 part x 2 overlap
+        for c in &configs {
+            if c.devices == 1 {
+                assert_eq!(c.partition, NO_PARTITION);
+                assert_eq!(c.link_latency, 0);
+            } else {
+                assert_eq!(c.hybrid_threshold, None);
+            }
+        }
+    }
+
+    #[test]
+    fn configs_are_unique_and_deterministic() {
+        let a = ParamSpace::f22().configs();
+        let b = ParamSpace::f22().configs();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
+    }
+
+    #[test]
+    fn validate_rejects_bad_axes() {
+        let mut s = ParamSpace::quick();
+        s.wg_size.clear();
+        assert!(s.validate().unwrap_err().contains("wg_size"));
+        let mut s = ParamSpace::quick();
+        s.link_bandwidth = vec![0];
+        assert!(s.validate().unwrap_err().contains("link_bandwidth"));
+        let mut s = ParamSpace::quick();
+        s.steal_chunk = vec![Some(0)];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn options_mapping_round_trips_the_knobs() {
+        let base = GpuOptions::baseline();
+        let c = TunedConfig {
+            wg_size: 128,
+            steal_chunk: Some(64),
+            hybrid_threshold: Some(32),
+            devices: 1,
+            partition: NO_PARTITION.into(),
+            overlap: true,
+            link_latency: 0,
+            link_bandwidth: 1,
+        };
+        let o = c.gpu_options(&base);
+        assert_eq!(o.wg_size, 128);
+        assert_eq!(o.schedule, WorkSchedule::WorkStealing { chunk: 64 });
+        assert_eq!(o.hybrid_threshold, Some(32));
+
+        let m = TunedConfig {
+            devices: 2,
+            partition: "cutaware".into(),
+            link_latency: 100,
+            link_bandwidth: 32,
+            ..c
+        }
+        .canonical();
+        let opts = m.multi_options(&base).unwrap();
+        assert_eq!(opts.devices, 2);
+        assert_eq!(opts.link.latency_cycles, 100);
+        assert_eq!(opts.link.bytes_per_cycle, 32);
+        assert!(m.label().contains("part=cutaware"));
+
+        let bad = TunedConfig {
+            partition: "mystery".into(),
+            ..m
+        };
+        let err = bad.multi_options(&base).unwrap_err();
+        assert!(
+            err.contains("block | degree-balanced | bfs | cutaware"),
+            "{err}"
+        );
+    }
+}

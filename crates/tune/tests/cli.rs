@@ -1,0 +1,196 @@
+//! End-to-end tests of the `gc-tune` binary: determinism of the search
+//! and the cache file, parse-time flag validation, and the cached-hit
+//! short circuit.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gc_tune() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gc-tune"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gc-tune-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn same_space_and_seed_give_identical_winner_and_cache_bytes() {
+    let dir = temp_dir("determinism");
+    let run = |cache: &str| {
+        let out = gc_tune()
+            .args([
+                "--dataset",
+                "road-net",
+                "--scale",
+                "tiny",
+                "--space",
+                "quick",
+                "--strategy",
+                "random",
+                "--samples",
+                "4",
+                "--seed",
+                "42",
+                "--cache",
+                cache,
+            ])
+            .output()
+            .expect("run gc-tune");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a_cache = dir.join("a.json");
+    let b_cache = dir.join("b.json");
+    let a = run(a_cache.to_str().unwrap());
+    let b = run(b_cache.to_str().unwrap());
+    assert_eq!(a, b, "winner lines differ between identical runs");
+    assert!(a.contains("winner:"), "{a}");
+    assert_eq!(
+        std::fs::read(&a_cache).unwrap(),
+        std::fs::read(&b_cache).unwrap(),
+        "cache bytes differ between identical runs"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn second_run_hits_the_cache_and_force_searches_again() {
+    let dir = temp_dir("cachehit");
+    let cache = dir.join("cache.json");
+    let args = [
+        "--dataset",
+        "road-net",
+        "--scale",
+        "tiny",
+        "--space",
+        "quick",
+        "--cache",
+        cache.to_str().unwrap(),
+    ];
+    let first = gc_tune().args(args).output().expect("run gc-tune");
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(String::from_utf8_lossy(&first.stdout).contains("winner:"));
+
+    let second = gc_tune().args(args).output().expect("run gc-tune");
+    assert!(second.status.success());
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("cached winner"), "{stdout}");
+
+    let forced = gc_tune()
+        .args(args)
+        .arg("--force")
+        .output()
+        .expect("run gc-tune --force");
+    assert!(forced.status.success());
+    assert!(String::from_utf8_lossy(&forced.stdout).contains("winner:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_renders_frontier_and_crossover_for_multi_space() {
+    let dir = temp_dir("report");
+    let cache = dir.join("cache.json");
+    let out = gc_tune()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--space",
+            "multi",
+            "--algorithm",
+            "firstfit",
+            "--report",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gc-tune");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Pareto frontier"), "{stdout}");
+    assert!(stdout.contains("Crossover surface"), "{stdout}");
+    assert!(cache.exists(), "cache file not written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_at_parse_time_listing_choices() {
+    for (args, expect) in [
+        (
+            vec!["--dataset", "road-net", "--space", "huge"],
+            "quick | single | multi | f22",
+        ),
+        (
+            vec!["--dataset", "road-net", "--strategy", "anneal"],
+            "grid | random | halving",
+        ),
+        (
+            vec!["--dataset", "road-net", "--algorithm", "dsatur"],
+            "maxmin | jp | firstfit",
+        ),
+        (
+            vec!["--dataset", "road-net", "--scale", "huge"],
+            "tiny | small | full",
+        ),
+        (vec!["--dataset", "nope"], "unknown dataset"),
+        (vec!["--dataset", "road-net", "--device", "rtx"], "hd7950"),
+        (vec![], "exactly one of --input or --dataset"),
+        (
+            // Multi-device spaces run the distributed first-fit driver only.
+            vec!["--dataset", "road-net", "--space", "multi"],
+            "firstfit",
+        ),
+    ] {
+        let out = gc_tune().args(&args).output().expect("run gc-tune");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} should exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn json_dump_parses_and_names_the_winner() {
+    let dir = temp_dir("json");
+    let out = gc_tune()
+        .args([
+            "--dataset",
+            "road-net",
+            "--scale",
+            "tiny",
+            "--space",
+            "quick",
+            "--no-cache",
+            "--json",
+        ])
+        .output()
+        .expect("run gc-tune");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Stdout carries the winner line then the JSON document.
+    let text = String::from_utf8_lossy(&out.stdout);
+    let json_start = text.find('{').expect("JSON in stdout");
+    let dump: serde_json::Value = serde_json::from_str(&text[json_start..]).unwrap();
+    assert_eq!(dump["algorithm"], "maxmin");
+    assert_eq!(dump["objective"], "wall-cycles");
+    assert!(dump["winner"]["config"]["wg_size"].as_u64().is_some());
+    assert!(!dump["evaluated"].as_array().unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
