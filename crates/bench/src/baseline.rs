@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use gc_graph::{suite, Scale};
 
+use crate::diff::{diff_named, BlameRow};
 use crate::runner::{Config, Family, Runner};
 
 /// Relative cycle tolerance used when the caller does not override it.
@@ -26,6 +27,11 @@ pub struct BaselineEntry {
     pub num_colors: usize,
     pub iterations: usize,
     pub mem_transactions: u64,
+    /// Critical-path components of the recorded run (sum to `cycles`
+    /// exactly). Empty in baselines recorded before the attribution layer;
+    /// `--explain` then blames the whole delta against zeroes.
+    #[serde(default)]
+    pub path: Vec<(String, u64)>,
 }
 
 /// The whole recorded baseline file.
@@ -37,7 +43,7 @@ pub struct BenchBaseline {
 }
 
 /// One comparison row produced by [`compare_baseline`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct DiffLine {
     /// "dataset / family / config".
     pub key: String,
@@ -50,6 +56,10 @@ pub struct DiffLine {
     pub regression: bool,
     /// Human explanation when `regression` (or a notable improvement).
     pub note: String,
+    /// Per-component cycle attribution of the delta (recorded vs fresh
+    /// critical-path components), sorted by absolute contribution. Sums to
+    /// the cycle delta exactly when the baseline carries path components.
+    pub explain: Vec<BlameRow>,
 }
 
 /// The headline grid: every suite dataset under the paper's baseline and
@@ -134,6 +144,7 @@ pub fn record_baseline(scale: Scale) -> BenchBaseline {
                 num_colors: r.num_colors,
                 iterations: r.iterations,
                 mem_transactions: r.mem_transactions,
+                path: r.critical_path.components.clone(),
             });
         }
     }
@@ -171,6 +182,7 @@ fn tuned_entry(runner: &mut Runner) -> BaselineEntry {
         num_colors: r.num_colors,
         iterations: r.iterations,
         mem_transactions: r.mem_transactions,
+        path: r.critical_path.components.clone(),
     }
 }
 
@@ -229,6 +241,7 @@ pub fn compare_baseline(base: &BenchBaseline, tolerance: f64) -> Result<Vec<Diff
             ratio,
             regression,
             note: notes.join(", "),
+            explain: diff_named(&old.path, &new.path),
         });
     }
     if base.entries.len() != fresh.entries.len() {
@@ -266,6 +279,35 @@ mod tests {
         assert_eq!(lines.len(), base.entries.len());
         let regressions: Vec<_> = lines.iter().filter(|l| l.regression).collect();
         assert!(regressions.is_empty(), "{regressions:?}");
+        // Every recorded entry carries its decomposition, and an identical
+        // re-run explains every row as all-zero component deltas.
+        for (e, l) in base.entries.iter().zip(&lines) {
+            assert!(!e.path.is_empty(), "{}: no path recorded", e.dataset);
+            assert_eq!(e.path.iter().map(|(_, c)| *c).sum::<u64>(), e.cycles);
+            assert!(l.explain.iter().all(|r| r.delta == 0), "{:?}", l.explain);
+        }
+    }
+
+    #[test]
+    fn explain_attributes_a_constructed_regression_to_its_component() {
+        let mut base = record_baseline(Scale::Tiny);
+        // Shrink one recorded component: the fresh run now "regresses" by
+        // exactly that amount, and the explain rows name the component.
+        let stolen = base.entries[0].path[1].1 / 2;
+        assert!(stolen > 0, "{:?}", base.entries[0].path);
+        base.entries[0].path[1].1 -= stolen;
+        base.entries[0].cycles -= stolen;
+        let lines = compare_baseline(&base, 0.0).unwrap();
+        assert!(lines[0].regression, "{:?}", lines[0]);
+        let blamed = &lines[0].explain[0];
+        assert_eq!(blamed.name, base.entries[0].path[1].0);
+        assert_eq!(blamed.delta, stolen as i64);
+        let attributed: i64 = lines[0].explain.iter().map(|r| r.delta).sum();
+        assert_eq!(
+            attributed,
+            lines[0].fresh_cycles as i64 - lines[0].baseline_cycles as i64,
+            "explain rows must cover the whole delta"
+        );
     }
 
     #[test]
@@ -298,6 +340,11 @@ mod tests {
                 num_colors: 4,
                 iterations: 5,
                 mem_transactions: 6,
+                path: vec![
+                    ("kernel".into(), 100),
+                    ("tail".into(), 20),
+                    ("host".into(), 3),
+                ],
             }],
         };
         save_baseline(&base, path).unwrap();

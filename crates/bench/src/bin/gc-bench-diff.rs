@@ -20,17 +20,23 @@ use gc_bench::baseline::{
 const USAGE: &str = "gc-bench-diff — diff a fresh benchmark run against a recorded baseline
 
 options:
-  --baseline PATH   baseline file (default BENCH_small.json)
-  --update          re-run the grid and overwrite the baseline file
-  --scale S         tiny | small | full for --update (default small)
-  --tolerance F     relative cycle tolerance, e.g. 0.05 (default 0.05)
-  --help            this text";
+  --baseline PATH      baseline file (default BENCH_small.json)
+  --update             re-run the grid and overwrite the baseline file
+  --scale S            tiny | small | full for --update (default small)
+  --tolerance F        relative cycle tolerance, e.g. 0.05 (default 0.05)
+  --explain            print a critical-path attribution for each regressed
+                       row (which component the cycles moved into)
+  --explain-json PATH  also write every regressed row + its attribution as
+                       JSON (for CI artifacts)
+  --help               this text";
 
 struct Args {
     baseline: String,
     update: bool,
     scale: String,
     tolerance: f64,
+    explain: bool,
+    explain_json: Option<String>,
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, String> {
@@ -39,6 +45,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, St
         update: false,
         scale: "small".into(),
         tolerance: DEFAULT_TOLERANCE,
+        explain: false,
+        explain_json: None,
     };
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
@@ -58,6 +66,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, St
                     return Err("--tolerance must be in [0, 1)".into());
                 }
             }
+            "--explain" => args.explain = true,
+            "--explain-json" => args.explain_json = Some(value("--explain-json")?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
@@ -126,6 +136,32 @@ fn main() {
             (l.ratio - 1.0) * 100.0,
             if l.note.is_empty() { "" } else { "  " },
             l.note,
+        );
+        if args.explain && l.regression {
+            if l.explain.is_empty() {
+                println!("          (no critical-path data recorded in baseline; re-record with --update)");
+            }
+            for row in &l.explain {
+                println!(
+                    "          {:16} {:>12} -> {:>12} cycles ({:+})",
+                    row.name, row.base, row.fresh, row.delta,
+                );
+            }
+        }
+    }
+    if let Some(path) = &args.explain_json {
+        let regressed: Vec<_> = lines.iter().filter(|l| l.regression).cloned().collect();
+        let json = serde_json::to_string_pretty(&regressed).unwrap_or_else(|e| {
+            eprintln!("error: serialize attribution: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(path, json.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote attribution for {} regressed row(s) to {path}",
+            regressed.len()
         );
     }
     if regressions > 0 {

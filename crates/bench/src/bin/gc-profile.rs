@@ -10,6 +10,7 @@
 //! gc-profile --dataset road-net --algorithm maxmin --optimized
 //! gc-profile --dataset citation-rmat --optimized --save-capture run.json
 //! gc-profile --from-capture run.json
+//! gc-profile --diff base.json fresh.json
 //! ```
 
 use std::cell::RefCell;
@@ -17,9 +18,12 @@ use std::io::{BufWriter, Write};
 use std::rc::Rc;
 
 use gc_bench::cli::{self, ColorArgs, Parsed, ProfileFormat};
-use gc_bench::{render_multi_profile_report, render_profile_report, ProfileCapture};
+use gc_bench::{
+    diff_reports, load_report_artifact, render_diff_report, render_multi_profile_report,
+    render_profile_report, ProfileCapture,
+};
 use gc_core::verify_coloring;
-use gc_gpusim::{CaptureSink, ChromeTraceSink, Gpu, JsonlSink, MultiGpu};
+use gc_gpusim::{write_multi_phase_trace, CaptureSink, ChromeTraceSink, Gpu, JsonlSink, MultiGpu};
 
 const USAGE: &str = "gc-profile — profile a coloring run on the simulated GPU
 
@@ -27,6 +31,10 @@ input (one of):
   --input PATH         graph file (.mtx / .col / edge list; see --format)
   --dataset NAME       registry dataset (see `repro --exp t1`)
   --from-capture PATH  render a saved capture instead of running
+  --diff BASE FRESH    differential profile: attribute the wall-cycle delta
+                       between two saved artifacts (--save-capture captures
+                       or --json reports) to path components, kernels,
+                       devices, and buffers; --json dumps the blame as JSON
 
 options:
   --format FMT         mtx | dimacs | edges | gcsr (default: from extension)
@@ -49,7 +57,9 @@ options:
                        algorithm (default cache TUNE_CACHE.json); conflicts
                        with the explicit knob flags above
   --seed N             priority permutation seed (default 3088)
-  --profile PATH       also write the event trace (for Perfetto)
+  --profile PATH       also write the event trace (for Perfetto); with
+                       --devices > 1 writes the superstep phase timeline
+                       (interior/exchange/settle per device)
   --profile-format F   chrome | jsonl trace format (default chrome)
   --save-capture PATH  save the report + events as JSON for --from-capture
   --json [PATH]        dump the run report as JSON (stdout if no PATH)
@@ -60,9 +70,6 @@ options:
 fn run_multi(args: &ColorArgs, g: &gc_graph::CsrGraph) {
     if args.save_capture.is_some() {
         eprintln!("warning: --save-capture holds a single device's events; not written for multi-device runs");
-    }
-    if args.profile.is_some() {
-        eprintln!("warning: use `gc-color --devices N --profile PATH` for per-device trace files");
     }
     let opts = cli::multi_options(args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -81,6 +88,27 @@ fn run_multi(args: &ColorArgs, g: &gc_graph::CsrGraph) {
         std::process::exit(1);
     });
     eprintln!("{}", report.summary());
+
+    // Superstep phase timeline: one Perfetto track per device showing
+    // interior/settle/overlap spans, plus a link track for the exchanges —
+    // the overlap (or lack of it) is visible directly.
+    if let Some(path) = &args.profile {
+        if args.profile_format != ProfileFormat::Chrome {
+            eprintln!("warning: multi-device phase traces are chrome-format; writing chrome JSON");
+        }
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut w = BufWriter::new(file);
+        write_multi_phase_trace(&mut w, mg.step_log(), args.devices)
+            .and_then(|()| w.flush())
+            .unwrap_or_else(|e| {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote phase trace {path}");
+    }
     let captures: Vec<CaptureSink> = sinks.iter().map(|s| s.borrow().clone()).collect();
     print!("{}", render_multi_profile_report(&report, &captures));
 
@@ -114,6 +142,37 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some((base_path, fresh_path)) = &args.diff {
+        let (base, base_kind) = load_report_artifact(base_path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let (fresh, fresh_kind) = load_report_artifact(fresh_path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("diffing {base_kind} {base_path} against {fresh_kind} {fresh_path}");
+        let d = diff_reports(&base, &fresh, base_path, fresh_path);
+        print!("{}", render_diff_report(&d));
+        if let Some(target) = &args.json {
+            let json = serde_json::to_string_pretty(&d).unwrap_or_else(|e| {
+                eprintln!("error: serialize diff: {e}");
+                std::process::exit(1);
+            });
+            match target {
+                cli::JsonTarget::Stdout => println!("{json}"),
+                cli::JsonTarget::File(path) => {
+                    std::fs::write(path, json.as_bytes()).unwrap_or_else(|e| {
+                        eprintln!("error: write {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("wrote {path}");
+                }
+            }
+        }
+        return;
+    }
 
     if let Some(path) = &args.from_capture {
         let cap = ProfileCapture::load(path).unwrap_or_else(|e| {

@@ -7,9 +7,19 @@ use gc_gpusim::profile::{CapturedIteration, CapturedKernel, CapturedStealPop, Ca
 use gc_gpusim::CaptureSink;
 use serde::{Deserialize, Serialize};
 
+/// Capture format version written by `--save-capture`. Bumped whenever the
+/// capture layout changes incompatibly; `load` rejects any other version
+/// with an actionable error instead of silently misreading old files
+/// (pre-versioning captures deserialize as version 0).
+pub const CAPTURE_VERSION: u32 = 1;
+
 /// Everything `gc-profile --save-capture` writes and `--from-capture` reads.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProfileCapture {
+    /// Capture format version ([`CAPTURE_VERSION`] when written by this
+    /// build; 0 for files predating the field).
+    #[serde(default)]
+    pub version: u32,
     /// The completed run's report.
     pub report: RunReport,
     /// Kernel retire events.
@@ -26,6 +36,7 @@ impl ProfileCapture {
     /// Package a finished run for saving.
     pub fn new(report: RunReport, sink: &CaptureSink) -> Self {
         Self {
+            version: CAPTURE_VERSION,
             report,
             kernels: sink.kernels.clone(),
             workgroups: sink.workgroups.clone(),
@@ -51,10 +62,20 @@ impl ProfileCapture {
     }
 
     /// Read a capture back. A missing file reports "read PATH", malformed
-    /// JSON reports "parse PATH" — both as plain errors, never a panic.
+    /// JSON reports "parse PATH", and a version other than
+    /// [`CAPTURE_VERSION`] tells the user to regenerate the file — all as
+    /// plain errors, never a panic.
     pub fn load(path: &str) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+        let cap: Self = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        if cap.version != CAPTURE_VERSION {
+            return Err(format!(
+                "{path} is capture format v{} but this build reads v{CAPTURE_VERSION}; \
+                 regenerate it with `gc-profile ... --save-capture {path}`",
+                cap.version
+            ));
+        }
+        Ok(cap)
     }
 }
 
@@ -80,6 +101,41 @@ mod tests {
         assert_eq!(report.algorithm, "unit");
         assert_eq!(sink.iterations.len(), 1);
         assert_eq!(sink.iterations[0].end_cycle, 90);
+    }
+
+    #[test]
+    fn load_rejects_other_versions_with_an_actionable_error() {
+        let dir = std::env::temp_dir().join("gc-capture-version-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cap.json");
+        let path = path.to_str().unwrap();
+
+        let report = RunReport::host("unit", vec![0], 1);
+        let mut cap = ProfileCapture::new(report, &CaptureSink::new());
+        assert_eq!(cap.version, CAPTURE_VERSION);
+        cap.save(path).unwrap();
+        assert_eq!(ProfileCapture::load(path).unwrap().version, CAPTURE_VERSION);
+
+        // A capture from a future (or past) format version is refused with
+        // a pointer at the fix, not misread.
+        cap.version = CAPTURE_VERSION + 1;
+        cap.save(path).unwrap();
+        let err = ProfileCapture::load(path).unwrap_err();
+        assert!(err.contains(&format!("v{}", CAPTURE_VERSION + 1)), "{err}");
+        assert!(err.contains("--save-capture"), "{err}");
+
+        // A pre-versioning file (no version key) deserializes as v0 and is
+        // refused the same way.
+        let json = std::fs::read_to_string(path).unwrap();
+        let legacy = json.replacen(
+            &format!("\"version\":{}", CAPTURE_VERSION + 1),
+            "\"version\":0",
+            1,
+        );
+        assert_ne!(legacy, json, "version key must be present to strip");
+        std::fs::write(path, legacy).unwrap();
+        let err = ProfileCapture::load(path).unwrap_err();
+        assert!(err.contains("v0"), "{err}");
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct ColorArgs {
     /// `--from-capture PATH`: render a previously saved capture instead of
     /// running (no graph input needed).
     pub from_capture: Option<String>,
+    /// `--diff BASE FRESH`: differential profile between two saved
+    /// artifacts (captures or `--json` reports) instead of running
+    /// (no graph input needed).
+    pub diff: Option<(String, String)>,
 }
 
 impl Default for ColorArgs {
@@ -116,6 +120,7 @@ impl Default for ColorArgs {
             profile_format: ProfileFormat::Chrome,
             save_capture: None,
             from_capture: None,
+            diff: None,
         }
     }
 }
@@ -281,6 +286,11 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
             "--profile" => args.profile = Some(value("--profile")?),
             "--save-capture" => args.save_capture = Some(value("--save-capture")?),
             "--from-capture" => args.from_capture = Some(value("--from-capture")?),
+            "--diff" => {
+                let base = value("--diff")?;
+                let fresh = value("--diff (second path)")?;
+                args.diff = Some((base, fresh));
+            }
             "--profile-format" => {
                 args.profile_format = match value("--profile-format")?.as_str() {
                     "chrome" => ProfileFormat::Chrome,
@@ -294,10 +304,18 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
-    if args.from_capture.is_some() {
-        // Rendering a saved capture replaces the run: no graph input.
+    if args.diff.is_some() && args.from_capture.is_some() {
+        return Err("--diff and --from-capture are mutually exclusive".into());
+    }
+    if args.from_capture.is_some() || args.diff.is_some() {
+        // Rendering saved artifacts replaces the run: no graph input.
         if args.input.is_some() || args.dataset.is_some() {
-            return Err("--from-capture replays a saved run; drop --input/--dataset".into());
+            let flag = if args.diff.is_some() {
+                "--diff compares saved runs"
+            } else {
+                "--from-capture replays a saved run"
+            };
+            return Err(format!("{flag}; drop --input/--dataset"));
         }
     } else if args.input.is_none() == args.dataset.is_none() {
         return Err("exactly one of --input or --dataset is required".into());
@@ -640,6 +658,25 @@ mod tests {
         // …and rejects one being given anyway.
         let err = parse(&["--from-capture", "cap.json", "--dataset", "road-net"]).unwrap_err();
         assert!(err.contains("--from-capture"), "{err}");
+    }
+
+    #[test]
+    fn diff_flag_parses_two_paths() {
+        let a = parsed(&["--diff", "base.json", "fresh.json"]);
+        assert_eq!(
+            a.diff,
+            Some(("base.json".to_string(), "fresh.json".to_string()))
+        );
+        assert!(a.input.is_none() && a.dataset.is_none());
+        // Both paths are required.
+        let err = parse(&["--diff", "base.json"]).unwrap_err();
+        assert!(err.contains("--diff"), "{err}");
+        // --diff replaces the run, so graph inputs are rejected…
+        let err = parse(&["--diff", "a.json", "b.json", "--dataset", "road-net"]).unwrap_err();
+        assert!(err.contains("--diff"), "{err}");
+        // …and it cannot be combined with --from-capture.
+        let err = parse(&["--diff", "a.json", "b.json", "--from-capture", "c.json"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

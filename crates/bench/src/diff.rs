@@ -1,0 +1,414 @@
+//! Differential profiling: attribute the wall-cycle delta between two runs
+//! to named critical-path components, kernels, devices, and buffers.
+//!
+//! `gc-profile --diff A B` loads two saved artifacts (full captures from
+//! `--save-capture` or bare reports from `--json`), lines their named
+//! quantities up, and renders the differences as blame tables sorted by
+//! absolute contribution. Because each run's critical-path components sum
+//! exactly to its wall cycles, the component deltas sum exactly to the
+//! wall-cycle delta — every regressed cycle lands in a named bucket.
+
+use gc_core::RunReport;
+use serde::{Deserialize, Serialize};
+
+use crate::capture::ProfileCapture;
+use crate::table::ExpTable;
+
+/// One blame line: a named quantity in both runs, and how much it moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlameRow {
+    /// What is being blamed (a path component, kernel, device, or buffer).
+    pub name: String,
+    /// The quantity in the base run.
+    pub base: u64,
+    /// The quantity in the fresh run.
+    pub fresh: u64,
+    /// `fresh - base`.
+    pub delta: i64,
+}
+
+/// Diff two name-keyed cycle (or count) lists into blame rows, sorted by
+/// absolute delta descending (ties by name). Names missing on one side are
+/// treated as 0 there; rows that are 0 on both sides are dropped.
+pub fn diff_named(base: &[(String, u64)], fresh: &[(String, u64)]) -> Vec<BlameRow> {
+    let mut names: Vec<&String> = Vec::new();
+    for (n, _) in base.iter().chain(fresh) {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    let get = |side: &[(String, u64)], name: &str| {
+        side.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    };
+    let mut rows: Vec<BlameRow> = names
+        .into_iter()
+        .map(|name| {
+            let (b, f) = (get(base, name), get(fresh, name));
+            BlameRow {
+                name: name.clone(),
+                base: b,
+                fresh: f,
+                delta: f as i64 - b as i64,
+            }
+        })
+        .filter(|r| r.base != 0 || r.fresh != 0)
+        .collect();
+    rows.sort_by(|a, b| b.delta.abs().cmp(&a.delta.abs()).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// The full differential report between a base and a fresh run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Where the base run came from (a file path or grid key).
+    pub base_label: String,
+    /// Where the fresh run came from.
+    pub fresh_label: String,
+    /// Base run's algorithm label.
+    pub base_algorithm: String,
+    /// Fresh run's algorithm label.
+    pub fresh_algorithm: String,
+    /// Base run's wall cycles.
+    pub base_cycles: u64,
+    /// Fresh run's wall cycles.
+    pub fresh_cycles: u64,
+    /// `fresh_cycles - base_cycles` — the regression (or win) to explain.
+    pub delta_cycles: i64,
+    /// Critical-path component deltas. These sum to `delta_cycles` exactly
+    /// when both runs carry a critical path (the attribution guarantee).
+    pub path: Vec<BlameRow>,
+    /// Per-kernel wall-cycle deltas.
+    pub kernels: Vec<BlameRow>,
+    /// Per-device busy and idle deltas (multi-device runs only).
+    pub devices: Vec<BlameRow>,
+    /// Per-buffer memory-transaction deltas.
+    pub buffers: Vec<BlameRow>,
+    /// Sum of the critical-path component deltas.
+    pub attributed_cycles: i64,
+}
+
+impl DiffReport {
+    /// Fraction of the wall-cycle delta covered by the path components, in
+    /// `[0, 1]` (1.0 when the delta is zero). Exactly 1.0 whenever both
+    /// runs carry a critical-path decomposition.
+    pub fn attribution_fraction(&self) -> f64 {
+        if self.delta_cycles == 0 {
+            1.0
+        } else {
+            (self.attributed_cycles as f64 / self.delta_cycles as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Per-device busy/idle rows of one report's multi section.
+fn device_components(report: &RunReport) -> Vec<(String, u64)> {
+    let Some(multi) = &report.multi else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (d, &busy) in multi.device_cycles.iter().enumerate() {
+        out.push((format!("dev{d} busy"), busy));
+    }
+    for (d, &idle) in multi.idle_per_device.iter().enumerate() {
+        out.push((format!("dev{d} idle"), idle));
+    }
+    out
+}
+
+/// Diff two run reports into a [`DiffReport`].
+pub fn diff_reports(
+    base: &RunReport,
+    fresh: &RunReport,
+    base_label: &str,
+    fresh_label: &str,
+) -> DiffReport {
+    let kernels = |r: &RunReport| -> Vec<(String, u64)> {
+        r.kernel_breakdown
+            .iter()
+            .map(|(name, cycles, _)| (name.clone(), *cycles))
+            .collect()
+    };
+    let buffers = |r: &RunReport| -> Vec<(String, u64)> {
+        r.per_buffer
+            .iter()
+            .map(|(name, s)| (name.clone(), s.transactions))
+            .collect()
+    };
+    let path = diff_named(
+        &base.critical_path.components,
+        &fresh.critical_path.components,
+    );
+    let attributed_cycles = path.iter().map(|r| r.delta).sum();
+    DiffReport {
+        base_label: base_label.into(),
+        fresh_label: fresh_label.into(),
+        base_algorithm: base.algorithm.clone(),
+        fresh_algorithm: fresh.algorithm.clone(),
+        base_cycles: base.cycles,
+        fresh_cycles: fresh.cycles,
+        delta_cycles: fresh.cycles as i64 - base.cycles as i64,
+        path,
+        kernels: diff_named(&kernels(base), &kernels(fresh)),
+        devices: diff_named(&device_components(base), &device_components(fresh)),
+        buffers: diff_named(&buffers(base), &buffers(fresh)),
+        attributed_cycles,
+    }
+}
+
+/// Signed percentage of `delta` against the total wall delta.
+fn share(delta: i64, total: i64) -> String {
+    if total == 0 {
+        "-".into()
+    } else {
+        format!("{:+.1}%", delta as f64 / total.abs() as f64 * 100.0)
+    }
+}
+
+fn blame_table(id: &str, title: &str, unit: &str, rows: &[BlameRow], total: i64) -> ExpTable {
+    let mut t = ExpTable::new(id, title, &["name", "base", "fresh", "delta", "% of Δwall"]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            r.base.to_string(),
+            r.fresh.to_string(),
+            format!("{:+}", r.delta),
+            share(r.delta, total),
+        ]);
+    }
+    t.note(format!("{unit}; sorted by |delta|"));
+    t
+}
+
+/// Render the differential report as blame tables.
+pub fn render_diff_report(d: &DiffReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "diff: {} -> {}\n  {} ({} cycles) -> {} ({} cycles): {:+} cycles ({:+.2}%)\n",
+        d.base_label,
+        d.fresh_label,
+        d.base_algorithm,
+        d.base_cycles,
+        d.fresh_algorithm,
+        d.fresh_cycles,
+        d.delta_cycles,
+        if d.base_cycles == 0 {
+            0.0
+        } else {
+            d.delta_cycles as f64 / d.base_cycles as f64 * 100.0
+        },
+    ));
+    if d.base_algorithm != d.fresh_algorithm {
+        out.push_str("  note: the two runs used different algorithm labels\n");
+    }
+    if d.path.is_empty() {
+        out.push_str(
+            "  no critical-path components recorded (reports predate the \
+             attribution layer); falling back to kernel and buffer deltas\n",
+        );
+    } else {
+        out.push_str(&format!(
+            "  attribution: {:+} of {:+} wall cycles ({:.1}%) land in named path components\n",
+            d.attributed_cycles,
+            d.delta_cycles,
+            d.attribution_fraction() * 100.0,
+        ));
+    }
+    out.push('\n');
+    if !d.path.is_empty() {
+        out.push_str(
+            &blame_table(
+                "diff-path",
+                "critical-path blame (deltas sum exactly to the wall delta)",
+                "wall cycles per path component",
+                &d.path,
+                d.delta_cycles,
+            )
+            .render(),
+        );
+        out.push('\n');
+    }
+    if !d.kernels.is_empty() {
+        out.push_str(
+            &blame_table(
+                "diff-kernels",
+                "kernel blame",
+                "summed per-launch wall cycles per kernel",
+                &d.kernels,
+                d.delta_cycles,
+            )
+            .render(),
+        );
+        out.push('\n');
+    }
+    if !d.devices.is_empty() {
+        out.push_str(
+            &blame_table(
+                "diff-devices",
+                "device blame",
+                "busy/idle wall-cycle shares per device",
+                &d.devices,
+                d.delta_cycles,
+            )
+            .render(),
+        );
+        out.push('\n');
+    }
+    if !d.buffers.is_empty() {
+        out.push_str(
+            &blame_table(
+                "diff-buffers",
+                "buffer blame",
+                "memory transactions per named buffer",
+                &d.buffers,
+                d.delta_cycles,
+            )
+            .render(),
+        );
+    }
+    out
+}
+
+/// Load a run report from either artifact kind `gc-profile` writes: a full
+/// capture (`--save-capture`, version-checked) or a bare report (`--json`).
+/// Returns the report and which kind it was.
+pub fn load_report_artifact(path: &str) -> Result<(RunReport, &'static str), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // A capture wraps the report alongside its event arrays; try that shape
+    // first so its version gate applies, then fall back to a bare report.
+    if text.contains("\"report\"") {
+        let cap = ProfileCapture::load(path)?;
+        return Ok((cap.report, "capture"));
+    }
+    match serde_json::from_str::<RunReport>(&text) {
+        Ok(report) => Ok((report, "report")),
+        Err(e) => Err(format!(
+            "parse {path}: {e} (expected a `--save-capture` capture or a `--json` run report)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_core::{gpu, GpuOptions};
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{rmat, RmatParams};
+
+    fn run_with_wg(wg: usize) -> RunReport {
+        let g = rmat(8, 8, RmatParams::graph500(), 5);
+        let opts = GpuOptions::baseline()
+            .with_device(DeviceConfig::apu_8cu())
+            .with_wg_size(wg);
+        gpu::maxmin::color(&g, &opts)
+    }
+
+    #[test]
+    fn diff_named_unions_sorts_and_drops_zeroes() {
+        let base = vec![
+            ("a".to_string(), 10u64),
+            ("b".to_string(), 5),
+            ("z".to_string(), 0),
+        ];
+        let fresh = vec![
+            ("a".to_string(), 4u64),
+            ("c".to_string(), 100),
+            ("z".to_string(), 0),
+        ];
+        let rows = diff_named(&base, &fresh);
+        assert_eq!(rows.len(), 3, "{rows:?}");
+        assert_eq!(rows[0].name, "c");
+        assert_eq!(rows[0].delta, 100);
+        assert_eq!(rows[1].name, "a");
+        assert_eq!(rows[1].delta, -6);
+        assert_eq!(rows[2].name, "b");
+        assert_eq!(rows[2].delta, -5);
+        assert!(!rows.iter().any(|r| r.name == "z"), "all-zero row kept");
+    }
+
+    #[test]
+    fn wg_size_regression_is_fully_attributed() {
+        // The acceptance bar: a constructed regression (workgroup-size
+        // change) must attribute >= 95% of the wall-cycle delta. The exact
+        // decomposition makes this 100% by construction.
+        let base = run_with_wg(1024);
+        let fresh = run_with_wg(256);
+        assert_ne!(base.cycles, fresh.cycles, "wg change must move the clock");
+        let d = diff_reports(&base, &fresh, "wg1024", "wg256");
+        assert_eq!(d.delta_cycles, fresh.cycles as i64 - base.cycles as i64);
+        assert_eq!(
+            d.attributed_cycles, d.delta_cycles,
+            "path blame must cover the delta exactly"
+        );
+        assert!(d.attribution_fraction() >= 0.95);
+        // The wg change only moves in-kernel time, so the whole regression
+        // lands on the kernel/tail components and the top blame row says
+        // where the cycles went.
+        let host = d.path.iter().find(|r| r.name == "host").unwrap();
+        assert_eq!(host.delta, 0, "{:?}", d.path);
+        assert_eq!(d.path[0].delta, d.delta_cycles, "{:?}", d.path);
+        let s = render_diff_report(&d);
+        assert!(s.contains("critical-path blame"), "{s}");
+        assert!(s.contains("kernel blame"), "{s}");
+        assert!(s.contains("buffer blame"), "{s}");
+        assert!(s.contains("100.0%"), "{s}");
+        assert!(s.contains("wg1024"), "{s}");
+    }
+
+    #[test]
+    fn identical_runs_diff_clean() {
+        let a = run_with_wg(64);
+        let b = run_with_wg(64);
+        let d = diff_reports(&a, &b, "a", "b");
+        assert_eq!(d.delta_cycles, 0);
+        assert!(d.path.iter().all(|r| r.delta == 0), "{:?}", d.path);
+        assert!((d.attribution_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_device_diff_blames_devices_and_link() {
+        use gc_core::gpu::MultiOptions;
+        let g = rmat(8, 8, RmatParams::graph500(), 5);
+        let tiny = |overlap: bool| {
+            MultiOptions::new(2)
+                .with_base(GpuOptions::baseline().with_device(DeviceConfig::small_test()))
+                .with_overlap(overlap)
+        };
+        let base = gpu::multi::color(&g, &tiny(true));
+        let fresh = gpu::multi::color(&g, &tiny(false));
+        let d = diff_reports(&base, &fresh, "overlap", "serial");
+        assert_eq!(d.attributed_cycles, d.delta_cycles);
+        // Disabling overlap exposes previously hidden link time: the
+        // exposed-link component carries the whole regression.
+        let exposed = d.path.iter().find(|r| r.name == "exposed-link").unwrap();
+        assert_eq!(exposed.delta, d.delta_cycles, "{:?}", d.path);
+        assert!(!d.devices.is_empty());
+        assert!(d.devices.iter().any(|r| r.name == "dev0 idle"));
+        let s = render_diff_report(&d);
+        assert!(s.contains("device blame"), "{s}");
+    }
+
+    #[test]
+    fn load_artifact_reads_both_kinds_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("gc-diff-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = run_with_wg(64);
+
+        let rpath = dir.join("report.json");
+        std::fs::write(&rpath, serde_json::to_string(&report).unwrap()).unwrap();
+        let (back, kind) = load_report_artifact(rpath.to_str().unwrap()).unwrap();
+        assert_eq!(kind, "report");
+        assert_eq!(back.cycles, report.cycles);
+
+        let cpath = dir.join("capture.json");
+        let cap = ProfileCapture::new(report.clone(), &gc_gpusim::CaptureSink::new());
+        cap.save(cpath.to_str().unwrap()).unwrap();
+        let (back, kind) = load_report_artifact(cpath.to_str().unwrap()).unwrap();
+        assert_eq!(kind, "capture");
+        assert_eq!(back.cycles, report.cycles);
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, b"{\"neither\": true}").unwrap();
+        let err = load_report_artifact(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+    }
+}

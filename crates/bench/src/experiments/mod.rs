@@ -25,6 +25,7 @@ mod f19_building_block;
 mod f20_multidevice;
 mod f21_cutaware;
 mod f22_crossover;
+mod f23_attribution;
 mod t1_datasets;
 mod t2_iterations;
 
@@ -160,6 +161,11 @@ pub fn all() -> Vec<Experiment> {
             id: "f22",
             what: "link latency/bandwidth crossover surface for tuned multi-device coloring (extension)",
             run: f22_crossover::run,
+        },
+        Experiment {
+            id: "f23",
+            what: "critical-path attribution of the multi-device gap (extension)",
+            run: f23_attribution::run,
         },
     ]
 }

@@ -14,14 +14,16 @@
 pub mod baseline;
 pub mod capture;
 pub mod cli;
+pub mod diff;
 pub mod experiments;
 pub mod profile_report;
 pub mod runner;
 pub mod table;
 
 pub use baseline::{compare_baseline, record_baseline, BenchBaseline};
-pub use capture::ProfileCapture;
+pub use capture::{ProfileCapture, CAPTURE_VERSION};
 pub use cli::{parse_color_args, ColorArgs, JsonTarget, Parsed, ProfileFormat};
+pub use diff::{diff_named, diff_reports, load_report_artifact, render_diff_report, DiffReport};
 pub use experiments::{all, by_id, Experiment};
 pub use profile_report::{render_multi_profile_report, render_profile_report};
 pub use runner::{Config, Family, Runner};

@@ -57,6 +57,41 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
+/// Exact critical-path decomposition of the run's wall cycles — where every
+/// cycle went, with no remainder.
+fn critical_path_table(report: &RunReport) -> Option<ExpTable> {
+    let cp = &report.critical_path;
+    if cp.is_empty() {
+        return None;
+    }
+    let mut t = ExpTable::new(
+        "critical-path",
+        "critical-path breakdown (sums exactly to wall cycles)",
+        &["component", "cycles", "% of wall"],
+    );
+    for (name, cycles) in &cp.components {
+        t.row(vec![
+            name.clone(),
+            cycles.to_string(),
+            format!("{:.1}%", pct(*cycles, report.cycles)),
+        ]);
+    }
+    if let Some((dominant, cycles)) = cp.dominant() {
+        t.note(format!(
+            "dominant component: {dominant} ({:.1}% of wall)",
+            pct(cycles, report.cycles)
+        ));
+    }
+    if !cp.idle_per_device.is_empty() {
+        let idle: Vec<String> = cp.idle_per_device.iter().map(u64::to_string).collect();
+        t.note(format!(
+            "idle cycles per device: {} (busy + idle == wall on every device)",
+            idle.join(" / ")
+        ));
+    }
+    Some(t)
+}
+
 /// Top kernels by summed wall cycles, with share of total device time and
 /// SIMD lane utilization.
 fn kernel_time_table(by_name: &BTreeMap<String, KernelTotals>, total_cycles: u64) -> ExpTable {
@@ -333,6 +368,10 @@ pub fn render_profile_report(report: &RunReport, capture: &CaptureSink) -> Strin
         report.kernel_launches,
         report.cycles,
     ));
+    if let Some(t) = critical_path_table(report) {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
     out.push_str(&kernel_time_table(&by_name, report.cycles).render());
     out.push('\n');
     out.push_str(&load_balance_table(&by_name).render());
@@ -510,6 +549,10 @@ pub fn render_multi_profile_report(report: &RunReport, captures: &[CaptureSink])
     ));
     out.push_str(&multi_summary_table(multi).render());
     out.push('\n');
+    if let Some(t) = critical_path_table(report) {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
     out.push_str(&per_device_table(multi).render());
     out.push('\n');
     let mut kt = kernel_time_table(&merged, busy_total);
@@ -555,6 +598,8 @@ mod tests {
     fn report_has_all_sections_for_stealing_run() {
         let (report, capture) = profiled_run();
         let s = render_profile_report(&report, &capture);
+        assert!(s.contains("critical-path breakdown"), "{s}");
+        assert!(s.contains("dominant component:"), "{s}");
         assert!(s.contains("kernel time breakdown"), "{s}");
         assert!(s.contains("CU load balance"), "{s}");
         assert!(s.contains("divergence hotspots"), "{s}");
@@ -625,6 +670,9 @@ mod tests {
         let captures: Vec<CaptureSink> = sinks.iter().map(|s| s.borrow().clone()).collect();
         let s = render_multi_profile_report(&report, &captures);
         assert!(s.contains("multi-device summary"), "{s}");
+        assert!(s.contains("critical-path breakdown"), "{s}");
+        assert!(s.contains("exposed-link"), "{s}");
+        assert!(s.contains("idle cycles per device"), "{s}");
         assert!(s.contains("per-device load"), "{s}");
         assert!(s.contains("edge cut"), "{s}");
         assert!(s.contains("exchange bytes"), "{s}");

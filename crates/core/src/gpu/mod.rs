@@ -146,6 +146,20 @@ pub(crate) fn iteration_delta(
         imbalance_factor: gc_gpusim::imbalance_factor_of(&busy_delta),
         divergent_steps: after.divergent_steps - before.divergent_steps,
         steal_pops: after.steal_pops - before.steal_pops,
+        path: vec![
+            (
+                "kernel".into(),
+                after.path_kernel_cycles - before.path_kernel_cycles,
+            ),
+            (
+                "tail".into(),
+                after.path_tail_cycles - before.path_tail_cycles,
+            ),
+            (
+                "host".into(),
+                after.path_host_cycles - before.path_host_cycles,
+            ),
+        ],
     }
 }
 
@@ -186,6 +200,11 @@ pub(crate) fn finish_report(
         lane_occupancy: stats.lane_occupancy.clone(),
         wg_duration: stats.wg_duration.clone(),
         steal_depth: stats.steal_depth.clone(),
+        critical_path: crate::report::CriticalPath::single_device(
+            stats.path_kernel_cycles,
+            stats.path_tail_cycles,
+            stats.path_host_cycles,
+        ),
         multi: None,
     }
 }
@@ -212,6 +231,61 @@ mod tests {
         let mut p = gpu.read_back(dev.priority);
         p.sort_unstable();
         assert_eq!(p, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn critical_path_sums_exactly_for_every_schedule() {
+        // The attribution invariant: kernel + tail + host == cycles with no
+        // remainder, per run and per iteration, across all three workgroup
+        // schedules the paper studies.
+        let g = gc_graph::generators::rmat(8, 8, gc_graph::generators::RmatParams::graph500(), 7);
+        let schedules = [
+            ("static", WorkSchedule::StaticRoundRobin),
+            ("dynamic", WorkSchedule::DynamicHw),
+            ("stealing", WorkSchedule::WorkStealing { chunk: 64 }),
+        ];
+        for (name, schedule) in schedules {
+            let opts = GpuOptions::baseline()
+                .with_device(DeviceConfig::small_test())
+                .with_schedule(schedule);
+            let r = crate::gpu::maxmin::color(&g, &opts);
+            assert_eq!(
+                r.critical_path.total(),
+                r.cycles,
+                "{name}: components {:?} must sum to wall {}",
+                r.critical_path.components,
+                r.cycles
+            );
+            assert_eq!(
+                r.critical_path.get("kernel") + r.critical_path.get("tail"),
+                {
+                    let launch_total: u64 = r.critical_path.get("host");
+                    r.cycles - launch_total
+                }
+            );
+            assert!(
+                r.critical_path.get("host") > 0,
+                "{name}: launches cost cycles"
+            );
+            assert!(r.critical_path.idle_per_device.is_empty());
+            // Per-iteration paths sum to the iteration's cycles, and the
+            // per-iteration components telescope to the run totals.
+            let mut telescoped = std::collections::BTreeMap::<String, u64>::new();
+            for it in &r.iteration_timeline {
+                let sum: u64 = it.path.iter().map(|(_, c)| *c).sum();
+                assert_eq!(sum, it.cycles, "{name}: iteration {}", it.iteration);
+                for (component, c) in &it.path {
+                    *telescoped.entry(component.clone()).or_default() += c;
+                }
+            }
+            for (component, total) in &telescoped {
+                assert_eq!(
+                    *total,
+                    r.critical_path.get(component),
+                    "{name}: per-iteration {component} must telescope"
+                );
+            }
+        }
     }
 
     #[test]

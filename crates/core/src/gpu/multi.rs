@@ -250,6 +250,7 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         let before: Vec<gc_gpusim::DeviceStats> =
             (0..k).map(|p| mg.device_ref(p).stats().clone()).collect();
         let wall_before = mg.wall_cycles();
+        let path_before = mg.path_components();
         let msgs_before = mg.link_transfers();
         let bytes_before = mg.link_bytes();
         for (p, st) in states.iter().enumerate() {
@@ -302,7 +303,10 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         if opts.overlap {
             mg.end_overlap_step();
         } else {
-            mg.end_step();
+            // Serial path: this step is interior compute (the exchange was
+            // already charged by the `transfer` calls above) — classify it
+            // so the critical-path attribution matches the overlap run.
+            mg.end_interior_step();
         }
 
         // Superstep 3: concurrent boundary conflict resolve; losers
@@ -342,6 +346,7 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
             mg,
             &before,
             wall_before,
+            path_before,
             iterations,
             total_active,
             total_active - next_active,
@@ -413,10 +418,12 @@ fn exchange_data(
 /// wall-clock share (so the timeline sums to the report total), and
 /// `imbalance_factor` is the *inter-device* max/mean of this round's
 /// per-device busy deltas — the straggler effect, per round.
+#[allow(clippy::too_many_arguments)]
 fn multi_iteration_delta(
     mg: &MultiGpu,
     before: &[gc_gpusim::DeviceStats],
     wall_before: u64,
+    path_before: (u64, u64, u64),
     iteration: usize,
     active: usize,
     colored: usize,
@@ -433,6 +440,7 @@ fn multi_iteration_delta(
         divergent += after.divergent_steps - b.divergent_steps;
         steals += after.steal_pops - b.steal_pops;
     }
+    let (settle, interior, exposed) = mg.path_components();
     crate::IterationStats {
         iteration,
         active,
@@ -443,6 +451,11 @@ fn multi_iteration_delta(
         imbalance_factor: gc_gpusim::imbalance_factor_of(&device_deltas),
         divergent_steps: divergent,
         steal_pops: steals,
+        path: vec![
+            ("interior".into(), interior - path_before.1),
+            ("exposed-link".into(), exposed - path_before.2),
+            ("settle".into(), settle - path_before.0),
+        ],
     }
 }
 
@@ -508,6 +521,20 @@ fn finish_multi_report(
         steal_depth.merge(&d.steal_depth);
     }
 
+    // Per-device idle: the wall cycles a device spent waiting on stragglers
+    // or the link. `busy + idle == wall` by construction for every device.
+    let idle_per_device: Vec<u64> = ms
+        .cycles_per_device
+        .iter()
+        .map(|&c| ms.wall_cycles - c)
+        .collect();
+    let critical_path = crate::report::CriticalPath::multi_device(
+        ms.interior_compute_cycles,
+        ms.exchange_exposed_cycles,
+        ms.settle_step_cycles,
+        idle_per_device.clone(),
+    );
+
     RunReport {
         algorithm,
         colors,
@@ -533,6 +560,7 @@ fn finish_multi_report(
         lane_occupancy,
         wg_duration,
         steal_depth,
+        critical_path,
         multi: Some(MultiDeviceReport {
             num_devices: ms.num_devices,
             strategy: pstats.strategy,
@@ -557,6 +585,9 @@ fn finish_multi_report(
             overlap_steps: ms.overlap_steps,
             exchange_hidden_cycles: ms.exchange_hidden_cycles,
             exchange_exposed_cycles: ms.exchange_exposed_cycles,
+            settle_step_cycles: ms.settle_step_cycles,
+            interior_compute_cycles: ms.interior_compute_cycles,
+            idle_per_device,
             overlap_efficiency: ms.overlap_efficiency(),
             device_imbalance_factor: ms.device_imbalance_factor(),
             device_cycles: ms.cycles_per_device,
@@ -666,6 +697,69 @@ mod tests {
         // The timeline's wall shares telescope to the total.
         let t: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
         assert_eq!(t, r.cycles);
+    }
+
+    #[test]
+    fn critical_path_sums_exactly_for_cutaware_multi_runs() {
+        // The multi-device attribution invariant: settle + interior +
+        // exposed-link == wall with no remainder, per run and per round,
+        // plus `busy + idle == wall` for every device — pinned across
+        // 2/4 devices and both exchange schedules.
+        for (name, g) in families() {
+            for devices in [2, 4] {
+                for overlap in [true, false] {
+                    let opts = tiny(devices)
+                        .with_strategy(PartitionStrategy::CutAware)
+                        .with_overlap(overlap);
+                    let r = color(&g, &opts);
+                    let m = r.multi.as_ref().unwrap();
+                    let tag = format!("{name}/{devices}dev/overlap={overlap}");
+                    assert_eq!(
+                        r.critical_path.total(),
+                        r.cycles,
+                        "{tag}: components {:?} must sum to wall {}",
+                        r.critical_path.components,
+                        r.cycles
+                    );
+                    assert_eq!(r.critical_path.get("settle"), m.settle_step_cycles);
+                    assert_eq!(r.critical_path.get("interior"), m.interior_compute_cycles);
+                    assert_eq!(
+                        r.critical_path.get("exposed-link"),
+                        m.exchange_exposed_cycles
+                    );
+                    // Per-device idle closes the books on every device.
+                    assert_eq!(r.critical_path.idle_per_device, m.idle_per_device);
+                    assert_eq!(m.idle_per_device.len(), devices);
+                    for (d, (&busy, &idle)) in
+                        m.device_cycles.iter().zip(&m.idle_per_device).enumerate()
+                    {
+                        assert_eq!(busy + idle, m.wall_cycles, "{tag}: device {d}");
+                    }
+                    // Per-round paths sum to the round's wall share and
+                    // telescope to the run totals.
+                    let mut telescoped = std::collections::BTreeMap::<String, u64>::new();
+                    for it in &r.iteration_timeline {
+                        let sum: u64 = it.path.iter().map(|(_, c)| *c).sum();
+                        assert_eq!(sum, it.cycles, "{tag}: round {}", it.iteration);
+                        for (component, c) in &it.path {
+                            *telescoped.entry(component.clone()).or_default() += c;
+                        }
+                    }
+                    for (component, total) in &telescoped {
+                        assert_eq!(
+                            *total,
+                            r.critical_path.get(component),
+                            "{tag}: per-round {component} must telescope"
+                        );
+                    }
+                    // A serial run exposes the whole link; either way the
+                    // exposed component is exactly the unhidden link time.
+                    if !overlap {
+                        assert_eq!(r.critical_path.get("exposed-link"), m.link_cycles);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

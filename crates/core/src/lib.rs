@@ -47,7 +47,7 @@ pub mod verify;
 pub use balance::{balance_coloring, class_imbalance};
 
 pub use gpu::{GpuOptions, WorkSchedule};
-pub use report::{IterationStats, MultiDeviceReport, RunReport};
+pub use report::{CriticalPath, IterationStats, MultiDeviceReport, RunReport};
 pub use seq::VertexOrdering;
 pub use verify::{
     color_classes, count_colors, count_conflicts, verify_coloring, VerifyError, UNCOLORED,

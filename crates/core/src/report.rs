@@ -2,6 +2,97 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Exact decomposition of a run's wall cycles into named critical-path
+/// components. The invariant — pinned by tests at every driver — is that
+/// the components sum to the report's `cycles` with no remainder, so every
+/// cycle of a run (and of a regression between two runs) is attributable
+/// to exactly one named term.
+///
+/// Single-device runs decompose into:
+/// * `kernel` — cycles where every CU was busy (`min(busy_per_cu)` per
+///   launch);
+/// * `tail` — straggler windows where some CUs had drained
+///   (`max - min` per launch, the paper's load-imbalance cost);
+/// * `host` — kernel-launch overhead.
+///
+/// Multi-device runs decompose into:
+/// * `interior` — interior-compute stragglers (plain interior steps plus
+///   the compute term of overlap steps);
+/// * `exposed-link` — link cycles visible on the wall clock (serialized
+///   transfers plus exchange time outlasting the overlapped compute);
+/// * `settle` — boundary assign/resolve superstep stragglers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Named components summing exactly to the run's wall cycles.
+    pub components: Vec<(String, u64)>,
+    /// Per-device idle cycles (`wall - busy` per device); empty for
+    /// single-device runs. The per-device identity
+    /// `busy[d] + idle[d] == wall` holds for every device.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub idle_per_device: Vec<u64>,
+}
+
+impl CriticalPath {
+    /// Single-device decomposition (`kernel` / `tail` / `host`).
+    pub fn single_device(kernel: u64, tail: u64, host: u64) -> Self {
+        Self {
+            components: vec![
+                ("kernel".into(), kernel),
+                ("tail".into(), tail),
+                ("host".into(), host),
+            ],
+            idle_per_device: Vec::new(),
+        }
+    }
+
+    /// Multi-device decomposition (`interior` / `exposed-link` / `settle`)
+    /// with the per-device idle profile.
+    pub fn multi_device(
+        interior: u64,
+        exposed_link: u64,
+        settle: u64,
+        idle_per_device: Vec<u64>,
+    ) -> Self {
+        Self {
+            components: vec![
+                ("interior".into(), interior),
+                ("exposed-link".into(), exposed_link),
+                ("settle".into(), settle),
+            ],
+            idle_per_device,
+        }
+    }
+
+    /// Sum of all components — equals the run's `cycles` by construction.
+    pub fn total(&self) -> u64 {
+        self.components.iter().map(|(_, c)| *c).sum()
+    }
+
+    /// Cycles of the named component (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.components
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// The largest component, ties broken toward the first listed.
+    pub fn dominant(&self) -> Option<(&str, u64)> {
+        self.components
+            .iter()
+            .fold(None::<&(String, u64)>, |best, c| match best {
+                Some(b) if b.1 >= c.1 => Some(b),
+                _ => Some(c),
+            })
+            .map(|(n, c)| (n.as_str(), *c))
+    }
+
+    /// No components recorded (CPU runs, or reports predating the field).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
 /// Per-outer-iteration device metrics: one entry per round of an iterative
 /// GPU algorithm, so imbalance spikes and divergence can be attributed to
 /// the iteration that caused them instead of drowning in the aggregate.
@@ -25,6 +116,12 @@ pub struct IterationStats {
     pub divergent_steps: u64,
     /// Work-stealing queue pops in this iteration's launches.
     pub steal_pops: u64,
+    /// Named critical-path components of this iteration, summing exactly
+    /// to `cycles` (kernel/tail/host for single-device rounds,
+    /// interior/exposed-link/settle for multi-device rounds). Empty in
+    /// reports predating the attribution layer.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub path: Vec<(String, u64)>,
 }
 
 /// Multi-device section of a [`RunReport`]: partition quality, link
@@ -99,6 +196,18 @@ pub struct MultiDeviceReport {
     /// link was never used.
     #[serde(default)]
     pub overlap_efficiency: f64,
+    /// Wall cycles charged by boundary assign/resolve supersteps.
+    #[serde(default)]
+    pub settle_step_cycles: u64,
+    /// Wall cycles charged to interior compute (plain interior steps plus
+    /// the compute term of overlap steps). The identity
+    /// `settle_step_cycles + interior_compute_cycles +
+    /// exchange_exposed_cycles == wall_cycles` holds exactly.
+    #[serde(default)]
+    pub interior_compute_cycles: u64,
+    /// Per-device idle cycles: `wall_cycles - device_cycles[d]`.
+    #[serde(default)]
+    pub idle_per_device: Vec<u64>,
     /// Total busy cycles per device.
     pub device_cycles: Vec<u64>,
     /// Device-to-device load imbalance: `max/mean` of `device_cycles` —
@@ -167,6 +276,11 @@ pub struct RunReport {
     /// Steal-queue depth observed at each pop (0 for drain pops).
     #[serde(default)]
     pub steal_depth: gc_gpusim::Histogram,
+    /// Critical-path decomposition of `cycles` into named components
+    /// (empty for CPU algorithms and reports predating the field). The
+    /// components sum exactly to `cycles`.
+    #[serde(default, skip_serializing_if = "CriticalPath::is_empty")]
+    pub critical_path: CriticalPath,
     /// Multi-device section: partition quality, link traffic, per-device
     /// stats. `None` for single-device and CPU runs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -197,6 +311,7 @@ impl RunReport {
             lane_occupancy: Default::default(),
             wg_duration: Default::default(),
             steal_depth: Default::default(),
+            critical_path: CriticalPath::default(),
             multi: None,
         }
     }
@@ -250,6 +365,49 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(2));
         let r = RunReport::host("seq", vec![0], 1).with_host_time(t0);
         assert!(r.time_ms > 0.0, "time_ms {}", r.time_ms);
+    }
+
+    #[test]
+    fn critical_path_helpers() {
+        let p = CriticalPath::single_device(70, 20, 10);
+        assert_eq!(p.total(), 100);
+        assert_eq!(p.get("tail"), 20);
+        assert_eq!(p.get("missing"), 0);
+        assert_eq!(p.dominant(), Some(("kernel", 70)));
+        assert!(p.idle_per_device.is_empty());
+
+        let m = CriticalPath::multi_device(40, 40, 5, vec![10, 0]);
+        assert_eq!(m.total(), 85);
+        // Ties break toward the first listed component.
+        assert_eq!(m.dominant(), Some(("interior", 40)));
+        assert_eq!(m.idle_per_device, vec![10, 0]);
+
+        let empty = CriticalPath::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.dominant(), None);
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn critical_path_survives_json_roundtrip_and_old_reports() {
+        let mut r = RunReport::host("gpu", vec![0], 1);
+        r.critical_path = CriticalPath::single_device(1, 2, 3);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.critical_path, r.critical_path);
+        // A report serialized before the field existed still parses: strip
+        // the key (if the serializer emitted it at all) and round-trip.
+        let host = RunReport::host("seq", vec![0], 1);
+        let mut json = serde_json::to_string(&host).unwrap();
+        if let Some(start) = json.find(",\"critical_path\"") {
+            // The empty-path value object holds no nested braces, so the
+            // next `}` closes it.
+            let end = start + json[start..].find('}').unwrap();
+            json.replace_range(start..=end, "");
+        }
+        assert!(!json.contains("critical_path"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert!(back.critical_path.is_empty());
     }
 
     #[test]

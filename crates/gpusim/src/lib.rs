@@ -71,5 +71,7 @@ pub use metrics::{
     imbalance_factor_of, utilization_of, BufferMemStats, DeviceStats, Histogram, HotLine,
     KernelAggregate, KernelStats, HOT_LINES_TOP_K,
 };
-pub use multi::{LinkConfig, MultiDeviceStats, MultiGpu};
-pub use profile::{CaptureSink, ChromeTraceSink, JsonlSink, ProfileSink, SharedSink};
+pub use multi::{LinkConfig, MultiDeviceStats, MultiGpu, StepKind, StepSpan};
+pub use profile::{
+    write_multi_phase_trace, CaptureSink, ChromeTraceSink, JsonlSink, ProfileSink, SharedSink,
+};

@@ -105,7 +105,9 @@ impl Histogram {
             self.max = self.max.max(v);
         }
         self.count += 1;
-        self.sum += v;
+        // Saturate rather than overflow: a histogram of near-u64::MAX
+        // samples keeps exact count/min/max and an approximate sum.
+        self.sum = self.sum.saturating_add(v);
     }
 
     /// Merge another histogram into this one.
@@ -127,7 +129,7 @@ impl Histogram {
             self.max = self.max.max(other.max);
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     pub fn count(&self) -> u64 {
@@ -508,6 +510,23 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
+    /// Critical-path decomposition of this launch's wall cycles into
+    /// `(kernel, tail, host)`:
+    ///
+    /// * **kernel** — cycles where *every* CU is busy (`min(busy_per_cu)`),
+    /// * **tail** — straggler window where some CUs have drained
+    ///   (`max(busy) - min(busy)`),
+    /// * **host** — fixed launch overhead (`launch_cycles`).
+    ///
+    /// For simulator-produced stats `wall_cycles = max(busy) + launch_cycles`
+    /// (the scheduler invariant), so the three terms sum to `wall_cycles`
+    /// exactly. A zero-workgroup launch decomposes to `(0, 0, launch_cycles)`.
+    pub fn path_components(&self) -> (u64, u64, u64) {
+        let min = self.busy_per_cu.iter().copied().min().unwrap_or(0);
+        let max = self.busy_per_cu.iter().copied().max().unwrap_or(0);
+        (min, max - min, self.launch_cycles)
+    }
+
     /// Fraction of SIMD lanes doing useful work, in `[0, 1]`.
     pub fn simd_utilization(&self) -> f64 {
         utilization_of(self.active_lane_ops, self.possible_lane_ops)
@@ -551,6 +570,19 @@ pub struct KernelAggregate {
     pub divergent_steps: u64,
     pub l2_hits: u64,
     pub l2_misses: u64,
+    /// All-CUs-busy cycles summed across launches (critical-path "kernel"
+    /// term: `min(busy_per_cu)` of each launch).
+    #[serde(default)]
+    pub path_kernel_cycles: u64,
+    /// Straggler cycles summed across launches (critical-path "tail" term:
+    /// `max(busy) - min(busy)` of each launch).
+    #[serde(default)]
+    pub path_tail_cycles: u64,
+    /// Launch-overhead cycles summed across launches (critical-path "host"
+    /// term; equals `launch_cycles`, kept explicit so the decomposition
+    /// reads uniformly).
+    #[serde(default)]
+    pub path_host_cycles: u64,
     /// Per-CU busy cycles summed across this kernel's launches.
     pub busy_per_cu: Vec<u64>,
     /// Per-buffer memory attribution summed across launches.
@@ -575,6 +607,10 @@ impl KernelAggregate {
         self.launches += 1;
         self.wall_cycles += s.wall_cycles;
         self.launch_cycles += s.launch_cycles;
+        let (kernel, tail, host) = s.path_components();
+        self.path_kernel_cycles += kernel;
+        self.path_tail_cycles += tail;
+        self.path_host_cycles += host;
         self.workgroups += s.workgroups;
         self.waves += s.waves;
         self.steps += s.steps;
@@ -621,6 +657,18 @@ pub struct DeviceStats {
     pub total_cycles: u64,
     /// Number of kernel launches.
     pub kernels_launched: u64,
+    /// All-CUs-busy cycles summed across launches (critical-path "kernel"
+    /// term). With the two counters below, sums exactly to `total_cycles`
+    /// for simulator-produced stats.
+    #[serde(default)]
+    pub path_kernel_cycles: u64,
+    /// Straggler cycles summed across launches (critical-path "tail" term).
+    #[serde(default)]
+    pub path_tail_cycles: u64,
+    /// Launch-overhead cycles summed across launches (critical-path "host"
+    /// term).
+    #[serde(default)]
+    pub path_host_cycles: u64,
     /// Per-kernel-name aggregates.
     pub per_kernel: BTreeMap<String, KernelAggregate>,
     /// Per-CU busy cycles summed across launches.
@@ -664,6 +712,10 @@ impl DeviceStats {
     pub(crate) fn absorb(&mut self, s: &KernelStats) {
         self.total_cycles += s.wall_cycles;
         self.kernels_launched += 1;
+        let (kernel, tail, host) = s.path_components();
+        self.path_kernel_cycles += kernel;
+        self.path_tail_cycles += tail;
+        self.path_host_cycles += host;
         self.per_kernel.entry(s.name.clone()).or_default().absorb(s);
         if self.busy_per_cu.len() < s.busy_per_cu.len() {
             self.busy_per_cu.resize(s.busy_per_cu.len(), 0);
@@ -832,6 +884,105 @@ mod tests {
         assert_eq!(h.percentile(0.0), 1);
         assert_eq!(h.percentile(100.0), 100);
         assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_components_split_min_tail_launch() {
+        let s = stats(vec![10, 30]);
+        // kernel = min busy, tail = max - min, host = launch overhead.
+        assert_eq!(s.path_components(), (10, 20, 10));
+        // Zero-workgroup launch: the whole wall is launch overhead.
+        let empty = stats(vec![]);
+        assert_eq!(empty.path_components(), (0, 0, 10));
+    }
+
+    #[test]
+    fn path_counters_accumulate_per_launch() {
+        let mut d = DeviceStats::default();
+        d.absorb(&stats(vec![10, 30])); // (10, 20, 10)
+        d.absorb(&stats(vec![20, 5])); // (5, 15, 10)
+        assert_eq!(
+            (d.path_kernel_cycles, d.path_tail_cycles, d.path_host_cycles),
+            (15, 35, 20)
+        );
+        let agg = &d.per_kernel["k"];
+        assert_eq!(
+            (
+                agg.path_kernel_cycles,
+                agg.path_tail_cycles,
+                agg.path_host_cycles
+            ),
+            (15, 35, 20)
+        );
+        // The per-launch minimum is NOT recoverable from the aggregated
+        // busy_per_cu sums ([30, 35] -> min 30, but the true kernel term
+        // is 10 + 5 = 15): the counters must accumulate launch-by-launch.
+        assert_ne!(
+            d.path_kernel_cycles,
+            d.busy_per_cu.iter().copied().min().unwrap()
+        );
+    }
+
+    #[test]
+    fn histogram_single_sample_pins_all_percentiles() {
+        let mut h = Histogram::new();
+        h.record(37);
+        assert_eq!(h.count(), 1);
+        for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 37, "p{p}");
+        }
+        assert_eq!((h.min(), h.max()), (37, 37));
+        assert_eq!(h.mean(), 37.0);
+    }
+
+    #[test]
+    fn histogram_empty_percentiles_are_zero_at_every_rank() {
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p}");
+        }
+        assert_eq!((h.min(), h.max()), (0, 0));
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturation_clamps_to_max() {
+        // Every sample in the top (k = 64) bucket: bucket_hi is u64::MAX,
+        // so percentiles must clamp to the observed max, not overflow.
+        let mut h = Histogram::new();
+        for v in [u64::MAX - 2, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // A single huge outlier above small samples also clamps.
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.p50(), 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        // p50 <= p95 <= p99 for a spread of shapes, including heavy tails
+        // and all-equal distributions.
+        let shapes: Vec<Vec<u64>> = vec![
+            (1..=100).collect(),
+            vec![7; 50],
+            vec![0, 0, 0, 1_000_000],
+            (0..64).map(|k| 1u64 << k).collect(),
+        ];
+        for samples in shapes {
+            let mut h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            assert!(h.p50() <= h.p95(), "{samples:?}");
+            assert!(h.p95() <= h.p99(), "{samples:?}");
+            assert!(h.p99() <= h.max(), "{samples:?}");
+            assert!(h.min() <= h.p50(), "{samples:?}");
+        }
     }
 
     #[test]

@@ -93,6 +93,56 @@ impl Default for LinkConfig {
     }
 }
 
+/// What a superstep (or serialized transfer) spent its wall time on.
+/// The labels drive the critical-path decomposition: every cycle the
+/// multi-device wall clock advances is charged to exactly one kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// Plain superstep closed by [`MultiGpu::end_step`]: boundary
+    /// assignment / conflict settling, charged at the straggler.
+    Settle,
+    /// Plain superstep closed by [`MultiGpu::end_interior_step`]:
+    /// interior compute with no concurrent exchange.
+    Interior,
+    /// Overlap superstep: interior compute with exchange running
+    /// concurrently; charged `max(compute, exchange)`.
+    Overlap,
+    /// Serialized link transfer outside any step (fully exposed).
+    Transfer,
+}
+
+impl StepKind {
+    /// Human-readable label, used by trace and report rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::Settle => "settle",
+            StepKind::Interior => "interior",
+            StepKind::Overlap => "overlap",
+            StepKind::Transfer => "transfer",
+        }
+    }
+}
+
+/// One entry of the superstep log: what happened, when it started on the
+/// wall clock, how long each device was busy inside it, and what it added
+/// to the wall. `start` values are contiguous (`start + charged` of one
+/// span is the `start` of the next), so the log tiles the wall clock
+/// exactly — the raw material for phase traces and per-step attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepSpan {
+    /// What this span spent its time on.
+    pub kind: StepKind,
+    /// Wall cycle at which the span began.
+    pub start: u64,
+    /// Per-device busy cycles inside the span (all zero for transfers).
+    pub device_cycles: Vec<u64>,
+    /// Link cycles active during the span (queued exchange for overlap
+    /// steps, the message itself for transfers, 0 for plain steps).
+    pub exchange_cycles: u64,
+    /// Cycles this span added to the wall clock.
+    pub charged: u64,
+}
+
 /// Aggregated statistics of a multi-device run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MultiDeviceStats {
@@ -123,6 +173,17 @@ pub struct MultiDeviceStats {
     /// the part of overlap-step exchanges that outlasted the compute.
     #[serde(default)]
     pub exchange_exposed_cycles: u64,
+    /// Wall cycles charged by [`StepKind::Settle`] steps (boundary
+    /// assignment / conflict settling stragglers).
+    #[serde(default)]
+    pub settle_step_cycles: u64,
+    /// Wall cycles charged to interior compute: the straggler of
+    /// [`StepKind::Interior`] steps plus the compute term of
+    /// [`StepKind::Overlap`] steps. The critical-path identity
+    /// `settle_step_cycles + interior_compute_cycles +
+    /// exchange_exposed_cycles == wall_cycles` holds exactly.
+    #[serde(default)]
+    pub interior_compute_cycles: u64,
     /// Full per-device statistics, in device order.
     pub per_device: Vec<DeviceStats>,
 }
@@ -167,6 +228,10 @@ pub struct MultiGpu {
     overlap_steps: u64,
     exchange_hidden_cycles: u64,
     exchange_exposed_cycles: u64,
+    settle_step_cycles: u64,
+    interior_compute_cycles: u64,
+    /// Superstep log: one span per closed step or serialized transfer.
+    step_log: Vec<StepSpan>,
     /// Per-device `total_cycles` snapshot taken at [`MultiGpu::begin_step`].
     step_base: Option<Vec<u64>>,
     /// Whether the open step is an overlap step, and the link cycles
@@ -193,6 +258,9 @@ impl MultiGpu {
             overlap_steps: 0,
             exchange_hidden_cycles: 0,
             exchange_exposed_cycles: 0,
+            settle_step_cycles: 0,
+            interior_compute_cycles: 0,
+            step_log: Vec::new(),
             step_base: None,
             overlap_open: false,
             pending_exchange_cycles: 0,
@@ -242,6 +310,9 @@ impl MultiGpu {
         self.overlap_steps = 0;
         self.exchange_hidden_cycles = 0;
         self.exchange_exposed_cycles = 0;
+        self.settle_step_cycles = 0;
+        self.interior_compute_cycles = 0;
+        self.step_log.clear();
         self.step_base = None;
         self.overlap_open = false;
         self.pending_exchange_cycles = 0;
@@ -256,14 +327,42 @@ impl MultiGpu {
 
     /// End the superstep: wall time advances by the *slowest* device's
     /// delta (devices run concurrently). Returns the per-device deltas.
+    /// The charge is attributed to [`StepKind::Settle`] (boundary
+    /// assignment / conflict settling); use
+    /// [`MultiGpu::end_interior_step`] for interior-compute steps.
     pub fn end_step(&mut self) -> Vec<u64> {
+        self.end_plain_step(StepKind::Settle)
+    }
+
+    /// End the superstep like [`MultiGpu::end_step`], but attribute the
+    /// charge to [`StepKind::Interior`] (interior compute with no
+    /// concurrent exchange — the serial-exchange driver's compute step).
+    pub fn end_interior_step(&mut self) -> Vec<u64> {
+        self.end_plain_step(StepKind::Interior)
+    }
+
+    fn end_plain_step(&mut self, kind: StepKind) -> Vec<u64> {
         assert!(
             !self.overlap_open,
             "end_step on an overlap step; use end_overlap_step"
         );
+        let start = self.wall_cycles;
         let deltas = self.take_step_deltas();
-        self.wall_cycles += deltas.iter().copied().max().unwrap_or(0);
+        let charged = deltas.iter().copied().max().unwrap_or(0);
+        self.wall_cycles += charged;
+        match kind {
+            StepKind::Settle => self.settle_step_cycles += charged,
+            StepKind::Interior => self.interior_compute_cycles += charged,
+            _ => unreachable!("plain steps are settle or interior"),
+        }
         self.steps += 1;
+        self.step_log.push(StepSpan {
+            kind,
+            start,
+            device_cycles: deltas.clone(),
+            exchange_cycles: 0,
+            charged,
+        });
         deltas
     }
 
@@ -311,16 +410,25 @@ impl MultiGpu {
             self.overlap_open,
             "end_overlap_step without a matching begin_overlap_step"
         );
+        let start = self.wall_cycles;
         let deltas = self.take_step_deltas();
         let compute = deltas.iter().copied().max().unwrap_or(0);
         let exchange = self.pending_exchange_cycles;
         self.wall_cycles += compute.max(exchange);
         self.exchange_hidden_cycles += compute.min(exchange);
         self.exchange_exposed_cycles += exchange.saturating_sub(compute);
+        self.interior_compute_cycles += compute;
         self.pending_exchange_cycles = 0;
         self.overlap_open = false;
         self.steps += 1;
         self.overlap_steps += 1;
+        self.step_log.push(StepSpan {
+            kind: StepKind::Overlap,
+            start,
+            device_cycles: deltas.clone(),
+            exchange_cycles: exchange,
+            charged: compute.max(exchange),
+        });
         deltas
     }
 
@@ -350,6 +458,13 @@ impl MultiGpu {
         self.link_bytes += bytes;
         self.link_transfers += 1;
         self.exchange_exposed_cycles += cycles;
+        self.step_log.push(StepSpan {
+            kind: StepKind::Transfer,
+            start: self.wall_cycles,
+            device_cycles: vec![0; self.devices.len()],
+            exchange_cycles: cycles,
+            charged: cycles,
+        });
         self.wall_cycles += cycles;
         cycles
     }
@@ -374,9 +489,27 @@ impl MultiGpu {
         self.link_cycles
     }
 
+    /// Critical-path components accumulated so far, as
+    /// `(settle, interior, exchange_exposed)`. Their sum equals
+    /// [`MultiGpu::wall_cycles`] exactly at every step boundary.
+    pub fn path_components(&self) -> (u64, u64, u64) {
+        (
+            self.settle_step_cycles,
+            self.interior_compute_cycles,
+            self.exchange_exposed_cycles,
+        )
+    }
+
     /// Convert the wall clock to milliseconds at the shared device clock.
     pub fn wall_ms(&self) -> f64 {
         self.config().cycles_to_ms(self.wall_cycles)
+    }
+
+    /// The superstep log so far: one [`StepSpan`] per closed step or
+    /// serialized transfer, tiling the wall clock contiguously. Cleared by
+    /// [`MultiGpu::reset_stats`].
+    pub fn step_log(&self) -> &[StepSpan] {
+        &self.step_log
     }
 
     /// Fold everything into a [`MultiDeviceStats`].
@@ -392,6 +525,8 @@ impl MultiGpu {
             overlap_steps: self.overlap_steps,
             exchange_hidden_cycles: self.exchange_hidden_cycles,
             exchange_exposed_cycles: self.exchange_exposed_cycles,
+            settle_step_cycles: self.settle_step_cycles,
+            interior_compute_cycles: self.interior_compute_cycles,
             per_device: self.devices.iter().map(|d| d.stats().clone()).collect(),
         }
     }
@@ -649,6 +784,93 @@ mod tests {
         // And a fresh plain step works after reset.
         mg.begin_step();
         mg.end_step();
+    }
+
+    #[test]
+    fn step_charges_decompose_the_wall_clock_exactly() {
+        // Mixed run exercising every StepKind: the settle/interior/exposed
+        // split must sum to the wall clock with no remainder.
+        let link = LinkConfig {
+            latency_cycles: 50,
+            bytes_per_cycle: 4,
+        };
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), link);
+        mg.transfer(0, 1, 256); // serialized: fully exposed
+        mg.begin_step();
+        write_kernel(mg.device(0), 16, "settle");
+        mg.end_step();
+        mg.begin_overlap_step();
+        write_kernel(mg.device(0), 64, "interior");
+        mg.queue_transfer(0, 1, 16);
+        mg.end_overlap_step();
+        mg.begin_step();
+        write_kernel(mg.device(1), 32, "interior-serial");
+        mg.end_interior_step();
+
+        let stats = mg.multi_stats();
+        assert!(stats.settle_step_cycles > 0);
+        assert!(stats.interior_compute_cycles > 0);
+        assert!(stats.exchange_exposed_cycles > 0);
+        assert_eq!(
+            stats.settle_step_cycles
+                + stats.interior_compute_cycles
+                + stats.exchange_exposed_cycles,
+            stats.wall_cycles,
+            "decomposition must be exact"
+        );
+    }
+
+    #[test]
+    fn step_log_tiles_the_wall_clock() {
+        let link = LinkConfig {
+            latency_cycles: 10,
+            bytes_per_cycle: 8,
+        };
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), link);
+        mg.begin_step();
+        write_kernel(mg.device(0), 8, "a");
+        mg.end_step();
+        mg.transfer(0, 1, 64);
+        mg.begin_overlap_step();
+        write_kernel(mg.device(1), 32, "b");
+        mg.queue_transfer(1, 0, 8);
+        mg.end_overlap_step();
+
+        let log = mg.step_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.iter().map(|s| s.kind).collect::<Vec<_>>(),
+            vec![StepKind::Settle, StepKind::Transfer, StepKind::Overlap]
+        );
+        // Spans are contiguous and cover the wall clock exactly.
+        let mut cursor = 0;
+        for s in log {
+            assert_eq!(s.start, cursor, "{:?}", s.kind);
+            cursor += s.charged;
+            assert_eq!(s.device_cycles.len(), 2);
+            assert!(s.charged >= s.device_cycles.iter().copied().max().unwrap());
+        }
+        assert_eq!(cursor, mg.wall_cycles());
+        // The transfer span carries its link cycles and no device work.
+        assert_eq!(log[1].exchange_cycles, log[1].charged);
+        assert_eq!(log[1].device_cycles, vec![0, 0]);
+        // reset_stats clears the log.
+        mg.reset_stats();
+        assert!(mg.step_log().is_empty());
+    }
+
+    #[test]
+    fn interior_step_charges_interior_not_settle() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::default());
+        mg.begin_step();
+        write_kernel(mg.device(0), 16, "k");
+        let deltas = mg.end_interior_step();
+        let charged = *deltas.iter().max().unwrap();
+        let stats = mg.multi_stats();
+        assert_eq!(stats.interior_compute_cycles, charged);
+        assert_eq!(stats.settle_step_cycles, 0);
+        assert_eq!(stats.wall_cycles, charged);
+        assert_eq!(mg.step_log()[0].kind, StepKind::Interior);
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::rc::Rc;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::KernelStats;
+use crate::multi::{StepKind, StepSpan};
 use crate::workgroup::{WgOutcome, WgWork};
 
 /// A profiler handle shareable between the caller and the [`crate::Gpu`].
@@ -322,6 +323,89 @@ impl ChromeTraceSink {
 fn thread_name(tid: usize, name: &str) -> String {
     format!(
         "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        esc(name)
+    )
+}
+
+fn process_name(pid: usize, name: &str) -> String {
+    format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        esc(name)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Multi-device phase trace
+
+/// Render a multi-device superstep log as a Chrome trace-event document:
+/// one **process** per device (named `device N` via `process_name`
+/// metadata, so Perfetto groups them as separate tracks) plus a `link`
+/// process carrying the exchange windows. Each [`StepSpan`] becomes one
+/// phase span per busy device (`settle` / `interior` / `overlap`) starting
+/// at the span's wall cycle, and — when link traffic is active — an
+/// `exchange` / `transfer` span on the link track over the same window, so
+/// compute/exchange overlap is visible as parallel bars.
+///
+/// Timestamps are wall cycles rendered as trace microseconds, matching
+/// [`ChromeTraceSink`]'s convention (1 µs = 1 cycle).
+pub fn write_multi_phase_trace<W: Write>(
+    mut w: W,
+    log: &[StepSpan],
+    num_devices: usize,
+) -> io::Result<()> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let link_pid = num_devices;
+    let mut lines: Vec<String> = Vec::new();
+    for d in 0..num_devices {
+        lines.push(process_name(d, &format!("device {d}")));
+        lines.push(thread_name_of(d, 0, "phases"));
+    }
+    lines.push(process_name(link_pid, "link"));
+    lines.push(thread_name_of(link_pid, 0, "exchange"));
+    for span in log {
+        for (d, &busy) in span.device_cycles.iter().enumerate() {
+            if busy == 0 {
+                continue;
+            }
+            lines.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{d},\"tid\":0,\"args\":{{\"charged\":{},\"exchange_cycles\":{}}}}}",
+                span.kind.label(),
+                span.start,
+                busy,
+                span.charged,
+                span.exchange_cycles,
+            ));
+        }
+        if span.exchange_cycles > 0 {
+            let name = if span.kind == StepKind::Transfer {
+                "transfer"
+            } else {
+                "exchange"
+            };
+            lines.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"exchange\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{link_pid},\"tid\":0,\"args\":{{\"charged\":{}}}}}",
+                span.start, span.exchange_cycles, span.charged,
+            ));
+        }
+    }
+    let mut first = true;
+    for line in &lines {
+        if !first {
+            writeln!(w, ",")?;
+        }
+        first = false;
+        write!(w, "{line}")?;
+    }
+    writeln!(w, "\n]}}")
+}
+
+fn thread_name_of(pid: usize, tid: usize, name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
          \"args\":{{\"name\":\"{}\"}}}}",
         esc(name)
     )
@@ -695,6 +779,53 @@ mod tests {
         let it = &sink.iterations[0];
         assert_eq!((it.active, it.completed), (10, 4));
         assert_eq!((it.start_cycle, it.end_cycle), (100, 250));
+    }
+
+    #[test]
+    fn multi_phase_trace_names_per_device_processes() {
+        let log = vec![
+            StepSpan {
+                kind: StepKind::Settle,
+                start: 0,
+                device_cycles: vec![30, 40],
+                exchange_cycles: 0,
+                charged: 40,
+            },
+            StepSpan {
+                kind: StepKind::Overlap,
+                start: 40,
+                device_cycles: vec![100, 0],
+                exchange_cycles: 60,
+                charged: 100,
+            },
+            StepSpan {
+                kind: StepKind::Transfer,
+                start: 140,
+                device_cycles: vec![0, 0],
+                exchange_cycles: 25,
+                charged: 25,
+            },
+        ];
+        let mut out = Vec::new();
+        write_multi_phase_trace(&mut out, &log, 2).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // One named process per device plus the link track.
+        assert!(text.contains("\"name\":\"device 0\""), "{text}");
+        assert!(text.contains("\"name\":\"device 1\""), "{text}");
+        assert!(text.contains("\"name\":\"link\""), "{text}");
+        // Phase spans land on each device's pid.
+        assert!(text.contains("\"name\":\"settle\""), "{text}");
+        assert!(text.contains("\"name\":\"interior\"") || text.contains("\"name\":\"overlap\""));
+        // The overlap step's exchange overlaps the compute window on the
+        // link track (same ts), and the serialized transfer follows.
+        assert!(text.contains("\"name\":\"exchange\",\"cat\":\"exchange\",\"ph\":\"X\",\"ts\":40"));
+        assert!(text.contains("\"name\":\"transfer\",\"cat\":\"exchange\",\"ph\":\"X\",\"ts\":140"));
+        // Idle devices emit no span: device 1 has none for the overlap step.
+        assert!(
+            !text.contains("\"dur\":0,"),
+            "zero-length spans are dropped"
+        );
+        assert!(text.trim_end().ends_with("]}"));
     }
 
     #[test]

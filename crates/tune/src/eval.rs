@@ -51,6 +51,12 @@ pub struct Evaluation {
     pub score: Score,
     /// The run's self-describing label, e.g. `gpu-maxmin-steal-hybrid`.
     pub algorithm_label: String,
+    /// Critical-path breakdown of the run (component name, cycles); the
+    /// components sum to `score.cycles`. Lets reports explain *why* one
+    /// config beats another, not just that it does. Empty in caches
+    /// recorded before this field existed.
+    #[serde(default)]
+    pub path: Vec<(String, u64)>,
 }
 
 /// Run `config` on `g` with the given algorithm. `base` carries the
@@ -97,6 +103,7 @@ pub fn evaluate(
         config: config.clone(),
         score: Score::from_report(&report),
         algorithm_label: report.algorithm,
+        path: report.critical_path.components,
     })
 }
 
@@ -141,6 +148,9 @@ mod tests {
         let e = evaluate(&g, "maxmin", config, &base).unwrap();
         assert_eq!(e.score.cycles, r1.cycles);
         assert!(e.algorithm_label.starts_with("gpu-maxmin"));
+        // The critical-path components ride along and sum to the score.
+        assert!(!e.path.is_empty());
+        assert_eq!(e.path.iter().map(|(_, c)| c).sum::<u64>(), e.score.cycles);
     }
 
     #[test]

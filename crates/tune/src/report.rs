@@ -89,6 +89,80 @@ pub fn crossover_surface(evals: &[Evaluation]) -> Vec<CrossoverCell> {
         .collect()
 }
 
+/// Compare two critical-path breakdowns component by component: the union
+/// of names (winner order first), each with (winner cycles, other cycles,
+/// winner - other). Components absent on one side count as zero there.
+fn path_delta(winner: &[(String, u64)], other: &[(String, u64)]) -> Vec<(String, u64, u64, i64)> {
+    let mut names: Vec<&str> = winner.iter().map(|(n, _)| n.as_str()).collect();
+    for (n, _) in other {
+        if !names.contains(&n.as_str()) {
+            names.push(n);
+        }
+    }
+    let get = |path: &[(String, u64)], name: &str| {
+        path.iter().find(|(n, _)| n == name).map_or(0, |(_, c)| *c)
+    };
+    names
+        .into_iter()
+        .map(|n| {
+            let w = get(winner, n);
+            let o = get(other, n);
+            (n.to_string(), w, o, w as i64 - o as i64)
+        })
+        .collect()
+}
+
+/// Explain the winner against the runner-up (best non-winning config):
+/// which critical-path component it saves its cycles in. Empty when the
+/// search had no second config or the evaluations carry no path data
+/// (e.g. replayed from a pre-path cache).
+fn winner_explanation(outcome: &TuneOutcome) -> String {
+    let w = &outcome.winner;
+    let runner = outcome
+        .evaluated
+        .iter()
+        .filter(|e| e.config != w.config)
+        .min_by_key(|e| (e.score, e.config.clone()));
+    let Some(r) = runner else {
+        return String::new();
+    };
+    if w.path.is_empty() || r.path.is_empty() {
+        return String::new();
+    }
+    let mut s = format!(
+        "\nWhy the winner wins (vs runner-up {} | {} cycles):\n",
+        r.config.label(),
+        r.score.cycles
+    );
+    let deltas = path_delta(&w.path, &r.path);
+    let mut rows = vec![vec![
+        "component".into(),
+        "winner".into(),
+        "runner-up".into(),
+        "delta".into(),
+    ]];
+    for (name, wc, oc, d) in &deltas {
+        rows.push(vec![
+            name.clone(),
+            wc.to_string(),
+            oc.to_string(),
+            format!("{d:+}"),
+        ]);
+    }
+    s.push_str(&align(&rows));
+    if let Some((name, _, _, d)) = deltas.iter().min_by_key(|(_, _, _, d)| *d) {
+        if *d < 0 {
+            s.push_str(&format!(
+                "  biggest saving: {} cycles of {} ({} total saved)\n",
+                -d,
+                name,
+                r.score.cycles as i64 - w.score.cycles as i64
+            ));
+        }
+    }
+    s
+}
+
 /// Left-align `rows` into fixed-width columns (two-space gutters).
 fn align(rows: &[Vec<String>]) -> String {
     let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
@@ -144,6 +218,8 @@ pub fn render_report(outcome: &TuneOutcome, algorithm: &str, graph: &str) -> Str
         w.score.colors,
         w.algorithm_label
     ));
+
+    s.push_str(&winner_explanation(outcome));
 
     s.push_str("\nPareto frontier (cycles vs colors):\n");
     let mut rows = vec![vec!["cycles".into(), "colors".into(), "config".into()]];
@@ -214,6 +290,10 @@ mod tests {
                 colors,
             },
             algorithm_label: "gpu-test".into(),
+            path: vec![
+                ("kernel".into(), cycles / 2),
+                ("tail".into(), cycles - cycles / 2),
+            ],
         }
     }
 
@@ -295,5 +375,51 @@ mod tests {
         assert!(text.contains("Crossover surface"));
         assert!(text.contains("multi-device wins 1/2 link cells"));
         assert!(text.contains("first winning cell: latency 0 cycles, 64 B/cycle"));
+        // The winner explanation compares against the runner-up's path.
+        assert!(text.contains("Why the winner wins"), "{text}");
+        assert!(text.contains("biggest saving:"), "{text}");
+    }
+
+    #[test]
+    fn winner_explanation_names_the_component_that_shrank() {
+        let mut winner = eval(80, 10, single(128));
+        winner.path = vec![
+            ("kernel".into(), 50),
+            ("tail".into(), 10),
+            ("host".into(), 20),
+        ];
+        let mut runner = eval(100, 10, single(256));
+        runner.path = vec![
+            ("kernel".into(), 50),
+            ("tail".into(), 30),
+            ("host".into(), 20),
+        ];
+        let outcome = TuneOutcome {
+            winner: winner.clone(),
+            evaluated: vec![runner.clone(), winner],
+            total_evaluations: 2,
+            rungs: vec![],
+        };
+        let text = winner_explanation(&outcome);
+        assert!(text.contains("vs runner-up"), "{text}");
+        assert!(
+            text.contains("biggest saving: 20 cycles of tail (20 total saved)"),
+            "{text}"
+        );
+        let deltas = path_delta(&outcome.winner.path, &runner.path);
+        assert_eq!(deltas.iter().map(|d| d.3).sum::<i64>(), -20);
+    }
+
+    #[test]
+    fn winner_explanation_is_silent_without_path_data_or_a_runner_up() {
+        let mut solo = eval(80, 10, single(128));
+        solo.path.clear();
+        let outcome = TuneOutcome {
+            winner: solo.clone(),
+            evaluated: vec![solo],
+            total_evaluations: 1,
+            rungs: vec![],
+        };
+        assert!(winner_explanation(&outcome).is_empty());
     }
 }
