@@ -131,11 +131,29 @@ pub fn parse_scale(name: &str) -> Result<Scale, String> {
 
 /// Run the headline grid at `scale` and record every result.
 pub fn record_baseline(scale: Scale) -> BenchBaseline {
+    record_baseline_observed(scale, |_, _, _, _| {})
+}
+
+/// Like [`record_baseline`], but also hand every run to `observe` —
+/// `(dataset, graph fingerprint, config label, full report)` — so a
+/// baseline regeneration can seed the run ledger as it goes
+/// (`gc-bench-diff --update --ledger`).
+pub fn record_baseline_observed(
+    scale: Scale,
+    mut observe: impl FnMut(&str, u64, &str, &gc_core::RunReport),
+) -> BenchBaseline {
     let mut runner = Runner::new(scale);
     let mut entries = Vec::new();
     for spec in suite() {
         for (family, config, fam_label, cfg_label) in combos() {
+            let fingerprint = runner.graph(&spec).fingerprint();
             let r = runner.run(&spec, family, config);
+            observe(
+                spec.name,
+                fingerprint,
+                &format!("{fam_label}/{cfg_label} scale={}", scale_name(scale)),
+                r,
+            );
             entries.push(BaselineEntry {
                 dataset: spec.name.to_string(),
                 family: fam_label.to_string(),
@@ -148,7 +166,7 @@ pub fn record_baseline(scale: Scale) -> BenchBaseline {
             });
         }
     }
-    entries.push(tuned_entry(&mut runner));
+    entries.push(tuned_entry(&mut runner, &mut observe));
     BenchBaseline {
         scale: scale_name(scale).to_string(),
         entries,
@@ -158,7 +176,10 @@ pub fn record_baseline(scale: Scale) -> BenchBaseline {
 /// One tuned row: the quick-space grid winner on citation-rmat, re-run for
 /// its full metrics. Grid search is RNG-free and the simulator is
 /// deterministic, so the row replays exactly like the fixed combos.
-fn tuned_entry(runner: &mut Runner) -> BaselineEntry {
+fn tuned_entry(
+    runner: &mut Runner,
+    observe: &mut impl FnMut(&str, u64, &str, &gc_core::RunReport),
+) -> BaselineEntry {
     const DATASET: &str = "citation-rmat";
     const ALGORITHM: &str = "maxmin";
     let spec = gc_graph::by_name(DATASET).expect("suite dataset");
@@ -174,6 +195,12 @@ fn tuned_entry(runner: &mut Runner) -> BaselineEntry {
     .expect("quick space tunes");
     let r = gc_tune::run_config(&g, ALGORITHM, &outcome.winner.config, &base)
         .expect("winner config runs");
+    observe(
+        DATASET,
+        g.fingerprint(),
+        &format!("{ALGORITHM}/tuned {}", outcome.winner.config.label()),
+        &r,
+    );
     BaselineEntry {
         dataset: DATASET.to_string(),
         family: ALGORITHM.to_string(),

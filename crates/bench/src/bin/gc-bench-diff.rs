@@ -14,8 +14,10 @@
 //! ```
 
 use gc_bench::baseline::{
-    compare_baseline, load_baseline, parse_scale, record_baseline, save_baseline, DEFAULT_TOLERANCE,
+    compare_baseline, load_baseline, parse_scale, record_baseline, record_baseline_observed,
+    save_baseline, DEFAULT_TOLERANCE,
 };
+use gc_bench::ledger::{LedgerRecord, DEFAULT_LEDGER_PATH};
 
 const USAGE: &str = "gc-bench-diff — diff a fresh benchmark run against a recorded baseline
 
@@ -28,6 +30,9 @@ options:
                        row (which component the cycles moved into)
   --explain-json PATH  also write every regressed row + its attribution as
                        JSON (for CI artifacts)
+  --ledger [PATH]      with --update: also append one run record per grid
+                       row to the run ledger (default LEDGER.jsonl; see
+                       gc-ledger)
   --help               this text";
 
 struct Args {
@@ -37,6 +42,7 @@ struct Args {
     tolerance: f64,
     explain: bool,
     explain_json: Option<String>,
+    ledger: Option<String>,
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, String> {
@@ -47,8 +53,9 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, St
         tolerance: DEFAULT_TOLERANCE,
         explain: false,
         explain_json: None,
+        ledger: None,
     };
-    let mut argv = argv.into_iter();
+    let mut argv = argv.into_iter().peekable();
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -68,6 +75,12 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, St
             }
             "--explain" => args.explain = true,
             "--explain-json" => args.explain_json = Some(value("--explain-json")?),
+            "--ledger" => {
+                args.ledger = Some(match argv.peek() {
+                    Some(next) if !next.starts_with("--") => argv.next().unwrap(),
+                    _ => DEFAULT_LEDGER_PATH.to_string(),
+                });
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
@@ -94,13 +107,34 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("recording baseline at scale {} …", args.scale);
-        let base = record_baseline(scale);
+        let base = match &args.ledger {
+            None => record_baseline(scale),
+            Some(path) => {
+                let mut appended = 0usize;
+                let base = record_baseline_observed(scale, |dataset, fingerprint, config, r| {
+                    LedgerRecord::new("gc-bench-diff", dataset, fingerprint, config, r)
+                        .append(path)
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            std::process::exit(1);
+                        });
+                    appended += 1;
+                });
+                eprintln!("appended {appended} run record(s) to {path}");
+                base
+            }
+        };
         save_baseline(&base, &args.baseline).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
         println!("wrote {} ({} entries)", args.baseline, base.entries.len());
         return;
+    }
+
+    if args.ledger.is_some() {
+        eprintln!("error: --ledger only records fresh runs; combine it with --update");
+        std::process::exit(2);
     }
 
     let base = load_baseline(&args.baseline).unwrap_or_else(|e| {

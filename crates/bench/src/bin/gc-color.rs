@@ -49,6 +49,10 @@ options:
   --out PATH           write `vertex color` lines
   --classes            print color-class sizes
   --json [PATH]        dump the full run report as JSON (stdout if no PATH)
+  --metrics PATH       export the run's metric registry (Prometheus text,
+                       or deterministic JSON when PATH ends in .json)
+  --ledger [PATH]      append a run record to the run ledger (default
+                       LEDGER.jsonl; see gc-ledger)
   --profile PATH       write an execution trace of the device run
   --profile-format F   chrome | jsonl trace format (default chrome)
   --help               this text";
@@ -234,6 +238,22 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
+    }
+
+    if let Some(path) = &args.metrics {
+        cli::write_metrics(path, &report).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote metrics {path}");
+    }
+
+    if args.ledger.is_some() {
+        let path = cli::append_ledger("gc-color", &args, &g, &report).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("appended run record to {path}");
     }
 
     if let Some(path) = &args.out {

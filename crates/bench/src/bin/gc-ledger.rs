@@ -1,0 +1,112 @@
+//! `gc-ledger` — longitudinal view over the run ledger (`LEDGER.jsonl`).
+//!
+//! The ledger is appended by `gc-color --ledger`, `gc-profile --ledger`,
+//! `gc-tune --ledger`, and `gc-bench-diff --update --ledger`; this binary
+//! reads it back. Records are grouped into series by (graph fingerprint,
+//! algorithm), so the same graph under the same algorithm forms one time
+//! line regardless of knob changes — a config step shows up *inside* the
+//! series, traceable by its config hash.
+//!
+//! ```text
+//! gc-ledger trend                    # per-series run history
+//! gc-ledger compare                  # blame the two most recent runs
+//! gc-ledger flag --tolerance 5      # CI gate: nonzero exit on regression
+//! ```
+
+use gc_bench::ledger::{
+    flag, render_compare, render_flag, render_trend, Ledger, DEFAULT_LEDGER_PATH,
+    DEFAULT_TOLERANCE_PCT,
+};
+
+const USAGE: &str = "gc-ledger — longitudinal view over the run ledger
+
+usage: gc-ledger <trend | compare | flag> [options]
+
+subcommands:
+  trend              per-series run history with step deltas
+  compare            critical-path blame between the two most recent runs
+                     of each series
+  flag               judge each series' latest run against its rolling
+                     baseline (mean cycles of up to 5 prior runs); exits
+                     nonzero when any series regressed past tolerance,
+                     with the blame naming the regressed path component
+
+options:
+  --ledger PATH      ledger file (default LEDGER.jsonl)
+  --tolerance PCT    flag tolerance in percent (default 5)
+  --help             this text";
+
+struct Args {
+    command: String,
+    ledger: String,
+    tolerance: f64,
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Option<Args>, String> {
+    let mut command = None;
+    let mut ledger = DEFAULT_LEDGER_PATH.to_string();
+    let mut tolerance = DEFAULT_TOLERANCE_PCT;
+    let mut argv = argv.into_iter();
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match arg.as_str() {
+            "trend" | "compare" | "flag" if command.is_none() => command = Some(arg),
+            "--ledger" => ledger = value("--ledger")?,
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+                if tolerance < 0.0 {
+                    return Err("--tolerance must be non-negative".into());
+                }
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    let command = command.ok_or("missing subcommand (trend | compare | flag)")?;
+    Ok(Some(Args {
+        command,
+        ledger,
+        tolerance,
+    }))
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ledger = Ledger::load(&args.ledger).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "{}: {} record(s), {} series",
+        args.ledger,
+        ledger.records.len(),
+        ledger.series_keys().len()
+    );
+    match args.command.as_str() {
+        "trend" => print!("{}", render_trend(&ledger)),
+        "compare" => print!("{}", render_compare(&ledger)),
+        "flag" => {
+            let regressions = flag(&ledger, args.tolerance);
+            print!("{}", render_flag(&regressions, args.tolerance));
+            if !regressions.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        other => unreachable!("validated at parse time: {other}"),
+    }
+}

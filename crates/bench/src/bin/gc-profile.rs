@@ -63,7 +63,30 @@ options:
   --profile-format F   chrome | jsonl trace format (default chrome)
   --save-capture PATH  save the report + events as JSON for --from-capture
   --json [PATH]        dump the run report as JSON (stdout if no PATH)
+  --metrics PATH       export the run's metric registry (Prometheus text,
+                       or deterministic JSON when PATH ends in .json)
+  --ledger [PATH]      append a run record to the run ledger (default
+                       LEDGER.jsonl; see gc-ledger)
   --help               this text";
+
+/// Write the `--metrics` and `--ledger` outputs of a finished live run
+/// (shared by the single- and multi-device paths).
+fn export_run_outputs(args: &ColorArgs, g: &gc_graph::CsrGraph, report: &gc_core::RunReport) {
+    if let Some(path) = &args.metrics {
+        cli::write_metrics(path, report).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote metrics {path}");
+    }
+    if args.ledger.is_some() {
+        let path = cli::append_ledger("gc-profile", args, g, report).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("appended run record to {path}");
+    }
+}
 
 /// Profile the multi-device driver: one capture per device, rendered as
 /// the multi-device report (partition summary + per-device sections).
@@ -111,6 +134,7 @@ fn run_multi(args: &ColorArgs, g: &gc_graph::CsrGraph) {
     }
     let captures: Vec<CaptureSink> = sinks.iter().map(|s| s.borrow().clone()).collect();
     print!("{}", render_multi_profile_report(&report, &captures));
+    export_run_outputs(args, g, &report);
 
     if let Some(target) = &args.json {
         let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
@@ -267,6 +291,7 @@ fn main() {
     }
 
     print!("{}", render_profile_report(&report, &capture.borrow()));
+    export_run_outputs(&args, &g, &report);
 
     if let Some(target) = &args.json {
         let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {

@@ -90,6 +90,12 @@ pub struct ColorArgs {
     /// artifacts (captures or `--json` reports) instead of running
     /// (no graph input needed).
     pub diff: Option<(String, String)>,
+    /// `--metrics PATH`: export the run's metric registry (Prometheus text,
+    /// or deterministic JSON when PATH ends in `.json`).
+    pub metrics: Option<String>,
+    /// `--ledger [PATH]`: append a run record to the run ledger (default
+    /// `LEDGER.jsonl`).
+    pub ledger: Option<String>,
 }
 
 impl Default for ColorArgs {
@@ -121,6 +127,8 @@ impl Default for ColorArgs {
             save_capture: None,
             from_capture: None,
             diff: None,
+            metrics: None,
+            ledger: None,
         }
     }
 }
@@ -284,6 +292,15 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 };
             }
             "--profile" => args.profile = Some(value("--profile")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--ledger" => {
+                // Optional path: `--ledger runs.jsonl` appends there, bare
+                // `--ledger` appends to the default ledger.
+                args.ledger = match argv.peek() {
+                    Some(next) if !next.starts_with("--") => Some(argv.next().expect("peeked")),
+                    _ => Some(gc_core::DEFAULT_LEDGER_PATH.to_string()),
+                };
+            }
             "--save-capture" => args.save_capture = Some(value("--save-capture")?),
             "--from-capture" => args.from_capture = Some(value("--from-capture")?),
             "--diff" => {
@@ -316,6 +333,12 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 "--from-capture replays a saved run"
             };
             return Err(format!("{flag}; drop --input/--dataset"));
+        }
+        // Metrics and ledger records describe a live run.
+        if args.metrics.is_some() || args.ledger.is_some() {
+            return Err("--metrics/--ledger record a live run; drop them when \
+                 rendering saved artifacts"
+                .into());
         }
     } else if args.input.is_none() == args.dataset.is_none() {
         return Err("exactly one of --input or --dataset is required".into());
@@ -502,6 +525,68 @@ pub fn apply_tuned(args: &mut ColorArgs, g: &CsrGraph) -> Result<Option<String>,
 /// be profiled with device-event sinks).
 pub fn is_gpu_algorithm(name: &str) -> bool {
     matches!(name, "maxmin" | "jp" | "firstfit")
+}
+
+/// Canonical description of every knob that affects the clock, built from
+/// the *resolved* options so two flag spellings of the same configuration
+/// produce the same string (and therefore the same ledger config hash).
+pub fn config_description(args: &ColorArgs) -> Result<String, String> {
+    let opts = gpu_options(args)?;
+    let mut desc = format!(
+        "device={} wg={} schedule={:?} hybrid={:?} frontier={} seed={}",
+        args.device, opts.wg_size, opts.schedule, opts.hybrid_threshold, opts.frontier, opts.seed
+    );
+    if args.devices > 1 {
+        let mo = multi_options(args)?;
+        desc.push_str(&format!(
+            " devices={} partition={} overlap={} link={}c/{}B",
+            args.devices,
+            mo.strategy.name(),
+            mo.overlap,
+            mo.link.latency_cycles,
+            mo.link.bytes_per_cycle
+        ));
+    }
+    Ok(desc)
+}
+
+/// Export the run's metric registry to `path`: deterministic JSON when the
+/// path ends in `.json`, Prometheus text format otherwise. Both renderings
+/// are byte-deterministic for a fixed config + graph.
+pub fn write_metrics(path: &str, report: &RunReport) -> Result<(), String> {
+    let mut reg = gc_gpusim::MetricsRegistry::new();
+    report.export_metrics(&mut reg);
+    let text = if path.ends_with(".json") {
+        reg.render_json()
+    } else {
+        reg.render_prometheus()
+    };
+    std::fs::write(path, text.as_bytes()).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Append this run to the ledger named by `--ledger`. Returns the ledger
+/// path written. Call after the graph is loaded and the run finished.
+pub fn append_ledger(
+    source: &str,
+    args: &ColorArgs,
+    g: &CsrGraph,
+    report: &RunReport,
+) -> Result<String, String> {
+    let path = args.ledger.clone().expect("caller checked args.ledger");
+    let graph_label = args
+        .dataset
+        .clone()
+        .or_else(|| args.input.clone())
+        .expect("validated by parse_color_args");
+    let record = gc_core::LedgerRecord::new(
+        source,
+        &graph_label,
+        g.fingerprint(),
+        &config_description(args)?,
+        report,
+    );
+    record.append(&path)?;
+    Ok(path)
 }
 
 /// Run the multi-device driver on a caller-supplied substrate (so profilers
@@ -913,6 +998,102 @@ mod tests {
         ]);
         assert!(a.tuned.is_some());
         assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn metrics_and_ledger_flags_parse() {
+        let a = parsed(&["--dataset", "road-net", "--metrics", "m.prom"]);
+        assert_eq!(a.metrics.as_deref(), Some("m.prom"));
+        assert!(a.ledger.is_none());
+        // Bare --ledger takes the default path; an explicit one sticks.
+        let a = parsed(&["--dataset", "road-net", "--ledger"]);
+        assert_eq!(a.ledger.as_deref(), Some(gc_core::DEFAULT_LEDGER_PATH));
+        let a = parsed(&["--dataset", "road-net", "--ledger", "runs.jsonl"]);
+        assert_eq!(a.ledger.as_deref(), Some("runs.jsonl"));
+        // Bare --ledger followed by another flag keeps the default path.
+        let a = parsed(&["--dataset", "road-net", "--ledger", "--classes"]);
+        assert_eq!(a.ledger.as_deref(), Some(gc_core::DEFAULT_LEDGER_PATH));
+        assert!(a.classes);
+        // Both describe a live run, so artifact-rendering modes reject them.
+        for extra in [vec!["--metrics", "m.prom"], vec!["--ledger", "runs.jsonl"]] {
+            let mut args = vec!["--from-capture", "cap.json"];
+            args.extend(&extra);
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains("live run"), "{extra:?}: {err}");
+            let mut args = vec!["--diff", "a.json", "b.json"];
+            args.extend(&extra);
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains("live run"), "{extra:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn config_description_is_canonical_over_flag_spellings() {
+        // Explicitly spelling the default wg produces the same description
+        // (and hash) as omitting it — the resolved options are the source.
+        let a = parsed(&["--dataset", "road-net"]);
+        let default_wg = gpu_options(&a).unwrap().wg_size.to_string();
+        let b = parsed(&["--dataset", "road-net", "--wg", &default_wg]);
+        assert_eq!(
+            config_description(&a).unwrap(),
+            config_description(&b).unwrap()
+        );
+        // Knob changes are visible, and multi-device runs include the link.
+        let c = parsed(&["--dataset", "road-net", "--wg", "64"]);
+        assert_ne!(
+            config_description(&a).unwrap(),
+            config_description(&c).unwrap()
+        );
+        let m = parsed(&["--dataset", "road-net", "--devices", "2"]);
+        let desc = config_description(&m).unwrap();
+        assert!(desc.contains("devices=2"), "{desc}");
+        assert!(desc.contains("partition="), "{desc}");
+    }
+
+    #[test]
+    fn write_metrics_picks_format_by_extension_and_is_deterministic() {
+        let g = gc_graph::generators::grid_2d(8, 8);
+        let a = parsed(&["--dataset", "road-net", "--algorithm", "firstfit"]);
+        let report = run_algorithm(&a, &g).unwrap();
+        let dir = std::env::temp_dir().join(format!("gc-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prom = dir.join("m.prom");
+        let json = dir.join("m.json");
+        write_metrics(prom.to_str().unwrap(), &report).unwrap();
+        write_metrics(json.to_str().unwrap(), &report).unwrap();
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        gc_gpusim::validate_prometheus_text(&prom_text).unwrap();
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        assert!(json_text.trim_start().starts_with('{'), "{json_text}");
+        // Byte determinism: a second identical run exports identical bytes.
+        let report2 = run_algorithm(&a, &g).unwrap();
+        write_metrics(prom.to_str().unwrap(), &report2).unwrap();
+        assert_eq!(std::fs::read_to_string(&prom).unwrap(), prom_text);
+        write_metrics(json.to_str().unwrap(), &report2).unwrap();
+        assert_eq!(std::fs::read_to_string(&json).unwrap(), json_text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_ledger_records_the_run() {
+        let g = gc_graph::generators::grid_2d(8, 8);
+        let dir = std::env::temp_dir().join(format!("gc-cli-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runs.jsonl");
+        let mut a = parsed(&["--dataset", "road-net", "--algorithm", "firstfit"]);
+        a.ledger = Some(path.to_str().unwrap().to_string());
+        let report = run_algorithm(&a, &g).unwrap();
+        let written = append_ledger("gc-color", &a, &g, &report).unwrap();
+        append_ledger("gc-color", &a, &g, &report).unwrap();
+        let ledger = gc_core::Ledger::load(&written).unwrap();
+        assert_eq!(ledger.records.len(), 2);
+        let rec = &ledger.records[0];
+        assert_eq!(rec.source, "gc-color");
+        assert_eq!(rec.graph, "road-net");
+        assert_eq!(rec.fingerprint, format!("{:016x}", g.fingerprint()));
+        assert_eq!(rec.cycles, report.cycles);
+        assert_eq!(rec.config_hash, ledger.records[1].config_hash);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

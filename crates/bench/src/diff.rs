@@ -280,7 +280,17 @@ pub fn load_report_artifact(path: &str) -> Result<(RunReport, &'static str), Str
         return Ok((cap.report, "capture"));
     }
     match serde_json::from_str::<RunReport>(&text) {
-        Ok(report) => Ok((report, "report")),
+        Ok(report) => {
+            if report.schema_version != gc_core::REPORT_SCHEMA_VERSION {
+                return Err(format!(
+                    "{path} is a run report with schema v{} but this build reads v{}; \
+                     regenerate it with `gc-color ... --json {path}`",
+                    report.schema_version,
+                    gc_core::REPORT_SCHEMA_VERSION
+                ));
+            }
+            Ok((report, "report"))
+        }
         Err(e) => Err(format!(
             "parse {path}: {e} (expected a `--save-capture` capture or a `--json` run report)"
         )),
@@ -410,5 +420,35 @@ mod tests {
         std::fs::write(&bad, b"{\"neither\": true}").unwrap();
         let err = load_report_artifact(bad.to_str().unwrap()).unwrap_err();
         assert!(err.contains("parse"), "{err}");
+    }
+
+    #[test]
+    fn load_artifact_rejects_mismatched_report_schema() {
+        let dir = std::env::temp_dir().join("gc-diff-schema-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut report = run_with_wg(64);
+        report.schema_version = gc_core::REPORT_SCHEMA_VERSION + 1;
+        let path = dir.join("future.json");
+        std::fs::write(&path, serde_json::to_string(&report).unwrap()).unwrap();
+        let err = load_report_artifact(path.to_str().unwrap()).unwrap_err();
+        assert!(
+            err.contains(&format!("v{}", gc_core::REPORT_SCHEMA_VERSION + 1)),
+            "{err}"
+        );
+        assert!(err.contains("regenerate"), "{err}");
+
+        // A pre-versioning report (schema_version key absent, parses as 0)
+        // is refused the same way rather than silently misread.
+        report.schema_version = gc_core::REPORT_SCHEMA_VERSION;
+        let json = serde_json::to_string(&report).unwrap();
+        let legacy = json.replacen(
+            &format!("\"schema_version\":{},", gc_core::REPORT_SCHEMA_VERSION),
+            "",
+            1,
+        );
+        assert_ne!(legacy, json, "schema_version key must be present to strip");
+        std::fs::write(&path, legacy).unwrap();
+        let err = load_report_artifact(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("v0"), "{err}");
     }
 }

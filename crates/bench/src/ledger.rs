@@ -1,0 +1,325 @@
+//! Run-ledger analysis: the longitudinal layer behind the `gc-ledger`
+//! binary.
+//!
+//! The record format and file I/O live in [`gc_core::ledger`] (re-exported
+//! here), so every tool in the workspace — `gc-color`, `gc-profile`,
+//! `gc-tune`, `gc-bench-diff` — can append to the shared `LEDGER.jsonl`.
+//! This module adds the analysis on top: per-series time lines
+//! (`gc-ledger trend`), pairwise blame between the two most recent runs
+//! (`compare`), and the CI gate (`flag`), which judges each series' latest
+//! record against a rolling baseline and attributes any regression to
+//! named critical-path components via the same [`diff_named`] engine
+//! `gc-profile --diff` uses — every regressed cycle lands in a named
+//! bucket.
+//!
+//! Records are keyed into series by **(graph fingerprint, algorithm)** —
+//! deliberately not by config hash, so a config change (say a workgroup
+//! size bump) lands in the same series and shows up as a flagged step in
+//! that series' history rather than silently starting a fresh one. The
+//! config hash is recorded on every entry so the step can be traced to the
+//! exact knob change.
+
+pub use gc_core::ledger::{config_hash, Ledger, LedgerRecord, DEFAULT_LEDGER_PATH, LEDGER_VERSION};
+
+use crate::diff::{diff_named, BlameRow};
+
+/// Default `gc-ledger flag` tolerance: latest cycles may exceed the rolling
+/// baseline by this percentage before the series is flagged.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 5.0;
+
+/// How many prior records feed the rolling baseline (their mean cycles).
+pub const BASELINE_WINDOW: usize = 5;
+
+/// One flagged series: its latest run regressed past tolerance against the
+/// rolling baseline.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Graph label of the latest record.
+    pub graph: String,
+    pub fingerprint: String,
+    pub algorithm: String,
+    /// Rolling baseline: mean cycles of up to [`BASELINE_WINDOW`] records
+    /// preceding the latest.
+    pub baseline_cycles: u64,
+    /// The latest record's cycles.
+    pub latest_cycles: u64,
+    /// `latest / baseline - 1`, in percent.
+    pub delta_pct: f64,
+    /// Critical-path blame vs the immediately preceding record, sorted by
+    /// absolute delta — the top row names the regressed component.
+    pub blame: Vec<BlameRow>,
+    /// Config hashes of the preceding and latest records, to trace a
+    /// flagged step to a knob change.
+    pub prev_config_hash: String,
+    pub latest_config_hash: String,
+}
+
+/// Check every series' latest record against its rolling baseline. A series
+/// needs at least two records to be judged; quiet series produce nothing.
+pub fn flag(ledger: &Ledger, tolerance_pct: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (fp, alg) in ledger.series_keys() {
+        let series = ledger.series(&fp, &alg);
+        let Some((latest, priors)) = series.split_last() else {
+            continue;
+        };
+        if priors.is_empty() {
+            continue;
+        }
+        let window = &priors[priors.len().saturating_sub(BASELINE_WINDOW)..];
+        let baseline = window.iter().map(|r| r.cycles).sum::<u64>() / window.len() as u64;
+        if baseline == 0 {
+            continue;
+        }
+        let delta_pct = latest.cycles as f64 / baseline as f64 * 100.0 - 100.0;
+        if delta_pct <= tolerance_pct {
+            continue;
+        }
+        let prev = priors.last().expect("non-empty priors");
+        out.push(Regression {
+            graph: latest.graph.clone(),
+            fingerprint: fp,
+            algorithm: alg,
+            baseline_cycles: baseline,
+            latest_cycles: latest.cycles,
+            delta_pct,
+            blame: diff_named(&prev.path, &latest.path),
+            prev_config_hash: prev.config_hash.clone(),
+            latest_config_hash: latest.config_hash.clone(),
+        });
+    }
+    out
+}
+
+/// Render `gc-ledger trend`: per-series run history with step deltas.
+pub fn render_trend(ledger: &Ledger) -> String {
+    let mut out = String::new();
+    for (fp, alg) in ledger.series_keys() {
+        let series = ledger.series(&fp, &alg);
+        let graph = &series[0].graph;
+        out.push_str(&format!(
+            "{graph} / {alg} (fingerprint {fp}, {} run{})\n",
+            series.len(),
+            if series.len() == 1 { "" } else { "s" }
+        ));
+        let mut prev: Option<u64> = None;
+        for (i, r) in series.iter().enumerate() {
+            let step = match prev {
+                Some(p) if p > 0 => {
+                    format!("{:+.2}%", r.cycles as f64 / p as f64 * 100.0 - 100.0)
+                }
+                _ => "-".into(),
+            };
+            out.push_str(&format!(
+                "  #{i} [{}] {} cycles ({step}), {} colors, {} iters, wg p50/p99 {}/{}, \
+                 {} warning{}, config {}\n",
+                r.source,
+                r.cycles,
+                r.colors,
+                r.iterations,
+                r.wg_p50,
+                r.wg_p99,
+                r.warnings,
+                if r.warnings == 1 { "" } else { "s" },
+                r.config_hash,
+            ));
+            prev = Some(r.cycles);
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("ledger is empty\n");
+    }
+    out
+}
+
+/// Render `gc-ledger compare`: per-series blame between the two most recent
+/// records (series with fewer than two records are skipped).
+pub fn render_compare(ledger: &Ledger) -> String {
+    let mut out = String::new();
+    for (fp, alg) in ledger.series_keys() {
+        let series = ledger.series(&fp, &alg);
+        let [.., prev, latest] = series.as_slice() else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{} / {alg}: {} -> {} cycles ({:+})\n",
+            latest.graph,
+            prev.cycles,
+            latest.cycles,
+            latest.cycles as i64 - prev.cycles as i64,
+        ));
+        if prev.config_hash != latest.config_hash {
+            out.push_str(&format!(
+                "  config changed: {} -> {}\n    {}\n    -> {}\n",
+                prev.config_hash, latest.config_hash, prev.config, latest.config
+            ));
+        }
+        for row in diff_named(&prev.path, &latest.path) {
+            out.push_str(&format!(
+                "  {:<14} {:>12} -> {:>12} ({:+})\n",
+                row.name, row.base, row.fresh, row.delta
+            ));
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("no series with two or more runs to compare\n");
+    }
+    out
+}
+
+/// Render `gc-ledger flag` output. Quiet ledgers report success; flagged
+/// series get a blame line naming the top regressed path component (and the
+/// config step, when the knobs changed).
+pub fn render_flag(regressions: &[Regression], tolerance_pct: f64) -> String {
+    if regressions.is_empty() {
+        return format!("ok: no series regressed past {tolerance_pct}% of its baseline\n");
+    }
+    let mut out = String::new();
+    for r in regressions {
+        out.push_str(&format!(
+            "REGRESSION {} / {} (fingerprint {}): {} cycles vs baseline {} ({:+.2}% > {}%)\n",
+            r.graph,
+            r.algorithm,
+            r.fingerprint,
+            r.latest_cycles,
+            r.baseline_cycles,
+            r.delta_pct,
+            tolerance_pct
+        ));
+        if let Some(top) = r.blame.first() {
+            out.push_str(&format!(
+                "  blame: {} ({} -> {} cycles, {:+})\n",
+                top.name, top.base, top.fresh, top.delta
+            ));
+        }
+        if r.prev_config_hash != r.latest_config_hash {
+            out.push_str(&format!(
+                "  config changed: {} -> {}\n",
+                r.prev_config_hash, r.latest_config_hash
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_core::{gpu, GpuOptions, RunReport};
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{rmat, RmatParams};
+
+    fn run_with_wg(wg: usize) -> (RunReport, u64) {
+        let g = rmat(8, 8, RmatParams::graph500(), 5);
+        let opts = GpuOptions::baseline()
+            .with_device(DeviceConfig::apu_8cu())
+            .with_wg_size(wg);
+        (gpu::maxmin::color(&g, &opts), g.fingerprint())
+    }
+
+    fn record(wg: usize) -> LedgerRecord {
+        let (report, fp) = run_with_wg(wg);
+        LedgerRecord::new("test", "rmat-8", fp, &format!("wg={wg}"), &report)
+    }
+
+    #[test]
+    fn recorded_runs_keep_the_attribution_identity() {
+        let rec = record(256);
+        assert!(!rec.path.is_empty(), "path components recorded");
+        assert_eq!(
+            rec.path.iter().map(|(_, c)| c).sum::<u64>(),
+            rec.cycles,
+            "recorded components sum exactly to the wall cycles"
+        );
+        assert!(rec.wg_p99 >= rec.wg_p50);
+    }
+
+    #[test]
+    fn flag_is_quiet_on_identical_runs() {
+        // The CI smoke contract: two identical runs never flag.
+        let ledger = Ledger {
+            records: vec![record(256), record(256)],
+        };
+        assert_eq!(ledger.records[0].cycles, ledger.records[1].cycles);
+        assert!(flag(&ledger, DEFAULT_TOLERANCE_PCT).is_empty());
+        let s = render_flag(&[], DEFAULT_TOLERANCE_PCT);
+        assert!(s.starts_with("ok:"), "{s}");
+    }
+
+    #[test]
+    fn flag_catches_a_wg_regression_and_blames_the_component() {
+        // The acceptance bar: a constructed workgroup-size regression in an
+        // otherwise healthy series is flagged, with the blame naming the
+        // path component that moved. Order the two configs so the slower
+        // lands latest.
+        let (a, b) = (record(1024), record(256));
+        assert_ne!(a.cycles, b.cycles, "wg change must move the clock");
+        let (fast, slow) = if a.cycles < b.cycles { (a, b) } else { (b, a) };
+        let ledger = Ledger {
+            records: vec![fast.clone(), fast.clone(), slow.clone()],
+        };
+        let regs = flag(&ledger, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        let r = &regs[0];
+        assert_eq!(r.baseline_cycles, fast.cycles);
+        assert_eq!(r.latest_cycles, slow.cycles);
+        assert!(r.delta_pct > DEFAULT_TOLERANCE_PCT);
+        // Every regressed cycle lands in the blame rows (the diff-engine
+        // attribution identity), and the top row carries the regression.
+        let total: i64 = r.blame.iter().map(|b| b.delta).sum();
+        assert_eq!(total, slow.cycles as i64 - fast.cycles as i64);
+        let top = r.blame.first().expect("blame rows");
+        assert!(top.delta > 0, "{:?}", r.blame);
+        let s = render_flag(&regs, DEFAULT_TOLERANCE_PCT);
+        assert!(s.contains("REGRESSION"), "{s}");
+        assert!(s.contains(&format!("blame: {}", top.name)), "{s}");
+        assert!(s.contains("config changed"), "{s}");
+        // Loosened far enough, the same ledger passes.
+        assert!(flag(&ledger, 1000.0).is_empty());
+    }
+
+    #[test]
+    fn flag_uses_a_rolling_baseline_window() {
+        // Ancient slow runs age out: only the last BASELINE_WINDOW priors
+        // feed the mean, so a long-healed series isn't graded against its
+        // prehistoric self.
+        let a = record(1024);
+        let b = record(256);
+        let (fast, slow) = if a.cycles < b.cycles { (a, b) } else { (b, a) };
+        let mut records = vec![slow.clone()];
+        records.extend(std::iter::repeat_n(fast.clone(), BASELINE_WINDOW));
+        records.push(slow.clone());
+        let ledger = Ledger { records };
+        let regs = flag(&ledger, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(
+            regs[0].baseline_cycles, fast.cycles,
+            "the old slow run must have aged out of the baseline"
+        );
+    }
+
+    #[test]
+    fn trend_and_compare_render_series_history() {
+        let (a, b) = (record(1024), record(256));
+        let ledger = Ledger {
+            records: vec![a.clone(), b.clone()],
+        };
+        let s = render_trend(&ledger);
+        assert!(s.contains("rmat-8"), "{s}");
+        assert!(s.contains("2 runs"), "{s}");
+        assert!(s.contains(&format!("{} cycles", a.cycles)), "{s}");
+        assert!(s.contains(&format!("{} cycles", b.cycles)), "{s}");
+        let s = render_compare(&ledger);
+        assert!(s.contains("config changed"), "{s}");
+        let top = &crate::diff::diff_named(&a.path, &b.path)[0];
+        assert!(s.contains(&top.name), "top blame row rendered: {s}");
+        // Degenerate ledgers render, not panic.
+        assert!(render_trend(&Ledger::default()).contains("empty"));
+        assert!(render_compare(&Ledger {
+            records: vec![a.clone()]
+        })
+        .contains("two or more"));
+    }
+}

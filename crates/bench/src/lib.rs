@@ -16,6 +16,7 @@ pub mod capture;
 pub mod cli;
 pub mod diff;
 pub mod experiments;
+pub mod ledger;
 pub mod profile_report;
 pub mod runner;
 pub mod table;
@@ -25,6 +26,7 @@ pub use capture::{ProfileCapture, CAPTURE_VERSION};
 pub use cli::{parse_color_args, ColorArgs, JsonTarget, Parsed, ProfileFormat};
 pub use diff::{diff_named, diff_reports, load_report_artifact, render_diff_report, DiffReport};
 pub use experiments::{all, by_id, Experiment};
+pub use ledger::{Ledger, LedgerRecord, DEFAULT_LEDGER_PATH, LEDGER_VERSION};
 pub use profile_report::{render_multi_profile_report, render_profile_report};
 pub use runner::{Config, Family, Runner};
 pub use table::{geomean, ExpTable};

@@ -37,6 +37,9 @@ pub fn jones_plassmann_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> 
     let ranges = chunk_ranges(n, threads);
     let mut rounds = 0usize;
     let mut active_per_round = Vec::new();
+    // Host rounds have no cycle-level path breakdown: zero cycles disables
+    // the straggler-budget detector, leaving livelock/collapse active.
+    let mut watch = crate::watch::Watchdog::new(n);
 
     while remaining.load(Ordering::Relaxed) > 0 {
         rounds += 1;
@@ -101,6 +104,10 @@ pub fn jones_plassmann_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> 
             }
         })
         .expect("JP coloring phase panicked");
+
+        let before = active_per_round[rounds - 1];
+        let after = remaining.load(Ordering::Relaxed);
+        watch.observe(rounds - 1, before, before - after, 0, 0);
     }
 
     let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
@@ -108,6 +115,7 @@ pub fn jones_plassmann_with_threads(g: &CsrGraph, threads: usize, seed: u64) -> 
     let mut report = RunReport::host("cpu-jones-plassmann", colors, num_colors).with_host_time(t0);
     report.iterations = rounds;
     report.active_per_iteration = active_per_round;
+    report.warnings = watch.into_warnings();
     report
 }
 

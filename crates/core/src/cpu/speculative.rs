@@ -34,6 +34,9 @@ pub fn speculative_coloring_with_threads(g: &CsrGraph, threads: usize, seed: u64
     let mut worklist: Vec<VertexId> = (0..n as VertexId).collect();
     let mut rounds = 0usize;
     let mut active_per_round = Vec::new();
+    // Host rounds have no cycle-level path breakdown: zero cycles disables
+    // the straggler-budget detector, leaving livelock/collapse active.
+    let mut watch = crate::watch::Watchdog::new(n);
 
     while !worklist.is_empty() {
         rounds += 1;
@@ -101,6 +104,13 @@ pub fn speculative_coloring_with_threads(g: &CsrGraph, threads: usize, seed: u64
         for &v in &losers {
             colors[v as usize].store(UNCOLORED, Ordering::Relaxed);
         }
+        watch.observe(
+            rounds - 1,
+            worklist.len(),
+            worklist.len() - losers.len(),
+            0,
+            0,
+        );
         worklist = losers;
     }
 
@@ -109,6 +119,7 @@ pub fn speculative_coloring_with_threads(g: &CsrGraph, threads: usize, seed: u64
     let mut report = RunReport::host("cpu-speculative", colors, num_colors).with_host_time(t0);
     report.iterations = rounds;
     report.active_per_iteration = active_per_round;
+    report.warnings = watch.into_warnings();
     report
 }
 

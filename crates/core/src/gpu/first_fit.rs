@@ -78,6 +78,9 @@ pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     let mut iterations = 0usize;
     let mut active_curve = Vec::new();
     let mut timeline = Vec::new();
+    // Single-device rounds are straggler-bound by their tail component: the
+    // cycles all-but-one compute unit spend draining behind the slowest.
+    let mut watch = crate::watch::Watchdog::with_config(n, opts.watch.clone());
     loop {
         let high_len = high.as_ref().map(|(_, l)| *l).unwrap_or(0);
         let total_active = low_len + high_len;
@@ -134,10 +137,17 @@ pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
             total_active,
             finalized,
         ));
+        let round = timeline.last().expect("round just pushed");
+        let tail = crate::gpu::path_component(round, "tail");
+        for w in watch.observe(iterations, total_active, finalized, tail, round.cycles) {
+            gpu.profile_watchdog(w.iteration, &w.kind, &w.detail);
+        }
         iterations += 1;
     }
 
-    finish_report(gpu, &dev, label, iterations, active_curve, timeline)
+    let mut report = finish_report(gpu, &dev, label, iterations, active_curve, timeline);
+    report.warnings = watch.into_warnings();
+    report
 }
 
 /// Where the resolve kernel pushes conflict losers: the `(list, len)`

@@ -163,6 +163,18 @@ pub(crate) fn iteration_delta(
     }
 }
 
+/// Cycles of one named component in a round's path breakdown — how drivers
+/// pull the straggler component (`tail` / `settle`) out of the round they
+/// just recorded to feed the [`crate::Watchdog`].
+pub(crate) fn path_component(round: &crate::IterationStats, name: &str) -> u64 {
+    round
+        .path
+        .iter()
+        .find(|(c, _)| c == name)
+        .map(|(_, cycles)| *cycles)
+        .unwrap_or(0)
+}
+
 /// Build the final [`crate::RunReport`] from device state and statistics.
 pub(crate) fn finish_report(
     gpu: &Gpu,
@@ -176,6 +188,7 @@ pub(crate) fn finish_report(
     let num_colors = crate::verify::count_colors(&colors);
     let stats = gpu.stats();
     crate::RunReport {
+        schema_version: crate::report::REPORT_SCHEMA_VERSION,
         algorithm,
         colors,
         num_colors,
@@ -206,6 +219,7 @@ pub(crate) fn finish_report(
             stats.path_host_cycles,
         ),
         multi: None,
+        warnings: Vec::new(),
     }
 }
 

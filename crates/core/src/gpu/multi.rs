@@ -236,6 +236,11 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
     let mut timeline = Vec::new();
     let mut round_link_msgs = Vec::new();
     let mut round_link_bytes = Vec::new();
+    // The straggler signal of a multi-device round is the inter-device busy
+    // gap — the cycles the fastest device spends waiting on the slowest.
+    // (The settle component is structurally most of every round here, so it
+    // cannot discriminate; the gap can.)
+    let mut watch = crate::watch::Watchdog::with_config(n, eff.watch.clone());
     loop {
         let total_active: usize = states.iter().map(|s| s.active()).sum();
         if total_active == 0 {
@@ -351,10 +356,30 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
             total_active,
             total_active - next_active,
         ));
+        let round = timeline.last().expect("round just pushed");
+        let (mut min_busy, mut max_busy) = (u64::MAX, 0u64);
+        for (p, b) in before.iter().enumerate() {
+            let delta = mg.device_ref(p).stats().total_cycles - b.total_cycles;
+            min_busy = min_busy.min(delta);
+            max_busy = max_busy.max(delta);
+        }
+        for w in watch.observe(
+            iterations,
+            total_active,
+            total_active - next_active,
+            max_busy - min_busy,
+            round.cycles,
+        ) {
+            // One event per warning, emitted through device 0's sinks (the
+            // devices share the run-level view; per-device duplication
+            // would double-count in captures).
+            mg.device_ref(0)
+                .profile_watchdog(w.iteration, &w.kind, &w.detail);
+        }
         iterations += 1;
     }
 
-    finish_multi_report(
+    let mut report = finish_multi_report(
         mg,
         g,
         &part,
@@ -366,7 +391,9 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         timeline,
         round_link_msgs,
         round_link_bytes,
-    )
+    );
+    report.warnings = watch.into_warnings();
+    report
 }
 
 /// Move every boundary color the receiver doesn't have yet into its ghost
@@ -536,6 +563,7 @@ fn finish_multi_report(
     );
 
     RunReport {
+        schema_version: crate::report::REPORT_SCHEMA_VERSION,
         algorithm,
         colors,
         num_colors,
@@ -593,6 +621,7 @@ fn finish_multi_report(
             device_cycles: ms.cycles_per_device,
             per_device: ms.per_device,
         }),
+        warnings: Vec::new(),
     }
 }
 
@@ -629,6 +658,41 @@ mod tests {
             assert_eq!(multi.iterations, single.iterations);
             assert_eq!(multi.mem_transactions, single.mem_transactions);
             assert!(multi.multi.is_none(), "no multi section for one device");
+        }
+    }
+
+    #[test]
+    fn one_device_critical_path_telescopes_and_matches_single_device() {
+        // The `--devices 1` delegation must preserve the single-device
+        // attribution byte-for-byte: same components, per-iteration paths
+        // that sum to each round's cycles, and per-iteration components
+        // that telescope to the run totals.
+        for (name, g) in families() {
+            let opts = tiny(1);
+            let single = crate::gpu::first_fit::color(&g, &opts.base);
+            let r = color(&g, &opts);
+            assert_eq!(
+                r.critical_path.components, single.critical_path.components,
+                "{name}: delegation changed the attribution"
+            );
+            assert_eq!(r.critical_path.total(), r.cycles, "{name}");
+            assert!(r.critical_path.idle_per_device.is_empty(), "{name}");
+            let mut telescoped = std::collections::BTreeMap::<String, u64>::new();
+            for it in &r.iteration_timeline {
+                let sum: u64 = it.path.iter().map(|(_, c)| *c).sum();
+                assert_eq!(sum, it.cycles, "{name}: iteration {}", it.iteration);
+                for (component, c) in &it.path {
+                    *telescoped.entry(component.clone()).or_default() += c;
+                }
+            }
+            for (component, total) in &telescoped {
+                assert_eq!(
+                    *total,
+                    r.critical_path.get(component),
+                    "{name}: per-iteration {component} must telescope"
+                );
+            }
+            assert_eq!(r.warnings, single.warnings, "{name}");
         }
     }
 

@@ -62,6 +62,10 @@ pub struct GpuOptions {
     /// wave) for frontier pushes instead of per-lane atomics. Functionally
     /// identical; studied by the F12 ablation.
     pub aggregated_push: bool,
+    /// Convergence-watchdog thresholds ([`crate::WatchConfig`]): when a run
+    /// stalls, breaches its straggler budget, or collapses to a tiny active
+    /// set, the driver emits profile events and `RunReport` warnings.
+    pub watch: crate::watch::WatchConfig,
 }
 
 impl Default for GpuOptions {
@@ -84,6 +88,7 @@ impl GpuOptions {
             max_iterations: 100_000,
             ff_mask_words: 64,
             aggregated_push: false,
+            watch: crate::watch::WatchConfig::default(),
         }
     }
 
@@ -153,6 +158,12 @@ impl GpuOptions {
     /// Set the priority seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the convergence-watchdog thresholds.
+    pub fn with_watch(mut self, watch: crate::watch::WatchConfig) -> Self {
+        self.watch = watch;
         self
     }
 

@@ -1,0 +1,274 @@
+//! Run-ledger records: the append-only on-disk format behind `gc-ledger`.
+//!
+//! Every benchmark-producing tool (`gc-color`, `gc-profile`, `gc-tune`,
+//! `gc-bench-diff`) can append one compact [`LedgerRecord`] per run — graph
+//! fingerprint, canonical config hash, wall cycles, colors, critical-path
+//! components, key percentiles — to a shared newline-delimited
+//! `LEDGER.jsonl`. The record format and file I/O live here, next to
+//! [`crate::RunReport`], so every tool in the workspace can append without
+//! depending on the analysis layer; the longitudinal analysis (series,
+//! rolling baselines, regression flagging) lives in `gc-bench`'s `ledger`
+//! module, which re-exports these types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::RunReport;
+
+/// Ledger record version written by this build. Bumped when the record
+/// layout changes incompatibly; [`Ledger::load`] rejects any other version
+/// with an actionable error instead of silently misreading old lines
+/// (pre-versioning lines deserialize as version 0).
+pub const LEDGER_VERSION: u32 = 1;
+
+/// Default ledger path, relative to the working directory.
+pub const DEFAULT_LEDGER_PATH: &str = "LEDGER.jsonl";
+
+/// FNV-1a over a canonical config description — the ledger's config hash.
+/// Stable across runs and platforms (a pure function of the string).
+pub fn config_hash(desc: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in desc.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One benchmark run, as recorded in the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRecord {
+    /// Record version ([`LEDGER_VERSION`] when written by this build; 0 for
+    /// lines predating the field).
+    #[serde(default)]
+    pub version: u32,
+    /// Which tool appended the record ("gc-color", "gc-profile",
+    /// "gc-tune", "gc-bench-diff").
+    pub source: String,
+    /// Graph label: the dataset name or input path.
+    pub graph: String,
+    /// Structural graph fingerprint (`CsrGraph::fingerprint`), as
+    /// zero-padded hex. Half of the series key.
+    pub fingerprint: String,
+    /// Algorithm label from the run report. The other half of the series
+    /// key.
+    pub algorithm: String,
+    /// Canonical human-readable config description (device, knobs, links).
+    pub config: String,
+    /// [`config_hash`] of `config` — pins the exact knob set per entry.
+    pub config_hash: String,
+    /// Device wall cycles (the paper's metric; 0 for CPU algorithms).
+    pub cycles: u64,
+    /// Distinct colors used.
+    pub colors: usize,
+    /// Outer iterations executed.
+    pub iterations: usize,
+    /// Critical-path components, summing exactly to `cycles` for device
+    /// runs — the attribution basis for `gc-ledger flag` blame.
+    pub path: Vec<(String, u64)>,
+    /// Median service cycles per workgroup execution.
+    pub wg_p50: u64,
+    /// 99th-percentile service cycles per workgroup execution.
+    pub wg_p99: u64,
+    /// Convergence-watchdog warnings raised during the run.
+    pub warnings: usize,
+}
+
+impl LedgerRecord {
+    /// Package a finished run for appending. `config` should be the
+    /// canonical description of every knob that affects the clock, so its
+    /// hash discriminates configs exactly.
+    pub fn new(
+        source: &str,
+        graph: &str,
+        fingerprint: u64,
+        config: &str,
+        report: &RunReport,
+    ) -> Self {
+        Self {
+            version: LEDGER_VERSION,
+            source: source.into(),
+            graph: graph.into(),
+            fingerprint: format!("{fingerprint:016x}"),
+            algorithm: report.algorithm.clone(),
+            config: config.into(),
+            config_hash: config_hash(config),
+            cycles: report.cycles,
+            colors: report.num_colors,
+            iterations: report.iterations,
+            path: report.critical_path.components.clone(),
+            wg_p50: report.wg_duration.p50(),
+            wg_p99: report.wg_duration.p99(),
+            warnings: report.warnings.len(),
+        }
+    }
+
+    /// Append this record as one JSON line, creating the file if needed.
+    /// The write is a single line-terminated `write_all`, so concurrent
+    /// appenders interleave whole lines, not bytes.
+    pub fn append(&self, path: &str) -> Result<(), String> {
+        use std::io::Write;
+        let mut line =
+            serde_json::to_string(self).map_err(|e| format!("serialize ledger record: {e}"))?;
+        line.push('\n');
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open {path}: {e}"))?;
+        file.write_all(line.as_bytes())
+            .map_err(|e| format!("append to {path}: {e}"))
+    }
+}
+
+/// A loaded ledger: records in file (= append) order.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    pub records: Vec<LedgerRecord>,
+}
+
+impl Ledger {
+    /// Read a ledger file. Blank lines are skipped; malformed JSON reports
+    /// the line number, and a record version other than [`LEDGER_VERSION`]
+    /// tells the user to regenerate the ledger — all as plain errors.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let mut records = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: LedgerRecord =
+                serde_json::from_str(line).map_err(|e| format!("parse {path}:{}: {e}", idx + 1))?;
+            if rec.version != LEDGER_VERSION {
+                return Err(format!(
+                    "{path}:{} is a ledger record v{} but this build reads v{LEDGER_VERSION}; \
+                     regenerate the ledger by re-running the benchmarks with --ledger {path}",
+                    idx + 1,
+                    rec.version
+                ));
+            }
+            records.push(rec);
+        }
+        Ok(Self { records })
+    }
+
+    /// Distinct series keys `(fingerprint, algorithm)` in first-seen order.
+    /// Deliberately not keyed by config hash: a knob change lands in the
+    /// same series and shows up as a step in its history rather than
+    /// silently starting a fresh one.
+    pub fn series_keys(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for r in &self.records {
+            let key = (r.fingerprint.clone(), r.algorithm.clone());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+
+    /// All records of one series, in append order.
+    pub fn series(&self, fingerprint: &str, algorithm: &str) -> Vec<&LedgerRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.fingerprint == fingerprint && r.algorithm == algorithm)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycles: u64, config: &str) -> LedgerRecord {
+        let mut report = RunReport::host("test-alg", vec![0, 1], 2);
+        report.cycles = cycles;
+        report.critical_path = crate::CriticalPath::single_device(cycles / 2, cycles / 4, 0);
+        report.critical_path.components[2].1 = cycles - cycles / 2 - cycles / 4;
+        LedgerRecord::new("test", "sample-graph", 0xDEAD_BEEF, config, &report)
+    }
+
+    fn temp_ledger(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gc-core-ledger-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_discriminating() {
+        assert_eq!(config_hash("wg=256"), config_hash("wg=256"));
+        assert_ne!(config_hash("wg=256"), config_hash("wg=1024"));
+        assert_eq!(config_hash("").len(), 16);
+    }
+
+    #[test]
+    fn record_carries_fingerprint_path_and_attribution_identity() {
+        let rec = sample(1000, "wg=256");
+        assert_eq!(rec.version, LEDGER_VERSION);
+        assert_eq!(rec.fingerprint, "00000000deadbeef");
+        assert_eq!(rec.algorithm, "test-alg");
+        assert_eq!(rec.config_hash, config_hash("wg=256"));
+        assert_eq!(rec.path.iter().map(|(_, c)| c).sum::<u64>(), rec.cycles);
+    }
+
+    #[test]
+    fn append_and_load_round_trip_in_order() {
+        let path = temp_ledger("roundtrip.jsonl");
+        let a = sample(1000, "wg=256");
+        let b = sample(2000, "wg=1024");
+        a.append(&path).unwrap();
+        b.append(&path).unwrap();
+        let ledger = Ledger::load(&path).unwrap();
+        assert_eq!(ledger.records, vec![a, b]);
+        // One series: both runs share (fingerprint, algorithm) despite the
+        // different configs — that is the point of the keying.
+        assert_eq!(ledger.series_keys().len(), 1);
+        let (fp, alg) = &ledger.series_keys()[0];
+        assert_eq!(ledger.series(fp, alg).len(), 2);
+        assert!(ledger.series(fp, "other").is_empty());
+    }
+
+    #[test]
+    fn load_rejects_other_versions_and_garbage_with_line_numbers() {
+        let path = temp_ledger("versions.jsonl");
+        let mut rec = sample(1000, "wg=256");
+        rec.append(&path).unwrap();
+        rec.version = LEDGER_VERSION + 1;
+        rec.append(&path).unwrap();
+        let err = Ledger::load(&path).unwrap_err();
+        assert!(err.contains(":2"), "{err}");
+        assert!(err.contains(&format!("v{}", LEDGER_VERSION + 1)), "{err}");
+        assert!(err.contains("--ledger"), "{err}");
+
+        // A pre-versioning line (no version key) parses as v0 and is
+        // refused the same way.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let legacy =
+            text.lines()
+                .next()
+                .unwrap()
+                .replacen(&format!("\"version\":{LEDGER_VERSION},"), "", 1);
+        assert!(!legacy.contains("\"version\""));
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        let err = Ledger::load(&path).unwrap_err();
+        assert!(err.contains("v0"), "{err}");
+
+        std::fs::write(&path, "{not json\n").unwrap();
+        let err = Ledger::load(&path).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
+        let err = Ledger::load("/nonexistent/LEDGER.jsonl").unwrap_err();
+        assert!(err.starts_with("read /nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = temp_ledger("blanks.jsonl");
+        let rec = sample(1000, "wg=256");
+        rec.append(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("\n{text}\n\n")).unwrap();
+        assert_eq!(Ledger::load(&path).unwrap().records, vec![rec]);
+    }
+}

@@ -40,15 +40,21 @@
 pub mod balance;
 pub mod cpu;
 pub mod gpu;
+pub mod ledger;
 pub mod report;
 pub mod seq;
 pub mod verify;
+pub mod watch;
 
 pub use balance::{balance_coloring, class_imbalance};
 
 pub use gpu::{GpuOptions, WorkSchedule};
-pub use report::{CriticalPath, IterationStats, MultiDeviceReport, RunReport};
+pub use ledger::{Ledger, LedgerRecord, DEFAULT_LEDGER_PATH, LEDGER_VERSION};
+pub use report::{
+    CriticalPath, IterationStats, MultiDeviceReport, RunReport, REPORT_SCHEMA_VERSION,
+};
 pub use seq::VertexOrdering;
 pub use verify::{
     color_classes, count_colors, count_conflicts, verify_coloring, VerifyError, UNCOLORED,
 };
+pub use watch::{RunWarning, WatchConfig, Watchdog};

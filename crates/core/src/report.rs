@@ -2,6 +2,15 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::watch::RunWarning;
+
+/// Schema version written into every serialized [`RunReport`]. Bump when a
+/// field changes meaning or shape incompatibly; loaders (the `--diff`
+/// artifact reader in `gc-bench`) reject mismatched versions with an
+/// actionable error instead of silently misreading old artifacts. Reports
+/// serialized before the field existed deserialize as version 0.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
 /// Exact decomposition of a run's wall cycles into named critical-path
 /// components. The invariant — pinned by tests at every driver — is that
 /// the components sum to the report's `cycles` with no remainder, so every
@@ -222,6 +231,11 @@ pub struct MultiDeviceReport {
 /// harness can tabulate them uniformly.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
+    /// Serialization schema version ([`REPORT_SCHEMA_VERSION`] when written
+    /// by this build; 0 when deserialized from a report predating the
+    /// field).
+    #[serde(default)]
+    pub schema_version: u32,
     /// Algorithm label ("gpu-maxmin-baseline", "seq-ff-ldf", …).
     pub algorithm: String,
     /// The color of each vertex (no [`crate::verify::UNCOLORED`] left).
@@ -285,12 +299,18 @@ pub struct RunReport {
     /// stats. `None` for single-device and CPU runs.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub multi: Option<MultiDeviceReport>,
+    /// Convergence-watchdog warnings raised during the run (see
+    /// [`crate::watch`]): livelock-style repair stalls, straggler-budget
+    /// breaches, active-set collapse. Empty for healthy runs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warnings: Vec<RunWarning>,
 }
 
 impl RunReport {
     /// Report skeleton for a host-side (CPU) algorithm.
     pub fn host(algorithm: impl Into<String>, colors: Vec<u32>, num_colors: usize) -> Self {
         Self {
+            schema_version: REPORT_SCHEMA_VERSION,
             algorithm: algorithm.into(),
             colors,
             num_colors,
@@ -313,6 +333,7 @@ impl RunReport {
             steal_depth: Default::default(),
             critical_path: CriticalPath::default(),
             multi: None,
+            warnings: Vec::new(),
         }
     }
 
@@ -322,6 +343,139 @@ impl RunReport {
     pub fn with_host_time(mut self, started: std::time::Instant) -> Self {
         self.time_ms = started.elapsed().as_secs_f64() * 1e3;
         self
+    }
+
+    /// Populate `reg` with this run's metric series, all labeled by
+    /// `algorithm`: run-level counters/gauges, critical-path components
+    /// (labeled by `component`), per-kernel wall cycles and launches,
+    /// per-buffer traffic, the occupancy/duration/steal-depth histograms,
+    /// watchdog warnings (counted by `kind`), and — for multi-device runs —
+    /// the full per-device series via
+    /// [`gc_gpusim::MetricsRegistry::record_device`].
+    pub fn export_metrics(&self, reg: &mut gc_gpusim::MetricsRegistry) {
+        let alg = self.algorithm.as_str();
+        let run = [("algorithm", alg)];
+        reg.add_counter(
+            "gc_run_cycles_total",
+            "Device wall cycles of the run",
+            &run,
+            self.cycles,
+        );
+        reg.add_counter(
+            "gc_run_iterations_total",
+            "Outer iterations executed",
+            &run,
+            self.iterations as u64,
+        );
+        reg.add_counter(
+            "gc_run_kernel_launches_total",
+            "Kernel launches of the run",
+            &run,
+            self.kernel_launches,
+        );
+        reg.add_counter(
+            "gc_run_mem_transactions_total",
+            "Coalesced memory transactions of the run",
+            &run,
+            self.mem_transactions,
+        );
+        reg.add_counter(
+            "gc_run_steal_pops_total",
+            "Work-stealing queue pops of the run",
+            &run,
+            self.steal_pops,
+        );
+        reg.set_gauge(
+            "gc_run_colors",
+            "Distinct colors used",
+            &run,
+            self.num_colors as f64,
+        );
+        reg.set_gauge(
+            "gc_run_simd_utilization",
+            "Aggregate SIMD lane utilization",
+            &run,
+            self.simd_utilization,
+        );
+        reg.set_gauge(
+            "gc_run_imbalance_factor",
+            "Aggregate per-CU load imbalance factor",
+            &run,
+            self.imbalance_factor,
+        );
+        for (component, cycles) in &self.critical_path.components {
+            reg.add_counter(
+                "gc_run_path_cycles_total",
+                "Critical-path cycles by component; components sum to gc_run_cycles_total",
+                &[("algorithm", alg), ("component", component.as_str())],
+                *cycles,
+            );
+        }
+        for (kernel, wall, launches) in &self.kernel_breakdown {
+            let kl = [("algorithm", alg), ("kernel", kernel.as_str())];
+            reg.add_counter(
+                "gc_kernel_wall_cycles_total",
+                "Wall cycles per kernel name",
+                &kl,
+                *wall,
+            );
+            reg.add_counter(
+                "gc_kernel_launches_total",
+                "Launches per kernel name",
+                &kl,
+                *launches,
+            );
+        }
+        for (buffer, b) in &self.per_buffer {
+            let bl = [("algorithm", alg), ("buffer", buffer.as_str())];
+            reg.add_counter(
+                "gc_buffer_bytes_moved_total",
+                "Bytes moved per buffer",
+                &bl,
+                b.bytes_moved,
+            );
+            reg.add_counter(
+                "gc_buffer_transactions_total",
+                "Coalesced transactions per buffer",
+                &bl,
+                b.transactions,
+            );
+        }
+        reg.record_histogram(
+            "gc_lane_occupancy",
+            "Active lanes per SIMT step",
+            &run,
+            &self.lane_occupancy,
+        );
+        reg.record_histogram(
+            "gc_wg_duration_cycles",
+            "Service cycles per workgroup execution",
+            &run,
+            &self.wg_duration,
+        );
+        reg.record_histogram(
+            "gc_steal_depth",
+            "Work-steal queue depth at pop time",
+            &run,
+            &self.steal_depth,
+        );
+        let mut kinds = std::collections::BTreeMap::<&str, u64>::new();
+        for w in &self.warnings {
+            *kinds.entry(w.kind.as_str()).or_insert(0) += 1;
+        }
+        for (kind, count) in kinds {
+            reg.add_counter(
+                "gc_run_warnings_total",
+                "Convergence-watchdog warnings by kind",
+                &[("algorithm", alg), ("kind", kind)],
+                count,
+            );
+        }
+        if let Some(multi) = &self.multi {
+            for (d, stats) in multi.per_device.iter().enumerate() {
+                reg.record_device(&d.to_string(), stats);
+            }
+        }
     }
 
     /// One-line human summary used by examples and the harness.
@@ -408,6 +562,84 @@ mod tests {
         assert!(!json.contains("critical_path"));
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert!(back.critical_path.is_empty());
+    }
+
+    #[test]
+    fn schema_version_round_trips_and_defaults_to_zero_for_old_reports() {
+        let r = RunReport::host("seq", vec![0], 1);
+        assert_eq!(r.schema_version, REPORT_SCHEMA_VERSION);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"schema_version\":1"), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, REPORT_SCHEMA_VERSION);
+        // A pre-versioning report (no schema_version key) parses as v0.
+        let old = json.replacen("\"schema_version\":1,", "", 1);
+        assert!(!old.contains("schema_version"));
+        let back: RunReport = serde_json::from_str(&old).unwrap();
+        assert_eq!(back.schema_version, 0);
+    }
+
+    #[test]
+    fn warnings_round_trip_and_old_reports_parse_as_warning_free() {
+        let mut r = RunReport::host("gpu", vec![0], 1);
+        r.warnings.push(RunWarning {
+            kind: "livelock".into(),
+            iteration: 3,
+            detail: "conflicts not shrinking".into(),
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"warnings\""), "{json}");
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.warnings.len(), 1);
+        assert_eq!(back.warnings[0].kind, "livelock");
+        assert_eq!(back.warnings[0].iteration, 3);
+        // A pre-watchdog report (no warnings key at all) parses as
+        // warning-free.
+        let empty = serde_json::to_string(&RunReport::host("gpu", vec![0], 1)).unwrap();
+        let old = empty.replacen(",\"warnings\":[]", "", 1);
+        assert!(!old.contains("warnings"), "{old}");
+        let back: RunReport = serde_json::from_str(&old).unwrap();
+        assert!(back.warnings.is_empty());
+    }
+
+    #[test]
+    fn export_metrics_builds_labeled_series() {
+        let mut r = RunReport::host("gpu-test", vec![0, 1], 2);
+        r.cycles = 1000;
+        r.kernel_breakdown = vec![("assign".into(), 700, 3), ("resolve".into(), 300, 3)];
+        r.critical_path = CriticalPath::single_device(600, 300, 100);
+        r.warnings.push(RunWarning {
+            kind: "livelock".into(),
+            iteration: 1,
+            detail: String::new(),
+        });
+        let mut reg = gc_gpusim::MetricsRegistry::new();
+        r.export_metrics(&mut reg);
+        let alg = [("algorithm", "gpu-test")];
+        assert_eq!(reg.counter("gc_run_cycles_total", &alg), Some(1000));
+        assert_eq!(reg.gauge("gc_run_colors", &alg), Some(2.0));
+        assert_eq!(
+            reg.counter(
+                "gc_run_path_cycles_total",
+                &[("algorithm", "gpu-test"), ("component", "tail")]
+            ),
+            Some(300)
+        );
+        assert_eq!(
+            reg.counter(
+                "gc_kernel_wall_cycles_total",
+                &[("algorithm", "gpu-test"), ("kernel", "assign")]
+            ),
+            Some(700)
+        );
+        assert_eq!(
+            reg.counter(
+                "gc_run_warnings_total",
+                &[("algorithm", "gpu-test"), ("kind", "livelock")]
+            ),
+            Some(1)
+        );
+        gc_gpusim::validate_prometheus_text(&reg.render_prometheus()).unwrap();
     }
 
     #[test]

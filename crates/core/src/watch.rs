@@ -1,0 +1,305 @@
+//! Convergence watchdog: in-flight detection of degenerate repair behavior.
+//!
+//! The speculate-and-repair loops this crate runs (GPU first-fit, the
+//! multi-device driver, the CPU baselines) normally converge fast: each
+//! round finalizes a large fraction of its active vertices and the active
+//! set shrinks geometrically. Three pathologies break that picture, and all
+//! three are invisible in end-of-run aggregates:
+//!
+//! * **Livelock-style stalls** — rounds that barely finalize anything for
+//!   several consecutive iterations. Rokos et al. (*A Fast and Scalable
+//!   Graph Coloring Algorithm for Multi-core and Many-core Architectures*)
+//!   show how speculative repair can bounce conflicts between neighbors.
+//!   First-fit's priority order makes a literal zero-progress round
+//!   impossible (the globally highest-priority active vertex always keeps
+//!   its color), so the detector watches for *near*-zero progress instead.
+//! * **Straggler-budget breaches** — a round whose wall clock is dominated
+//!   by waiting on a straggler (the `tail` path component on one device,
+//!   the busiest-minus-idlest device gap across devices): one overloaded
+//!   lane or device holds the whole round hostage, the paper's F4/F5
+//!   load-imbalance story at round granularity.
+//! * **Active-set collapse** — a long run of rounds with a tiny active set:
+//!   the device grinds through launch overhead at near-zero occupancy, the
+//!   long tail the paper's frontier compaction and ROADMAP's tail-cutover
+//!   exist for. A watchdog warning here is the cutover's trigger signal.
+//!
+//! Drivers feed one [`Watchdog::observe`] call per repair round; warnings
+//! fire at most once per kind per run, are emitted live to any attached
+//! [`gc_gpusim::ProfileSink`] (as `watchdog` events), and land in the
+//! [`crate::RunReport`] `warnings` section. Thresholds are tuned so the
+//! standard benchmark graphs (grids, meshes, rmat) run warning-free; see
+//! the tests pinning both directions.
+//!
+//! The non-iterative sequential baselines ([`crate::seq`]) have no repair
+//! loop — a single host pass cannot stall — so they bypass the watchdog by
+//! construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Warning kind for livelock-style repair stalls.
+pub const WARN_LIVELOCK: &str = "livelock";
+/// Warning kind for straggler-budget breaches.
+pub const WARN_STRAGGLER: &str = "straggler-budget";
+/// Warning kind for active-set collapse.
+pub const WARN_COLLAPSE: &str = "active-collapse";
+
+/// One watchdog warning, as carried in [`crate::RunReport::warnings`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunWarning {
+    /// Warning kind ([`WARN_LIVELOCK`], [`WARN_STRAGGLER`],
+    /// [`WARN_COLLAPSE`]).
+    pub kind: String,
+    /// Outer iteration the warning fired on (0-based).
+    pub iteration: usize,
+    /// Human-readable detail: the observed numbers and the threshold.
+    pub detail: String,
+}
+
+/// Watchdog thresholds. The defaults keep the standard benchmark graphs
+/// quiet while catching the constructed pathologies in this module's tests;
+/// loosen or tighten per deployment via [`Watchdog::with_config`].
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Consecutive low-progress rounds before [`WARN_LIVELOCK`] fires.
+    pub no_shrink_window: usize,
+    /// A round is "low progress" when `finalized / active` is at or below
+    /// this fraction in permille (10 = 1%).
+    pub min_progress_permille: u64,
+    /// [`WARN_STRAGGLER`] fires when a round's straggler component exceeds
+    /// this fraction of the round's cycles…
+    pub tail_budget: f64,
+    /// …and the round is at least this many cycles (filters out the cheap
+    /// final rounds where a 2-vertex worklist trivially "dominates").
+    pub tail_min_cycles: u64,
+    /// A round is "collapsed" when `0 < active < fraction × n`.
+    pub collapse_active_fraction: f64,
+    /// Consecutive collapsed rounds before [`WARN_COLLAPSE`] fires.
+    pub collapse_window: usize,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        Self {
+            no_shrink_window: 3,
+            min_progress_permille: 10,
+            tail_budget: 0.75,
+            tail_min_cycles: 20_000,
+            collapse_active_fraction: 0.02,
+            collapse_window: 6,
+        }
+    }
+}
+
+/// Streaming monitor over a run's repair rounds. See the module docs.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchConfig,
+    /// Total vertices, the denominator of the collapse fraction.
+    n: usize,
+    low_progress_streak: usize,
+    collapse_streak: usize,
+    livelock_fired: bool,
+    straggler_fired: bool,
+    collapse_fired: bool,
+    warnings: Vec<RunWarning>,
+}
+
+impl Watchdog {
+    /// A watchdog with default thresholds for a graph of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self::with_config(n, WatchConfig::default())
+    }
+
+    pub fn with_config(n: usize, cfg: WatchConfig) -> Self {
+        Self {
+            cfg,
+            n,
+            low_progress_streak: 0,
+            collapse_streak: 0,
+            livelock_fired: false,
+            straggler_fired: false,
+            collapse_fired: false,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Observe one completed repair round: `active` vertices entered it,
+    /// `finalized` kept their color, and of the round's `round_cycles` wall
+    /// cycles, `straggler_cycles` were spent waiting on a straggler (the
+    /// `tail` path component single-device, the inter-device busy gap
+    /// multi-device; 0 for CPU rounds, which disables the budget
+    /// detector). Returns the warnings that fired on
+    /// *this* round — each kind fires at most once per run — so the driver
+    /// can emit them to its profile sinks at the right device cycle; the
+    /// same warnings accumulate in [`Watchdog::warnings`].
+    pub fn observe(
+        &mut self,
+        iteration: usize,
+        active: usize,
+        finalized: usize,
+        straggler_cycles: u64,
+        round_cycles: u64,
+    ) -> Vec<RunWarning> {
+        let mut fired = Vec::new();
+
+        // Livelock-style stall: near-zero finalization rate, sustained.
+        let low_progress = active > 0
+            && (finalized as u64) * 1000 <= (active as u64) * self.cfg.min_progress_permille;
+        if low_progress {
+            self.low_progress_streak += 1;
+        } else {
+            self.low_progress_streak = 0;
+        }
+        if self.low_progress_streak >= self.cfg.no_shrink_window && !self.livelock_fired {
+            self.livelock_fired = true;
+            fired.push(RunWarning {
+                kind: WARN_LIVELOCK.into(),
+                iteration,
+                detail: format!(
+                    "conflicts not shrinking: {finalized}/{active} vertices finalized, \
+                     {} consecutive rounds at or under {} permille progress",
+                    self.low_progress_streak, self.cfg.min_progress_permille
+                ),
+            });
+        }
+
+        // Straggler budget: the round's critical path is its tail.
+        if round_cycles >= self.cfg.tail_min_cycles
+            && straggler_cycles as f64 > self.cfg.tail_budget * round_cycles as f64
+            && !self.straggler_fired
+        {
+            self.straggler_fired = true;
+            fired.push(RunWarning {
+                kind: WARN_STRAGGLER.into(),
+                iteration,
+                detail: format!(
+                    "straggler component dominates the round: {straggler_cycles} of \
+                     {round_cycles} cycles ({:.0}% > budget {:.0}%)",
+                    100.0 * straggler_cycles as f64 / round_cycles as f64,
+                    100.0 * self.cfg.tail_budget
+                ),
+            });
+        }
+
+        // Active-set collapse: a long low-occupancy tail.
+        let collapsed =
+            active > 0 && (active as f64) < self.cfg.collapse_active_fraction * self.n as f64;
+        if collapsed {
+            self.collapse_streak += 1;
+        } else {
+            self.collapse_streak = 0;
+        }
+        if self.collapse_streak >= self.cfg.collapse_window && !self.collapse_fired {
+            self.collapse_fired = true;
+            fired.push(RunWarning {
+                kind: WARN_COLLAPSE.into(),
+                iteration,
+                detail: format!(
+                    "active set collapsed: {active} of {} vertices ({}+ rounds under \
+                     {:.1}%) — the low-occupancy tail a host cutover would absorb",
+                    self.n,
+                    self.collapse_streak,
+                    100.0 * self.cfg.collapse_active_fraction
+                ),
+            });
+        }
+
+        self.warnings.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// All warnings accumulated so far.
+    pub fn warnings(&self) -> &[RunWarning] {
+        &self.warnings
+    }
+
+    /// Consume the watchdog, yielding its warnings for the final report.
+    pub fn into_warnings(self) -> Vec<RunWarning> {
+        self.warnings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn livelock_fires_once_after_sustained_low_progress() {
+        let mut w = Watchdog::new(1000);
+        // 1/1000 finalized = 0.1% <= 1%: low progress.
+        assert!(w.observe(0, 1000, 1, 0, 0).is_empty());
+        assert!(w.observe(1, 999, 1, 0, 0).is_empty());
+        let fired = w.observe(2, 998, 1, 0, 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, WARN_LIVELOCK);
+        assert_eq!(fired[0].iteration, 2);
+        // Fires once per run, even if the stall continues.
+        assert!(w.observe(3, 997, 1, 0, 0).is_empty());
+        assert_eq!(w.warnings().len(), 1);
+    }
+
+    #[test]
+    fn healthy_progress_resets_the_livelock_streak() {
+        let mut w = Watchdog::new(1000);
+        w.observe(0, 1000, 1, 0, 0);
+        w.observe(1, 999, 1, 0, 0);
+        // A productive round breaks the streak…
+        w.observe(2, 998, 500, 0, 0);
+        // …so two more stalls don't reach the window of 3.
+        w.observe(3, 498, 1, 0, 0);
+        let fired = w.observe(4, 497, 1, 0, 0);
+        assert!(fired.is_empty());
+        assert!(w.warnings().is_empty());
+    }
+
+    #[test]
+    fn straggler_budget_needs_both_fraction_and_floor() {
+        let cfg = WatchConfig::default();
+        let floor = cfg.tail_min_cycles;
+        let mut w = Watchdog::new(1000);
+        // Dominant tail but a cheap round: the floor filters it.
+        assert!(w.observe(0, 100, 50, 900, 1000).is_empty());
+        // Expensive round, tail under budget: quiet.
+        assert!(w.observe(1, 100, 50, floor / 2, floor).is_empty());
+        // Expensive round, tail over budget: fires.
+        let fired = w.observe(2, 100, 50, floor - 1, floor);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, WARN_STRAGGLER);
+        assert!(fired[0].detail.contains("straggler"), "{}", fired[0].detail);
+    }
+
+    #[test]
+    fn collapse_fires_after_a_long_tiny_tail() {
+        let mut w = Watchdog::new(10_000);
+        let window = WatchConfig::default().collapse_window;
+        // active = 100 is 1% of n, under the 2% threshold.
+        for i in 0..window - 1 {
+            assert!(w.observe(i, 100, 10, 0, 0).is_empty(), "round {i}");
+        }
+        let fired = w.observe(window - 1, 100, 10, 0, 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, WARN_COLLAPSE);
+        // An empty active set is the loop exiting, not a collapse.
+        let mut w = Watchdog::new(10_000);
+        for i in 0..2 * window {
+            assert!(w.observe(i, 0, 0, 0, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn multiple_kinds_can_fire_in_one_run() {
+        let mut w = Watchdog::new(10_000);
+        let floor = WatchConfig::default().tail_min_cycles;
+        let mut kinds = std::collections::BTreeSet::new();
+        for i in 0..12 {
+            // Tiny active set, near-zero progress, tail-dominated rounds.
+            for warn in w.observe(i, 150, 1, floor, floor) {
+                kinds.insert(warn.kind);
+            }
+        }
+        assert!(kinds.contains(WARN_LIVELOCK));
+        assert!(kinds.contains(WARN_STRAGGLER));
+        assert!(kinds.contains(WARN_COLLAPSE));
+        assert_eq!(w.warnings().len(), 3, "each kind fires exactly once");
+    }
+}

@@ -7,7 +7,7 @@ use crate::kernel::{Kernel, Launch, ScheduleMode};
 use crate::metrics::{DeviceStats, KernelStats};
 use crate::profile::{
     IterationBeginEvent, IterationEndEvent, KernelDispatchEvent, KernelRetireEvent, Probe,
-    SharedSink,
+    SharedSink, WatchdogEvent,
 };
 use crate::scheduler::run_launch;
 
@@ -106,6 +106,23 @@ impl Gpu {
         };
         for s in &self.sinks {
             s.borrow_mut().iteration_end(&ev);
+        }
+    }
+
+    /// Report a convergence-watchdog warning to attached profilers (the
+    /// driver layer calls this when a detector in `gc-core::watch` fires).
+    pub fn profile_watchdog(&self, iteration: usize, kind: &str, detail: &str) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let ev = WatchdogEvent {
+            iteration,
+            kind,
+            detail,
+            cycle: self.now_cycles(),
+        };
+        for s in &self.sinks {
+            s.borrow_mut().watchdog(&ev);
         }
     }
 

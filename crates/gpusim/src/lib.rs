@@ -57,6 +57,7 @@ pub mod lane;
 pub mod metrics;
 pub mod multi;
 pub mod profile;
+pub mod registry;
 mod scheduler;
 pub mod trace;
 mod wave;
@@ -73,5 +74,7 @@ pub use metrics::{
 };
 pub use multi::{LinkConfig, MultiDeviceStats, MultiGpu, StepKind, StepSpan};
 pub use profile::{
-    write_multi_phase_trace, CaptureSink, ChromeTraceSink, JsonlSink, ProfileSink, SharedSink,
+    write_multi_phase_trace, CaptureSink, CapturedWatchdog, ChromeTraceSink, JsonlSink,
+    ProfileSink, SharedSink, WatchdogEvent,
 };
+pub use registry::{validate_prometheus_text, MetricsRegistry};

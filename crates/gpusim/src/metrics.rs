@@ -166,6 +166,16 @@ impl Histogram {
     /// Value at percentile `p` in `[0, 100]`: the upper bound of the bucket
     /// holding the `ceil(p/100 · count)`-th smallest sample, clamped to the
     /// observed max. 0 when empty.
+    ///
+    /// No intra-bucket interpolation is performed. Buckets are log2-sized
+    /// (bucket 0 holds the value 0; bucket `k >= 1` holds
+    /// `[2^(k-1), 2^k - 1]`), so the result is a conservative *upper bound*
+    /// on the true order statistic: it can overshoot by at most a factor of
+    /// two, and never exceeds the exact observed `max()`. Together with the
+    /// exact `min()` this bounds every quantile by the recorded extremes:
+    /// `min() <= percentile(p) <= max()` for all `p`, an invariant that
+    /// survives [`Histogram::merge`] (merged quantiles stay within the
+    /// union of the inputs' `[min, max]` ranges).
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -192,6 +202,12 @@ impl Histogram {
 
     pub fn p99(&self) -> u64 {
         self.percentile(99.0)
+    }
+
+    /// The 99.9th percentile — the deep-tail view the log2 buckets exist
+    /// for (stragglers that p99 still averages away on large counts).
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
     }
 
     /// Non-empty buckets as `(lo, hi, count)`, smallest values first.
@@ -1007,6 +1023,77 @@ mod tests {
         let mut c = Histogram::new();
         c.merge(&a);
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn histogram_p999_reaches_deeper_than_p99() {
+        // 998 small samples plus one huge outlier: rank 990 (p99 of 999)
+        // still lands in the small bucket, rank 999 (p99.9: ceil of
+        // 998.001) reaches the outlier.
+        let mut h = Histogram::new();
+        for _ in 0..998 {
+            h.record(3);
+        }
+        h.record(1 << 40);
+        assert_eq!(h.p99(), 3);
+        assert_eq!(h.p999(), 1 << 40);
+        assert!(h.p99() <= h.p999() && h.p999() <= h.max());
+    }
+
+    #[test]
+    fn histogram_merge_bounds_quantiles_by_input_extremes() {
+        // Property-style pin of merge + quantile semantics: for many
+        // deterministic pseudo-random shape pairs, the merged histogram's
+        // quantiles stay within [min(a.min, b.min), max(a.max, b.max)],
+        // quantiles are monotone in p, counts/sums add exactly, and merge
+        // is commutative. SplitMix64 keeps the generator dependency-free.
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let quantiles = [0.0, 1.0, 50.0, 95.0, 99.0, 99.9, 100.0];
+        for seed in 0..32u64 {
+            let mut s = seed;
+            let build = |s: &mut u64| {
+                let mut h = Histogram::new();
+                let n = 1 + (splitmix(s) % 200) as usize;
+                // Shift the magnitude range per histogram so the two inputs
+                // often occupy disjoint bucket ranges. At least 16 bits keep
+                // samples <= 2^48, so a few hundred sum without overflow.
+                let shift = 16 + (splitmix(s) % 32) as u32;
+                for _ in 0..n {
+                    h.record(splitmix(s) >> shift);
+                }
+                h
+            };
+            let a = build(&mut s);
+            let b = build(&mut s);
+            let mut merged = a.clone();
+            merged.merge(&b);
+            assert_eq!(merged.count(), a.count() + b.count());
+            assert_eq!(merged.sum(), a.sum() + b.sum());
+            assert_eq!(merged.min(), a.min().min(b.min()), "seed {seed}");
+            assert_eq!(merged.max(), a.max().max(b.max()), "seed {seed}");
+            let mut prev = 0u64;
+            for &p in &quantiles {
+                let q = merged.percentile(p);
+                assert!(
+                    merged.min() <= q && q <= merged.max(),
+                    "seed {seed}: p{p} = {q} escapes [{}, {}]",
+                    merged.min(),
+                    merged.max()
+                );
+                assert!(q >= prev, "seed {seed}: quantiles must be monotone");
+                prev = q;
+            }
+            // Commutativity: merging in the other order is identical.
+            let mut other = b.clone();
+            other.merge(&a);
+            assert_eq!(other, merged, "seed {seed}");
+        }
     }
 
     #[test]

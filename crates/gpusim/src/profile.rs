@@ -150,6 +150,20 @@ pub struct IterationEndEvent {
     pub cycle: u64,
 }
 
+/// The convergence watchdog flagged a degenerate repair pattern (emitted by
+/// the driver layer; see `gc-core`'s `watch` module for the detectors).
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogEvent<'a> {
+    /// Outer-iteration index the warning fired on.
+    pub iteration: usize,
+    /// Warning kind (`"livelock"`, `"straggler-budget"`, `"active-collapse"`).
+    pub kind: &'a str,
+    /// Human-readable detail line.
+    pub detail: &'a str,
+    /// Device cycle at which the warning fired.
+    pub cycle: u64,
+}
+
 /// Observer of simulator execution. All hooks default to no-ops, so a sink
 /// implements only what it cares about.
 pub trait ProfileSink {
@@ -165,6 +179,8 @@ pub trait ProfileSink {
     fn iteration_begin(&mut self, _ev: &IterationBeginEvent) {}
     /// An algorithm-level iteration ended.
     fn iteration_end(&mut self, _ev: &IterationEndEvent) {}
+    /// The convergence watchdog flagged a degenerate repair pattern.
+    fn watchdog(&mut self, _ev: &WatchdogEvent<'_>) {}
 }
 
 /// Per-launch context handed to the scheduler so it can emit workgroup and
@@ -232,7 +248,7 @@ impl Probe<'_> {
 // JSON plumbing (dependency-free; the simulator crate stays std-only).
 
 /// Escape a string for inclusion in a JSON document.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -249,7 +265,7 @@ fn esc(s: &str) -> String {
 }
 
 /// Render a float as a JSON number (never `NaN`/`inf`, which JSON forbids).
-fn num(f: f64) -> String {
+pub(crate) fn num(f: f64) -> String {
     if f.is_finite() {
         format!("{f}")
     } else {
@@ -622,6 +638,17 @@ impl ProfileSink for JsonlSink {
             ev.iteration, ev.completed, ev.cycle,
         ));
     }
+
+    fn watchdog(&mut self, ev: &WatchdogEvent<'_>) {
+        self.lines.push(format!(
+            "{{\"type\":\"watchdog\",\"iteration\":{},\"kind\":\"{}\",\"detail\":\"{}\",\
+             \"cycle\":{}}}",
+            ev.iteration,
+            esc(ev.kind),
+            esc(ev.detail),
+            ev.cycle,
+        ));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -672,6 +699,15 @@ pub struct CapturedIteration {
     pub end_cycle: u64,
 }
 
+/// Owned copy of a convergence-watchdog warning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapturedWatchdog {
+    pub iteration: usize,
+    pub kind: String,
+    pub detail: String,
+    pub cycle: u64,
+}
+
 /// Records owned copies of every event — the input to report generators
 /// (`gc-profile`) and tests.
 #[derive(Default, Clone)]
@@ -680,6 +716,7 @@ pub struct CaptureSink {
     pub workgroups: Vec<CapturedWorkgroup>,
     pub steal_pops: Vec<CapturedStealPop>,
     pub iterations: Vec<CapturedIteration>,
+    pub watchdog_events: Vec<CapturedWatchdog>,
     pending_iterations: BTreeMap<usize, (usize, u64)>,
 }
 
@@ -740,6 +777,15 @@ impl ProfileSink for CaptureSink {
             completed: ev.completed,
             start_cycle: start,
             end_cycle: ev.cycle,
+        });
+    }
+
+    fn watchdog(&mut self, ev: &WatchdogEvent<'_>) {
+        self.watchdog_events.push(CapturedWatchdog {
+            iteration: ev.iteration,
+            kind: ev.kind.to_string(),
+            detail: ev.detail.to_string(),
+            cycle: ev.cycle,
         });
     }
 }

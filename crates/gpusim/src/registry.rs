@@ -1,0 +1,728 @@
+//! Typed metrics registry: counters, gauges, and histograms with labeled
+//! series, exportable as Prometheus text format or deterministic JSON.
+//!
+//! The registry is the longitudinal complement to the event sinks in
+//! [`crate::profile`]: sinks stream *what happened* inside one run, the
+//! registry aggregates *where things stand* in a form external scrapers
+//! (or `gc-ledger`) can compare across runs. Every store is a `BTreeMap`
+//! keyed by metric name and sorted label pairs, so rendering the same
+//! inputs always produces byte-identical output.
+//!
+//! [`MetricsRegistry::record_device`] populates the standard device series
+//! from a [`DeviceStats`] snapshot — wall cycles, launches, critical-path
+//! components (labeled by phase), per-kernel and per-buffer counters, and
+//! the occupancy/duration/steal-depth histograms. Algorithm layers add
+//! run-level series on top (see `gc-core`).
+//!
+//! ```
+//! use gc_gpusim::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.add_counter("gc_runs_total", "Coloring runs", &[("algorithm", "maxmin")], 1);
+//! reg.set_gauge("gc_run_imbalance", "Load imbalance", &[], 1.25);
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("gc_runs_total{algorithm=\"maxmin\"} 1"));
+//! gc_gpusim::validate_prometheus_text(&text).unwrap();
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{DeviceStats, Histogram};
+use crate::profile::{esc, num};
+
+/// Sorted `(key, value)` label pairs identifying one series of a metric.
+type LabelSet = Vec<(String, String)>;
+
+/// All series of one metric name, plus its help text.
+#[derive(Debug, Clone, Default)]
+struct Family<T> {
+    help: String,
+    series: BTreeMap<LabelSet, T>,
+}
+
+/// A typed metric store with labeled series. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Family<u64>>,
+    gauges: BTreeMap<String, Family<f64>>,
+    histograms: BTreeMap<String, Family<Histogram>>,
+}
+
+/// Canonicalize caller labels: owned pairs sorted by key (rendering order
+/// is therefore independent of call-site order).
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut ls: LabelSet = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    ls.sort();
+    ls
+}
+
+/// Escape a Prometheus label value (`\\`, `\"`, `\n` per the text format).
+fn prom_esc(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set as `k="v",k2="v2"` (empty string for no labels).
+fn label_string(labels: &LabelSet) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_esc(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One Prometheus sample line: `name{labels} value` (braces omitted when
+/// there are no labels). `extra` is appended inside the braces (used for
+/// the `quantile` label of summary series).
+fn sample_line(name: &str, labels: &LabelSet, extra: Option<(&str, &str)>, value: &str) -> String {
+    let mut inner = label_string(labels);
+    if let Some((k, v)) = extra {
+        if !inner.is_empty() {
+            inner.push(',');
+        }
+        inner.push_str(&format!("{k}=\"{}\"", prom_esc(v)));
+    }
+    if inner.is_empty() {
+        format!("{name} {value}")
+    } else {
+        format!("{name}{{{inner}}} {value}")
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// No series of any type recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Add `value` to the counter series `name{labels}` (created at 0).
+    /// The first call for a name fixes its help text.
+    pub fn add_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let fam = self.counters.entry(name.to_string()).or_default();
+        if fam.help.is_empty() {
+            fam.help = help.to_string();
+        }
+        *fam.series.entry(label_set(labels)).or_insert(0) += value;
+    }
+
+    /// Set the gauge series `name{labels}` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let fam = self.gauges.entry(name.to_string()).or_default();
+        if fam.help.is_empty() {
+            fam.help = help.to_string();
+        }
+        fam.series.insert(label_set(labels), value);
+    }
+
+    /// Merge `hist` into the histogram series `name{labels}`.
+    pub fn record_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+    ) {
+        let fam = self.histograms.entry(name.to_string()).or_default();
+        if fam.help.is_empty() {
+            fam.help = help.to_string();
+        }
+        fam.series.entry(label_set(labels)).or_default().merge(hist);
+    }
+
+    /// Current value of a counter series, if recorded.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .get(name)?
+            .series
+            .get(&label_set(labels))
+            .copied()
+    }
+
+    /// Current value of a gauge series, if recorded.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges
+            .get(name)?
+            .series
+            .get(&label_set(labels))
+            .copied()
+    }
+
+    /// Current state of a histogram series, if recorded.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(name)?.series.get(&label_set(labels))
+    }
+
+    /// Populate the standard device-level series from a [`DeviceStats`]
+    /// snapshot. `device` labels every series (use `"0"`, `"1"`, … or a
+    /// run-unique name); calling again with the same label accumulates
+    /// counters, which is what a caller folding multiple devices into one
+    /// registry wants.
+    pub fn record_device(&mut self, device: &str, stats: &DeviceStats) {
+        let dev = [("device", device)];
+        self.add_counter(
+            "gc_device_cycles_total",
+            "Total wall cycles across all launches",
+            &dev,
+            stats.total_cycles,
+        );
+        self.add_counter(
+            "gc_device_kernel_launches_total",
+            "Kernel launches",
+            &dev,
+            stats.kernels_launched,
+        );
+        for (phase, cycles) in [
+            ("kernel", stats.path_kernel_cycles),
+            ("tail", stats.path_tail_cycles),
+            ("host", stats.path_host_cycles),
+        ] {
+            self.add_counter(
+                "gc_device_path_cycles_total",
+                "Critical-path cycles by phase (kernel = all CUs busy, tail = straggler \
+                 window, host = launch overhead); phases sum to gc_device_cycles_total",
+                &[("device", device), ("phase", phase)],
+                cycles,
+            );
+        }
+        self.add_counter(
+            "gc_device_mem_transactions_total",
+            "Coalesced global-memory transactions",
+            &dev,
+            stats.mem_transactions,
+        );
+        self.add_counter(
+            "gc_device_global_atomics_total",
+            "Global atomic lane-operations",
+            &dev,
+            stats.global_atomics,
+        );
+        self.add_counter(
+            "gc_device_steal_pops_total",
+            "Work-stealing queue pops",
+            &dev,
+            stats.steal_pops,
+        );
+        self.add_counter(
+            "gc_device_divergent_steps_total",
+            "SIMT steps with branch divergence",
+            &dev,
+            stats.divergent_steps,
+        );
+        self.set_gauge(
+            "gc_device_simd_utilization",
+            "Fraction of SIMD lanes doing useful work",
+            &dev,
+            stats.simd_utilization(),
+        );
+        self.set_gauge(
+            "gc_device_imbalance_factor",
+            "Load imbalance across CUs: max(busy) / mean(busy)",
+            &dev,
+            stats.imbalance_factor(),
+        );
+        if let Some(rate) = stats.l2_hit_rate() {
+            self.set_gauge("gc_device_l2_hit_rate", "L2 hit rate", &dev, rate);
+        }
+        for (kernel, agg) in &stats.per_kernel {
+            let kl = [("device", device), ("kernel", kernel.as_str())];
+            self.add_counter(
+                "gc_kernel_wall_cycles_total",
+                "Wall cycles per kernel name",
+                &kl,
+                agg.wall_cycles,
+            );
+            self.add_counter(
+                "gc_kernel_launches_total",
+                "Launches per kernel name",
+                &kl,
+                agg.launches,
+            );
+            for (phase, cycles) in [
+                ("kernel", agg.path_kernel_cycles),
+                ("tail", agg.path_tail_cycles),
+                ("host", agg.path_host_cycles),
+            ] {
+                self.add_counter(
+                    "gc_kernel_path_cycles_total",
+                    "Critical-path cycles per kernel name, by phase",
+                    &[
+                        ("device", device),
+                        ("kernel", kernel.as_str()),
+                        ("phase", phase),
+                    ],
+                    cycles,
+                );
+            }
+        }
+        for (buffer, b) in &stats.per_buffer {
+            let bl = [("buffer", buffer.as_str()), ("device", device)];
+            self.add_counter(
+                "gc_buffer_bytes_moved_total",
+                "Bytes moved per buffer",
+                &bl,
+                b.bytes_moved,
+            );
+            self.add_counter(
+                "gc_buffer_transactions_total",
+                "Coalesced transactions per buffer",
+                &bl,
+                b.transactions,
+            );
+            self.add_counter(
+                "gc_buffer_atomic_lane_ops_total",
+                "Atomic lane-operations per buffer",
+                &bl,
+                b.atomic_lane_ops,
+            );
+        }
+        self.record_histogram(
+            "gc_lane_occupancy",
+            "Active lanes per SIMT step",
+            &dev,
+            &stats.lane_occupancy,
+        );
+        self.record_histogram(
+            "gc_wg_duration_cycles",
+            "Service cycles per workgroup execution",
+            &dev,
+            &stats.wg_duration,
+        );
+        self.record_histogram(
+            "gc_steal_depth",
+            "Work-steal queue depth at pop time",
+            &dev,
+            &stats.steal_depth,
+        );
+    }
+
+    /// Render the registry as Prometheus text format: counters and gauges
+    /// as single samples, histograms as summaries (quantile series from the
+    /// log2 buckets — see [`Histogram::percentile`] for the semantics —
+    /// plus `_sum` and `_count`). Output is byte-deterministic: families
+    /// sorted by name within each type, series sorted by label set.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.counters {
+            out.push_str(&format!("# HELP {name} {}\n", help_esc(&fam.help)));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (labels, v) in &fam.series {
+                out.push_str(&sample_line(name, labels, None, &v.to_string()));
+                out.push('\n');
+            }
+        }
+        for (name, fam) in &self.gauges {
+            out.push_str(&format!("# HELP {name} {}\n", help_esc(&fam.help)));
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for (labels, v) in &fam.series {
+                out.push_str(&sample_line(name, labels, None, &num(*v)));
+                out.push('\n');
+            }
+        }
+        for (name, fam) in &self.histograms {
+            out.push_str(&format!("# HELP {name} {}\n", help_esc(&fam.help)));
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (labels, h) in &fam.series {
+                for (q, v) in [
+                    ("0.5", h.p50()),
+                    ("0.95", h.p95()),
+                    ("0.99", h.p99()),
+                    ("0.999", h.p999()),
+                ] {
+                    out.push_str(&sample_line(
+                        name,
+                        labels,
+                        Some(("quantile", q)),
+                        &v.to_string(),
+                    ));
+                    out.push('\n');
+                }
+                out.push_str(&sample_line(
+                    &format!("{name}_sum"),
+                    labels,
+                    None,
+                    &h.sum().to_string(),
+                ));
+                out.push('\n');
+                out.push_str(&sample_line(
+                    &format!("{name}_count"),
+                    labels,
+                    None,
+                    &h.count().to_string(),
+                ));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Render the registry as one deterministic JSON document: family maps
+    /// keyed by metric name, series keyed by the rendered label string.
+    /// Histogram series carry count/sum/min/max and the standard quantiles.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        push_families(&mut out, &self.counters, |v| v.to_string());
+        out.push_str("},\"gauges\":{");
+        push_families(&mut out, &self.gauges, |v| num(*v));
+        out.push_str("},\"histograms\":{");
+        push_families(&mut out, &self.histograms, |h| {
+            format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\
+                 \"p99\":{},\"p999\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.p999()
+            )
+        });
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escape a help string for the `# HELP` line (`\\` and `\n`).
+fn help_esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Append `"name":{"help":"...","series":{"<labels>":<value>,...}},...`
+/// for each family, with `render` producing each value's JSON.
+fn push_families<T>(
+    out: &mut String,
+    families: &BTreeMap<String, Family<T>>,
+    render: impl Fn(&T) -> String,
+) {
+    let mut first_fam = true;
+    for (name, fam) in families {
+        if !first_fam {
+            out.push(',');
+        }
+        first_fam = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"help\":\"{}\",\"series\":{{",
+            esc(name),
+            esc(&fam.help)
+        ));
+        let mut first = true;
+        for (labels, v) in &fam.series {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", esc(&label_string(labels)), render(v)));
+        }
+        out.push_str("}}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal Prometheus text-format checker
+
+/// Validate `text` against a minimal subset of the Prometheus text format:
+/// `# HELP` / `# TYPE` comment lines with a valid metric name and known
+/// type, and sample lines of the form `name{k="v",...} value` where the
+/// name is `[a-zA-Z_:][a-zA-Z0-9_:]*`, labels are optionally-escaped quoted
+/// strings, and the value parses as a finite number. Returns the first
+/// offending line in the error.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            check_name(name).map_err(|e| format!("line {n}: {e}"))?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            check_name(name).map_err(|e| format!("line {n}: {e}"))?;
+            let ty = parts.next().unwrap_or("");
+            if !["counter", "gauge", "summary", "histogram", "untyped"].contains(&ty) {
+                return Err(format!("line {n}: unknown metric type {ty:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn check_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = |c: char| c.is_ascii_alphabetic() || c == '_' || c == ':';
+    match chars.next() {
+        Some(c) if ok_first(c) => {}
+        _ => return Err(format!("invalid metric name {name:?}")),
+    }
+    if chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err(format!("invalid metric name {name:?}"))
+    }
+}
+
+/// Parse one sample line: `name value` or `name{k="v",...} value`.
+fn parse_sample(line: &str) -> Result<(), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces in {line:?}"))?;
+            if close < brace {
+                return Err(format!("malformed labels in {line:?}"));
+            }
+            parse_labels(&line[brace + 1..close])?;
+            (&line[..brace], &line[close + 1..])
+        }
+        None => match line.find(' ') {
+            Some(sp) => (&line[..sp], &line[sp..]),
+            None => return Err(format!("sample line without value: {line:?}")),
+        },
+    };
+    check_name(name_part)?;
+    let value = rest.trim();
+    match value.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(()),
+        _ => Err(format!("invalid sample value {value:?} in {line:?}")),
+    }
+}
+
+/// Parse a `k="v",k2="v2"` label body, honoring `\"` escapes in values.
+fn parse_labels(body: &str) -> Result<(), String> {
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                key.push(c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if key.is_empty() {
+            return Err(format!("empty label name in {body:?}"));
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("label {key:?} missing =\"...\" in {body:?}"));
+        }
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated label value for {key:?} in {body:?}"));
+        }
+        match chars.next() {
+            None => return Ok(()),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected {c:?} after label {key:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::gpu::Gpu;
+    use crate::kernel::Launch;
+    use crate::lane::LaneCtx;
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite_histograms_merge() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.add_counter("c", "help", &[("a", "1")], 5);
+        reg.add_counter("c", "ignored-second-help", &[("a", "1")], 7);
+        reg.add_counter("c", "", &[("a", "2")], 1);
+        assert_eq!(reg.counter("c", &[("a", "1")]), Some(12));
+        assert_eq!(reg.counter("c", &[("a", "2")]), Some(1));
+        assert_eq!(reg.counter("c", &[("a", "3")]), None);
+
+        reg.set_gauge("g", "", &[], 1.0);
+        reg.set_gauge("g", "", &[], 2.5);
+        assert_eq!(reg.gauge("g", &[]), Some(2.5));
+
+        let mut h = Histogram::new();
+        h.record(4);
+        reg.record_histogram("h", "", &[], &h);
+        reg.record_histogram("h", "", &[], &h);
+        assert_eq!(reg.histogram("h", &[]).unwrap().count(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("c", "", &[("b", "2"), ("a", "1")], 1);
+        reg.add_counter("c", "", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(reg.counter("c", &[("b", "2"), ("a", "1")]), Some(2));
+        let text = reg.render_prometheus();
+        assert!(text.contains("c{a=\"1\",b=\"2\"} 2"), "{text}");
+    }
+
+    fn run_kernels(gpu: &mut Gpu) {
+        let buf = gpu.alloc_filled_named(64, 0u32, "data");
+        let kernel = move |ctx: &mut LaneCtx| {
+            let i = ctx.item();
+            ctx.write(buf, i, i as u32);
+        };
+        gpu.launch(&kernel, Launch::threads("fill", 64).wg_size(8));
+        gpu.launch(&kernel, Launch::threads("fill", 64).wg_size(8).stealing(16));
+    }
+
+    #[test]
+    fn record_device_populates_standard_series() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        run_kernels(&mut gpu);
+        let mut reg = MetricsRegistry::new();
+        reg.record_device("0", gpu.stats());
+
+        let dev = [("device", "0")];
+        assert_eq!(
+            reg.counter("gc_device_cycles_total", &dev),
+            Some(gpu.stats().total_cycles)
+        );
+        assert_eq!(
+            reg.counter("gc_device_kernel_launches_total", &dev),
+            Some(2)
+        );
+        // Path phases sum to the device total.
+        let path: u64 = ["kernel", "tail", "host"]
+            .iter()
+            .map(|p| {
+                reg.counter(
+                    "gc_device_path_cycles_total",
+                    &[("device", "0"), ("phase", p)],
+                )
+                .unwrap()
+            })
+            .sum();
+        assert_eq!(path, gpu.stats().total_cycles);
+        // Per-kernel series exist and match the aggregate.
+        assert_eq!(
+            reg.counter(
+                "gc_kernel_wall_cycles_total",
+                &[("device", "0"), ("kernel", "fill")]
+            ),
+            Some(gpu.stats().per_kernel["fill"].wall_cycles)
+        );
+        // Per-buffer bytes match the attribution.
+        assert_eq!(
+            reg.counter(
+                "gc_buffer_bytes_moved_total",
+                &[("device", "0"), ("buffer", "data")]
+            ),
+            Some(gpu.stats().per_buffer["data"].bytes_moved)
+        );
+        assert!(reg.gauge("gc_device_imbalance_factor", &dev).unwrap() >= 1.0);
+        assert_eq!(
+            reg.histogram("gc_lane_occupancy", &dev).unwrap().count(),
+            gpu.stats().lane_occupancy.count()
+        );
+    }
+
+    #[test]
+    fn prometheus_output_validates_and_summarizes_histograms() {
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        run_kernels(&mut gpu);
+        let mut reg = MetricsRegistry::new();
+        reg.record_device("0", gpu.stats());
+        let text = reg.render_prometheus();
+        validate_prometheus_text(&text).expect("output must parse");
+        assert!(text.contains("# TYPE gc_device_cycles_total counter"));
+        assert!(text.contains("# TYPE gc_device_imbalance_factor gauge"));
+        assert!(text.contains("# TYPE gc_lane_occupancy summary"));
+        assert!(text.contains("gc_lane_occupancy{device=\"0\",quantile=\"0.999\"}"));
+        assert!(text.contains("gc_lane_occupancy_sum{device=\"0\"}"));
+        assert!(text.contains("gc_lane_occupancy_count{device=\"0\"}"));
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        let build = || {
+            let mut gpu = Gpu::new(DeviceConfig::small_test());
+            run_kernels(&mut gpu);
+            let mut reg = MetricsRegistry::new();
+            reg.record_device("0", gpu.stats());
+            (reg.render_prometheus(), reg.render_json())
+        };
+        let (prom_a, json_a) = build();
+        let (prom_b, json_b) = build();
+        assert_eq!(prom_a, prom_b);
+        assert_eq!(json_a, json_b);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("c", "a \"quoted\" help", &[("k", "v")], 3);
+        reg.set_gauge("g", "", &[], 0.5);
+        let mut h = Histogram::new();
+        h.record(7);
+        reg.record_histogram("h", "", &[("k", "v")], &h);
+        let json = reg.render_json();
+        // Structure: three family maps, escaped help, quantile fields.
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        assert!(json.contains("\"a \\\"quoted\\\" help\""), "{json}");
+        assert!(json.contains("\"k=\\\"v\\\"\":3"), "{json}");
+        assert!(json.contains("\"p999\":7"), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(validate_prometheus_text("ok_metric 1\n").is_ok());
+        assert!(validate_prometheus_text("ok{a=\"b\"} 2.5\n").is_ok());
+        let bad = [
+            "1bad_name 1",
+            "metric",
+            "metric notanumber",
+            "metric{a=b} 1",
+            "metric{a=\"unterminated} 1",
+            "metric{=\"v\"} 1",
+            "# TYPE m sometype",
+        ];
+        for line in bad {
+            assert!(
+                validate_prometheus_text(&format!("{line}\n")).is_err(),
+                "{line:?} must be rejected"
+            );
+        }
+    }
+}

@@ -12,10 +12,10 @@
 
 use std::io::BufReader;
 
-use gc_core::GpuOptions;
+use gc_core::{GpuOptions, LedgerRecord, DEFAULT_LEDGER_PATH};
 use gc_graph::{io, CsrGraph, Scale};
 use gc_tune::{
-    cache_key, render_report, tune, ParamSpace, SearchStrategy, TuneCache, TuneEntry,
+    cache_key, render_report, run_config, tune, ParamSpace, SearchStrategy, TuneCache, TuneEntry,
     OBJECTIVE_WALL_CYCLES, SPACE_NAMES, STRATEGY_NAMES,
 };
 
@@ -43,6 +43,8 @@ options:
   --report           render the Pareto frontier and, for multi-device
                      spaces, the link crossover surface
   --json [PATH]      dump the outcome as JSON (stdout if no PATH)
+  --ledger [PATH]    re-run the winner and append the run to the run
+                     ledger (default LEDGER.jsonl; see gc-ledger)
   --help             this text";
 
 struct Args {
@@ -61,6 +63,7 @@ struct Args {
     force: bool,
     report: bool,
     json: Option<Option<String>>,
+    ledger: Option<String>,
 }
 
 impl Default for Args {
@@ -81,6 +84,7 @@ impl Default for Args {
             force: false,
             report: false,
             json: None,
+            ledger: None,
         }
     }
 }
@@ -176,6 +180,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Parsed, String> {
                     _ => args.json = Some(None),
                 }
             }
+            "--ledger" => {
+                args.ledger = Some(match argv.peek() {
+                    Some(next) if !next.starts_with("--") => argv.next().unwrap(),
+                    _ => DEFAULT_LEDGER_PATH.to_string(),
+                });
+            }
             other => return Err(format!("unknown argument '{other}' (see --help)")),
         }
     }
@@ -269,6 +279,30 @@ fn build_ladder(args: &Args) -> Result<Vec<(String, CsrGraph)>, String> {
     )])
 }
 
+/// Re-run `config` on the target graph and append the run to the ledger —
+/// the search itself scores configs without keeping full reports, and the
+/// replay is deterministic, so this reproduces the winner exactly.
+fn append_winner_to_ledger(
+    path: &str,
+    target_label: &str,
+    target: &CsrGraph,
+    fingerprint: u64,
+    algorithm: &str,
+    config: &gc_tune::TunedConfig,
+    base: &GpuOptions,
+) -> Result<(), String> {
+    let report = run_config(target, algorithm, config, base)?;
+    LedgerRecord::new(
+        "gc-tune",
+        target_label,
+        fingerprint,
+        &config.label(),
+        &report,
+    )
+    .append(path)?;
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(Parsed::Run(args)) => args,
@@ -319,6 +353,22 @@ fn main() {
             if args.report {
                 eprintln!("note: --report needs fresh evaluations; pass --force to re-search");
             }
+            if let Some(path) = &args.ledger {
+                let base = GpuOptions::baseline()
+                    .with_device(pick_device(&args.device).expect("validated at parse time"))
+                    .with_seed(args.seed);
+                append_winner_to_ledger(
+                    path,
+                    target_label,
+                    target,
+                    fingerprint,
+                    &args.algorithm,
+                    &entry.config,
+                    &base,
+                )
+                .unwrap_or_else(|e| fail(e));
+                eprintln!("appended run record to {path}");
+            }
             return;
         }
     }
@@ -362,6 +412,20 @@ fn main() {
         );
         cache.save(&args.cache).unwrap_or_else(|e| fail(e));
         eprintln!("cached {key} -> {}", args.cache);
+    }
+
+    if let Some(path) = &args.ledger {
+        append_winner_to_ledger(
+            path,
+            target_label,
+            target,
+            fingerprint,
+            &args.algorithm,
+            &w.config,
+            &base,
+        )
+        .unwrap_or_else(|e| fail(e));
+        eprintln!("appended run record to {path}");
     }
 
     if let Some(target) = &args.json {
