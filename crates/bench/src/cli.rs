@@ -4,13 +4,14 @@
 
 use std::io::BufReader;
 
-use gc_core::{gpu, seq, GpuOptions, RunReport, VertexOrdering};
+use gc_core::{gpu, ColorJob, GpuOptions, RunReport};
 use gc_gpusim::{DeviceConfig, Gpu, LinkConfig, MultiGpu};
 use gc_graph::partition::{PartitionStrategy, STRATEGY_NAMES};
 use gc_graph::{io, CsrGraph, Scale};
 
-/// Valid `--algorithm` values, in help order.
-pub const ALGORITHMS: &[&str] = &["maxmin", "jp", "firstfit", "seq", "dsatur"];
+// Algorithm names live in gc-core next to [`ColorJob`]; re-exported here so
+// the binaries keep their historical import path.
+pub use gc_core::{is_gpu_algorithm, ALGORITHMS};
 /// Valid `--dataset` values (the registry suite, in table order).
 pub fn dataset_names() -> Vec<&'static str> {
     gc_graph::suite().iter().map(|d| d.name).collect()
@@ -168,14 +169,7 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 }
                 args.dataset = Some(name);
             }
-            "--scale" => {
-                args.scale = match value("--scale")?.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "full" => Scale::Full,
-                    other => return Err(format!("unknown scale '{other}' (tiny | small | full)")),
-                }
-            }
+            "--scale" => args.scale = parse_scale(&value("--scale")?)?,
             "--algorithm" => {
                 let a = value("--algorithm")?;
                 if !ALGORITHMS.contains(&a.as_str()) {
@@ -343,6 +337,36 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
     } else if args.input.is_none() == args.dataset.is_none() {
         return Err("exactly one of --input or --dataset is required".into());
     }
+    validate_knobs(&mut args, algorithm_explicit, &pinned)?;
+    Ok(Parsed::Run(Box::new(args)))
+}
+
+/// Parse a `--scale` value (also used by `gc-serve` job specs).
+pub fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale '{other}' (tiny | small | full)")),
+    }
+}
+
+/// Cross-knob validation shared by the CLI parsers (`gc-color`,
+/// `gc-profile`) and `gc-serve`'s job validation, so every entry point
+/// rejects inconsistent knob sets with identical wording: device count,
+/// `--tuned` vs. explicitly pinned knobs, the `--devices > 1` ⇒ `firstfit`
+/// rule, and the multi-device gating of `--partition` / `--no-overlap` /
+/// `--link-*`.
+///
+/// `algorithm_explicit` says whether the caller chose the algorithm (an
+/// implicit default is silently overridden to `firstfit` for multi-device
+/// runs; an explicit non-firstfit choice is an error). `pinned` lists the
+/// knob flags the caller set explicitly, for the `--tuned` conflict check.
+pub fn validate_knobs(
+    args: &mut ColorArgs,
+    algorithm_explicit: bool,
+    pinned: &[&str],
+) -> Result<(), String> {
     if args.devices == 0 {
         return Err("--devices must be at least 1".into());
     }
@@ -370,7 +394,7 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
     } else if args.link_latency.is_some() || args.link_bandwidth.is_some() {
         return Err("--link-latency/--link-bandwidth only apply with --devices > 1".into());
     }
-    Ok(Parsed::Run(Box::new(args)))
+    Ok(())
 }
 
 /// Load the graph named by `--input`/`--dataset`.
@@ -521,12 +545,6 @@ pub fn apply_tuned(args: &mut ColorArgs, g: &CsrGraph) -> Result<Option<String>,
     )))
 }
 
-/// Whether the algorithm runs on the simulated device (and can therefore
-/// be profiled with device-event sinks).
-pub fn is_gpu_algorithm(name: &str) -> bool {
-    matches!(name, "maxmin" | "jp" | "firstfit")
-}
-
 /// Canonical description of every knob that affects the clock, built from
 /// the *resolved* options so two flag spellings of the same configuration
 /// produce the same string (and therefore the same ledger config hash).
@@ -598,34 +616,24 @@ pub fn run_multi_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &gpu::MultiOptions) -
 /// Run a GPU algorithm on a caller-supplied device (so profilers attached
 /// to `gpu` observe the run).
 pub fn run_gpu_on(gpu: &mut Gpu, algorithm: &str, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
-    match algorithm {
-        "maxmin" => gpu::maxmin::color_on(gpu, g, opts),
-        "jp" => gpu::jp::color_on(gpu, g, opts),
-        "firstfit" => gpu::first_fit::color_on(gpu, g, opts),
-        other => unreachable!("not a GPU algorithm: {other}"),
+    ColorJob::new(algorithm, opts.clone())
+        .expect("caller validated the algorithm name")
+        .execute_on(gpu, g)
+}
+
+/// Resolve the parsed flags into a schedulable [`ColorJob`] — the same
+/// description `gc-serve` builds from an HTTP job spec, so a CLI run and a
+/// served job of the same configuration execute identically.
+pub fn color_job(args: &ColorArgs) -> Result<ColorJob, String> {
+    if args.devices > 1 {
+        return Ok(ColorJob::multi_device(multi_options(args)?));
     }
+    ColorJob::new(&args.algorithm, gpu_options(args)?)
 }
 
 /// Run any algorithm in the suite (host algorithms included).
 pub fn run_algorithm(args: &ColorArgs, g: &CsrGraph) -> Result<RunReport, String> {
-    if args.devices > 1 {
-        return Ok(gpu::multi::color(g, &multi_options(args)?));
-    }
-    if is_gpu_algorithm(&args.algorithm) {
-        let opts = gpu_options(args)?;
-        let mut gpu = Gpu::new(opts.device.clone());
-        return Ok(run_gpu_on(&mut gpu, &args.algorithm, g, &opts));
-    }
-    Ok(match args.algorithm.as_str() {
-        "seq" => seq::greedy_first_fit(g, VertexOrdering::SmallestLast),
-        "dsatur" => seq::dsatur(g),
-        other => {
-            return Err(format!(
-                "unknown algorithm '{other}' ({})",
-                ALGORITHMS.join(" | ")
-            ))
-        }
-    })
+    Ok(color_job(args)?.execute(g))
 }
 
 #[cfg(test)]
@@ -876,6 +884,92 @@ mod tests {
         let mo = multi_options(&a).unwrap();
         assert_eq!(mo.strategy, PartitionStrategy::CutAware);
         assert!(!mo.overlap);
+    }
+
+    #[test]
+    fn parse_scale_names() {
+        assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
+        assert_eq!(parse_scale("small").unwrap(), Scale::Small);
+        assert_eq!(parse_scale("full").unwrap(), Scale::Full);
+        let err = parse_scale("huge").unwrap_err();
+        assert!(err.contains("unknown scale 'huge'"), "{err}");
+    }
+
+    #[test]
+    fn validate_knobs_matches_parser_wording() {
+        // The standalone helper (as gc-serve calls it) produces the same
+        // errors as the flag parser for the same inconsistent knob sets.
+        type Case = (&'static [&'static str], fn(&mut ColorArgs));
+        let cases: &[Case] = &[
+            (&["--dataset", "road-net", "--devices", "0"], |a| {
+                a.devices = 0
+            }),
+            (&["--dataset", "road-net", "--partition", "block"], |a| {
+                a.partition = Some("block".into())
+            }),
+            (&["--dataset", "road-net", "--no-overlap"], |a| {
+                a.overlap = false
+            }),
+            (&["--dataset", "road-net", "--link-latency", "200"], |a| {
+                a.link_latency = Some(200)
+            }),
+        ];
+        for (argv, apply) in cases {
+            let parser_err = parse(argv).unwrap_err();
+            let mut args = ColorArgs::default();
+            apply(&mut args);
+            let helper_err = validate_knobs(&mut args, false, &[]).unwrap_err();
+            assert_eq!(parser_err, helper_err, "{argv:?}");
+        }
+        // Multi-device runs force firstfit exactly like the parser…
+        let mut args = ColorArgs {
+            devices: 2,
+            ..ColorArgs::default()
+        };
+        validate_knobs(&mut args, false, &[]).unwrap();
+        assert_eq!(args.algorithm, "firstfit");
+        // …and refuse an explicit non-firstfit algorithm.
+        let mut args = ColorArgs {
+            devices: 2,
+            algorithm: "maxmin".into(),
+            ..ColorArgs::default()
+        };
+        let err = validate_knobs(&mut args, true, &[]).unwrap_err();
+        assert!(err.contains("firstfit"), "{err}");
+        // Pinned knobs conflict with --tuned through the helper too.
+        let mut args = ColorArgs {
+            tuned: Some("cache.json".into()),
+            wg: Some(128),
+            ..ColorArgs::default()
+        };
+        let err = validate_knobs(&mut args, false, &["--wg"]).unwrap_err();
+        assert!(err.contains("--tuned") && err.contains("--wg"), "{err}");
+    }
+
+    #[test]
+    fn color_job_resolves_single_and_multi_device() {
+        let a = parsed(&["--dataset", "road-net", "--algorithm", "jp", "--wg", "64"]);
+        let job = color_job(&a).unwrap();
+        assert_eq!(job.algorithm(), "jp");
+        assert_eq!(job.devices(), 1);
+        assert_eq!(job.opts.wg_size, 64);
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--devices",
+            "2",
+            "--partition",
+            "block",
+        ]);
+        let job = color_job(&a).unwrap();
+        assert_eq!(job.algorithm(), "firstfit");
+        assert_eq!(job.devices(), 2);
+        // run_algorithm delegates through the job: same report bytes.
+        let g = gc_graph::generators::grid_2d(8, 8);
+        let via_run = run_algorithm(&a, &g).unwrap();
+        let via_job = color_job(&a).unwrap().execute(&g);
+        assert_eq!(via_run.colors, via_job.colors);
+        assert_eq!(via_run.cycles, via_job.cycles);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! `Send + Clone` coloring job descriptions — the serving-layer entry point.
+//!
+//! The CLI binaries historically drove the algorithms through one-shot
+//! calls (`gpu::maxmin::color(&g, &opts)` …) chosen by string matching at
+//! each call site. A job server cannot work that way: it needs a value it
+//! can validate once, put on a queue, hand to a worker thread, and execute
+//! against a device checked out from a pool. [`ColorJob`] is that value —
+//! the algorithm plus its fully resolved options, self-contained and
+//! `Send + Clone` (pinned by a compile-time assertion below), so the same
+//! description can be queued, retried, batched, or hashed into a cache key
+//! without re-parsing anything.
+//!
+//! `gc-bench`'s CLI layer builds jobs from parsed flags
+//! (`gc_bench::cli::color_job`) and `gc-serve` builds them from HTTP job
+//! specs; both then call [`ColorJob::execute`] (or
+//! [`ColorJob::execute_on`] against a caller-supplied device, for
+//! profiling or pool-checkout runs).
+
+use gc_gpusim::Gpu;
+use gc_graph::CsrGraph;
+
+use crate::gpu::{self, GpuOptions, MultiOptions};
+use crate::report::RunReport;
+use crate::seq::{self, VertexOrdering};
+
+/// Valid algorithm names, in help order — the single source of truth for
+/// every layer that names algorithms (CLI parsing, job specs, tune cache).
+pub const ALGORITHMS: &[&str] = &["maxmin", "jp", "firstfit", "seq", "dsatur"];
+
+/// Whether the named algorithm runs on the simulated device (and can
+/// therefore be profiled with device-event sinks or batched onto one).
+pub fn is_gpu_algorithm(name: &str) -> bool {
+    matches!(name, "maxmin" | "jp" | "firstfit")
+}
+
+/// A self-contained, schedulable coloring job: algorithm name plus fully
+/// resolved options. See the module docs for why this exists.
+#[derive(Debug, Clone)]
+pub struct ColorJob {
+    /// Validated algorithm name (one of [`ALGORITHMS`]).
+    algorithm: String,
+    /// Kernel options for device algorithms; also carries the seed and
+    /// device config for host algorithms (ignored there).
+    pub opts: GpuOptions,
+    /// Multi-device configuration. `Some` selects the distributed
+    /// first-fit driver; the job then requires `algorithm == "firstfit"`.
+    pub multi: Option<MultiOptions>,
+    /// Vertex ordering for the sequential greedy algorithm (`"seq"` only).
+    pub ordering: VertexOrdering,
+}
+
+impl ColorJob {
+    /// Single-device job. Fails on an unknown algorithm name, listing the
+    /// choices.
+    pub fn new(algorithm: &str, opts: GpuOptions) -> Result<Self, String> {
+        if !ALGORITHMS.contains(&algorithm) {
+            return Err(format!(
+                "unknown algorithm '{algorithm}' ({})",
+                ALGORITHMS.join(" | ")
+            ));
+        }
+        Ok(Self {
+            algorithm: algorithm.into(),
+            opts,
+            multi: None,
+            ordering: VertexOrdering::SmallestLast,
+        })
+    }
+
+    /// Multi-device partitioned first-fit job (the only algorithm with a
+    /// distributed conflict-resolution protocol).
+    pub fn multi_device(multi: MultiOptions) -> Self {
+        Self {
+            algorithm: "firstfit".into(),
+            opts: multi.base.clone(),
+            multi: Some(multi),
+            ordering: VertexOrdering::SmallestLast,
+        }
+    }
+
+    /// Set the sequential ordering (meaningful for `"seq"`).
+    pub fn with_ordering(mut self, ordering: VertexOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// The validated algorithm name.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Devices the job runs across (1 unless a multi config is present).
+    pub fn devices(&self) -> usize {
+        self.multi.as_ref().map_or(1, |m| m.devices)
+    }
+
+    /// Whether the job runs on the simulated device.
+    pub fn is_device_job(&self) -> bool {
+        is_gpu_algorithm(&self.algorithm)
+    }
+
+    /// Run the job on graph `g`, constructing the device(s) it needs.
+    pub fn execute(&self, g: &CsrGraph) -> RunReport {
+        if let Some(multi) = &self.multi {
+            return gpu::multi::color(g, multi);
+        }
+        if self.is_device_job() {
+            let mut gpu = Gpu::new(self.opts.device.clone());
+            return self.execute_on(&mut gpu, g);
+        }
+        match self.algorithm.as_str() {
+            "seq" => seq::greedy_first_fit(g, self.ordering),
+            "dsatur" => seq::dsatur(g),
+            other => unreachable!("validated at construction: {other}"),
+        }
+    }
+
+    /// Run a single-device GPU job on a caller-supplied device, so
+    /// profilers attached to `gpu` (or a device checked out from a
+    /// [`gc_gpusim::DevicePool`]) observe the run.
+    ///
+    /// # Panics
+    /// If the job is not a single-device GPU job (`is_device_job` false or
+    /// `multi` present) — callers dispatch on those first.
+    pub fn execute_on(&self, gpu: &mut Gpu, g: &CsrGraph) -> RunReport {
+        assert!(
+            self.multi.is_none(),
+            "multi-device jobs build their own MultiGpu; use execute()"
+        );
+        match self.algorithm.as_str() {
+            "maxmin" => gpu::maxmin::color_on(gpu, g, &self.opts),
+            "jp" => gpu::jp::color_on(gpu, g, &self.opts),
+            "firstfit" => gpu::first_fit::color_on(gpu, g, &self.opts),
+            other => panic!("not a GPU algorithm: {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::grid_2d;
+    use gc_graph::PartitionStrategy;
+
+    /// The property the serving layer is built on.
+    #[test]
+    fn color_job_is_send_and_clone() {
+        fn assert_send_clone<T: Send + Clone + 'static>() {}
+        assert_send_clone::<ColorJob>();
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected_with_choices() {
+        let err = ColorJob::new("nope", GpuOptions::baseline()).unwrap_err();
+        assert!(err.contains("unknown algorithm 'nope'"), "{err}");
+        for a in ALGORITHMS {
+            assert!(err.contains(a), "error should list '{a}': {err}");
+        }
+    }
+
+    #[test]
+    fn execute_matches_the_oneshot_entry_points_byte_for_byte() {
+        let g = grid_2d(16, 16);
+        let opts = GpuOptions::baseline().with_device(DeviceConfig::small_test());
+        for alg in ALGORITHMS {
+            let job = ColorJob::new(alg, opts.clone()).unwrap();
+            let via_job = job.execute(&g);
+            let direct = match *alg {
+                "maxmin" => gpu::maxmin::color(&g, &opts),
+                "jp" => gpu::jp::color(&g, &opts),
+                "firstfit" => gpu::first_fit::color(&g, &opts),
+                "seq" => seq::greedy_first_fit(&g, VertexOrdering::SmallestLast),
+                "dsatur" => seq::dsatur(&g),
+                other => unreachable!("{other}"),
+            };
+            assert_eq!(via_job.colors, direct.colors, "{alg}");
+            assert_eq!(via_job.cycles, direct.cycles, "{alg}");
+            assert_eq!(via_job.num_colors, direct.num_colors, "{alg}");
+            crate::verify_coloring(&g, &via_job.colors).unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_device_job_matches_the_multi_driver() {
+        let g = grid_2d(16, 16);
+        let multi = MultiOptions::new(2)
+            .with_strategy(PartitionStrategy::Block)
+            .with_base(GpuOptions::baseline().with_device(DeviceConfig::small_test()));
+        let job = ColorJob::multi_device(multi.clone());
+        assert_eq!(job.algorithm(), "firstfit");
+        assert_eq!(job.devices(), 2);
+        let via_job = job.execute(&g);
+        let direct = gpu::multi::color(&g, &multi);
+        assert_eq!(via_job.colors, direct.colors);
+        assert_eq!(via_job.cycles, direct.cycles);
+    }
+
+    #[test]
+    fn execute_on_runs_on_the_supplied_device() {
+        let g = grid_2d(8, 8);
+        let opts = GpuOptions::baseline().with_device(DeviceConfig::small_test());
+        let job = ColorJob::new("firstfit", opts.clone()).unwrap();
+        let mut dev = Gpu::new(DeviceConfig::small_test());
+        let report = job.execute_on(&mut dev, &g);
+        crate::verify_coloring(&g, &report.colors).unwrap();
+        assert_eq!(dev.stats().total_cycles, report.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-device jobs")]
+    fn execute_on_refuses_multi_jobs() {
+        let job = ColorJob::multi_device(MultiOptions::new(2));
+        let mut dev = Gpu::new(DeviceConfig::small_test());
+        job.execute_on(&mut dev, &CsrGraph::empty());
+    }
+}

@@ -40,6 +40,7 @@
 pub mod balance;
 pub mod cpu;
 pub mod gpu;
+pub mod job;
 pub mod ledger;
 pub mod report;
 pub mod seq;
@@ -49,6 +50,7 @@ pub mod watch;
 pub use balance::{balance_coloring, class_imbalance};
 
 pub use gpu::{GpuOptions, WorkSchedule};
+pub use job::{is_gpu_algorithm, ColorJob, ALGORITHMS};
 pub use ledger::{Ledger, LedgerRecord, DEFAULT_LEDGER_PATH, LEDGER_VERSION};
 pub use report::{
     CriticalPath, IterationStats, MultiDeviceReport, RunReport, REPORT_SCHEMA_VERSION,

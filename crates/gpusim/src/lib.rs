@@ -56,6 +56,7 @@ pub mod kernel;
 pub mod lane;
 pub mod metrics;
 pub mod multi;
+pub mod pool;
 pub mod profile;
 pub mod registry;
 mod scheduler;
@@ -73,6 +74,7 @@ pub use metrics::{
     KernelAggregate, KernelStats, HOT_LINES_TOP_K,
 };
 pub use multi::{LinkConfig, MultiDeviceStats, MultiGpu, StepKind, StepSpan};
+pub use pool::{DeviceLease, DevicePool, PoolStats};
 pub use profile::{
     write_multi_phase_trace, CaptureSink, CapturedWatchdog, ChromeTraceSink, JsonlSink,
     ProfileSink, SharedSink, WatchdogEvent,

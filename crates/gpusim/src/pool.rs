@@ -1,0 +1,230 @@
+//! Device-pool checkout for the serving layer.
+//!
+//! A [`Gpu`] is deliberately not `Send` (its profiler sinks are
+//! `Rc`-shared), so a job server cannot pass device objects between
+//! threads. What *can* be shared is the right to use one of N device
+//! slots: [`DevicePool`] is a cloneable capacity gate over `devices`
+//! slots, and a [`DeviceLease`] is exclusive ownership of one slot until
+//! dropped. The lease constructs the actual [`Gpu`] *inside* the worker
+//! thread ([`DeviceLease::gpu`]); because the simulator is deterministic
+//! and holds no cross-run state, a freshly constructed device is
+//! indistinguishable from a persistent one with its stats reset, while
+//! staying thread-safe by construction.
+//!
+//! Checkout order is deterministic: the lowest free slot index is handed
+//! out first, so single-threaded tests see stable slot assignment.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::config::DeviceConfig;
+use crate::gpu::Gpu;
+
+/// Lifetime counters for a pool, snapshot via [`DevicePool::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts completed per slot, indexed by slot.
+    pub checkouts_per_slot: Vec<u64>,
+    /// Total checkouts completed across all slots.
+    pub total_checkouts: u64,
+    /// Slots currently leased out.
+    pub in_use: usize,
+}
+
+struct SlotState {
+    /// Free slot indices (unordered; checkout takes the minimum).
+    free: Vec<usize>,
+    checkouts_per_slot: Vec<u64>,
+    total_checkouts: u64,
+}
+
+struct Inner {
+    config: DeviceConfig,
+    state: Mutex<SlotState>,
+    available: Condvar,
+}
+
+/// A shareable pool of simulated-device slots. Clones share the slots.
+#[derive(Clone)]
+pub struct DevicePool {
+    inner: Arc<Inner>,
+}
+
+impl DevicePool {
+    /// A pool of `devices` slots, all built from one device configuration
+    /// (mirroring [`crate::MultiGpu`]'s homogeneous-device model).
+    ///
+    /// # Panics
+    /// If `devices` is zero.
+    pub fn new(devices: usize, config: DeviceConfig) -> Self {
+        assert!(devices > 0, "device pool needs at least one slot");
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                state: Mutex::new(SlotState {
+                    free: (0..devices).collect(),
+                    checkouts_per_slot: vec![0; devices],
+                    total_checkouts: 0,
+                }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of slots in the pool.
+    pub fn devices(&self) -> usize {
+        self.inner.state.lock().unwrap().checkouts_per_slot.len()
+    }
+
+    /// The configuration every leased device is built from.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.inner.config
+    }
+
+    /// Block until a slot is free and lease it.
+    pub fn checkout(&self) -> DeviceLease {
+        let mut state = self.inner.state.lock().unwrap();
+        while state.free.is_empty() {
+            state = self.inner.available.wait(state).unwrap();
+        }
+        self.lease_from(&mut state)
+    }
+
+    /// Lease a slot if one is free right now, without blocking.
+    pub fn try_checkout(&self) -> Option<DeviceLease> {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.free.is_empty() {
+            return None;
+        }
+        Some(self.lease_from(&mut state))
+    }
+
+    /// Lifetime counters (completed checkouts per slot, slots in use).
+    pub fn stats(&self) -> PoolStats {
+        let state = self.inner.state.lock().unwrap();
+        PoolStats {
+            checkouts_per_slot: state.checkouts_per_slot.clone(),
+            total_checkouts: state.total_checkouts,
+            in_use: state.checkouts_per_slot.len() - state.free.len(),
+        }
+    }
+
+    fn lease_from(&self, state: &mut SlotState) -> DeviceLease {
+        let min_pos = state
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, slot)| **slot)
+            .map(|(pos, _)| pos)
+            .expect("caller checked free is non-empty");
+        let slot = state.free.swap_remove(min_pos);
+        state.checkouts_per_slot[slot] += 1;
+        state.total_checkouts += 1;
+        DeviceLease {
+            inner: Arc::clone(&self.inner),
+            slot,
+        }
+    }
+}
+
+/// Exclusive use of one pool slot until dropped. `Send`, so a worker
+/// thread can hold it while running a job; the device itself is built on
+/// demand with [`DeviceLease::gpu`] and never crosses threads.
+pub struct DeviceLease {
+    inner: Arc<Inner>,
+    slot: usize,
+}
+
+impl DeviceLease {
+    /// The leased slot's index (stable for the lease's lifetime).
+    pub fn device_index(&self) -> usize {
+        self.slot
+    }
+
+    /// The configuration the leased device is built from.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.inner.config
+    }
+
+    /// Construct the simulated device for this lease. Each call starts
+    /// from power-on state — the simulator is deterministic, so this is
+    /// equivalent to a persistent device with its stats reset.
+    pub fn gpu(&self) -> Gpu {
+        Gpu::new(self.inner.config.clone())
+    }
+}
+
+impl Drop for DeviceLease {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.free.push(self.slot);
+        drop(state);
+        self.inner.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_send() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<DeviceLease>();
+        assert_send::<DevicePool>();
+    }
+
+    #[test]
+    fn checkout_hands_out_lowest_free_slot_first() {
+        let pool = DevicePool::new(2, DeviceConfig::small_test());
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!((a.device_index(), b.device_index()), (0, 1));
+        assert!(pool.try_checkout().is_none(), "pool is exhausted");
+        assert_eq!(pool.stats().in_use, 2);
+        drop(a);
+        let c = pool.try_checkout().expect("slot 0 was returned");
+        assert_eq!(c.device_index(), 0);
+        drop(b);
+        drop(c);
+        let stats = pool.stats();
+        assert_eq!(stats.in_use, 0);
+        assert_eq!(stats.total_checkouts, 3);
+        assert_eq!(stats.checkouts_per_slot, vec![2, 1]);
+    }
+
+    #[test]
+    fn leased_device_runs_and_returns_cleanly() {
+        let pool = DevicePool::new(1, DeviceConfig::small_test());
+        let lease = pool.checkout();
+        let gpu = lease.gpu();
+        assert_eq!(gpu.stats().total_cycles, 0, "fresh device per lease");
+        assert_eq!(lease.config().num_cus, pool.config().num_cus);
+        drop(gpu);
+        drop(lease);
+        assert_eq!(pool.stats().in_use, 0);
+    }
+
+    #[test]
+    fn blocking_checkout_wakes_when_a_slot_returns() {
+        let pool = DevicePool::new(2, DeviceConfig::small_test());
+        let done = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let lease = pool.checkout();
+                    // Hold the lease across real work so peers contend.
+                    let _gpu = lease.gpu();
+                    *done.lock().unwrap() += 1;
+                });
+            }
+        });
+        assert_eq!(*done.lock().unwrap(), 8);
+        let stats = pool.stats();
+        assert_eq!(stats.in_use, 0);
+        assert_eq!(stats.total_checkouts, 8);
+        assert_eq!(
+            stats.checkouts_per_slot.iter().sum::<u64>(),
+            stats.total_checkouts
+        );
+    }
+}

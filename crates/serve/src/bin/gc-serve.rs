@@ -1,0 +1,269 @@
+//! gc-serve — multi-tenant coloring job server and its load tooling.
+//!
+//! ```text
+//! gc-serve serve    [--port N] [--port-file PATH] [--devices N] [--workers N]
+//!                   [--cache N] [--quantum N] [--batch-threshold N] [--batch-max N]
+//!                   [--device NAME] [--ledger PATH] [--weight tenant=w ...]
+//! gc-serve load     --url HOST:PORT [--jobs N] [--rate JOBS/S] [--mix M] [--seed S]
+//! gc-serve bench    [--jobs N] [--rates CSV] [--seed S]
+//! gc-serve shutdown --url HOST:PORT
+//! ```
+//!
+//! `serve` binds 127.0.0.1 (port 0 picks an ephemeral port, written to
+//! `--port-file` for scripts) and blocks until `POST /shutdown`. `load`
+//! offers a generated job mix (rate 0 = closed loop). `bench` runs the
+//! F24 grid in-process — mixes × offered rates — and prints a markdown
+//! table built from the server's own `/metrics` histograms.
+
+use std::net::TcpListener;
+
+use gc_serve::http::request;
+use gc_serve::load::{job_bodies, run_load, LoadMix, LoadOptions};
+use gc_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: gc-serve <serve | load | bench | shutdown> [flags]\n\
+     serve    [--port N] [--port-file PATH] [--devices N] [--workers N] [--cache N]\n\
+              [--quantum N] [--batch-threshold N] [--batch-max N] [--device NAME]\n\
+              [--ledger PATH] [--weight tenant=w ...]\n\
+     load     --url HOST:PORT [--jobs N] [--rate JOBS/S] [--mix smoke|even|skewed] [--seed S]\n\
+     bench    [--jobs N] [--rates CSV] [--seed S]\n\
+     shutdown --url HOST:PORT";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("gc-serve: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "serve" => cmd_serve(&flags),
+        "load" => cmd_load(&flags),
+        "bench" => cmd_bench(&flags),
+        "shutdown" => {
+            let url = flags.require("--url")?;
+            let (status, body) = request(&url, "POST", "/shutdown", None)?;
+            println!("{body}");
+            (status == 200)
+                .then_some(())
+                .ok_or(format!("shutdown returned status {status}"))
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+/// Flag parser: every flag takes a value; repeats are kept in order.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<String, String> {
+        self.get(name)
+            .map(str::to_string)
+            .ok_or(format!("{name} is required"))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+        }
+    }
+
+    fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.0
+            .iter()
+            .filter(move |(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            return Err(format!("unexpected argument '{flag}'\n{USAGE}"));
+        }
+        let value = it.next().ok_or(format!("{flag} needs a value"))?;
+        out.push((flag.clone(), value.clone()));
+    }
+    Ok(Flags(out))
+}
+
+fn server_config(flags: &Flags) -> Result<ServerConfig, String> {
+    let defaults = ServerConfig::default();
+    let mut weights = Vec::new();
+    for w in flags.all("--weight") {
+        let (tenant, weight) = w
+            .split_once('=')
+            .ok_or(format!("--weight wants tenant=w, got '{w}'"))?;
+        let weight: u64 = weight.parse().map_err(|_| format!("bad weight in '{w}'"))?;
+        weights.push((tenant.to_string(), weight));
+    }
+    Ok(ServerConfig {
+        devices: flags.parse("--devices", defaults.devices)?,
+        workers: flags.parse("--workers", defaults.workers)?,
+        cache_capacity: flags.parse("--cache", defaults.cache_capacity)?,
+        quantum: flags.parse("--quantum", defaults.quantum)?,
+        batch_threshold: flags.parse("--batch-threshold", defaults.batch_threshold)?,
+        batch_max: flags.parse("--batch-max", defaults.batch_max)?,
+        device: flags
+            .get("--device")
+            .unwrap_or(&defaults.device)
+            .to_string(),
+        ledger: flags.get("--ledger").map(str::to_string),
+        tenant_weights: weights,
+    })
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let port: u16 = flags.parse("--port", 8642)?;
+    let cfg = server_config(flags)?;
+    let server = Server::new(cfg)?;
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("--port-file") {
+        std::fs::write(path, addr.port().to_string()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    println!("gc-serve listening on {addr}");
+    server.serve(listener)
+}
+
+fn cmd_load(flags: &Flags) -> Result<(), String> {
+    let opts = LoadOptions {
+        url: flags.require("--url")?,
+        jobs: flags.parse("--jobs", 32)?,
+        rate: flags.parse("--rate", 0.0)?,
+        mix: LoadMix::parse(flags.get("--mix").unwrap_or("smoke"))?,
+        seed: flags.parse("--seed", 1)?,
+    };
+    let summary = run_load(&opts)?;
+    println!("{}", summary.to_json());
+    if summary.errors > 0 {
+        return Err(format!(
+            "{} of {} jobs failed",
+            summary.errors, summary.jobs
+        ));
+    }
+    Ok(())
+}
+
+/// One F24 grid cell: an in-process server, one mix at one offered rate.
+fn bench_cell(mix: LoadMix, rate: f64, jobs: usize, seed: u64) -> Result<String, String> {
+    let cfg = ServerConfig {
+        // Weighted tenant so the skewed mix exercises DRR weights; inert
+        // for the even mix (no "heavy" tenant there).
+        tenant_weights: vec![("heavy".into(), 3)],
+        ..ServerConfig::default()
+    };
+    let server = Server::new(cfg)?;
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let handle = std::thread::spawn(move || server.serve(listener));
+    let url = addr.to_string();
+    let summary = run_load(&LoadOptions {
+        url: url.clone(),
+        jobs,
+        rate,
+        mix,
+        seed,
+    })?;
+    let (_, metrics) = request(&url, "GET", "/metrics", None)?;
+    let _ = request(&url, "POST", "/shutdown", None);
+    handle.join().map_err(|_| "server thread panicked")??;
+
+    let p50 = metric(
+        &metrics,
+        "gc_serve_job_latency_us{tenant=\"all\",quantile=\"0.5\"}",
+    );
+    let p99 = metric(
+        &metrics,
+        "gc_serve_job_latency_us{tenant=\"all\",quantile=\"0.99\"}",
+    );
+    let hits = metric(&metrics, "gc_serve_cache_hits_total");
+    let misses = metric(&metrics, "gc_serve_cache_misses_total");
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let rate_label = if rate <= 0.0 {
+        "closed".to_string()
+    } else {
+        format!("{rate:.0}")
+    };
+    Ok(format!(
+        "| {} | {} | {} | {:.0} | {:.0} | {} | {} | {:.2} |",
+        mix.name(),
+        rate_label,
+        summary.ok,
+        p50,
+        p99,
+        summary.p50_us,
+        summary.p99_us,
+        hit_rate
+    ))
+}
+
+/// Value of the metric line starting with `prefix` (0.0 if absent).
+fn metric(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(prefix))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+fn cmd_bench(flags: &Flags) -> Result<(), String> {
+    let jobs: usize = flags.parse("--jobs", 60)?;
+    let seed: u64 = flags.parse("--seed", 1)?;
+    let rates_csv = flags.get("--rates").unwrap_or("0,50,100,200").to_string();
+    let mut rates = Vec::new();
+    for r in rates_csv.split(',') {
+        rates.push(
+            r.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad rate '{r}' in --rates"))?,
+        );
+    }
+    // Preview the offered mixes so the table is self-describing.
+    for mix in [LoadMix::Even, LoadMix::Skewed] {
+        let distinct = {
+            let mut b = job_bodies(mix, jobs, seed);
+            b.sort();
+            b.dedup();
+            b.len()
+        };
+        println!(
+            "mix {}: {jobs} jobs, {distinct} distinct job bodies",
+            mix.name()
+        );
+    }
+    println!();
+    println!("| mix | offered rate (jobs/s) | jobs ok | server p50 (us) | server p99 (us) | client p50 (us) | client p99 (us) | cache hit rate |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for mix in [LoadMix::Even, LoadMix::Skewed] {
+        for &rate in &rates {
+            println!("{}", bench_cell(mix, rate, jobs, seed)?);
+        }
+    }
+    Ok(())
+}

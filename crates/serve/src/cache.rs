@@ -1,0 +1,200 @@
+//! Fingerprint-keyed result cache with deterministic LRU eviction.
+//!
+//! A result is identified by `(graph fingerprint, algorithm, config
+//! hash)` — the same triple the tune cache and run ledger key on. The
+//! cached value is the *serialized report string* (shared via `Arc`), and
+//! the first response is built from those same stored bytes, so a cache
+//! hit is byte-identical to the original response's report by
+//! construction, not by re-serialization luck.
+//!
+//! Recency is a logical tick incremented on every touch — strictly
+//! monotonic, so eviction order is deterministic and testable (no wall
+//! clock involved).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identity of a cacheable result.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// `CsrGraph::fingerprint` of the job's graph.
+    pub fingerprint: u64,
+    /// Validated algorithm name.
+    pub algorithm: String,
+    /// `gc_core::ledger::config_hash` of the canonical config description.
+    pub config_hash: String,
+}
+
+struct Entry {
+    report_json: Arc<String>,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of serialized reports. Not internally synchronized —
+/// the server wraps it in a `Mutex`.
+pub struct ResultCache {
+    capacity: usize,
+    entries: BTreeMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` reports. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a report, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<String>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.report_json))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a report unless the key is already present (first writer
+    /// wins, so concurrent identical jobs cannot flip the cached bytes),
+    /// evicting the least-recently-used entry when at capacity. Returns
+    /// the bytes now cached under the key.
+    pub fn insert(&mut self, key: CacheKey, report_json: Arc<String>) -> Arc<String> {
+        if self.capacity == 0 {
+            return report_json;
+        }
+        self.tick += 1;
+        if let Some(existing) = self.entries.get(&key) {
+            return Arc::clone(&existing.report_json);
+        }
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty at capacity");
+            self.entries.remove(&lru);
+            self.evictions += 1;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                report_json: Arc::clone(&report_json),
+                last_used: self.tick,
+            },
+        );
+        report_json
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime (hits, misses, evictions).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fp: u64, cfg: &str) -> CacheKey {
+        CacheKey {
+            fingerprint: fp,
+            algorithm: "maxmin".into(),
+            config_hash: cfg.into(),
+        }
+    }
+
+    fn report(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key(1, "a")).is_none());
+        c.insert(key(1, "a"), report("{\"cycles\":7}"));
+        let hit = c.get(&key(1, "a")).unwrap();
+        assert_eq!(*hit, "{\"cycles\":7}");
+        assert_eq!(c.stats(), (1, 1, 0));
+        // Different fingerprint, algorithm, or config hash all miss.
+        assert!(c.get(&key(2, "a")).is_none());
+        assert!(c.get(&key(1, "b")).is_none());
+        let mut other_alg = key(1, "a");
+        other_alg.algorithm = "jp".into();
+        assert!(c.get(&other_alg).is_none());
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_insert() {
+        let mut c = ResultCache::new(4);
+        let first = c.insert(key(1, "a"), report("first"));
+        let second = c.insert(key(1, "a"), report("second"));
+        assert_eq!(*first, "first");
+        assert_eq!(*second, "first", "duplicate insert returns cached bytes");
+        assert_eq!(*c.get(&key(1, "a")).unwrap(), "first");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1, "a"), report("r1"));
+        c.insert(key(2, "a"), report("r2"));
+        // Touch 1 so 2 is least recently used.
+        assert!(c.get(&key(1, "a")).is_some());
+        c.insert(key(3, "a"), report("r3"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2, "a")).is_none(), "LRU entry 2 was evicted");
+        assert!(c.get(&key(1, "a")).is_some());
+        assert!(c.get(&key(3, "a")).is_some());
+        assert_eq!(c.stats().2, 1);
+        // Insertion order alone (no touches) evicts the oldest insert.
+        let mut c = ResultCache::new(2);
+        c.insert(key(1, "a"), report("r1"));
+        c.insert(key(2, "a"), report("r2"));
+        c.insert(key(3, "a"), report("r3"));
+        assert!(c.get(&key(1, "a")).is_none());
+        assert!(c.get(&key(2, "a")).is_some() && c.get(&key(3, "a")).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        let r = c.insert(key(1, "a"), report("r1"));
+        assert_eq!(*r, "r1", "caller still gets its bytes back");
+        assert!(c.is_empty());
+        assert!(c.get(&key(1, "a")).is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! # gc-serve — a multi-tenant graph-coloring job server
+//!
+//! The ROADMAP north-star is a production-scale system serving heavy
+//! coloring traffic; until this crate, every coloring was a one-shot CLI
+//! invocation with no admission control, no batching, and no reuse of
+//! repeated work. `gc-serve` turns the stack into a long-lived service:
+//!
+//! * **Jobs over HTTP** — `POST /jobs` with a JSON [`JobSpec`] naming a
+//!   registry dataset (or carrying an inline CSR) plus the same knobs the
+//!   CLI takes. Specs resolve through the *shared* `gc-bench::cli`
+//!   validation (`validate_knobs`, `color_job`), so a served job and a CLI
+//!   run of the same configuration execute — and error — identically.
+//! * **Asynchronous lifecycle** — submission returns a job id immediately;
+//!   results are fetched with `GET /jobs/<id>` or by submitting with
+//!   `?wait=1`. Execution happens on a worker pool checking device slots
+//!   out of a [`gc_gpusim::DevicePool`].
+//! * **Weighted fair admission** — tenants are scheduled by deficit round
+//!   robin ([`queue::DrrQueue`]): each visit grants a tenant
+//!   `quantum × weight` cost credit, jobs are charged their graph size, so
+//!   one tenant's burst of huge graphs cannot starve another's trickle of
+//!   small ones.
+//! * **Small-graph batching** — compatible small jobs (same algorithm +
+//!   resolved config) are fused into one disjoint-union graph and colored
+//!   in a single device pass, then demuxed per job (Taş et al.'s
+//!   observation that optimistic coloring amortizes across many small
+//!   problems).
+//! * **Fingerprint result cache** — results are cached under
+//!   `(CsrGraph::fingerprint, algorithm, config hash)`; a repeat
+//!   submission returns the *byte-identical* report without touching a
+//!   device, with `"cached":true` in the response envelope.
+//! * **Observability** — job latency lands in the existing
+//!   [`gc_gpusim::Histogram`] type, exported with every counter through a
+//!   [`gc_gpusim::MetricsRegistry`] at `GET /metrics` (Prometheus text);
+//!   completed jobs can append to the PR 7 run ledger.
+//!
+//! The binary (`gc-serve serve|load|bench|shutdown`) and the [`load`]
+//! module provide an open-loop synthetic load generator and the F24
+//! latency-vs-offered-load experiment.
+
+pub mod cache;
+pub mod http;
+pub mod load;
+pub mod queue;
+pub mod server;
+pub mod spec;
+
+pub use cache::{CacheKey, ResultCache};
+pub use load::{run_load, LoadMix, LoadOptions, LoadSummary};
+pub use queue::DrrQueue;
+pub use server::{Server, ServerConfig};
+pub use spec::{JobSpec, ResolvedJob};

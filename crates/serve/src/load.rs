@@ -1,0 +1,284 @@
+//! Open-loop load generator for gc-serve (experiment F24, CI smoke).
+//!
+//! Two dispatch modes:
+//!
+//! * `rate == 0` — **closed loop**: jobs are submitted sequentially, each
+//!   with `?wait=1`, one in flight at a time. Fully deterministic
+//!   (including which submissions hit the cache), which is what the CI
+//!   smoke step pins.
+//! * `rate > 0` — **open loop**: job *i* is dispatched at `i / rate`
+//!   seconds after start regardless of completions, the arrival model
+//!   used for the F24 latency-vs-offered-load curves. Completion order
+//!   (and thus cache-hit timing) is scheduler-dependent; only aggregate
+//!   behaviour is meaningful here.
+//!
+//! Job bodies are generated deterministically from the seed, so a given
+//! `(mix, jobs, seed)` always offers the same work.
+
+use std::time::{Duration, Instant};
+
+use crate::http::request;
+use crate::spec::JobSpec;
+
+/// Tenant/job mixes the generator can offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMix {
+    /// Exactly 3 fixed jobs, two identical — the CI smoke script
+    /// (ignores the configured job count and seed).
+    Smoke,
+    /// Two tenants, even split, jobs drawn from a pool of 6 distinct
+    /// (dataset, seed) keys — moderate cache-hit rate.
+    Even,
+    /// 80% of jobs from tenant "heavy" over a pool of 2 keys (high hit
+    /// rate), 20% from tenant "light" over 8 keys (low hit rate).
+    Skewed,
+}
+
+impl LoadMix {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "smoke" => Ok(Self::Smoke),
+            "even" => Ok(Self::Even),
+            "skewed" => Ok(Self::Skewed),
+            other => Err(format!("unknown mix '{other}' (smoke | even | skewed)")),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Smoke => "smoke",
+            Self::Even => "even",
+            Self::Skewed => "skewed",
+        }
+    }
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address, e.g. `127.0.0.1:8642`.
+    pub url: String,
+    /// Jobs to offer (ignored by the smoke mix, which always sends 3).
+    pub jobs: usize,
+    /// Offered load in jobs/second; 0 means closed-loop sequential.
+    pub rate: f64,
+    pub mix: LoadMix,
+    pub seed: u64,
+}
+
+/// Client-side outcome of a load run. Latencies are request round-trip
+/// times as the client saw them; the server's own latency histogram
+/// (submission → completion) is on `/metrics`.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    pub jobs: usize,
+    pub ok: usize,
+    pub errors: usize,
+    pub cache_hits: usize,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub elapsed_ms: u64,
+}
+
+impl LoadSummary {
+    /// Render as a JSON object (stable field order; greppable in CI).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs\":{},\"ok\":{},\"errors\":{},\"cache_hits\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"elapsed_ms\":{}}}",
+            self.jobs,
+            self.ok,
+            self.errors,
+            self.cache_hits,
+            self.p50_us,
+            self.p99_us,
+            self.elapsed_ms
+        )
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn spec(tenant: &str, dataset: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        tenant: tenant.into(),
+        dataset: Some(dataset.into()),
+        scale: Some("tiny".into()),
+        algorithm: Some("firstfit".into()),
+        seed: Some(seed),
+        ..JobSpec::default()
+    }
+}
+
+/// Deterministically expand a mix into job bodies (JSON strings).
+pub fn job_bodies(mix: LoadMix, jobs: usize, seed: u64) -> Vec<String> {
+    let specs: Vec<JobSpec> = match mix {
+        LoadMix::Smoke => vec![
+            spec("smoke", "road-net", 1),
+            spec("smoke", "ecology-mesh", 1),
+            // Identical to the first job: the pinned cache hit.
+            spec("smoke", "road-net", 1),
+        ],
+        LoadMix::Even => {
+            let datasets = ["road-net", "ecology-mesh", "uniform-rand"];
+            let mut rng = seed.max(1);
+            (0..jobs)
+                .map(|i| {
+                    let pick = xorshift(&mut rng) as usize;
+                    let tenant = if i % 2 == 0 { "alpha" } else { "beta" };
+                    // 6 distinct keys: 3 datasets × 2 generator seeds.
+                    spec(tenant, datasets[pick % 3], 1 + (pick / 3 % 2) as u64)
+                })
+                .collect()
+        }
+        LoadMix::Skewed => {
+            let mut rng = seed.max(1);
+            (0..jobs)
+                .map(|_| {
+                    let pick = xorshift(&mut rng) as usize;
+                    if pick % 5 < 4 {
+                        // Heavy tenant, 2 hot keys: mostly cache hits.
+                        spec("heavy", "road-net", 1 + (pick / 5 % 2) as u64)
+                    } else {
+                        // Light tenant, 8 cold-ish keys.
+                        spec("light", "citation-rmat", 1 + (pick / 5 % 8) as u64)
+                    }
+                })
+                .collect()
+        }
+    };
+    specs
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("specs serialize"))
+        .collect()
+}
+
+/// Offer the configured load and collect client-side outcomes. Every job
+/// is submitted with `?wait=1`, so a response in hand means the job
+/// completed (or was rejected).
+pub fn run_load(opts: &LoadOptions) -> Result<LoadSummary, String> {
+    let bodies = job_bodies(opts.mix, opts.jobs, opts.seed);
+    let start = Instant::now();
+    let outcomes: Vec<Result<(bool, u64), String>> = if opts.rate <= 0.0 {
+        bodies.iter().map(|b| send_one(&opts.url, b)).collect()
+    } else {
+        let interval = Duration::from_secs_f64(1.0 / opts.rate);
+        let handles: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let url = opts.url.clone();
+                let due = start + interval * i as u32;
+                std::thread::spawn(move || {
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    send_one(&url, &body)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    };
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ok = 0;
+    let mut errors = 0;
+    let mut cache_hits = 0;
+    for outcome in &outcomes {
+        match outcome {
+            Ok((cached, us)) => {
+                ok += 1;
+                if *cached {
+                    cache_hits += 1;
+                }
+                latencies.push(*us);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    latencies.sort_unstable();
+    Ok(LoadSummary {
+        jobs: outcomes.len(),
+        ok,
+        errors,
+        cache_hits,
+        p50_us: quantile(&latencies, 0.50),
+        p99_us: quantile(&latencies, 0.99),
+        elapsed_ms,
+    })
+}
+
+fn send_one(url: &str, body: &str) -> Result<(bool, u64), String> {
+    let t0 = Instant::now();
+    let (status, response) = request(url, "POST", "/jobs?wait=1", Some(body))?;
+    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    if status != 200 {
+        return Err(format!("status {status}: {response}"));
+    }
+    Ok((response.contains("\"cached\":true"), us))
+}
+
+/// Nearest-rank quantile of a sorted slice (0 for an empty slice).
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mix_is_three_jobs_with_one_repeat() {
+        let bodies = job_bodies(LoadMix::Smoke, 99, 7);
+        assert_eq!(bodies.len(), 3);
+        assert_eq!(bodies[0], bodies[2], "first and third are identical");
+        assert_ne!(bodies[0], bodies[1]);
+    }
+
+    #[test]
+    fn mixes_are_deterministic_in_the_seed() {
+        for mix in [LoadMix::Even, LoadMix::Skewed] {
+            assert_eq!(job_bodies(mix, 16, 5), job_bodies(mix, 16, 5));
+            assert_ne!(job_bodies(mix, 16, 5), job_bodies(mix, 16, 6));
+            assert_eq!(job_bodies(mix, 16, 5).len(), 16);
+        }
+    }
+
+    #[test]
+    fn skewed_mix_is_heavy_dominated() {
+        let bodies = job_bodies(LoadMix::Skewed, 100, 42);
+        let heavy = bodies.iter().filter(|b| b.contains("\"heavy\"")).count();
+        assert!((60..=95).contains(&heavy), "heavy got {heavy}/100");
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[10], 0.99), 10);
+        let v: Vec<u64> = (1..=100).collect();
+        // Nearest rank over indices 0..=99: 0.5 → idx 50, 0.99 → idx 98.
+        assert_eq!(quantile(&v, 0.50), 51);
+        assert_eq!(quantile(&v, 0.99), 99);
+    }
+
+    #[test]
+    fn mix_names_round_trip() {
+        for mix in [LoadMix::Smoke, LoadMix::Even, LoadMix::Skewed] {
+            assert_eq!(LoadMix::parse(mix.name()).unwrap(), mix);
+        }
+        assert!(LoadMix::parse("nope").unwrap_err().contains("unknown mix"));
+    }
+}

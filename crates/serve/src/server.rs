@@ -1,0 +1,785 @@
+//! The job server: admission, batching, execution, caching, observability.
+//!
+//! Life of a job: `submit` resolves the [`JobSpec`] through the shared CLI
+//! validation, probes the result cache — a hit completes the job
+//! immediately with the cached bytes — and otherwise enqueues it under
+//! deficit round robin. Worker threads pop jobs fairly, opportunistically
+//! fuse compatible small jobs into one disjoint-union device pass
+//! (demuxed per job afterwards), execute on a device checked out of the
+//! [`DevicePool`], and publish the response envelope. Waiters block on a
+//! condvar; every completion lands in the latency histograms and,
+//! optionally, the run ledger.
+//!
+//! The response envelope is built by concatenation with the report JSON
+//! as the *last* field, so the `report` value in a cache-hit response is
+//! the stored bytes verbatim — byte-identity with the first response is
+//! structural, not a serializer accident:
+//!
+//! ```json
+//! {"job_id":7,"tenant":"a","status":"done","cached":true,"batch_size":1,"report":{...}}
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use gc_core::{count_colors, verify_coloring, RunReport};
+use gc_gpusim::{DevicePool, Histogram, MetricsRegistry};
+use gc_graph::CsrGraph;
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_response, Request};
+use crate::queue::DrrQueue;
+use crate::spec::{self, JobSpec, ResolvedJob};
+
+/// Server tuning knobs (all have serving-friendly defaults).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Device slots in the pool (jobs execute on at most this many
+    /// devices concurrently).
+    pub devices: usize,
+    /// Worker threads. 0 runs no workers — callers then drive execution
+    /// with [`Server::step`] (deterministic tests, synchronous embedding).
+    pub workers: usize,
+    /// Result-cache capacity in reports (0 disables caching).
+    pub cache_capacity: usize,
+    /// DRR credit granted per weight point per round, in cost units
+    /// (vertices + arcs).
+    pub quantum: u64,
+    /// Jobs over graphs of at most this many vertices may share a batched
+    /// device pass.
+    pub batch_threshold: usize,
+    /// Maximum jobs fused into one device pass.
+    pub batch_max: usize,
+    /// Device model every pool slot is built from (`gc-color --device`).
+    pub device: String,
+    /// Append completed jobs to this run ledger.
+    pub ledger: Option<String>,
+    /// Static tenant weights (unlisted tenants default to weight 1).
+    pub tenant_weights: Vec<(String, u64)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            devices: 2,
+            workers: 2,
+            cache_capacity: 64,
+            quantum: 4096,
+            batch_threshold: 512,
+            batch_max: 8,
+            device: "hd7950".into(),
+            ledger: None,
+            tenant_weights: Vec::new(),
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    resolved: ResolvedJob,
+    submitted: Instant,
+}
+
+struct JobState {
+    status: &'static str,
+    /// Full response envelope, present once done.
+    response: Option<Arc<String>>,
+}
+
+struct QueueState {
+    queue: DrrQueue<QueuedJob>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Metrics {
+    jobs_total: BTreeMap<String, u64>,
+    batches: u64,
+    batched_jobs: u64,
+    /// Latency from submission to completion in µs, per tenant plus an
+    /// aggregate "all" series.
+    latency_us: BTreeMap<String, Histogram>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: Mutex<QueueState>,
+    work: Condvar,
+    jobs: Mutex<BTreeMap<u64, JobState>>,
+    done: Condvar,
+    next_id: AtomicU64,
+    cache: Mutex<ResultCache>,
+    pool: DevicePool,
+    metrics: Mutex<Metrics>,
+}
+
+/// A running job server (workers spawned at construction). Dropping the
+/// server drains the queue and joins the workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build the server and spawn its worker threads.
+    pub fn new(cfg: ServerConfig) -> Result<Self, String> {
+        let device = gc_bench::cli::pick_device(&cfg.device)?;
+        let pool = DevicePool::new(cfg.devices.max(1), device);
+        let mut queue = DrrQueue::new(cfg.quantum);
+        for (tenant, weight) in &cfg.tenant_weights {
+            queue.set_weight(tenant, *weight);
+        }
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            queue: Mutex::new(QueueState {
+                queue,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            done: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            pool,
+            metrics: Mutex::new(Metrics::default()),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(batch) = sh.next_batch(true) {
+                        sh.execute_batch(batch);
+                    }
+                })
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// Resolve, admit, and (on a cache hit) immediately complete a job.
+    /// Returns the job id; fetch the result with [`Server::wait`].
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, String> {
+        self.shared.submit(spec)
+    }
+
+    /// Block until job `id` completes and return its response envelope.
+    /// `None` for an unknown id.
+    pub fn wait(&self, id: u64) -> Option<Arc<String>> {
+        let mut jobs = self.shared.jobs.lock().unwrap();
+        loop {
+            match jobs.get(&id) {
+                None => return None,
+                Some(j) if j.response.is_some() => return j.response.clone(),
+                Some(_) => jobs = self.shared.done.wait(jobs).unwrap(),
+            }
+        }
+    }
+
+    /// Current status without blocking: `(status, response-if-done)`.
+    pub fn status(&self, id: u64) -> Option<(&'static str, Option<Arc<String>>)> {
+        let jobs = self.shared.jobs.lock().unwrap();
+        jobs.get(&id).map(|j| (j.status, j.response.clone()))
+    }
+
+    /// Execute the next admission decision (one job or one fused batch)
+    /// on the calling thread. Returns false when the queue is idle. With
+    /// `workers: 0` this gives tests and embedders deterministic control
+    /// over batch formation.
+    pub fn step(&self) -> bool {
+        match self.shared.next_batch(false) {
+            Some(batch) => {
+                self.shared.execute_batch(batch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Jobs currently queued (not running, not done).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().queue.len()
+    }
+
+    /// Render the metrics registry as Prometheus text (see `/metrics`).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Stop accepting queue work, drain queued jobs, join the workers.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Serve HTTP on `listener` until `POST /shutdown`, then drain and
+    /// join the workers. Consumes the server.
+    pub fn serve(mut self, listener: TcpListener) -> Result<(), String> {
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        loop {
+            let (stream, _) = match listener.accept() {
+                Ok(x) => x,
+                Err(e) => return Err(format!("accept: {e}")),
+            };
+            if self.shared.queue.lock().unwrap().shutdown {
+                // Woken by the shutdown handler's self-connect (or a
+                // straggler); stop accepting.
+                break;
+            }
+            let sh = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_conn(&sh, stream, addr));
+        }
+        self.shutdown();
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Shared {
+    fn submit(&self, spec: &JobSpec) -> Result<u64, String> {
+        let resolved = spec::resolve(spec)?;
+        let submitted = Instant::now();
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = self.cache.lock().unwrap().get(&resolved.cache_key());
+        if let Some(report) = hit {
+            let body = Arc::new(envelope(id, &resolved.tenant, true, 1, &report));
+            self.jobs.lock().unwrap().insert(
+                id,
+                JobState {
+                    status: "done",
+                    response: Some(body),
+                },
+            );
+            self.done.notify_all();
+            self.record_completion(&resolved.tenant, submitted);
+            return Ok(id);
+        }
+        let tenant = resolved.tenant.clone();
+        let cost = resolved.cost();
+        {
+            let mut q = self.queue.lock().unwrap();
+            if q.shutdown {
+                return Err("server is shutting down".into());
+            }
+            self.jobs.lock().unwrap().insert(
+                id,
+                JobState {
+                    status: "queued",
+                    response: None,
+                },
+            );
+            q.queue.push(
+                &tenant,
+                cost,
+                QueuedJob {
+                    id,
+                    resolved,
+                    submitted,
+                },
+            );
+        }
+        self.work.notify_one();
+        Ok(id)
+    }
+
+    /// Pop the next job under DRR and fill its batch. `blocking` waits
+    /// for work and returns `None` only at shutdown with an empty queue
+    /// (so queued jobs always drain).
+    fn next_batch(&self, blocking: bool) -> Option<Vec<QueuedJob>> {
+        let mut q = self.queue.lock().unwrap();
+        let (_, head) = loop {
+            if let Some(item) = q.queue.pop() {
+                break item;
+            }
+            if !blocking || q.shutdown {
+                return None;
+            }
+            q = self.work.wait(q).unwrap();
+        };
+        let mut batch = vec![head];
+        let head_job = &batch[0].resolved;
+        if head_job.batchable(self.cfg.batch_threshold) && self.cfg.batch_max > 1 {
+            let threshold = self.cfg.batch_threshold;
+            let head_ref = head_job.clone();
+            let more = q.queue.drain_matching(self.cfg.batch_max - 1, |j| {
+                j.resolved.batchable(threshold) && j.resolved.compatible(&head_ref)
+            });
+            batch.extend(more.into_iter().map(|(_, j)| j));
+        }
+        drop(q);
+        let mut jobs = self.jobs.lock().unwrap();
+        for j in &batch {
+            if let Some(state) = jobs.get_mut(&j.id) {
+                state.status = "running";
+            }
+        }
+        Some(batch)
+    }
+
+    fn execute_batch(&self, batch: Vec<QueuedJob>) {
+        if batch.len() == 1 {
+            let job = &batch[0];
+            let report = self.execute_single(&job.resolved);
+            self.finish(job, &report, 1);
+            return;
+        }
+        // Fused pass: color the disjoint union in one launch sequence,
+        // then demux per job by vertex range. Union members never share
+        // edges, so each slice is a valid coloring of its own graph
+        // (asserted below) and slice colors equal a standalone run's
+        // *quality* class; the device-time fields are the shared pass's.
+        let graphs: Vec<&CsrGraph> = batch.iter().map(|j| j.resolved.graph.as_ref()).collect();
+        let union = disjoint_union(&graphs);
+        let lease = self.pool.checkout();
+        let mut gpu = lease.gpu();
+        let union_report = batch[0].resolved.job.execute_on(&mut gpu, &union);
+        drop(lease);
+        let mut start = 0usize;
+        for job in &batch {
+            let end = start + job.resolved.graph.num_vertices();
+            let colors = union_report.colors[start..end].to_vec();
+            verify_coloring(&job.resolved.graph, &colors)
+                .expect("disjoint-union demux yields a valid per-graph coloring");
+            let num_colors = count_colors(&colors);
+            let mut report = RunReport::host(job.resolved.job.algorithm(), colors, num_colors);
+            report.cycles = union_report.cycles;
+            report.iterations = union_report.iterations;
+            report.kernel_launches = union_report.kernel_launches;
+            self.finish(job, &report, batch.len());
+            start = end;
+        }
+        let mut m = self.metrics.lock().unwrap();
+        m.batches += 1;
+        m.batched_jobs += batch.len() as u64;
+    }
+
+    fn execute_single(&self, resolved: &ResolvedJob) -> RunReport {
+        if resolved.job.devices() == 1 && resolved.job.is_device_job() {
+            let lease = self.pool.checkout();
+            let mut gpu = lease.gpu();
+            return resolved.job.execute_on(&mut gpu, &resolved.graph);
+        }
+        if resolved.job.devices() > 1 {
+            // The multi-device driver simulates its own MultiGpu substrate;
+            // one pool lease stands for the host-side executor it occupies.
+            let _lease = self.pool.checkout();
+            return resolved.job.execute(&resolved.graph);
+        }
+        // Host algorithms never touch a device slot.
+        resolved.job.execute(&resolved.graph)
+    }
+
+    fn finish(&self, job: &QueuedJob, report: &RunReport, batch_size: usize) {
+        let json = serde_json::to_string(report).expect("reports serialize");
+        // First writer wins: the bytes now cached are the bytes served,
+        // today and on every future hit.
+        let bytes = self
+            .cache
+            .lock()
+            .unwrap()
+            .insert(job.resolved.cache_key(), Arc::new(json));
+        let body = Arc::new(envelope(
+            job.id,
+            &job.resolved.tenant,
+            false,
+            batch_size,
+            &bytes,
+        ));
+        if let Some(path) = &self.cfg.ledger {
+            let record = gc_core::LedgerRecord::new(
+                "gc-serve",
+                &job.resolved.graph_label,
+                job.resolved.fingerprint,
+                &job.resolved.config_desc,
+                report,
+            );
+            if let Err(e) = record.append(path) {
+                eprintln!("gc-serve: ledger append failed: {e}");
+            }
+        }
+        if let Some(state) = self.jobs.lock().unwrap().get_mut(&job.id) {
+            state.status = "done";
+            state.response = Some(body);
+        }
+        self.done.notify_all();
+        self.record_completion(&job.resolved.tenant, job.submitted);
+    }
+
+    fn record_completion(&self, tenant: &str, submitted: Instant) {
+        let us = submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut m = self.metrics.lock().unwrap();
+        *m.jobs_total.entry(tenant.to_string()).or_default() += 1;
+        for series in [tenant, "all"] {
+            m.latency_us
+                .entry(series.to_string())
+                .or_default()
+                .record(us);
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.queue.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+    }
+
+    fn metrics_text(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        let (hits, misses, evictions) = self.cache.lock().unwrap().stats();
+        reg.add_counter(
+            "gc_serve_cache_hits_total",
+            "Jobs served from the result cache",
+            &[],
+            hits,
+        );
+        reg.add_counter(
+            "gc_serve_cache_misses_total",
+            "Jobs that missed the result cache",
+            &[],
+            misses,
+        );
+        reg.add_counter(
+            "gc_serve_cache_evictions_total",
+            "Reports evicted from the result cache (LRU)",
+            &[],
+            evictions,
+        );
+        {
+            let m = self.metrics.lock().unwrap();
+            for (tenant, n) in &m.jobs_total {
+                reg.add_counter(
+                    "gc_serve_jobs_total",
+                    "Jobs completed",
+                    &[("tenant", tenant)],
+                    *n,
+                );
+            }
+            reg.add_counter(
+                "gc_serve_batches_total",
+                "Fused device passes executed",
+                &[],
+                m.batches,
+            );
+            reg.add_counter(
+                "gc_serve_batched_jobs_total",
+                "Jobs that rode a fused device pass",
+                &[],
+                m.batched_jobs,
+            );
+            for (series, hist) in &m.latency_us {
+                reg.record_histogram(
+                    "gc_serve_job_latency_us",
+                    "Job latency from submission to completion (microseconds)",
+                    &[("tenant", series)],
+                    hist,
+                );
+            }
+        }
+        reg.set_gauge(
+            "gc_serve_queue_depth",
+            "Jobs queued for admission",
+            &[],
+            self.queue.lock().unwrap().queue.len() as f64,
+        );
+        let cache = self.cache.lock().unwrap();
+        reg.set_gauge(
+            "gc_serve_cache_entries",
+            "Reports currently cached",
+            &[],
+            cache.len() as f64,
+        );
+        drop(cache);
+        reg.set_gauge(
+            "gc_serve_devices_in_use",
+            "Device slots currently leased",
+            &[],
+            self.pool.stats().in_use as f64,
+        );
+        reg.render_prometheus()
+    }
+}
+
+/// Build the response envelope. `report` must already be JSON; it is the
+/// last field so cached bytes pass through verbatim.
+fn envelope(id: u64, tenant: &str, cached: bool, batch_size: usize, report: &str) -> String {
+    let tenant_json = serde_json::to_string(tenant).expect("strings serialize");
+    format!(
+        "{{\"job_id\":{id},\"tenant\":{tenant_json},\"status\":\"done\",\
+         \"cached\":{cached},\"batch_size\":{batch_size},\"report\":{report}}}"
+    )
+}
+
+/// Disjoint union of CSR graphs: vertices renumbered by concatenation,
+/// no cross edges — the fused batch pass input.
+fn disjoint_union(graphs: &[&CsrGraph]) -> CsrGraph {
+    let mut row_ptr: Vec<u32> = vec![0];
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut vertex_base: u32 = 0;
+    let mut arc_base: u32 = 0;
+    for g in graphs {
+        row_ptr.extend(g.row_ptr()[1..].iter().map(|&p| arc_base + p));
+        col_idx.extend(g.col_idx().iter().map(|&v| vertex_base + v));
+        vertex_base += g.num_vertices() as u32;
+        arc_base += g.num_arcs() as u32;
+    }
+    CsrGraph::from_parts(row_ptr, col_idx).expect("union of valid graphs is valid")
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, addr: std::net::SocketAddr) {
+    let Ok(req) = read_request(&mut stream) else {
+        return; // includes the shutdown self-connect wake
+    };
+    let (status, content_type, body) = route(shared, &req);
+    let _ = write_response(&mut stream, status, content_type, body.as_bytes());
+    if req.method == "POST" && req.path == "/shutdown" {
+        // Only after the response is on the wire: stop admissions, then
+        // self-connect so the accept loop observes the flag.
+        shared.begin_shutdown();
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => {
+            let spec: JobSpec = match serde_json::from_slice(&req.body) {
+                Ok(s) => s,
+                Err(e) => return (400, JSON, format!("{{\"error\":\"bad job spec: {e}\"}}")),
+            };
+            match shared.submit(&spec) {
+                Err(e) => {
+                    let msg = serde_json::to_string(&e).expect("strings serialize");
+                    (400, JSON, format!("{{\"error\":{msg}}}"))
+                }
+                Ok(id) if req.query_param("wait").is_some_and(|v| v != "0") => {
+                    let body = wait_for(shared, id);
+                    (200, JSON, body.as_ref().clone())
+                }
+                Ok(id) => (
+                    202,
+                    JSON,
+                    format!("{{\"job_id\":{id},\"status\":\"queued\"}}"),
+                ),
+            }
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let Ok(id) = path["/jobs/".len()..].parse::<u64>() else {
+                return (400, JSON, "{\"error\":\"bad job id\"}".into());
+            };
+            let jobs = shared.jobs.lock().unwrap();
+            match jobs.get(&id) {
+                None => (404, JSON, "{\"error\":\"unknown job\"}".into()),
+                Some(j) => match &j.response {
+                    Some(body) => (200, JSON, body.as_ref().clone()),
+                    None => (
+                        200,
+                        JSON,
+                        format!("{{\"job_id\":{id},\"status\":\"{}\"}}", j.status),
+                    ),
+                },
+            }
+        }
+        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", shared.metrics_text()),
+        ("GET", "/healthz") => (200, JSON, "{\"ok\":true}".into()),
+        // Side effects happen in handle_conn after the response is written.
+        ("POST", "/shutdown") => (200, JSON, "{\"ok\":true}".into()),
+        _ => (404, JSON, "{\"error\":\"unknown endpoint\"}".into()),
+    }
+}
+
+fn wait_for(shared: &Arc<Shared>, id: u64) -> Arc<String> {
+    let mut jobs = shared.jobs.lock().unwrap();
+    loop {
+        match jobs.get(&id) {
+            Some(j) if j.response.is_some() => {
+                return j.response.clone().expect("checked is_some");
+            }
+            _ => jobs = shared.done.wait(jobs).unwrap(),
+        }
+    }
+}
+
+/// Extract the `report` object from a response envelope (everything after
+/// `"report":` minus the closing envelope brace). Test and client helper
+/// for byte-level comparisons.
+pub fn report_bytes(envelope: &str) -> Option<&str> {
+    let idx = envelope.find("\"report\":")?;
+    let rest = &envelope[idx + "\"report\":".len()..];
+    rest.strip_suffix('}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            devices: 1,
+            workers: 0, // tests drive execution with step()
+            cache_capacity: 8,
+            quantum: 1 << 20,
+            batch_threshold: 64,
+            batch_max: 4,
+            device: "warp32".into(),
+            ledger: None,
+            tenant_weights: Vec::new(),
+        }
+    }
+
+    fn tiny_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            dataset: Some("road-net".into()),
+            scale: Some("tiny".into()),
+            algorithm: Some("firstfit".into()),
+            seed: Some(seed),
+            ..JobSpec::default()
+        }
+    }
+
+    /// A 2×2 grid as inline CSR (4 vertices, 8 arcs).
+    fn inline_square(tenant: &str) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            row_ptr: Some(vec![0, 2, 4, 6, 8]),
+            col_idx: Some(vec![1, 2, 0, 3, 0, 3, 1, 2]),
+            algorithm: Some("firstfit".into()),
+            ..JobSpec::default()
+        }
+    }
+
+    fn drain(server: &Server) {
+        while server.step() {}
+    }
+
+    #[test]
+    fn repeat_submission_hits_the_cache_byte_identically() {
+        let mut server = Server::new(test_config()).unwrap();
+        let a = server.submit(&tiny_spec(1)).unwrap();
+        drain(&server);
+        let first = server.wait(a).unwrap();
+        assert!(first.contains("\"cached\":false"), "{first}");
+
+        let b = server.submit(&tiny_spec(1)).unwrap();
+        let second = server.wait(b).unwrap(); // no step(): served from cache
+        assert!(second.contains("\"cached\":true"), "{second}");
+        assert_eq!(
+            report_bytes(&first).unwrap(),
+            report_bytes(&second).unwrap(),
+            "cache hit must return the original report bytes"
+        );
+
+        // A different config (seed) misses and queues, even on the same
+        // graph. (firstfit ignores the priority seed, so the *report* may
+        // match — the cache key must not.)
+        let c = server.submit(&tiny_spec(2)).unwrap();
+        assert_eq!(server.status(c).unwrap().0, "queued");
+        drain(&server);
+        let third = server.wait(c).unwrap();
+        assert!(third.contains("\"cached\":false"), "{third}");
+
+        // A different algorithm produces genuinely different bytes.
+        let mut jp = tiny_spec(1);
+        jp.algorithm = Some("jp".into());
+        let d = server.submit(&jp).unwrap();
+        drain(&server);
+        let fourth = server.wait(d).unwrap();
+        assert!(fourth.contains("\"cached\":false"), "{fourth}");
+        assert_ne!(report_bytes(&first), report_bytes(&fourth));
+        server.shutdown();
+    }
+
+    #[test]
+    fn compatible_small_jobs_fuse_into_one_pass_and_demux_validly() {
+        let mut server = Server::new(test_config()).unwrap();
+        let ids: Vec<u64> = ["a", "b", "a"]
+            .iter()
+            .map(|t| server.submit(&inline_square(t)).unwrap())
+            .collect();
+        assert_eq!(server.queue_depth(), 3);
+        assert!(server.step(), "one step executes the fused batch");
+        for id in &ids {
+            let body = server.wait(*id).unwrap();
+            assert!(body.contains("\"batch_size\":3"), "{body}");
+            let report = report_bytes(&body).unwrap();
+            assert!(report.contains("\"num_colors\""), "{report}");
+        }
+        assert!(!server.step(), "queue is drained");
+        let text = server.metrics_text();
+        assert!(text.contains("gc_serve_batches_total 1"), "{text}");
+        assert!(text.contains("gc_serve_batched_jobs_total 3"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn incompatible_jobs_do_not_fuse() {
+        let mut server = Server::new(test_config()).unwrap();
+        let a = server.submit(&inline_square("a")).unwrap();
+        let mut other = inline_square("a");
+        other.wg = Some(64); // different resolved config
+        let b = server.submit(&other).unwrap();
+        assert!(server.step());
+        assert!(server.step());
+        for id in [a, b] {
+            let body = server.wait(id).unwrap();
+            assert!(body.contains("\"batch_size\":1"), "{body}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_render_validates_and_counts_tenants() {
+        let mut server = Server::new(test_config()).unwrap();
+        server.submit(&inline_square("team-a")).unwrap();
+        server.submit(&inline_square("team-a")).unwrap(); // same key: queued, not cached (miss — no result yet)
+        drain(&server);
+        let text = server.metrics_text();
+        gc_gpusim::validate_prometheus_text(&text).unwrap();
+        assert!(
+            text.contains("gc_serve_jobs_total{tenant=\"team-a\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gc_serve_job_latency_us{tenant=\"all\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("gc_serve_job_latency_us_count"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_submit() {
+        let server = Server::new(test_config()).unwrap();
+        let err = server.submit(&JobSpec::default()).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let mut s = tiny_spec(1);
+        s.algorithm = Some("nope".into());
+        assert!(server.submit(&s).unwrap_err().contains("unknown algorithm"));
+        assert!(server.wait(999).is_none(), "unknown id");
+    }
+
+    #[test]
+    fn disjoint_union_concatenates_without_cross_edges() {
+        let g = gc_graph::generators::grid_2d(3, 3);
+        let u = disjoint_union(&[&g, &g]);
+        assert_eq!(u.num_vertices(), 2 * g.num_vertices());
+        assert_eq!(u.num_arcs(), 2 * g.num_arcs());
+        // Second copy's adjacency is the first's shifted by |V|.
+        let n = g.num_vertices() as u32;
+        for v in 0..g.num_vertices() {
+            let orig: Vec<u32> = g.neighbors(v as u32).to_vec();
+            let shifted: Vec<u32> = u.neighbors(v as u32 + n).iter().map(|&x| x - n).collect();
+            assert_eq!(orig, shifted);
+        }
+    }
+}

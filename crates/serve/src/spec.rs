@@ -1,0 +1,424 @@
+//! HTTP job specifications and their resolution into schedulable jobs.
+//!
+//! A [`JobSpec`] is the JSON body of `POST /jobs`: a graph source (registry
+//! dataset or inline CSR arrays) plus the same knobs `gc-color` takes as
+//! flags, field-for-flag (`wg` ↔ `--wg`, `no_overlap` ↔ `--no-overlap`,
+//! …). Resolution deliberately goes through the *shared* `gc-bench::cli`
+//! helpers — [`gc_bench::cli::validate_knobs`] for the cross-knob rules and
+//! [`gc_bench::cli::color_job`] for the final [`ColorJob`] — so a served
+//! job accepts and rejects exactly what the CLI does, with identical error
+//! wording (flag spelling included, so server errors point at the
+//! equivalent CLI flag).
+
+use std::sync::Arc;
+
+use gc_bench::cli::{self, ColorArgs};
+use gc_core::ColorJob;
+use gc_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheKey;
+
+/// A coloring job as submitted over HTTP. Every field is optional except
+/// the graph source: exactly one of `dataset` or (`row_ptr` + `col_idx`)
+/// must be present. Knob fields mirror the `gc-color` flags one-to-one.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Tenant the job is billed to for fair scheduling ("default" if empty).
+    #[serde(default)]
+    pub tenant: String,
+    /// Registry dataset name (see `gc-color --help` for the list).
+    #[serde(default)]
+    pub dataset: Option<String>,
+    /// Dataset scale: tiny | small | full (default small).
+    #[serde(default)]
+    pub scale: Option<String>,
+    /// Inline CSR row pointers (with `col_idx`, the alternative to
+    /// `dataset`). Must describe a valid symmetric graph.
+    #[serde(default)]
+    pub row_ptr: Option<Vec<u32>>,
+    /// Inline CSR adjacency, sorted per row, no self loops.
+    #[serde(default)]
+    pub col_idx: Option<Vec<u32>>,
+    /// Algorithm name (default maxmin; forced to firstfit by `devices > 1`).
+    #[serde(default)]
+    pub algorithm: Option<String>,
+    /// Apply the paper's optimized preset (`--optimized`).
+    #[serde(default)]
+    pub optimized: bool,
+    /// Worklist compaction (`--frontier`).
+    #[serde(default)]
+    pub frontier: bool,
+    /// Simulated devices; >1 selects the partitioned multi-device driver.
+    #[serde(default)]
+    pub devices: Option<usize>,
+    /// Partition strategy for `devices > 1` (`--partition`).
+    #[serde(default)]
+    pub partition: Option<String>,
+    /// Charge boundary-exchange link time serially (`--no-overlap`).
+    #[serde(default)]
+    pub no_overlap: bool,
+    /// Workgroup size (`--wg`).
+    #[serde(default)]
+    pub wg: Option<usize>,
+    /// Work-stealing chunk size (`--chunk`).
+    #[serde(default)]
+    pub chunk: Option<usize>,
+    /// Hybrid kernel degree threshold (`--hybrid-threshold`).
+    #[serde(default)]
+    pub hybrid_threshold: Option<usize>,
+    /// Link latency in cycles/message (`--link-latency`, `devices > 1`).
+    #[serde(default)]
+    pub link_latency: Option<u64>,
+    /// Link bytes/cycle (`--link-bandwidth`, `devices > 1`).
+    #[serde(default)]
+    pub link_bandwidth: Option<u64>,
+    /// Device model (`--device`: hd7950 | hd7970 | apu | warp32).
+    #[serde(default)]
+    pub device: Option<String>,
+    /// Priority-permutation seed (`--seed`).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+/// A validated, fully resolved job: the schedulable [`ColorJob`], the graph
+/// it runs on, and the identity strings every downstream consumer keys on
+/// (cache, ledger, metrics).
+#[derive(Debug, Clone)]
+pub struct ResolvedJob {
+    /// Tenant for fair scheduling and metric labels.
+    pub tenant: String,
+    /// The `Send + Clone` job description (algorithm + resolved options).
+    pub job: ColorJob,
+    /// The graph, shared so batches can reference it without copying.
+    pub graph: Arc<CsrGraph>,
+    /// Ledger/metrics label: the dataset name, or `inline:<fingerprint>`.
+    pub graph_label: String,
+    /// `CsrGraph::fingerprint` of the graph.
+    pub fingerprint: u64,
+    /// Canonical resolved-config description (`cli::config_description`).
+    pub config_desc: String,
+    /// FNV-1a hash of `config_desc` (`gc_core::ledger::config_hash`).
+    pub config_hash: String,
+}
+
+impl ResolvedJob {
+    /// The result-cache key: `(fingerprint, algorithm, config hash)`.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            fingerprint: self.fingerprint,
+            algorithm: self.job.algorithm().to_string(),
+            config_hash: self.config_hash.clone(),
+        }
+    }
+
+    /// DRR cost charged to the tenant: graph vertices + arcs (≥ 1), a
+    /// proxy for device occupancy that needs no pre-run timing.
+    pub fn cost(&self) -> u64 {
+        (self.graph.num_vertices() + self.graph.num_arcs()).max(1) as u64
+    }
+
+    /// Whether this job may join a batched device pass: a single-device
+    /// GPU job over a graph of at most `threshold` vertices.
+    pub fn batchable(&self, threshold: usize) -> bool {
+        self.job.is_device_job()
+            && self.job.devices() == 1
+            && self.graph.num_vertices() <= threshold
+    }
+
+    /// Whether two batchable jobs may share one device pass: identical
+    /// algorithm and identical resolved configuration.
+    pub fn compatible(&self, other: &ResolvedJob) -> bool {
+        self.job.algorithm() == other.job.algorithm() && self.config_desc == other.config_desc
+    }
+}
+
+/// Resolve and validate a spec. Graph construction happens here (dataset
+/// build or inline-CSR validation), then the knob checks and job
+/// construction are delegated to the shared `gc-bench::cli` helpers.
+pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
+    let inline = spec.row_ptr.is_some() || spec.col_idx.is_some();
+    if spec.dataset.is_some() == inline {
+        return Err("exactly one of dataset or row_ptr+col_idx is required".into());
+    }
+    let (graph, graph_label) = if let Some(name) = &spec.dataset {
+        let ds = gc_graph::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown dataset '{name}' ({})",
+                cli::dataset_names().join(" | ")
+            )
+        })?;
+        let scale = match &spec.scale {
+            Some(s) => cli::parse_scale(s)?,
+            None => gc_graph::Scale::Small,
+        };
+        (ds.build(scale), name.clone())
+    } else {
+        if spec.scale.is_some() {
+            return Err("scale only applies with dataset".into());
+        }
+        let (Some(row_ptr), Some(col_idx)) = (&spec.row_ptr, &spec.col_idx) else {
+            return Err("inline graphs need both row_ptr and col_idx".into());
+        };
+        let g = CsrGraph::from_parts(row_ptr.clone(), col_idx.clone())
+            .map_err(|e| format!("bad inline graph: {e}"))?;
+        let label = format!("inline:{:016x}", g.fingerprint());
+        (g, label)
+    };
+
+    // Map spec fields onto the CLI argument struct, tracking which knobs
+    // the spec pinned exactly like the flag parser does, then run the
+    // shared validation. Zero checks mirror the parser's parse-time ones.
+    let mut args = ColorArgs::default();
+    let mut pinned: Vec<&'static str> = Vec::new();
+    let algorithm_explicit = spec.algorithm.is_some();
+    if let Some(a) = &spec.algorithm {
+        args.algorithm = a.clone();
+    }
+    if spec.optimized {
+        args.optimized = true;
+        pinned.push("--optimized");
+    }
+    args.frontier = spec.frontier;
+    if let Some(d) = spec.devices {
+        args.devices = d;
+        pinned.push("--devices");
+    }
+    if spec.no_overlap {
+        args.overlap = false;
+        pinned.push("--no-overlap");
+    }
+    if let Some(p) = &spec.partition {
+        args.partition = Some(p.clone());
+        pinned.push("--partition");
+    }
+    if let Some(wg) = spec.wg {
+        if wg == 0 {
+            return Err("--wg must be positive".into());
+        }
+        args.wg = Some(wg);
+        pinned.push("--wg");
+    }
+    if let Some(chunk) = spec.chunk {
+        if chunk == 0 {
+            return Err("--chunk must be positive".into());
+        }
+        args.chunk = Some(chunk);
+        pinned.push("--chunk");
+    }
+    if let Some(t) = spec.hybrid_threshold {
+        args.hybrid_threshold = Some(t);
+        pinned.push("--hybrid-threshold");
+    }
+    if let Some(l) = spec.link_latency {
+        args.link_latency = Some(l);
+        pinned.push("--link-latency");
+    }
+    if let Some(b) = spec.link_bandwidth {
+        if b == 0 {
+            return Err("--link-bandwidth must be positive".into());
+        }
+        args.link_bandwidth = Some(b);
+        pinned.push("--link-bandwidth");
+    }
+    if let Some(d) = &spec.device {
+        args.device = d.clone();
+    }
+    if let Some(s) = spec.seed {
+        args.seed = s;
+    }
+    cli::validate_knobs(&mut args, algorithm_explicit, &pinned)?;
+    let job = cli::color_job(&args)?;
+    let config_desc = cli::config_description(&args)?;
+    let config_hash = gc_core::ledger::config_hash(&config_desc);
+    let fingerprint = graph.fingerprint();
+    Ok(ResolvedJob {
+        tenant: if spec.tenant.is_empty() {
+            "default".into()
+        } else {
+            spec.tenant.clone()
+        },
+        job,
+        graph: Arc::new(graph),
+        graph_label,
+        fingerprint,
+        config_desc,
+        config_hash,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_spec(name: &str) -> JobSpec {
+        JobSpec {
+            dataset: Some(name.into()),
+            scale: Some("tiny".into()),
+            ..JobSpec::default()
+        }
+    }
+
+    /// A small inline path graph 0-1-2 (symmetric, sorted, loop-free).
+    fn inline_spec() -> JobSpec {
+        JobSpec {
+            row_ptr: Some(vec![0, 1, 3, 4]),
+            col_idx: Some(vec![1, 0, 2, 1]),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn dataset_spec_resolves_with_defaults() {
+        let r = resolve(&dataset_spec("road-net")).unwrap();
+        assert_eq!(r.tenant, "default");
+        assert_eq!(r.job.algorithm(), "maxmin");
+        assert_eq!(r.graph_label, "road-net");
+        assert_eq!(r.fingerprint, r.graph.fingerprint());
+        assert_eq!(r.config_hash, gc_core::ledger::config_hash(&r.config_desc));
+        assert!(r.cost() >= r.graph.num_vertices() as u64);
+    }
+
+    #[test]
+    fn inline_spec_resolves_and_labels_by_fingerprint() {
+        let r = resolve(&inline_spec()).unwrap();
+        assert_eq!(r.graph.num_vertices(), 3);
+        assert_eq!(r.graph_label, format!("inline:{:016x}", r.fingerprint));
+        // A malformed inline graph is rejected with the CSR error.
+        let mut bad = inline_spec();
+        bad.col_idx = Some(vec![1, 0, 2, 0]); // asymmetric
+        let err = resolve(&bad).unwrap_err();
+        assert!(err.contains("bad inline graph"), "{err}");
+    }
+
+    #[test]
+    fn graph_source_is_exactly_one() {
+        let err = resolve(&JobSpec::default()).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let mut both = inline_spec();
+        both.dataset = Some("road-net".into());
+        assert!(resolve(&both).unwrap_err().contains("exactly one"));
+        let mut half = inline_spec();
+        half.col_idx = None;
+        let err = resolve(&half).unwrap_err();
+        assert!(err.contains("both row_ptr and col_idx"), "{err}");
+        let mut scaled = inline_spec();
+        scaled.scale = Some("tiny".into());
+        assert!(resolve(&scaled).unwrap_err().contains("scale"));
+    }
+
+    #[test]
+    fn validation_reuses_cli_wording() {
+        // Each bad spec produces the same message the CLI parser gives for
+        // the equivalent flag set (pinned by cli::tests too).
+        let mut s = dataset_spec("road-net");
+        s.algorithm = Some("nope".into());
+        let err = resolve(&s).unwrap_err();
+        assert!(err.contains("unknown algorithm 'nope'"), "{err}");
+
+        let mut s = dataset_spec("road-net");
+        s.partition = Some("block".into());
+        let err = resolve(&s).unwrap_err();
+        assert_eq!(err, "--partition only applies with --devices > 1");
+
+        let mut s = dataset_spec("road-net");
+        s.no_overlap = true;
+        let err = resolve(&s).unwrap_err();
+        assert_eq!(err, "--no-overlap only applies with --devices > 1");
+
+        let mut s = dataset_spec("road-net");
+        s.link_latency = Some(100);
+        let err = resolve(&s).unwrap_err();
+        assert!(err.contains("--link-latency"), "{err}");
+
+        let mut s = dataset_spec("road-net");
+        s.devices = Some(0);
+        let err = resolve(&s).unwrap_err();
+        assert_eq!(err, "--devices must be at least 1");
+
+        let mut s = dataset_spec("road-net");
+        s.devices = Some(2);
+        s.algorithm = Some("jp".into());
+        let err = resolve(&s).unwrap_err();
+        assert!(err.contains("requires --algorithm firstfit"), "{err}");
+
+        let mut s = dataset_spec("road-net");
+        s.wg = Some(0);
+        assert_eq!(resolve(&s).unwrap_err(), "--wg must be positive");
+
+        let mut s = dataset_spec("road-net");
+        s.device = Some("rtx4090".into());
+        let err = resolve(&s).unwrap_err();
+        assert!(err.contains("unknown device"), "{err}");
+
+        let mut s = dataset_spec("karate-club");
+        let err = resolve(&s).unwrap_err();
+        assert!(err.contains("unknown dataset 'karate-club'"), "{err}");
+        s.dataset = Some("road-net".into());
+        s.scale = Some("huge".into());
+        assert!(resolve(&s).unwrap_err().contains("unknown scale"));
+    }
+
+    #[test]
+    fn multi_device_spec_forces_firstfit_like_the_cli() {
+        let mut s = dataset_spec("road-net");
+        s.devices = Some(2);
+        s.partition = Some("block".into());
+        let r = resolve(&s).unwrap();
+        assert_eq!(r.job.algorithm(), "firstfit");
+        assert_eq!(r.job.devices(), 2);
+        assert!(r.config_desc.contains("devices=2"), "{}", r.config_desc);
+        assert!(!r.batchable(usize::MAX), "multi-device jobs never batch");
+    }
+
+    #[test]
+    fn cache_key_discriminates_config_and_graph() {
+        let a = resolve(&dataset_spec("road-net")).unwrap();
+        let b = resolve(&dataset_spec("road-net")).unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        let mut s = dataset_spec("road-net");
+        s.wg = Some(64);
+        let c = resolve(&s).unwrap();
+        assert_ne!(a.cache_key(), c.cache_key());
+        let d = resolve(&dataset_spec("ecology-mesh")).unwrap();
+        assert_ne!(a.cache_key(), d.cache_key());
+        // Same graph + config but different algorithm also misses.
+        let mut s = dataset_spec("road-net");
+        s.algorithm = Some("jp".into());
+        assert_ne!(a.cache_key(), resolve(&s).unwrap().cache_key());
+    }
+
+    #[test]
+    fn batching_compatibility_requires_identical_config() {
+        let a = resolve(&dataset_spec("road-net")).unwrap();
+        let b = resolve(&dataset_spec("ecology-mesh")).unwrap();
+        assert!(a.batchable(1 << 20) && b.batchable(1 << 20));
+        assert!(a.compatible(&b), "different graphs, same config: batchable");
+        let mut s = dataset_spec("ecology-mesh");
+        s.wg = Some(64);
+        let c = resolve(&s).unwrap();
+        assert!(!a.compatible(&c), "different wg: separate passes");
+        // seq jobs never join device batches.
+        let mut s = dataset_spec("road-net");
+        s.algorithm = Some("seq".into());
+        assert!(!resolve(&s).unwrap().batchable(1 << 20));
+        // Threshold gates by vertex count.
+        assert!(!a.batchable(1));
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let mut s = dataset_spec("road-net");
+        s.tenant = "team-a".into();
+        s.wg = Some(128);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tenant, "team-a");
+        assert_eq!(back.dataset.as_deref(), Some("road-net"));
+        assert_eq!(back.wg, Some(128));
+        // Sparse JSON relies on field defaults.
+        let sparse: JobSpec = serde_json::from_str(r#"{"dataset":"road-net"}"#).unwrap();
+        assert_eq!(sparse.dataset.as_deref(), Some("road-net"));
+        assert!(sparse.algorithm.is_none() && !sparse.optimized);
+    }
+}

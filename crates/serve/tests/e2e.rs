@@ -1,0 +1,202 @@
+//! End-to-end tests over real sockets: a served `gc_serve::Server`, the
+//! blocking HTTP client, and the invariants the PR pins — byte-identical
+//! cache hits, fingerprint-sensitive misses, deterministic LRU eviction,
+//! valid Prometheus output, and ledger appends.
+
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+
+use gc_serve::http::request;
+use gc_serve::load::{run_load, LoadMix, LoadOptions};
+use gc_serve::server::report_bytes;
+use gc_serve::{Server, ServerConfig};
+
+fn start(cfg: ServerConfig) -> (String, JoinHandle<Result<(), String>>) {
+    let server = Server::new(cfg).expect("server builds");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.serve(listener));
+    (addr, handle)
+}
+
+fn stop(addr: &str, handle: JoinHandle<Result<(), String>>) {
+    let (status, _) = request(addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(status, 200);
+    handle
+        .join()
+        .expect("serve thread")
+        .expect("clean serve exit");
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        devices: 2,
+        workers: 2,
+        device: "warp32".into(),
+        ..ServerConfig::default()
+    }
+}
+
+/// A 4-cycle 0-1-3-2-0 as an inline-CSR job body.
+const SQUARE: &str =
+    r#"{"tenant":"t","row_ptr":[0,2,4,6,8],"col_idx":[1,2,0,3,0,3,1,2],"algorithm":"firstfit"}"#;
+/// The 4-cycle 0-1-2-3-0: same vertex count and degree sequence, adjacency
+/// differs — a one-edge-swap away from `SQUARE`, so the fingerprint must
+/// differ and the cache must miss.
+const SQUARE_REWIRED: &str =
+    r#"{"tenant":"t","row_ptr":[0,2,4,6,8],"col_idx":[1,3,0,2,1,3,0,2],"algorithm":"firstfit"}"#;
+
+fn submit_wait(addr: &str, body: &str) -> String {
+    let (status, response) = request(addr, "POST", "/jobs?wait=1", Some(body)).expect("request");
+    assert_eq!(status, 200, "{response}");
+    response
+}
+
+#[test]
+fn repeat_submission_over_http_is_byte_identical_from_cache() {
+    let (addr, handle) = start(test_config());
+    let first = submit_wait(&addr, SQUARE);
+    assert!(first.contains("\"cached\":false"), "{first}");
+    let second = submit_wait(&addr, SQUARE);
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(
+        report_bytes(&first).unwrap(),
+        report_bytes(&second).unwrap(),
+        "cache hit must serve the original report bytes"
+    );
+
+    // One edge rewired: same size, different fingerprint — a miss.
+    let third = submit_wait(&addr, SQUARE_REWIRED);
+    assert!(third.contains("\"cached\":false"), "{third}");
+
+    let (status, metrics) = request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    gc_gpusim::validate_prometheus_text(&metrics).expect("valid Prometheus text");
+    assert!(metrics.contains("gc_serve_cache_hits_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("gc_serve_cache_misses_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("gc_serve_job_latency_us{tenant=\"all\",quantile=\"0.99\"}"),
+        "{metrics}"
+    );
+    stop(&addr, handle);
+}
+
+#[test]
+fn lru_eviction_is_visible_over_http() {
+    let cfg = ServerConfig {
+        cache_capacity: 1,
+        ..test_config()
+    };
+    let (addr, handle) = start(cfg);
+    assert!(submit_wait(&addr, SQUARE).contains("\"cached\":false"));
+    // Fills the single slot, evicting SQUARE.
+    assert!(submit_wait(&addr, SQUARE_REWIRED).contains("\"cached\":false"));
+    // SQUARE was evicted: miss again, and its re-insert evicts REWIRED.
+    assert!(submit_wait(&addr, SQUARE).contains("\"cached\":false"));
+    // Still resident: hit.
+    assert!(submit_wait(&addr, SQUARE).contains("\"cached\":true"));
+    let (_, metrics) = request(&addr, "GET", "/metrics", None).unwrap();
+    assert!(
+        metrics.contains("gc_serve_cache_evictions_total 2"),
+        "{metrics}"
+    );
+    stop(&addr, handle);
+}
+
+#[test]
+fn async_submit_then_poll_reaches_done() {
+    let (addr, handle) = start(test_config());
+    let (status, body) = request(&addr, "POST", "/jobs", Some(SQUARE)).unwrap();
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"status\":\"queued\""), "{body}");
+    let id: u64 = body
+        .split("\"job_id\":")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '}']).next())
+        .and_then(|n| n.parse().ok())
+        .expect("job_id in response");
+    let mut done = String::new();
+    for _ in 0..200 {
+        let (status, body) = request(&addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 200);
+        if body.contains("\"status\":\"done\"") {
+            done = body;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        done.contains("\"num_colors\""),
+        "poll never saw done: {done}"
+    );
+    let (status, _) = request(&addr, "GET", "/jobs/424242", None).unwrap();
+    assert_eq!(status, 404);
+    stop(&addr, handle);
+}
+
+#[test]
+fn completed_jobs_append_to_the_run_ledger_once() {
+    let path = std::env::temp_dir().join(format!("gc-serve-e2e-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServerConfig {
+        ledger: Some(path.to_string_lossy().into_owned()),
+        ..test_config()
+    };
+    let (addr, handle) = start(cfg);
+    submit_wait(&addr, SQUARE);
+    submit_wait(&addr, SQUARE_REWIRED);
+    submit_wait(&addr, SQUARE); // cache hit: must NOT append
+    stop(&addr, handle);
+    let ledger = std::fs::read_to_string(&path).expect("ledger written");
+    let rows: Vec<&str> = ledger.lines().collect();
+    assert_eq!(rows.len(), 2, "executed jobs only: {ledger}");
+    for row in rows {
+        assert!(row.contains("gc-serve"), "{row}");
+        assert!(row.contains("inline:"), "{row}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_requests_get_json_errors() {
+    let (addr, handle) = start(test_config());
+    let (status, body) = request(&addr, "POST", "/jobs", Some("not json")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"error\""), "{body}");
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(r#"{"dataset":"road-net","algorithm":"nope"}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown algorithm"), "{body}");
+    let (status, _) = request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, body) = request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"ok\":true}");
+    stop(&addr, handle);
+}
+
+#[test]
+fn smoke_load_closed_loop_pins_one_cache_hit() {
+    let (addr, handle) = start(test_config());
+    let summary = run_load(&LoadOptions {
+        url: addr.clone(),
+        jobs: 3,
+        rate: 0.0, // closed loop: deterministic hit accounting
+        mix: LoadMix::Smoke,
+        seed: 1,
+    })
+    .expect("load run");
+    assert_eq!(summary.jobs, 3);
+    assert_eq!(summary.ok, 3);
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.cache_hits, 1, "{}", summary.to_json());
+    stop(&addr, handle);
+}
