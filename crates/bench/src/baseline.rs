@@ -63,9 +63,13 @@ pub struct DiffLine {
 }
 
 /// The headline grid: every suite dataset under the paper's baseline and
-/// fully-optimized max/min runs, the speculative first-fit baseline, and
-/// the partitioned first-fit driver (degree-balanced and cut-aware, at 2
-/// and 4 devices, with the overlapped exchange on).
+/// fully-optimized max/min runs, the speculative first-fit baseline (plus
+/// its armed tail-cutover twin, which pins the cutover's untriggered
+/// byte-identity — single-device first-fit converges before any fixed
+/// threshold can fire), the partitioned first-fit driver (degree-balanced
+/// and cut-aware, at 2 and 4 devices, with the overlapped exchange on),
+/// and a cut-aware 2-device run with the tail cutover armed (where the
+/// boundary-conflict tail is real and the host finish actually fires).
 fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
     vec![
         (Family::MaxMin, Config::Baseline, "maxmin", "baseline"),
@@ -76,6 +80,12 @@ fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
             "optimized",
         ),
         (Family::FirstFit, Config::Baseline, "firstfit", "baseline"),
+        (
+            Family::FirstFit,
+            Config::cutover_default(),
+            "firstfit",
+            "cutover",
+        ),
         (
             Family::MultiFirstFit {
                 devices: 2,
@@ -105,6 +115,16 @@ fn combos() -> Vec<(Family, Config, &'static str, &'static str)> {
             Config::Baseline,
             "multiff4-cutaware",
             "baseline",
+        ),
+        (
+            Family::MultiFirstFit {
+                devices: 2,
+                strategy: gc_graph::PartitionStrategy::CutAware,
+                overlap: true,
+            },
+            Config::cutover_default(),
+            "multiff2-cutaware",
+            "cutover",
         ),
     ]
 }

@@ -42,6 +42,9 @@ options:
   --hybrid-threshold N degree threshold for hybrid binning
   --link-latency N     inter-device link latency in cycles (--devices > 1)
   --link-bandwidth N   inter-device link bytes/cycle (--devices > 1)
+  --cutover auto|N     finish the iteration tail on the host once the active
+                       set drops below N vertices, or when the convergence
+                       watchdog signals collapse (auto); 0 = off (default)
   --tuned [PATH]       apply the cached gc-tune winner for this graph and
                        algorithm (default cache TUNE_CACHE.json); conflicts
                        with the explicit knob flags above

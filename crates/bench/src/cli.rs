@@ -4,7 +4,7 @@
 
 use std::io::BufReader;
 
-use gc_core::{gpu, ColorJob, GpuOptions, RunReport};
+use gc_core::{gpu, ColorJob, Cutover, GpuOptions, RunReport};
 use gc_gpusim::{DeviceConfig, Gpu, LinkConfig, MultiGpu};
 use gc_graph::partition::{PartitionStrategy, STRATEGY_NAMES};
 use gc_graph::{io, CsrGraph, Scale};
@@ -68,6 +68,11 @@ pub struct ColorArgs {
     pub link_latency: Option<u64>,
     /// `--link-bandwidth N`: link bytes/cycle (`--devices > 1`).
     pub link_bandwidth: Option<u64>,
+    /// `--cutover auto|N`: finish the iteration tail on the host once the
+    /// active set collapses — below a fixed count `N`, or when the
+    /// convergence watchdog's collapse signal fires (`auto`). `0` (the
+    /// default) disables the cutover entirely.
+    pub cutover: Cutover,
     /// `--tuned [PATH]`: apply the cached tuned config for this graph +
     /// algorithm from the gc-tune cache (default `TUNE_CACHE.json`).
     pub tuned: Option<String>,
@@ -117,6 +122,7 @@ impl Default for ColorArgs {
             hybrid_threshold: None,
             link_latency: None,
             link_bandwidth: None,
+            cutover: Cutover::Off,
             tuned: None,
             device: "hd7950".into(),
             seed: 0xC10,
@@ -242,6 +248,10 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                 args.link_bandwidth = Some(b);
                 pinned.push("--link-bandwidth");
             }
+            "--cutover" => {
+                args.cutover = parse_cutover(&value("--cutover")?)?;
+                pinned.push("--cutover");
+            }
             "--tuned" => {
                 // Optional path: `--tuned cache.json` reads that file,
                 // bare `--tuned` reads the default cache.
@@ -351,6 +361,21 @@ pub fn parse_scale(s: &str) -> Result<Scale, String> {
     }
 }
 
+/// Parse a `--cutover` value: `auto` arms the watchdog-driven trigger, a
+/// positive count fixes the threshold, and `0` keeps the cutover off.
+pub fn parse_cutover(s: &str) -> Result<Cutover, String> {
+    if s == "auto" {
+        return Ok(Cutover::Auto);
+    }
+    match s.parse::<usize>() {
+        Ok(0) => Ok(Cutover::Off),
+        Ok(t) => Ok(Cutover::Fixed(t)),
+        Err(_) => Err(format!(
+            "bad --cutover '{s}' (auto | vertex count, 0 = off)"
+        )),
+    }
+}
+
 /// Cross-knob validation shared by the CLI parsers (`gc-color`,
 /// `gc-profile`) and `gc-serve`'s job validation, so every entry point
 /// rejects inconsistent knob sets with identical wording: device count,
@@ -393,6 +418,13 @@ pub fn validate_knobs(
         return Err("--no-overlap only applies with --devices > 1".into());
     } else if args.link_latency.is_some() || args.link_bandwidth.is_some() {
         return Err("--link-latency/--link-bandwidth only apply with --devices > 1".into());
+    }
+    // The cutover exits a device repair loop; host algorithms have none.
+    if !args.cutover.is_off() && !is_gpu_algorithm(&args.algorithm) {
+        return Err(format!(
+            "--cutover only applies to device algorithms (got '{}')",
+            args.algorithm
+        ));
     }
     Ok(())
 }
@@ -469,6 +501,7 @@ pub fn gpu_options(args: &ColorArgs) -> Result<GpuOptions, String> {
     if let Some(threshold) = args.hybrid_threshold {
         opts = opts.with_hybrid_threshold(Some(threshold));
     }
+    opts = opts.with_cutover(args.cutover);
     Ok(opts)
 }
 
@@ -529,6 +562,10 @@ pub fn apply_tuned(args: &mut ColorArgs, g: &CsrGraph) -> Result<Option<String>,
     args.wg = Some(config.wg_size);
     args.chunk = config.steal_chunk;
     args.hybrid_threshold = config.hybrid_threshold;
+    args.cutover = match config.cutover {
+        0 => Cutover::Off,
+        t => Cutover::Fixed(t),
+    };
     args.devices = config.devices;
     if config.devices > 1 {
         args.partition = Some(config.partition.clone());
@@ -554,6 +591,11 @@ pub fn config_description(args: &ColorArgs) -> Result<String, String> {
         "device={} wg={} schedule={:?} hybrid={:?} frontier={} seed={}",
         args.device, opts.wg_size, opts.schedule, opts.hybrid_threshold, opts.frontier, opts.seed
     );
+    // Appended only when armed, so descriptions (and ledger config hashes)
+    // of pre-cutover runs are unchanged.
+    if !opts.cutover.is_off() {
+        desc.push_str(&format!(" cutover={}", opts.cutover.label()));
+    }
     if args.devices > 1 {
         let mo = multi_options(args)?;
         desc.push_str(&format!(
@@ -893,6 +935,44 @@ mod tests {
         assert_eq!(parse_scale("full").unwrap(), Scale::Full);
         let err = parse_scale("huge").unwrap_err();
         assert!(err.contains("unknown scale 'huge'"), "{err}");
+    }
+
+    #[test]
+    fn cutover_flag_parses_validates_and_describes() {
+        let a = parsed(&["--dataset", "road-net", "--cutover", "auto"]);
+        assert_eq!(a.cutover, Cutover::Auto);
+        let a = parsed(&["--dataset", "road-net", "--cutover", "128"]);
+        assert_eq!(a.cutover, Cutover::Fixed(128));
+        // `0` is the documented "off" spelling.
+        let a = parsed(&["--dataset", "road-net", "--cutover", "0"]);
+        assert_eq!(a.cutover, Cutover::Off);
+        let err = parse(&["--dataset", "road-net", "--cutover", "sometimes"]).unwrap_err();
+        assert!(err.contains("bad --cutover"), "{err}");
+        // Host algorithms have no device repair loop to cut.
+        let err = parse(&[
+            "--dataset",
+            "road-net",
+            "--algorithm",
+            "seq",
+            "--cutover",
+            "auto",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--cutover"), "{err}");
+        // The flag reaches the resolved options and the canonical config
+        // description; an off cutover leaves the description unchanged so
+        // pre-cutover ledger config hashes stay stable.
+        let on = parsed(&["--dataset", "road-net", "--cutover", "auto"]);
+        assert_eq!(color_job(&on).unwrap().opts.cutover, Cutover::Auto);
+        assert!(config_description(&on).unwrap().ends_with(" cutover=auto"));
+        let off = parsed(&["--dataset", "road-net"]);
+        assert!(!config_description(&off).unwrap().contains("cutover"));
+        // It pins a knob the tune cache would otherwise set.
+        let err = parse(&["--dataset", "road-net", "--tuned", "--cutover", "64"]).unwrap_err();
+        assert!(
+            err.contains("--tuned") && err.contains("--cutover"),
+            "{err}"
+        );
     }
 
     #[test]

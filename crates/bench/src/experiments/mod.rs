@@ -26,6 +26,7 @@ mod f20_multidevice;
 mod f21_cutaware;
 mod f22_crossover;
 mod f23_attribution;
+mod f25_cutover;
 mod t1_datasets;
 mod t2_iterations;
 
@@ -166,6 +167,11 @@ pub fn all() -> Vec<Experiment> {
             id: "f23",
             what: "critical-path attribution of the multi-device gap (extension)",
             run: f23_attribution::run,
+        },
+        Experiment {
+            id: "f25",
+            what: "sequential tail cutover: iterations eliminated vs threshold (extension)",
+            run: f25_cutover::run,
         },
     ]
 }

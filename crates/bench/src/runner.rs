@@ -41,6 +41,11 @@ pub enum Config {
         chunk: usize,
         threshold: usize,
     },
+    /// Sequential tail cutover: finish on the host once the active set
+    /// drops to `threshold` vertices (F25).
+    Cutover {
+        threshold: usize,
+    },
 }
 
 impl Config {
@@ -59,6 +64,9 @@ impl Config {
             Config::Optimized { chunk, threshold } => GpuOptions::baseline()
                 .with_schedule(WorkSchedule::WorkStealing { chunk })
                 .with_hybrid_threshold(Some(threshold)),
+            Config::Cutover { threshold } => {
+                GpuOptions::baseline().with_cutover(gc_core::Cutover::Fixed(threshold))
+            }
         }
     }
 
@@ -83,6 +91,18 @@ impl Config {
         Config::Optimized {
             chunk: Self::DEFAULT_CHUNK,
             threshold: Self::DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// Headline tail-cutover threshold — the knee of the F25 sweep: every
+    /// family still cuts 16–67% of its device iterations here, while past
+    /// it the host pass starts doing device-sized work (road-net total
+    /// cycles rise again at 1024).
+    pub const DEFAULT_CUTOVER: usize = 256;
+
+    pub fn cutover_default() -> Self {
+        Config::Cutover {
+            threshold: Self::DEFAULT_CUTOVER,
         }
     }
 }

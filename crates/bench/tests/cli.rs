@@ -684,6 +684,7 @@ fn tuned_multi_device_entry_round_trips() {
         overlap: false,
         link_latency: 200,
         link_bandwidth: 64,
+        cutover: 0,
     };
     let mut cache = gc_tune::TuneCache::new();
     cache.insert(

@@ -1,0 +1,201 @@
+//! Sequential tail-cutover: finish a collapsed repair loop on the host.
+//!
+//! Every iterative GPU driver in this crate ends the same way: the active
+//! set collapses to a handful of conflict losers, and each remaining round
+//! pays a full kernel-launch round trip (plus straggler tail) to color a
+//! few vertices. jefftan969's CUDA coloring uses a fixed `NUM_CUDA_ITERS`
+//! and hands whatever is left to the CPU; this module is the shared
+//! mechanism behind our version of that trick ([`crate::gpu::Cutover`]):
+//! download the dirty state, finish the residual vertices with the
+//! sequential greedy pass, upload the colors, and charge the whole
+//! excursion to the device clock through [`gc_gpusim::HostCostModel`] so
+//! the crossover is honest.
+//!
+//! The host finish preserves every invariant the reports pin:
+//!
+//! * the finished coloring is proper (greedy never conflicts with the
+//!   device's committed partial coloring);
+//! * the charged cycles appear as a `host_tail` critical-path component
+//!   and as one extra timeline round whose path telescopes exactly;
+//! * a `cutover` watchdog profile event marks the decision in traces.
+
+use gc_gpusim::{Gpu, HostCostModel};
+
+use crate::gpu::DeviceGraph;
+use crate::verify::UNCOLORED;
+
+/// Complete a proper partial coloring in place: every [`UNCOLORED`] vertex
+/// (ascending order) takes the smallest color absent from its neighbors.
+/// Returns `(residual_vertices, edges_scanned)` — the work the host did.
+///
+/// Mirrors [`crate::seq::greedy_colors`]' stamped-mark idiom, but against
+/// an existing partial coloring whose colors may exceed `degree + 1` (the
+/// max/min family numbers colors by round): neighbor colors beyond the
+/// mark window are ignored, which is safe because the chosen color is
+/// always inside the window and therefore below them.
+pub(crate) fn greedy_finish(row_ptr: &[u32], col_idx: &[u32], colors: &mut [u32]) -> (usize, u64) {
+    let mut residual = 0usize;
+    let mut edges_scanned = 0u64;
+    // `mark[c] == stamp` forbids color c for the current vertex; stamping
+    // avoids clearing the scratch between vertices. Grown lazily to
+    // `degree + 2`, which always contains a free color.
+    let mut mark: Vec<u32> = Vec::new();
+    for v in 0..colors.len() {
+        if colors[v] != UNCOLORED {
+            continue;
+        }
+        let stamp = residual as u32;
+        residual += 1;
+        let (lo, hi) = (row_ptr[v] as usize, row_ptr[v + 1] as usize);
+        let degree = hi - lo;
+        edges_scanned += degree as u64;
+        if mark.len() < degree + 2 {
+            mark.resize(degree + 2, u32::MAX);
+        }
+        for &u in &col_idx[lo..hi] {
+            let c = colors[u as usize];
+            if c != UNCOLORED && (c as usize) < mark.len() {
+                mark[c as usize] = stamp;
+            }
+        }
+        let mut c = 0u32;
+        while mark[c as usize] == stamp {
+            c += 1;
+        }
+        colors[v] = c;
+    }
+    (residual, edges_scanned)
+}
+
+/// Cut over: download the colors, greedy-finish every residual vertex on
+/// the host, upload the result, and charge the modeled host cycles to the
+/// device clock ([`Gpu::charge_host_tail`]). Emits the `cutover` watchdog
+/// profile event and iteration begin/end markers, and returns the timeline
+/// round describing the finish — `None` when nothing was left to color
+/// (drivers must not cut over onto an empty frontier, but the guard keeps
+/// the helper total).
+pub(crate) fn host_tail_finish(
+    gpu: &mut Gpu,
+    dev: &DeviceGraph,
+    iteration: usize,
+) -> Option<crate::IterationStats> {
+    let mut colors = gpu.read_back(dev.colors);
+    let (residual, edges_scanned) = {
+        let row_ptr = gpu.read_slice(dev.row_ptr);
+        let col_idx = gpu.read_slice(dev.col_idx);
+        greedy_finish(row_ptr, col_idx, &mut colors)
+    };
+    if residual == 0 {
+        return None;
+    }
+    // Payload: the full color array comes down, the residual entries go
+    // back up (the CSR arrays never move — the host uploaded them and
+    // still owns a copy).
+    let bytes_moved = 4 * (dev.n as u64 + residual as u64);
+    let cost = HostCostModel::default().tail_cost(residual as u64, edges_scanned, bytes_moved);
+    gpu.profile_watchdog(
+        iteration,
+        "cutover",
+        &format!(
+            "sequential tail finish: {residual} residual vertices, \
+             {edges_scanned} edges, {cost} host cycles"
+        ),
+    );
+    gpu.profile_iteration_begin(iteration, residual);
+    gpu.write_slice(dev.colors, &colors);
+    gpu.charge_host_tail(cost);
+    gpu.profile_iteration_end(iteration, residual);
+    Some(crate::IterationStats {
+        iteration,
+        active: residual,
+        colored: residual,
+        cycles: cost,
+        kernel_launches: 0,
+        simd_utilization: 1.0,
+        imbalance_factor: 1.0,
+        divergent_steps: 0,
+        steal_pops: 0,
+        path: vec![("host_tail".into(), cost)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{grid_2d, regular, rmat, RmatParams};
+
+    #[test]
+    fn greedy_finish_completes_a_partial_coloring_properly() {
+        let g = rmat(7, 8, RmatParams::graph500(), 3);
+        // Commit a proper partial coloring: color the even vertices with
+        // the sequential pass, blank the odd ones.
+        let mut colors = crate::seq::greedy_colors(&g, crate::VertexOrdering::Natural);
+        let mut blanked = 0;
+        for (v, c) in colors.iter_mut().enumerate() {
+            if v % 2 == 1 {
+                *c = UNCOLORED;
+                blanked += 1;
+            }
+        }
+        let (residual, edges) = greedy_finish(g.row_ptr(), g.col_idx(), &mut colors);
+        assert_eq!(residual, blanked);
+        let expected_edges: u64 = (0..g.num_vertices())
+            .filter(|v| v % 2 == 1)
+            .map(|v| g.neighbors(v as u32).len() as u64)
+            .sum();
+        assert_eq!(edges, expected_edges);
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    #[test]
+    fn greedy_finish_tolerates_committed_colors_beyond_the_degree_bound() {
+        // The max/min family numbers colors by round, so committed colors
+        // can exceed degree + 1. A path vertex whose neighbors hold huge
+        // colors must still pick a fresh small color without conflicting.
+        let g = regular::path(3);
+        let mut colors = vec![900, UNCOLORED, 901];
+        let (residual, _) = greedy_finish(g.row_ptr(), g.col_idx(), &mut colors);
+        assert_eq!(residual, 1);
+        assert_eq!(colors, vec![900, 0, 901]);
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    #[test]
+    fn greedy_finish_on_a_complete_coloring_is_a_noop() {
+        let g = grid_2d(4, 4);
+        let done = crate::seq::greedy_colors(&g, crate::VertexOrdering::Natural);
+        let mut colors = done.clone();
+        let (residual, edges) = greedy_finish(g.row_ptr(), g.col_idx(), &mut colors);
+        assert_eq!((residual, edges), (0, 0));
+        assert_eq!(colors, done);
+    }
+
+    #[test]
+    fn host_tail_finish_charges_the_model_and_reports_the_round() {
+        let g = grid_2d(6, 6);
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let dev = DeviceGraph::upload(&mut gpu, &g, 1);
+        // Leave the whole graph residual.
+        let before = gpu.stats().total_cycles;
+        let round = host_tail_finish(&mut gpu, &dev, 5).expect("residual vertices exist");
+        let colors = gpu.read_back(dev.colors);
+        verify_coloring(&g, &colors).unwrap();
+        let edges = 2 * g.num_edges() as u64;
+        let expected = HostCostModel::default().tail_cost(
+            g.num_vertices() as u64,
+            edges,
+            4 * 2 * g.num_vertices() as u64,
+        );
+        assert_eq!(round.cycles, expected);
+        assert_eq!(round.path, vec![("host_tail".to_string(), expected)]);
+        assert_eq!(round.iteration, 5);
+        assert_eq!(round.active, g.num_vertices());
+        assert_eq!(round.colored, g.num_vertices());
+        assert_eq!(gpu.stats().total_cycles - before, expected);
+        assert_eq!(gpu.stats().path_host_tail_cycles, expected);
+        // Nothing left: a second finish declines.
+        assert!(host_tail_finish(&mut gpu, &dev, 6).is_none());
+    }
+}

@@ -11,8 +11,9 @@
 use gc_gpusim::{Buffer, Gpu, LaneCtx, Launch};
 use gc_graph::CsrGraph;
 
-use crate::gpu::{DeviceGraph, Frontier, GpuOptions};
+use crate::gpu::{Cutover, DeviceGraph, Frontier, GpuOptions};
 use crate::verify::UNCOLORED;
+use crate::watch::{RunWarning, Watchdog, WARN_COLLAPSE};
 
 /// Per-run device state shared by assign and commit.
 pub(crate) struct IterState {
@@ -87,21 +88,49 @@ enum Items {
 }
 
 /// Run the assign/commit loop to completion; returns `(iterations,
-/// active-vertex curve, per-iteration timeline)`.
+/// active-vertex curve, per-iteration timeline, watchdog warnings)`.
+///
+/// The warnings are always empty unless `opts.cutover` is
+/// [`Cutover::Auto`]: these drivers historically ran unwatched, and
+/// instantiating the watchdog only for the mode that needs its collapse
+/// signal keeps every other configuration byte-identical to before the
+/// cutover existed.
 pub(crate) fn run_iterative(
     gpu: &mut Gpu,
     st: &IterState,
     opts: &GpuOptions,
     kernels: &impl IterationKernels,
-) -> (usize, Vec<usize>, Vec<crate::IterationStats>) {
+) -> (
+    usize,
+    Vec<usize>,
+    Vec<crate::IterationStats>,
+    Vec<RunWarning>,
+) {
     let n = st.dev.n;
     let mut items = initial_items(gpu, st, opts);
     let mut remaining = n;
     let mut iterations = 0usize;
     let mut active_curve = Vec::new();
     let mut timeline = Vec::new();
+    let mut watch = match opts.cutover {
+        Cutover::Auto => Some(Watchdog::with_config(n, opts.watch.clone())),
+        _ => None,
+    };
 
     while remaining > 0 {
+        // Fixed tail cutover: the active set is every still-uncolored
+        // vertex, so the threshold compares directly against `remaining`.
+        if let Cutover::Fixed(t) = opts.cutover {
+            if remaining <= t {
+                if let Some(round) = crate::gpu::cutover::host_tail_finish(gpu, &st.dev, iterations)
+                {
+                    active_curve.push(round.active);
+                    timeline.push(round);
+                    iterations += 1;
+                }
+                break;
+            }
+        }
         assert!(
             iterations < opts.max_iterations,
             "iterative coloring exceeded {} iterations — priorities must be unique",
@@ -177,8 +206,43 @@ pub(crate) fn run_iterative(
                 *hlen = hf.swap(gpu);
             }
         }
+
+        // Auto tail cutover: act on the watchdog's collapse signal,
+        // consuming it (the cutover is the remedy, not a pathology to
+        // report) and finishing the residual on the host.
+        if let Some(w) = &mut watch {
+            let round = timeline.last().expect("round just pushed");
+            let tail = crate::gpu::path_component(round, "tail");
+            let mut warns = w.observe(
+                round.iteration,
+                round.active,
+                round.colored,
+                tail,
+                round.cycles,
+            );
+            let cut_now = w.collapse_signaled() && w.consume_collapse();
+            if cut_now {
+                warns.retain(|x| x.kind != WARN_COLLAPSE);
+            }
+            for x in warns {
+                gpu.profile_watchdog(x.iteration, &x.kind, &x.detail);
+            }
+            if cut_now {
+                if remaining > 0 {
+                    if let Some(round) =
+                        crate::gpu::cutover::host_tail_finish(gpu, &st.dev, iterations)
+                    {
+                        active_curve.push(round.active);
+                        timeline.push(round);
+                        iterations += 1;
+                    }
+                }
+                break;
+            }
+        }
     }
-    (iterations, active_curve, timeline)
+    let warnings = watch.map(Watchdog::into_warnings).unwrap_or_default();
+    (iterations, active_curve, timeline, warnings)
 }
 
 /// Build the iteration-0 item sources from the options.

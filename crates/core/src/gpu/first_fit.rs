@@ -17,9 +17,10 @@
 use gc_gpusim::{Buffer, Gpu, LaneCtx, Launch, ScheduleMode};
 use gc_graph::CsrGraph;
 
-use crate::gpu::{finish_report, DeviceGraph, Frontier, GpuOptions};
+use crate::gpu::{finish_report, Cutover, DeviceGraph, Frontier, GpuOptions};
 use crate::report::RunReport;
 use crate::verify::UNCOLORED;
+use crate::watch::WARN_COLLAPSE;
 
 /// LDS layout of the cooperative assign kernel: a shared forbidden-color
 /// bitset plus a header.
@@ -87,6 +88,19 @@ pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
         if total_active == 0 {
             break;
         }
+        // Fixed tail cutover: once the worklist has collapsed below the
+        // threshold, finish the residual on the host instead of paying
+        // another low-occupancy round trip.
+        if let Cutover::Fixed(t) = opts.cutover {
+            if total_active <= t {
+                if let Some(round) = crate::gpu::cutover::host_tail_finish(gpu, &dev, iterations) {
+                    active_curve.push(round.active);
+                    timeline.push(round);
+                    iterations += 1;
+                }
+                break;
+            }
+        }
         assert!(
             iterations < opts.max_iterations,
             "first-fit exceeded {} rounds",
@@ -139,10 +153,27 @@ pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
         ));
         let round = timeline.last().expect("round just pushed");
         let tail = crate::gpu::path_component(round, "tail");
-        for w in watch.observe(iterations, total_active, finalized, tail, round.cycles) {
+        let mut warns = watch.observe(iterations, total_active, finalized, tail, round.cycles);
+        // Auto tail cutover: the watchdog's collapse detector is the
+        // trigger. Consuming the signal strips the pending collapse warning
+        // (the cutover *is* the remedy) and re-arms the detector.
+        let cut_now =
+            opts.cutover == Cutover::Auto && watch.collapse_signaled() && watch.consume_collapse();
+        if cut_now {
+            warns.retain(|w| w.kind != WARN_COLLAPSE);
+        }
+        for w in warns {
             gpu.profile_watchdog(w.iteration, &w.kind, &w.detail);
         }
         iterations += 1;
+        if cut_now {
+            if let Some(round) = crate::gpu::cutover::host_tail_finish(gpu, &dev, iterations) {
+                active_curve.push(round.active);
+                timeline.push(round);
+                iterations += 1;
+            }
+            break;
+        }
     }
 
     let mut report = finish_report(gpu, &dev, label, iterations, active_curve, timeline);
@@ -247,13 +278,22 @@ fn assign_wgv(
         ctx.barrier();
         if ctx.is_last_in_group() {
             let v = ctx.lds_read(lds::VTX) as usize;
+            // The overflow flag says a neighbor color already lives beyond
+            // the tracked window: the vertex's palette has outgrown the
+            // bitset, so skip the word scan and go straight to the window
+            // rescan above capacity. Any free color is proper here — the
+            // resolve kernel arbitrates speculation either way.
+            let overflowed = ctx.lds_read(lds::OVERFLOW) != 0;
+            ctx.alu(1);
             let mut chosen = None;
-            for w in 0..mask_words {
-                let bits = ctx.lds_read(lds::MASK0 + w);
-                ctx.alu(1);
-                if bits != u32::MAX {
-                    chosen = Some(32 * w as u32 + bits.trailing_ones());
-                    break;
+            if !overflowed {
+                for w in 0..mask_words {
+                    let bits = ctx.lds_read(lds::MASK0 + w);
+                    ctx.alu(1);
+                    if bits != u32::MAX {
+                        chosen = Some(32 * w as u32 + bits.trailing_ones());
+                        break;
+                    }
                 }
             }
             let color = match chosen {
@@ -414,6 +454,61 @@ mod tests {
     }
 
     #[test]
+    fn wgv_overflow_flag_short_circuits_to_the_window_rescan() {
+        // Vertex 1's neighbors both hold colors beyond the 32-color bitset
+        // (one mask word), so the scatter pass sets lds::OVERFLOW. The last
+        // lane must *read* the flag and jump straight to the fallback
+        // window scan above capacity — picking 32, the smallest free color
+        // there — instead of word-scanning the (empty) bitset and choosing
+        // 0. Pins the wiring of the previously write-only flag.
+        let g = regular::path(3);
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let dev = DeviceGraph::upload(&mut gpu, &g, 1);
+        gpu.write_slice(dev.colors, &[40, UNCOLORED, 41]);
+        let list = gpu.alloc_from_named(&[1u32], "worklist");
+        let mut opts = tiny_opts();
+        opts.ff_mask_words = 1;
+        assign_wgv(&mut gpu, &dev, &opts, list, 1);
+        assert_eq!(gpu.read_slice(dev.colors)[1], 32);
+    }
+
+    #[test]
+    fn wgv_without_overflow_still_takes_the_smallest_tracked_color() {
+        // Companion to the short-circuit test: in-window neighbor colors
+        // leave the flag clear and the word scan picks the smallest free
+        // tracked color as before.
+        let g = regular::path(3);
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let dev = DeviceGraph::upload(&mut gpu, &g, 1);
+        gpu.write_slice(dev.colors, &[0, UNCOLORED, 2]);
+        let list = gpu.alloc_from_named(&[1u32], "worklist");
+        let mut opts = tiny_opts();
+        opts.ff_mask_words = 1;
+        assign_wgv(&mut gpu, &dev, &opts, list, 1);
+        assert_eq!(gpu.read_slice(dev.colors)[1], 1);
+    }
+
+    #[test]
+    fn wgv_fallback_with_multiple_mask_words_scans_past_the_full_bitset() {
+        // Two mask words track colors 0..64. The hub's 64 leaves occupy all
+        // of them without overflowing, so the word scan exhausts both words
+        // and the fallback must start exactly at capacity (64).
+        let g = regular::star(65);
+        let mut gpu = Gpu::new(DeviceConfig::small_test());
+        let dev = DeviceGraph::upload(&mut gpu, &g, 1);
+        let mut colors = vec![UNCOLORED; 65];
+        for (leaf, c) in colors.iter_mut().enumerate().skip(1) {
+            *c = leaf as u32 - 1;
+        }
+        gpu.write_slice(dev.colors, &colors);
+        let list = gpu.alloc_from_named(&[0u32], "worklist");
+        let mut opts = tiny_opts();
+        opts.ff_mask_words = 2;
+        assign_wgv(&mut gpu, &dev, &opts, list, 1);
+        assert_eq!(gpu.read_slice(dev.colors)[0], 64);
+    }
+
+    #[test]
     fn work_stealing_variant_is_correct() {
         let g = rmat(9, 8, RmatParams::graph500(), 8);
         let r = color(
@@ -447,6 +542,60 @@ mod tests {
         let r = color(&g, &tiny_opts());
         assert!(r.active_per_iteration.windows(2).all(|w| w[1] < w[0]));
         assert_eq!(r.active_per_iteration[0], 800);
+    }
+
+    #[test]
+    fn fixed_cutover_finishes_on_the_host_with_exact_accounting() {
+        // The simulator's deterministic lane order makes single-device
+        // speculative first-fit converge in one round (see
+        // `crate::watch` docs), so the only reachable fixed trigger here
+        // is the whole-graph threshold: the entire run becomes one host
+        // round. Every accounting identity must still hold exactly. (The
+        // mid-run triggers are exercised by the max/min and multi-device
+        // drivers, whose tails are real.)
+        let g = erdos_renyi(800, 6400, 5);
+        let n = g.num_vertices();
+        let r = color(&g, &tiny_opts().with_cutover(Cutover::Fixed(n)));
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.iterations, 1, "one pure host round");
+        assert!(r.critical_path.get("host_tail") > 0);
+        assert_eq!(r.critical_path.total(), r.cycles);
+        assert_eq!(r.iteration_timeline.len(), r.iterations);
+        assert_eq!(r.active_per_iteration, vec![n]);
+        let last = r.iteration_timeline.last().expect("rounds exist");
+        assert_eq!(last.kernel_launches, 0, "host round launches nothing");
+        assert_eq!(
+            last.path,
+            vec![("host_tail".to_string(), last.cycles)],
+            "host round is pure host_tail"
+        );
+        let cycles: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
+        assert_eq!(cycles, r.cycles);
+        let colored: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+        assert_eq!(colored, n);
+    }
+
+    #[test]
+    fn untriggered_cutover_is_byte_identical_to_off() {
+        let g = erdos_renyi(500, 3000, 11);
+        let off = color(&g, &tiny_opts());
+        let floor = *off.active_per_iteration.iter().min().expect("rounds exist");
+        assert!(floor > 1, "need headroom for an untriggerable threshold");
+        // A threshold below every active count never fires, and an auto
+        // cutover whose collapse window can't close never fires either:
+        // both runs must serialize byte-for-byte like the off run.
+        let fixed = color(&g, &tiny_opts().with_cutover(Cutover::Fixed(floor - 1)));
+        let auto_opts =
+            tiny_opts()
+                .with_cutover(Cutover::Auto)
+                .with_watch(crate::watch::WatchConfig {
+                    collapse_window: usize::MAX,
+                    ..Default::default()
+                });
+        let auto = color(&g, &auto_opts);
+        let off_json = serde_json::to_string(&off).unwrap();
+        assert_eq!(off_json, serde_json::to_string(&fixed).unwrap());
+        assert_eq!(off_json, serde_json::to_string(&auto).unwrap());
     }
 
     #[test]

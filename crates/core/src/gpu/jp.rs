@@ -44,9 +44,11 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
 pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     gpu.reset_stats();
     let st = IterState::new(gpu, g, opts);
-    let (iterations, active, timeline) = run_iterative(gpu, &st, opts, &JpKernels);
+    let (iterations, active, timeline, warnings) = run_iterative(gpu, &st, opts, &JpKernels);
     let label = format!("gpu-jp{}", opts.label_suffix());
-    finish_report(gpu, &st.dev, label, iterations, active, timeline)
+    let mut report = finish_report(gpu, &st.dev, label, iterations, active, timeline);
+    report.warnings = warnings;
+    report
 }
 
 struct JpKernels;
@@ -277,6 +279,28 @@ mod tests {
         let gpu_r = color(&g, &tiny_opts());
         let cpu_r = crate::cpu::jones_plassmann(&g);
         assert!(gpu_r.iterations.abs_diff(cpu_r.iterations) <= 4);
+    }
+
+    #[test]
+    fn fixed_cutover_keeps_the_greedy_bound_and_cuts_the_tail() {
+        // The host greedy finish assigns each residual vertex a color
+        // <= degree + 1, so JP's Delta+1 guarantee survives the cutover.
+        let g = erdos_renyi(600, 4800, 5);
+        let off = color(&g, &tiny_opts());
+        let cut = color(
+            &g,
+            &tiny_opts().with_cutover(crate::gpu::Cutover::Fixed(64)),
+        );
+        let k = verify_coloring(&g, &cut.colors).unwrap_or_else(|e| panic!("{e}"));
+        assert!(k <= g.max_degree() + 1, "{k} colors");
+        assert!(
+            cut.iterations < off.iterations,
+            "cutover did not shorten the run: {} vs {}",
+            cut.iterations,
+            off.iterations
+        );
+        assert!(cut.critical_path.get("host_tail") > 0);
+        assert_eq!(cut.critical_path.total(), cut.cycles);
     }
 
     #[test]

@@ -52,9 +52,11 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
 pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     gpu.reset_stats();
     let st = IterState::new(gpu, g, opts);
-    let (iterations, active, timeline) = run_iterative(gpu, &st, opts, &MaxMinKernels);
+    let (iterations, active, timeline, warnings) = run_iterative(gpu, &st, opts, &MaxMinKernels);
     let label = format!("gpu-maxmin{}", opts.label_suffix());
-    finish_report(gpu, &st.dev, label, iterations, active, timeline)
+    let mut report = finish_report(gpu, &st.dev, label, iterations, active, timeline);
+    report.warnings = warnings;
+    report
 }
 
 struct MaxMinKernels;
@@ -369,6 +371,79 @@ mod tests {
         );
         // The hub is scanned cooperatively: utilization must improve.
         assert!(hybrid.simd_utilization > base.simd_utilization);
+    }
+
+    #[test]
+    fn fixed_cutover_cuts_the_iteration_tail_across_option_combos() {
+        use crate::gpu::Cutover;
+        let g = rmat(9, 8, RmatParams::graph500(), 4);
+        let off = color(&g, &tiny_opts());
+        for base in [
+            tiny_opts(),
+            tiny_opts().with_frontier(true),
+            tiny_opts().with_hybrid_threshold(Some(8)),
+        ] {
+            let cut = color(&g, &base.with_cutover(Cutover::Fixed(64)));
+            verify_coloring(&g, &cut.colors).unwrap();
+            assert!(
+                cut.iterations < off.iterations,
+                "{}: {} vs {}",
+                cut.algorithm,
+                cut.iterations,
+                off.iterations
+            );
+            assert!(cut.critical_path.get("host_tail") > 0);
+            assert_eq!(cut.critical_path.total(), cut.cycles);
+            let cycles: u64 = cut.iteration_timeline.iter().map(|it| it.cycles).sum();
+            assert_eq!(cycles, cut.cycles);
+            let colored: usize = cut.iteration_timeline.iter().map(|it| it.colored).sum();
+            assert_eq!(colored, g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn auto_cutover_acts_on_the_collapse_signal_without_warning() {
+        use crate::gpu::Cutover;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // A tightened collapse detector fires deterministically on the
+        // max/min tail (two colors per round leave a long dribble of tiny
+        // rounds); acting on it must leave no warning behind — the trace
+        // records the decision as a `cutover` event instead.
+        let g = rmat(9, 8, RmatParams::graph500(), 4);
+        let opts = tiny_opts()
+            .with_cutover(Cutover::Auto)
+            .with_watch(crate::watch::WatchConfig {
+                collapse_active_fraction: 0.2,
+                collapse_window: 2,
+                ..Default::default()
+            });
+        let mut gpu = gc_gpusim::Gpu::new(gc_gpusim::DeviceConfig::small_test());
+        let cap = Rc::new(RefCell::new(gc_gpusim::CaptureSink::new()));
+        gpu.attach_profiler(cap.clone());
+        let r = color_on(&mut gpu, &g, &opts);
+        verify_coloring(&g, &r.colors).unwrap();
+        assert!(r.critical_path.get("host_tail") > 0, "host finish ran");
+        assert!(
+            !r.warnings
+                .iter()
+                .any(|w| w.kind == crate::watch::WARN_COLLAPSE),
+            "{:?}",
+            r.warnings
+        );
+        let cap = cap.borrow();
+        let ev = cap
+            .watchdog_events
+            .iter()
+            .find(|e| e.kind == "cutover")
+            .expect("cutover event reached the sink");
+        assert!(ev.detail.contains("residual vertices"), "{}", ev.detail);
+        assert!(!cap
+            .watchdog_events
+            .iter()
+            .any(|e| e.kind == crate::watch::WARN_COLLAPSE));
+        let off = color(&g, &tiny_opts());
+        assert!(r.iterations < off.iterations);
     }
 
     #[test]

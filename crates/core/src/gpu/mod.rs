@@ -16,6 +16,7 @@
 //!   processes high-degree vertices with a cooperative workgroup-per-vertex
 //!   kernel instead of one starved SIMT lane.
 
+pub(crate) mod cutover;
 pub(crate) mod driver;
 pub mod first_fit;
 pub mod jp;
@@ -24,7 +25,7 @@ pub mod multi;
 mod options;
 
 pub use multi::MultiOptions;
-pub use options::{GpuOptions, WorkSchedule};
+pub use options::{Cutover, GpuOptions, WorkSchedule};
 
 use gc_gpusim::{Buffer, Gpu};
 use gc_graph::CsrGraph;
@@ -217,7 +218,8 @@ pub(crate) fn finish_report(
             stats.path_kernel_cycles,
             stats.path_tail_cycles,
             stats.path_host_cycles,
-        ),
+        )
+        .with_host_tail(stats.path_host_tail_cycles),
         multi: None,
         warnings: Vec::new(),
     }

@@ -46,13 +46,14 @@
 //! [`super::first_fit::color_on`] unchanged, byte-for-byte: same colors,
 //! same cycles, same report.
 
-use gc_gpusim::{LinkConfig, MultiGpu};
+use gc_gpusim::{HostCostModel, LinkConfig, MultiGpu};
 use gc_graph::{partition, CsrGraph, Partition, PartitionStrategy};
 
 use crate::gpu::first_fit::{assign_tpv, resolve, PushTargets};
-use crate::gpu::{DeviceGraph, Frontier, GpuOptions};
+use crate::gpu::{Cutover, DeviceGraph, Frontier, GpuOptions};
 use crate::report::{MultiDeviceReport, RunReport};
 use crate::verify::UNCOLORED;
+use crate::watch::WARN_COLLAPSE;
 
 /// Options of a multi-device run: the per-device kernel options plus the
 /// partitioning strategy and link model.
@@ -246,6 +247,21 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         if total_active == 0 {
             break;
         }
+        // Fixed tail cutover on the *global* active set: once the whole
+        // machine's residual fits under the threshold, three more
+        // supersteps per handful of vertices cost more than one host pass.
+        if let Cutover::Fixed(t) = eff.cutover {
+            if total_active <= t {
+                if let Some(round) = host_tail_finish_multi(mg, g, &part, &states, iterations) {
+                    active_curve.push(round.active);
+                    round_link_msgs.push(0);
+                    round_link_bytes.push(0);
+                    timeline.push(round);
+                    iterations += 1;
+                }
+                break;
+            }
+        }
         assert!(
             iterations < eff.max_iterations,
             "multi-device first-fit exceeded {} rounds",
@@ -363,13 +379,22 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
             min_busy = min_busy.min(delta);
             max_busy = max_busy.max(delta);
         }
-        for w in watch.observe(
+        let mut warns = watch.observe(
             iterations,
             total_active,
             total_active - next_active,
             max_busy - min_busy,
             round.cycles,
-        ) {
+        );
+        // Auto tail cutover: act on the collapse signal, consuming it (the
+        // cutover is the remedy, so no warning survives) and re-arming the
+        // detector.
+        let cut_now =
+            eff.cutover == Cutover::Auto && watch.collapse_signaled() && watch.consume_collapse();
+        if cut_now {
+            warns.retain(|w| w.kind != WARN_COLLAPSE);
+        }
+        for w in warns {
             // One event per warning, emitted through device 0's sinks (the
             // devices share the run-level view; per-device duplication
             // would double-count in captures).
@@ -377,6 +402,16 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
                 .profile_watchdog(w.iteration, &w.kind, &w.detail);
         }
         iterations += 1;
+        if cut_now {
+            if let Some(round) = host_tail_finish_multi(mg, g, &part, &states, iterations) {
+                active_curve.push(round.active);
+                round_link_msgs.push(0);
+                round_link_bytes.push(0);
+                timeline.push(round);
+                iterations += 1;
+            }
+            break;
+        }
     }
 
     let mut report = finish_multi_report(
@@ -439,6 +474,73 @@ fn exchange_data(
         }
     }
     pairs
+}
+
+/// Sequential tail-cutover finish for the multi-device driver: gather every
+/// device's owned colors into the global array, run the host greedy pass of
+/// [`crate::gpu::cutover`] over the *global* CSR (the host sees the whole
+/// graph, so the residual needs no exchange machinery at all), and scatter
+/// the finished owned colors back to their devices. The transfer + compute
+/// cost is charged to the machine's wall clock as a [`gc_gpusim::StepKind::HostTail`]
+/// span — every device sits idle under it, which `busy + idle == wall`
+/// accounts for automatically. Returns `None` when nothing was residual.
+fn host_tail_finish_multi(
+    mg: &mut MultiGpu,
+    g: &CsrGraph,
+    part: &Partition,
+    states: &[PartState],
+    iteration: usize,
+) -> Option<crate::IterationStats> {
+    let mut colors = vec![UNCOLORED; g.num_vertices()];
+    let mut locals: Vec<Vec<u32>> = Vec::with_capacity(states.len());
+    let mut local_words = 0u64;
+    for (p, st) in states.iter().enumerate() {
+        let local = mg.device_ref(p).read_back(st.dev.colors);
+        local_words += local.len() as u64;
+        for (i, &v) in part.parts[p].owned.iter().enumerate() {
+            colors[v as usize] = local[i];
+        }
+        locals.push(local);
+    }
+    let (residual, edges_scanned) =
+        crate::gpu::cutover::greedy_finish(g.row_ptr(), g.col_idx(), &mut colors);
+    if residual == 0 {
+        return None;
+    }
+    for (p, st) in states.iter().enumerate() {
+        for (i, &v) in part.parts[p].owned.iter().enumerate() {
+            locals[p][i] = colors[v as usize];
+        }
+        mg.device(p).write_slice(st.dev.colors, &locals[p]);
+    }
+    // Download every device's local color array (owned + ghosts), upload
+    // only the finished residual slots.
+    let bytes_moved = 4 * (local_words + residual as u64);
+    let cost = HostCostModel::default().tail_cost(residual as u64, edges_scanned, bytes_moved);
+    mg.device_ref(0).profile_watchdog(
+        iteration,
+        "cutover",
+        &format!(
+            "sequential tail finish: {residual} residual vertices, {edges_scanned} edges, \
+             {cost} host cycles"
+        ),
+    );
+    mg.device_ref(0)
+        .profile_iteration_begin(iteration, residual);
+    mg.charge_host_tail(cost);
+    mg.device_ref(0).profile_iteration_end(iteration, residual);
+    Some(crate::IterationStats {
+        iteration,
+        active: residual,
+        colored: residual,
+        cycles: cost,
+        kernel_launches: 0,
+        simd_utilization: 1.0,
+        imbalance_factor: 1.0,
+        divergent_steps: 0,
+        steal_pops: 0,
+        path: vec![("host_tail".into(), cost)],
+    })
 }
 
 /// One round's metrics, aggregated across devices: `cycles` is the round's
@@ -560,7 +662,8 @@ fn finish_multi_report(
         ms.exchange_exposed_cycles,
         ms.settle_step_cycles,
         idle_per_device.clone(),
-    );
+    )
+    .with_host_tail(ms.host_tail_cycles);
 
     RunReport {
         schema_version: crate::report::REPORT_SCHEMA_VERSION,
@@ -615,6 +718,7 @@ fn finish_multi_report(
             exchange_exposed_cycles: ms.exchange_exposed_cycles,
             settle_step_cycles: ms.settle_step_cycles,
             interior_compute_cycles: ms.interior_compute_cycles,
+            host_tail_cycles: ms.host_tail_cycles,
             idle_per_device,
             overlap_efficiency: ms.overlap_efficiency(),
             device_imbalance_factor: ms.device_imbalance_factor(),
@@ -948,6 +1052,83 @@ mod tests {
         assert_eq!(finalized, g.num_vertices());
         assert_eq!(r.active_per_iteration[0], g.num_vertices());
         assert_eq!(r.iteration_timeline.len(), r.iterations);
+    }
+
+    #[test]
+    fn fixed_cutover_finishes_on_the_host_with_exact_multi_accounting() {
+        let g = road(14, 14, 0.88, 9);
+        let off = color(&g, &tiny(3));
+        // Threshold at the second-to-last round's active count: the run
+        // reaches it with work still outstanding, so the cutover both
+        // fires and cuts at least one device round.
+        let curve = &off.active_per_iteration;
+        assert!(curve.len() >= 3, "need a tail to cut: {curve:?}");
+        let threshold = curve[curve.len() - 2];
+        let opts = tiny(3).with_base(tiny(3).base.with_cutover(Cutover::Fixed(threshold)));
+        let r = color(&g, &opts);
+        verify_coloring(&g, &r.colors).unwrap();
+        let m = r.multi.as_ref().unwrap();
+        assert!(m.host_tail_cycles > 0, "cutover must have triggered");
+        assert!(r.iterations < off.iterations, "tail rounds must be cut");
+        // The wall identity extends by exactly the host component.
+        assert_eq!(
+            m.settle_step_cycles
+                + m.interior_compute_cycles
+                + m.exchange_exposed_cycles
+                + m.host_tail_cycles,
+            m.wall_cycles
+        );
+        assert_eq!(r.critical_path.get("host_tail"), m.host_tail_cycles);
+        assert_eq!(r.critical_path.total(), r.cycles);
+        for (&busy, &idle) in m.device_cycles.iter().zip(&m.idle_per_device) {
+            assert_eq!(busy + idle, m.wall_cycles);
+        }
+        // The host round closes the books: pure host_tail path, no
+        // launches, no link traffic, and the colored counts still
+        // telescope to n.
+        let last = r.iteration_timeline.last().unwrap();
+        assert_eq!(last.kernel_launches, 0);
+        assert_eq!(last.path, vec![("host_tail".to_string(), last.cycles)]);
+        assert_eq!(m.round_link_msgs.len(), r.iterations);
+        assert_eq!(*m.round_link_msgs.last().unwrap(), 0);
+        let finalized: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+        assert_eq!(finalized, g.num_vertices());
+    }
+
+    #[test]
+    fn untriggered_cutover_is_byte_identical_to_off() {
+        let g = rmat(8, 8, RmatParams::graph500(), 4);
+        let off = serde_json::to_string(&color(&g, &tiny(2))).unwrap();
+        // Fixed(0) can never fire (the loop exits at zero active first);
+        // Auto with an unreachable window never consumes a collapse. Both
+        // must leave every byte of the report untouched.
+        let fixed = tiny(2).with_base(tiny(2).base.with_cutover(Cutover::Fixed(0)));
+        assert_eq!(serde_json::to_string(&color(&g, &fixed)).unwrap(), off);
+        let mut base = tiny(2).base.with_cutover(Cutover::Auto);
+        base.watch.collapse_window = usize::MAX;
+        let auto = tiny(2).with_base(base);
+        assert_eq!(serde_json::to_string(&color(&g, &auto)).unwrap(), off);
+    }
+
+    #[test]
+    fn auto_cutover_acts_on_the_collapse_without_warning() {
+        let g = rmat(8, 8, RmatParams::graph500(), 4);
+        let mut base = tiny(4).base.with_cutover(Cutover::Auto);
+        // Make the collapse detector hair-triggered so the signal fires
+        // within the first rounds; the cutover must consume it.
+        base.watch.collapse_active_fraction = 0.9;
+        base.watch.collapse_window = 1;
+        let r = color(&g, &tiny(4).with_base(base));
+        verify_coloring(&g, &r.colors).unwrap();
+        let m = r.multi.as_ref().unwrap();
+        assert!(m.host_tail_cycles > 0, "auto cutover must have triggered");
+        assert!(
+            r.warnings
+                .iter()
+                .all(|w| w.kind != crate::watch::WARN_COLLAPSE),
+            "the cutover is the remedy — no collapse warning may survive: {:?}",
+            r.warnings
+        );
     }
 
     #[test]

@@ -35,6 +35,43 @@ impl WorkSchedule {
     }
 }
 
+/// When the repair loop hands the residual frontier to the host
+/// sequential greedy pass (the tail cutover; ROADMAP item 3, jefftan969's
+/// `NUM_CUDA_ITERS` trick). The low-occupancy iteration tail burns a full
+/// kernel-launch round trip per handful of vertices; once the active set
+/// has collapsed, a single sequential pass is cheaper than more rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Cutover {
+    /// Never cut over — byte-identical to runs predating the feature.
+    #[default]
+    Off,
+    /// Cut over when the active set drops to at most this many vertices
+    /// (checked at the top of each round; the threshold is a tuned knob,
+    /// see gc-tune's ParamSpace).
+    Fixed(usize),
+    /// Cut over when the convergence watchdog's collapse detector signals
+    /// ([`crate::Watchdog::collapse_signaled`]) — no threshold to tune,
+    /// the live active-set collapse state drives the decision.
+    Auto,
+}
+
+impl Cutover {
+    /// Whether the cutover is disabled.
+    pub fn is_off(&self) -> bool {
+        matches!(self, Cutover::Off)
+    }
+
+    /// Canonical spelling, matching the `--cutover` flag values
+    /// (`"off"` | `"auto"` | the threshold).
+    pub fn label(&self) -> String {
+        match self {
+            Cutover::Off => "off".into(),
+            Cutover::Fixed(t) => t.to_string(),
+            Cutover::Auto => "auto".into(),
+        }
+    }
+}
+
 /// Options shared by every GPU coloring algorithm.
 #[derive(Debug, Clone)]
 pub struct GpuOptions {
@@ -66,6 +103,9 @@ pub struct GpuOptions {
     /// stalls, breaches its straggler budget, or collapses to a tiny active
     /// set, the driver emits profile events and `RunReport` warnings.
     pub watch: crate::watch::WatchConfig,
+    /// Sequential tail-cutover policy: when (if ever) the repair loop
+    /// downloads the residual frontier and finishes it on the host.
+    pub cutover: Cutover,
 }
 
 impl Default for GpuOptions {
@@ -89,6 +129,7 @@ impl GpuOptions {
             ff_mask_words: 64,
             aggregated_push: false,
             watch: crate::watch::WatchConfig::default(),
+            cutover: Cutover::Off,
         }
     }
 
@@ -167,6 +208,12 @@ impl GpuOptions {
         self
     }
 
+    /// Set the sequential tail-cutover policy.
+    pub fn with_cutover(mut self, cutover: Cutover) -> Self {
+        self.cutover = cutover;
+        self
+    }
+
     /// Algorithm label suffix encoding the active optimizations, e.g.
     /// `"-steal-frontier-hybrid"`.
     pub fn label_suffix(&self) -> String {
@@ -214,11 +261,24 @@ mod tests {
             .with_hybrid_threshold(Some(64))
             .with_seed(7)
             .with_wg_size(128)
-            .with_schedule(WorkSchedule::DynamicHw);
+            .with_schedule(WorkSchedule::DynamicHw)
+            .with_cutover(Cutover::Fixed(256));
         assert!(o.frontier);
         assert_eq!(o.hybrid_threshold, Some(64));
         assert_eq!(o.seed, 7);
         assert_eq!(o.wg_size, 128);
+        assert_eq!(o.cutover, Cutover::Fixed(256));
         assert_eq!(o.label_suffix(), "-dyn-frontier-hybrid");
+    }
+
+    #[test]
+    fn cutover_defaults_off_and_labels_canonically() {
+        assert_eq!(GpuOptions::baseline().cutover, Cutover::Off);
+        assert!(Cutover::Off.is_off());
+        assert!(!Cutover::Auto.is_off());
+        assert!(!Cutover::Fixed(1).is_off());
+        assert_eq!(Cutover::Off.label(), "off");
+        assert_eq!(Cutover::Auto.label(), "auto");
+        assert_eq!(Cutover::Fixed(512).label(), "512");
     }
 }

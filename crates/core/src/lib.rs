@@ -49,7 +49,7 @@ pub mod watch;
 
 pub use balance::{balance_coloring, class_imbalance};
 
-pub use gpu::{GpuOptions, WorkSchedule};
+pub use gpu::{Cutover, GpuOptions, WorkSchedule};
 pub use job::{is_gpu_algorithm, ColorJob, ALGORITHMS};
 pub use ledger::{Ledger, LedgerRecord, DEFAULT_LEDGER_PATH, LEDGER_VERSION};
 pub use report::{

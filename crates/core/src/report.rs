@@ -11,6 +11,15 @@ use crate::watch::RunWarning;
 /// serialized before the field existed deserialize as version 0.
 pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
+/// Serde helper: counters added after the schema froze skip serialization
+/// at zero, so runs that never exercise them stay byte-identical to
+/// reports predating the field. (`dead_code` allowed because the offline
+/// stub serde derive ignores `skip_serializing_if`.)
+#[allow(dead_code)]
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
 /// Exact decomposition of a run's wall cycles into named critical-path
 /// components. The invariant — pinned by tests at every driver — is that
 /// the components sum to the report's `cycles` with no remainder, so every
@@ -70,6 +79,17 @@ impl CriticalPath {
             ],
             idle_per_device,
         }
+    }
+
+    /// Append the `host_tail` component charged by a sequential tail
+    /// cutover finish. Skipped when zero so runs that never cut over (and
+    /// `--cutover 0` runs in particular) serialize byte-identically to
+    /// reports predating the feature.
+    pub fn with_host_tail(mut self, cycles: u64) -> Self {
+        if cycles > 0 {
+            self.components.push(("host_tail".into(), cycles));
+        }
+        self
     }
 
     /// Sum of all components — equals the run's `cycles` by construction.
@@ -214,6 +234,13 @@ pub struct MultiDeviceReport {
     /// exchange_exposed_cycles == wall_cycles` holds exactly.
     #[serde(default)]
     pub interior_compute_cycles: u64,
+    /// Wall cycles charged by a sequential tail-cutover host finish; 0 when
+    /// the cutover never triggered (skipped from serialization so such runs
+    /// match reports predating the feature byte-for-byte). When non-zero
+    /// the identity above extends to `settle + interior + exposed +
+    /// host_tail == wall`.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub host_tail_cycles: u64,
     /// Per-device idle cycles: `wall_cycles - device_cycles[d]`.
     #[serde(default)]
     pub idle_per_device: Vec<u64>,
@@ -532,6 +559,13 @@ mod tests {
 
         let m = CriticalPath::multi_device(40, 40, 5, vec![10, 0]);
         assert_eq!(m.total(), 85);
+        // The host-tail component extends both shapes; zero is a no-op so
+        // untriggered cutovers leave the decomposition untouched.
+        let tailed = CriticalPath::single_device(70, 20, 10).with_host_tail(15);
+        assert_eq!(tailed.total(), 115);
+        assert_eq!(tailed.get("host_tail"), 15);
+        let untouched = CriticalPath::single_device(70, 20, 10).with_host_tail(0);
+        assert_eq!(untouched, CriticalPath::single_device(70, 20, 10));
         // Ties break toward the first listed component.
         assert_eq!(m.dominant(), Some(("interior", 40)));
         assert_eq!(m.idle_per_device, vec![10, 0]);
@@ -540,6 +574,10 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(empty.dominant(), None);
         assert_eq!(empty.total(), 0);
+
+        // The zero-skip serde predicate behind the optional counters.
+        assert!(super::u64_is_zero(&0));
+        assert!(!super::u64_is_zero(&1));
     }
 
     #[test]

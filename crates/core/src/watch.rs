@@ -24,11 +24,21 @@
 //!   exist for. A watchdog warning here is the cutover's trigger signal.
 //!
 //! Drivers feed one [`Watchdog::observe`] call per repair round; warnings
-//! fire at most once per kind per run, are emitted live to any attached
-//! [`gc_gpusim::ProfileSink`] (as `watchdog` events), and land in the
+//! fire at most once per kind per *stall episode* — the one-shot latch
+//! re-arms when the watched metric recovers (healthy progress, an active
+//! set back above the collapse fraction, a qualifying round back under the
+//! tail budget), so a run that degrades, recovers, and degrades again is
+//! monitored throughout. Warnings are emitted live to any attached
+//! [`gc_gpusim::ProfileSink`] (as `watchdog` events) and land in the
 //! [`crate::RunReport`] `warnings` section. Thresholds are tuned so the
 //! standard benchmark graphs (grids, meshes, rmat) run warning-free; see
 //! the tests pinning both directions.
+//!
+//! The collapse detector doubles as the tail-cutover trigger: drivers
+//! running with `--cutover auto` poll [`Watchdog::collapse_signaled`] and
+//! call [`Watchdog::consume_collapse`] when they act on it, which strips
+//! the stored warning (an acted-on signal is a feature, not a pathology)
+//! and re-arms the detector for the remainder of the run.
 //!
 //! The non-iterative sequential baselines ([`crate::seq`]) have no repair
 //! loop — a single host pass cannot stall — so they bypass the watchdog by
@@ -129,9 +139,10 @@ impl Watchdog {
     /// `tail` path component single-device, the inter-device busy gap
     /// multi-device; 0 for CPU rounds, which disables the budget
     /// detector). Returns the warnings that fired on
-    /// *this* round — each kind fires at most once per run — so the driver
-    /// can emit them to its profile sinks at the right device cycle; the
-    /// same warnings accumulate in [`Watchdog::warnings`].
+    /// *this* round — each kind fires at most once per stall episode (the
+    /// latch re-arms on recovery) — so the driver can emit them to its
+    /// profile sinks at the right device cycle; the same warnings
+    /// accumulate in [`Watchdog::warnings`].
     pub fn observe(
         &mut self,
         iteration: usize,
@@ -148,7 +159,10 @@ impl Watchdog {
         if low_progress {
             self.low_progress_streak += 1;
         } else {
+            // Recovery re-arms the one-shot latch: a later, separate stall
+            // episode warns again instead of running unmonitored.
             self.low_progress_streak = 0;
+            self.livelock_fired = false;
         }
         if self.low_progress_streak >= self.cfg.no_shrink_window && !self.livelock_fired {
             self.livelock_fired = true;
@@ -163,11 +177,15 @@ impl Watchdog {
             });
         }
 
-        // Straggler budget: the round's critical path is its tail.
-        if round_cycles >= self.cfg.tail_min_cycles
-            && straggler_cycles as f64 > self.cfg.tail_budget * round_cycles as f64
-            && !self.straggler_fired
-        {
+        // Straggler budget: the round's critical path is its tail. A
+        // qualifying round back under budget re-arms the latch; cheap
+        // rounds below the cycle floor say nothing either way.
+        let tail_breached = round_cycles >= self.cfg.tail_min_cycles
+            && straggler_cycles as f64 > self.cfg.tail_budget * round_cycles as f64;
+        if round_cycles >= self.cfg.tail_min_cycles && !tail_breached {
+            self.straggler_fired = false;
+        }
+        if tail_breached && !self.straggler_fired {
             self.straggler_fired = true;
             fired.push(RunWarning {
                 kind: WARN_STRAGGLER.into(),
@@ -187,7 +205,9 @@ impl Watchdog {
         if collapsed {
             self.collapse_streak += 1;
         } else {
+            // Active-set recovery re-arms the latch (see livelock above).
             self.collapse_streak = 0;
+            self.collapse_fired = false;
         }
         if self.collapse_streak >= self.cfg.collapse_window && !self.collapse_fired {
             self.collapse_fired = true;
@@ -206,6 +226,28 @@ impl Watchdog {
 
         self.warnings.extend(fired.iter().cloned());
         fired
+    }
+
+    /// Whether the active-set-collapse detector is signaling right now:
+    /// the collapse streak has reached the configured window. Unlike the
+    /// warning (which fires on one round and then latches), this is the
+    /// *in-flight* state drivers poll as the `--cutover auto` trigger —
+    /// it stays up while the collapse persists and drops on recovery.
+    pub fn collapse_signaled(&self) -> bool {
+        self.collapse_streak >= self.cfg.collapse_window
+    }
+
+    /// Consume a pending collapse signal: the driver acted on it (the tail
+    /// cutover absorbed the collapsed frontier), so it is no longer a
+    /// pathology to warn about. Strips any stored [`WARN_COLLAPSE`]
+    /// warnings and re-arms the detector. Returns whether a signal or
+    /// fired warning was actually pending.
+    pub fn consume_collapse(&mut self) -> bool {
+        let pending = self.collapse_signaled() || self.collapse_fired;
+        self.warnings.retain(|w| w.kind != WARN_COLLAPSE);
+        self.collapse_streak = 0;
+        self.collapse_fired = false;
+        pending
     }
 
     /// All warnings accumulated so far.
@@ -284,6 +326,91 @@ mod tests {
         for i in 0..2 * window {
             assert!(w.observe(i, 0, 0, 0, 0).is_empty());
         }
+    }
+
+    #[test]
+    fn collapse_rearms_after_recovery_and_fires_again() {
+        // Two constructed collapse episodes separated by a recovery: the
+        // one-shot latch must re-arm so the second episode also warns —
+        // the bug was a run going unmonitored after a cutover consumed
+        // the first signal.
+        let mut w = Watchdog::new(10_000);
+        let window = WatchConfig::default().collapse_window;
+        for i in 0..window - 1 {
+            assert!(w.observe(i, 100, 10, 0, 0).is_empty(), "round {i}");
+        }
+        let fired = w.observe(window - 1, 100, 10, 0, 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, WARN_COLLAPSE);
+        assert!(w.collapse_signaled(), "signal stays up while collapsed");
+        // Recovery: a healthy active set drops the signal and re-arms.
+        assert!(w.observe(window, 5_000, 2_500, 0, 0).is_empty());
+        assert!(!w.collapse_signaled());
+        // Second collapse episode fires a second warning.
+        for i in 0..window - 1 {
+            let round = window + 1 + i;
+            assert!(w.observe(round, 120, 10, 0, 0).is_empty(), "round {round}");
+        }
+        let fired = w.observe(2 * window, 120, 10, 0, 0);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, WARN_COLLAPSE);
+        assert_eq!(fired[0].iteration, 2 * window);
+        assert_eq!(w.warnings().len(), 2, "both episodes are recorded");
+    }
+
+    #[test]
+    fn consume_collapse_strips_the_warning_and_rearms() {
+        let mut w = Watchdog::new(10_000);
+        let window = WatchConfig::default().collapse_window;
+        assert!(!w.consume_collapse(), "nothing pending on a fresh run");
+        for i in 0..window {
+            w.observe(i, 100, 50, 0, 0);
+        }
+        assert!(w.collapse_signaled());
+        assert_eq!(w.warnings().len(), 1);
+        // The driver cuts over and consumes the signal: the warning is
+        // withdrawn (an acted-on trigger is not a pathology) and the
+        // detector re-arms.
+        assert!(w.consume_collapse());
+        assert!(w.warnings().is_empty());
+        assert!(!w.collapse_signaled());
+        assert!(!w.consume_collapse(), "signal already consumed");
+        // Other warning kinds survive a consume.
+        let mut w = Watchdog::new(1000);
+        for i in 0..3 {
+            w.observe(i, 1000 - i, 1, 0, 0);
+        }
+        assert_eq!(w.warnings().len(), 1, "livelock fired");
+        w.consume_collapse();
+        assert_eq!(w.warnings()[0].kind, WARN_LIVELOCK);
+    }
+
+    #[test]
+    fn livelock_and_straggler_latches_rearm_on_recovery() {
+        // Livelock: stall → fire → healthy round → stall again → fires again.
+        let mut w = Watchdog::new(1000);
+        for i in 0..3 {
+            w.observe(i, 1000, 1, 0, 0);
+        }
+        assert_eq!(w.warnings().len(), 1);
+        w.observe(3, 997, 600, 0, 0); // healthy: re-arms
+        for i in 4..7 {
+            w.observe(i, 400, 1, 0, 0);
+        }
+        assert_eq!(w.warnings().len(), 2, "second livelock episode warns");
+        // Straggler: breach → fire → qualifying round under budget
+        // (re-arms) → breach again → fires again. Cheap rounds below the
+        // floor leave the latch untouched.
+        let floor = WatchConfig::default().tail_min_cycles;
+        let mut w = Watchdog::new(1000);
+        w.observe(0, 100, 50, floor - 1, floor);
+        assert_eq!(w.warnings().len(), 1);
+        w.observe(1, 100, 50, 900, 1000); // cheap round: no re-arm
+        w.observe(2, 100, 50, floor - 1, floor);
+        assert_eq!(w.warnings().len(), 1, "latch still held");
+        w.observe(3, 100, 50, floor / 2, floor); // qualifying, under budget
+        w.observe(4, 100, 50, floor - 1, floor);
+        assert_eq!(w.warnings().len(), 2, "second straggler episode warns");
     }
 
     #[test]

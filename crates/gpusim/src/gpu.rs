@@ -265,6 +265,18 @@ impl Gpu {
         stats
     }
 
+    /// Advance the device clock by `cycles` of *host* work. The sequential
+    /// tail-cutover finishes the residual frontier on the CPU while the
+    /// device sits idle, so the cost lands on the same wall clock as kernel
+    /// launches but under its own `host_tail` critical-path term
+    /// ([`DeviceStats::path_host_tail_cycles`]); the single-device
+    /// decomposition becomes `kernel + tail + host + host_tail ==
+    /// total_cycles` and still telescopes exactly.
+    pub fn charge_host_tail(&mut self, cycles: u64) {
+        self.stats.total_cycles += cycles;
+        self.stats.path_host_tail_cycles += cycles;
+    }
+
     /// Cumulative statistics since construction or the last reset.
     pub fn stats(&self) -> &DeviceStats {
         &self.stats

@@ -1,0 +1,98 @@
+//! Host-side cost model for the sequential tail-cutover.
+//!
+//! When a repair-loop driver cuts over (see `gc-core`'s cutover support),
+//! the residual frontier is downloaded, finished by a sequential greedy
+//! pass on the CPU, and the new colors are uploaded back. That work is
+//! real wall time the device spends idle, so it must be charged in the
+//! same model cycles as everything else — otherwise the cutover would look
+//! free and every threshold would "win".
+//!
+//! The model mirrors PR 1's wall-time philosophy: simple, deterministic,
+//! analytical terms with the constants stated up front.
+//!
+//! * **Transfer** — one DMA setup per direction at the PCIe-class latency
+//!   [`LinkConfig::pcie`] uses (800 cycles ≈ 1 µs at the simulated
+//!   800 MHz clock) plus a bandwidth term at 16 bytes per device cycle.
+//! * **Compute** — a modern host core runs several times the device clock
+//!   but strictly sequentially. The greedy finish touches each residual
+//!   vertex once and scans each of its incident edges once; at ~4 ns per
+//!   edge (cache-missy neighbor color reads) and ~15 ns of per-vertex
+//!   overhead that is ~3 cycles/edge and ~12 cycles/vertex at 800 MHz.
+//!
+//! Absolute values are model cycles, like every other cost in this crate:
+//! only comparisons between configurations are meaningful, and the
+//! constants are deliberately *not* flattering to the host so measured
+//! crossover thresholds stay conservative.
+
+use crate::multi::LinkConfig;
+
+/// Deterministic cost model for a host-side sequential finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostCostModel {
+    /// Fixed cycles per DMA direction (latency, driver stack, sync).
+    pub transfer_latency_cycles: u64,
+    /// Payload bytes moved per device cycle once streaming.
+    pub bytes_per_cycle: u64,
+    /// Host cycles (in device-clock units) per residual vertex finished.
+    pub cycles_per_vertex: u64,
+    /// Host cycles (in device-clock units) per residual edge scanned.
+    pub cycles_per_edge: u64,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        let link = LinkConfig::pcie();
+        Self {
+            transfer_latency_cycles: link.latency_cycles,
+            bytes_per_cycle: link.bytes_per_cycle,
+            cycles_per_vertex: 12,
+            cycles_per_edge: 3,
+        }
+    }
+}
+
+impl HostCostModel {
+    /// Cycles a sequential tail finish costs: two DMA setups (download the
+    /// dirty state, upload the new colors), the streaming time for
+    /// `bytes_moved` total payload, and the greedy pass over `vertices`
+    /// residual vertices scanning `edges` incident edges.
+    pub fn tail_cost(&self, vertices: u64, edges: u64, bytes_moved: u64) -> u64 {
+        2 * self.transfer_latency_cycles
+            + bytes_moved.div_ceil(self.bytes_per_cycle.max(1))
+            + vertices * self.cycles_per_vertex
+            + edges * self.cycles_per_edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_cost_sums_transfer_and_compute_terms() {
+        let m = HostCostModel {
+            transfer_latency_cycles: 100,
+            bytes_per_cycle: 8,
+            cycles_per_vertex: 10,
+            cycles_per_edge: 2,
+        };
+        // 2×100 latency + ceil(65/8)=9 streaming + 3×10 + 7×2.
+        assert_eq!(m.tail_cost(3, 7, 65), 200 + 9 + 30 + 14);
+        // Zero-residual finishes still pay the round trip — drivers must
+        // not cut over onto an empty frontier.
+        assert_eq!(m.tail_cost(0, 0, 0), 200);
+    }
+
+    #[test]
+    fn default_matches_the_pcie_link_transfer_terms() {
+        let m = HostCostModel::default();
+        let link = LinkConfig::pcie();
+        assert_eq!(m.transfer_latency_cycles, link.latency_cycles);
+        assert_eq!(m.bytes_per_cycle, link.bytes_per_cycle);
+        // Cost grows monotonically in every argument.
+        let base = m.tail_cost(100, 500, 4000);
+        assert!(m.tail_cost(101, 500, 4000) > base);
+        assert!(m.tail_cost(100, 501, 4000) > base);
+        assert!(m.tail_cost(100, 500, 4100) > base);
+    }
+}

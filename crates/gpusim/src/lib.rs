@@ -52,6 +52,7 @@ pub mod buffer;
 mod cache;
 pub mod config;
 pub mod gpu;
+pub mod host;
 pub mod kernel;
 pub mod lane;
 pub mod metrics;
@@ -67,6 +68,7 @@ mod workgroup;
 pub use buffer::{AtomicScalar, Buffer, DeviceScalar};
 pub use config::DeviceConfig;
 pub use gpu::Gpu;
+pub use host::HostCostModel;
 pub use kernel::{GridStyle, Kernel, Launch, ScheduleMode};
 pub use lane::{LaneCtx, LaneIds};
 pub use metrics::{

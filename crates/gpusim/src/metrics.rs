@@ -7,6 +7,15 @@ use serde::{Deserialize, Serialize};
 use crate::buffer::{BufferMap, MemoryState};
 use crate::config::DeviceConfig;
 
+/// Serde predicate keeping zero-valued optional counters out of the JSON,
+/// so reports from runs that never touch a feature stay byte-identical to
+/// reports from before the counter existed. (`dead_code` allowed because
+/// the offline stub serde derive ignores `skip_serializing_if`.)
+#[allow(dead_code)]
+pub(crate) fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
 /// Fraction `active / possible`, defined as 1.0 when `possible` is zero
 /// (an empty launch wastes no lanes). Shared by every stats level.
 pub fn utilization_of(active_lane_ops: u64, possible_lane_ops: u64) -> f64 {
@@ -685,6 +694,13 @@ pub struct DeviceStats {
     /// term).
     #[serde(default)]
     pub path_host_cycles: u64,
+    /// Host cycles charged by a sequential tail-cutover finish
+    /// ([`crate::Gpu::charge_host_tail`]) — the critical-path `host_tail`
+    /// term. Included in `total_cycles` but produced by no kernel launch;
+    /// skipped when zero so runs without a cutover serialize exactly as
+    /// before the term existed.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub path_host_tail_cycles: u64,
     /// Per-kernel-name aggregates.
     pub per_kernel: BTreeMap<String, KernelAggregate>,
     /// Per-CU busy cycles summed across launches.
@@ -818,6 +834,13 @@ mod tests {
         assert!((s.simd_utilization() - 0.75).abs() < 1e-12);
         // max 30, mean 20 => 1.5
         assert!((s.imbalance_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_skip_predicate() {
+        // The serde predicate behind the skip-at-zero optional counters.
+        assert!(super::u64_is_zero(&0));
+        assert!(!super::u64_is_zero(&1));
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub enum StepKind {
     Overlap,
     /// Serialized link transfer outside any step (fully exposed).
     Transfer,
+    /// Host-side sequential tail-cutover finish charged by
+    /// [`MultiGpu::charge_host_tail`]: every device idles while the CPU
+    /// colors the residual frontier.
+    HostTail,
 }
 
 impl StepKind {
@@ -119,6 +123,7 @@ impl StepKind {
             StepKind::Interior => "interior",
             StepKind::Overlap => "overlap",
             StepKind::Transfer => "transfer",
+            StepKind::HostTail => "host-tail",
         }
     }
 }
@@ -181,9 +186,15 @@ pub struct MultiDeviceStats {
     /// [`StepKind::Interior`] steps plus the compute term of
     /// [`StepKind::Overlap`] steps. The critical-path identity
     /// `settle_step_cycles + interior_compute_cycles +
-    /// exchange_exposed_cycles == wall_cycles` holds exactly.
+    /// exchange_exposed_cycles + host_tail_cycles == wall_cycles` holds
+    /// exactly (`host_tail_cycles` is zero unless a cutover ran).
     #[serde(default)]
     pub interior_compute_cycles: u64,
+    /// Wall cycles charged to the sequential tail-cutover host finish
+    /// ([`StepKind::HostTail`] spans). Skipped when zero so runs without a
+    /// cutover serialize byte-identically to pre-cutover builds.
+    #[serde(default, skip_serializing_if = "crate::metrics::u64_is_zero")]
+    pub host_tail_cycles: u64,
     /// Full per-device statistics, in device order.
     pub per_device: Vec<DeviceStats>,
 }
@@ -230,6 +241,7 @@ pub struct MultiGpu {
     exchange_exposed_cycles: u64,
     settle_step_cycles: u64,
     interior_compute_cycles: u64,
+    host_tail_cycles: u64,
     /// Superstep log: one span per closed step or serialized transfer.
     step_log: Vec<StepSpan>,
     /// Per-device `total_cycles` snapshot taken at [`MultiGpu::begin_step`].
@@ -260,6 +272,7 @@ impl MultiGpu {
             exchange_exposed_cycles: 0,
             settle_step_cycles: 0,
             interior_compute_cycles: 0,
+            host_tail_cycles: 0,
             step_log: Vec::new(),
             step_base: None,
             overlap_open: false,
@@ -312,6 +325,7 @@ impl MultiGpu {
         self.exchange_exposed_cycles = 0;
         self.settle_step_cycles = 0;
         self.interior_compute_cycles = 0;
+        self.host_tail_cycles = 0;
         self.step_log.clear();
         self.step_base = None;
         self.overlap_open = false;
@@ -469,6 +483,34 @@ impl MultiGpu {
         cycles
     }
 
+    /// Advance the wall clock by `cycles` of host work: the sequential
+    /// tail-cutover gathers the residual frontier, finishes it on the CPU,
+    /// and scatters the colors back while every device idles. Logged as a
+    /// [`StepKind::HostTail`] span so the step log keeps tiling the wall
+    /// clock, and charged to its own critical-path term — the identity
+    /// extends to `settle + interior + exchange_exposed + host_tail ==
+    /// wall_cycles`.
+    pub fn charge_host_tail(&mut self, cycles: u64) {
+        assert!(
+            self.step_base.is_none(),
+            "charge_host_tail inside an open step"
+        );
+        self.step_log.push(StepSpan {
+            kind: StepKind::HostTail,
+            start: self.wall_cycles,
+            device_cycles: vec![0; self.devices.len()],
+            exchange_cycles: 0,
+            charged: cycles,
+        });
+        self.wall_cycles += cycles;
+        self.host_tail_cycles += cycles;
+    }
+
+    /// Wall cycles charged to tail-cutover host finishes so far.
+    pub fn host_tail_cycles(&self) -> u64 {
+        self.host_tail_cycles
+    }
+
     /// Modeled wall cycles so far (supersteps plus link transfers).
     pub fn wall_cycles(&self) -> u64 {
         self.wall_cycles
@@ -490,7 +532,8 @@ impl MultiGpu {
     }
 
     /// Critical-path components accumulated so far, as
-    /// `(settle, interior, exchange_exposed)`. Their sum equals
+    /// `(settle, interior, exchange_exposed)`. Together with
+    /// [`MultiGpu::host_tail_cycles`] their sum equals
     /// [`MultiGpu::wall_cycles`] exactly at every step boundary.
     pub fn path_components(&self) -> (u64, u64, u64) {
         (
@@ -527,6 +570,7 @@ impl MultiGpu {
             exchange_exposed_cycles: self.exchange_exposed_cycles,
             settle_step_cycles: self.settle_step_cycles,
             interior_compute_cycles: self.interior_compute_cycles,
+            host_tail_cycles: self.host_tail_cycles,
             per_device: self.devices.iter().map(|d| d.stats().clone()).collect(),
         }
     }
@@ -857,6 +901,44 @@ mod tests {
         // reset_stats clears the log.
         mg.reset_stats();
         assert!(mg.step_log().is_empty());
+    }
+
+    #[test]
+    fn host_tail_charge_extends_the_decomposition_and_tiles_the_log() {
+        let mut mg = MultiGpu::new(2, DeviceConfig::small_test(), LinkConfig::pcie());
+        mg.begin_step();
+        write_kernel(mg.device(0), 16, "settle");
+        mg.end_step();
+        mg.transfer(0, 1, 64);
+        mg.charge_host_tail(4_321);
+        let stats = mg.multi_stats();
+        assert_eq!(stats.host_tail_cycles, 4_321);
+        assert_eq!(
+            stats.settle_step_cycles
+                + stats.interior_compute_cycles
+                + stats.exchange_exposed_cycles
+                + stats.host_tail_cycles,
+            stats.wall_cycles,
+            "decomposition stays exact with a host tail"
+        );
+        // The host-tail span tiles the wall clock like every other span
+        // and carries no device or link work.
+        let log = mg.step_log();
+        let span = log.last().unwrap();
+        assert_eq!(span.kind, StepKind::HostTail);
+        assert_eq!(StepKind::HostTail.label(), "host-tail");
+        assert_eq!(span.charged, 4_321);
+        assert_eq!(span.device_cycles, vec![0, 0]);
+        assert_eq!(span.exchange_cycles, 0);
+        let mut cursor = 0;
+        for s in log {
+            assert_eq!(s.start, cursor, "{:?}", s.kind);
+            cursor += s.charged;
+        }
+        assert_eq!(cursor, mg.wall_cycles());
+        // reset_stats clears the host-tail counter with the rest.
+        mg.reset_stats();
+        assert_eq!(mg.host_tail_cycles(), 0);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct TunedConfig {
     /// Link bandwidth in payload bytes per device cycle (1 when
     /// `devices == 1`).
     pub link_bandwidth: u64,
+    /// Sequential tail-cutover threshold: finish on the host once the
+    /// active set drops to this count; 0 disables the cutover. Defaults to
+    /// 0 so cache entries predating the knob deserialize unchanged.
+    #[serde(default)]
+    pub cutover: usize,
 }
 
 impl TunedConfig {
@@ -61,10 +66,15 @@ impl TunedConfig {
             Some(chunk) => WorkSchedule::WorkStealing { chunk },
             None => WorkSchedule::StaticRoundRobin,
         };
+        let cutover = match self.cutover {
+            0 => gc_core::Cutover::Off,
+            t => gc_core::Cutover::Fixed(t),
+        };
         base.clone()
             .with_wg_size(self.wg_size)
             .with_schedule(schedule)
             .with_hybrid_threshold(self.hybrid_threshold)
+            .with_cutover(cutover)
     }
 
     /// Multi-device [`MultiOptions`] for this point (`devices > 1`).
@@ -107,6 +117,9 @@ impl TunedConfig {
                 self.link_bandwidth
             ));
         }
+        if self.cutover > 0 {
+            s.push_str(&format!(" cutover={}", self.cutover));
+        }
         s
     }
 }
@@ -124,6 +137,8 @@ pub struct ParamSpace {
     pub overlap: Vec<bool>,
     pub link_latency: Vec<u64>,
     pub link_bandwidth: Vec<u64>,
+    /// Tail-cutover threshold candidates (0 = off).
+    pub cutover: Vec<usize>,
 }
 
 impl ParamSpace {
@@ -139,11 +154,13 @@ impl ParamSpace {
             overlap: vec![true],
             link_latency: vec![0],
             link_bandwidth: vec![1],
+            cutover: vec![0],
         }
     }
 
-    /// The full single-device space: workgroup size x chunk x threshold,
-    /// covering the F8/F9 sweep ranges.
+    /// The full single-device space: workgroup size x chunk x threshold x
+    /// tail cutover, covering the F8/F9 sweep ranges plus the F25 cutover
+    /// thresholds.
     pub fn single() -> Self {
         Self {
             wg_size: vec![64, 128, 256],
@@ -154,6 +171,7 @@ impl ParamSpace {
             overlap: vec![true],
             link_latency: vec![0],
             link_bandwidth: vec![1],
+            cutover: vec![0, 64, 256],
         }
     }
 
@@ -173,6 +191,7 @@ impl ParamSpace {
             overlap: vec![true, false],
             link_latency: vec![800],
             link_bandwidth: vec![16],
+            cutover: vec![0],
         }
     }
 
@@ -190,6 +209,7 @@ impl ParamSpace {
             overlap: vec![true],
             link_latency: vec![0, 200, 800, 6400, 51200],
             link_bandwidth: vec![4, 16, 64],
+            cutover: vec![0],
         }
     }
 
@@ -220,6 +240,7 @@ impl ParamSpace {
             ("overlap", self.overlap.len()),
             ("link_latency", self.link_latency.len()),
             ("link_bandwidth", self.link_bandwidth.len()),
+            ("cutover", self.cutover.len()),
         ];
         for (axis, len) in nonempty {
             if *len == 0 {
@@ -251,6 +272,7 @@ impl ParamSpace {
             * self.overlap.len()
             * self.link_latency.len()
             * self.link_bandwidth.len()
+            * self.cutover.len()
     }
 
     /// Enumerate the canonical, deduplicated configurations in a
@@ -266,19 +288,22 @@ impl ParamSpace {
                             for &overlap in &self.overlap {
                                 for &link_latency in &self.link_latency {
                                     for &link_bandwidth in &self.link_bandwidth {
-                                        let c = TunedConfig {
-                                            wg_size,
-                                            steal_chunk,
-                                            hybrid_threshold,
-                                            devices,
-                                            partition: partition.name().into(),
-                                            overlap,
-                                            link_latency,
-                                            link_bandwidth,
-                                        }
-                                        .canonical();
-                                        if seen.insert(c.clone()) {
-                                            out.push(c);
+                                        for &cutover in &self.cutover {
+                                            let c = TunedConfig {
+                                                wg_size,
+                                                steal_chunk,
+                                                hybrid_threshold,
+                                                devices,
+                                                partition: partition.name().into(),
+                                                overlap,
+                                                link_latency,
+                                                link_bandwidth,
+                                                cutover,
+                                            }
+                                            .canonical();
+                                            if seen.insert(c.clone()) {
+                                                out.push(c);
+                                            }
                                         }
                                     }
                                 }
@@ -333,6 +358,17 @@ mod tests {
     }
 
     #[test]
+    fn cutover_knob_defaults_off_for_old_cache_entries() {
+        // Cache entries written before the cutover knob existed carry no
+        // `cutover` field; they must deserialize to the off threshold.
+        let json = r#"{"wg_size":256,"steal_chunk":null,"hybrid_threshold":null,
+            "devices":1,"partition":"-","overlap":true,
+            "link_latency":0,"link_bandwidth":1}"#;
+        let c: TunedConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.cutover, 0);
+    }
+
+    #[test]
     fn configs_are_unique_and_deterministic() {
         let a = ParamSpace::f22().configs();
         let b = ParamSpace::f22().configs();
@@ -368,11 +404,22 @@ mod tests {
             overlap: true,
             link_latency: 0,
             link_bandwidth: 1,
+            cutover: 0,
         };
         let o = c.gpu_options(&base);
         assert_eq!(o.wg_size, 128);
         assert_eq!(o.schedule, WorkSchedule::WorkStealing { chunk: 64 });
         assert_eq!(o.hybrid_threshold, Some(32));
+        assert_eq!(o.cutover, gc_core::Cutover::Off);
+        assert!(!c.label().contains("cutover"));
+
+        let cut = TunedConfig {
+            cutover: 100,
+            ..c.clone()
+        };
+        let o = cut.gpu_options(&base);
+        assert_eq!(o.cutover, gc_core::Cutover::Fixed(100));
+        assert!(cut.label().ends_with(" cutover=100"), "{}", cut.label());
 
         let m = TunedConfig {
             devices: 2,
