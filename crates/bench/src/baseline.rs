@@ -187,10 +187,118 @@ pub fn record_baseline_observed(
         }
     }
     entries.push(tuned_entry(&mut runner, &mut observe));
+    entries.push(incremental_entry(&mut runner, &mut observe));
+    entries.push(incremental_identity_entry(&mut runner, &mut observe));
     BenchBaseline {
         scale: scale_name(scale).to_string(),
         entries,
     }
+}
+
+/// Dataset carrying the streaming-recolor rows (power-law structure keeps
+/// the dirty frontier's neighborhoods interesting).
+const INCREMENTAL_DATASET: &str = "citation-rmat";
+
+/// The flags a `gc-color --dataset citation-rmat --mutate …` run resolves
+/// to, so the rows exercise the exact CLI path.
+fn incremental_args() -> crate::cli::ColorArgs {
+    crate::cli::ColorArgs {
+        dataset: Some(INCREMENTAL_DATASET.into()),
+        algorithm: "firstfit".into(),
+        mutate: Some("<grid batch>".into()),
+        ..crate::cli::ColorArgs::default()
+    }
+}
+
+/// A fixed batch of up to eight edges absent from `g`, chosen by a
+/// deterministic stride scan so the row replays exactly at every scale.
+fn insertion_batch(g: &gc_graph::CsrGraph) -> gc_graph::MutationBatch {
+    let n = g.num_vertices() as u32;
+    let mut batch = gc_graph::MutationBatch::new();
+    let mut added = 0;
+    let mut u = 0u32;
+    while added < 8 && u < n {
+        let v = (u + n / 2 + 1) % n;
+        if u != v && !g.has_edge(u, v) {
+            batch.insert_edge(u, v);
+            added += 1;
+        }
+        u += 7;
+    }
+    assert!(added > 0, "stride scan found no insertable edge");
+    batch
+}
+
+fn entry_from(family: &str, config: &str, r: &gc_core::RunReport) -> BaselineEntry {
+    BaselineEntry {
+        dataset: INCREMENTAL_DATASET.to_string(),
+        family: family.to_string(),
+        config: config.to_string(),
+        cycles: r.cycles,
+        num_colors: r.num_colors,
+        iterations: r.iterations,
+        mem_transactions: r.mem_transactions,
+        path: r.critical_path.components.clone(),
+    }
+}
+
+/// The streaming-recolor row: a fixed insertion batch, recolored
+/// incrementally from the first-fit base run through the same
+/// `mutate_and_recolor` path `gc-color --mutate` uses. Dirty-frontier
+/// seeding, repair convergence, and critical-path accounting regressions
+/// all surface as cycle/iteration drift on this row.
+fn incremental_entry(
+    runner: &mut Runner,
+    observe: &mut impl FnMut(&str, u64, &str, &gc_core::RunReport),
+) -> BaselineEntry {
+    let spec = gc_graph::by_name(INCREMENTAL_DATASET).expect("suite dataset");
+    let g = runner.graph(&spec).clone();
+    let args = incremental_args();
+    let base = crate::cli::run_algorithm(&args, &g).expect("first-fit base run");
+    let batch = insertion_batch(&g);
+    let (graph, report, _) =
+        crate::cli::mutate_and_recolor(&args, &batch, g, base).expect("incremental recolor");
+    observe(
+        INCREMENTAL_DATASET,
+        graph.fingerprint(),
+        "firstfit/incremental",
+        &report,
+    );
+    entry_from("firstfit", "incremental", &report)
+}
+
+/// The empty-batch identity guard: `--mutate` with a no-op batch must
+/// return the base run byte-identically. The row records what the no-op
+/// path actually produced, so a change that makes it re-run (or perturb
+/// the report) shows up as drift against the recorded numbers — and the
+/// in-process byte comparison catches it immediately.
+fn incremental_identity_entry(
+    runner: &mut Runner,
+    observe: &mut impl FnMut(&str, u64, &str, &gc_core::RunReport),
+) -> BaselineEntry {
+    let spec = gc_graph::by_name(INCREMENTAL_DATASET).expect("suite dataset");
+    let g = runner.graph(&spec).clone();
+    let args = incremental_args();
+    let base = crate::cli::run_algorithm(&args, &g).expect("first-fit base run");
+    let (graph, report, _) = crate::cli::mutate_and_recolor(
+        &args,
+        &gc_graph::MutationBatch::new(),
+        g,
+        base.clone(),
+    )
+    .expect("no-op recolor");
+    assert_eq!(
+        serde_json::to_string(&report).expect("serialize report"),
+        serde_json::to_string(&base).expect("serialize report"),
+        "empty --mutate batch must be byte-identical to the unmutated run"
+    );
+    observe(
+        INCREMENTAL_DATASET,
+        graph.fingerprint(),
+        "firstfit/incremental-noop",
+        &report,
+    );
+    entry_from("firstfit", "incremental-noop", &report)
 }
 
 /// One tuned row: the quick-space grid winner on citation-rmat, re-run for

@@ -48,6 +48,11 @@ options:
   --tuned [PATH]       apply the cached gc-tune winner for this graph and
                        algorithm (default cache TUNE_CACHE.json); conflicts
                        with the explicit knob flags above
+  --mutate PATH        after the base run, apply the JSON edge-mutation batch
+                       at PATH ({\"insert\":[[u,v],..],\"delete\":[..]}) and
+                       recolor incrementally from the base coloring; an empty
+                       batch leaves the run byte-identical (implies
+                       --algorithm firstfit)
   --seed N             priority permutation seed (default 3088)
   --out PATH           write `vertex color` lines
   --classes            print color-class sizes
@@ -226,6 +231,26 @@ fn main() {
         eprintln!("internal error: invalid coloring produced: {e}");
         std::process::exit(1);
     });
+    // --mutate: apply the edge batch and recolor incrementally from the
+    // base coloring; every output below describes the mutated graph. A
+    // no-op batch keeps the base run (and its outputs) byte-identical.
+    let (g, report) = match &args.mutate {
+        None => (g, report),
+        Some(path) => {
+            eprintln!("base: {}", report.summary());
+            let (g, report, desc) =
+                cli::apply_mutation(&args, path, g, report).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("mutation {path}: {desc}");
+            verify_coloring(&g, &report.colors).unwrap_or_else(|e| {
+                eprintln!("internal error: invalid incremental coloring: {e}");
+                std::process::exit(1);
+            });
+            (g, report)
+        }
+    };
     eprintln!("{}", report.summary());
 
     if args.classes {

@@ -76,6 +76,10 @@ pub struct ColorArgs {
     /// `--tuned [PATH]`: apply the cached tuned config for this graph +
     /// algorithm from the gc-tune cache (default `TUNE_CACHE.json`).
     pub tuned: Option<String>,
+    /// `--mutate PATH`: after the base run, apply the JSON edge-mutation
+    /// batch at PATH and recolor incrementally from the base coloring
+    /// (implies `--algorithm firstfit`).
+    pub mutate: Option<String>,
     pub device: String,
     pub seed: u64,
     pub out: Option<String>,
@@ -124,6 +128,7 @@ impl Default for ColorArgs {
             link_bandwidth: None,
             cutover: Cutover::Off,
             tuned: None,
+            mutate: None,
             device: "hd7950".into(),
             seed: 0xC10,
             out: None,
@@ -260,6 +265,7 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                     _ => Some(gc_tune::DEFAULT_CACHE_PATH.to_string()),
                 };
             }
+            "--mutate" => args.mutate = Some(value("--mutate")?),
             "--partition" => {
                 pinned.push("--partition");
                 let p = value("--partition")?;
@@ -344,8 +350,24 @@ pub fn parse_color_args(argv: impl IntoIterator<Item = String>) -> Result<Parsed
                  rendering saved artifacts"
                 .into());
         }
+        if args.mutate.is_some() {
+            return Err("--mutate replays edge mutations against a live run; \
+                 drop it when rendering saved artifacts"
+                .into());
+        }
     } else if args.input.is_none() == args.dataset.is_none() {
         return Err("exactly one of --input or --dataset is required".into());
+    }
+    if args.mutate.is_some() {
+        // Only the speculative first-fit repair loop accepts a pre-seeded
+        // frontier, mirroring the `--devices > 1` rule below.
+        if algorithm_explicit && args.algorithm != "firstfit" {
+            return Err(format!(
+                "--mutate requires --algorithm firstfit (got '{}')",
+                args.algorithm
+            ));
+        }
+        args.algorithm = "firstfit".into();
     }
     validate_knobs(&mut args, algorithm_explicit, &pinned)?;
     Ok(Parsed::Run(Box::new(args)))
@@ -676,6 +698,49 @@ pub fn color_job(args: &ColorArgs) -> Result<ColorJob, String> {
 /// Run any algorithm in the suite (host algorithms included).
 pub fn run_algorithm(args: &ColorArgs, g: &CsrGraph) -> Result<RunReport, String> {
     Ok(color_job(args)?.execute(g))
+}
+
+/// The `--mutate` core, shared by `gc-color` and the bench-grid identity
+/// guard: apply `batch` to `g` and recolor incrementally from `base`'s
+/// coloring, seeding the repair loop with only the dirty frontier. A no-op
+/// batch (nothing actually inserted or deleted) returns `(g, base)`
+/// untouched — an empty `--mutate` run is byte-identical to the unmutated
+/// run. The returned string describes what the batch did, for stderr.
+pub fn mutate_and_recolor(
+    args: &ColorArgs,
+    batch: &gc_graph::MutationBatch,
+    g: CsrGraph,
+    base: RunReport,
+) -> Result<(CsrGraph, RunReport, String), String> {
+    let out = batch
+        .apply(&g)
+        .map_err(|e| format!("bad mutation batch: {e}"))?;
+    if out.is_noop() {
+        return Ok((g, base, "no-op batch; coloring unchanged".into()));
+    }
+    let desc = format!(
+        "+{} -{} edges, {} dirty, {} lowerable",
+        out.inserted,
+        out.deleted,
+        out.dirty.len(),
+        out.lowerable.len()
+    );
+    let report = color_job(args)?.execute_incremental(&out.graph, &base.colors, &out.dirty)?;
+    Ok((out.graph, report, desc))
+}
+
+/// Resolve `--mutate PATH`: parse the JSON [`gc_graph::MutationBatch`] at
+/// `path` and hand it to [`mutate_and_recolor`].
+pub fn apply_mutation(
+    args: &ColorArgs,
+    path: &str,
+    g: CsrGraph,
+    base: RunReport,
+) -> Result<(CsrGraph, RunReport, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let batch: gc_graph::MutationBatch =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    mutate_and_recolor(args, &batch, g, base)
 }
 
 #[cfg(test)]
@@ -1327,6 +1392,112 @@ mod tests {
         assert_eq!(a.devices, 1);
         assert_eq!(gpu_options(&a).unwrap().wg_size, 128);
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutate_flag_parses_and_forces_firstfit() {
+        let a = parsed(&["--dataset", "road-net", "--mutate", "batch.json"]);
+        assert_eq!(a.mutate.as_deref(), Some("batch.json"));
+        assert_eq!(a.algorithm, "firstfit", "default algorithm is overridden");
+        // Explicit firstfit is fine; explicit anything else is an error.
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--mutate",
+            "batch.json",
+            "--algorithm",
+            "firstfit",
+        ]);
+        assert_eq!(a.algorithm, "firstfit");
+        let err = parse(&[
+            "--dataset",
+            "road-net",
+            "--mutate",
+            "batch.json",
+            "--algorithm",
+            "maxmin",
+        ])
+        .unwrap_err();
+        assert!(err.contains("firstfit"), "{err}");
+        // It composes with the multi-device driver (also firstfit-only).
+        let a = parsed(&[
+            "--dataset",
+            "road-net",
+            "--mutate",
+            "batch.json",
+            "--devices",
+            "2",
+        ]);
+        assert_eq!(a.devices, 2);
+        assert_eq!(a.algorithm, "firstfit");
+        // Artifact-rendering modes have no live run to mutate.
+        let err = parse(&["--from-capture", "cap.json", "--mutate", "b.json"]).unwrap_err();
+        assert!(err.contains("--mutate"), "{err}");
+        let err = parse(&["--diff", "a.json", "b.json", "--mutate", "b.json"]).unwrap_err();
+        assert!(err.contains("--mutate"), "{err}");
+    }
+
+    #[test]
+    fn empty_mutation_batch_is_byte_identical_to_the_unmutated_run() {
+        let g = gc_graph::generators::grid_2d(10, 10);
+        let a = parsed(&["--dataset", "road-net", "--mutate", "unused.json"]);
+        let base = run_algorithm(&a, &g).unwrap();
+        let batch = gc_graph::MutationBatch::new();
+        let (g2, report, desc) =
+            mutate_and_recolor(&a, &batch, g.clone(), base.clone()).unwrap();
+        assert_eq!(g2, g, "graph untouched");
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&base).unwrap(),
+            "empty batch must return the base run byte-identically"
+        );
+        assert!(desc.contains("no-op"), "{desc}");
+        // A batch whose every operation is a no-op gets the same guarantee.
+        let mut batch = gc_graph::MutationBatch::new();
+        let (u, v) = g.edges().next().unwrap();
+        batch.insert_edge(u, v); // already present
+        batch.delete_edge(0, 99); // not an edge in the 10x10 grid
+        let (_, report, _) = mutate_and_recolor(&a, &batch, g, base.clone()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&base).unwrap()
+        );
+    }
+
+    #[test]
+    fn mutate_and_recolor_runs_the_incremental_driver() {
+        let g = gc_graph::generators::grid_2d(10, 10);
+        let a = parsed(&["--dataset", "road-net", "--mutate", "unused.json"]);
+        let base = run_algorithm(&a, &g).unwrap();
+        let mut batch = gc_graph::MutationBatch::new();
+        batch.insert_edge(0, 55).insert_edge(3, 77);
+        let (g2, report, desc) = mutate_and_recolor(&a, &batch, g, base).unwrap();
+        assert!(g2.has_edge(0, 55) && g2.has_edge(3, 77));
+        assert!(report.algorithm.contains("incremental"), "{}", report.algorithm);
+        gc_core::verify_coloring(&g2, &report.colors).unwrap();
+        assert!(desc.contains("+2"), "{desc}");
+    }
+
+    #[test]
+    fn apply_mutation_reads_json_batches_with_clean_errors() {
+        let g = gc_graph::generators::grid_2d(10, 10);
+        let a = parsed(&["--dataset", "road-net", "--mutate", "unused.json"]);
+        let base = run_algorithm(&a, &g).unwrap();
+        let dir = std::env::temp_dir().join(format!("gc-cli-mutate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.json");
+        let path_str = path.to_str().unwrap();
+        std::fs::write(&path, br#"{"insert":[[0,55]],"delete":[[0,1]]}"#).unwrap();
+        let (g2, report, _) = apply_mutation(&a, path_str, g.clone(), base.clone()).unwrap();
+        assert!(g2.has_edge(0, 55) && !g2.has_edge(0, 1));
+        gc_core::verify_coloring(&g2, &report.colors).unwrap();
+        // Missing file and malformed JSON fail with the path in the error.
+        let err = apply_mutation(&a, "/nonexistent/b.json", g.clone(), base.clone()).unwrap_err();
+        assert!(err.starts_with("read "), "{err}");
+        std::fs::write(&path, b"not json").unwrap();
+        let err = apply_mutation(&a, path_str, g, base).unwrap_err();
+        assert!(err.contains("parse"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -27,6 +27,7 @@ mod f21_cutaware;
 mod f22_crossover;
 mod f23_attribution;
 mod f25_cutover;
+mod f26_incremental;
 mod t1_datasets;
 mod t2_iterations;
 
@@ -172,6 +173,11 @@ pub fn all() -> Vec<Experiment> {
             id: "f25",
             what: "sequential tail cutover: iterations eliminated vs threshold (extension)",
             run: f25_cutover::run,
+        },
+        Experiment {
+            id: "f26",
+            what: "incremental recoloring vs from-scratch across streaming batch sizes (extension)",
+            run: f26_incremental::run,
         },
     ]
 }

@@ -43,33 +43,59 @@ pub fn color(g: &CsrGraph, opts: &GpuOptions) -> RunReport {
 /// profiling tools that attach [`gc_gpusim::ProfileSink`] observers before
 /// the run. Resets device statistics first.
 pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
+    let label = format!("gpu-firstfit{}", opts.label_suffix());
+    drive(gpu, g, opts, label, None)
+}
+
+/// The shared loop behind [`color_on`] and [`super::incremental`]: the same
+/// speculate/resolve rounds, tail cutover, and watchdog, differing only in
+/// where the colors and the initial worklist come from. From scratch
+/// (`seed: None`) every vertex starts uncolored and active; a seeded run
+/// starts from a previous coloring with only its uncolored vertices active
+/// — which is what makes the repair loop an incremental recoloring engine.
+pub(crate) fn drive(
+    gpu: &mut Gpu,
+    g: &CsrGraph,
+    opts: &GpuOptions,
+    label: String,
+    seed: Option<&crate::gpu::Seed<'_>>,
+) -> RunReport {
     gpu.reset_stats();
     let dev = DeviceGraph::upload(gpu, g, opts.seed);
-    let label = format!("gpu-firstfit{}", opts.label_suffix());
     let n = dev.n;
+    if let Some(s) = seed {
+        gpu.write_slice(dev.colors, s.colors);
+    }
 
     // First-fit is intrinsically worklist-driven: the frontier option only
     // changes whether the *initial* rounds scan all vertices, so we always
-    // compact. Hybrid splits the worklist by degree.
-    let (mut low, mut low_len, mut high) = match opts.hybrid_threshold {
-        None => {
+    // compact. Hybrid splits the worklist by degree. A seeded run starts
+    // from its dirty frontier instead of the full vertex range.
+    let (mut low, mut low_len, mut high) = match (opts.hybrid_threshold, seed) {
+        (None, None) => {
             let f = Frontier::all_vertices(gpu, n);
             (f, n, None)
         }
-        Some(t) => {
+        (None, Some(s)) => {
+            let f = Frontier::with_initial(gpu, s.dirty, n);
+            (f, s.dirty.len(), None)
+        }
+        (Some(t), _) => {
             let row_ptr = gpu.read_slice(dev.row_ptr);
+            let candidates: Vec<u32> = match seed {
+                None => (0..n as u32).collect(),
+                Some(s) => s.dirty.to_vec(),
+            };
             let mut lo = Vec::new();
             let mut hi = Vec::new();
-            for v in 0..n {
-                if (row_ptr[v + 1] - row_ptr[v]) as usize > t {
-                    hi.push(v as u32);
+            for v in candidates {
+                if (row_ptr[v as usize + 1] - row_ptr[v as usize]) as usize > t {
+                    hi.push(v);
                 } else {
-                    lo.push(v as u32);
+                    lo.push(v);
                 }
             }
             let (lo_len, hi_len) = (lo.len(), hi.len());
-            let lo = lo;
-            let hi = hi;
             let lf = Frontier::with_initial(gpu, &lo, n);
             let hf = Frontier::with_initial(gpu, &hi, n);
             (lf, lo_len, Some((hf, hi_len)))
@@ -81,7 +107,11 @@ pub fn color_on(gpu: &mut Gpu, g: &CsrGraph, opts: &GpuOptions) -> RunReport {
     let mut timeline = Vec::new();
     // Single-device rounds are straggler-bound by their tail component: the
     // cycles all-but-one compute unit spend draining behind the slowest.
-    let mut watch = crate::watch::Watchdog::with_config(n, opts.watch.clone());
+    // The collapse denominator is the initial worklist — the whole graph
+    // from scratch, the dirty frontier on a seeded run (a tiny active set
+    // is the *expected* state of a small recolor, not a pathology).
+    let watch_n = seed.map_or(n, |s| s.dirty.len().max(1));
+    let mut watch = crate::watch::Watchdog::with_config(watch_n, opts.watch.clone());
     loop {
         let high_len = high.as_ref().map(|(_, l)| *l).unwrap_or(0);
         let total_active = low_len + high_len;

@@ -1,0 +1,529 @@
+//! Incremental recoloring for streaming graph updates.
+//!
+//! The speculate/resolve repair loop of [`super::first_fit`] is already an
+//! incremental engine (Rokos et al., *A Fast and Scalable Graph Coloring
+//! Algorithm for Multi-core and Many-core Architectures*): nothing in the
+//! assign or resolve kernels assumes the worklist covers the whole vertex
+//! range. This module exploits that. Given a mutated graph, the previous
+//! coloring, and the **dirty set** — the endpoints of inserted edges, as
+//! computed by [`gc_graph::MutationBatch::apply`] — the drivers here:
+//!
+//! 1. pre-seed the device color array with the previous coloring, with
+//!    every dirty slot reset to [`crate::verify::UNCOLORED`];
+//! 2. seed the worklist with exactly the uncolored vertices (the dirty
+//!    frontier, plus any vertices the mutation grew past the previous
+//!    coloring — even isolated ones); and
+//! 3. run the *identical* repair loop as the from-scratch drivers — same
+//!    kernels, same tail cutover, same watchdog, same critical-path
+//!    accounting — via the shared `drive` entry points.
+//!
+//! Correctness rests on a simple invariant: a vertex outside the worklist
+//! is never written. The assign kernel excludes every *currently colored*
+//! neighbor's color, so a dirty vertex can only collide with another dirty
+//! vertex — and the resolve kernel arbitrates those by the global priority
+//! permutation exactly as from scratch. Deleted edges never force a
+//! recolor: removal cannot invalidate a proper coloring (the freed colors
+//! are merely *lowerable*, which the mutation layer reports separately).
+//!
+//! The caller's contract is that `prev` restricted to the non-dirty
+//! vertices is a proper coloring of the mutated graph. The drivers verify
+//! the final coloring globally (a cheap host-side pass) before reporting
+//! and panic on a violation, so a bad previous coloring cannot silently
+//! propagate into caches or ledgers.
+//!
+//! The collapse detector of the watchdog (and hence the `--cutover auto`
+//! trigger) is scaled to the dirty-frontier size rather than `|V|`: a tiny
+//! active set is the expected state of a small recolor, not a pathology.
+//!
+//! One policy differs from the from-scratch drivers: when the caller left
+//! the cutover off, a dirty frontier of at most [`AUTO_TAIL_THRESHOLD`]
+//! vertices arms [`Cutover::Fixed`] automatically. A launch over a handful
+//! of vertices cannot fill the device — it runs latency-bound on a single
+//! compute unit, costing *more* than a full-width from-scratch round — so
+//! the host greedy pass absorbs small frontiers instead (roughly an order
+//! of magnitude cheaper; measured by the F26 sweep). Explicit `Fixed` or
+//! `Auto` policies are always respected, and frontiers above the threshold
+//! run whatever the caller configured.
+
+use gc_gpusim::{Gpu, MultiGpu};
+use gc_graph::{partition, CsrGraph, Partition, VertexId};
+
+use crate::gpu::{Cutover, GpuOptions, MultiOptions, Seed};
+use crate::report::RunReport;
+use crate::verify::UNCOLORED;
+
+/// Dirty frontiers of at most this many vertices finish on the host tail
+/// by default (see the module docs): below it the device launch is
+/// latency-bound, above it the host pass starts doing device-sized work
+/// (the knee of the F25 threshold sweep).
+pub const AUTO_TAIL_THRESHOLD: usize = 256;
+
+/// The tail-arming policy: with the cutover left off and a small non-empty
+/// frontier, arm the fixed cutover so round 0 finishes on the host.
+fn arm_tail(opts: &GpuOptions, frontier: usize) -> GpuOptions {
+    if opts.cutover.is_off() && frontier > 0 && frontier <= AUTO_TAIL_THRESHOLD {
+        opts.clone().with_cutover(Cutover::Fixed(AUTO_TAIL_THRESHOLD))
+    } else {
+        opts.clone()
+    }
+}
+
+/// Incrementally recolor `g` after a mutation, starting from `prev` with
+/// the vertices in `dirty` reset. Fresh device; see [`recolor_on`].
+pub fn recolor(g: &CsrGraph, prev: &[u32], dirty: &[VertexId], opts: &GpuOptions) -> RunReport {
+    let mut gpu = Gpu::new(opts.device.clone());
+    recolor_on(&mut gpu, g, prev, dirty, opts)
+}
+
+/// Like [`recolor`], but on a caller-supplied device — the entry point for
+/// profiling tools. Resets device statistics first.
+///
+/// `prev` may be shorter than `|V|` when the mutation grew the graph; the
+/// missing tail (and every vertex in `dirty`) starts uncolored and active.
+/// An empty effective frontier returns the previous coloring untouched in
+/// zero rounds. Panics if the final coloring fails global verification —
+/// i.e. if `prev` was not proper outside the dirty set.
+pub fn recolor_on(
+    gpu: &mut Gpu,
+    g: &CsrGraph,
+    prev: &[u32],
+    dirty: &[VertexId],
+    opts: &GpuOptions,
+) -> RunReport {
+    let (colors, frontier) = seeded_colors(g, prev, dirty);
+    let seed = Seed {
+        colors: &colors,
+        dirty: &frontier,
+    };
+    let opts = arm_tail(opts, frontier.len());
+    let label = format!("gpu-incremental{}", opts.label_suffix());
+    let report = super::first_fit::drive(gpu, g, &opts, label, Some(&seed));
+    verify_final(g, &report);
+    report
+}
+
+/// Incrementally recolor `g` across `opts.devices` simulated devices,
+/// partitioning the mutated graph with `opts.strategy`. Fresh substrate;
+/// see [`recolor_multi_on`].
+pub fn recolor_multi(
+    g: &CsrGraph,
+    prev: &[u32],
+    dirty: &[VertexId],
+    opts: &MultiOptions,
+) -> RunReport {
+    let mut mg = MultiGpu::new(opts.devices, opts.base.device.clone(), opts.link.clone());
+    recolor_multi_on(&mut mg, g, prev, dirty, opts)
+}
+
+/// Like [`recolor_multi`], but on a caller-supplied substrate. With
+/// `devices == 1` this delegates to [`recolor_on`] byte-for-byte, exactly
+/// as [`super::multi::color_on`] does for from-scratch runs.
+pub fn recolor_multi_on(
+    mg: &mut MultiGpu,
+    g: &CsrGraph,
+    prev: &[u32],
+    dirty: &[VertexId],
+    opts: &MultiOptions,
+) -> RunReport {
+    assert_eq!(
+        mg.num_devices(),
+        opts.devices,
+        "substrate has {} devices, options ask for {}",
+        mg.num_devices(),
+        opts.devices
+    );
+    if opts.devices == 1 {
+        return recolor_on(mg.device(0), g, prev, dirty, &opts.base);
+    }
+    let part = partition(g, opts.devices, opts.strategy);
+    recolor_partitioned(mg, g, &part, prev, dirty, opts)
+}
+
+/// Multi-device recolor over a caller-supplied partition of the *mutated*
+/// graph — the entry point for pipelines that maintain a partition across
+/// mutations (e.g. via [`gc_graph::Partition::refresh`]) instead of
+/// repartitioning from scratch each batch. Requires `opts.devices >= 2`.
+pub fn recolor_partitioned(
+    mg: &mut MultiGpu,
+    g: &CsrGraph,
+    part: &Partition,
+    prev: &[u32],
+    dirty: &[VertexId],
+    opts: &MultiOptions,
+) -> RunReport {
+    assert!(
+        opts.devices >= 2,
+        "partitioned recolor needs >= 2 devices; 1 device delegates to recolor_on"
+    );
+    let (colors, frontier) = seeded_colors(g, prev, dirty);
+    let seed = Seed {
+        colors: &colors,
+        dirty: &frontier,
+    };
+    let mut opts = opts.clone();
+    opts.base = arm_tail(&opts.base, frontier.len());
+    let mut eff = opts.base.clone();
+    eff.hybrid_threshold = None;
+    let label = format!(
+        "gpu-multi{}-{}-incremental{}{}",
+        opts.devices,
+        opts.strategy.name(),
+        eff.label_suffix(),
+        if opts.overlap { "" } else { "-serial" }
+    );
+    let report = super::multi::drive(mg, g, part, &opts, label, Some(&seed));
+    verify_final(g, &report);
+    report
+}
+
+/// Build the seeded global color array and the effective dirty frontier:
+/// `prev` copied in (zero-extended with [`UNCOLORED`] if the graph grew),
+/// dirty slots reset, and the frontier collected as *every* uncolored slot
+/// in ascending order — so grown vertices and caller-uncolored slots are
+/// recolored too, not just the explicit dirty set.
+fn seeded_colors(g: &CsrGraph, prev: &[u32], dirty: &[VertexId]) -> (Vec<u32>, Vec<u32>) {
+    let n = g.num_vertices();
+    assert!(
+        prev.len() <= n,
+        "previous coloring has {} entries for a {n}-vertex graph",
+        prev.len()
+    );
+    let mut colors = vec![UNCOLORED; n];
+    colors[..prev.len()].copy_from_slice(prev);
+    for &d in dirty {
+        assert!(
+            (d as usize) < n,
+            "dirty vertex {d} out of range for {n} vertices"
+        );
+        colors[d as usize] = UNCOLORED;
+    }
+    let frontier: Vec<u32> = (0..n as u32)
+        .filter(|&v| colors[v as usize] == UNCOLORED)
+        .collect();
+    (colors, frontier)
+}
+
+/// The global validity gate: incremental runs trust the previous coloring
+/// outside the dirty set, so the cheap host-side check is how a violated
+/// contract surfaces *here* instead of corrupting downstream consumers.
+fn verify_final(g: &CsrGraph, report: &RunReport) {
+    crate::verify::verify_coloring(g, &report.colors).unwrap_or_else(|e| {
+        panic!(
+            "incremental recolor produced an invalid coloring — the previous \
+             coloring was not proper outside the dirty set: {e}"
+        )
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::Cutover;
+    use crate::verify::verify_coloring;
+    use gc_gpusim::DeviceConfig;
+    use gc_graph::generators::{erdos_renyi, grid_2d, rmat, road, RmatParams};
+    use gc_graph::MutationBatch;
+
+    fn tiny_opts() -> GpuOptions {
+        GpuOptions::baseline().with_device(DeviceConfig::small_test())
+    }
+
+    fn tiny_multi(devices: usize) -> MultiOptions {
+        MultiOptions::new(devices).with_base(tiny_opts())
+    }
+
+    fn families() -> Vec<(&'static str, CsrGraph)> {
+        vec![
+            ("grid", grid_2d(16, 15)),
+            ("rmat", rmat(8, 8, RmatParams::graph500(), 4)),
+            ("road", road(14, 14, 0.88, 9)),
+        ]
+    }
+
+    /// A small insertion batch that stays inside the vertex range.
+    fn small_batch(g: &CsrGraph) -> MutationBatch {
+        let n = g.num_vertices() as u32;
+        let mut batch = MutationBatch::new();
+        for i in 0..6u32 {
+            batch.insert_edge(i * 7 % n, (i * 13 + 5) % n);
+        }
+        batch
+    }
+
+    #[test]
+    fn empty_dirty_set_returns_the_previous_coloring_in_zero_rounds() {
+        let g = erdos_renyi(300, 1500, 3);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let r = recolor(&g, &base.colors, &[], &tiny_opts());
+        assert_eq!(r.colors, base.colors);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.kernel_launches, 0);
+        assert!(r.iteration_timeline.is_empty());
+        assert_eq!(r.algorithm, "gpu-incremental");
+    }
+
+    #[test]
+    fn deletion_only_batches_never_force_a_recolor() {
+        let g = erdos_renyi(300, 1500, 3);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let mut batch = MutationBatch::new();
+        for (u, v) in g.edges().take(10) {
+            batch.delete_edge(u, v);
+        }
+        let out = batch.apply(&g).unwrap();
+        assert!(out.dirty.is_empty(), "deletions must not dirty anything");
+        assert!(!out.lowerable.is_empty());
+        let r = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+        assert_eq!(r.colors, base.colors, "old coloring stays proper");
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn insertion_recolor_is_valid_and_touches_only_the_dirty_set() {
+        for (name, g) in families() {
+            let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+            let out = small_batch(&g).apply(&g).unwrap();
+            assert!(out.inserted > 0, "{name}: batch must insert something");
+            let r = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+            verify_coloring(&out.graph, &r.colors).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                r.active_per_iteration[0],
+                out.dirty.len(),
+                "{name}: frontier starts at the dirty set"
+            );
+            let dirty: std::collections::BTreeSet<u32> = out.dirty.iter().copied().collect();
+            for v in 0..g.num_vertices() {
+                if !dirty.contains(&(v as u32)) {
+                    assert_eq!(
+                        r.colors[v], base.colors[v],
+                        "{name}: vertex {v} is clean and must keep its color"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grown_graphs_color_the_new_vertices_including_isolated_ones() {
+        let g = grid_2d(8, 8);
+        let n = g.num_vertices() as u32;
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        // Insert an edge far past the vertex count: n..n+4 become isolated,
+        // n+5 is the new endpoint.
+        let mut batch = MutationBatch::new();
+        batch.insert_edge(0, n + 5);
+        let out = batch.apply(&g).unwrap();
+        assert_eq!(out.graph.num_vertices(), n as usize + 6);
+        let r = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+        verify_coloring(&out.graph, &r.colors).unwrap();
+        for v in n..n + 6 {
+            assert_ne!(r.colors[v as usize], UNCOLORED, "vertex {v} must be colored");
+        }
+        assert_ne!(r.colors[0], r.colors[n as usize + 5]);
+    }
+
+    #[test]
+    fn small_batches_are_cheaper_than_recoloring_from_scratch() {
+        for (name, g) in families() {
+            let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+            let out = small_batch(&g).apply(&g).unwrap();
+            let scratch = crate::gpu::first_fit::color(&out.graph, &tiny_opts());
+            let inc = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+            assert!(
+                inc.cycles < scratch.cycles,
+                "{name}: incremental {} !< from-scratch {}",
+                inc.cycles,
+                scratch.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn accounting_identities_hold_for_incremental_runs() {
+        for (name, g) in families() {
+            let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+            let out = small_batch(&g).apply(&g).unwrap();
+            let r = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+            assert_eq!(r.critical_path.total(), r.cycles, "{name}");
+            let cycles: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
+            assert_eq!(cycles, r.cycles, "{name}");
+            // Finalized counts telescope over the *frontier*, not |V|.
+            let finalized: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+            assert_eq!(finalized, out.dirty.len(), "{name}");
+            for it in &r.iteration_timeline {
+                let sum: u64 = it.path.iter().map(|(_, c)| *c).sum();
+                assert_eq!(sum, it.cycles, "{name}: round {}", it.iteration);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_cutover_absorbs_the_whole_dirty_frontier_on_the_host() {
+        let g = erdos_renyi(400, 2400, 7);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let out = small_batch(&g).apply(&g).unwrap();
+        let opts = tiny_opts().with_cutover(Cutover::Fixed(g.num_vertices()));
+        let r = recolor(&out.graph, &base.colors, &out.dirty, &opts);
+        verify_coloring(&out.graph, &r.colors).unwrap();
+        assert_eq!(r.iterations, 1, "one pure host round");
+        assert!(r.critical_path.get("host_tail") > 0);
+        assert_eq!(r.critical_path.total(), r.cycles);
+        assert_eq!(r.active_per_iteration, vec![out.dirty.len()]);
+    }
+
+    #[test]
+    fn tail_arming_policy_respects_explicit_choices_and_the_threshold() {
+        let o = tiny_opts();
+        assert_eq!(arm_tail(&o, 0).cutover, Cutover::Off);
+        assert_eq!(arm_tail(&o, 1).cutover, Cutover::Fixed(AUTO_TAIL_THRESHOLD));
+        assert_eq!(
+            arm_tail(&o, AUTO_TAIL_THRESHOLD).cutover,
+            Cutover::Fixed(AUTO_TAIL_THRESHOLD)
+        );
+        assert_eq!(arm_tail(&o, AUTO_TAIL_THRESHOLD + 1).cutover, Cutover::Off);
+        let auto = o.clone().with_cutover(Cutover::Auto);
+        assert_eq!(arm_tail(&auto, 1).cutover, Cutover::Auto);
+        let fixed = o.with_cutover(Cutover::Fixed(7));
+        assert_eq!(arm_tail(&fixed, 1).cutover, Cutover::Fixed(7));
+    }
+
+    #[test]
+    fn small_frontiers_finish_on_the_host_tail_by_default() {
+        // The dirty frontier is far below AUTO_TAIL_THRESHOLD, so even with
+        // the cutover left off the driver hands round 0 to the host greedy
+        // pass instead of paying a latency-bound device launch.
+        let g = erdos_renyi(400, 2400, 7);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let out = small_batch(&g).apply(&g).unwrap();
+        assert!(out.dirty.len() <= AUTO_TAIL_THRESHOLD);
+        let r = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+        verify_coloring(&out.graph, &r.colors).unwrap();
+        assert!(r.critical_path.get("host_tail") > 0, "host tail absorbed it");
+        assert_eq!(r.iterations, 1, "one pure host round");
+    }
+
+    #[test]
+    fn large_frontiers_keep_the_configured_device_path() {
+        let g = erdos_renyi(1200, 7200, 11);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let mut batch = MutationBatch::new();
+        let n = g.num_vertices() as u32;
+        for i in 0..400u32 {
+            batch.insert_edge(i * 3 % n, (i * 11 + 601) % n);
+        }
+        let out = batch.apply(&g).unwrap();
+        assert!(out.dirty.len() > AUTO_TAIL_THRESHOLD, "{}", out.dirty.len());
+        let r = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+        verify_coloring(&out.graph, &r.colors).unwrap();
+        assert_eq!(
+            r.critical_path.get("host_tail"),
+            0,
+            "no auto-arm above the threshold"
+        );
+        assert!(r.kernel_launches > 0, "device kernels ran");
+    }
+
+    #[test]
+    fn hybrid_split_recolors_only_the_dirty_frontier() {
+        let g = rmat(8, 8, RmatParams::graph500(), 4);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let out = small_batch(&g).apply(&g).unwrap();
+        let opts = tiny_opts().with_hybrid_threshold(Some(16));
+        let r = recolor(&out.graph, &base.colors, &out.dirty, &opts);
+        verify_coloring(&out.graph, &r.colors).unwrap();
+        assert_eq!(r.algorithm, "gpu-incremental-hybrid");
+        assert_eq!(r.active_per_iteration[0], out.dirty.len());
+    }
+
+    #[test]
+    fn multi_device_recolor_is_valid_across_devices_and_strategies() {
+        for (name, g) in families() {
+            let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+            let out = small_batch(&g).apply(&g).unwrap();
+            for devices in [1, 2, 4] {
+                let r = recolor_multi(&out.graph, &base.colors, &out.dirty, &tiny_multi(devices));
+                verify_coloring(&out.graph, &r.colors)
+                    .unwrap_or_else(|e| panic!("{name}/{devices}: {e}"));
+                if devices == 1 {
+                    assert!(r.multi.is_none(), "one device has no multi section");
+                } else {
+                    let m = r.multi.as_ref().expect("multi section present");
+                    assert_eq!(m.num_devices, devices);
+                }
+                assert!(r.algorithm.contains("incremental"), "{}", r.algorithm);
+                assert_eq!(r.active_per_iteration.first(), Some(&out.dirty.len()));
+                let dirty: std::collections::BTreeSet<u32> = out.dirty.iter().copied().collect();
+                for v in 0..g.num_vertices() {
+                    if !dirty.contains(&(v as u32)) {
+                        assert_eq!(r.colors[v], base.colors[v], "{name}/{devices}: vertex {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_device_multi_recolor_delegates_byte_identically() {
+        let g = grid_2d(12, 12);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let out = small_batch(&g).apply(&g).unwrap();
+        let single = recolor(&out.graph, &base.colors, &out.dirty, &tiny_opts());
+        let multi = recolor_multi(&out.graph, &base.colors, &out.dirty, &tiny_multi(1));
+        assert_eq!(
+            serde_json::to_string(&single).unwrap(),
+            serde_json::to_string(&multi).unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_device_accounting_identities_hold_for_incremental_runs() {
+        let g = road(14, 14, 0.88, 9);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let out = small_batch(&g).apply(&g).unwrap();
+        for overlap in [true, false] {
+            let r = recolor_multi(
+                &out.graph,
+                &base.colors,
+                &out.dirty,
+                &tiny_multi(3).with_overlap(overlap),
+            );
+            let m = r.multi.as_ref().unwrap();
+            assert_eq!(r.critical_path.total(), r.cycles, "overlap={overlap}");
+            for (&busy, &idle) in m.device_cycles.iter().zip(&m.idle_per_device) {
+                assert_eq!(busy + idle, m.wall_cycles, "overlap={overlap}");
+            }
+            let t: u64 = r.iteration_timeline.iter().map(|it| it.cycles).sum();
+            assert_eq!(t, r.cycles, "overlap={overlap}");
+            let finalized: usize = r.iteration_timeline.iter().map(|it| it.colored).sum();
+            assert_eq!(finalized, out.dirty.len(), "overlap={overlap}");
+        }
+    }
+
+    #[test]
+    fn partitioned_entry_point_accepts_a_caller_maintained_partition() {
+        let g = grid_2d(14, 14);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let out = small_batch(&g).apply(&g).unwrap();
+        let opts = tiny_multi(3);
+        let part = partition(&out.graph, opts.devices, opts.strategy);
+        let mut mg = MultiGpu::new(opts.devices, opts.base.device.clone(), opts.link.clone());
+        let r = recolor_partitioned(&mut mg, &out.graph, &part, &base.colors, &out.dirty, &opts);
+        verify_coloring(&out.graph, &r.colors).unwrap();
+        // Same partition, same seed: identical to the internal-partition run.
+        let auto = recolor_multi(&out.graph, &base.colors, &out.dirty, &opts);
+        assert_eq!(r.colors, auto.colors);
+        assert_eq!(r.cycles, auto.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid coloring")]
+    fn a_corrupt_previous_coloring_is_caught_by_the_global_verify() {
+        let g = grid_2d(6, 6);
+        let base = crate::gpu::first_fit::color(&g, &tiny_opts());
+        let mut bad = base.colors.clone();
+        // Force a conflict on an edge far from the (empty) dirty set.
+        let (u, v) = g.edges().next().expect("grid has edges");
+        bad[v as usize] = bad[u as usize];
+        recolor(&g, &bad, &[], &tiny_opts());
+    }
+}

@@ -19,6 +19,7 @@
 pub(crate) mod cutover;
 pub(crate) mod driver;
 pub mod first_fit;
+pub mod incremental;
 pub mod jp;
 pub mod maxmin;
 pub mod multi;
@@ -64,6 +65,17 @@ impl DeviceGraph {
             priority: gpu.alloc_from_named(&priority, "priority"),
         }
     }
+}
+
+/// Seeding of a first-fit driver run from a previous coloring, the handle
+/// [`incremental`] hands to the shared drive loops: `colors` is the full
+/// global color array to start from (with every to-be-recolored slot
+/// already [`crate::verify::UNCOLORED`]) and `dirty` is the sorted list of
+/// exactly those uncolored vertices — the initial worklist. A `None` seed
+/// is the from-scratch run: all vertices uncolored, all active.
+pub(crate) struct Seed<'a> {
+    pub colors: &'a [u32],
+    pub dirty: &'a [u32],
 }
 
 /// Double-buffered device worklist used for frontier compaction: the commit

@@ -155,8 +155,6 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         // path — same upload, same kernels, same report.
         return super::first_fit::color_on(mg.device(0), g, &opts.base);
     }
-    mg.reset_stats();
-
     // The hybrid degree split stays single-device-only; run the
     // thread-per-vertex kernels and label accordingly.
     let mut eff = opts.base.clone();
@@ -168,10 +166,46 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         eff.label_suffix(),
         if opts.overlap { "" } else { "-serial" }
     );
-
     let part = partition(g, opts.devices, opts.strategy);
+    drive(mg, g, &part, opts, label, None)
+}
+
+/// The shared superstep loop behind [`color_on`] and
+/// [`super::incremental`]: identical exchange protocol, cutover, and
+/// watchdog either way. From scratch (`seed: None`) every owned vertex
+/// starts uncolored and active; a seeded run pre-loads owned *and ghost*
+/// slots from the previous global coloring (so every ghost already mirrors
+/// its owner — the delta exchange's quiescent state) and activates only
+/// the dirty vertices, each in the frontier its boundary-ness dictates.
+pub(crate) fn drive(
+    mg: &mut MultiGpu,
+    g: &CsrGraph,
+    part: &Partition,
+    opts: &MultiOptions,
+    label: String,
+    seed: Option<&crate::gpu::Seed<'_>>,
+) -> RunReport {
+    assert_eq!(
+        mg.num_devices(),
+        opts.devices,
+        "substrate has {} devices, options ask for {}",
+        mg.num_devices(),
+        opts.devices
+    );
+    mg.reset_stats();
+
+    let mut eff = opts.base.clone();
+    eff.hybrid_threshold = None;
+
     let k = part.num_parts();
     let n = g.num_vertices();
+    let dirty_mask: Option<Vec<bool>> = seed.map(|s| {
+        let mut mask = vec![false; n];
+        for &d in s.dirty {
+            mask[d as usize] = true;
+        }
+        mask
+    });
 
     // One global priority permutation, sliced per device: both owners of a
     // cut edge then apply the same symmetry-breaking order, which is what
@@ -195,25 +229,47 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         let local_priority: Vec<u32> = (0..sub.n_local() as u32)
             .map(|l| global_priority[sub.global_of(l) as usize])
             .collect();
+        let row_ptr = gpu.alloc_from_named(&sub.row_ptr, "row_ptr");
+        let col_idx = gpu.alloc_from_named(&sub.col_idx, "col_idx");
+        let colors = match seed {
+            None => gpu.alloc_filled_named(sub.n_local().max(1), UNCOLORED, "colors"),
+            Some(s) => {
+                // Owned and ghost slots both start at the seeded global
+                // color, so every ghost mirrors its owner before round 1.
+                let mut local = vec![UNCOLORED; sub.n_local().max(1)];
+                for (l, c) in local.iter_mut().enumerate().take(sub.n_local()) {
+                    *c = s.colors[sub.global_of(l as u32) as usize];
+                }
+                gpu.alloc_from_named(&local, "colors")
+            }
+        };
         let dev = DeviceGraph {
             n: n_owned,
-            row_ptr: gpu.alloc_from_named(&sub.row_ptr, "row_ptr"),
-            col_idx: gpu.alloc_from_named(&sub.col_idx, "col_idx"),
-            colors: gpu.alloc_filled_named(sub.n_local().max(1), UNCOLORED, "colors"),
+            row_ptr,
+            col_idx,
+            colors,
             priority: gpu.alloc_from_named(&local_priority, "priority"),
         };
         let mut is_boundary = vec![false; n_owned];
         for &b in &sub.boundary {
             is_boundary[b as usize] = true;
         }
-        let interior_init: Vec<u32> = (0..n_owned as u32)
-            .filter(|&l| !is_boundary[l as usize])
-            .collect();
-        let boundary = Frontier::with_initial(gpu, &sub.boundary, sub.boundary.len().max(1));
+        let (boundary_init, interior_init): (Vec<u32>, Vec<u32>) = match &dirty_mask {
+            None => (
+                sub.boundary.clone(),
+                (0..n_owned as u32)
+                    .filter(|&l| !is_boundary[l as usize])
+                    .collect(),
+            ),
+            Some(mask) => (0..n_owned as u32)
+                .filter(|&l| mask[sub.global_of(l) as usize])
+                .partition(|&l| is_boundary[l as usize]),
+        };
+        let boundary = Frontier::with_initial(gpu, &boundary_init, boundary_init.len().max(1));
         let interior = Frontier::with_initial(gpu, &interior_init, interior_init.len().max(1));
         states.push(PartState {
             dev,
-            active_boundary: sub.boundary.len(),
+            active_boundary: boundary_init.len(),
             active_interior: interior_init.len(),
             boundary,
             interior,
@@ -240,8 +296,11 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
     // The straggler signal of a multi-device round is the inter-device busy
     // gap — the cycles the fastest device spends waiting on the slowest.
     // (The settle component is structurally most of every round here, so it
-    // cannot discriminate; the gap can.)
-    let mut watch = crate::watch::Watchdog::with_config(n, eff.watch.clone());
+    // cannot discriminate; the gap can.) The collapse denominator is the
+    // initial worklist — the whole graph from scratch, the dirty frontier
+    // on a seeded run.
+    let watch_n = seed.map_or(n, |s| s.dirty.len().max(1));
+    let mut watch = crate::watch::Watchdog::with_config(watch_n, eff.watch.clone());
     loop {
         let total_active: usize = states.iter().map(|s| s.active()).sum();
         if total_active == 0 {
@@ -252,7 +311,7 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         // supersteps per handful of vertices cost more than one host pass.
         if let Cutover::Fixed(t) = eff.cutover {
             if total_active <= t {
-                if let Some(round) = host_tail_finish_multi(mg, g, &part, &states, iterations) {
+                if let Some(round) = host_tail_finish_multi(mg, g, part, &states, iterations) {
                     active_curve.push(round.active);
                     round_link_msgs.push(0);
                     round_link_bytes.push(0);
@@ -403,7 +462,7 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
         }
         iterations += 1;
         if cut_now {
-            if let Some(round) = host_tail_finish_multi(mg, g, &part, &states, iterations) {
+            if let Some(round) = host_tail_finish_multi(mg, g, part, &states, iterations) {
                 active_curve.push(round.active);
                 round_link_msgs.push(0);
                 round_link_bytes.push(0);
@@ -417,7 +476,7 @@ pub fn color_on(mg: &mut MultiGpu, g: &CsrGraph, opts: &MultiOptions) -> RunRepo
     let mut report = finish_multi_report(
         mg,
         g,
-        &part,
+        part,
         &states,
         opts,
         label,

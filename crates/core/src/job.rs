@@ -115,6 +115,58 @@ impl ColorJob {
         }
     }
 
+    /// Whether the job can recolor incrementally from a previous result.
+    /// Only `firstfit` qualifies: the incremental driver is built on the
+    /// speculative first-fit repair loop (single- and multi-device).
+    pub fn supports_incremental(&self) -> bool {
+        self.algorithm == "firstfit"
+    }
+
+    /// Recolor `g` incrementally: seed from `prev` (a proper coloring of
+    /// the pre-mutation graph) and re-examine only the `dirty` vertices,
+    /// constructing the device(s) the job needs. Errors on algorithms
+    /// without an incremental driver (see [`Self::supports_incremental`]).
+    pub fn execute_incremental(
+        &self,
+        g: &CsrGraph,
+        prev: &[u32],
+        dirty: &[u32],
+    ) -> Result<RunReport, String> {
+        if !self.supports_incremental() {
+            return Err(format!(
+                "incremental recoloring requires algorithm firstfit (job is '{}')",
+                self.algorithm
+            ));
+        }
+        Ok(match &self.multi {
+            Some(multi) => gpu::incremental::recolor_multi(g, prev, dirty, multi),
+            None => gpu::incremental::recolor(g, prev, dirty, &self.opts),
+        })
+    }
+
+    /// Like [`Self::execute_incremental`] but running a single-device job
+    /// on a caller-supplied device (pool checkout, profiling). Errors on
+    /// multi-device or non-firstfit jobs — callers dispatch on
+    /// [`Self::devices`] first, exactly as with [`Self::execute_on`].
+    pub fn execute_incremental_on(
+        &self,
+        gpu: &mut Gpu,
+        g: &CsrGraph,
+        prev: &[u32],
+        dirty: &[u32],
+    ) -> Result<RunReport, String> {
+        if !self.supports_incremental() {
+            return Err(format!(
+                "incremental recoloring requires algorithm firstfit (job is '{}')",
+                self.algorithm
+            ));
+        }
+        if self.multi.is_some() {
+            return Err("multi-device jobs build their own MultiGpu; use execute_incremental".into());
+        }
+        Ok(gpu::incremental::recolor_on(gpu, g, prev, dirty, &self.opts))
+    }
+
     /// Run a single-device GPU job on a caller-supplied device, so
     /// profilers attached to `gpu` (or a device checked out from a
     /// [`gc_gpusim::DevicePool`]) observe the run.
@@ -205,6 +257,59 @@ mod tests {
         let report = job.execute_on(&mut dev, &g);
         crate::verify_coloring(&g, &report.colors).unwrap();
         assert_eq!(dev.stats().total_cycles, report.cycles);
+    }
+
+    #[test]
+    fn incremental_execution_dispatches_on_device_count() {
+        let g = grid_2d(8, 8);
+        let opts = GpuOptions::baseline().with_device(DeviceConfig::small_test());
+        let base = ColorJob::new("firstfit", opts.clone())
+            .unwrap()
+            .execute(&g);
+        let mut batch = gc_graph::MutationBatch::new();
+        batch.insert_edge(0, 9).insert_edge(5, 60);
+        let out = batch.apply(&g).unwrap();
+
+        let single = ColorJob::new("firstfit", opts.clone()).unwrap();
+        assert!(single.supports_incremental());
+        let r = single
+            .execute_incremental(&out.graph, &base.colors, &out.dirty)
+            .unwrap();
+        crate::verify_coloring(&out.graph, &r.colors).unwrap();
+        assert!(r.algorithm.starts_with("gpu-incremental"), "{}", r.algorithm);
+
+        let multi = ColorJob::multi_device(
+            MultiOptions::new(2)
+                .with_strategy(PartitionStrategy::Block)
+                .with_base(opts.clone()),
+        );
+        let rm = multi
+            .execute_incremental(&out.graph, &base.colors, &out.dirty)
+            .unwrap();
+        crate::verify_coloring(&out.graph, &rm.colors).unwrap();
+        assert!(rm.algorithm.contains("multi2"), "{}", rm.algorithm);
+        // On a supplied device the single-device path works; multi refuses.
+        let mut dev = Gpu::new(DeviceConfig::small_test());
+        let on = single
+            .execute_incremental_on(&mut dev, &out.graph, &base.colors, &out.dirty)
+            .unwrap();
+        assert_eq!(on.colors, r.colors);
+        assert!(multi
+            .execute_incremental_on(&mut dev, &out.graph, &base.colors, &out.dirty)
+            .is_err());
+    }
+
+    #[test]
+    fn incremental_execution_refuses_non_firstfit_jobs() {
+        let g = grid_2d(4, 4);
+        let opts = GpuOptions::baseline().with_device(DeviceConfig::small_test());
+        for alg in ["maxmin", "jp", "seq", "dsatur"] {
+            let job = ColorJob::new(alg, opts.clone()).unwrap();
+            assert!(!job.supports_incremental(), "{alg}");
+            let prev = job.execute(&g).colors;
+            let err = job.execute_incremental(&g, &prev, &[]).unwrap_err();
+            assert!(err.contains("requires algorithm firstfit"), "{alg}: {err}");
+        }
     }
 
     #[test]

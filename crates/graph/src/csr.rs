@@ -5,7 +5,7 @@
 //! OpenCL kernels use. Vertices are `u32`; an undirected edge is stored in
 //! both endpoints' adjacency lists.
 
-use serde::Serialize;
+use std::sync::OnceLock;
 
 /// Vertex identifier. `u32` halves the memory traffic of the kernels
 /// relative to `usize` and matches GPU practice.
@@ -61,17 +61,36 @@ impl std::error::Error for GraphError {}
 /// * Every adjacency list is strictly sorted (no duplicates).
 /// * No self loops.
 /// * Symmetric: `(u, v)` present iff `(v, u)` present.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     row_ptr: Vec<u32>,
     col_idx: Vec<VertexId>,
+    /// Memoized [`CsrGraph::fingerprint`]. The graph is immutable once
+    /// built (mutation constructs a fresh graph with an empty cell), so
+    /// the cell is filled at most once and never goes stale.
+    memo: OnceLock<u64>,
 }
+
+/// Equality is structural: the memo cell is derived state and two graphs
+/// with equal arrays are the same graph whether or not either has
+/// computed its fingerprint yet.
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.row_ptr == other.row_ptr && self.col_idx == other.col_idx
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl CsrGraph {
     /// Wrap raw CSR arrays, validating every invariant. Prefer
     /// [`crate::builder::GraphBuilder`] for constructing graphs from edges.
     pub fn from_parts(row_ptr: Vec<u32>, col_idx: Vec<VertexId>) -> Result<Self, GraphError> {
-        let g = Self { row_ptr, col_idx };
+        let g = Self {
+            row_ptr,
+            col_idx,
+            memo: OnceLock::new(),
+        };
         g.validate()?;
         Ok(g)
     }
@@ -81,13 +100,13 @@ impl CsrGraph {
     /// The caller must uphold the type's invariants; use only on arrays
     /// produced by code that already guarantees them (e.g. the builder).
     pub(crate) fn from_parts_unchecked(row_ptr: Vec<u32>, col_idx: Vec<VertexId>) -> Self {
-        debug_assert!(Self {
-            row_ptr: row_ptr.clone(),
-            col_idx: col_idx.clone()
-        }
-        .validate()
-        .is_ok());
-        Self { row_ptr, col_idx }
+        let g = Self {
+            row_ptr,
+            col_idx,
+            memo: OnceLock::new(),
+        };
+        debug_assert!(g.validate().is_ok());
+        g
     }
 
     /// The empty graph.
@@ -95,6 +114,7 @@ impl CsrGraph {
         Self {
             row_ptr: vec![0],
             col_idx: Vec::new(),
+            memo: OnceLock::new(),
         }
     }
 
@@ -167,7 +187,17 @@ impl CsrGraph {
     /// equal iff they are the same labeled graph, so the value keys
     /// externally persisted per-graph state (e.g. the autotuner cache)
     /// across runs and machines.
+    ///
+    /// The value is memoized: the hash walks both CSR arrays, and cache
+    /// and ledger lookups call this on every probe, so only the first
+    /// call per graph pays for the scan. A mutated graph is a *new*
+    /// `CsrGraph` whose memo starts empty, so stale values cannot leak
+    /// across mutations.
     pub fn fingerprint(&self) -> u64 {
+        *self.memo.get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf29ce484222325;
         const PRIME: u64 = 0x100000001b3;
         let mut h = OFFSET;
@@ -284,6 +314,35 @@ mod tests {
         assert_ne!(path.fingerprint(), split.fingerprint());
         assert_ne!(g.fingerprint(), path.fingerprint());
         assert_ne!(g.fingerprint(), CsrGraph::empty().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_memoized_and_survives_clone() {
+        let g = sample();
+        let first = g.fingerprint();
+        assert_eq!(g.memo.get(), Some(&first));
+        assert_eq!(g.fingerprint(), first);
+        // Clone carries the memo but stays structurally equal.
+        let c = g.clone();
+        assert_eq!(c.fingerprint(), first);
+        assert_eq!(c, g);
+        // A graph that never computed its fingerprint still compares equal.
+        assert_eq!(sample(), g);
+    }
+
+    #[test]
+    fn mutated_graph_never_reuses_the_stale_memo() {
+        // Pin the satellite fix: building a new graph from the mutated
+        // edge set starts with an empty memo, so its fingerprint reflects
+        // the new structure rather than the original's cached value.
+        let g = sample();
+        let before = g.fingerprint();
+        let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        edges.push((1, 3));
+        let mutated = crate::builder::from_edges(g.num_vertices(), &edges).unwrap();
+        assert_ne!(mutated.fingerprint(), before);
+        // The original's memo is untouched by the mutation.
+        assert_eq!(g.fingerprint(), before);
     }
 
     #[test]

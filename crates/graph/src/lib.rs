@@ -21,6 +21,7 @@ pub mod datasets;
 pub mod degree;
 pub mod generators;
 pub mod io;
+pub mod mutate;
 pub mod partition;
 pub mod relabel;
 pub mod traversal;
@@ -29,4 +30,5 @@ pub use builder::{from_edges, GraphBuilder};
 pub use csr::{CsrGraph, GraphError, VertexId};
 pub use datasets::{by_name, suite, DatasetSpec, GraphClass, Scale};
 pub use degree::DegreeStats;
+pub use mutate::{MutationBatch, MutationOutcome};
 pub use partition::{partition, Partition, PartitionStats, PartitionStrategy, SubGraph};

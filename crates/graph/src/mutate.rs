@@ -1,0 +1,391 @@
+//! Streaming graph mutations: edge insertion/deletion batches.
+//!
+//! A [`MutationBatch`] is the unit of change a streaming coloring service
+//! receives: a set of undirected edges to insert and a set to delete.
+//! Applying a batch to a [`CsrGraph`] rebuilds the CSR (the representation
+//! is immutable — kernels consume its arrays in place) and reports the
+//! *exact dirty frontier*: the endpoints of edges that actually appeared.
+//! Only insertions can invalidate a proper coloring; deletions can merely
+//! leave a color higher than necessary, so their endpoints are tracked
+//! separately as [`MutationOutcome::lowerable`] and never force a recolor
+//! for validity.
+//!
+//! [`MutationBatch::apply_partitioned`] additionally updates a
+//! [`Partition`] in place via [`Partition::refresh`], rebuilding only the
+//! parts whose local view a changed edge can touch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::from_edges;
+use crate::csr::{CsrGraph, GraphError, VertexId};
+use crate::partition::Partition;
+
+/// A batch of undirected edge insertions and deletions.
+///
+/// Edges are unordered pairs; self loops are ignored. The batch is a *set*
+/// request: inserting an edge that already exists or deleting one that
+/// does not is a no-op (and produces no dirty vertices). When the same
+/// edge appears in both lists the insertion wins — the final edge set is
+/// `(E \ deletions) ∪ insertions`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationBatch {
+    /// Edges to insert, as `[u, v]` pairs. Endpoints at or past the
+    /// current vertex count grow the graph.
+    #[serde(default)]
+    pub insert: Vec<(VertexId, VertexId)>,
+    /// Edges to delete, as `[u, v]` pairs. Unknown edges are ignored.
+    #[serde(default)]
+    pub delete: Vec<(VertexId, VertexId)>,
+}
+
+/// The result of applying a [`MutationBatch`].
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// The mutated graph, rebuilt in CSR form. Its fingerprint memo starts
+    /// empty, so `graph.fingerprint()` reflects the new structure.
+    pub graph: CsrGraph,
+    /// Fingerprint of the mutated graph (computed eagerly, memoized).
+    pub fingerprint: u64,
+    /// Endpoints of edges that actually appeared — the vertices whose
+    /// colors may now conflict. Sorted, deduplicated. This is the seed of
+    /// the incremental recolor frontier.
+    pub dirty: Vec<VertexId>,
+    /// Endpoints of edges that actually disappeared — their colors stay
+    /// valid but may be lowerable. Sorted, deduplicated, disjoint
+    /// bookkeeping from `dirty` (a vertex can appear in both).
+    pub lowerable: Vec<VertexId>,
+    /// Undirected edges actually added.
+    pub inserted: usize,
+    /// Undirected edges actually removed.
+    pub deleted: usize,
+}
+
+impl MutationOutcome {
+    /// Endpoints of every changed edge (`dirty ∪ lowerable`), sorted and
+    /// deduplicated — the vertices whose adjacency rows changed, which is
+    /// what partition refresh and ledger bookkeeping need.
+    pub fn touched(&self) -> Vec<VertexId> {
+        let mut t: Vec<VertexId> = self
+            .dirty
+            .iter()
+            .chain(self.lowerable.iter())
+            .copied()
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// True if the batch changed nothing: the graph is byte-identical to
+    /// the input and no vertex needs attention.
+    pub fn is_noop(&self) -> bool {
+        self.inserted == 0 && self.deleted == 0
+    }
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an edge insertion.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.insert.push((u, v));
+        self
+    }
+
+    /// Queue an edge deletion.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.delete.push((u, v));
+        self
+    }
+
+    /// True if the batch requests no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+
+    /// Number of requested operations (before no-op filtering).
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.delete.len()
+    }
+
+    /// Normalized unordered pair; `None` drops self loops.
+    fn norm(&(u, v): &(VertexId, VertexId)) -> Option<(VertexId, VertexId)> {
+        match u.cmp(&v) {
+            std::cmp::Ordering::Less => Some((u, v)),
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some((v, u)),
+        }
+    }
+
+    /// Apply the batch to `g`, producing the rebuilt graph, its new
+    /// fingerprint, and the exact dirty/lowerable vertex sets. `g` itself
+    /// is untouched (and keeps its memoized fingerprint).
+    pub fn apply(&self, g: &CsrGraph) -> Result<MutationOutcome, GraphError> {
+        use std::collections::BTreeSet;
+        let del: BTreeSet<(VertexId, VertexId)> = self.delete.iter().filter_map(Self::norm).collect();
+        let ins: BTreeSet<(VertexId, VertexId)> = self.insert.iter().filter_map(Self::norm).collect();
+
+        let n = g.num_vertices();
+        let grown = ins
+            .iter()
+            .map(|&(_, v)| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(n);
+
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(g.num_edges() + ins.len());
+        let mut dirty: Vec<VertexId> = Vec::new();
+        let mut lowerable: Vec<VertexId> = Vec::new();
+        let mut deleted = 0usize;
+        for e in g.edges() {
+            if del.contains(&e) && !ins.contains(&e) {
+                deleted += 1;
+                lowerable.push(e.0);
+                lowerable.push(e.1);
+            } else {
+                edges.push(e);
+            }
+        }
+        let mut inserted = 0usize;
+        for &(u, v) in &ins {
+            let present = (u as usize) < n && (v as usize) < n && g.has_edge(u, v);
+            if !present {
+                inserted += 1;
+                dirty.push(u);
+                dirty.push(v);
+                edges.push((u, v));
+            }
+        }
+        let graph = from_edges(grown, &edges)?;
+        dirty.sort_unstable();
+        dirty.dedup();
+        lowerable.sort_unstable();
+        lowerable.dedup();
+        let fingerprint = graph.fingerprint();
+        Ok(MutationOutcome {
+            graph,
+            fingerprint,
+            dirty,
+            lowerable,
+            inserted,
+            deleted,
+        })
+    }
+
+    /// Apply the batch and update `part` in place for the mutated graph:
+    /// only parts owning an endpoint of a changed edge are rebuilt (see
+    /// [`Partition::refresh`]); new vertices extend the assignment. The
+    /// partition must describe `g`.
+    pub fn apply_partitioned(
+        &self,
+        g: &CsrGraph,
+        part: &mut Partition,
+    ) -> Result<MutationOutcome, GraphError> {
+        assert_eq!(
+            part.num_vertices,
+            g.num_vertices(),
+            "partition does not describe this graph"
+        );
+        let out = self.apply(g)?;
+        part.refresh(&out.graph, &out.touched());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_2d, rmat, road, RmatParams};
+    use crate::partition::{partition, PartitionStrategy};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn families() -> Vec<(&'static str, CsrGraph)> {
+        vec![
+            ("grid", grid_2d(16, 15)),
+            ("rmat", rmat(8, 8, RmatParams::graph500(), 7)),
+            ("road", road(14, 14, 0.88, 11)),
+        ]
+    }
+
+    /// A deterministic batch mixing real insertions, duplicate insertions,
+    /// real deletions, and phantom deletions.
+    fn random_batch(g: &CsrGraph, seed: u64, ops: usize) -> MutationBatch {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.num_vertices() as VertexId;
+        let edges: Vec<_> = g.edges().collect();
+        let mut b = MutationBatch::new();
+        for _ in 0..ops {
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    b.insert_edge(u, v);
+                }
+                1 => {
+                    // Insert an existing edge: must be a no-op.
+                    let (u, v) = edges[rng.gen_range(0..edges.len())];
+                    b.insert_edge(v, u);
+                }
+                2 => {
+                    let (u, v) = edges[rng.gen_range(0..edges.len())];
+                    b.delete_edge(u, v);
+                }
+                _ => {
+                    // Phantom deletion: likely not an edge.
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    b.delete_edge(u, v);
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        for (name, g) in families() {
+            let out = MutationBatch::new().apply(&g).unwrap();
+            assert!(out.is_noop(), "{name}");
+            assert_eq!(out.graph, g, "{name}");
+            assert_eq!(out.fingerprint, g.fingerprint(), "{name}");
+            assert!(out.dirty.is_empty() && out.lowerable.is_empty());
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let g = grid_2d(4, 4);
+        let mut b = MutationBatch::new();
+        b.insert_edge(0, 5).insert_edge(5, 0).insert_edge(2, 2);
+        let out = b.apply(&g).unwrap();
+        assert_eq!(out.inserted, 1);
+        assert_eq!(out.dirty, vec![0, 5]);
+        assert!(out.graph.has_edge(0, 5));
+        assert_eq!(out.graph.num_edges(), g.num_edges() + 1);
+
+        let mut back = MutationBatch::new();
+        back.delete_edge(5, 0);
+        let undone = back.apply(&out.graph).unwrap();
+        assert_eq!(undone.deleted, 1);
+        assert_eq!(undone.lowerable, vec![0, 5]);
+        assert!(undone.dirty.is_empty(), "deletions never force recolor");
+        assert_eq!(undone.graph, g);
+        assert_eq!(undone.fingerprint, g.fingerprint());
+    }
+
+    #[test]
+    fn noop_operations_produce_no_dirty_vertices() {
+        let g = grid_2d(4, 4);
+        let mut b = MutationBatch::new();
+        // (0,1) exists in the grid; (0, 15) does not.
+        b.insert_edge(0, 1).delete_edge(0, 15);
+        let out = b.apply(&g).unwrap();
+        assert!(out.is_noop());
+        assert_eq!(out.graph, g);
+        assert!(out.dirty.is_empty() && out.lowerable.is_empty());
+    }
+
+    #[test]
+    fn insert_wins_over_delete_of_the_same_edge() {
+        let g = grid_2d(4, 4);
+        let mut b = MutationBatch::new();
+        b.insert_edge(0, 1).delete_edge(0, 1);
+        let out = b.apply(&g).unwrap();
+        assert!(out.is_noop(), "edge existed and still exists");
+        let mut b2 = MutationBatch::new();
+        b2.insert_edge(0, 5).delete_edge(0, 5);
+        let out2 = b2.apply(&g).unwrap();
+        assert_eq!(out2.inserted, 1);
+        assert!(out2.graph.has_edge(0, 5));
+    }
+
+    #[test]
+    fn insertions_past_the_vertex_count_grow_the_graph() {
+        let g = grid_2d(3, 3); // 9 vertices
+        let mut b = MutationBatch::new();
+        b.insert_edge(0, 11);
+        let out = b.apply(&g).unwrap();
+        assert_eq!(out.graph.num_vertices(), 12);
+        assert!(out.graph.has_edge(0, 11));
+        assert_eq!(out.dirty, vec![0, 11]);
+        out.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn dirty_set_is_exact_on_random_batches() {
+        for (name, g) in families() {
+            for seed in 0..5u64 {
+                let b = random_batch(&g, seed, 24);
+                let out = b.apply(&g).unwrap();
+                out.graph.validate().unwrap();
+                // Dirty vertices are exactly the endpoints of edges present
+                // after but not before; lowerable the reverse diff.
+                let before: std::collections::BTreeSet<_> = g.edges().collect();
+                let after: std::collections::BTreeSet<_> = out.graph.edges().collect();
+                let mut want_dirty: Vec<VertexId> = after
+                    .difference(&before)
+                    .flat_map(|&(u, v)| [u, v])
+                    .collect();
+                want_dirty.sort_unstable();
+                want_dirty.dedup();
+                let mut want_low: Vec<VertexId> = before
+                    .difference(&after)
+                    .flat_map(|&(u, v)| [u, v])
+                    .collect();
+                want_low.sort_unstable();
+                want_low.dedup();
+                assert_eq!(out.dirty, want_dirty, "{name}/{seed}");
+                assert_eq!(out.lowerable, want_low, "{name}/{seed}");
+                assert_eq!(out.inserted, after.difference(&before).count(), "{name}");
+                assert_eq!(out.deleted, before.difference(&after).count(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_apply_matches_full_rebuild() {
+        for (name, g) in families() {
+            for strategy in PartitionStrategy::all() {
+                for k in [2, 3, 4] {
+                    let mut part = partition(&g, k, strategy);
+                    let b = random_batch(&g, 40 + k as u64, 16);
+                    let out = b.apply_partitioned(&g, &mut part).unwrap();
+                    // In-place refresh must equal a ground-up rebuild from
+                    // the same (extended) assignment.
+                    let rebuilt = crate::partition::rebuild_for_test(
+                        &out.graph,
+                        k,
+                        part.strategy,
+                        part.assignment.clone(),
+                    );
+                    assert_eq!(part, rebuilt, "{name}/{}/{k}", strategy.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_refresh_grows_assignment_for_new_vertices() {
+        let g = grid_2d(4, 4);
+        let mut part = partition(&g, 2, PartitionStrategy::Block);
+        let mut b = MutationBatch::new();
+        b.insert_edge(3, 20);
+        let out = b.apply_partitioned(&g, &mut part).unwrap();
+        assert_eq!(part.assignment.len(), out.graph.num_vertices());
+        assert_eq!(part.num_vertices, 21);
+        let rebuilt = crate::partition::rebuild_for_test(
+            &out.graph,
+            2,
+            part.strategy,
+            part.assignment.clone(),
+        );
+        assert_eq!(part, rebuilt);
+    }
+
+    // JSON round-trip and partial-body defaults of `MutationBatch` are
+    // pinned in gc-serve's tests (this crate has no serde_json dev-dep).
+}

@@ -227,6 +227,63 @@ impl Partition {
         total as f64 / self.num_vertices as f64
     }
 
+    /// Update this partition in place for a mutated graph.
+    ///
+    /// `touched` are the endpoints of every edge that changed (inserted or
+    /// deleted). Only parts owning a touched vertex can have a stale local
+    /// view — a subgraph depends solely on its owned vertices' global
+    /// adjacency — so exactly those parts are rebuilt; the rest keep their
+    /// subgraphs, ghost maps, and boundary sets byte-identical. New
+    /// vertices (the graph may grow) extend the assignment onto the part
+    /// with the fewest owned vertices (ties to the lowest part id), and
+    /// the cut totals are refreshed from the per-part cut arcs.
+    ///
+    /// The result is exactly what rebuilding the whole partition from the
+    /// (extended) assignment would produce, at the cost of only the
+    /// affected parts.
+    pub fn refresh(&mut self, g: &CsrGraph, touched: &[VertexId]) {
+        let n = g.num_vertices();
+        assert!(
+            n >= self.num_vertices,
+            "mutation never removes vertices: {} -> {n}",
+            self.num_vertices
+        );
+        let k = self.parts.len();
+        let mut affected = std::collections::BTreeSet::new();
+        if n > self.num_vertices {
+            let mut counts = self.part_sizes();
+            for _ in self.num_vertices..n {
+                let p = (0..k)
+                    .min_by_key(|&p| (counts[p], p))
+                    .expect("partition has at least one part");
+                self.assignment.push(p as u32);
+                counts[p] += 1;
+                affected.insert(p);
+            }
+        }
+        for &v in touched {
+            affected.insert(self.assignment[v as usize] as usize);
+        }
+        if !affected.is_empty() {
+            // One scan of the assignment collects the affected parts'
+            // owned lists in ascending global id.
+            let mut owned: std::collections::BTreeMap<usize, Vec<VertexId>> =
+                affected.iter().map(|&p| (p, Vec::new())).collect();
+            for v in 0..n as VertexId {
+                if let Some(list) = owned.get_mut(&(self.assignment[v as usize] as usize)) {
+                    list.push(v);
+                }
+            }
+            for (p, owned) in owned {
+                self.parts[p] = build_subgraph(g, &self.assignment, p as u32, owned);
+            }
+        }
+        let cut_arcs: usize = self.parts.iter().map(|s| s.cut_arcs).sum();
+        self.edge_cut = cut_arcs / 2;
+        self.total_edges = g.num_edges();
+        self.num_vertices = n;
+    }
+
     /// The statistics bundle reported in run JSON.
     pub fn stats(&self) -> PartitionStats {
         // Every global neighbor of an owned vertex appears in the local
@@ -601,77 +658,89 @@ fn build_partition(
     for v in 0..n as VertexId {
         owned[assignment[v as usize] as usize].push(v);
     }
-    // Local id of every vertex within its owning part.
-    let mut local_in_owner = vec![0u32; n];
-    for part in &owned {
-        for (i, &v) in part.iter().enumerate() {
-            local_in_owner[v as usize] = i as u32;
-        }
-    }
 
-    let mut edge_cut = 0usize;
-    let mut parts = Vec::with_capacity(k);
-    for (p, owned) in owned.into_iter().enumerate() {
-        let p = p as u32;
-        // Ghosts: remote neighbors, unique and ascending.
-        let mut ghosts: Vec<VertexId> = Vec::new();
-        let mut cut_arcs = 0usize;
-        for &u in &owned {
-            for &v in g.neighbors(u) {
-                if assignment[v as usize] != p {
-                    cut_arcs += 1;
-                    if u < v {
-                        edge_cut += 1;
-                    }
-                    ghosts.push(v);
-                }
-            }
-        }
-        ghosts.sort_unstable();
-        ghosts.dedup();
-        let ghost_owner: Vec<u32> = ghosts.iter().map(|&v| assignment[v as usize]).collect();
-
-        // Local CSR: owned rows, columns mapped to local ids.
-        let n_owned = owned.len();
-        let mut row_ptr = Vec::with_capacity(n_owned + 1);
-        row_ptr.push(0u32);
-        let mut col_idx = Vec::new();
-        let mut boundary = Vec::new();
-        for (i, &u) in owned.iter().enumerate() {
-            let mut has_ghost = false;
-            for &v in g.neighbors(u) {
-                let local = if assignment[v as usize] == p {
-                    local_in_owner[v as usize]
-                } else {
-                    has_ghost = true;
-                    (n_owned + ghosts.binary_search(&v).expect("ghost collected above")) as u32
-                };
-                col_idx.push(local);
-            }
-            row_ptr.push(col_idx.len() as u32);
-            if has_ghost {
-                boundary.push(i as u32);
-            }
-        }
-        parts.push(SubGraph {
-            owned,
-            ghosts,
-            ghost_owner,
-            row_ptr,
-            col_idx,
-            boundary,
-            cut_arcs,
-        });
-    }
+    let parts: Vec<SubGraph> = owned
+        .into_iter()
+        .enumerate()
+        .map(|(p, owned)| build_subgraph(g, &assignment, p as u32, owned))
+        .collect();
+    // Each cut edge contributes one arc to each endpoint's owner.
+    let cut_arcs: usize = parts.iter().map(|s| s.cut_arcs).sum();
 
     Partition {
         strategy,
         assignment,
         parts,
-        edge_cut,
+        edge_cut: cut_arcs / 2,
         total_edges: g.num_edges(),
         num_vertices: n,
     }
+}
+
+/// Build one part's [`SubGraph`] from the global graph and assignment.
+/// `owned` must be exactly the vertices assigned to part `p`, ascending.
+/// Same-part neighbors resolve their local id by binary search on `owned`,
+/// so the helper needs no global scratch state — [`Partition::refresh`]
+/// rebuilds single parts with it.
+fn build_subgraph(g: &CsrGraph, assignment: &[u32], p: u32, owned: Vec<VertexId>) -> SubGraph {
+    // Ghosts: remote neighbors, unique and ascending.
+    let mut ghosts: Vec<VertexId> = Vec::new();
+    let mut cut_arcs = 0usize;
+    for &u in &owned {
+        for &v in g.neighbors(u) {
+            if assignment[v as usize] != p {
+                cut_arcs += 1;
+                ghosts.push(v);
+            }
+        }
+    }
+    ghosts.sort_unstable();
+    ghosts.dedup();
+    let ghost_owner: Vec<u32> = ghosts.iter().map(|&v| assignment[v as usize]).collect();
+
+    // Local CSR: owned rows, columns mapped to local ids.
+    let n_owned = owned.len();
+    let mut row_ptr = Vec::with_capacity(n_owned + 1);
+    row_ptr.push(0u32);
+    let mut col_idx = Vec::new();
+    let mut boundary = Vec::new();
+    for (i, &u) in owned.iter().enumerate() {
+        let mut has_ghost = false;
+        for &v in g.neighbors(u) {
+            let local = if assignment[v as usize] == p {
+                owned.binary_search(&v).expect("same-part neighbor is owned") as u32
+            } else {
+                has_ghost = true;
+                (n_owned + ghosts.binary_search(&v).expect("ghost collected above")) as u32
+            };
+            col_idx.push(local);
+        }
+        row_ptr.push(col_idx.len() as u32);
+        if has_ghost {
+            boundary.push(i as u32);
+        }
+    }
+    SubGraph {
+        owned,
+        ghosts,
+        ghost_owner,
+        row_ptr,
+        col_idx,
+        boundary,
+        cut_arcs,
+    }
+}
+
+/// Test-only hook: rebuild a whole partition from an explicit assignment,
+/// the ground truth [`Partition::refresh`] is checked against.
+#[cfg(test)]
+pub(crate) fn rebuild_for_test(
+    g: &CsrGraph,
+    k: usize,
+    strategy: PartitionStrategy,
+    assignment: Vec<u32>,
+) -> Partition {
+    build_partition(g, k, strategy, assignment)
 }
 
 #[cfg(test)]

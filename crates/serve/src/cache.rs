@@ -103,6 +103,14 @@ impl ResultCache {
         report_json
     }
 
+    /// Invalidate an entry, returning the bytes that were cached under it.
+    /// Used by the mutation endpoint: a recolored graph has a new
+    /// fingerprint, so the old result must not keep serving hits. Does not
+    /// count as an eviction (the entry is superseded, not displaced).
+    pub fn remove(&mut self, key: &CacheKey) -> Option<Arc<String>> {
+        self.entries.remove(key).map(|e| e.report_json)
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -187,6 +195,21 @@ mod tests {
         c.insert(key(3, "a"), report("r3"));
         assert!(c.get(&key(1, "a")).is_none());
         assert!(c.get(&key(2, "a")).is_some() && c.get(&key(3, "a")).is_some());
+    }
+
+    #[test]
+    fn remove_invalidates_without_counting_an_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1, "a"), report("old"));
+        let removed = c.remove(&key(1, "a")).unwrap();
+        assert_eq!(*removed, "old");
+        assert!(c.remove(&key(1, "a")).is_none(), "already gone");
+        assert!(c.get(&key(1, "a")).is_none());
+        // The slot is genuinely free again and a fresh insert can differ
+        // from the removed bytes (unlike first-writer-wins on a live key).
+        let now = c.insert(key(1, "a"), report("new"));
+        assert_eq!(*now, "new");
+        assert_eq!(c.stats().2, 0, "remove is not an eviction");
     }
 
     #[test]

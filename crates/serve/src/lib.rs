@@ -28,6 +28,16 @@
 //!   `(CsrGraph::fingerprint, algorithm, config hash)`; a repeat
 //!   submission returns the *byte-identical* report without touching a
 //!   device, with `"cached":true` in the response envelope.
+//! * **Streaming mutations** — `POST /graphs/<fingerprint>/edges` applies
+//!   an edge insertion/deletion batch ([`spec::MutationRequest`]) to a
+//!   previously submitted graph (job responses carry the graph's
+//!   `"fingerprint"` precisely so clients can address it) and recolors
+//!   the cached result
+//!   *incrementally* (`gc_core::gpu::incremental`): only the endpoints of
+//!   edges that actually appeared are re-examined, deletions never force
+//!   a recolor, and the new result replaces the old cache entry under the
+//!   mutated graph's fingerprint. The response reports the recolor cost
+//!   (dirty count, device iterations, cycles) next to the new report.
 //! * **Observability** — job latency lands in the existing
 //!   [`gc_gpusim::Histogram`] type, exported with every counter through a
 //!   [`gc_gpusim::MetricsRegistry`] at `GET /metrics` (Prometheus text);
@@ -48,4 +58,4 @@ pub use cache::{CacheKey, ResultCache};
 pub use load::{run_load, LoadMix, LoadOptions, LoadSummary};
 pub use queue::DrrQueue;
 pub use server::{Server, ServerConfig};
-pub use spec::{JobSpec, ResolvedJob};
+pub use spec::{JobSpec, MutationRequest, ResolvedJob};

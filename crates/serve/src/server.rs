@@ -29,10 +29,10 @@ use gc_core::{count_colors, verify_coloring, RunReport};
 use gc_gpusim::{DevicePool, Histogram, MetricsRegistry};
 use gc_graph::CsrGraph;
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheKey, ResultCache};
 use crate::http::{read_request, write_response, Request};
 use crate::queue::DrrQueue;
-use crate::spec::{self, JobSpec, ResolvedJob};
+use crate::spec::{self, JobSpec, MutationRequest, ResolvedJob};
 
 /// Server tuning knobs (all have serving-friendly defaults).
 #[derive(Debug, Clone)]
@@ -99,9 +99,22 @@ struct Metrics {
     jobs_total: BTreeMap<String, u64>,
     batches: u64,
     batched_jobs: u64,
+    /// Streaming edge batches applied through the mutation endpoint.
+    mutations: u64,
+    /// Total dirty vertices those mutations recolored.
+    mutation_dirty: u64,
     /// Latency from submission to completion in µs, per tenant plus an
     /// aggregate "all" series.
     latency_us: BTreeMap<String, Histogram>,
+}
+
+/// Registry entry: the graph behind a fingerprint plus the label it was
+/// first submitted under. Mutations register the mutated graph under its
+/// new fingerprint with the same label, so the ledger keeps the lineage
+/// while the fingerprint column tracks the structure.
+struct GraphEntry {
+    graph: Arc<CsrGraph>,
+    label: String,
 }
 
 struct Shared {
@@ -112,6 +125,10 @@ struct Shared {
     done: Condvar,
     next_id: AtomicU64,
     cache: Mutex<ResultCache>,
+    /// Graphs seen by this server, by fingerprint — the lookup the
+    /// mutation endpoint resolves `POST /graphs/<fp>/edges` against (the
+    /// result cache stores report bytes only, not structure).
+    graphs: Mutex<BTreeMap<u64, GraphEntry>>,
     pool: DevicePool,
     metrics: Mutex<Metrics>,
 }
@@ -142,6 +159,7 @@ impl Server {
             jobs: Mutex::new(BTreeMap::new()),
             done: Condvar::new(),
             next_id: AtomicU64::new(0),
+            graphs: Mutex::new(BTreeMap::new()),
             pool,
             metrics: Mutex::new(Metrics::default()),
             cfg,
@@ -163,6 +181,14 @@ impl Server {
     /// Returns the job id; fetch the result with [`Server::wait`].
     pub fn submit(&self, spec: &JobSpec) -> Result<u64, String> {
         self.shared.submit(spec)
+    }
+
+    /// Apply a streaming edge batch to the registered graph with this
+    /// fingerprint, recoloring the cached result incrementally (see
+    /// `POST /graphs/<fingerprint>/edges`). Returns the JSON response
+    /// body; errors carry the HTTP status the route layer serves.
+    pub fn mutate(&self, fingerprint: u64, req: &MutationRequest) -> Result<String, (u16, String)> {
+        self.shared.mutate(fingerprint, req)
     }
 
     /// Block until job `id` completes and return its response envelope.
@@ -249,11 +275,29 @@ impl Drop for Server {
 impl Shared {
     fn submit(&self, spec: &JobSpec) -> Result<u64, String> {
         let resolved = spec::resolve(spec)?;
+        // Register the graph so mutation requests can find it by
+        // fingerprint later (cache hits included — the cached report has
+        // no structure to recolor against).
+        self.graphs
+            .lock()
+            .unwrap()
+            .entry(resolved.fingerprint)
+            .or_insert_with(|| GraphEntry {
+                graph: Arc::clone(&resolved.graph),
+                label: resolved.graph_label.clone(),
+            });
         let submitted = Instant::now();
         let id = self.next_id.fetch_add(1, Ordering::SeqCst) + 1;
         let hit = self.cache.lock().unwrap().get(&resolved.cache_key());
         if let Some(report) = hit {
-            let body = Arc::new(envelope(id, &resolved.tenant, true, 1, &report));
+            let body = Arc::new(envelope(
+                id,
+                &resolved.tenant,
+                resolved.fingerprint,
+                true,
+                1,
+                &report,
+            ));
             self.jobs.lock().unwrap().insert(
                 id,
                 JobState {
@@ -380,6 +424,145 @@ impl Shared {
         resolved.job.execute(&resolved.graph)
     }
 
+    /// The mutation endpoint: apply an edge batch to graph `fp`, recolor
+    /// the cached result incrementally from its colors, and re-register
+    /// graph and result under the new fingerprint. The `report` field of
+    /// the response is the bytes now cached under that fingerprint (for a
+    /// no-op batch those are the untouched original bytes), so future
+    /// cache hits are byte-identical to this response's report by
+    /// construction. Errors are `(status, json-body)` pairs ready to
+    /// serve.
+    fn mutate(&self, fp: u64, req: &MutationRequest) -> Result<String, (u16, String)> {
+        fn fail(status: u16, msg: &str) -> (u16, String) {
+            let quoted = serde_json::to_string(msg).expect("strings serialize");
+            (status, format!("{{\"error\":{quoted}}}"))
+        }
+        if req.job.dataset.is_some()
+            || req.job.scale.is_some()
+            || req.job.row_ptr.is_some()
+            || req.job.col_idx.is_some()
+        {
+            return Err(fail(
+                400,
+                "mutation job config must not name a graph source — \
+                 the graph comes from the fingerprint in the path",
+            ));
+        }
+        let entry = {
+            let graphs = self.graphs.lock().unwrap();
+            let Some(e) = graphs.get(&fp) else {
+                return Err(fail(
+                    404,
+                    "unknown graph fingerprint — submit a job for this graph first",
+                ));
+            };
+            GraphEntry {
+                graph: Arc::clone(&e.graph),
+                label: e.label.clone(),
+            }
+        };
+        let submitted = Instant::now();
+        let resolved = spec::resolve_on(&req.job, Arc::clone(&entry.graph), entry.label.clone())
+            .map_err(|e| fail(400, &e))?;
+        if !resolved.job.supports_incremental() {
+            return Err(fail(
+                400,
+                &format!(
+                    "incremental recoloring requires algorithm firstfit (got '{}')",
+                    resolved.job.algorithm()
+                ),
+            ));
+        }
+        let old_key = resolved.cache_key();
+        let Some(prev_json) = self.cache.lock().unwrap().get(&old_key) else {
+            return Err(fail(
+                404,
+                "no cached result for this graph and config — submit the job first",
+            ));
+        };
+        let prev: RunReport = serde_json::from_str(&prev_json)
+            .map_err(|e| fail(500, &format!("cached report failed to parse: {e}")))?;
+        let out = req
+            .batch()
+            .apply(&entry.graph)
+            .map_err(|e| fail(400, &format!("bad mutation batch: {e}")))?;
+        let report = {
+            // One pool lease stands for the device(s) the recolor
+            // occupies, single- or multi-device, mirroring execute_single.
+            let lease = self.pool.checkout();
+            if resolved.job.devices() == 1 {
+                let mut gpu = lease.gpu();
+                resolved
+                    .job
+                    .execute_incremental_on(&mut gpu, &out.graph, &prev.colors, &out.dirty)
+            } else {
+                resolved
+                    .job
+                    .execute_incremental(&out.graph, &prev.colors, &out.dirty)
+            }
+            .map_err(|e| fail(400, &e))?
+        };
+        let json = serde_json::to_string(&report).expect("reports serialize");
+        let new_key = CacheKey {
+            fingerprint: out.fingerprint,
+            algorithm: resolved.job.algorithm().to_string(),
+            config_hash: resolved.config_hash.clone(),
+        };
+        let bytes = {
+            let mut cache = self.cache.lock().unwrap();
+            // A changed fingerprint supersedes the old entry; a no-op
+            // batch keeps the key, and first-writer-wins below preserves
+            // the original cached bytes.
+            if new_key != old_key {
+                cache.remove(&old_key);
+            }
+            cache.insert(new_key, Arc::new(json))
+        };
+        let new_fp = out.fingerprint;
+        if new_fp != fp {
+            let new_graph = Arc::new(out.graph);
+            self.graphs
+                .lock()
+                .unwrap()
+                .entry(new_fp)
+                .or_insert_with(|| GraphEntry {
+                    graph: new_graph,
+                    label: entry.label.clone(),
+                });
+        }
+        if let Some(path) = &self.cfg.ledger {
+            let record = gc_core::LedgerRecord::new(
+                "gc-serve",
+                &entry.label,
+                new_fp,
+                &resolved.config_desc,
+                &report,
+            );
+            if let Err(e) = record.append(path) {
+                eprintln!("gc-serve: ledger append failed: {e}");
+            }
+        }
+        {
+            let mut m = self.metrics.lock().unwrap();
+            m.mutations += 1;
+            m.mutation_dirty += out.dirty.len() as u64;
+        }
+        self.record_completion(&resolved.tenant, submitted);
+        Ok(format!(
+            "{{\"fingerprint\":\"{fp:016x}\",\"new_fingerprint\":\"{new_fp:016x}\",\
+             \"inserted\":{},\"deleted\":{},\"dirty\":{},\"lowerable\":{},\
+             \"iterations\":{},\"cycles\":{},\"num_colors\":{},\"report\":{}}}",
+            out.inserted,
+            out.deleted,
+            out.dirty.len(),
+            out.lowerable.len(),
+            report.iterations,
+            report.cycles,
+            report.num_colors,
+            bytes
+        ))
+    }
+
     fn finish(&self, job: &QueuedJob, report: &RunReport, batch_size: usize) {
         let json = serde_json::to_string(report).expect("reports serialize");
         // First writer wins: the bytes now cached are the bytes served,
@@ -392,6 +575,7 @@ impl Shared {
         let body = Arc::new(envelope(
             job.id,
             &job.resolved.tenant,
+            job.resolved.fingerprint,
             false,
             batch_size,
             &bytes,
@@ -476,6 +660,18 @@ impl Shared {
                 &[],
                 m.batched_jobs,
             );
+            reg.add_counter(
+                "gc_serve_mutations_total",
+                "Streaming edge batches applied",
+                &[],
+                m.mutations,
+            );
+            reg.add_counter(
+                "gc_serve_mutation_dirty_vertices_total",
+                "Dirty vertices recolored by streaming mutations",
+                &[],
+                m.mutation_dirty,
+            );
             for (series, hist) in &m.latency_us {
                 reg.record_histogram(
                     "gc_serve_job_latency_us",
@@ -500,6 +696,12 @@ impl Shared {
         );
         drop(cache);
         reg.set_gauge(
+            "gc_serve_graphs_registered",
+            "Graphs in the fingerprint registry",
+            &[],
+            self.graphs.lock().unwrap().len() as f64,
+        );
+        reg.set_gauge(
             "gc_serve_devices_in_use",
             "Device slots currently leased",
             &[],
@@ -511,10 +713,18 @@ impl Shared {
 
 /// Build the response envelope. `report` must already be JSON; it is the
 /// last field so cached bytes pass through verbatim.
-fn envelope(id: u64, tenant: &str, cached: bool, batch_size: usize, report: &str) -> String {
+fn envelope(
+    id: u64,
+    tenant: &str,
+    fingerprint: u64,
+    cached: bool,
+    batch_size: usize,
+    report: &str,
+) -> String {
     let tenant_json = serde_json::to_string(tenant).expect("strings serialize");
     format!(
         "{{\"job_id\":{id},\"tenant\":{tenant_json},\"status\":\"done\",\
+         \"fingerprint\":\"{fingerprint:016x}\",\
          \"cached\":{cached},\"batch_size\":{batch_size},\"report\":{report}}}"
     )
 }
@@ -536,8 +746,23 @@ fn disjoint_union(graphs: &[&CsrGraph]) -> CsrGraph {
 }
 
 fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream, addr: std::net::SocketAddr) {
-    let Ok(req) = read_request(&mut stream) else {
-        return; // includes the shutdown self-connect wake
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        // A connection that closes without sending a request line is the
+        // shutdown handler's self-connect wake: nothing to answer.
+        Err(e) if e == "empty request line" => return,
+        // Anything else sent bytes that are not HTTP; answer with a
+        // structured 400 instead of silently dropping the connection.
+        Err(e) => {
+            let msg = serde_json::to_string(&format!("bad request: {e}")).expect("strings serialize");
+            let _ = write_response(
+                &mut stream,
+                400,
+                "application/json",
+                format!("{{\"error\":{msg}}}").as_bytes(),
+            );
+            return;
+        }
     };
     let (status, content_type, body) = route(shared, &req);
     let _ = write_response(&mut stream, status, content_type, body.as_bytes());
@@ -590,10 +815,45 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, &'static str, String) {
                 },
             }
         }
+        ("POST", path) if path.starts_with("/graphs/") && path.ends_with("/edges") => {
+            let hex = path
+                .strip_prefix("/graphs/")
+                .and_then(|p| p.strip_suffix("/edges"))
+                .unwrap_or("");
+            let Ok(fp) = u64::from_str_radix(hex, 16) else {
+                return (
+                    400,
+                    JSON,
+                    "{\"error\":\"bad graph fingerprint (expected hex)\"}".into(),
+                );
+            };
+            let mutation: MutationRequest = match serde_json::from_slice(&req.body) {
+                Ok(m) => m,
+                Err(e) => {
+                    return (400, JSON, format!("{{\"error\":\"bad mutation request: {e}\"}}"))
+                }
+            };
+            match shared.mutate(fp, &mutation) {
+                Ok(body) => (200, JSON, body),
+                Err((status, body)) => (status, JSON, body),
+            }
+        }
         ("GET", "/metrics") => (200, "text/plain; version=0.0.4", shared.metrics_text()),
         ("GET", "/healthz") => (200, JSON, "{\"ok\":true}".into()),
         // Side effects happen in handle_conn after the response is written.
         ("POST", "/shutdown") => (200, JSON, "{\"ok\":true}".into()),
+        // Known paths with the wrong method get a structured 405, not the
+        // generic unknown-endpoint 404.
+        (_, p)
+            if p == "/jobs"
+                || p == "/metrics"
+                || p == "/healthz"
+                || p == "/shutdown"
+                || p.starts_with("/jobs/")
+                || (p.starts_with("/graphs/") && p.ends_with("/edges")) =>
+        {
+            (405, JSON, "{\"error\":\"method not allowed\"}".into())
+        }
         _ => (404, JSON, "{\"error\":\"unknown endpoint\"}".into()),
     }
 }
@@ -766,6 +1026,203 @@ mod tests {
         s.algorithm = Some("nope".into());
         assert!(server.submit(&s).unwrap_err().contains("unknown algorithm"));
         assert!(server.wait(999).is_none(), "unknown id");
+    }
+
+    /// The graph `inline_square` submits, as a value (for fingerprints and
+    /// expected-mutation bookkeeping).
+    fn square_graph() -> CsrGraph {
+        CsrGraph::from_parts(vec![0, 2, 4, 6, 8], vec![1, 2, 0, 3, 0, 3, 1, 2]).unwrap()
+    }
+
+    fn mutation(insert: &[(u32, u32)], delete: &[(u32, u32)], job: JobSpec) -> MutationRequest {
+        MutationRequest {
+            insert: insert.to_vec(),
+            delete: delete.to_vec(),
+            job,
+        }
+    }
+
+    /// Knob fields matching `inline_square`'s resolved config.
+    fn knobs() -> JobSpec {
+        JobSpec {
+            algorithm: Some("firstfit".into()),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn streaming_mutation_recolors_and_recaches_under_the_new_fingerprint() {
+        let mut server = Server::new(test_config()).unwrap();
+        let id = server.submit(&inline_square("t")).unwrap();
+        drain(&server);
+        let first = server.wait(id).unwrap();
+        assert!(first.contains("\"cached\":false"), "{first}");
+
+        let g = square_graph();
+        let fp = g.fingerprint();
+        // The envelope reveals the fingerprint — it is the address of the
+        // mutation endpoint, so clients must not have to compute it.
+        assert!(
+            first.contains(&format!("\"fingerprint\":\"{fp:016x}\"")),
+            "{first}"
+        );
+        let req = mutation(&[(0, 3)], &[], knobs());
+        let body = server.mutate(fp, &req).unwrap();
+        let out = req.batch().apply(&g).unwrap();
+        assert!(
+            body.contains(&format!("\"fingerprint\":\"{fp:016x}\"")),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!("\"new_fingerprint\":\"{:016x}\"", out.fingerprint)),
+            "{body}"
+        );
+        assert!(body.contains("\"inserted\":1"), "{body}");
+        // Only the chord endpoints were re-examined: dirty = 2 < |V| = 4.
+        assert!(body.contains("\"dirty\":2"), "{body}");
+        let report = report_bytes(&body).unwrap();
+        assert!(report.contains("gpu-incremental"), "{report}");
+
+        // The recolored result is cached under the new fingerprint: an
+        // inline submission of the mutated structure with the same knobs
+        // hits without a single step().
+        let spec2 = JobSpec {
+            tenant: "t".into(),
+            row_ptr: Some(out.graph.row_ptr().to_vec()),
+            col_idx: Some(out.graph.col_idx().to_vec()),
+            algorithm: Some("firstfit".into()),
+            ..JobSpec::default()
+        };
+        let id2 = server.submit(&spec2).unwrap();
+        let hit = server.wait(id2).unwrap();
+        assert!(hit.contains("\"cached\":true"), "{hit}");
+        assert!(
+            hit.contains(&format!("\"fingerprint\":\"{:016x}\"", out.fingerprint)),
+            "cache hits carry the fingerprint too: {hit}"
+        );
+        assert_eq!(
+            report_bytes(&hit).unwrap(),
+            report,
+            "cache hit serves the mutation's report bytes"
+        );
+
+        // The superseded entry is gone: resubmitting the original graph
+        // misses and queues.
+        let id3 = server.submit(&inline_square("t")).unwrap();
+        assert_eq!(server.status(id3).unwrap().0, "queued");
+        drain(&server);
+
+        let metrics = server.metrics_text();
+        assert!(metrics.contains("gc_serve_mutations_total 1"), "{metrics}");
+        assert!(
+            metrics.contains("gc_serve_mutation_dirty_vertices_total 2"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn noop_and_deletion_batches_never_force_a_recolor() {
+        let mut server = Server::new(test_config()).unwrap();
+        let id = server.submit(&inline_square("t")).unwrap();
+        drain(&server);
+        let first = server.wait(id).unwrap();
+        let fp = square_graph().fingerprint();
+
+        // Empty batch: fingerprint unchanged, zero device rounds, and the
+        // cached bytes survive untouched (first writer wins on the key).
+        let body = server.mutate(fp, &mutation(&[], &[], knobs())).unwrap();
+        assert!(
+            body.contains(&format!("\"new_fingerprint\":\"{fp:016x}\"")),
+            "{body}"
+        );
+        assert!(body.contains("\"dirty\":0"), "{body}");
+        assert!(body.contains("\"iterations\":0"), "{body}");
+        assert_eq!(
+            report_bytes(&body).unwrap(),
+            report_bytes(&first).unwrap(),
+            "no-op mutation serves the original cached bytes"
+        );
+
+        // Deletion-only batch: endpoints are lowerable, never dirty — the
+        // coloring is reused verbatim under the new fingerprint.
+        let del = server
+            .mutate(fp, &mutation(&[], &[(0, 1)], knobs()))
+            .unwrap();
+        assert!(del.contains("\"deleted\":1"), "{del}");
+        assert!(del.contains("\"dirty\":0"), "{del}");
+        assert!(del.contains("\"lowerable\":2"), "{del}");
+        assert!(del.contains("\"iterations\":0"), "{del}");
+        assert!(
+            !del.contains(&format!("\"new_fingerprint\":\"{fp:016x}\"")),
+            "deletion changes the fingerprint: {del}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutation_errors_are_structured_and_status_coded() {
+        let mut server = Server::new(test_config()).unwrap();
+        let (status, body) = server
+            .mutate(0xdead_beef, &mutation(&[(0, 1)], &[], knobs()))
+            .unwrap_err();
+        assert_eq!(status, 404);
+        assert!(body.contains("unknown graph fingerprint"), "{body}");
+
+        // Known graph but the job is still queued: no cached result yet.
+        let id = server.submit(&inline_square("t")).unwrap();
+        let fp = square_graph().fingerprint();
+        let (status, body) = server
+            .mutate(fp, &mutation(&[(0, 3)], &[], knobs()))
+            .unwrap_err();
+        assert_eq!(status, 404);
+        assert!(body.contains("no cached result"), "{body}");
+        drain(&server);
+        server.wait(id).unwrap();
+
+        let mut bad = knobs();
+        bad.dataset = Some("road-net".into());
+        let (status, body) = server.mutate(fp, &mutation(&[], &[], bad)).unwrap_err();
+        assert_eq!(status, 400);
+        assert!(body.contains("must not name a graph source"), "{body}");
+
+        // Default algorithm resolves to maxmin, which cannot recolor
+        // incrementally.
+        let (status, body) = server
+            .mutate(fp, &mutation(&[], &[], JobSpec::default()))
+            .unwrap_err();
+        assert_eq!(status, 400);
+        assert!(body.contains("requires algorithm firstfit"), "{body}");
+
+        // Knob validation reuses the CLI wording.
+        let mut zero = knobs();
+        zero.wg = Some(0);
+        let (status, body) = server.mutate(fp, &mutation(&[], &[], zero)).unwrap_err();
+        assert_eq!(status, 400);
+        assert!(body.contains("--wg must be positive"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn multi_device_mutation_recolors_across_devices() {
+        let mut server = Server::new(test_config()).unwrap();
+        let mut spec = inline_square("t");
+        spec.devices = Some(2);
+        spec.partition = Some("block".into());
+        let id = server.submit(&spec).unwrap();
+        drain(&server);
+        server.wait(id).unwrap();
+
+        let fp = square_graph().fingerprint();
+        let mut job = knobs();
+        job.devices = Some(2);
+        job.partition = Some("block".into());
+        let body = server.mutate(fp, &mutation(&[(0, 3)], &[], job)).unwrap();
+        let report = report_bytes(&body).unwrap();
+        assert!(report.contains("multi2"), "{report}");
+        assert!(report.contains("incremental"), "{report}");
+        assert!(body.contains("\"dirty\":2"), "{body}");
+        server.shutdown();
     }
 
     #[test]

@@ -133,9 +133,39 @@ impl ResolvedJob {
     }
 }
 
+/// A streaming mutation request: the body of
+/// `POST /graphs/<fingerprint>/edges`. The edge lists mirror
+/// [`gc_graph::MutationBatch`]; `job` carries the knob fields identifying
+/// *which* cached result to recolor (same config-hash discipline as the
+/// cache key) and must not name a graph source — the graph comes from the
+/// fingerprint in the path.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MutationRequest {
+    /// Undirected edges to insert, as `[u, v]` pairs.
+    #[serde(default)]
+    pub insert: Vec<(u32, u32)>,
+    /// Undirected edges to delete, as `[u, v]` pairs.
+    #[serde(default)]
+    pub delete: Vec<(u32, u32)>,
+    /// Knobs of the cached job to recolor (tenant + flag fields only).
+    #[serde(default)]
+    pub job: JobSpec,
+}
+
+impl MutationRequest {
+    /// The edge lists as a [`gc_graph::MutationBatch`].
+    pub fn batch(&self) -> gc_graph::MutationBatch {
+        gc_graph::MutationBatch {
+            insert: self.insert.clone(),
+            delete: self.delete.clone(),
+        }
+    }
+}
+
 /// Resolve and validate a spec. Graph construction happens here (dataset
 /// build or inline-CSR validation), then the knob checks and job
-/// construction are delegated to the shared `gc-bench::cli` helpers.
+/// construction are delegated to the shared `gc-bench::cli` helpers via
+/// [`resolve_on`].
 pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
     let inline = spec.row_ptr.is_some() || spec.col_idx.is_some();
     if spec.dataset.is_some() == inline {
@@ -165,7 +195,18 @@ pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
         let label = format!("inline:{:016x}", g.fingerprint());
         (g, label)
     };
+    resolve_on(spec, Arc::new(graph), graph_label)
+}
 
+/// Resolve the *knob* fields of a spec against an already-known graph
+/// (the mutation endpoint looks graphs up by fingerprint instead of
+/// rebuilding them). Graph-source fields in `spec` are ignored here;
+/// callers that must reject them do so before resolving.
+pub fn resolve_on(
+    spec: &JobSpec,
+    graph: Arc<CsrGraph>,
+    graph_label: String,
+) -> Result<ResolvedJob, String> {
     // Map spec fields onto the CLI argument struct, tracking which knobs
     // the spec pinned exactly like the flag parser does, then run the
     // shared validation. Zero checks mirror the parser's parse-time ones.
@@ -239,7 +280,7 @@ pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, String> {
             spec.tenant.clone()
         },
         job,
-        graph: Arc::new(graph),
+        graph,
         graph_label,
         fingerprint,
         config_desc,
@@ -404,6 +445,53 @@ mod tests {
         assert!(!resolve(&s).unwrap().batchable(1 << 20));
         // Threshold gates by vertex count.
         assert!(!a.batchable(1));
+    }
+
+    #[test]
+    fn resolve_on_shares_the_cache_key_with_full_resolution() {
+        // The mutation path resolves knobs against a registry graph; its
+        // cache key must equal the one the original submission produced,
+        // or mutations could never find the cached result.
+        let full = resolve(&dataset_spec("road-net")).unwrap();
+        let knobs = JobSpec::default();
+        let r = resolve_on(&knobs, Arc::clone(&full.graph), "road-net".into()).unwrap();
+        assert_eq!(r.cache_key(), full.cache_key());
+        assert_eq!(r.graph_label, "road-net");
+        assert_eq!(r.fingerprint, full.fingerprint);
+        // Knob validation still runs with identical wording.
+        let bad = JobSpec {
+            wg: Some(0),
+            ..JobSpec::default()
+        };
+        let err = resolve_on(&bad, Arc::clone(&full.graph), "x".into()).unwrap_err();
+        assert_eq!(err, "--wg must be positive");
+    }
+
+    /// Pins the `MutationBatch` JSON wire shape (gc-graph has no
+    /// serde_json dev-dep, so the round trip is pinned here).
+    #[test]
+    fn mutation_batch_json_round_trips_with_defaults() {
+        let batch = gc_graph::MutationBatch {
+            insert: vec![(0, 9), (5, 60)],
+            delete: vec![(1, 2)],
+        };
+        let json = serde_json::to_string(&batch).unwrap();
+        let back: gc_graph::MutationBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+        // Partial bodies rely on field defaults — an insert-only request
+        // deserializes with an empty delete list, and `{}` is the empty
+        // batch.
+        let req: MutationRequest = serde_json::from_str(r#"{"insert":[[3,4]]}"#).unwrap();
+        assert_eq!(req.batch().insert, vec![(3, 4)]);
+        assert!(req.delete.is_empty() && req.job.dataset.is_none());
+        let empty: gc_graph::MutationBatch = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_empty());
+        let full: MutationRequest = serde_json::from_str(
+            r#"{"insert":[[0,9]],"delete":[[1,2]],"job":{"algorithm":"firstfit","devices":2,"partition":"block"}}"#,
+        )
+        .unwrap();
+        assert_eq!(full.job.algorithm.as_deref(), Some("firstfit"));
+        assert_eq!(full.job.devices, Some(2));
     }
 
     #[test]

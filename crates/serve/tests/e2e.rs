@@ -161,6 +161,117 @@ fn completed_jobs_append_to_the_run_ledger_once() {
 }
 
 #[test]
+fn streaming_mutation_over_http_recolors_and_recaches() {
+    let (addr, handle) = start(test_config());
+    let first = submit_wait(&addr, SQUARE);
+    assert!(first.contains("\"cached\":false"), "{first}");
+
+    let g = gc_graph::CsrGraph::from_parts(vec![0, 2, 4, 6, 8], vec![1, 2, 0, 3, 0, 3, 1, 2])
+        .unwrap();
+    let fp = g.fingerprint();
+    let (status, body) = request(
+        &addr,
+        "POST",
+        &format!("/graphs/{fp:016x}/edges"),
+        Some(r#"{"insert":[[0,3]],"job":{"tenant":"t","algorithm":"firstfit"}}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"inserted\":1"), "{body}");
+    assert!(body.contains("\"dirty\":2"), "{body}");
+    assert!(
+        body.contains(&format!("\"fingerprint\":\"{fp:016x}\"")),
+        "{body}"
+    );
+
+    // Submitting the mutated structure inline hits the recolored cache
+    // entry byte-identically.
+    let mut batch = gc_graph::MutationBatch::new();
+    batch.insert_edge(0, 3);
+    let out = batch.apply(&g).unwrap();
+    assert!(
+        body.contains(&format!("\"new_fingerprint\":\"{:016x}\"", out.fingerprint)),
+        "{body}"
+    );
+    let spec = format!(
+        r#"{{"tenant":"t","row_ptr":{:?},"col_idx":{:?},"algorithm":"firstfit"}}"#,
+        out.graph.row_ptr(),
+        out.graph.col_idx()
+    );
+    let hit = submit_wait(&addr, &spec);
+    assert!(hit.contains("\"cached\":true"), "{hit}");
+    assert_eq!(
+        report_bytes(&hit).unwrap(),
+        report_bytes(&body).unwrap(),
+        "cache hit serves the mutation's report bytes"
+    );
+
+    let (_, metrics) = request(&addr, "GET", "/metrics", None).unwrap();
+    assert!(metrics.contains("gc_serve_mutations_total 1"), "{metrics}");
+    assert!(metrics.contains("gc_serve_graphs_registered 2"), "{metrics}");
+    stop(&addr, handle);
+}
+
+#[test]
+fn mutation_endpoint_rejects_bad_requests_with_structured_errors() {
+    let (addr, handle) = start(test_config());
+    // Bad fingerprint: not hex.
+    let (status, body) = request(&addr, "POST", "/graphs/nothex/edges", Some("{}")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad graph fingerprint"), "{body}");
+    // Well-formed but unknown fingerprint.
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/graphs/00000000deadbeef/edges",
+        Some(r#"{"job":{"algorithm":"firstfit"}}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("unknown graph fingerprint"), "{body}");
+    // Malformed JSON body.
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/graphs/00000000deadbeef/edges",
+        Some("not json"),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad mutation request"), "{body}");
+    stop(&addr, handle);
+}
+
+#[test]
+fn non_http_bytes_get_a_structured_400_not_a_dropped_connection() {
+    use std::io::{Read, Write};
+    let (addr, handle) = start(test_config());
+    // A request line with no path parses as garbage: the server must
+    // answer 400 with a JSON error instead of closing silently.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("\"error\""), "{response}");
+    drop(stream);
+    // An unparseable Content-Length gets the same treatment.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: zzz\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("bad content-length"), "{response}");
+    // Known path, wrong method: structured 405.
+    let (status, body) = request(&addr, "DELETE", "/jobs", None).unwrap();
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("method not allowed"), "{body}");
+    stop(&addr, handle);
+}
+
+#[test]
 fn bad_requests_get_json_errors() {
     let (addr, handle) = start(test_config());
     let (status, body) = request(&addr, "POST", "/jobs", Some("not json")).unwrap();
